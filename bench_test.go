@@ -1,0 +1,480 @@
+// bench_test.go holds one testing.B benchmark per table and figure of
+// the paper's evaluation, plus ablation benches for the design choices
+// called out in DESIGN.md §6. Each benchmark executes the harness
+// runner behind the corresponding experiment at a reduced scale and
+// reports the experiment's headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates a miniature of the full evaluation. The smiler-bench CLI
+// runs the same harness at larger scales.
+package smiler_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"smiler/internal/baselines"
+	"smiler/internal/bench"
+	"smiler/internal/core"
+	"smiler/internal/datasets"
+	"smiler/internal/dtw"
+	"smiler/internal/gp"
+	"smiler/internal/gpusim"
+	"smiler/internal/index"
+)
+
+// benchSpec is the miniature ROAD corpus shared by the benches.
+func benchSpec() bench.DatasetSpec {
+	return bench.DatasetSpec{
+		Name: "ROAD",
+		Gen:  datasets.Config{Kind: datasets.Road, Sensors: 2, Days: 6, Seed: 3},
+		Warm: 760, TestSteps: 6,
+	}
+}
+
+func benchCorpus(b *testing.B) *bench.Corpus {
+	b.Helper()
+	c, err := bench.Load(benchSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkTable3LowerBounds regenerates Table 3: filtering power and
+// verification cost of LBEQ / LBEC / LBen.
+func BenchmarkTable3LowerBounds(b *testing.B) {
+	c := benchCorpus(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTable3(c, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Bound == index.LBModeEn {
+				b.ReportMetric(r.Unfiltered, "unfiltered/query")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7SuffixKNN regenerates Fig. 7: Suffix kNN Search time
+// per method (one sub-benchmark per method, k=32).
+func BenchmarkFig7SuffixKNN(b *testing.B) {
+	c := benchCorpus(b)
+	for _, m := range []bench.SearchMethod{
+		bench.MethodSMiLerIdx, bench.MethodSMiLerDir,
+		bench.MethodFastGPUScan, bench.MethodGPUScan, bench.MethodFastCPUScan,
+	} {
+		b.Run(string(m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := bench.RunFig7(c, []int{32}, 3, []bench.SearchMethod{m})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rows[0].SimSec, "gpusim-s/step")
+			}
+		})
+	}
+}
+
+// BenchmarkFig8LowerBoundIndex regenerates Fig. 8: LBen production
+// with vs without the window-level index.
+func BenchmarkFig8LowerBoundIndex(b *testing.B) {
+	c := benchCorpus(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunFig8(c, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var idx, dir float64
+		for _, r := range rows {
+			if r.Method == bench.MethodSMiLerIdx {
+				idx = r.SimSec
+			} else {
+				dir = r.SimSec
+			}
+		}
+		if idx > 0 {
+			b.ReportMetric(dir/idx, "speedup-x")
+		}
+	}
+}
+
+// BenchmarkFig9OfflineAccuracy regenerates Fig. 9: SMiLer vs the
+// offline (eager) competitors. The GP ensemble dominates the runtime,
+// so the corpus is tiny; the CLI runs the full matrix.
+func BenchmarkFig9OfflineAccuracy(b *testing.B) {
+	c := benchCorpus(b)
+	methods := []string{bench.MSMiLerAR, bench.MPSGP, bench.MVLGP, bench.MNysSVR, bench.MSgdSVR, bench.MSgdRR}
+	for i := 0; i < b.N; i++ {
+		rows, _, err := bench.RunAccuracy(c, methods, []int{1, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Method == bench.MSMiLerAR && r.H == 1 {
+				b.ReportMetric(r.MAE, "smiler-mae")
+			}
+		}
+	}
+}
+
+// BenchmarkFig10OnlineAccuracy regenerates Fig. 10: SMiLer vs the
+// online competitors.
+func BenchmarkFig10OnlineAccuracy(b *testing.B) {
+	c := benchCorpus(b)
+	methods := []string{bench.MSMiLerAR, bench.MLazyKNN, bench.MSegHW, bench.MOnlineSVR, bench.MOnlineRR}
+	for i := 0; i < b.N; i++ {
+		rows, _, err := bench.RunAccuracy(c, methods, []int{1, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Method == bench.MLazyKNN && r.H == 1 {
+				b.ReportMetric(r.MNLPD, "lazyknn-mnlpd")
+			}
+		}
+	}
+}
+
+// BenchmarkFig11AutoTuning regenerates Fig. 11: the full adaptive
+// ensemble vs the NE (no ensemble) and NS (no self-adaptation)
+// ablations, AR flavour for speed.
+func BenchmarkFig11AutoTuning(b *testing.B) {
+	c := benchCorpus(b)
+	methods := []string{bench.MSMiLerAR, bench.MSMiLerNEAR, bench.MSMiLerNSAR}
+	for i := 0; i < b.N; i++ {
+		rows, _, err := bench.RunAccuracy(c, methods, []int{1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Method == bench.MSMiLerAR {
+				b.ReportMetric(r.MAE, "full-ensemble-mae")
+			}
+		}
+	}
+}
+
+// BenchmarkTable4RunningTime regenerates Table 4: per-method training
+// and prediction times.
+func BenchmarkTable4RunningTime(b *testing.B) {
+	c := benchCorpus(b)
+	methods := []string{bench.MSMiLerAR, bench.MLazyKNN, bench.MPSGP, bench.MSgdSVR, bench.MOnlineRR}
+	for i := 0; i < b.N; i++ {
+		_, timings, err := bench.RunAccuracy(c, methods, []int{1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, tr := range timings {
+			if tr.Method == bench.MSMiLerAR {
+				b.ReportMetric(tr.PredictMs, "smiler-predict-ms")
+			}
+		}
+	}
+}
+
+// BenchmarkFig12Scalability regenerates Fig. 12: the per-step
+// search/prediction split and the sensors-per-GPU capacity.
+func BenchmarkFig12Scalability(b *testing.B) {
+	c := benchCorpus(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunFig12Time(c, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, maxSensors, err := bench.Fig12Capacity(c, gpusim.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(maxSensors), "max-sensors")
+		_ = rows
+	}
+}
+
+// BenchmarkFig13PSGPSweep regenerates Fig. 13: the PSGP active-point
+// accuracy/time trade-off against the SMiLer-GP reference.
+func BenchmarkFig13PSGPSweep(b *testing.B) {
+	c := benchCorpus(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunFig13(c, []int{4, 16, 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.TrainSecPer, "psgp-train-s")
+		b.ReportMetric(last.SMiLerGPMae, "smiler-gp-mae")
+	}
+}
+
+// --- Ablation benches (DESIGN.md §6) ---
+
+// BenchmarkAblationContinuousReuse: incremental window-level update
+// (Remark 1) vs rebuilding the index every step.
+func BenchmarkAblationContinuousReuse(b *testing.B) {
+	c := benchCorpus(b)
+	for i := 0; i < b.N; i++ {
+		reuse, rebuild, err := bench.AblationContinuousReuse(c, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rebuild/reuse, "speedup-x")
+	}
+}
+
+// BenchmarkAblationCompressedDTW: the 2×(2ρ+2) compressed warping
+// matrix of Algorithm 2 vs the full-matrix reference.
+func BenchmarkAblationCompressedDTW(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	q := make([]float64, 96)
+	cseg := make([]float64, 96)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+		cseg[i] = rng.NormFloat64()
+	}
+	b.Run("full-matrix", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dtw.Distance(q, cseg, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compressed", func(b *testing.B) {
+		scratch := dtw.NewCompressedScratch(8)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dtw.DistanceCompressed(q, cseg, 8, scratch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationWarmStart: the paper's 5-step warm-started online
+// GP training vs full cold optimization per query.
+func BenchmarkAblationWarmStart(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	const k, d = 32, 64
+	x := make([][]float64, k)
+	y := make([]float64, k)
+	for i := range x {
+		xi := make([]float64, d)
+		for j := range xi {
+			xi[j] = rng.NormFloat64()
+		}
+		x[i] = xi
+		y[i] = xi[d-1] + 0.1*rng.NormFloat64()
+	}
+	init := gp.HeuristicHyper(x, y)
+	warm, err := gp.Optimize(x, y, init, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold-20-iter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := gp.Optimize(x, y, init, 20); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm-5-iter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := gp.Optimize(x, y, warm.Hyper, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSleepRecovery: ensemble update cost with and
+// without the sleep scheduler (sleeping cells skip prediction
+// entirely; this measures the bookkeeping side).
+func BenchmarkAblationSleepRecovery(b *testing.B) {
+	run := func(b *testing.B, disable bool) {
+		ens, err := core.NewEnsemble([]int{8, 16, 32}, []int{32, 64, 96},
+			func() core.Predictor { return core.NewAR() },
+			core.EnsembleConfig{DisableSleep: disable})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < b.N; i++ {
+			var preds []core.CellPrediction
+			for ci, c := range ens.Cells() {
+				if c.Sleeping() {
+					continue
+				}
+				mean := 0.0
+				if ci%3 == 0 {
+					mean = 5 // persistently poor third of the matrix
+				}
+				preds = append(preds, core.CellPrediction{
+					Cell: c,
+					Pred: core.Prediction{Mean: mean + rng.NormFloat64()*0.01, Variance: 0.1},
+				})
+			}
+			ens.Update(preds, 0)
+		}
+		awake := 0
+		for _, c := range ens.Cells() {
+			if !c.Sleeping() {
+				awake++
+			}
+		}
+		b.ReportMetric(float64(awake), "awake-cells")
+	}
+	b.Run("sleep-on", func(b *testing.B) { run(b, false) })
+	b.Run("sleep-off", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationDistanceMeasure: kNN prediction accuracy under DTW
+// vs the alternative similarity measures (the paper's §4 motivation).
+func BenchmarkAblationDistanceMeasure(b *testing.B) {
+	c := benchCorpus(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunDistanceMeasureAblation(c, 3, 8, 32, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Measure == "DTW" {
+				b.ReportMetric(r.MAE, "dtw-mae")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationDownsample: the §6.4.1 space/accuracy trade-off —
+// index a fraction of the history, fit more sensors per GPU.
+func BenchmarkAblationDownsample(b *testing.B) {
+	c := benchCorpus(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunDownsampleTradeoff(c, []float64{1.0, 0.25}, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[1].MaxSensors)/float64(rows[0].MaxSensors), "capacity-x")
+	}
+}
+
+// BenchmarkAblationThresholdReuse: the first Suffix kNN query (k-th
+// smallest lower-bound threshold) vs continuous queries (threshold
+// from the previous step's kNN set).
+func BenchmarkAblationThresholdReuse(b *testing.B) {
+	c := benchCorpus(b)
+	p := index.DefaultParams()
+	z := c.Series[0]
+	dev := gpusim.MustNewDevice(gpusim.DefaultConfig())
+	b.Run("first-query", func(b *testing.B) {
+		var unfiltered float64
+		for i := 0; i < b.N; i++ {
+			ixFresh, err := index.New(dev, z[:c.Spec.Warm], p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ixFresh.Search(32, 1); err != nil {
+				b.Fatal(err)
+			}
+			unfiltered += float64(ixFresh.Stats().Unfiltered)
+			ixFresh.Close()
+		}
+		b.ReportMetric(unfiltered/float64(b.N), "unfiltered")
+	})
+	b.Run("continuous", func(b *testing.B) {
+		ix, err := index.New(dev, z[:c.Spec.Warm], p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ix.Close()
+		if _, err := ix.Search(32, 1); err != nil { // prime prevNN
+			b.Fatal(err)
+		}
+		var unfiltered float64
+		for i := 0; i < b.N; i++ {
+			if err := ix.Advance(z[c.Spec.Warm+(i%c.Spec.TestSteps)]); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ix.Search(32, 1); err != nil {
+				b.Fatal(err)
+			}
+			unfiltered += float64(ix.Stats().Unfiltered)
+		}
+		b.ReportMetric(unfiltered/float64(b.N), "unfiltered")
+	})
+}
+
+// BenchmarkAblationTrainingObjective: the paper's LOO objective vs the
+// textbook marginal likelihood for the query-dependent GP's online
+// training (Sundararajan–Keerthi's comparison in the semi-lazy
+// setting).
+func BenchmarkAblationTrainingObjective(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	const k, d = 32, 64
+	x := make([][]float64, k)
+	y := make([]float64, k)
+	for i := range x {
+		xi := make([]float64, d)
+		for j := range xi {
+			xi[j] = rng.NormFloat64()
+		}
+		x[i] = xi
+		y[i] = xi[d-1] + 0.1*rng.NormFloat64()
+	}
+	init := gp.HeuristicHyper(x, y)
+	b.Run("LOO", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := gp.Optimize(x, y, init, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("marginal-likelihood", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := gp.OptimizeML(x, y, init, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationBootstrapUncertainty: the paper's §2.1 point — a
+// lazy learner can buy uncertainty with bootstrap resampling, but at a
+// time cost the semi-lazy GP's closed form avoids. Compares LazyKNN
+// (no uncertainty machinery), LazyKNN+bootstrap, and the exact GP fit
+// on the same neighbourhood size.
+func BenchmarkAblationBootstrapUncertainty(b *testing.B) {
+	c := benchCorpus(b)
+	hist := c.Series[0][:c.Spec.Warm]
+	b.Run("LazyKNN-plain", func(b *testing.B) {
+		l := baselines.LazyKNN{K: 32, D: 64, Rho: 8}
+		for i := 0; i < b.N; i++ {
+			if _, err := l.Predict(hist, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("LazyKNN-bootstrap", func(b *testing.B) {
+		l := baselines.LazyKNNBootstrap{K: 32, D: 64, Rho: 8, B: 100, Seed: 1}
+		for i := 0; i < b.N; i++ {
+			if _, err := l.Predict(hist, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("semi-lazy-GP", func(b *testing.B) {
+		gpp := core.NewGP()
+		x, y, err := baselines.SegmentDataset(hist, 64, 1, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		probe := hist[len(hist)-64:]
+		for i := 0; i < b.N; i++ {
+			if _, err := gpp.Predict(probe, x, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package smiler
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"smiler/internal/core"
+	"smiler/internal/gp"
+	"smiler/internal/timeseries"
+)
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// cellCheckpoint serializes one ensemble cell's auto-tuning state plus
+// its GP warm-start hyperparameters (zero for AR cells or untrained
+// GPs).
+type cellCheckpoint struct {
+	State core.CellState
+	Hyper gp.Hyper
+}
+
+// sensorCheckpoint serializes one sensor.
+type sensorCheckpoint struct {
+	ID string
+	// History is the normalized history the index holds (raw history
+	// when normalization is off).
+	History []float64
+	// Normalized records whether Norm is meaningful.
+	Normalized bool
+	Norm       timeseries.Stats
+	Cells      []cellCheckpoint
+}
+
+// checkpoint is the gob payload.
+type checkpoint struct {
+	Version int
+	Sensors []sensorCheckpoint
+}
+
+// SaveTo writes a checkpoint of the system — per-sensor histories,
+// normalization statistics, ensemble auto-tuning state and GP
+// warm-start hyperparameters — to w. Predictions still awaiting their
+// truth (pending auto-tuning updates) are not persisted; after a
+// restore, the first few updates are simply skipped.
+func (s *System) SaveTo(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return errors.New("smiler: system closed")
+	}
+	cp := checkpoint{Version: checkpointVersion}
+	for _, id := range s.sensorsLocked() {
+		st := s.sensors[id]
+		st.mu.Lock()
+		sc := sensorCheckpoint{
+			ID:      id,
+			History: st.ix.History(),
+		}
+		if st.norm != nil {
+			sc.Normalized = true
+			sc.Norm = st.norm.Stats()
+		}
+		states := st.pipe.Ensemble().ExportState()
+		cells := st.pipe.Ensemble().Cells()
+		for i, state := range states {
+			cc := cellCheckpoint{State: state}
+			if gpp, ok := cells[i].Pred.(*core.GPPredictor); ok {
+				cc.Hyper = gpp.Hyper()
+			}
+			sc.Cells = append(sc.Cells, cc)
+		}
+		st.mu.Unlock()
+		cp.Sensors = append(cp.Sensors, sc)
+	}
+	return gob.NewEncoder(w).Encode(cp)
+}
+
+// sensorsLocked returns sorted ids; callers hold s.mu.
+func (s *System) sensorsLocked() []string {
+	out := make([]string, 0, len(s.sensors))
+	for id := range s.sensors {
+		out = append(out, id)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Load reconstructs a System from a checkpoint written by SaveTo,
+// using cfg for everything structural (device shape, ensemble
+// dimensions, predictor kind). The checkpoint must have been produced
+// by a system with a compatible configuration: sensor histories are
+// re-indexed from scratch, ensemble weights and GP hyperparameters are
+// restored by (k, d) match.
+func Load(r io.Reader, cfg Config) (*System, error) {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("smiler: decoding checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("smiler: checkpoint version %d, want %d", cp.Version, checkpointVersion)
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, sc := range cp.Sensors {
+		if err := sys.restoreSensor(sc); err != nil {
+			sys.Close()
+			return nil, fmt.Errorf("smiler: restoring sensor %q: %w", sc.ID, err)
+		}
+	}
+	return sys, nil
+}
+
+// restoreSensor re-adds one sensor from its checkpoint. The history in
+// the checkpoint is already normalized, so it bypasses AddSensor's
+// normalization and reinstates the frozen statistics directly.
+func (s *System) restoreSensor(sc sensorCheckpoint) error {
+	if sc.Normalized != s.cfg.Normalize {
+		return fmt.Errorf("normalization mismatch: checkpoint %v, config %v",
+			sc.Normalized, s.cfg.Normalize)
+	}
+	if s.cfg.Normalize {
+		// Temporarily disable normalization for the raw re-index, then
+		// re-attach the frozen normalizer.
+		raw := s.cfg.Normalize
+		s.cfg.Normalize = false
+		err := s.AddSensor(sc.ID, sc.History)
+		s.cfg.Normalize = raw
+		if err != nil {
+			return err
+		}
+		st, err := s.sensor(sc.ID)
+		if err != nil {
+			return err
+		}
+		// Two points at mean ± std reproduce exactly the frozen
+		// statistics when refit.
+		norm, err := timeseries.NewNormalizer([]float64{sc.Norm.Mean - sc.Norm.Std, sc.Norm.Mean + sc.Norm.Std})
+		if err != nil {
+			return err
+		}
+		st.norm = norm
+	} else {
+		if err := s.AddSensor(sc.ID, sc.History); err != nil {
+			return err
+		}
+	}
+	st, err := s.sensor(sc.ID)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	states := make([]core.CellState, 0, len(sc.Cells))
+	hyperByKD := make(map[[2]int]gp.Hyper, len(sc.Cells))
+	for _, cc := range sc.Cells {
+		states = append(states, cc.State)
+		hyperByKD[[2]int{cc.State.K, cc.State.D}] = cc.Hyper
+	}
+	if err := st.pipe.Ensemble().ImportState(states); err != nil {
+		return err
+	}
+	for _, c := range st.pipe.Ensemble().Cells() {
+		if gpp, ok := c.Pred.(*core.GPPredictor); ok {
+			gpp.SetHyper(hyperByKD[[2]int{c.K, c.D}])
+		}
+	}
+	return nil
+}

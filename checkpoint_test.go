@@ -1,0 +1,160 @@
+package smiler
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	rng := rand.New(rand.NewSource(1))
+	all := noisySeasonal(rng, 460, 10, 100)
+	if err := sys.AddSensor("a", all[:400]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddSensor("b", noisySeasonal(rng, 400, 3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Run some steps so the ensemble weights drift away from uniform.
+	for i := 400; i < 430; i++ {
+		if _, err := sys.Predict("a", 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Observe("a", all[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantWeights, err := sys.EnsembleWeights("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantForecast, err := sys.Predict("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := sys.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := Load(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+
+	ids := restored.Sensors()
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Fatalf("restored sensors = %v", ids)
+	}
+	gotWeights, err := restored.EnsembleWeights("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for kd, w := range wantWeights {
+		if math.Abs(gotWeights[kd]-w) > 1e-9 {
+			t.Fatalf("weight %v: %v vs %v", kd, gotWeights[kd], w)
+		}
+	}
+	gotForecast, err := restored.Predict("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotForecast.Mean-wantForecast.Mean) > 1e-6 {
+		t.Fatalf("restored forecast %v, want %v", gotForecast.Mean, wantForecast.Mean)
+	}
+	if math.Abs(gotForecast.Variance-wantForecast.Variance) > 1e-6 {
+		t.Fatalf("restored variance %v, want %v", gotForecast.Variance, wantForecast.Variance)
+	}
+	// Streaming must keep working on the restored system (raw units).
+	if err := restored.Observe("a", all[430]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointGPHyperSurvives(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Predictor = PredictorGP
+	cfg.EKV = []int{4}
+	cfg.ELV = []int{16}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	rng := rand.New(rand.NewSource(2))
+	all := noisySeasonal(rng, 420, 5, 20)
+	if err := sys.AddSensor("s", all[:400]); err != nil {
+		t.Fatal(err)
+	}
+	// Train the GP warm-start state.
+	for i := 400; i < 405; i++ {
+		if _, err := sys.Predict("s", 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Observe("s", all[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f1, err := sys.Predict("s", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	f2, err := restored.Predict("s", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-started optimization from the same hyperparameters on the
+	// same kNN set must land on the same prediction.
+	if math.Abs(f1.Mean-f2.Mean) > 1e-6 {
+		t.Fatalf("restored GP forecast %v, want %v", f2.Mean, f1.Mean)
+	}
+}
+
+func TestCheckpointErrors(t *testing.T) {
+	cfg := smallConfig()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	if err := sys.AddSensor("s", noisySeasonal(rng, 400, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Normalization mismatch is rejected.
+	badCfg := cfg
+	badCfg.Normalize = false
+	if _, err := Load(bytes.NewReader(buf.Bytes()), badCfg); err == nil {
+		t.Fatal("normalization mismatch should fail")
+	}
+	// Garbage payload is rejected.
+	if _, err := Load(bytes.NewReader([]byte("not a checkpoint")), cfg); err == nil {
+		t.Fatal("garbage payload should fail")
+	}
+	// Saving a closed system fails.
+	sys.Close()
+	if err := sys.SaveTo(&buf); err == nil {
+		t.Fatal("SaveTo after Close should fail")
+	}
+}

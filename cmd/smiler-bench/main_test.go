@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smiler/internal/bench"
+	"smiler/internal/datasets"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("parseInts = %v", got)
+	}
+	if _, err := parseInts(""); err == nil {
+		t.Fatal("empty list should fail")
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Fatal("non-numeric should fail")
+	}
+}
+
+func TestOverrideApply(t *testing.T) {
+	spec := bench.DatasetSpec{
+		Gen:  datasets.Config{Kind: datasets.Mall, Sensors: 4, Duplicates: 2, Days: 21},
+		Warm: 2600, TestSteps: 200,
+	}
+	out := override{}.apply(spec)
+	if out.Gen.Sensors != 4 || out.Warm != 2600 {
+		t.Fatal("zero override must not change the spec")
+	}
+	out = override{sensors: 1, days: 7, warm: 900, testSteps: 10}.apply(spec)
+	if out.Gen.Sensors != 1 || out.Gen.Duplicates != 0 || out.Gen.Days != 7 ||
+		out.Warm != 900 || out.TestSteps != 10 {
+		t.Fatalf("override not applied: %+v", out)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("fig8", "nope", "", 1, "32", "1", override{}); err == nil {
+		t.Fatal("unknown scale should fail")
+	}
+	if err := run("fig8", "small", "", 1, "bad", "1", override{}); err == nil {
+		t.Fatal("bad -ks should fail")
+	}
+	if err := run("fig8", "small", "", 1, "32", "bad", override{}); err == nil {
+		t.Fatal("bad -hs should fail")
+	}
+	if err := run("fig8", "small", "NOPE", 1, "32", "1", override{}); err == nil {
+		t.Fatal("unknown dataset should fail")
+	}
+	if err := run("nope", "small", "ROAD", 1, "32", "1",
+		override{sensors: 1, days: 5, warm: 620, testSteps: 4}); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestRunFig8EndToEnd(t *testing.T) {
+	err := run("fig8", "small", "ROAD", 2, "16", "1",
+		override{sensors: 1, days: 5, warm: 620, testSteps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunMoreExperimentsEndToEnd exercises the remaining CLI arms at a
+// micro scale (AR-only arms stay fast; fig12 includes a couple of GP
+// steps).
+func TestRunMoreExperimentsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI end-to-end is slow")
+	}
+	ov := override{sensors: 1, days: 5, warm: 620, testSteps: 3}
+	for _, exp := range []string{"table3", "ablation", "distance", "downsample", "profile", "fig12"} {
+		if err := run(exp, "small", "ROAD", 2, "16", "1", ov); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunWritesTSV(t *testing.T) {
+	ov := override{sensors: 1, days: 5, warm: 620, testSteps: 3, outDir: t.TempDir()}
+	if err := run("fig7", "small", "ROAD", 2, "16", "1", ov); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(ov.outDir, "road_fig7.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "dataset\tmethod\tk\t") {
+		t.Fatalf("tsv header wrong: %q", string(data[:40]))
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := run("mall", 2, 0, 1, 7, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 1+144 { // header + one day of 10-minute samples
+		t.Fatalf("got %d lines", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	if len(header) != 2 || !strings.HasPrefix(header[0], "MALL-") {
+		t.Fatalf("header = %v", header)
+	}
+	for _, line := range lines[1:] {
+		if len(strings.Split(line, ",")) != 2 {
+			t.Fatalf("ragged row %q", line)
+		}
+	}
+}
+
+func TestRunKindsAndDuplicates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "net.csv")
+	if err := run("net", 1, 3, 1, 1, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := strings.Split(strings.SplitN(string(data), "\n", 2)[0], ",")
+	if len(header) != 3 {
+		t.Fatalf("duplicates not applied: %v", header)
+	}
+	if err := run("road", 1, 0, 1, 1, filepath.Join(t.TempDir(), "r.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", 1, 0, 1, 1, ""); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+	if err := run("road", 0, 0, 1, 1, ""); err == nil {
+		t.Fatal("invalid generator config should fail")
+	}
+	if err := run("road", 1, 0, 1, 1, "/nonexistent-dir/x.csv"); err == nil {
+		t.Fatal("unwritable output should fail")
+	}
+}

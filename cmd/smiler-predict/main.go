@@ -1,0 +1,146 @@
+// Command smiler-predict runs continuous semi-lazy prediction over a
+// CSV of sensor time series (as produced by smiler-datagen, or any
+// file with a header row of sensor ids and one value column per
+// sensor). It streams the tail of the file as "live" observations,
+// printing per-step forecasts with uncertainty and a final error
+// summary.
+//
+// Usage:
+//
+//	smiler-datagen -kind road -sensors 2 -days 10 -o road.csv
+//	smiler-predict -in road.csv -steps 50 -h 1 -predictor gp
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"smiler"
+)
+
+func main() {
+	var (
+		inPath    = flag.String("in", "", "input CSV (header = sensor ids)")
+		steps     = flag.Int("steps", 50, "number of live steps to stream")
+		horizon   = flag.Int("h", 1, "look-ahead steps")
+		predictor = flag.String("predictor", "gp", "predictor: gp|ar")
+		quiet     = flag.Bool("quiet", false, "only print the final summary")
+	)
+	flag.Parse()
+	if err := run(*inPath, *steps, *horizon, *predictor, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "smiler-predict:", err)
+		os.Exit(1)
+	}
+}
+
+func run(inPath string, steps, horizon int, predictor string, quiet bool) error {
+	if inPath == "" {
+		return fmt.Errorf("-in is required (generate one with smiler-datagen)")
+	}
+	ids, cols, err := readCSV(inPath)
+	if err != nil {
+		return err
+	}
+
+	cfg := smiler.DefaultConfig()
+	switch strings.ToLower(predictor) {
+	case "gp":
+		cfg.Predictor = smiler.PredictorGP
+	case "ar":
+		cfg.Predictor = smiler.PredictorAR
+	default:
+		return fmt.Errorf("unknown predictor %q", predictor)
+	}
+	sys, err := smiler.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	n := len(cols[0])
+	need := sys.MinHistory() + steps + horizon
+	if n < need {
+		return fmt.Errorf("need ≥ %d rows for %d live steps (have %d)", need, steps, n)
+	}
+	warm := n - steps - horizon
+	for i, id := range ids {
+		if err := sys.AddSensor(id, cols[i][:warm]); err != nil {
+			return fmt.Errorf("sensor %s: %w", id, err)
+		}
+	}
+	fmt.Printf("loaded %d sensors × %d points; streaming %d steps at h=%d with %s predictors\n",
+		len(ids), n, steps, horizon, strings.ToUpper(predictor))
+
+	absErr := make(map[string]float64, len(ids))
+	for t := 0; t < steps; t++ {
+		fs, err := sys.PredictAll(horizon)
+		if err != nil {
+			return err
+		}
+		for i, id := range ids {
+			truth := cols[i][warm+t-1+horizon]
+			f := fs[id]
+			absErr[id] += math.Abs(f.Mean - truth)
+			if !quiet {
+				lo, hi := f.Interval(1.96)
+				fmt.Printf("step %3d  %-12s forecast %10.3f  95%% [%9.3f, %9.3f]  truth %10.3f\n",
+					t, id, f.Mean, lo, hi, truth)
+			}
+		}
+		for i, id := range ids {
+			if err := sys.Observe(id, cols[i][warm+t]); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Println("\nper-sensor MAE over the streamed window:")
+	for _, id := range ids {
+		fmt.Printf("  %-12s %.4f\n", id, absErr[id]/float64(steps))
+	}
+	used, total := sys.DeviceUsage()
+	fmt.Printf("simulated GPU memory: %d / %d bytes\n", used, total)
+	return nil
+}
+
+// readCSV loads a header + float columns file.
+func readCSV(path string) ([]string, [][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, nil, fmt.Errorf("%s: empty file", path)
+	}
+	ids := strings.Split(strings.TrimSpace(sc.Text()), ",")
+	cols := make([][]float64, len(ids))
+	line := 1
+	for sc.Scan() {
+		line++
+		parts := strings.Split(strings.TrimSpace(sc.Text()), ",")
+		if len(parts) != len(ids) {
+			return nil, nil, fmt.Errorf("%s:%d: %d fields, want %d", path, line, len(parts), len(ids))
+		}
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(p, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s:%d: %w", path, line, err)
+			}
+			cols[i] = append(cols[i], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(cols) == 0 || len(cols[0]) == 0 {
+		return nil, nil, fmt.Errorf("%s: no data rows", path)
+	}
+	return ids, cols, nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadCSV(t *testing.T) {
+	path := writeTemp(t, "a,b\n1,2\n3,4\n")
+	ids, cols, err := readCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Fatalf("ids = %v", ids)
+	}
+	if cols[0][0] != 1 || cols[1][1] != 4 {
+		t.Fatalf("cols = %v", cols)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, _, err := readCSV(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Fatal("missing file should fail")
+	}
+	for name, content := range map[string]string{
+		"empty":       "",
+		"no-rows":     "a,b\n",
+		"ragged":      "a,b\n1\n",
+		"non-numeric": "a\nx\n",
+	} {
+		path := writeTemp(t, content)
+		if _, _, err := readCSV(path); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", 5, 1, "gp", true); err == nil {
+		t.Fatal("missing -in should fail")
+	}
+	path := writeTemp(t, "a\n1\n2\n")
+	if err := run(path, 5, 1, "nope", true); err == nil {
+		t.Fatal("unknown predictor should fail")
+	}
+	if err := run(path, 5, 1, "ar", true); err == nil || !strings.Contains(err.Error(), "rows") {
+		t.Fatalf("short file should fail with row-count error, got %v", err)
+	}
+}
+
+func TestRunEndToEndAR(t *testing.T) {
+	// Synthesize a small but sufficient CSV.
+	var b strings.Builder
+	b.WriteString("s1\n")
+	for i := 0; i < 700; i++ {
+		if i%2 == 0 {
+			b.WriteString("1.0\n")
+		} else {
+			b.WriteString("2.0\n")
+		}
+	}
+	path := writeTemp(t, b.String())
+	if err := run(path, 3, 1, "ar", true); err != nil {
+		t.Fatal(err)
+	}
+}

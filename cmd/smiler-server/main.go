@@ -1,0 +1,148 @@
+// Command smiler-server runs the SMiLer prediction system as an
+// HTTP/JSON service. Sensors are registered and fed over the API (see
+// internal/server for the routes); an optional checkpoint file
+// persists state across restarts.
+//
+// Usage:
+//
+//	smiler-server -addr :8080
+//	smiler-server -addr :8080 -predictor ar -checkpoint state.gob
+//
+// With -checkpoint, state is loaded at startup (if the file exists)
+// and saved on clean shutdown (SIGINT/SIGTERM).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"smiler"
+	"smiler/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		predictor  = flag.String("predictor", "gp", "predictor: gp|ar")
+		devices    = flag.Int("devices", 1, "number of simulated GPUs")
+		maxHistory = flag.Int("max-history", 0, "cap indexed history per sensor (0 = unlimited)")
+		checkpoint = flag.String("checkpoint", "", "checkpoint file (load at start, save at shutdown)")
+		interval   = flag.Duration("interval", 0, "fixed sample interval enabling POST /sensors/{id}/readings (0 = disabled)")
+	)
+	flag.Parse()
+	if err := run(*addr, *predictor, *devices, *maxHistory, *checkpoint, *interval); err != nil {
+		log.Fatal("smiler-server: ", err)
+	}
+}
+
+func run(addr, predictor string, devices, maxHistory int, checkpoint string, interval time.Duration) error {
+	cfg := smiler.DefaultConfig()
+	switch strings.ToLower(predictor) {
+	case "gp":
+		cfg.Predictor = smiler.PredictorGP
+	case "ar":
+		cfg.Predictor = smiler.PredictorAR
+	default:
+		return fmt.Errorf("unknown predictor %q", predictor)
+	}
+	cfg.Devices = devices
+	cfg.MaxHistory = maxHistory
+
+	sys, err := loadOrNew(cfg, checkpoint)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	handler, err := server.NewWithInterval(sys, interval)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("smiler-server: listening on %s (%s predictors, %d device(s))",
+			addr, strings.ToUpper(predictor), devices)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		log.Printf("smiler-server: %v, shutting down", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if checkpoint != "" {
+		if err := saveCheckpoint(sys, checkpoint); err != nil {
+			return fmt.Errorf("saving checkpoint: %w", err)
+		}
+		log.Printf("smiler-server: checkpoint saved to %s", checkpoint)
+	}
+	return <-errCh
+}
+
+// loadOrNew restores the system from a checkpoint when one exists.
+func loadOrNew(cfg smiler.Config, path string) (*smiler.System, error) {
+	if path == "" {
+		return smiler.New(cfg)
+	}
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return smiler.New(cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sys, err := smiler.Load(f, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("loading checkpoint %s: %w", path, err)
+	}
+	log.Printf("smiler-server: restored %d sensor(s) from %s", len(sys.Sensors()), path)
+	return sys, nil
+}
+
+// saveCheckpoint writes atomically via a temp file + rename.
+func saveCheckpoint(sys *smiler.System, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := sys.SaveTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

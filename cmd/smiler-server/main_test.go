@@ -1,0 +1,117 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"smiler"
+)
+
+func smallCfg() smiler.Config {
+	cfg := smiler.DefaultConfig()
+	cfg.Rho = 3
+	cfg.Omega = 8
+	cfg.ELV = []int{16, 24}
+	cfg.EKV = []int{4}
+	cfg.Predictor = smiler.PredictorAR
+	return cfg
+}
+
+func TestLoadOrNewFreshAndMissingFile(t *testing.T) {
+	sys, err := loadOrNew(smallCfg(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+	sys, err = loadOrNew(smallCfg(), filepath.Join(t.TempDir(), "missing.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+}
+
+func TestSaveAndReloadCheckpoint(t *testing.T) {
+	cfg := smallCfg()
+	sys, err := smiler.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := make([]float64, 300)
+	for i := range hist {
+		hist[i] = 10 + 3*math.Sin(2*math.Pi*float64(i)/24)
+	}
+	if err := sys.AddSensor("s", hist); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "state.gob")
+	if err := saveCheckpoint(sys, path); err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file should be renamed away")
+	}
+
+	restored, err := loadOrNew(cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if ids := restored.Sensors(); len(ids) != 1 || ids[0] != "s" {
+		t.Fatalf("restored sensors = %v", ids)
+	}
+	if _, err := restored.Predict("s", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadOrNewCorruptCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.gob")
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadOrNew(smallCfg(), path); err == nil {
+		t.Fatal("corrupt checkpoint should fail")
+	}
+}
+
+func TestRunRejectsBadPredictor(t *testing.T) {
+	if err := run(":0", "nope", 1, 0, "", 0); err == nil {
+		t.Fatal("unknown predictor should fail")
+	}
+}
+
+// TestRunLifecycle drives the real server loop: start, then SIGTERM,
+// then assert a clean shutdown with a written checkpoint.
+func TestRunLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("signal-driven lifecycle test")
+	}
+	path := filepath.Join(t.TempDir(), "state.gob")
+	done := make(chan error, 1)
+	go func() {
+		done <- run("127.0.0.1:0", "ar", 1, 100, path, time.Minute)
+	}()
+	// Give ListenAndServe and signal.Notify time to arm before the
+	// termination signal arrives (otherwise it would kill the test
+	// binary itself).
+	time.Sleep(500 * time.Millisecond)
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+}

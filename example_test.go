@@ -1,0 +1,78 @@
+package smiler_test
+
+import (
+	"fmt"
+	"math"
+
+	"smiler"
+)
+
+// history synthesizes a deterministic daily pattern for the examples.
+func history(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 20 + 5*math.Sin(2*math.Pi*float64(i)/48)
+	}
+	return out
+}
+
+// Example shows the minimal predict/observe loop.
+func Example() {
+	cfg := smiler.DefaultConfig()
+	cfg.Predictor = smiler.PredictorAR // deterministic & fast for the example
+	sys, err := smiler.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	defer sys.Close()
+
+	if err := sys.AddSensor("demo", history(500)); err != nil {
+		panic(err)
+	}
+	f, err := sys.Predict("demo", 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("forecast %.1f (horizon %d)\n", f.Mean, f.Horizon)
+
+	if err := sys.Observe("demo", 22.5); err != nil {
+		panic(err)
+	}
+	// Output:
+	// forecast 22.6 (horizon 1)
+}
+
+// ExampleSystem_PredictHorizons forecasts a ladder of lead times from
+// one shared kNN search.
+func ExampleSystem_PredictHorizons() {
+	cfg := smiler.DefaultConfig()
+	cfg.Predictor = smiler.PredictorAR
+	sys, err := smiler.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	defer sys.Close()
+	if err := sys.AddSensor("demo", history(500)); err != nil {
+		panic(err)
+	}
+	fs, err := sys.PredictHorizons("demo", []int{1, 6, 12})
+	if err != nil {
+		panic(err)
+	}
+	for _, h := range []int{1, 6, 12} {
+		fmt.Printf("h=%-2d mean %.1f\n", h, fs[h].Mean)
+	}
+	// Output:
+	// h=1  mean 22.6
+	// h=6  mean 19.5
+	// h=12 mean 16.2
+}
+
+// ExampleForecast_Interval derives a central credible interval.
+func ExampleForecast_Interval() {
+	f := smiler.Forecast{Mean: 10, Variance: 4, Horizon: 1}
+	lo, hi := f.Interval(1.96)
+	fmt.Printf("%.2f [%.2f, %.2f] σ=%.0f\n", f.Mean, lo, hi, f.StdDev())
+	// Output:
+	// 10.00 [6.08, 13.92] σ=2
+}

@@ -1,0 +1,94 @@
+// Backbone traffic forecasting — the NET scenario: forecast a network
+// link's traffic volume across a ladder of horizons for capacity
+// planning, and inspect how the adaptive ensemble allocates weight
+// (and puts weak predictors to sleep) as the stream evolves.
+//
+//	go run ./examples/netforecast
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"smiler"
+	"smiler/internal/datasets"
+)
+
+const warmPoints = 2600 // ~9 days of 5-minute samples
+
+func main() {
+	series, err := datasets.Generate(datasets.Config{
+		Kind: datasets.Net, Sensors: 1, Days: 10, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	link := series[0]
+
+	sys, err := smiler.New(smiler.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.AddSensor(link.ID(), link.Values()[:warmPoints]); err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream half an hour of live samples so the auto-tuner adapts.
+	const liveSteps = 6
+	var mae, scale float64
+	for t := 0; t < liveSteps; t++ {
+		f, err := sys.Predict(link.ID(), 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth := link.At(warmPoints + t)
+		mae += math.Abs(f.Mean - truth)
+		scale += math.Abs(truth)
+		if err := sys.Observe(link.ID(), truth); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("link %s: 5-minute-ahead relative error %.2f%% over %d live steps\n\n",
+		link.ID(), 100*mae/scale, liveSteps)
+
+	// Capacity-planning ladder: 5 min to 2.5 h ahead, served by one
+	// shared kNN search (PredictHorizons).
+	ladder := []int{1, 3, 6, 12, 30}
+	fs, err := sys.PredictHorizons(link.ID(), ladder)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("horizon   forecast (Gbit)   95% band")
+	for _, h := range ladder {
+		f := fs[h]
+		lo, hi := f.Interval(1.96)
+		fmt.Printf("%4d min   %10.3f      [%.3f, %.3f]\n",
+			5*h, f.Mean/1e9, lo/1e9, hi/1e9)
+	}
+
+	// Where did the auto-tuner put its trust?
+	w, err := sys.EnsembleWeights(link.ID())
+	if err != nil {
+		log.Fatal(err)
+	}
+	type kv struct {
+		k, d int
+		w    float64
+	}
+	var cells []kv
+	for kd, v := range w {
+		cells = append(cells, kv{kd[0], kd[1], v})
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].w > cells[j].w })
+	fmt.Println("\nensemble weights (sleeping cells show 0):")
+	for _, c := range cells {
+		bar := ""
+		for i := 0; i < int(c.w*40); i++ {
+			bar += "#"
+		}
+		fmt.Printf("  k=%2d d=%2d  %.3f %s\n", c.k, c.d, c.w, bar)
+	}
+}

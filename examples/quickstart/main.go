@@ -1,0 +1,72 @@
+// Quickstart: the minimal SMiLer workflow — register a sensor with
+// some history, forecast ahead, stream observations, repeat.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"smiler"
+)
+
+func main() {
+	// A synthetic sensor: a daily pattern with noise (48 samples/day).
+	rng := rand.New(rand.NewSource(42))
+	signal := func(t int) float64 {
+		return 20 + 5*math.Sin(2*math.Pi*float64(t)/48) + rng.NormFloat64()*0.3
+	}
+	history := make([]float64, 1000)
+	for t := range history {
+		history[t] = signal(t)
+	}
+
+	// Build the system with the paper's default configuration:
+	// ρ=8, ω=16, a 3×3 ensemble of GP predictors over
+	// EKV={8,16,32} × ELV={32,64,96}, z-normalization on.
+	sys, err := smiler.New(smiler.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	if err := sys.AddSensor("demo", history); err != nil {
+		log.Fatal(err)
+	}
+
+	// Continuous prediction: forecast one step ahead, observe the
+	// truth, let the ensemble self-tune, repeat.
+	fmt.Println("step | forecast           | 95% interval        | truth")
+	var mae float64
+	const steps = 10
+	for t := 0; t < steps; t++ {
+		f, err := sys.Predict("demo", 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth := signal(len(history) + t)
+		lo, hi := f.Interval(1.96)
+		fmt.Printf("%4d | %7.3f ± %-6.3f | [%7.3f, %7.3f] | %7.3f\n",
+			t, f.Mean, f.StdDev(), lo, hi, truth)
+		mae += math.Abs(f.Mean - truth)
+
+		if err := sys.Observe("demo", truth); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\nMAE over %d steps: %.4f\n", steps, mae/steps)
+
+	// The ensemble weights reveal which (k, d) configuration the
+	// auto-tuner currently trusts for this sensor.
+	w, err := sys.EnsembleWeights("demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nensemble weights (k, d) -> λ:")
+	for kd, v := range w {
+		fmt.Printf("  (k=%2d, d=%2d) -> %.3f\n", kd[0], kd[1], v)
+	}
+}

@@ -1,0 +1,97 @@
+// Service example — run SMiLer behind the HTTP API: an in-process
+// server hosts the prediction system while a typed client registers
+// sensors, streams observations and pulls forecasts, exactly as a
+// fleet of sensor gateways would over the network.
+//
+//	go run ./examples/service
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+
+	"smiler"
+	"smiler/internal/server"
+)
+
+func main() {
+	cfg := smiler.DefaultConfig()
+	cfg.Predictor = smiler.PredictorAR // keep the demo snappy
+	sys, err := smiler.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	handler, err := server.New(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	fmt.Println("service listening at", ts.URL)
+
+	client, err := server.NewClient(ts.URL, ts.Client())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.Healthz(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A gateway registers two sensors with their history.
+	rng := rand.New(rand.NewSource(7))
+	signal := func(id, t int) float64 {
+		return 100*float64(id+1) + 15*math.Sin(2*math.Pi*float64(t)/48) + rng.NormFloat64()
+	}
+	const warm = 600
+	for id := 0; id < 2; id++ {
+		hist := make([]float64, warm)
+		for t := range hist {
+			hist[t] = signal(id, t)
+		}
+		if err := client.AddSensor(fmt.Sprintf("gateway-%d", id), hist); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ids, err := client.Sensors()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("registered sensors:", ids)
+
+	// Live loop over the API: forecast, then stream the truth.
+	for t := 0; t < 5; t++ {
+		for id := 0; id < 2; id++ {
+			name := fmt.Sprintf("gateway-%d", id)
+			f, err := client.Forecast(name, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			truth := signal(id, warm+t)
+			fmt.Printf("step %d %s: forecast %.2f in [%.2f, %.2f], truth %.2f\n",
+				t, name, f.Mean, f.Lo, f.Hi, truth)
+			if err := client.Observe(name, truth); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	st, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsystem: %d sensors, %d/%d device bytes\n",
+		st.Sensors, st.DeviceUsed, st.DeviceTotal)
+	cells, err := client.Ensemble("gateway-0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("gateway-0 ensemble weights:")
+	for _, c := range cells {
+		fmt.Printf("  k=%2d d=%2d -> %.3f\n", c.K, c.D, c.Weight)
+	}
+}

@@ -1,0 +1,3 @@
+module smiler
+
+go 1.22

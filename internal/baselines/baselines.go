@@ -1,0 +1,113 @@
+// Package baselines reimplements the ten competitors the paper
+// evaluates SMiLer against (Section 6.3.1), in pure Go:
+//
+// Offline (eager) learners, trained once on segment→label pairs:
+//
+//   - PSGP — projected/sparse Gaussian Process with M "active points"
+//     (subset-of-data projection, DTC predictive equations) [25, 9].
+//   - VLGP — sparse GP with variationally-motivated inducing point
+//     selection (greedy farthest-point coverage stands in for the
+//     Titsias bound maximization) [65].
+//   - NysSVR — kernel regression with a rank-r Nyström feature map
+//     (squared loss replaces the ε-insensitive loss; the predictive
+//     family and the low-rank bottleneck are what the comparison
+//     exercises) [69].
+//   - SgdSVR — linear ε-insensitive SVR trained by SGD [75].
+//   - SgdRR — linear robust (Huber) regression trained by SGD [59].
+//
+// Online learners, updated as the stream arrives:
+//
+//   - LazyKNN — kNN regression weighted by inverse DTW distance [4].
+//   - FullHW / SegHW — additive Holt-Winters on the full history or a
+//     trailing window [71, 38].
+//   - OnlineSVR / OnlineRR — the linear models above in one-pass SGD
+//     form [14].
+//
+// Variance estimates for the non-probabilistic models follow the
+// paper's practice of deriving a confidence from training residuals
+// (libSVM's error-distribution fit): a Gaussian with the residual
+// variance.
+package baselines
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Prediction is a Gaussian predictive summary (mean, variance).
+type Prediction struct {
+	Mean     float64
+	Variance float64
+}
+
+// Regressor is an offline (eager) model trained once on input/target
+// pairs.
+type Regressor interface {
+	// Name identifies the method in experiment tables.
+	Name() string
+	// Train fits the model; x rows are feature vectors (time series
+	// segments), y the h-step-ahead labels.
+	Train(x [][]float64, y []float64) error
+	// Predict evaluates the trained model.
+	Predict(x []float64) (Prediction, error)
+}
+
+// OnlineRegressor is a model updated one observation at a time.
+type OnlineRegressor interface {
+	Name() string
+	// Update folds one (segment, label) pair into the model.
+	Update(x []float64, y float64) error
+	// Predict evaluates the current model.
+	Predict(x []float64) (Prediction, error)
+}
+
+// Common errors.
+var (
+	ErrNotTrained = errors.New("baselines: model not trained")
+	ErrNoData     = errors.New("baselines: empty training set")
+	ErrDims       = errors.New("baselines: dimension mismatch")
+)
+
+func checkTraining(x [][]float64, y []float64) (dim int, err error) {
+	if len(x) == 0 || len(y) == 0 {
+		return 0, ErrNoData
+	}
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("%w: %d inputs vs %d targets", ErrDims, len(x), len(y))
+	}
+	dim = len(x[0])
+	for i := range x {
+		if len(x[i]) != dim {
+			return 0, fmt.Errorf("%w: row %d", ErrDims, i)
+		}
+	}
+	return dim, nil
+}
+
+// varFloor keeps residual-based variances positive.
+const varFloor = 1e-9
+
+// SegmentDataset converts a raw series into the supervised pairs
+// (segment of length d ending at t, value at t+h) that the offline
+// models train on. maxPairs ≤ 0 means "all"; otherwise the most recent
+// maxPairs pairs are kept (eager learners in the paper train on the
+// full history).
+func SegmentDataset(series []float64, d, h, maxPairs int) (x [][]float64, y []float64, err error) {
+	if d <= 0 || h <= 0 {
+		return nil, nil, fmt.Errorf("baselines: d=%d h=%d must be positive", d, h)
+	}
+	n := len(series)
+	first := 0
+	last := n - d - h // segment start s covers [s, s+d), label at s+d-1+h
+	if last < first {
+		return nil, nil, fmt.Errorf("%w: series of %d points has no (d=%d,h=%d) pairs", ErrNoData, n, d, h)
+	}
+	if maxPairs > 0 && last-first+1 > maxPairs {
+		first = last - maxPairs + 1
+	}
+	for s := first; s <= last; s++ {
+		x = append(x, series[s:s+d])
+		y = append(y, series[s+d-1+h])
+	}
+	return x, y, nil
+}

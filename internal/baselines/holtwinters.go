@@ -1,0 +1,172 @@
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// HoltWinters is additive triple exponential smoothing with a daily
+// season [71, 38] — the paper's statistical-regression baseline.
+// "FullHW" refits on the entire history before every prediction;
+// "SegHW" refits on a trailing window (the paper uses 10 days). The
+// smoothing constants (α, β, γ) are chosen by minimizing one-step
+// squared error over a coarse grid, mirroring the R forecast package's
+// SSE optimization.
+type HoltWinters struct {
+	// Period is the season length in samples (one day).
+	Period int
+	// Window limits fitting to the trailing Window points; 0 = full
+	// history.
+	Window int
+
+	name string
+
+	// Fitted state.
+	alpha, beta, gamma float64
+	level, trend       float64
+	season             []float64
+	seasonIdx          int
+	resVar             float64
+	trained            bool
+}
+
+// NewFullHW builds the full-history variant for the given daily period.
+func NewFullHW(period int) *HoltWinters {
+	return &HoltWinters{Period: period, name: "FullHW"}
+}
+
+// NewSegHW builds the windowed variant fitting on the last `days` days.
+func NewSegHW(period, days int) *HoltWinters {
+	return &HoltWinters{Period: period, Window: period * days, name: "SegHW"}
+}
+
+// Name identifies the variant.
+func (hw *HoltWinters) Name() string { return hw.name }
+
+// hwState is the smoothing recursion state for one (α,β,γ) candidate.
+type hwState struct {
+	level, trend float64
+	season       []float64
+	idx          int
+}
+
+func initState(series []float64, period int) (hwState, error) {
+	if len(series) < 2*period {
+		return hwState{}, fmt.Errorf("%w: need ≥ 2 periods (%d points), have %d",
+			ErrNoData, 2*period, len(series))
+	}
+	var m1, m2 float64
+	for i := 0; i < period; i++ {
+		m1 += series[i]
+		m2 += series[period+i]
+	}
+	m1 /= float64(period)
+	m2 /= float64(period)
+	st := hwState{
+		level:  m1,
+		trend:  (m2 - m1) / float64(period),
+		season: make([]float64, period),
+	}
+	for i := 0; i < period; i++ {
+		st.season[i] = series[i] - m1
+	}
+	return st, nil
+}
+
+// run smooths the series from the initial state, returning the sum of
+// squared one-step errors and the final state.
+func run(series []float64, period int, a, b, g float64, st hwState) (float64, hwState) {
+	var sse float64
+	for t := period; t < len(series); t++ {
+		si := t % period
+		forecast := st.level + st.trend + st.season[si]
+		err := series[t] - forecast
+		sse += err * err
+		prevLevel := st.level
+		st.level = a*(series[t]-st.season[si]) + (1-a)*(st.level+st.trend)
+		st.trend = b*(st.level-prevLevel) + (1-b)*st.trend
+		st.season[si] = g*(series[t]-st.level) + (1-g)*st.season[si]
+		st.idx = t
+	}
+	return sse, st
+}
+
+// Fit estimates (α,β,γ) on the series (or its trailing window) and
+// leaves the model positioned at the end of the series.
+func (hw *HoltWinters) Fit(series []float64) error {
+	if hw.Period <= 1 {
+		return fmt.Errorf("baselines: Holt-Winters period %d must be > 1", hw.Period)
+	}
+	data := series
+	if hw.Window > 0 && len(data) > hw.Window {
+		data = data[len(data)-hw.Window:]
+	}
+	init, err := initState(data, hw.Period)
+	if err != nil {
+		return err
+	}
+	grid := []float64{0.05, 0.2, 0.5, 0.8}
+	bestSSE := math.Inf(1)
+	var bestState hwState
+	for _, a := range grid {
+		for _, b := range grid {
+			for _, g := range grid {
+				st := init
+				st.season = append([]float64(nil), init.season...)
+				sse, end := run(data, hw.Period, a, b, g, st)
+				if sse < bestSSE {
+					bestSSE = sse
+					hw.alpha, hw.beta, hw.gamma = a, b, g
+					bestState = end
+				}
+			}
+		}
+	}
+	if math.IsInf(bestSSE, 1) {
+		return errors.New("baselines: Holt-Winters grid search failed")
+	}
+	hw.level = bestState.level
+	hw.trend = bestState.trend
+	hw.season = bestState.season
+	hw.seasonIdx = bestState.idx
+	steps := len(data) - hw.Period
+	if steps < 1 {
+		steps = 1
+	}
+	hw.resVar = bestSSE / float64(steps)
+	if hw.resVar < varFloor {
+		hw.resVar = varFloor
+	}
+	hw.trained = true
+	return nil
+}
+
+// Forecast predicts h steps past the end of the fitted data. The
+// variance uses the standard additive Holt-Winters forecast-error
+// recursion: Var_h = σ̂²·(1 + Σ_{j=1}^{h−1} c_j²) with
+// c_j = α(1+jβ) + γ·1{j ≡ 0 mod period}.
+func (hw *HoltWinters) Forecast(h int) (Prediction, error) {
+	if !hw.trained {
+		return Prediction{}, ErrNotTrained
+	}
+	if h <= 0 {
+		return Prediction{}, fmt.Errorf("baselines: horizon %d must be positive", h)
+	}
+	si := (hw.seasonIdx + h) % hw.Period
+	mean := hw.level + float64(h)*hw.trend + hw.season[si]
+	v := 1.0
+	for j := 1; j < h; j++ {
+		c := hw.alpha * (1 + float64(j)*hw.beta)
+		if j%hw.Period == 0 {
+			c += hw.gamma
+		}
+		v += c * c
+	}
+	return Prediction{Mean: mean, Variance: hw.resVar * v}, nil
+}
+
+// Params returns the fitted smoothing constants.
+func (hw *HoltWinters) Params() (alpha, beta, gamma float64) {
+	return hw.alpha, hw.beta, hw.gamma
+}

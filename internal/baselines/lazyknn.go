@@ -1,0 +1,74 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"smiler/internal/scan"
+)
+
+// LazyKNN is the classic lazy-learning baseline [4]: retrieve the k
+// nearest historical segments of the query under banded DTW and
+// average their h-step-ahead labels weighted by inverse DTW distance.
+// The predictive variance is the weighted variance of the neighbour
+// labels (Section 6.3.1).
+type LazyKNN struct {
+	// K is the neighbour count (paper Table 2 uses up to 32).
+	K int
+	// D is the query segment length.
+	D int
+	// Rho is the DTW warping width.
+	Rho int
+}
+
+// NewLazyKNN builds the baseline with the paper's defaults (k=32,
+// d=64, ρ=8).
+func NewLazyKNN() *LazyKNN { return &LazyKNN{K: 32, D: 64, Rho: 8} }
+
+// Name identifies the method.
+func (*LazyKNN) Name() string { return "LazyKNN" }
+
+// Predict forecasts the value h steps after the end of history: the
+// query is the trailing D points, neighbours come from a pruned CPU
+// scan, labels are read h steps after each neighbour segment.
+func (l *LazyKNN) Predict(history []float64, h int) (Prediction, error) {
+	if l.K <= 0 || l.D <= 0 || l.Rho < 0 {
+		return Prediction{}, fmt.Errorf("baselines: invalid LazyKNN config %+v", *l)
+	}
+	if h <= 0 {
+		return Prediction{}, fmt.Errorf("baselines: horizon %d must be positive", h)
+	}
+	if len(history) < l.D+l.Rho {
+		return Prediction{}, fmt.Errorf("%w: history of %d points for d=%d", ErrNoData, len(history), l.D)
+	}
+	query := history[len(history)-l.D:]
+	nbrs, _, err := scan.FastCPUScan(history, query, l.Rho, l.K, h)
+	if err != nil {
+		return Prediction{}, err
+	}
+	if len(nbrs) == 0 {
+		return Prediction{}, fmt.Errorf("%w: no neighbours with valid labels", ErrNoData)
+	}
+	const eps = 1e-6
+	var wsum, mean float64
+	weights := make([]float64, len(nbrs))
+	labels := make([]float64, len(nbrs))
+	for i, nb := range nbrs {
+		w := 1 / (math.Sqrt(nb.Dist) + eps)
+		weights[i] = w
+		labels[i] = history[nb.T+l.D-1+h]
+		wsum += w
+		mean += w * labels[i]
+	}
+	mean /= wsum
+	var variance float64
+	for i := range labels {
+		d := labels[i] - mean
+		variance += weights[i] * d * d
+	}
+	variance /= wsum
+	if variance < varFloor {
+		variance = varFloor
+	}
+	return Prediction{Mean: mean, Variance: variance}, nil
+}

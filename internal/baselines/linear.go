@@ -1,0 +1,184 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+)
+
+// lossKind selects the per-sample loss of the linear SGD models.
+type lossKind int
+
+const (
+	lossEpsInsensitive lossKind = iota // SVR: max(0, |err|−ε)
+	lossHuber                          // robust regression
+)
+
+// linearModel is the shared core of the four linear baselines: a
+// linear predictor w·x + b trained by stochastic gradient descent on
+// either the ε-insensitive (SVR) or Huber (robust regression) loss
+// with L2 regularization. The offline variants run several epochs;
+// the online variants fold in one sample per Update call.
+type linearModel struct {
+	name string
+	loss lossKind
+
+	// Hyperparameters (zero values are replaced by defaults in init).
+	Epsilon float64 // SVR tube half-width
+	Delta   float64 // Huber transition point
+	Lambda  float64 // L2 regularization strength
+	LR      float64 // base learning rate
+	Epochs  int     // offline passes over the data
+
+	w       []float64
+	bias    float64
+	dim     int
+	trained bool
+
+	// Residual-variance tracking for the Gaussian confidence estimate.
+	resVar float64
+	seen   int
+}
+
+func (m *linearModel) defaults() {
+	if m.Epsilon == 0 {
+		m.Epsilon = 0.05
+	}
+	if m.Delta == 0 {
+		m.Delta = 1.0
+	}
+	if m.Lambda == 0 {
+		m.Lambda = 1e-4
+	}
+	if m.LR == 0 {
+		m.LR = 0.05
+	}
+	if m.Epochs == 0 {
+		m.Epochs = 10
+	}
+}
+
+// Name implements Regressor/OnlineRegressor.
+func (m *linearModel) Name() string { return m.name }
+
+func (m *linearModel) raw(x []float64) float64 {
+	var s float64
+	for i, v := range x {
+		s += m.w[i] * v
+	}
+	return s + m.bias
+}
+
+// gradientScale returns dLoss/dPrediction for residual err = pred − y.
+func (m *linearModel) gradientScale(err float64) float64 {
+	switch m.loss {
+	case lossEpsInsensitive:
+		switch {
+		case err > m.Epsilon:
+			return 1
+		case err < -m.Epsilon:
+			return -1
+		default:
+			return 0
+		}
+	default: // Huber
+		if err > m.Delta {
+			return m.Delta
+		}
+		if err < -m.Delta {
+			return -m.Delta
+		}
+		return err
+	}
+}
+
+// step performs one SGD update with learning rate lr.
+func (m *linearModel) step(x []float64, y, lr float64) {
+	err := m.raw(x) - y
+	g := m.gradientScale(err)
+	decay := 1 - lr*m.Lambda
+	for i := range m.w {
+		m.w[i] = m.w[i]*decay - lr*g*x[i]
+	}
+	m.bias -= lr * g
+	// Exponentially-weighted residual variance for the confidence
+	// estimate (the libSVM-style error fit).
+	m.seen++
+	alpha := 1 / math.Min(float64(m.seen), 200)
+	m.resVar = (1-alpha)*m.resVar + alpha*err*err
+}
+
+// Train implements Regressor: multi-epoch SGD with a 1/t learning-rate
+// decay.
+func (m *linearModel) Train(x [][]float64, y []float64) error {
+	dim, err := checkTraining(x, y)
+	if err != nil {
+		return err
+	}
+	m.defaults()
+	m.dim = dim
+	m.w = make([]float64, dim)
+	m.bias = 0
+	m.resVar = 0
+	m.seen = 0
+	t := 0
+	for e := 0; e < m.Epochs; e++ {
+		for i := range x {
+			t++
+			// Per-epoch 1/t decay: large early steps, fine late steps.
+			lr := m.LR / (1 + float64(t)/float64(len(x)))
+			m.step(x[i], y[i], lr)
+		}
+	}
+	m.trained = true
+	return nil
+}
+
+// Update implements OnlineRegressor: a single constant-rate SGD step.
+func (m *linearModel) Update(x []float64, y float64) error {
+	m.defaults()
+	if m.w == nil {
+		m.dim = len(x)
+		m.w = make([]float64, m.dim)
+	}
+	if len(x) != m.dim {
+		return fmt.Errorf("%w: got %d features, want %d", ErrDims, len(x), m.dim)
+	}
+	m.step(x, y, m.LR/4)
+	m.trained = true
+	return nil
+}
+
+// Predict implements Regressor/OnlineRegressor.
+func (m *linearModel) Predict(x []float64) (Prediction, error) {
+	if !m.trained {
+		return Prediction{}, ErrNotTrained
+	}
+	if len(x) != m.dim {
+		return Prediction{}, fmt.Errorf("%w: got %d features, want %d", ErrDims, len(x), m.dim)
+	}
+	v := m.resVar
+	if v < varFloor {
+		v = varFloor
+	}
+	return Prediction{Mean: m.raw(x), Variance: v}, nil
+}
+
+// NewSgdSVR returns the offline linear ε-insensitive SVR baseline.
+func NewSgdSVR() *linearModel {
+	return &linearModel{name: "SgdSVR", loss: lossEpsInsensitive}
+}
+
+// NewSgdRR returns the offline linear robust-regression baseline.
+func NewSgdRR() *linearModel {
+	return &linearModel{name: "SgdRR", loss: lossHuber}
+}
+
+// NewOnlineSVR returns the one-pass online SVR baseline.
+func NewOnlineSVR() *linearModel {
+	return &linearModel{name: "OnlineSVR", loss: lossEpsInsensitive}
+}
+
+// NewOnlineRR returns the one-pass online robust-regression baseline.
+func NewOnlineRR() *linearModel {
+	return &linearModel{name: "OnlineRR", loss: lossHuber}
+}

@@ -1,0 +1,110 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+)
+
+// Persistence is the no-model reference: the h-step-ahead forecast is
+// the last observed value. Every serious method must beat it; the
+// harness uses it to sanity-check the corpora (a dataset where nothing
+// beats persistence carries no learnable structure).
+type Persistence struct {
+	resVar float64
+	seen   int
+	last   float64
+	has    bool
+}
+
+// NewPersistence builds the baseline.
+func NewPersistence() *Persistence { return &Persistence{} }
+
+// Name identifies the method.
+func (*Persistence) Name() string { return "Persistence" }
+
+// Observe feeds the next value.
+func (p *Persistence) Observe(v float64) {
+	if p.has {
+		e := v - p.last
+		p.seen++
+		alpha := 1 / math.Min(float64(p.seen), 200)
+		p.resVar = (1-alpha)*p.resVar + alpha*e*e
+	}
+	p.last = v
+	p.has = true
+}
+
+// Forecast predicts h steps ahead: the last value, with a random-walk
+// variance h·σ̂² estimated from the one-step increments.
+func (p *Persistence) Forecast(h int) (Prediction, error) {
+	if !p.has {
+		return Prediction{}, ErrNotTrained
+	}
+	if h <= 0 {
+		return Prediction{}, fmt.Errorf("baselines: horizon %d must be positive", h)
+	}
+	v := p.resVar * float64(h)
+	if v < varFloor {
+		v = varFloor
+	}
+	return Prediction{Mean: p.last, Variance: v}, nil
+}
+
+// SeasonalNaive forecasts the value one season ago: ŷ(t+h) = y(t+h−m),
+// the strongest trivial baseline on periodic sensor data.
+type SeasonalNaive struct {
+	// Period is the season length m in samples.
+	Period int
+
+	buf    []float64 // ring of the last Period values
+	n      int       // total values observed
+	resVar float64
+	seen   int
+}
+
+// NewSeasonalNaive builds the baseline with season length m.
+func NewSeasonalNaive(period int) *SeasonalNaive {
+	return &SeasonalNaive{Period: period}
+}
+
+// Name identifies the method.
+func (*SeasonalNaive) Name() string { return "SeasonalNaive" }
+
+// Observe feeds the next value.
+func (s *SeasonalNaive) Observe(v float64) error {
+	if s.Period <= 0 {
+		return fmt.Errorf("baselines: seasonal-naive period %d must be positive", s.Period)
+	}
+	if s.buf == nil {
+		s.buf = make([]float64, s.Period)
+	}
+	if s.n >= s.Period {
+		e := v - s.buf[s.n%s.Period]
+		s.seen++
+		alpha := 1 / math.Min(float64(s.seen), 200)
+		s.resVar = (1-alpha)*s.resVar + alpha*e*e
+	}
+	s.buf[s.n%s.Period] = v
+	s.n++
+	return nil
+}
+
+// Forecast predicts h steps ahead (1 ≤ h ≤ Period) from the stored
+// season.
+func (s *SeasonalNaive) Forecast(h int) (Prediction, error) {
+	if s.n < s.Period {
+		return Prediction{}, fmt.Errorf("%w: need a full season (%d points), have %d",
+			ErrNotTrained, s.Period, s.n)
+	}
+	if h <= 0 || h > s.Period {
+		return Prediction{}, fmt.Errorf("baselines: horizon %d outside [1, %d]", h, s.Period)
+	}
+	// The last observation has time index n−1, so the forecast target
+	// t+h−Period = n−1+h−Period lives at ring slot (n−1+h) mod Period.
+	idx := (s.n - 1 + h) % s.Period
+	v := s.resVar
+	if v < varFloor {
+		v = varFloor
+	}
+	return Prediction{Mean: s.buf[idx], Variance: v}, nil
+}

@@ -1,0 +1,132 @@
+package baselines
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestPersistence(t *testing.T) {
+	p := NewPersistence()
+	if p.Name() != "Persistence" {
+		t.Fatal("name wrong")
+	}
+	if _, err := p.Forecast(1); !errors.Is(err, ErrNotTrained) {
+		t.Fatalf("err = %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		p.Observe(float64(i % 3))
+	}
+	f, err := p.Forecast(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Mean != float64(49%3) {
+		t.Fatalf("mean = %v", f.Mean)
+	}
+	if f.Variance <= 0 {
+		t.Fatal("variance must be positive")
+	}
+	// Random-walk variance grows linearly with h.
+	f5, _ := p.Forecast(5)
+	if math.Abs(f5.Variance-5*f.Variance) > 1e-9 {
+		t.Fatalf("variance should scale with h: %v vs %v", f5.Variance, f.Variance)
+	}
+	if _, err := p.Forecast(0); err == nil {
+		t.Fatal("h=0 should fail")
+	}
+}
+
+func TestSeasonalNaive(t *testing.T) {
+	const m = 8
+	s := NewSeasonalNaive(m)
+	if s.Name() != "SeasonalNaive" {
+		t.Fatal("name wrong")
+	}
+	if _, err := s.Forecast(1); !errors.Is(err, ErrNotTrained) {
+		t.Fatalf("err = %v", err)
+	}
+	// Perfectly periodic data: the forecast is exact for every h.
+	wave := func(i int) float64 { return math.Sin(2 * math.Pi * float64(i) / m) }
+	n := 0
+	for ; n < 3*m; n++ {
+		if err := s.Observe(wave(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for h := 1; h <= m; h++ {
+		f, err := s.Forecast(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(f.Mean-wave(n-1+h)) > 1e-12 {
+			t.Fatalf("h=%d: forecast %v, want %v", h, f.Mean, wave(n-1+h))
+		}
+		if f.Variance <= 0 {
+			t.Fatal("variance must be positive")
+		}
+	}
+	if _, err := s.Forecast(0); err == nil {
+		t.Fatal("h=0 should fail")
+	}
+	if _, err := s.Forecast(m + 1); err == nil {
+		t.Fatal("h beyond period should fail")
+	}
+	bad := NewSeasonalNaive(0)
+	if err := bad.Observe(1); err == nil {
+		t.Fatal("period 0 should fail")
+	}
+}
+
+func TestLazyKNNBootstrap(t *testing.T) {
+	n := 1500
+	series := make([]float64, n)
+	for i := range series {
+		series[i] = math.Sin(2*math.Pi*float64(i)/48) + 0.05*math.Cos(float64(i)*1.7)
+	}
+	b := &LazyKNNBootstrap{K: 8, D: 32, Rho: 4, B: 50, Seed: 3}
+	if b.Name() != "LazyKNN-Bootstrap" {
+		t.Fatal("name wrong")
+	}
+	p, err := b.Predict(series[:n-1], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Mean-series[n-1]) > 0.15 {
+		t.Fatalf("predicted %v, truth %v", p.Mean, series[n-1])
+	}
+	if p.Variance <= 0 {
+		t.Fatal("variance must be positive")
+	}
+	// The bootstrap mean should agree with the plain LazyKNN mean
+	// (same neighbour pool), while the variance construction differs.
+	plain := &LazyKNN{K: 8, D: 32, Rho: 4}
+	pp, err := plain.Predict(series[:n-1], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Mean-pp.Mean) > 0.1 {
+		t.Fatalf("bootstrap mean %v far from plain %v", p.Mean, pp.Mean)
+	}
+	// Determinism under a fixed seed.
+	p2, err := b.Predict(series[:n-1], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mean != p2.Mean || p.Variance != p2.Variance {
+		t.Fatal("bootstrap should be deterministic under a fixed seed")
+	}
+	// Error paths.
+	if _, err := b.Predict(series[:10], 1); err == nil {
+		t.Fatal("short history should fail")
+	}
+	if _, err := b.Predict(series, 0); err == nil {
+		t.Fatal("h=0 should fail")
+	}
+	if _, err := (&LazyKNNBootstrap{}).Predict(series, 1); err == nil {
+		t.Fatal("zero config should fail")
+	}
+	if NewLazyKNNBootstrap().B != 100 {
+		t.Fatal("default config wrong")
+	}
+}

@@ -1,0 +1,223 @@
+package baselines
+
+import (
+	"fmt"
+
+	"smiler/internal/gp"
+	"smiler/internal/mat"
+)
+
+// InducingStrategy selects the sparse GP's inducing (active) points.
+type InducingStrategy int
+
+const (
+	// InducingSubsample takes an even subsample of the training set —
+	// the PSGP-style projection onto "active points".
+	InducingSubsample InducingStrategy = iota
+	// InducingFarthest greedily picks mutually distant training points
+	// (farthest-point traversal) — a cheap stand-in for variational
+	// inducing-point optimization (VLGP).
+	InducingFarthest
+)
+
+// SparseGP is a low-rank Gaussian Process: the Deterministic Training
+// Conditional approximation conditioned on m inducing points. Both
+// PSGP and VLGP instantiate it, differing in the inducing selection.
+// Its training cost is O(n·m²), the knob Fig. 13 sweeps.
+type SparseGP struct {
+	name     string
+	M        int // number of inducing/active points
+	Strategy InducingStrategy
+
+	hyper    gp.Hyper
+	inducing [][]float64
+	alpha    []float64     // Q⁻¹·K_mn·y / σ²
+	cholKmm  *mat.Cholesky // for the explained-variance term
+	cholQ    *mat.Cholesky // Q = K_mm + K_mn·K_nm/σ²
+	dim      int
+	trained  bool
+}
+
+// NewPSGP builds a projected sparse GP with m active points [25].
+func NewPSGP(m int) *SparseGP {
+	return &SparseGP{name: "PSGP", M: m, Strategy: InducingSubsample}
+}
+
+// NewVLGP builds a sparse GP with variational-style inducing point
+// selection and m inducing inputs [65].
+func NewVLGP(m int) *SparseGP {
+	return &SparseGP{name: "VLGP", M: m, Strategy: InducingFarthest}
+}
+
+// Name implements Regressor.
+func (s *SparseGP) Name() string { return s.name }
+
+// Train implements Regressor.
+func (s *SparseGP) Train(x [][]float64, y []float64) error {
+	dim, err := checkTraining(x, y)
+	if err != nil {
+		return err
+	}
+	if s.M <= 0 {
+		return fmt.Errorf("baselines: %s needs a positive number of inducing points, got %d", s.name, s.M)
+	}
+	s.dim = dim
+	s.hyper = gp.HeuristicHyper(x, y)
+
+	m := s.M
+	if m > len(x) {
+		m = len(x)
+	}
+	switch s.Strategy {
+	case InducingFarthest:
+		s.inducing = farthestPoints(x, m)
+	default:
+		s.inducing = subsample(x, m)
+	}
+
+	sigma2 := s.hyper.Noise * s.hyper.Noise
+	kmm := mat.NewDense(m, m)
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			v := s.hyper.Cov(s.inducing[i], s.inducing[j])
+			if i == j {
+				v += 1e-8 // jitter
+			}
+			kmm.Set(i, j, v)
+			kmm.Set(j, i, v)
+		}
+	}
+	// Accumulate A = K_mn·K_nm and b = K_mn·y in one pass over the
+	// training data: O(n·m²), the dominant cost.
+	a := mat.NewDense(m, m)
+	b := make([]float64, m)
+	kcol := make([]float64, m)
+	for t := range x {
+		for i := 0; i < m; i++ {
+			kcol[i] = s.hyper.Cov(s.inducing[i], x[t])
+		}
+		for i := 0; i < m; i++ {
+			arow := a.Row(i)
+			ki := kcol[i]
+			for j := 0; j < m; j++ {
+				arow[j] += ki * kcol[j]
+			}
+			b[i] += ki * y[t]
+		}
+	}
+	q := kmm.Clone()
+	for i := 0; i < m; i++ {
+		qrow := q.Row(i)
+		arow := a.Row(i)
+		for j := 0; j < m; j++ {
+			qrow[j] += arow[j] / sigma2
+		}
+	}
+	cholQ, err := mat.NewCholesky(q)
+	if err != nil {
+		return fmt.Errorf("baselines: %s Q factorization: %w", s.name, err)
+	}
+	cholKmm, err := mat.NewCholesky(kmm)
+	if err != nil {
+		return fmt.Errorf("baselines: %s K_mm factorization: %w", s.name, err)
+	}
+	alpha, err := cholQ.SolveVec(b)
+	if err != nil {
+		return err
+	}
+	for i := range alpha {
+		alpha[i] /= sigma2
+	}
+	s.alpha = alpha
+	s.cholQ = cholQ
+	s.cholKmm = cholKmm
+	s.trained = true
+	return nil
+}
+
+// Predict implements Regressor with the DTC predictive equations:
+// mean = k*ᵀα, var = k** − k*ᵀK_mm⁻¹k* + k*ᵀQ⁻¹k* + σ².
+func (s *SparseGP) Predict(x []float64) (Prediction, error) {
+	if !s.trained {
+		return Prediction{}, ErrNotTrained
+	}
+	if len(x) != s.dim {
+		return Prediction{}, fmt.Errorf("%w: got %d features, want %d", ErrDims, len(x), s.dim)
+	}
+	m := len(s.inducing)
+	ks := make([]float64, m)
+	for i := 0; i < m; i++ {
+		ks[i] = s.hyper.Cov(s.inducing[i], x)
+	}
+	mean := mat.Dot(ks, s.alpha)
+	vk, err := s.cholKmm.SolveVec(ks)
+	if err != nil {
+		return Prediction{}, err
+	}
+	vq, err := s.cholQ.SolveVec(ks)
+	if err != nil {
+		return Prediction{}, err
+	}
+	prior := s.hyper.Signal * s.hyper.Signal
+	variance := prior - mat.Dot(ks, vk) + mat.Dot(ks, vq) + s.hyper.Noise*s.hyper.Noise
+	if variance < varFloor {
+		variance = varFloor
+	}
+	return Prediction{Mean: mean, Variance: variance}, nil
+}
+
+// subsample takes m evenly spaced rows.
+func subsample(x [][]float64, m int) [][]float64 {
+	out := make([][]float64, 0, m)
+	if m >= len(x) {
+		return append(out, x...)
+	}
+	step := float64(len(x)) / float64(m)
+	for i := 0; i < m; i++ {
+		out = append(out, x[int(float64(i)*step)])
+	}
+	return out
+}
+
+// farthestPoints greedily picks m mutually distant rows (2-approx of
+// the k-center objective), giving the inducing set broad coverage.
+func farthestPoints(x [][]float64, m int) [][]float64 {
+	n := len(x)
+	if m >= n {
+		return append([][]float64(nil), x...)
+	}
+	chosen := make([]int, 0, m)
+	chosen = append(chosen, 0)
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = sqDist(x[i], x[0])
+	}
+	for len(chosen) < m {
+		best, bestD := -1, -1.0
+		for i, d := range minDist {
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		chosen = append(chosen, best)
+		for i := range minDist {
+			if d := sqDist(x[i], x[best]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	out := make([][]float64, m)
+	for i, idx := range chosen {
+		out[i] = x[idx]
+	}
+	return out
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

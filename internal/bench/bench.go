@@ -1,0 +1,116 @@
+// Package bench is the experiment harness: for every table and figure
+// in the paper's evaluation (Section 6) it provides a runner that
+// regenerates the corresponding rows/series on the synthetic corpora,
+// plus text formatting for the CLI. Scales are reduced so everything
+// runs on a laptop-class CPU; EXPERIMENTS.md records how the measured
+// shapes compare with the paper's.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"smiler/internal/datasets"
+	"smiler/internal/timeseries"
+)
+
+// DatasetSpec describes one evaluation corpus instance.
+type DatasetSpec struct {
+	Name string
+	Gen  datasets.Config
+	// Warm is the number of points used as initial history; the rest
+	// of each series is the continuous-prediction test stream.
+	Warm int
+	// TestSteps caps the number of continuous steps evaluated.
+	TestSteps int
+}
+
+// Scale selects how big the experiment corpora are.
+type Scale int
+
+const (
+	// ScaleSmall is sized for unit tests and -bench runs (seconds).
+	ScaleSmall Scale = iota
+	// ScaleMedium is sized for the CLI harness (minutes).
+	ScaleMedium
+)
+
+// Suite returns ROAD/MALL/NET dataset specs at the given scale.
+func Suite(s Scale) []DatasetSpec {
+	switch s {
+	case ScaleMedium:
+		return []DatasetSpec{
+			{Name: "ROAD", Gen: datasets.Config{Kind: datasets.Road, Sensors: 8, Days: 21, Seed: 11}, Warm: 2600, TestSteps: 200},
+			{Name: "MALL", Gen: datasets.Config{Kind: datasets.Mall, Sensors: 4, Duplicates: 2, Days: 21, Seed: 12}, Warm: 2600, TestSteps: 200},
+			{Name: "NET", Gen: datasets.Config{Kind: datasets.Net, Sensors: 1, Duplicates: 8, Days: 14, Seed: 13}, Warm: 3600, TestSteps: 200},
+		}
+	default:
+		return []DatasetSpec{
+			{Name: "ROAD", Gen: datasets.Config{Kind: datasets.Road, Sensors: 2, Days: 7, Seed: 11}, Warm: 880, TestSteps: 40},
+			{Name: "MALL", Gen: datasets.Config{Kind: datasets.Mall, Sensors: 2, Days: 7, Seed: 12}, Warm: 880, TestSteps: 40},
+			{Name: "NET", Gen: datasets.Config{Kind: datasets.Net, Sensors: 2, Days: 4, Seed: 13}, Warm: 1000, TestSteps: 40},
+		}
+	}
+}
+
+// Corpus is a generated and z-normalized dataset ready for evaluation.
+// All methods consume the same normalized space, so MAE/MNLPD are
+// directly comparable (the paper z-normalizes every sensor).
+type Corpus struct {
+	Spec   DatasetSpec
+	Series [][]float64 // normalized full series, one per sensor
+	IDs    []string
+}
+
+// Load generates and normalizes the corpus. Normalization statistics
+// come from the warm prefix only, so the test stream is unseen.
+func Load(spec DatasetSpec) (*Corpus, error) {
+	ss, err := datasets.Generate(spec.Gen)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Warm <= 0 {
+		return nil, fmt.Errorf("bench: warm %d must be positive", spec.Warm)
+	}
+	c := &Corpus{Spec: spec}
+	for _, s := range ss {
+		vals := s.Values()
+		if len(vals) <= spec.Warm {
+			return nil, fmt.Errorf("bench: series %s has %d points, warm is %d", s.ID(), len(vals), spec.Warm)
+		}
+		norm, err := timeseries.NewNormalizer(vals[:spec.Warm])
+		if err != nil {
+			return nil, err
+		}
+		z := make([]float64, len(vals))
+		for i, v := range vals {
+			z[i] = norm.Apply(v)
+		}
+		c.Series = append(c.Series, z)
+		c.IDs = append(c.IDs, s.ID())
+	}
+	return c, nil
+}
+
+// TestLen returns the usable number of continuous test steps for a
+// series given the horizon cap (the truth for step t at horizon h must
+// exist inside the series).
+func (c *Corpus) TestLen(series []float64, maxH int) int {
+	n := len(series) - c.Spec.Warm - maxH
+	if n > c.Spec.TestSteps {
+		n = c.Spec.TestSteps
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Timer measures wall-clock segments.
+type Timer struct{ start time.Time }
+
+// StartTimer begins timing.
+func StartTimer() Timer { return Timer{start: time.Now()} }
+
+// Seconds returns the elapsed wall-clock seconds.
+func (t Timer) Seconds() float64 { return time.Since(t.start).Seconds() }

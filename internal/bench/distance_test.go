@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunDistanceMeasureAblation(t *testing.T) {
+	c := tinyCorpus(t)
+	rows, err := RunDistanceMeasureAblation(c, 4, 8, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]DistanceRow{}
+	for _, r := range rows {
+		if r.Samples == 0 || r.MAE < 0 {
+			t.Fatalf("malformed row %+v", r)
+		}
+		byName[r.Measure] = r
+	}
+	for _, want := range []string{"DTW", "Euclidean", "LCSS", "ERP", "EDR"} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("missing measure %s", want)
+		}
+	}
+	// The paper's motivating claim: DTW-kNN is competitive with every
+	// alternative. Allow a small tolerance at this tiny scale.
+	for _, r := range rows {
+		if byName["DTW"].MAE > r.MAE*1.25 {
+			t.Fatalf("DTW (%v) should be competitive with %s (%v)",
+				byName["DTW"].MAE, r.Measure, r.MAE)
+		}
+	}
+	if !strings.Contains(FormatDistanceAblation(rows), "EDR") {
+		t.Fatal("format output incomplete")
+	}
+	if _, err := RunDistanceMeasureAblation(c, 0, 8, 32, 1); err == nil {
+		t.Fatal("steps=0 should fail")
+	}
+}
+
+func TestRunDownsampleTradeoff(t *testing.T) {
+	c := tinyCorpus(t)
+	rows, err := RunDownsampleTradeoff(c, []float64{1.0, 0.5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	full, half := rows[0], rows[1]
+	if half.PerSensorBytes >= full.PerSensorBytes {
+		t.Fatalf("downsampled footprint %d should be < full %d",
+			half.PerSensorBytes, full.PerSensorBytes)
+	}
+	if half.MaxSensors <= full.MaxSensors {
+		t.Fatalf("downsampled capacity %d should be > full %d",
+			half.MaxSensors, full.MaxSensors)
+	}
+	if half.MAE <= 0 || full.MAE <= 0 {
+		t.Fatal("MAE must be positive")
+	}
+	if !strings.Contains(FormatDownsample(rows), "max sensors") {
+		t.Fatal("format output incomplete")
+	}
+	if _, err := RunDownsampleTradeoff(c, nil, 4); err == nil {
+		t.Fatal("empty fractions should fail")
+	}
+	if _, err := RunDownsampleTradeoff(c, []float64{2}, 4); err == nil {
+		t.Fatal("fraction > 1 should fail")
+	}
+	if _, err := RunDownsampleTradeoff(c, []float64{0.5}, 0); err == nil {
+		t.Fatal("steps=0 should fail")
+	}
+}
+
+func TestTSVWritersAndSave(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteTSV(&buf, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}}); err != nil {
+		t.Fatal(err)
+	}
+	want := "a\tb\n1\t2\n3\t4\n"
+	if buf.String() != want {
+		t.Fatalf("WriteTSV = %q", buf.String())
+	}
+	if err := WriteTSV(&buf, nil, nil); err == nil {
+		t.Fatal("empty header should fail")
+	}
+	if err := WriteTSV(&buf, []string{"a"}, [][]string{{"1", "2"}}); err == nil {
+		t.Fatal("ragged row should fail")
+	}
+
+	h, rows := Fig7TSV([]Fig7Row{{Dataset: "ROAD", Method: MethodSMiLerIdx, K: 32, WallSec: 0.5, SimSec: 0.1}})
+	if len(h) != 5 || len(rows) != 1 || rows[0][1] != "SMiLer-Idx" {
+		t.Fatalf("Fig7TSV = %v %v", h, rows)
+	}
+	h, rows = AccuracyTSV([]AccuracyRow{{Dataset: "NET", Method: MSMiLerGP, H: 5, MAE: 0.1, MNLPD: 0.2, Coverage95: 0.9, Samples: 7}})
+	if len(h) != 7 || rows[0][2] != "5" || rows[0][5] != "0.900" {
+		t.Fatalf("AccuracyTSV = %v %v", h, rows)
+	}
+	h, rows = Fig13TSV([]Fig13Row{{Dataset: "MALL", ActivePoints: 16, TrainSecPer: 1, PSGPMae: 2, SMiLerGPMae: 3}})
+	if len(h) != 5 || rows[0][1] != "16" {
+		t.Fatalf("Fig13TSV = %v %v", h, rows)
+	}
+	h, rows = Table3TSV([]Table3Row{{Dataset: "ROAD", Bound: 0, VerifyWallSec: 1, VerifySimSec: 2, Unfiltered: 3.4}})
+	if len(h) != 5 || rows[0][4] != "3.4" {
+		t.Fatalf("Table3TSV = %v %v", h, rows)
+	}
+
+	dir := t.TempDir()
+	path := dir + "/sub/series.tsv"
+	if err := SaveTSV(path, []string{"x"}, [][]string{{"1"}}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "x\n1\n" {
+		t.Fatalf("saved %q", data)
+	}
+}

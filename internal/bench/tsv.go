@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteTSV writes a header plus rows as tab-separated values — the
+// format gnuplot/pandas ingest directly, so the paper's figures can be
+// re-plotted from harness output.
+func WriteTSV(w io.Writer, header []string, rows [][]string) error {
+	if len(header) == 0 {
+		return fmt.Errorf("bench: empty TSV header")
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, "\t")); err != nil {
+		return err
+	}
+	for i, r := range rows {
+		if len(r) != len(header) {
+			return fmt.Errorf("bench: TSV row %d has %d cells, header has %d", i, len(r), len(header))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(r, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveTSV writes a TSV file, creating parent directories.
+func SaveTSV(path string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTSV(f, header, rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Fig7TSV converts Fig. 7 rows into a plottable series (one row per
+// method × k).
+func Fig7TSV(rows []Fig7Row) (header []string, out [][]string) {
+	header = []string{"dataset", "method", "k", "wall_sec", "sim_sec"}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset, string(r.Method), fmt.Sprint(r.K), f6(r.WallSec), f6(r.SimSec),
+		})
+	}
+	return header, out
+}
+
+// AccuracyTSV converts accuracy rows (Figs. 9–11) into long-format
+// series: one row per (method, horizon).
+func AccuracyTSV(rows []AccuracyRow) (header []string, out [][]string) {
+	header = []string{"dataset", "method", "h", "mae", "mnlpd", "coverage95", "samples"}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset, r.Method, fmt.Sprint(r.H), f6(r.MAE), f6(r.MNLPD),
+			f3(r.Coverage95), fmt.Sprint(r.Samples),
+		})
+	}
+	return header, out
+}
+
+// Fig13TSV converts the PSGP sweep.
+func Fig13TSV(rows []Fig13Row) (header []string, out [][]string) {
+	header = []string{"dataset", "active_points", "train_sec_per_sensor", "psgp_mae", "smiler_gp_mae"}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset, fmt.Sprint(r.ActivePoints), f6(r.TrainSecPer), f6(r.PSGPMae), f6(r.SMiLerGPMae),
+		})
+	}
+	return header, out
+}
+
+// Table3TSV converts the lower-bound ablation.
+func Table3TSV(rows []Table3Row) (header []string, out [][]string) {
+	header = []string{"dataset", "bound", "verify_wall_sec", "verify_sim_sec", "unfiltered_per_query"}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset, r.Bound.String(), f6(r.VerifyWallSec), f6(r.VerifySimSec),
+			fmt.Sprintf("%.1f", r.Unfiltered),
+		})
+	}
+	return header, out
+}

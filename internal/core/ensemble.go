@@ -1,0 +1,377 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Cell is one entry λ_{i,j} of the ensemble matrix (Eqn. 2): a
+// predictor bound to a specific (k, d) pair plus its adaptive weight
+// and sleep state.
+type Cell struct {
+	K    int // number of nearest neighbours (from EKV)
+	D    int // item query length (from ELV)
+	Pred Predictor
+
+	weight float64
+
+	// Sleep & recovery state (Section 5.1.2).
+	sleeping   bool
+	sleepLeft  int // steps remaining before recovery
+	sleepSpan  int // ς_{i,j}: the adaptive sleep duration
+	wokeLately bool
+}
+
+// Weight returns the cell's current normalized ensemble weight (zero
+// while sleeping).
+func (c *Cell) Weight() float64 {
+	if c.sleeping {
+		return 0
+	}
+	return c.weight
+}
+
+// Sleeping reports whether the cell is currently asleep.
+func (c *Cell) Sleeping() bool { return c.sleeping }
+
+// SleepSpan returns the adaptive sleep duration ς.
+func (c *Cell) SleepSpan() int { return c.sleepSpan }
+
+// EnsembleConfig tunes the auto-tuning behaviour; zero value = the
+// paper's full mechanism.
+type EnsembleConfig struct {
+	// DisableAdaptation freezes the weights at uniform — the
+	// "SMiLerNS" ablation of Fig. 11 (ensemble without self-adaptive
+	// prediction).
+	DisableAdaptation bool
+	// DisableSleep turns off the sleep-and-recovery scheduler.
+	DisableSleep bool
+}
+
+// Ensemble is the matrix of semi-lazy predictors f_{i,j} with the
+// adaptive auto-tuning mechanism: the final prediction is the
+// λ-weighted mixture of the per-cell posteriors (Eqn. 3), the weights
+// are exponentially-smoothed posterior probabilities of the cells
+// (Eqns. 6–9), and persistently weak cells sleep with doubling
+// backoff (Section 5.1.2).
+type Ensemble struct {
+	cells []*Cell
+	cfg   EnsembleConfig
+	eta   float64 // sleep threshold η = 1/(2·n·m)
+}
+
+// NewEnsemble builds the m×n ensemble over EKV × ELV; factory is
+// called once per cell so stateful predictors (GP warm starts) stay
+// cell-local. Weights start uniform.
+func NewEnsemble(ekv, elv []int, factory PredictorFactory, cfg EnsembleConfig) (*Ensemble, error) {
+	if len(ekv) == 0 || len(elv) == 0 {
+		return nil, errors.New("core: empty EKV or ELV")
+	}
+	for _, k := range ekv {
+		if k <= 0 {
+			return nil, fmt.Errorf("core: non-positive k=%d in EKV", k)
+		}
+	}
+	for _, d := range elv {
+		if d <= 0 {
+			return nil, fmt.Errorf("core: non-positive d=%d in ELV", d)
+		}
+	}
+	if factory == nil {
+		return nil, errors.New("core: nil predictor factory")
+	}
+	e := &Ensemble{cfg: cfg}
+	total := len(ekv) * len(elv)
+	e.eta = 1 / (2 * float64(total))
+	w := 1 / float64(total)
+	for _, k := range ekv {
+		for _, d := range elv {
+			e.cells = append(e.cells, &Cell{
+				K: k, D: d, Pred: factory(), weight: w, sleepSpan: 1,
+			})
+		}
+	}
+	return e, nil
+}
+
+// Cells returns the ensemble cells (callers must not mutate them).
+func (e *Ensemble) Cells() []*Cell { return e.cells }
+
+// Eta returns the sleep threshold η.
+func (e *Ensemble) Eta() float64 { return e.eta }
+
+// MaxK returns the largest k of any cell — the k the Suffix kNN Search
+// must retrieve so every cell can take its prefix.
+func (e *Ensemble) MaxK() int {
+	mx := 0
+	for _, c := range e.cells {
+		if c.K > mx {
+			mx = c.K
+		}
+	}
+	return mx
+}
+
+// CellPrediction pairs a cell with its posterior for one step.
+type CellPrediction struct {
+	Cell *Cell
+	Pred Prediction
+}
+
+// Mix combines per-cell predictions into the ensemble posterior
+// (Eqn. 3). The mixture of Gaussians is summarized by its exact first
+// two moments: mean = Σwᵤ·uᵢ, variance = Σw·(σᵢ²+uᵢ²) − mean².
+func (e *Ensemble) Mix(preds []CellPrediction) (Prediction, error) {
+	var wsum float64
+	for _, cp := range preds {
+		if cp.Cell.sleeping {
+			continue
+		}
+		wsum += cp.Cell.weight
+	}
+	if wsum <= 0 {
+		return Prediction{}, errors.New("core: no awake predictors to mix")
+	}
+	var mean, second float64
+	for _, cp := range preds {
+		if cp.Cell.sleeping {
+			continue
+		}
+		w := cp.Cell.weight / wsum
+		mean += w * cp.Pred.Mean
+		second += w * (cp.Pred.Variance + cp.Pred.Mean*cp.Pred.Mean)
+	}
+	variance := second - mean*mean
+	if variance < varianceFloor {
+		variance = varianceFloor
+	}
+	return Prediction{Mean: mean, Variance: variance}, nil
+}
+
+// Update adjusts the ensemble after the true value y is observed,
+// given the per-cell predictions that were made for that time step:
+// each awake cell's weight absorbs its normalized likelihood
+// (Eqns. 8–9), then the sleep scheduler runs. Sleeping cells tick
+// toward recovery; cells that recover re-enter at weight η.
+func (e *Ensemble) Update(preds []CellPrediction, y float64) {
+	if !e.cfg.DisableAdaptation {
+		e.reweight(preds, y)
+	}
+	if !e.cfg.DisableSleep {
+		e.schedule()
+	}
+}
+
+// reweight implements Eqns. 6–9: λ̄ᵢⱼ = λᵢⱼ + lᵢⱼ/Σl, then renormalize
+// over the awake cells.
+func (e *Ensemble) reweight(preds []CellPrediction, y float64) {
+	var lsum float64
+	lik := make([]float64, len(preds))
+	for i, cp := range preds {
+		if cp.Cell.sleeping || !cp.Pred.Valid() {
+			continue
+		}
+		l := math.Exp(cp.Pred.LogLikelihood(y))
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			l = 0
+		}
+		lik[i] = l
+		lsum += l
+	}
+	if lsum > 0 {
+		for i, cp := range preds {
+			if cp.Cell.sleeping {
+				continue
+			}
+			cp.Cell.weight += lik[i] / lsum
+		}
+	}
+	e.normalize()
+}
+
+// normalize rescales the awake cells' weights to sum to one.
+func (e *Ensemble) normalize() {
+	var sum float64
+	for _, c := range e.cells {
+		if !c.sleeping {
+			sum += c.weight
+		}
+	}
+	if sum <= 0 {
+		// Degenerate: reset awake cells to uniform.
+		var awake int
+		for _, c := range e.cells {
+			if !c.sleeping {
+				awake++
+			}
+		}
+		if awake == 0 {
+			return
+		}
+		w := 1 / float64(awake)
+		for _, c := range e.cells {
+			if !c.sleeping {
+				c.weight = w
+			}
+		}
+		return
+	}
+	for _, c := range e.cells {
+		if !c.sleeping {
+			c.weight /= sum
+		}
+	}
+}
+
+// schedule runs the sleep/recovery pass: weak awake cells go to sleep
+// (with ς doubling if they fell straight back asleep after a
+// recovery), sleeping cells tick toward recovery, and recovered cells
+// re-enter at weight η (after normalization).
+func (e *Ensemble) schedule() {
+	// 1. Tick sleepers and collect recoveries.
+	var recovered []*Cell
+	for _, c := range e.cells {
+		if !c.sleeping {
+			continue
+		}
+		c.sleepLeft--
+		if c.sleepLeft <= 0 {
+			c.sleeping = false
+			c.wokeLately = true
+			recovered = append(recovered, c)
+		}
+	}
+
+	// 2. Put weak awake cells to sleep — but never the last one.
+	awake := 0
+	for _, c := range e.cells {
+		if !c.sleeping {
+			awake++
+		}
+	}
+	slept := false
+	for _, c := range e.cells {
+		if c.sleeping || awake <= 1 {
+			continue
+		}
+		if c.wokeLately && containsCell(recovered, c) {
+			// Freshly recovered this step; give it one step to prove
+			// itself before it can be re-evaluated.
+			continue
+		}
+		if c.weight < e.eta {
+			c.sleeping = true
+			if c.wokeLately {
+				// Fell back asleep right after recovery: double ς.
+				c.sleepSpan *= 2
+			}
+			c.wokeLately = false
+			c.sleepLeft = c.sleepSpan
+			awake--
+			slept = true
+		} else if c.wokeLately {
+			// Survived the step after recovery: start halving ς.
+			c.sleepSpan /= 2
+			if c.sleepSpan < 1 {
+				c.sleepSpan = 1
+			}
+			if c.sleepSpan == 1 {
+				c.wokeLately = false
+			}
+		} else if c.sleepSpan > 1 {
+			c.sleepSpan /= 2
+		}
+	}
+
+	// 3. Re-admit recovered cells: Section 5.1.2 gives each recovered
+	// predictor pre-normalization weight η/(1−κη), which after
+	// normalization is exactly η. Equivalently: rescale the incumbents
+	// to total 1−κη and set each recovered cell to η.
+	if len(recovered) > 0 {
+		kappa := float64(len(recovered))
+		target := 1 - kappa*e.eta
+		if target < e.eta {
+			target = e.eta // pathological κ: keep weights positive
+		}
+		var sumOthers float64
+		for _, c := range e.cells {
+			if !c.sleeping && !containsCell(recovered, c) {
+				sumOthers += c.weight
+			}
+		}
+		if sumOthers > 0 {
+			scale := target / sumOthers
+			for _, c := range e.cells {
+				if !c.sleeping && !containsCell(recovered, c) {
+					c.weight *= scale
+				}
+			}
+		}
+		for _, c := range recovered {
+			c.weight = e.eta
+		}
+		slept = true // force the final renormalization below
+	}
+	if slept {
+		e.normalize()
+	}
+}
+
+// CellState is the serializable auto-tuning state of one cell, used by
+// checkpointing.
+type CellState struct {
+	K, D       int
+	Weight     float64
+	Sleeping   bool
+	SleepLeft  int
+	SleepSpan  int
+	WokeLately bool
+}
+
+// ExportState captures every cell's auto-tuning state in cell order.
+func (e *Ensemble) ExportState() []CellState {
+	out := make([]CellState, len(e.cells))
+	for i, c := range e.cells {
+		out[i] = CellState{
+			K: c.K, D: c.D, Weight: c.weight, Sleeping: c.sleeping,
+			SleepLeft: c.sleepLeft, SleepSpan: c.sleepSpan, WokeLately: c.wokeLately,
+		}
+	}
+	return out
+}
+
+// ImportState restores auto-tuning state captured by ExportState.
+// States are matched to cells by (K, D); unknown states are ignored
+// and unmatched cells keep their current state.
+func (e *Ensemble) ImportState(states []CellState) error {
+	byKD := make(map[[2]int]CellState, len(states))
+	for _, st := range states {
+		if st.SleepSpan < 1 || st.Weight < 0 {
+			return fmt.Errorf("core: invalid cell state %+v", st)
+		}
+		byKD[[2]int{st.K, st.D}] = st
+	}
+	for _, c := range e.cells {
+		st, ok := byKD[[2]int{c.K, c.D}]
+		if !ok {
+			continue
+		}
+		c.weight = st.Weight
+		c.sleeping = st.Sleeping
+		c.sleepLeft = st.SleepLeft
+		c.sleepSpan = st.SleepSpan
+		c.wokeLately = st.WokeLately
+	}
+	e.normalize()
+	return nil
+}
+
+func containsCell(cs []*Cell, c *Cell) bool {
+	for _, x := range cs {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func arFactory() Predictor { return NewAR() }
+
+func newTestEnsemble(t *testing.T, cfg EnsembleConfig) *Ensemble {
+	t.Helper()
+	e, err := NewEnsemble([]int{4, 8}, []int{16, 32}, arFactory, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func awakeWeightSum(e *Ensemble) float64 {
+	var s float64
+	for _, c := range e.Cells() {
+		s += c.Weight()
+	}
+	return s
+}
+
+func TestNewEnsembleErrors(t *testing.T) {
+	if _, err := NewEnsemble(nil, []int{16}, arFactory, EnsembleConfig{}); err == nil {
+		t.Fatal("empty EKV")
+	}
+	if _, err := NewEnsemble([]int{4}, nil, arFactory, EnsembleConfig{}); err == nil {
+		t.Fatal("empty ELV")
+	}
+	if _, err := NewEnsemble([]int{0}, []int{16}, arFactory, EnsembleConfig{}); err == nil {
+		t.Fatal("k=0")
+	}
+	if _, err := NewEnsemble([]int{4}, []int{0}, arFactory, EnsembleConfig{}); err == nil {
+		t.Fatal("d=0")
+	}
+	if _, err := NewEnsemble([]int{4}, []int{16}, nil, EnsembleConfig{}); err == nil {
+		t.Fatal("nil factory")
+	}
+}
+
+func TestNewEnsembleShape(t *testing.T) {
+	e := newTestEnsemble(t, EnsembleConfig{})
+	if len(e.Cells()) != 4 {
+		t.Fatalf("cells = %d, want 4", len(e.Cells()))
+	}
+	if e.MaxK() != 8 {
+		t.Fatalf("MaxK = %d", e.MaxK())
+	}
+	if math.Abs(e.Eta()-1.0/8) > 1e-12 {
+		t.Fatalf("eta = %v, want 1/8", e.Eta())
+	}
+	for _, c := range e.Cells() {
+		if math.Abs(c.Weight()-0.25) > 1e-12 {
+			t.Fatalf("initial weight %v, want 0.25", c.Weight())
+		}
+		if c.Sleeping() || c.SleepSpan() != 1 {
+			t.Fatal("initial sleep state wrong")
+		}
+	}
+}
+
+func TestMixMoments(t *testing.T) {
+	e, err := NewEnsemble([]int{1}, []int{1, 2}, arFactory, EnsembleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := e.Cells()
+	preds := []CellPrediction{
+		{Cell: cells[0], Pred: Prediction{Mean: 0, Variance: 1}},
+		{Cell: cells[1], Pred: Prediction{Mean: 2, Variance: 1}},
+	}
+	mixed, err := e.Mix(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mixed.Mean-1) > 1e-12 {
+		t.Fatalf("mixture mean = %v, want 1", mixed.Mean)
+	}
+	// Second moment: ½(1+0) + ½(1+4) = 3 ⇒ var = 3 − 1 = 2.
+	if math.Abs(mixed.Variance-2) > 1e-12 {
+		t.Fatalf("mixture variance = %v, want 2", mixed.Variance)
+	}
+}
+
+func TestMixNoAwake(t *testing.T) {
+	e := newTestEnsemble(t, EnsembleConfig{})
+	for _, c := range e.Cells() {
+		c.sleeping = true
+	}
+	if _, err := e.Mix(nil); err == nil {
+		t.Fatal("expected error with no awake predictors")
+	}
+}
+
+func TestUpdateShiftsWeightTowardAccuratePredictor(t *testing.T) {
+	e := newTestEnsemble(t, EnsembleConfig{DisableSleep: true})
+	cells := e.Cells()
+	for step := 0; step < 10; step++ {
+		preds := []CellPrediction{
+			{Cell: cells[0], Pred: Prediction{Mean: 1, Variance: 0.1}},  // accurate
+			{Cell: cells[1], Pred: Prediction{Mean: 9, Variance: 0.1}},  // way off
+			{Cell: cells[2], Pred: Prediction{Mean: 5, Variance: 10}},   // vague
+			{Cell: cells[3], Pred: Prediction{Mean: -3, Variance: 0.1}}, // way off
+		}
+		e.Update(preds, 1.0)
+	}
+	if cells[0].Weight() <= cells[1].Weight() ||
+		cells[0].Weight() <= cells[2].Weight() ||
+		cells[0].Weight() <= cells[3].Weight() {
+		t.Fatalf("accurate cell should dominate: %v %v %v %v",
+			cells[0].Weight(), cells[1].Weight(), cells[2].Weight(), cells[3].Weight())
+	}
+	if math.Abs(awakeWeightSum(e)-1) > 1e-9 {
+		t.Fatalf("weights must stay normalized, got %v", awakeWeightSum(e))
+	}
+}
+
+func TestDisableAdaptationFreezesWeights(t *testing.T) {
+	e := newTestEnsemble(t, EnsembleConfig{DisableAdaptation: true, DisableSleep: true})
+	cells := e.Cells()
+	preds := []CellPrediction{
+		{Cell: cells[0], Pred: Prediction{Mean: 1, Variance: 0.1}},
+		{Cell: cells[1], Pred: Prediction{Mean: 100, Variance: 0.1}},
+	}
+	for i := 0; i < 5; i++ {
+		e.Update(preds, 1.0)
+	}
+	for _, c := range cells {
+		if math.Abs(c.Weight()-0.25) > 1e-12 {
+			t.Fatalf("weight drifted to %v with adaptation disabled", c.Weight())
+		}
+	}
+}
+
+func TestSleepAndRecovery(t *testing.T) {
+	e := newTestEnsemble(t, EnsembleConfig{})
+	cells := e.Cells()
+	badCell := cells[1]
+	push := func(steps int) {
+		for s := 0; s < steps; s++ {
+			var preds []CellPrediction
+			for i, c := range cells {
+				if c.Sleeping() {
+					continue
+				}
+				mean := 1.0
+				if i == 1 {
+					mean = 50 // consistently terrible
+				}
+				preds = append(preds, CellPrediction{Cell: c, Pred: Prediction{Mean: mean, Variance: 0.1}})
+			}
+			e.Update(preds, 1.0)
+		}
+	}
+	push(2)
+	if !badCell.Sleeping() {
+		t.Fatal("persistently bad cell should be asleep")
+	}
+	// It sleeps for ς=1 step, then recovers at weight η.
+	push(1)
+	if badCell.Sleeping() {
+		t.Fatal("cell should have recovered after its sleep span")
+	}
+	if math.Abs(badCell.Weight()-e.Eta()) > 1e-6 {
+		t.Fatalf("recovered weight %v, want η=%v", badCell.Weight(), e.Eta())
+	}
+	// Still terrible: next update puts it back to sleep and doubles ς.
+	push(1)
+	if !badCell.Sleeping() {
+		t.Fatal("cell should be back asleep")
+	}
+	if badCell.SleepSpan() != 2 {
+		t.Fatalf("sleep span = %d, want 2 after immediate re-sleep", badCell.SleepSpan())
+	}
+	if math.Abs(awakeWeightSum(e)-1) > 1e-9 {
+		t.Fatalf("weights must stay normalized, got %v", awakeWeightSum(e))
+	}
+}
+
+func TestSleepNeverKillsLastPredictor(t *testing.T) {
+	e, err := NewEnsemble([]int{1}, []int{16}, arFactory, EnsembleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.Cells()[0]
+	for i := 0; i < 10; i++ {
+		e.Update([]CellPrediction{{Cell: c, Pred: Prediction{Mean: 99, Variance: 0.1}}}, 0)
+	}
+	if c.Sleeping() {
+		t.Fatal("the only predictor must never sleep")
+	}
+}
+
+// Property: after arbitrary update sequences, awake weights are a
+// probability distribution and sleep spans stay ≥ 1.
+func TestQuickEnsembleInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e, err := NewEnsemble([]int{2, 4, 8}, []int{8, 16}, arFactory, EnsembleConfig{})
+		if err != nil {
+			return false
+		}
+		for step := 0; step < 40; step++ {
+			var preds []CellPrediction
+			for _, c := range e.Cells() {
+				if c.Sleeping() {
+					continue
+				}
+				preds = append(preds, CellPrediction{
+					Cell: c,
+					Pred: Prediction{Mean: rng.NormFloat64() * 5, Variance: 0.05 + rng.Float64()},
+				})
+			}
+			e.Update(preds, rng.NormFloat64())
+			var sum float64
+			awake := 0
+			for _, c := range e.Cells() {
+				if c.SleepSpan() < 1 {
+					return false
+				}
+				if !c.Sleeping() {
+					awake++
+					if c.Weight() < 0 {
+						return false
+					}
+					sum += c.Weight()
+				}
+			}
+			if awake == 0 {
+				return false
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnsembleStateRoundTrip(t *testing.T) {
+	e := newTestEnsemble(t, EnsembleConfig{})
+	cells := e.Cells()
+	// Drive some asymmetry and a sleeping cell.
+	for i := 0; i < 6; i++ {
+		var preds []CellPrediction
+		for j, c := range cells {
+			if c.Sleeping() {
+				continue
+			}
+			mean := 1.0
+			if j == 2 {
+				mean = 40
+			}
+			preds = append(preds, CellPrediction{Cell: c, Pred: Prediction{Mean: mean, Variance: 0.1}})
+		}
+		e.Update(preds, 1)
+	}
+	states := e.ExportState()
+	if len(states) != len(cells) {
+		t.Fatalf("exported %d states", len(states))
+	}
+	// Import into a freshly built ensemble: every cell must match.
+	e2 := newTestEnsemble(t, EnsembleConfig{})
+	if err := e2.ImportState(states); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range e2.Cells() {
+		want := states[i]
+		if c.K != want.K || c.D != want.D {
+			t.Fatalf("cell %d identity mismatch", i)
+		}
+		if c.Sleeping() != want.Sleeping || c.SleepSpan() != want.SleepSpan {
+			t.Fatalf("cell %d sleep state mismatch", i)
+		}
+		got := e2.ExportState()[i]
+		if math.Abs(got.Weight-want.Weight) > 1e-9 {
+			t.Fatalf("cell %d weight %v vs %v", i, got.Weight, want.Weight)
+		}
+	}
+	// Invalid states rejected.
+	if err := e2.ImportState([]CellState{{K: 4, D: 16, Weight: -1, SleepSpan: 1}}); err == nil {
+		t.Fatal("negative weight should fail")
+	}
+	if err := e2.ImportState([]CellState{{K: 4, D: 16, Weight: 0.5, SleepSpan: 0}}); err == nil {
+		t.Fatal("zero sleep span should fail")
+	}
+	// Unknown (k,d) entries are ignored without error.
+	if err := e2.ImportState([]CellState{{K: 999, D: 999, Weight: 0.5, SleepSpan: 1}}); err != nil {
+		t.Fatal(err)
+	}
+}

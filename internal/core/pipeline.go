@@ -1,0 +1,253 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"smiler/internal/index"
+)
+
+// PipelineConfig configures a per-sensor pipeline.
+type PipelineConfig struct {
+	// EKV is the Ensemble kNN Vector (paper default {8,16,32}).
+	EKV []int
+	// Index holds the search parameters; its ELV is the Ensemble
+	// Length Vector.
+	Index index.Params
+	// Horizon is the default look-ahead h used by the continuous loop.
+	Horizon int
+	// Factory builds one predictor per ensemble cell; nil means the
+	// paper's GP predictor.
+	Factory PredictorFactory
+	// Ensemble tunes the auto-tuning mechanism (ablations).
+	Ensemble EnsembleConfig
+}
+
+// DefaultPipelineConfig returns the paper's defaults (Table 2): the
+// 3×3 ensemble EKV={8,16,32} × ELV={32,64,96}, ρ=8, ω=16, h=1, GP
+// predictors.
+func DefaultPipelineConfig() PipelineConfig {
+	return PipelineConfig{
+		EKV:     []int{8, 16, 32},
+		Index:   index.DefaultParams(),
+		Horizon: 1,
+		Factory: func() Predictor { return NewGP() },
+	}
+}
+
+// pendingUpdate remembers the per-cell predictions made for a future
+// time step so the self-adaptive reweighting can run once the truth
+// arrives.
+type pendingUpdate struct {
+	target int // history index the prediction refers to
+	preds  []CellPrediction
+}
+
+// Pipeline is the per-sensor SMiLer engine: the Search Step (Suffix
+// kNN Search on the index) feeding the Prediction Step (the ensemble
+// of semi-lazy predictors), with the adaptive auto-tuning loop closed
+// by Observe.
+type Pipeline struct {
+	ix      *index.Index
+	ens     *Ensemble
+	cfg     PipelineConfig
+	pending []pendingUpdate
+	timing  PhaseTiming
+}
+
+// PhaseTiming reports where the last Predict call spent its time —
+// the Search Step (kNN retrieval) vs the Prediction Step (model
+// construction and evaluation). Fig. 12 plots these two components.
+type PhaseTiming struct {
+	SearchSec  float64
+	PredictSec float64
+}
+
+// NewPipeline builds a pipeline over an existing index. The index's
+// ELV is the ensemble's length vector.
+func NewPipeline(ix *index.Index, cfg PipelineConfig) (*Pipeline, error) {
+	if ix == nil {
+		return nil, errors.New("core: nil index")
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("core: horizon %d must be positive", cfg.Horizon)
+	}
+	if len(cfg.EKV) == 0 {
+		return nil, errors.New("core: empty EKV")
+	}
+	factory := cfg.Factory
+	if factory == nil {
+		factory = func() Predictor { return NewGP() }
+	}
+	ens, err := NewEnsemble(cfg.EKV, ix.Params().ELV, factory, cfg.Ensemble)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{ix: ix, ens: ens, cfg: cfg}, nil
+}
+
+// Index returns the underlying SMiLer index.
+func (p *Pipeline) Index() *index.Index { return p.ix }
+
+// Ensemble returns the ensemble (for inspection and tests).
+func (p *Pipeline) Ensemble() *Ensemble { return p.ens }
+
+// Predict runs one Search Step + Prediction Step for horizon h and
+// returns the mixed posterior. The per-cell predictions are queued so
+// that when the observation for the predicted time step arrives via
+// Observe, the ensemble weights adapt.
+func (p *Pipeline) Predict(h int) (Prediction, error) {
+	if h <= 0 {
+		return Prediction{}, fmt.Errorf("core: horizon %d must be positive", h)
+	}
+	searchStart := time.Now()
+	results, err := p.ix.Search(p.ens.MaxK(), h)
+	if err != nil {
+		return Prediction{}, fmt.Errorf("core: search step failed: %w", err)
+	}
+	p.timing.SearchSec = time.Since(searchStart).Seconds()
+	predictStart := time.Now()
+	byD := make(map[int]index.ItemResult, len(results))
+	for _, r := range results {
+		byD[r.D] = r
+	}
+
+	n := p.ix.Len()
+	preds, err := p.cellPredictions(byD, h, n)
+	if err != nil {
+		return Prediction{}, err
+	}
+	mixed, err := p.ens.Mix(preds)
+	if err != nil {
+		return Prediction{}, err
+	}
+	p.timing.PredictSec = time.Since(predictStart).Seconds()
+	p.pending = append(p.pending, pendingUpdate{target: n - 1 + h, preds: preds})
+	return mixed, nil
+}
+
+// Timing reports the phase breakdown of the most recent Predict call.
+func (p *Pipeline) Timing() PhaseTiming { return p.timing }
+
+// PredictMulti runs one Search Step shared across several horizons
+// (the index verifies each candidate segment at most once) and one
+// Prediction Step per horizon, returning the mixed posterior for each.
+// It is equivalent to calling Predict for every horizon, at a fraction
+// of the search cost.
+func (p *Pipeline) PredictMulti(hs []int) (map[int]Prediction, error) {
+	if len(hs) == 0 {
+		return nil, errors.New("core: empty horizon list")
+	}
+	for _, h := range hs {
+		if h <= 0 {
+			return nil, fmt.Errorf("core: horizon %d must be positive", h)
+		}
+	}
+	searchStart := time.Now()
+	resultsByH, err := p.ix.SearchMulti(p.ens.MaxK(), hs)
+	if err != nil {
+		return nil, fmt.Errorf("core: search step failed: %w", err)
+	}
+	p.timing.SearchSec = time.Since(searchStart).Seconds()
+	predictStart := time.Now()
+
+	n := p.ix.Len()
+	out := make(map[int]Prediction, len(hs))
+	for _, h := range hs {
+		byD := make(map[int]index.ItemResult, len(resultsByH[h]))
+		for _, r := range resultsByH[h] {
+			byD[r.D] = r
+		}
+		preds, err := p.cellPredictions(byD, h, n)
+		if err != nil {
+			return nil, err
+		}
+		mixed, err := p.ens.Mix(preds)
+		if err != nil {
+			return nil, err
+		}
+		out[h] = mixed
+		p.pending = append(p.pending, pendingUpdate{target: n - 1 + h, preds: preds})
+	}
+	p.timing.PredictSec = time.Since(predictStart).Seconds()
+	return out, nil
+}
+
+// cellPredictions evaluates every awake ensemble cell on its kNN data
+// for one horizon.
+func (p *Pipeline) cellPredictions(byD map[int]index.ItemResult, h, n int) ([]CellPrediction, error) {
+	var preds []CellPrediction
+	for _, cell := range p.ens.Cells() {
+		if cell.Sleeping() {
+			continue
+		}
+		item, ok := byD[cell.D]
+		if !ok {
+			return nil, fmt.Errorf("core: search returned no results for d=%d", cell.D)
+		}
+		neighbors := item.Neighbors
+		if len(neighbors) > cell.K {
+			neighbors = neighbors[:cell.K]
+		}
+		if len(neighbors) == 0 {
+			continue
+		}
+		x := make([][]float64, len(neighbors))
+		y := make([]float64, len(neighbors))
+		for i, nb := range neighbors {
+			seg := make([]float64, cell.D)
+			for j := 0; j < cell.D; j++ {
+				seg[j] = p.ix.Value(nb.T + j)
+			}
+			x[i] = seg
+			y[i] = p.ix.Value(nb.T + cell.D - 1 + h)
+		}
+		x0 := make([]float64, cell.D)
+		for j := 0; j < cell.D; j++ {
+			x0[j] = p.ix.Value(n - cell.D + j)
+		}
+		pr, err := cell.Pred.Predict(x0, x, y)
+		if err != nil {
+			return nil, fmt.Errorf("core: predictor (k=%d,d=%d) failed: %w", cell.K, cell.D, err)
+		}
+		preds = append(preds, CellPrediction{Cell: cell, Pred: pr})
+	}
+	return preds, nil
+}
+
+// Observe feeds the next observation into the pipeline: it closes the
+// auto-tuning loop for any prediction whose target time step this
+// observation is, then advances the index (continuous reuse path).
+func (p *Pipeline) Observe(v float64) error {
+	t := p.ix.Len() // index the new observation will occupy
+	kept := p.pending[:0]
+	for _, pu := range p.pending {
+		switch {
+		case pu.target == t:
+			p.ens.Update(pu.preds, v)
+		case pu.target > t:
+			kept = append(kept, pu)
+		}
+		// Targets below t are stale (already matched or skipped).
+	}
+	p.pending = kept
+	return p.ix.Advance(v)
+}
+
+// PendingUpdates reports how many predictions still await their truth.
+func (p *Pipeline) PendingUpdates() int { return len(p.pending) }
+
+// DropPendingFor discards any queued auto-tuning update whose target
+// is the given history index — used when the observation for that step
+// will never arrive (missing readings imputed by the system itself
+// must not be scored as truth).
+func (p *Pipeline) DropPendingFor(target int) {
+	kept := p.pending[:0]
+	for _, pu := range p.pending {
+		if pu.target != target {
+			kept = append(kept, pu)
+		}
+	}
+	p.pending = kept
+}

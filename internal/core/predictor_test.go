@@ -1,0 +1,193 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPredictionValid(t *testing.T) {
+	if !(Prediction{Mean: 1, Variance: 0.5}).Valid() {
+		t.Fatal("should be valid")
+	}
+	bad := []Prediction{
+		{Mean: math.NaN(), Variance: 1},
+		{Mean: math.Inf(1), Variance: 1},
+		{Mean: 0, Variance: 0},
+		{Mean: 0, Variance: math.Inf(1)},
+	}
+	for i, p := range bad {
+		if p.Valid() {
+			t.Fatalf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestPredictionLogLikelihood(t *testing.T) {
+	p := Prediction{Mean: 0, Variance: 1}
+	want := -0.5 * math.Log(2*math.Pi) // standard normal at its mean
+	if got := p.LogLikelihood(0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("LogLikelihood(0) = %v, want %v", got, want)
+	}
+	if p.LogLikelihood(0) <= p.LogLikelihood(2) {
+		t.Fatal("likelihood should decay away from the mean")
+	}
+}
+
+func TestARPredictor(t *testing.T) {
+	ar := NewAR()
+	if ar.Name() != "AR" {
+		t.Fatal("name wrong")
+	}
+	pred, err := ar.Predict(nil, nil, []float64{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred.Mean-4) > 1e-12 {
+		t.Fatalf("mean = %v, want 4", pred.Mean)
+	}
+	wantVar := (4.0 + 0 + 4) / 3
+	if math.Abs(pred.Variance-wantVar) > 1e-12 {
+		t.Fatalf("variance = %v, want %v", pred.Variance, wantVar)
+	}
+	if _, err := ar.Predict(nil, nil, nil); !errors.Is(err, ErrNoNeighbors) {
+		t.Fatalf("err = %v", err)
+	}
+	// Constant labels hit the variance floor, not zero.
+	pred, err = ar.Predict(nil, nil, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Variance <= 0 {
+		t.Fatal("variance floor missing")
+	}
+}
+
+// The GP predictor should track a clean functional relationship far
+// better than the AR average when the neighbours' labels vary with the
+// input.
+func TestGPPredictorBeatsARonStructuredData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const d = 8
+	makeRow := func(phase float64) ([]float64, float64) {
+		seg := make([]float64, d)
+		for j := 0; j < d; j++ {
+			seg[j] = math.Sin(phase + float64(j)*0.3)
+		}
+		return seg, math.Sin(phase + float64(d)*0.3) // next value
+	}
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 24; i++ {
+		seg, label := makeRow(rng.Float64() * 2 * math.Pi)
+		x = append(x, seg)
+		y = append(y, label)
+	}
+	x0, truth := makeRow(1.234)
+
+	gpp := NewGP()
+	if gpp.Name() != "GP" {
+		t.Fatal("name wrong")
+	}
+	gpPred, err := gpp.Predict(x0, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arPred, err := NewAR().Predict(x0, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpErr := math.Abs(gpPred.Mean - truth)
+	arErr := math.Abs(arPred.Mean - truth)
+	if gpErr > 0.1 {
+		t.Fatalf("GP error %v too large", gpErr)
+	}
+	if gpErr >= arErr {
+		t.Fatalf("GP (%v) should beat AR (%v) on structured data", gpErr, arErr)
+	}
+	if err := gpp.Hyper().Validate(); err != nil {
+		t.Fatalf("stored hyperparameters invalid: %v", err)
+	}
+}
+
+func TestGPPredictorWarmStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const d = 4
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 16; i++ {
+		seg := make([]float64, d)
+		for j := range seg {
+			seg[j] = rng.NormFloat64()
+		}
+		x = append(x, seg)
+		y = append(y, seg[d-1]+0.1*rng.NormFloat64())
+	}
+	gpp := NewGP()
+	if _, err := gpp.Predict(x[0], x, y); err != nil {
+		t.Fatal(err)
+	}
+	h1 := gpp.Hyper()
+	// Second call warm-starts from h1; it must still succeed and keep
+	// valid hyperparameters.
+	if _, err := gpp.Predict(x[1], x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := gpp.Hyper().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_ = h1
+	if _, err := gpp.Predict(nil, nil, nil); !errors.Is(err, ErrNoNeighbors) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: AR predictions are always valid for non-degenerate input.
+func TestQuickARAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = rng.NormFloat64() * 10
+		}
+		p, err := NewAR().Predict(nil, nil, y)
+		return err == nil && p.Valid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGPPredictorMLObjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const d = 6
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 20; i++ {
+		seg := make([]float64, d)
+		for j := range seg {
+			seg[j] = rng.NormFloat64()
+		}
+		x = append(x, seg)
+		y = append(y, seg[d-1]*0.7+0.05*rng.NormFloat64())
+	}
+	gpp := NewGP()
+	gpp.Objective = ObjectiveML
+	pred, err := gpp.Predict(x[0], x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred.Valid() {
+		t.Fatalf("invalid prediction %+v", pred)
+	}
+	if math.Abs(pred.Mean-y[0]) > 0.3 {
+		t.Fatalf("ML-trained GP mean %v far from target %v", pred.Mean, y[0])
+	}
+	// Warm-started second call must also work under ML.
+	if _, err := gpp.Predict(x[1], x, y); err != nil {
+		t.Fatal(err)
+	}
+}

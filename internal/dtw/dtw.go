@@ -1,0 +1,289 @@
+// Package dtw implements Dynamic Time Warping under the Sakoe-Chiba
+// band constraint together with the lower-bound machinery SMiLer's
+// index is built on: time series envelopes (paper Definition B.1),
+// LB_Keogh, the query/data envelope bounds LBEQ and LBEC, and the
+// enhanced lower bound LBen = max(LBEQ, LBEC) (Theorem 4.1).
+//
+// Conventions: all distances accumulate the squared pointwise
+// difference dist(a,b) = (a-b)², matching the paper's use of LB_Keogh
+// [41]; DTW(Q,C) therefore returns a squared-cost sum (monotone in the
+// usual rooted cost, so kNN order is unchanged). Both inputs to DTW
+// must have the same length d (the paper assumes equal-length
+// comparisons, citing [57]).
+package dtw
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrLength is returned when operand lengths are incompatible.
+var ErrLength = errors.New("dtw: length mismatch")
+
+func dist(a, b float64) float64 {
+	d := a - b
+	return d * d
+}
+
+// Distance computes the DTW distance between equal-length series q and
+// c under a Sakoe-Chiba band of half-width rho, using a full (d+1)²
+// dynamic-programming matrix. It is the readable reference
+// implementation; DistanceCompressed is the memory-compressed variant
+// the simulated GPU kernels run.
+func Distance(q, c []float64, rho int) (float64, error) {
+	d := len(q)
+	if d == 0 || d != len(c) {
+		return 0, fmt.Errorf("%w: |q|=%d |c|=%d", ErrLength, len(q), len(c))
+	}
+	if rho < 0 {
+		return 0, fmt.Errorf("dtw: negative warping width %d", rho)
+	}
+	inf := math.Inf(1)
+	n := d + 1
+	g := make([]float64, n*n)
+	for i := range g {
+		g[i] = inf
+	}
+	g[0] = 0
+	for i := 1; i <= d; i++ {
+		jlo, jhi := i-rho, i+rho
+		if jlo < 1 {
+			jlo = 1
+		}
+		if jhi > d {
+			jhi = d
+		}
+		for j := jlo; j <= jhi; j++ {
+			best := g[(i-1)*n+j]
+			if v := g[i*n+j-1]; v < best {
+				best = v
+			}
+			if v := g[(i-1)*n+j-1]; v < best {
+				best = v
+			}
+			g[i*n+j] = dist(q[i-1], c[j-1]) + best
+		}
+	}
+	return g[d*n+d], nil
+}
+
+// DistanceCompressed computes the same banded DTW distance with the
+// paper's compressed warping matrix (Algorithm 2): a rolling buffer of
+// 2 columns × (2ρ+2) band cells indexed by modulus, sized to fit a
+// GPU block's shared memory. scratch may be nil or a buffer from
+// NewCompressedScratch to avoid per-call allocation.
+func DistanceCompressed(q, c []float64, rho int, scratch []float64) (float64, error) {
+	d := len(q)
+	if d == 0 || d != len(c) {
+		return 0, fmt.Errorf("%w: |q|=%d |c|=%d", ErrLength, len(q), len(c))
+	}
+	if rho < 0 {
+		return 0, fmt.Errorf("dtw: negative warping width %d", rho)
+	}
+	m := 2*rho + 2 // band rows kept live per column
+	if len(scratch) < 2*m {
+		scratch = make([]float64, 2*m)
+	}
+	g := scratch[:2*m]
+	inf := math.Inf(1)
+	// Column j=0 boundary: γ(0,0)=0, γ(i,0)=∞ for i>0.
+	for i := 0; i < m; i++ {
+		g[i*2] = inf
+	}
+	g[0] = 0
+	// cell(i, j) maps matrix row i (0..d), column parity j to scratch.
+	cell := func(i, j int) *float64 {
+		ii := i % m
+		if ii < 0 {
+			ii += m
+		}
+		return &g[ii*2+(j&1)]
+	}
+	for j := 1; j <= d; j++ {
+		// Invalidate the two cells that leave the band as the column
+		// advances (Algorithm 2 lines 7–8).
+		*cell(j-rho-1, j) = inf
+		*cell(j+rho, j-1) = inf
+		if j-rho-1 < 0 {
+			// Row 0 is still inside the retained band window but
+			// γ(0,j) = ∞ for every j ≥ 1; without this the slot would
+			// hold the stale γ(0,0) = 0 (or γ(0,j-2)) start cell.
+			*cell(0, j) = inf
+		}
+		ilo, ihi := j-rho, j+rho
+		if ilo < 1 {
+			ilo = 1
+		}
+		if ihi > d {
+			ihi = d
+		}
+		for i := ilo; i <= ihi; i++ {
+			best := *cell(i-1, j)
+			if v := *cell(i, j-1); v < best {
+				best = v
+			}
+			if v := *cell(i-1, j-1); v < best {
+				best = v
+			}
+			*cell(i, j) = dist(q[i-1], c[j-1]) + best
+		}
+	}
+	return *cell(d, d), nil
+}
+
+// CompressedScratchLen returns the scratch length DistanceCompressed
+// needs for warping width rho.
+func CompressedScratchLen(rho int) int { return 2 * (2*rho + 2) }
+
+// NewCompressedScratch allocates a reusable scratch buffer for
+// DistanceCompressed.
+func NewCompressedScratch(rho int) []float64 {
+	return make([]float64, CompressedScratchLen(rho))
+}
+
+// DistanceEarlyAbandon computes banded DTW but abandons and reports
+// (∞, false) as soon as every cell in the current anti-diagonal band
+// column exceeds threshold — the classic UCR-suite pruning used by the
+// FastCPUScan baseline.
+func DistanceEarlyAbandon(q, c []float64, rho int, threshold float64) (float64, bool, error) {
+	d := len(q)
+	if d == 0 || d != len(c) {
+		return 0, false, fmt.Errorf("%w: |q|=%d |c|=%d", ErrLength, len(q), len(c))
+	}
+	inf := math.Inf(1)
+	prev := make([]float64, d+1)
+	cur := make([]float64, d+1)
+	for i := range prev {
+		prev[i] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= d; i++ {
+		for j := range cur {
+			cur[j] = inf
+		}
+		jlo, jhi := i-rho, i+rho
+		if jlo < 1 {
+			jlo = 1
+		}
+		if jhi > d {
+			jhi = d
+		}
+		rowMin := inf
+		for j := jlo; j <= jhi; j++ {
+			best := prev[j]
+			if v := cur[j-1]; v < best {
+				best = v
+			}
+			if v := prev[j-1]; v < best {
+				best = v
+			}
+			cur[j] = dist(q[i-1], c[j-1]) + best
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if rowMin > threshold {
+			return inf, false, nil
+		}
+		prev, cur = cur, prev
+	}
+	return prev[d], true, nil
+}
+
+// Envelope holds the running upper and lower envelopes of a series
+// under warping width rho (Definition B.1): U_i = max c_{i±ρ},
+// L_i = min c_{i±ρ}, with indices clamped at the boundaries.
+type Envelope struct {
+	Upper, Lower []float64
+}
+
+// NewEnvelope computes the envelope of values with warping width rho
+// by direct scan. O(n·ρ); fine for the short windows SMiLer indexes.
+func NewEnvelope(values []float64, rho int) Envelope {
+	n := len(values)
+	u := make([]float64, n)
+	l := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i-rho, i+rho
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		mx, mn := values[lo], values[lo]
+		for j := lo + 1; j <= hi; j++ {
+			if values[j] > mx {
+				mx = values[j]
+			}
+			if values[j] < mn {
+				mn = values[j]
+			}
+		}
+		u[i] = mx
+		l[i] = mn
+	}
+	return Envelope{Upper: u, Lower: l}
+}
+
+// Len returns the envelope length.
+func (e Envelope) Len() int { return len(e.Upper) }
+
+// LBKeogh returns LB_keogh(E, x): the squared deviation of each x_i
+// outside the envelope band [L_i, U_i] (Eqn. 26). The envelope and x
+// must have equal length.
+func LBKeogh(e Envelope, x []float64) (float64, error) {
+	if e.Len() != len(x) {
+		return 0, fmt.Errorf("%w: envelope %d vs series %d", ErrLength, e.Len(), len(x))
+	}
+	var s float64
+	for i, v := range x {
+		if v > e.Upper[i] {
+			s += dist(v, e.Upper[i])
+		} else if v < e.Lower[i] {
+			s += dist(v, e.Lower[i])
+		}
+	}
+	return s, nil
+}
+
+// LBKim returns the O(1) first/last-point lower bound of banded DTW
+// [Kim et al., as used by the UCR suite]: every warping path aligns
+// q₀ with c₀ and q_{n−1} with c_{n−1}, so those two squared
+// differences always contribute. It is the cheapest stage of the
+// FastCPUScan pruning cascade.
+func LBKim(q, c []float64) (float64, error) {
+	n := len(q)
+	if n == 0 || n != len(c) {
+		return 0, fmt.Errorf("%w: |q|=%d |c|=%d", ErrLength, len(q), len(c))
+	}
+	if n == 1 {
+		return dist(q[0], c[0]), nil
+	}
+	return dist(q[0], c[0]) + dist(q[n-1], c[n-1]), nil
+}
+
+// LBEQ computes LB_keogh(E(Q), C): the query-envelope bound.
+func LBEQ(q, c []float64, rho int) (float64, error) {
+	return LBKeogh(NewEnvelope(q, rho), c)
+}
+
+// LBEC computes LB_keogh(E(C), Q): the data-envelope bound.
+func LBEC(q, c []float64, rho int) (float64, error) {
+	return LBKeogh(NewEnvelope(c, rho), q)
+}
+
+// LBEn computes the paper's enhanced lower bound
+// LBen(Q,C) = max(LBEQ(Q,C), LBEC(Q,C)) (Theorem 4.1).
+func LBEn(q, c []float64, rho int) (float64, error) {
+	a, err := LBEQ(q, c, rho)
+	if err != nil {
+		return 0, err
+	}
+	b, err := LBEC(q, c, rho)
+	if err != nil {
+		return 0, err
+	}
+	return math.Max(a, b), nil
+}

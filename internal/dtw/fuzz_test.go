@@ -1,0 +1,108 @@
+package dtw
+
+import (
+	"math"
+	"testing"
+)
+
+// decodeSeries turns fuzz bytes into two equal-length series plus a
+// warping width; returns ok=false for unusable inputs.
+func decodeSeries(data []byte) (q, c []float64, rho int, ok bool) {
+	if len(data) < 5 {
+		return nil, nil, 0, false
+	}
+	rho = int(data[0] % 10)
+	rest := data[1:]
+	n := len(rest) / 2
+	if n == 0 || n > 64 {
+		return nil, nil, 0, false
+	}
+	q = make([]float64, n)
+	c = make([]float64, n)
+	for i := 0; i < n; i++ {
+		q[i] = (float64(rest[i]) - 128) / 16
+		c[i] = (float64(rest[n+i]) - 128) / 16
+	}
+	return q, c, rho, true
+}
+
+// FuzzCompressedMatchesReference cross-checks the shared-memory
+// compressed warping matrix against the full-matrix reference on
+// arbitrary inputs.
+func FuzzCompressedMatchesReference(f *testing.F) {
+	f.Add([]byte{3, 10, 20, 30, 40, 50, 60})
+	f.Add([]byte{0, 1, 2, 3, 4})
+	f.Add([]byte{9, 255, 0, 255, 0, 128, 128, 64, 192})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, c, rho, ok := decodeSeries(data)
+		if !ok {
+			t.Skip()
+		}
+		want, err := Distance(q, c, rho)
+		if err != nil {
+			t.Skip()
+		}
+		got, err := DistanceCompressed(q, c, rho, nil)
+		if err != nil {
+			t.Fatalf("compressed errored where reference succeeded: %v", err)
+		}
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("compressed %v != reference %v (ρ=%d, n=%d)", got, want, rho, len(q))
+		}
+	})
+}
+
+// FuzzLowerBoundsNeverExceedDTW asserts Theorem 4.1 on arbitrary
+// inputs: LBEQ, LBEC and LBen are all ≤ the true banded distance.
+func FuzzLowerBoundsNeverExceedDTW(f *testing.F) {
+	f.Add([]byte{2, 5, 10, 15, 20, 25, 30, 35})
+	f.Add([]byte{7, 200, 100, 50, 25, 12, 6, 3, 1, 0, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, c, rho, ok := decodeSeries(data)
+		if !ok {
+			t.Skip()
+		}
+		d, err := Distance(q, c, rho)
+		if err != nil {
+			t.Skip()
+		}
+		eps := 1e-9 * (1 + d)
+		for name, fn := range map[string]func(a, b []float64, r int) (float64, error){
+			"LBEQ": LBEQ, "LBEC": LBEC, "LBEn": LBEn,
+		} {
+			lb, err := fn(q, c, rho)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if lb > d+eps {
+				t.Fatalf("%s = %v exceeds DTW = %v", name, lb, d)
+			}
+		}
+	})
+}
+
+// FuzzEarlyAbandonConsistent asserts the early-abandoning DTW never
+// reports a different distance when it completes.
+func FuzzEarlyAbandonConsistent(f *testing.F) {
+	f.Add([]byte{4, 9, 8, 7, 6, 5, 4, 3, 2, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, c, rho, ok := decodeSeries(data)
+		if !ok {
+			t.Skip()
+		}
+		want, err := Distance(q, c, rho)
+		if err != nil {
+			t.Skip()
+		}
+		got, done, err := DistanceEarlyAbandon(q, c, rho, want+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !done {
+			t.Fatalf("abandoned despite threshold above the true distance")
+		}
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("early-abandon %v != reference %v", got, want)
+		}
+	})
+}

@@ -1,0 +1,378 @@
+// Package gp implements Gaussian Process regression with the squared
+// exponential covariance function the paper instantiates the semi-lazy
+// predictor with (Eqn. 18):
+//
+//	c(x_a, x_b) = θ₀² · exp(−½‖x_a−x_b‖²/θ₁²) + δ_ab·θ₂²
+//
+// A Model conditions on the kNN training set (X_{k,d}, Y_h) and yields
+// the closed-form posterior mean and variance (Eqns. 16–17). Hyper-
+// parameters are chosen by maximizing the leave-one-out predictive log
+// likelihood (Eqns. 19–20) computed from the partitioned inverse
+// [Sundararajan & Keerthi 2001], with analytic gradients and a
+// conjugate-gradient ascent (optimize.go). The semi-lazy setting keeps
+// the training sets tiny (k ≤ 128), so all of this is exact — no
+// low-rank approximation is required.
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"smiler/internal/mat"
+)
+
+// Common errors.
+var (
+	ErrNoData    = errors.New("gp: empty training set")
+	ErrDims      = errors.New("gp: inconsistent dimensions")
+	ErrSingular  = errors.New("gp: covariance matrix not positive definite")
+	ErrNegHyper  = errors.New("gp: hyperparameters must be positive")
+	ErrDimInput  = errors.New("gp: test input dimension mismatch")
+	ErrCondition = errors.New("gp: numerical failure")
+)
+
+// jitter ladder tried when the covariance Cholesky fails.
+var jitters = []float64{0, 1e-10, 1e-8, 1e-6, 1e-4}
+
+// Hyper holds the covariance hyperparameters Θ = {θ₀, θ₁, θ₂}:
+// signal amplitude, characteristic length-scale and noise level.
+type Hyper struct {
+	Signal float64 // θ₀
+	Length float64 // θ₁
+	Noise  float64 // θ₂
+}
+
+// Validate checks positivity.
+func (h Hyper) Validate() error {
+	if h.Signal <= 0 || h.Length <= 0 || h.Noise <= 0 {
+		return fmt.Errorf("%w: %+v", ErrNegHyper, h)
+	}
+	if math.IsNaN(h.Signal) || math.IsNaN(h.Length) || math.IsNaN(h.Noise) {
+		return fmt.Errorf("%w: NaN in %+v", ErrNegHyper, h)
+	}
+	return nil
+}
+
+// sqDist returns ‖a−b‖².
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Cov evaluates the SE covariance between two (distinct) inputs,
+// without the noise term.
+func (h Hyper) Cov(a, b []float64) float64 {
+	return h.Signal * h.Signal * math.Exp(-0.5*sqDist(a, b)/(h.Length*h.Length))
+}
+
+// Model is a GP regression model conditioned on a training set.
+type Model struct {
+	x     [][]float64
+	y     []float64
+	hyper Hyper
+	dim   int
+
+	chol  *mat.Cholesky
+	alpha []float64  // C⁻¹·y
+	kinv  *mat.Dense // C⁻¹, materialized lazily for LOO
+}
+
+// Fit conditions a GP with hyperparameters hp on the training pairs
+// (x[i], y[i]). Rows of x must share one dimension. The slices are
+// retained (not copied); callers must not mutate them afterwards.
+func Fit(x [][]float64, y []float64, hp Hyper) (*Model, error) {
+	if len(x) == 0 || len(y) == 0 {
+		return nil, ErrNoData
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("%w: %d inputs vs %d targets", ErrDims, len(x), len(y))
+	}
+	if err := hp.Validate(); err != nil {
+		return nil, err
+	}
+	dim := len(x[0])
+	for i, xi := range x {
+		if len(xi) != dim {
+			return nil, fmt.Errorf("%w: row %d has %d features, want %d", ErrDims, i, len(xi), dim)
+		}
+	}
+	m := &Model{x: x, y: y, hyper: hp, dim: dim}
+	if err := m.factorize(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// covMatrix builds C = K + θ₂²·I (+ extra diagonal jitter).
+func covMatrix(x [][]float64, hp Hyper, extraJitter float64) *mat.Dense {
+	n := len(x)
+	c := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := hp.Cov(x[i], x[j])
+			if i == j {
+				v += hp.Noise*hp.Noise + extraJitter
+			}
+			c.Set(i, j, v)
+			c.Set(j, i, v)
+		}
+	}
+	return c
+}
+
+// factorize builds and factors the covariance, walking the jitter
+// ladder if the matrix is numerically indefinite.
+func (m *Model) factorize() error {
+	var lastErr error
+	for _, j := range jitters {
+		c := covMatrix(m.x, m.hyper, j)
+		ch, err := mat.NewCholesky(c)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		alpha, err := ch.SolveVec(m.y)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		m.chol = ch
+		m.alpha = alpha
+		m.kinv = nil
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrSingular, lastErr)
+}
+
+// Size returns the number of training points.
+func (m *Model) Size() int { return len(m.y) }
+
+// Hyper returns the model hyperparameters.
+func (m *Model) Hyper() Hyper { return m.hyper }
+
+// Predict returns the posterior mean and variance at test input x0
+// (Eqns. 16–17): u₀ = c₀ᵀC⁻¹Y, σ₀² = c(x₀,x₀) − c₀ᵀC⁻¹c₀.
+func (m *Model) Predict(x0 []float64) (mean, variance float64, err error) {
+	if len(x0) != m.dim {
+		return 0, 0, fmt.Errorf("%w: got %d, want %d", ErrDimInput, len(x0), m.dim)
+	}
+	n := len(m.x)
+	c0 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		c0[i] = m.hyper.Cov(m.x[i], x0)
+	}
+	mean = mat.Dot(c0, m.alpha)
+	v, err := m.chol.SolveVec(c0)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrCondition, err)
+	}
+	// Prior variance at x0 includes the noise term (we predict the
+	// *observation*, as the paper's MNLPD evaluation requires).
+	prior := m.hyper.Signal*m.hyper.Signal + m.hyper.Noise*m.hyper.Noise
+	variance = prior - mat.Dot(c0, v)
+	if variance < 1e-12 {
+		variance = 1e-12 // guard against cancellation
+	}
+	return mean, variance, nil
+}
+
+// kinvMatrix materializes C⁻¹ (cached).
+func (m *Model) kinvMatrix() (*mat.Dense, error) {
+	if m.kinv != nil {
+		return m.kinv, nil
+	}
+	inv, err := m.chol.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCondition, err)
+	}
+	m.kinv = inv
+	return inv, nil
+}
+
+// LOO returns the leave-one-out predictive log likelihood of the
+// training set (Eqn. 20), computed in O(n³) once via the partitioned
+// inverse: leaving point i out gives μ_i = y_i − α_i/[C⁻¹]_ii and
+// σ²_i = 1/[C⁻¹]_ii [Sundararajan & Keerthi 2001].
+func (m *Model) LOO() (float64, error) {
+	kinv, err := m.kinvMatrix()
+	if err != nil {
+		return 0, err
+	}
+	n := len(m.y)
+	var ll float64
+	for i := 0; i < n; i++ {
+		kii := kinv.At(i, i)
+		if kii <= 0 {
+			return 0, fmt.Errorf("%w: nonpositive precision diagonal", ErrCondition)
+		}
+		sigma2 := 1 / kii
+		mu := m.y[i] - m.alpha[i]/kii
+		d := m.y[i] - mu
+		ll += -0.5*math.Log(sigma2) - d*d/(2*sigma2) - 0.5*math.Log(2*math.Pi)
+	}
+	return ll, nil
+}
+
+// LOOResiduals returns the per-point leave-one-out predictive means and
+// variances; exposed for diagnostics and tests.
+func (m *Model) LOOResiduals() (means, variances []float64, err error) {
+	kinv, err := m.kinvMatrix()
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(m.y)
+	means = make([]float64, n)
+	variances = make([]float64, n)
+	for i := 0; i < n; i++ {
+		kii := kinv.At(i, i)
+		if kii <= 0 {
+			return nil, nil, fmt.Errorf("%w: nonpositive precision diagonal", ErrCondition)
+		}
+		variances[i] = 1 / kii
+		means[i] = m.y[i] - m.alpha[i]/kii
+	}
+	return means, variances, nil
+}
+
+// HeuristicHyper derives a data-driven starting point for optimization:
+// signal = std(y), length = median pairwise input distance, noise =
+// a tenth of the signal — the usual GP folklore initialization.
+func HeuristicHyper(x [][]float64, y []float64) Hyper {
+	st := stdev(y)
+	if st <= 0 {
+		st = 1
+	}
+	med := medianPairwiseDist(x)
+	if med <= 0 {
+		med = 1
+	}
+	return Hyper{Signal: st, Length: med, Noise: 0.1 * st}
+}
+
+func stdev(y []float64) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range y {
+		sum += v
+	}
+	mean := sum / float64(len(y))
+	var ss float64
+	for _, v := range y {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(y)))
+}
+
+func medianPairwiseDist(x [][]float64) float64 {
+	n := len(x)
+	if n < 2 {
+		return 0
+	}
+	// Sample at most ~256 pairs; exactness is irrelevant for a seed.
+	var ds []float64
+	step := 1
+	if n > 24 {
+		step = n / 24
+	}
+	for i := 0; i < n; i += step {
+		for j := i + step; j < n; j += step {
+			ds = append(ds, math.Sqrt(sqDist(x[i], x[j])))
+		}
+	}
+	if len(ds) == 0 {
+		return 0
+	}
+	// Insertion-select the median (tiny slice).
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+	return ds[len(ds)/2]
+}
+
+// PosteriorSample draws one joint sample of the latent function at the
+// test inputs x0s from the posterior, using the provided normal
+// source (e.g. rand.NormFloat64). Sampling scenarios — rather than
+// reporting only mean and variance — is how downstream planners
+// consume correlated multi-point forecasts.
+func (m *Model) PosteriorSample(x0s [][]float64, normal func() float64) ([]float64, error) {
+	t := len(x0s)
+	if t == 0 {
+		return nil, ErrNoData
+	}
+	for i, x0 := range x0s {
+		if len(x0) != m.dim {
+			return nil, fmt.Errorf("%w: input %d has %d features, want %d", ErrDimInput, i, len(x0), m.dim)
+		}
+	}
+	if normal == nil {
+		return nil, errors.New("gp: nil normal source")
+	}
+	// Cross-covariances and posterior moments.
+	n := len(m.x)
+	ks := mat.NewDense(n, t) // K(X, X*)
+	for i := 0; i < n; i++ {
+		for j := 0; j < t; j++ {
+			ks.Set(i, j, m.hyper.Cov(m.x[i], x0s[j]))
+		}
+	}
+	mean := make([]float64, t)
+	v, err := m.chol.Solve(ks) // C⁻¹·K(X,X*)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCondition, err)
+	}
+	for j := 0; j < t; j++ {
+		var mu float64
+		for i := 0; i < n; i++ {
+			mu += ks.At(i, j) * m.alpha[i]
+		}
+		mean[j] = mu
+	}
+	// Posterior covariance Σ = K** − K*ᵀC⁻¹K* (+ jitter for sampling).
+	cov := mat.NewDense(t, t)
+	for a := 0; a < t; a++ {
+		for b := a; b < t; b++ {
+			kab := m.hyper.Cov(x0s[a], x0s[b])
+			if a == b {
+				kab += m.hyper.Noise * m.hyper.Noise
+			}
+			var red float64
+			for i := 0; i < n; i++ {
+				red += ks.At(i, a) * v.At(i, b)
+			}
+			val := kab - red
+			cov.Set(a, b, val)
+			cov.Set(b, a, val)
+		}
+	}
+	if err := mat.AddDiagonal(cov, 1e-10); err != nil {
+		return nil, err
+	}
+	ch, err := mat.NewCholesky(cov)
+	if err != nil {
+		return nil, fmt.Errorf("%w: posterior covariance not PD: %v", ErrCondition, err)
+	}
+	z := make([]float64, t)
+	for i := range z {
+		z[i] = normal()
+	}
+	out := make([]float64, t)
+	l := ch.L()
+	for i := 0; i < t; i++ {
+		s := mean[i]
+		for j := 0; j <= i; j++ {
+			s += l.At(i, j) * z[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}

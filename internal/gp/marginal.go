@@ -1,0 +1,143 @@
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"smiler/internal/mat"
+)
+
+// Marginal-likelihood training — the classical alternative to the LOO
+// objective the paper adopts. [Sundararajan & Keerthi 2001], the
+// paper's reference [64], compares exactly these two: LOO ("GPP") is
+// more robust to model misspecification, ML is the textbook choice.
+// Both are provided so the trade-off can be measured
+// (BenchmarkAblationWarmStart exercises LOO; TestMLvsLOO compares the
+// two objectives' fits).
+
+// MarginalLikelihood returns the log marginal likelihood of the
+// model's training data: log p(y|X,Θ) = −½yᵀC⁻¹y − ½log|C| − n/2·log2π.
+func (m *Model) MarginalLikelihood() float64 {
+	n := len(m.y)
+	return -0.5*mat.Dot(m.y, m.alpha) - 0.5*m.chol.LogDet() - 0.5*float64(n)*math.Log(2*math.Pi)
+}
+
+// mlValueGrad evaluates the log marginal likelihood and its gradient
+// w.r.t. the log hyperparameters:
+// ∂logZ/∂ψ_j = ½·tr((ααᵀ − C⁻¹)·∂C/∂ψ_j)   [R&W 2006, Eqn. 5.9].
+func mlValueGrad(x [][]float64, y []float64, hp Hyper) (float64, [3]float64, error) {
+	var grad [3]float64
+	m, err := Fit(x, y, hp)
+	if err != nil {
+		return 0, grad, err
+	}
+	lz := m.MarginalLikelihood()
+	kinv, err := m.kinvMatrix()
+	if err != nil {
+		return 0, grad, err
+	}
+	n := len(y)
+	alpha := m.alpha
+
+	sig2 := hp.Signal * hp.Signal
+	len2 := hp.Length * hp.Length
+	// tr((ααᵀ − C⁻¹)·D) = Σ_ij (α_i·α_j − C⁻¹_ij)·D_ij for symmetric D;
+	// accumulate all three derivative matrices in one pass.
+	for i := 0; i < n; i++ {
+		kinvRow := kinv.Row(i)
+		for j := 0; j < n; j++ {
+			w := alpha[i]*alpha[j] - kinvRow[j]
+			r2 := sqDist(x[i], x[j])
+			kse := sig2 * math.Exp(-0.5*r2/len2)
+			grad[0] += 0.5 * w * (2 * kse)         // ∂C/∂log θ₀
+			grad[1] += 0.5 * w * (kse * r2 / len2) // ∂C/∂log θ₁
+			if i == j {
+				grad[2] += 0.5 * w * (2 * hp.Noise * hp.Noise) // ∂C/∂log θ₂
+			}
+		}
+	}
+	return lz, grad, nil
+}
+
+// OptimizeML maximizes the log marginal likelihood with the same
+// Polak–Ribière conjugate-gradient scheme Optimize uses for the LOO
+// objective. The result's LOO field holds the final log marginal
+// likelihood value.
+func OptimizeML(x [][]float64, y []float64, init Hyper, maxIter int) (OptimizeResult, error) {
+	if err := init.Validate(); err != nil {
+		return OptimizeResult{}, err
+	}
+	if maxIter < 0 {
+		return OptimizeResult{}, fmt.Errorf("gp: negative maxIter %d", maxIter)
+	}
+	return ascend(x, y, init, maxIter, mlValueGrad)
+}
+
+// objective is a (value, gradient) evaluator over log hyperparameters.
+type objective func(x [][]float64, y []float64, hp Hyper) (float64, [3]float64, error)
+
+// ascend is the shared CG maximizer behind Optimize and OptimizeML.
+func ascend(x [][]float64, y []float64, init Hyper, maxIter int, obj objective) (OptimizeResult, error) {
+	psi := toLog(init).clamp()
+	res := OptimizeResult{Hyper: psi.hyper()}
+
+	f, g, err := obj(x, y, psi.hyper())
+	res.Evals++
+	if err != nil {
+		return res, err
+	}
+	res.LOO = f
+
+	dir := g
+	prevG := g
+	for iter := 0; iter < maxIter; iter++ {
+		gnorm := math.Sqrt(g[0]*g[0] + g[1]*g[1] + g[2]*g[2])
+		if gnorm < 1e-7 {
+			break
+		}
+		slope := g[0]*dir[0] + g[1]*dir[1] + g[2]*dir[2]
+		if slope <= 0 {
+			dir = g
+			slope = gnorm * gnorm
+		}
+		step := 0.5
+		var (
+			fNew  float64
+			gNew  [3]float64
+			psNew logHyper
+			ok    bool
+		)
+		for tries := 0; tries < 14; tries++ {
+			cand := logHyper{psi[0] + step*dir[0], psi[1] + step*dir[1], psi[2] + step*dir[2]}.clamp()
+			fc, gc, err := obj(x, y, cand.hyper())
+			res.Evals++
+			if err == nil && !math.IsNaN(fc) && fc >= f+1e-4*step*slope {
+				fNew, gNew, psNew, ok = fc, gc, cand, true
+				break
+			}
+			step *= 0.5
+		}
+		if !ok {
+			break
+		}
+		var num, den float64
+		for i := 0; i < 3; i++ {
+			num += gNew[i] * (gNew[i] - prevG[i])
+			den += prevG[i] * prevG[i]
+		}
+		beta := 0.0
+		if den > 0 {
+			beta = num / den
+			if beta < 0 {
+				beta = 0
+			}
+		}
+		for i := 0; i < 3; i++ {
+			dir[i] = gNew[i] + beta*dir[i]
+		}
+		psi, f, g, prevG = psNew, fNew, gNew, gNew
+		res.Hyper = psi.hyper()
+		res.LOO = f
+	}
+	return res, nil
+}

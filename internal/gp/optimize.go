@@ -1,0 +1,128 @@
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"smiler/internal/mat"
+)
+
+// Optimization works on ψ = log Θ so positivity is automatic; ψ is
+// clamped to keep the covariance numerically sane for z-normalized
+// data.
+const (
+	logLo = -9.2 // θ ≥ ~1e-4
+	logHi = 6.9  // θ ≤ ~1e3
+)
+
+// OptimizeResult reports the outcome of hyperparameter optimization.
+type OptimizeResult struct {
+	Hyper Hyper   // optimized hyperparameters
+	LOO   float64 // leave-one-out log likelihood at Hyper
+	Evals int     // objective/gradient evaluations spent
+}
+
+type logHyper [3]float64 // log θ₀, log θ₁, log θ₂
+
+func toLog(h Hyper) logHyper {
+	return logHyper{math.Log(h.Signal), math.Log(h.Length), math.Log(h.Noise)}
+}
+
+func (p logHyper) hyper() Hyper {
+	return Hyper{Signal: math.Exp(p[0]), Length: math.Exp(p[1]), Noise: math.Exp(p[2])}
+}
+
+func (p logHyper) clamp() logHyper {
+	for i := range p {
+		if p[i] < logLo {
+			p[i] = logLo
+		}
+		if p[i] > logHi {
+			p[i] = logHi
+		}
+	}
+	return p
+}
+
+// looValueGrad evaluates the LOO log likelihood and its gradient with
+// respect to the log hyperparameters, using the closed form of
+// [Rasmussen & Williams 2006, Eqn. 5.13] with Z_j = C⁻¹·∂C/∂ψ_j.
+func looValueGrad(x [][]float64, y []float64, hp Hyper) (float64, [3]float64, error) {
+	var grad [3]float64
+	m, err := Fit(x, y, hp)
+	if err != nil {
+		return 0, grad, err
+	}
+	ll, err := m.LOO()
+	if err != nil {
+		return 0, grad, err
+	}
+	kinv, err := m.kinvMatrix()
+	if err != nil {
+		return 0, grad, err
+	}
+	n := len(y)
+	alpha := m.alpha
+
+	// Partial derivative matrices of C w.r.t. the log hyperparameters.
+	sig2 := hp.Signal * hp.Signal
+	len2 := hp.Length * hp.Length
+	dSig := mat.NewDense(n, n)   // ∂C/∂log θ₀ = 2·K_SE
+	dLen := mat.NewDense(n, n)   // ∂C/∂log θ₁ = K_SE ∘ (r²/θ₁²)
+	dNoise := mat.NewDense(n, n) // ∂C/∂log θ₂ = 2θ₂²·I
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			r2 := sqDist(x[i], x[j])
+			kse := sig2 * math.Exp(-0.5*r2/len2)
+			dSig.Set(i, j, 2*kse)
+			dSig.Set(j, i, 2*kse)
+			dl := kse * r2 / len2
+			dLen.Set(i, j, dl)
+			dLen.Set(j, i, dl)
+		}
+		dNoise.Set(i, i, 2*hp.Noise*hp.Noise)
+	}
+
+	for pi, dC := range []*mat.Dense{dSig, dLen, dNoise} {
+		z, err := mat.Mul(kinv, dC)
+		if err != nil {
+			return 0, grad, err
+		}
+		za, err := mat.MulVec(z, alpha)
+		if err != nil {
+			return 0, grad, err
+		}
+		var g float64
+		for i := 0; i < n; i++ {
+			// [Z·C⁻¹]_ii = Σ_k Z_ik · C⁻¹_ki.
+			var zkinvII float64
+			zrow := z.Row(i)
+			for k := 0; k < n; k++ {
+				zkinvII += zrow[k] * kinv.At(k, i)
+			}
+			kii := kinv.At(i, i)
+			if kii <= 0 {
+				return 0, grad, fmt.Errorf("%w: nonpositive precision diagonal", ErrCondition)
+			}
+			g += (alpha[i]*za[i] - 0.5*(1+alpha[i]*alpha[i]/kii)*zkinvII) / kii
+		}
+		grad[pi] = g
+	}
+	return ll, grad, nil
+}
+
+// Optimize maximizes the LOO log likelihood starting from init, using
+// Polak–Ribière conjugate gradients with an Armijo backtracking line
+// search, for at most maxIter iterations. A failed covariance
+// factorization during the search is treated as −∞ (the step is
+// rejected). This is the "online training" of Section 5.2.2: with the
+// tiny semi-lazy training sets each evaluation is O(k³) with k ≤ 128.
+func Optimize(x [][]float64, y []float64, init Hyper, maxIter int) (OptimizeResult, error) {
+	if err := init.Validate(); err != nil {
+		return OptimizeResult{}, err
+	}
+	if maxIter < 0 {
+		return OptimizeResult{}, fmt.Errorf("gp: negative maxIter %d", maxIter)
+	}
+	return ascend(x, y, init, maxIter, looValueGrad)
+}

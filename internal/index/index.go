@@ -1,0 +1,553 @@
+// Package index implements the SMiLer Index (paper Section 4.3): a
+// two-level inverted-like index on the (simulated) GPU that answers
+// the Continuous Suffix kNN Search problem (Definition 4.1) under
+// banded DTW.
+//
+// Window level: the sensor history C is cut into disjoint windows DW of
+// length ω; the master query MQ (the most recent d_max points) is cut
+// into sliding windows SW of the same length, enumerated right-to-left.
+// Each sliding window's posting list stores, per disjoint window, the
+// two LB_Keogh bounds LBEQ(SW,DW) (query envelope) and LBEC(SW,DW)
+// (data envelope).
+//
+// Group level: a Catenated Sliding Window Group CSG_b stacks the
+// non-overlapping sliding windows {SW_b, SW_{b+ω}, ...}. Shift-summing
+// the posting lists of a CSG's windows yields, in one pass, the window
+// enhanced lower bound LBw (Theorem 4.3) between *every* item query
+// (suffix of MQ with a length from ELV) and every candidate segment —
+// the suffix-sharing reuse of Remark 2.
+//
+// Continuous prediction reuses the window level across steps (Remark
+// 1): posting lists live in a rotating ring; advancing one time step
+// computes a single fresh sliding-window row, refreshes the ρ rows
+// whose query envelopes changed, and drops the stale oldest row.
+//
+// Search then follows the paper's filter → verify → select pipeline
+// (Section 4.3.3): threshold from the k-th smallest lower bound (or
+// from the previous step's kNN set during continuous prediction),
+// exact banded DTW with the compressed warping matrix of Algorithm 2,
+// and block-wise k-selection.
+package index
+
+import (
+	"errors"
+	"fmt"
+
+	"smiler/internal/dtw"
+	"smiler/internal/gpusim"
+)
+
+// LBMode selects which lower bound the filter uses. The paper's system
+// uses LBEn; the single-envelope modes exist to reproduce the Table 3
+// ablation.
+type LBMode int
+
+const (
+	// LBModeEn filters with LBen = max(LBEQ, LBEC) (the default).
+	LBModeEn LBMode = iota
+	// LBModeEQ filters with the query-envelope bound only.
+	LBModeEQ
+	// LBModeEC filters with the data-envelope bound only.
+	LBModeEC
+)
+
+func (m LBMode) String() string {
+	switch m {
+	case LBModeEn:
+		return "LBen"
+	case LBModeEQ:
+		return "LBEQ"
+	case LBModeEC:
+		return "LBEC"
+	default:
+		return fmt.Sprintf("LBMode(%d)", int(m))
+	}
+}
+
+// Params configures a per-sensor SMiLer Index.
+type Params struct {
+	// Rho is the Sakoe-Chiba warping width ρ (paper default 8).
+	Rho int
+	// Omega is the disjoint/sliding window length ω (paper default 16).
+	Omega int
+	// ELV is the Ensemble Length Vector: the item query lengths,
+	// strictly ascending. Every length must be ≥ 2ω−1 so each candidate
+	// segment covers at least one disjoint window (DualMatch
+	// requirement), and the largest defines the master query length.
+	ELV []int
+	// LB selects the filtering lower bound (default LBModeEn).
+	LB LBMode
+	// MinSeparation, when > 1, keeps selected neighbours at least this
+	// many time steps apart, suppressing trivially-overlapping matches.
+	// 0 or 1 disables the constraint (the paper's behaviour).
+	MinSeparation int
+}
+
+// Validate checks parameter consistency.
+func (p Params) Validate() error {
+	if p.Rho < 0 {
+		return fmt.Errorf("index: negative warping width %d", p.Rho)
+	}
+	if p.Omega < 2 {
+		return fmt.Errorf("index: window length ω=%d must be ≥ 2", p.Omega)
+	}
+	if len(p.ELV) == 0 {
+		return errors.New("index: empty ELV")
+	}
+	prev := 0
+	for _, d := range p.ELV {
+		if d < 2*p.Omega-1 {
+			return fmt.Errorf("index: item query length %d < 2ω−1 = %d", d, 2*p.Omega-1)
+		}
+		if d <= prev {
+			return errors.New("index: ELV must be strictly ascending")
+		}
+		prev = d
+	}
+	if p.LB < LBModeEn || p.LB > LBModeEC {
+		return fmt.Errorf("index: unknown LB mode %d", p.LB)
+	}
+	if p.MinSeparation < 0 {
+		return fmt.Errorf("index: negative MinSeparation %d", p.MinSeparation)
+	}
+	return nil
+}
+
+// DefaultParams returns the paper's default configuration (Table 2):
+// ρ=8, ω=16, ELV={32,64,96}.
+func DefaultParams() Params {
+	return Params{Rho: 8, Omega: 16, ELV: []int{32, 64, 96}}
+}
+
+// Index is the per-sensor SMiLer Index. It is not safe for concurrent
+// use; in a multi-sensor deployment each sensor owns one Index (the
+// paper scales out by creating one index per sensor and invoking more
+// blocks).
+type Index struct {
+	dev *gpusim.Device
+	p   Params
+
+	c    []float64 // full history of the sensor (normalized upstream)
+	dmax int       // master query length = max(ELV)
+	nSW  int       // number of sliding windows = dmax − ω + 1
+
+	// Disjoint windows. dwEnvU/dwEnvL[r] hold the envelope of DW_r
+	// computed with full-series context (a superset envelope, so the
+	// bounds stay valid; see Theorem 4.3's proof which drops boundary
+	// terms). The final column's context is refreshed as points arrive
+	// until ρ points of right context exist.
+	nDW          int
+	dwEnvU       [][]float64
+	dwEnvL       [][]float64
+	dwCtxPending []int // DW indices whose right context is incomplete
+
+	// Window-level posting lists in a ring of physical rows; logical
+	// sliding window b (offset from the right end of MQ) lives at
+	// physical slot (cursor+b) mod nSW. postEQ[slot][r] = LBEQ(SW_b,
+	// DW_r), postEC likewise.
+	postEQ [][]float64
+	postEC [][]float64
+	cursor int
+
+	// Master-query envelope, refreshed on every advance (length dmax).
+	mqEnvU, mqEnvL []float64
+
+	// prevNN remembers the last step's kNN positions per item length
+	// for the continuous-threshold reuse (Section 4.3.3, Filtering).
+	prevNN map[int][]int
+
+	bufs     []*gpusim.Buffer
+	unbooked int64 // appended-history bytes not yet reflected on the device
+	closed   bool
+
+	stats SearchStats
+}
+
+// SearchStats accumulates instrumentation from the most recent Search
+// call (used by the Table 3 / Fig. 8 experiments).
+type SearchStats struct {
+	// Candidates is the number of candidate segments whose lower bound
+	// was produced by the group level, summed over item queries.
+	Candidates int
+	// Unfiltered is the number of candidates that survived the lower
+	// bound filter and required DTW verification.
+	Unfiltered int
+	// VerifySimSeconds is the simulated GPU time spent in verification.
+	VerifySimSeconds float64
+	// LowerBoundSimSeconds is the simulated GPU time spent producing
+	// lower bounds (group-level shift sums).
+	LowerBoundSimSeconds float64
+}
+
+// New builds an index over the given history. The history must be at
+// least max(ELV)+ω points long so that a master query and at least one
+// disjoint window exist. The slice is copied.
+func New(dev *gpusim.Device, history []float64, p Params) (*Index, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	dmax := p.ELV[len(p.ELV)-1]
+	if len(history) < dmax+p.Omega {
+		return nil, fmt.Errorf("index: history length %d < d_max+ω = %d", len(history), dmax+p.Omega)
+	}
+	ix := &Index{
+		dev:    dev,
+		p:      p,
+		c:      append([]float64(nil), history...),
+		dmax:   dmax,
+		nSW:    dmax - p.Omega + 1,
+		prevNN: make(map[int][]int),
+	}
+	// Device residency: the history plus both posting-list planes. The
+	// posting lists grow with the history; reserve for the current size
+	// and extend on demand in grow().
+	ix.nDW = len(ix.c) / p.Omega
+	bytes := int64(8 * (len(ix.c) + 2*ix.nSW*ix.nDW))
+	buf, err := dev.Malloc("smiler-index", bytes)
+	if err != nil {
+		return nil, err
+	}
+	ix.bufs = append(ix.bufs, buf)
+
+	ix.dwEnvU = make([][]float64, ix.nDW)
+	ix.dwEnvL = make([][]float64, ix.nDW)
+	for r := 0; r < ix.nDW; r++ {
+		ix.computeDWEnvelope(r)
+	}
+	ix.postEQ = make([][]float64, ix.nSW)
+	ix.postEC = make([][]float64, ix.nSW)
+	for s := 0; s < ix.nSW; s++ {
+		ix.postEQ[s] = make([]float64, ix.nDW)
+		ix.postEC[s] = make([]float64, ix.nDW)
+	}
+	ix.refreshMQEnvelope()
+	if err := ix.rebuildWindowLevel(); err != nil {
+		ix.Close()
+		return nil, err
+	}
+	return ix, nil
+}
+
+// Close releases the index's device memory. Further use is invalid.
+func (ix *Index) Close() error {
+	if ix.closed {
+		return nil
+	}
+	ix.closed = true
+	var first error
+	for _, b := range ix.bufs {
+		if err := ix.dev.Free(b); err != nil && first == nil {
+			first = err
+		}
+	}
+	ix.bufs = nil
+	return first
+}
+
+// Len returns the current history length |C|.
+func (ix *Index) Len() int { return len(ix.c) }
+
+// Value returns the observation c_t.
+func (ix *Index) Value(t int) float64 { return ix.c[t] }
+
+// Params returns the index configuration.
+func (ix *Index) Params() Params { return ix.p }
+
+// Stats returns instrumentation from the most recent Search call.
+func (ix *Index) Stats() SearchStats { return ix.stats }
+
+// Footprint describes the index's device-memory consumption.
+type Footprint struct {
+	// HistoryBytes holds the raw series residing on the device.
+	HistoryBytes int64
+	// PostingBytes holds the two window-level posting planes
+	// (LBEQ and LBEC, nSW×nDW entries each).
+	PostingBytes int64
+}
+
+// Total returns the full per-sensor footprint in bytes.
+func (f Footprint) Total() int64 { return f.HistoryBytes + f.PostingBytes }
+
+// MemoryFootprint reports the index's current device residency — the
+// quantity Fig. 12(c)'s sensors-per-GPU capacity is derived from.
+func (ix *Index) MemoryFootprint() Footprint {
+	return Footprint{
+		HistoryBytes: int64(8 * len(ix.c)),
+		PostingBytes: int64(8 * 2 * ix.nSW * ix.nDW),
+	}
+}
+
+// History returns a copy of the full indexed history.
+func (ix *Index) History() []float64 {
+	return append([]float64(nil), ix.c...)
+}
+
+// MasterQuery returns a copy of the current master query (the last
+// d_max points of the history).
+func (ix *Index) MasterQuery() []float64 {
+	return append([]float64(nil), ix.c[len(ix.c)-ix.dmax:]...)
+}
+
+// slot maps a logical sliding-window offset b to its physical ring row.
+func (ix *Index) slot(b int) int {
+	return (ix.cursor + b) % ix.nSW
+}
+
+// swStart returns the start position, within the history, of the
+// sliding window at logical offset b: it covers c[swStart : swStart+ω].
+func (ix *Index) swStart(b int) int {
+	return len(ix.c) - b - ix.p.Omega
+}
+
+// computeDWEnvelope (re)computes the envelope of disjoint window r with
+// full-series context and tracks whether its right context is complete.
+func (ix *Index) computeDWEnvelope(r int) {
+	omega, rho := ix.p.Omega, ix.p.Rho
+	start := r * omega
+	u := make([]float64, omega)
+	l := make([]float64, omega)
+	for i := 0; i < omega; i++ {
+		lo, hi := start+i-rho, start+i+rho
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(ix.c)-1 {
+			hi = len(ix.c) - 1
+		}
+		mx, mn := ix.c[lo], ix.c[lo]
+		for j := lo + 1; j <= hi; j++ {
+			if ix.c[j] > mx {
+				mx = ix.c[j]
+			}
+			if ix.c[j] < mn {
+				mn = ix.c[j]
+			}
+		}
+		u[i] = mx
+		l[i] = mn
+	}
+	ix.dwEnvU[r] = u
+	ix.dwEnvL[r] = l
+	if (r+1)*omega+rho > len(ix.c) {
+		// Right context incomplete: remember to refresh later.
+		for _, p := range ix.dwCtxPending {
+			if p == r {
+				return
+			}
+		}
+		ix.dwCtxPending = append(ix.dwCtxPending, r)
+	}
+}
+
+// refreshMQEnvelope recomputes the master-query envelope, clamped to
+// the master query's own extent (Definition B.1 applied to MQ).
+func (ix *Index) refreshMQEnvelope() {
+	mq := ix.c[len(ix.c)-ix.dmax:]
+	env := dtw.NewEnvelope(mq, ix.p.Rho)
+	ix.mqEnvU, ix.mqEnvL = env.Upper, env.Lower
+}
+
+// swEnvelope returns the envelope of the sliding window at logical
+// offset b, sliced from the master-query envelope so neighbouring
+// context inside MQ is honoured.
+func (ix *Index) swEnvelope(b int) (u, l []float64) {
+	// MQ spans history [len−dmax, len); the window spans [swStart,
+	// swStart+ω); within MQ coordinates it starts at dmax − b − ω.
+	off := ix.dmax - b - ix.p.Omega
+	return ix.mqEnvU[off : off+ix.p.Omega], ix.mqEnvL[off : off+ix.p.Omega]
+}
+
+// fillPostingRow computes the posting list of the sliding window at
+// logical offset b against disjoint windows [rLo, rHi) into its
+// physical slot, charging blk for the work. When eqOnly is true only
+// the LBEQ half is recomputed (the envelope-refresh path of Remark 1).
+func (ix *Index) fillPostingRow(blk *gpusim.Block, b, rLo, rHi int, eqOnly bool) {
+	omega := ix.p.Omega
+	s := ix.slot(b)
+	swLo := ix.swStart(b)
+	sw := ix.c[swLo : swLo+omega]
+	swU, swL := ix.swEnvelope(b)
+	eq := ix.postEQ[s]
+	ec := ix.postEC[s]
+	for r := rLo; r < rHi; r++ {
+		dwLo := r * omega
+		dw := ix.c[dwLo : dwLo+omega]
+		var sumEQ, sumEC float64
+		for i := 0; i < omega; i++ {
+			// LBEQ: data point vs query envelope.
+			if v := dw[i]; v > swU[i] {
+				d := v - swU[i]
+				sumEQ += d * d
+			} else if v < swL[i] {
+				d := v - swL[i]
+				sumEQ += d * d
+			}
+			if !eqOnly {
+				// LBEC: query point vs data envelope.
+				if q := sw[i]; q > ix.dwEnvU[r][i] {
+					d := q - ix.dwEnvU[r][i]
+					sumEC += d * d
+				} else if q < ix.dwEnvL[r][i] {
+					d := q - ix.dwEnvL[r][i]
+					sumEC += d * d
+				}
+			}
+		}
+		eq[r] = sumEQ
+		if !eqOnly {
+			ec[r] = sumEC
+		}
+	}
+	// Cost model: each (SW,DW) pair touches 2ω global words and does
+	// ~4ω flops per bound; ω lanes work in parallel per pair.
+	pairs := rHi - rLo
+	if pairs > 0 {
+		blk.GlobalAccess(2 * omega * pairs)
+		blk.ParallelCompute(omega*pairs, 8)
+	}
+}
+
+// rebuildWindowLevel recomputes every posting row — the from-scratch
+// path used at construction and by the no-reuse ablation. One GPU block
+// processes one sliding window (Section 4.3.1).
+func (ix *Index) rebuildWindowLevel() error {
+	ix.cursor = 0
+	return ix.dev.Launch(ix.nSW, func(blk *gpusim.Block) error {
+		ix.fillPostingRow(blk, blk.ID, 0, ix.nDW, false)
+		return nil
+	})
+}
+
+// growPostingRows extends every physical posting row with zeroed slots
+// for newly completed disjoint windows.
+func (ix *Index) growPostingRows() {
+	for s := 0; s < ix.nSW; s++ {
+		for len(ix.postEQ[s]) < ix.nDW {
+			ix.postEQ[s] = append(ix.postEQ[s], 0)
+			ix.postEC[s] = append(ix.postEC[s], 0)
+		}
+	}
+}
+
+// extendDWColumns fills posting-list entries for newly completed
+// disjoint windows [oldNDW, nDW) across sliding windows [bLo, nSW).
+func (ix *Index) extendDWColumns(oldNDW, bLo int) error {
+	if ix.nDW == oldNDW || bLo >= ix.nSW {
+		return nil
+	}
+	return ix.dev.Launch(ix.nSW-bLo, func(blk *gpusim.Block) error {
+		ix.fillPostingRow(blk, bLo+blk.ID, oldNDW, ix.nDW, false)
+		return nil
+	})
+}
+
+// refreshPendingDWColumns re-derives envelopes (and posting columns)
+// for disjoint windows whose right context was incomplete when they
+// were first indexed.
+func (ix *Index) refreshPendingDWColumns() error {
+	if len(ix.dwCtxPending) == 0 {
+		return nil
+	}
+	pending := ix.dwCtxPending
+	ix.dwCtxPending = nil
+	for _, r := range pending {
+		ix.computeDWEnvelope(r)
+	}
+	return ix.dev.Launch(ix.nSW, func(blk *gpusim.Block) error {
+		for _, r := range pending {
+			ix.fillPostingRow(blk, blk.ID, r, r+1, false)
+		}
+		return nil
+	})
+}
+
+// Advance appends a new observation and shifts the master query one
+// step, reusing the window level per Remark 1: the ring cursor steps
+// back one row, the vacated row is filled with the new rightmost
+// sliding window, and the LBEQ halves of the ρ rows whose query
+// envelopes gained the new point are recomputed. New and
+// context-pending disjoint windows are folded in as they complete.
+func (ix *Index) Advance(obs float64) error {
+	if ix.closed {
+		return errors.New("index: closed")
+	}
+	ix.c = append(ix.c, obs)
+	ix.unbooked += 8 // the appended observation itself
+	oldNDW := ix.nDW
+	ix.nDW = len(ix.c) / ix.p.Omega
+	if ix.nDW > oldNDW {
+		// Book the accumulated history bytes plus the new posting-plane
+		// columns in one allocation per completed disjoint window.
+		extra := ix.unbooked + int64(8*2*ix.nSW*(ix.nDW-oldNDW))
+		nb, err := ix.dev.Malloc("smiler-index-grow", extra)
+		if err != nil {
+			return err
+		}
+		ix.bufs = append(ix.bufs, nb)
+		ix.unbooked = 0
+		for r := oldNDW; r < ix.nDW; r++ {
+			ix.dwEnvU = append(ix.dwEnvU, nil)
+			ix.dwEnvL = append(ix.dwEnvL, nil)
+			ix.computeDWEnvelope(r)
+		}
+	}
+	ix.refreshMQEnvelope()
+	ix.growPostingRows()
+
+	// Rotate: logical b=0 must land on the slot of the previous oldest
+	// window (previous b = nSW−1). Moving the cursor back one position
+	// achieves exactly that.
+	ix.cursor = (ix.cursor - 1 + ix.nSW) % ix.nSW
+
+	rho := ix.p.Rho
+	rows := 1 + rho // fresh row + ρ envelope-refresh rows
+	if rows > ix.nSW {
+		rows = ix.nSW
+	}
+	if err := ix.dev.Launch(rows, func(blk *gpusim.Block) error {
+		b := blk.ID
+		// b == 0 is the brand-new rightmost window: full recompute.
+		// b ∈ [1, ρ] are reused rows whose query envelope changed: only
+		// LBEQ needs refreshing (Fig. 6).
+		ix.fillPostingRow(blk, b, 0, ix.nDW, b != 0)
+		return nil
+	}); err != nil {
+		return err
+	}
+	// Every reused row still needs both bound halves for the brand-new
+	// DW columns (the eqOnly refresh above left their LBEC at zero).
+	if err := ix.extendDWColumns(oldNDW, 1); err != nil {
+		return err
+	}
+	return ix.refreshPendingDWColumns()
+}
+
+// AdvanceRebuild appends a new observation and rebuilds the window
+// level from scratch — the non-reuse baseline for the continuous-reuse
+// ablation benchmark.
+func (ix *Index) AdvanceRebuild(obs float64) error {
+	if ix.closed {
+		return errors.New("index: closed")
+	}
+	ix.c = append(ix.c, obs)
+	oldNDW := ix.nDW
+	ix.nDW = len(ix.c) / ix.p.Omega
+	for r := oldNDW; r < ix.nDW; r++ {
+		ix.dwEnvU = append(ix.dwEnvU, nil)
+		ix.dwEnvL = append(ix.dwEnvL, nil)
+	}
+	// Recompute all envelopes with fresh context (brute-force path).
+	ix.dwCtxPending = nil
+	for r := 0; r < ix.nDW; r++ {
+		ix.computeDWEnvelope(r)
+	}
+	for s := 0; s < ix.nSW; s++ {
+		for len(ix.postEQ[s]) < ix.nDW {
+			ix.postEQ[s] = append(ix.postEQ[s], 0)
+			ix.postEC[s] = append(ix.postEC[s], 0)
+		}
+	}
+	ix.refreshMQEnvelope()
+	ix.prevNN = make(map[int][]int)
+	return ix.rebuildWindowLevel()
+}

@@ -1,0 +1,840 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"smiler/internal/dtw"
+	"smiler/internal/gpusim"
+	"smiler/internal/scan"
+)
+
+func testDevice(t testing.TB) *gpusim.Device {
+	t.Helper()
+	return gpusim.MustNewDevice(gpusim.DefaultConfig())
+}
+
+func randwalk(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	v := 0.0
+	for i := range out {
+		v += rng.NormFloat64() * 0.3
+		out[i] = v
+	}
+	return out
+}
+
+func smallParams() Params {
+	return Params{Rho: 3, Omega: 8, ELV: []int{16, 24, 40}}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Params{
+		{Rho: -1, Omega: 16, ELV: []int{32}},
+		{Rho: 8, Omega: 1, ELV: []int{32}},
+		{Rho: 8, Omega: 16, ELV: nil},
+		{Rho: 8, Omega: 16, ELV: []int{16}},         // < 2ω−1
+		{Rho: 8, Omega: 16, ELV: []int{64, 32}},     // not ascending
+		{Rho: 8, Omega: 16, ELV: []int{32, 32}},     // not strict
+		{Rho: 8, Omega: 16, ELV: []int{32}, LB: 99}, // bad mode
+		{Rho: 8, Omega: 16, ELV: []int{32}, MinSeparation: -2},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d (%+v): expected validation error", i, p)
+		}
+	}
+}
+
+func TestLBModeString(t *testing.T) {
+	if LBModeEn.String() != "LBen" || LBModeEQ.String() != "LBEQ" || LBModeEC.String() != "LBEC" {
+		t.Fatal("LBMode strings wrong")
+	}
+	if LBMode(42).String() == "" {
+		t.Fatal("unknown mode should still render")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	dev := testDevice(t)
+	if _, err := New(dev, make([]float64, 10), smallParams()); err == nil {
+		t.Fatal("expected error for short history")
+	}
+	bad := smallParams()
+	bad.Omega = 0
+	if _, err := New(dev, make([]float64, 500), bad); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestNewReleasesMemoryOnClose(t *testing.T) {
+	dev := testDevice(t)
+	rng := rand.New(rand.NewSource(1))
+	ix, err := New(dev, randwalkN(rng, 400), smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.UsedBytes() == 0 {
+		t.Fatal("index should reserve device memory")
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if dev.UsedBytes() != 0 {
+		t.Fatalf("device memory leaked: %d bytes", dev.UsedBytes())
+	}
+	if err := ix.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := ix.Advance(1); err == nil {
+		t.Fatal("Advance after Close should fail")
+	}
+	if _, err := ix.Search(4, 1); err == nil {
+		t.Fatal("Search after Close should fail")
+	}
+}
+
+func randwalkN(rng *rand.Rand, n int) []float64 { return randwalk(rng, n) }
+
+// The index's group-level lower bound must never exceed the true
+// banded DTW distance (Theorem 4.3), for every item query and position.
+func TestGroupLevelLowerBoundIsLowerBound(t *testing.T) {
+	dev := testDevice(t)
+	rng := rand.New(rand.NewSource(2))
+	p := smallParams()
+	hist := randwalk(rng, 300)
+	ix, err := New(dev, hist, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	const h = 2
+	lbs, err := ix.groupLevelLowerBounds(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range p.ELV {
+		query := hist[len(hist)-d:]
+		for tpos, lb := range lbs[i] {
+			if math.IsInf(lb, 1) {
+				continue
+			}
+			dist, err := dtw.Distance(query, hist[tpos:tpos+d], p.Rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lb > dist+1e-9*(1+dist) {
+				t.Fatalf("d=%d t=%d: LBw %v > DTW %v", d, tpos, lb, dist)
+			}
+		}
+	}
+}
+
+// Every valid position must receive a finite lower bound (coverage of
+// the alignment enumeration, Theorem 4.2).
+func TestGroupLevelCoverage(t *testing.T) {
+	dev := testDevice(t)
+	rng := rand.New(rand.NewSource(3))
+	p := smallParams()
+	hist := randwalk(rng, 257) // deliberately not a multiple of ω
+	ix, err := New(dev, hist, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	const h = 1
+	lbs, err := ix.groupLevelLowerBounds(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range p.ELV {
+		for tpos, lb := range lbs[i] {
+			if math.IsInf(lb, 1) {
+				t.Fatalf("d=%d: position %d has no lower bound", d, tpos)
+			}
+		}
+	}
+}
+
+func neighborsMatch(t *testing.T, got []Neighbor, want []scan.Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d neighbours, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i].Dist-want[i].Dist) > 1e-9*(1+want[i].Dist) {
+			t.Fatalf("neighbour %d: dist %v, want %v", i, got[i].Dist, want[i].Dist)
+		}
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	dev := testDevice(t)
+	rng := rand.New(rand.NewSource(4))
+	p := smallParams()
+	hist := randwalk(rng, 400)
+	ix, err := New(dev, hist, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	for _, k := range []int{1, 4, 16} {
+		for _, h := range []int{1, 5} {
+			res, err := ix.Search(k, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res) != len(p.ELV) {
+				t.Fatalf("got %d item results", len(res))
+			}
+			for i, d := range p.ELV {
+				if res[i].D != d {
+					t.Fatalf("item %d: D=%d want %d", i, res[i].D, d)
+				}
+				want, err := scan.BruteKNN(hist, hist[len(hist)-d:], p.Rho, k, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				neighborsMatch(t, res[i].Neighbors, want)
+			}
+		}
+	}
+}
+
+func TestSearchArgErrors(t *testing.T) {
+	dev := testDevice(t)
+	rng := rand.New(rand.NewSource(5))
+	ix, err := New(dev, randwalk(rng, 300), smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if _, err := ix.Search(0, 1); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	if _, err := ix.Search(4, 0); err == nil {
+		t.Fatal("h=0 should fail")
+	}
+}
+
+// Continuous prediction: advance the stream many steps (crossing
+// disjoint-window boundaries) and verify the reused index stays exact.
+func TestContinuousAdvanceStaysExact(t *testing.T) {
+	dev := testDevice(t)
+	rng := rand.New(rand.NewSource(6))
+	p := smallParams()
+	all := randwalk(rng, 360)
+	warm := 300
+	ix, err := New(dev, all[:warm], p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	const k, h = 8, 3
+	if _, err := ix.Search(k, h); err != nil { // prime prevNN reuse path
+		t.Fatal(err)
+	}
+	for step := warm; step < len(all); step++ {
+		if err := ix.Advance(all[step]); err != nil {
+			t.Fatal(err)
+		}
+		if (step-warm)%7 != 0 { // search on a stride to keep the test fast
+			continue
+		}
+		hist := all[:step+1]
+		res, err := ix.Search(k, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, d := range p.ELV {
+			want, err := scan.BruteKNN(hist, hist[len(hist)-d:], p.Rho, k, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			neighborsMatch(t, res[i].Neighbors, want)
+		}
+	}
+	if ix.Len() != len(all) {
+		t.Fatal("Len wrong after advances")
+	}
+}
+
+// The rebuild-from-scratch path must agree with the incremental path.
+func TestAdvanceRebuildAgreesWithAdvance(t *testing.T) {
+	dev := testDevice(t)
+	rng := rand.New(rand.NewSource(7))
+	p := smallParams()
+	all := randwalk(rng, 330)
+	warm := 300
+	a, err := New(dev, all[:warm], p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := New(dev, all[:warm], p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for step := warm; step < len(all); step++ {
+		if err := a.Advance(all[step]); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AdvanceRebuild(all[step]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ra, err := a.Search(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Search(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ra {
+		if len(ra[i].Neighbors) != len(rb[i].Neighbors) {
+			t.Fatalf("item %d: neighbour counts differ", i)
+		}
+		for j := range ra[i].Neighbors {
+			if math.Abs(ra[i].Neighbors[j].Dist-rb[i].Neighbors[j].Dist) > 1e-9 {
+				t.Fatalf("item %d neighbour %d: %v vs %v", i, j,
+					ra[i].Neighbors[j].Dist, rb[i].Neighbors[j].Dist)
+			}
+		}
+	}
+}
+
+// All three LB modes must return identical (exact) kNN distances; they
+// only differ in filtering power.
+func TestLBModesAllExact(t *testing.T) {
+	dev := testDevice(t)
+	rng := rand.New(rand.NewSource(8))
+	hist := randwalk(rng, 400)
+	var base []ItemResult
+	unfiltered := map[LBMode]int{}
+	for _, mode := range []LBMode{LBModeEn, LBModeEQ, LBModeEC} {
+		p := smallParams()
+		p.LB = mode
+		ix, err := New(dev, hist, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ix.Search(8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unfiltered[mode] = ix.Stats().Unfiltered
+		if ix.Stats().Candidates == 0 {
+			t.Fatal("stats should count candidates")
+		}
+		if base == nil {
+			base = res
+		} else {
+			for i := range res {
+				for j := range res[i].Neighbors {
+					if math.Abs(res[i].Neighbors[j].Dist-base[i].Neighbors[j].Dist) > 1e-9 {
+						t.Fatalf("mode %v: distance mismatch", mode)
+					}
+				}
+			}
+		}
+		ix.Close()
+	}
+	// The enhanced bound dominates both single bounds pointwise, so
+	// with the same exact thresholds it can never verify more.
+	if unfiltered[LBModeEn] > unfiltered[LBModeEQ] || unfiltered[LBModeEn] > unfiltered[LBModeEC] {
+		t.Fatalf("LBen filtered worse than a single bound: %v", unfiltered)
+	}
+}
+
+func TestMinSeparation(t *testing.T) {
+	dev := testDevice(t)
+	rng := rand.New(rand.NewSource(9))
+	p := smallParams()
+	p.MinSeparation = 10
+	ix, err := New(dev, randwalk(rng, 400), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	res, err := ix.Search(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, item := range res {
+		for a := 0; a < len(item.Neighbors); a++ {
+			for b := a + 1; b < len(item.Neighbors); b++ {
+				if abs(item.Neighbors[a].T-item.Neighbors[b].T) < p.MinSeparation {
+					t.Fatalf("d=%d: neighbours %d and %d too close", item.D,
+						item.Neighbors[a].T, item.Neighbors[b].T)
+				}
+			}
+		}
+	}
+}
+
+func TestMasterQueryAndAccessors(t *testing.T) {
+	dev := testDevice(t)
+	rng := rand.New(rand.NewSource(10))
+	hist := randwalk(rng, 300)
+	p := smallParams()
+	ix, err := New(dev, hist, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	mq := ix.MasterQuery()
+	dmax := p.ELV[len(p.ELV)-1]
+	if len(mq) != dmax {
+		t.Fatalf("master query length %d, want %d", len(mq), dmax)
+	}
+	for i := range mq {
+		if mq[i] != hist[len(hist)-dmax+i] {
+			t.Fatal("master query content wrong")
+		}
+	}
+	if ix.Value(3) != hist[3] {
+		t.Fatal("Value wrong")
+	}
+	if ix.Params().Omega != p.Omega {
+		t.Fatal("Params wrong")
+	}
+}
+
+// Property: on random walks with random shapes, Search equals brute
+// force for the largest item query.
+func TestQuickSearchExactness(t *testing.T) {
+	dev := testDevice(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Params{Rho: 1 + rng.Intn(4), Omega: 6 + rng.Intn(4), ELV: nil}
+		d1 := 2*p.Omega - 1 + rng.Intn(8)
+		d2 := d1 + 1 + rng.Intn(12)
+		p.ELV = []int{d1, d2}
+		n := d2 + p.Omega + 50 + rng.Intn(150)
+		hist := randwalk(rng, n)
+		ix, err := New(dev, hist, p)
+		if err != nil {
+			return false
+		}
+		defer ix.Close()
+		k := 1 + rng.Intn(6)
+		h := 1 + rng.Intn(4)
+		res, err := ix.Search(k, h)
+		if err != nil {
+			return false
+		}
+		for i, d := range p.ELV {
+			want, err := scan.BruteKNN(hist, hist[len(hist)-d:], p.Rho, k, h)
+			if err != nil {
+				return false
+			}
+			if len(res[i].Neighbors) != len(want) {
+				return false
+			}
+			for j := range want {
+				if math.Abs(res[i].Neighbors[j].Dist-want[j].Dist) > 1e-9*(1+want[j].Dist) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexOutOfDeviceMemory(t *testing.T) {
+	cfg := gpusim.DefaultConfig()
+	cfg.GlobalMemBytes = 1024 // far too small
+	dev := gpusim.MustNewDevice(cfg)
+	rng := rand.New(rand.NewSource(11))
+	_, err := New(dev, randwalk(rng, 300), smallParams())
+	if !errors.Is(err, gpusim.ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	if dev.UsedBytes() != 0 {
+		t.Fatal("failed construction must not leak device memory")
+	}
+}
+
+// SearchMulti must return, for every horizon, exactly what Search
+// returns for that horizon — while verifying each candidate once.
+func TestSearchMultiMatchesSingle(t *testing.T) {
+	dev := testDevice(t)
+	rng := rand.New(rand.NewSource(20))
+	p := smallParams()
+	hist := randwalk(rng, 400)
+	hs := []int{1, 3, 7}
+	const k = 8
+
+	multiIx, err := New(dev, hist, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer multiIx.Close()
+	multi, err := multiIx.SearchMulti(k, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hs {
+		single, err := New(dev, hist, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := single.Search(k, h)
+		single.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := multi[h]
+		if len(got) != len(want) {
+			t.Fatalf("h=%d: %d items, want %d", h, len(got), len(want))
+		}
+		for i := range want {
+			if len(got[i].Neighbors) != len(want[i].Neighbors) {
+				t.Fatalf("h=%d item %d: %d neighbours, want %d",
+					h, i, len(got[i].Neighbors), len(want[i].Neighbors))
+			}
+			for j := range want[i].Neighbors {
+				if math.Abs(got[i].Neighbors[j].Dist-want[i].Neighbors[j].Dist) > 1e-9 {
+					t.Fatalf("h=%d item %d neighbour %d: %v vs %v", h, i, j,
+						got[i].Neighbors[j].Dist, want[i].Neighbors[j].Dist)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchMultiContinuous(t *testing.T) {
+	dev := testDevice(t)
+	rng := rand.New(rand.NewSource(21))
+	p := smallParams()
+	all := randwalk(rng, 330)
+	ix, err := New(dev, all[:300], p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	hs := []int{2, 5}
+	for step := 300; step < 320; step++ {
+		if err := ix.Advance(all[step]); err != nil {
+			t.Fatal(err)
+		}
+		res, err := ix.SearchMulti(6, hs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hist := all[:step+1]
+		for _, h := range hs {
+			for i, d := range p.ELV {
+				want, err := scan.BruteKNN(hist, hist[len(hist)-d:], p.Rho, 6, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				neighborsMatch(t, res[h][i].Neighbors, want)
+			}
+		}
+	}
+}
+
+func TestSearchMultiErrors(t *testing.T) {
+	dev := testDevice(t)
+	rng := rand.New(rand.NewSource(22))
+	ix, err := New(dev, randwalk(rng, 300), smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if _, err := ix.SearchMulti(0, []int{1}); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	if _, err := ix.SearchMulti(4, nil); err == nil {
+		t.Fatal("empty horizons should fail")
+	}
+	if _, err := ix.SearchMulti(4, []int{0}); err == nil {
+		t.Fatal("h=0 should fail")
+	}
+	ix.Close()
+	if _, err := ix.SearchMulti(4, []int{1}); err == nil {
+		t.Fatal("closed index should fail")
+	}
+}
+
+// Failure injection: a device with too little shared memory per block
+// must surface ErrSharedMemExceeded through Search (the compressed
+// warping matrix and the query no longer fit — exactly the constraint
+// Algorithm 2 is designed around).
+func TestSearchSurfacesSharedMemoryExhaustion(t *testing.T) {
+	cfg := gpusim.DefaultConfig()
+	cfg.SharedMemPerBlock = 64 // bytes; absurdly small
+	dev := gpusim.MustNewDevice(cfg)
+	rng := rand.New(rand.NewSource(30))
+	ix, err := New(dev, randwalk(rng, 300), smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if _, err := ix.Search(4, 1); !errors.Is(err, gpusim.ErrSharedMemExceeded) {
+		t.Fatalf("err = %v, want ErrSharedMemExceeded", err)
+	}
+	if _, err := ix.SearchMulti(4, []int{1, 2}); !errors.Is(err, gpusim.ErrSharedMemExceeded) {
+		t.Fatalf("multi err = %v, want ErrSharedMemExceeded", err)
+	}
+}
+
+// Failure injection: device memory exhaustion while the stream grows
+// (a new disjoint window needs posting-plane space) must surface
+// ErrOutOfMemory from Advance, not corrupt the index.
+func TestAdvanceSurfacesDeviceOOM(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	hist := randwalk(rng, 320)
+	p := smallParams()
+	// First measure the index footprint, then give the device just a
+	// little headroom so growth fails quickly.
+	probe := gpusim.MustNewDevice(gpusim.DefaultConfig())
+	ixProbe, err := New(probe, hist, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	footprint := probe.UsedBytes()
+	ixProbe.Close()
+
+	cfg := gpusim.DefaultConfig()
+	cfg.GlobalMemBytes = footprint + 64
+	dev := gpusim.MustNewDevice(cfg)
+	ix, err := New(dev, hist, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	var sawOOM bool
+	for i := 0; i < 2*p.Omega; i++ {
+		if err := ix.Advance(rng.NormFloat64()); err != nil {
+			if !errors.Is(err, gpusim.ErrOutOfMemory) {
+				t.Fatalf("err = %v, want ErrOutOfMemory", err)
+			}
+			sawOOM = true
+			break
+		}
+	}
+	if !sawOOM {
+		t.Fatal("expected OOM when growing past the device budget")
+	}
+}
+
+// Stats instrumentation must be populated by searches.
+func TestSearchStatsPopulated(t *testing.T) {
+	dev := testDevice(t)
+	rng := rand.New(rand.NewSource(32))
+	ix, err := New(dev, randwalk(rng, 400), smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if _, err := ix.Search(8, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := ix.Stats()
+	if st.Candidates == 0 || st.Unfiltered == 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+	if st.Unfiltered > st.Candidates {
+		t.Fatalf("unfiltered %d cannot exceed candidates %d", st.Unfiltered, st.Candidates)
+	}
+	if st.LowerBoundSimSeconds <= 0 || st.VerifySimSeconds <= 0 {
+		t.Fatalf("sim time stats not populated: %+v", st)
+	}
+}
+
+// Range search must return exactly the brute-force set of segments
+// within eps, sorted ascending.
+func TestSearchRangeMatchesBrute(t *testing.T) {
+	dev := testDevice(t)
+	rng := rand.New(rand.NewSource(40))
+	p := smallParams()
+	hist := randwalk(rng, 400)
+	ix, err := New(dev, hist, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	const h = 2
+	// Pick eps as twice the 5-NN distance so the sets are non-trivial.
+	ref, err := scan.BruteKNN(hist, hist[len(hist)-p.ELV[0]:], p.Rho, 5, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := ref[len(ref)-1].Dist * 2
+
+	res, err := ix.SearchRange(eps, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range p.ELV {
+		// Brute force: all candidates within eps.
+		all, err := scan.BruteKNN(hist, hist[len(hist)-d:], p.Rho, 1<<20, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []scan.Result
+		for _, r := range all {
+			if r.Dist <= eps {
+				want = append(want, r)
+			}
+		}
+		got := res[i].Neighbors
+		if len(got) != len(want) {
+			t.Fatalf("d=%d: %d in range, want %d", d, len(got), len(want))
+		}
+		for j := range want {
+			if math.Abs(got[j].Dist-want[j].Dist) > 1e-9*(1+want[j].Dist) {
+				t.Fatalf("d=%d result %d: %v vs %v", d, j, got[j].Dist, want[j].Dist)
+			}
+			if j > 0 && got[j-1].Dist > got[j].Dist {
+				t.Fatalf("d=%d: results unsorted", d)
+			}
+		}
+	}
+
+	counts, err := ix.CountRange(eps, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range p.ELV {
+		if counts[d] != len(res[i].Neighbors) {
+			t.Fatalf("d=%d: count %d vs %d", d, counts[d], len(res[i].Neighbors))
+		}
+	}
+}
+
+func TestSearchRangeErrors(t *testing.T) {
+	dev := testDevice(t)
+	rng := rand.New(rand.NewSource(41))
+	ix, err := New(dev, randwalk(rng, 300), smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if _, err := ix.SearchRange(-1, 1); err == nil {
+		t.Fatal("negative eps should fail")
+	}
+	if _, err := ix.SearchRange(math.NaN(), 1); err == nil {
+		t.Fatal("NaN eps should fail")
+	}
+	if _, err := ix.SearchRange(1, 0); err == nil {
+		t.Fatal("h=0 should fail")
+	}
+	if _, err := ix.SearchRange(0, 1); err != nil {
+		t.Fatal("eps=0 should be legal (exact matches only)")
+	}
+	ix.Close()
+	if _, err := ix.SearchRange(1, 1); err == nil {
+		t.Fatal("closed index should fail")
+	}
+}
+
+func TestMemoryFootprintMatchesDeviceUsage(t *testing.T) {
+	dev := testDevice(t)
+	rng := rand.New(rand.NewSource(50))
+	ix, err := New(dev, randwalk(rng, 400), smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	fp := ix.MemoryFootprint()
+	if fp.HistoryBytes != 8*400 {
+		t.Fatalf("history bytes %d", fp.HistoryBytes)
+	}
+	if fp.PostingBytes <= 0 || fp.Total() != fp.HistoryBytes+fp.PostingBytes {
+		t.Fatalf("footprint %+v inconsistent", fp)
+	}
+	if used := dev.UsedBytes(); used != fp.Total() {
+		t.Fatalf("device reports %d, footprint says %d", used, fp.Total())
+	}
+	// Growth keeps them in step, up to the ≤ω points booked lazily at
+	// the next disjoint-window completion.
+	p := ix.Params()
+	for i := 0; i < 20; i++ {
+		if err := ix.Advance(rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slack := int64(8 * p.Omega)
+	if used := dev.UsedBytes(); used < ix.MemoryFootprint().Total()-slack {
+		t.Fatalf("device usage %d fell behind footprint %d", used, ix.MemoryFootprint().Total())
+	}
+}
+
+// Multiple indexes share one device concurrently (the paper's
+// multi-sensor deployment: one index per sensor, more blocks). Each
+// goroutine must stay exact while the device interleaves launches.
+func TestConcurrentIndexesOnOneDevice(t *testing.T) {
+	dev := testDevice(t)
+	p := smallParams()
+	const sensors = 4
+	errs := make(chan error, sensors)
+	var wg sync.WaitGroup
+	for s := 0; s < sensors; s++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			all := randwalk(rng, 340)
+			ix, err := New(dev, all[:300], p)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer ix.Close()
+			for step := 300; step < len(all); step++ {
+				if err := ix.Advance(all[step]); err != nil {
+					errs <- err
+					return
+				}
+				if step%10 != 0 {
+					continue
+				}
+				res, err := ix.Search(5, 2)
+				if err != nil {
+					errs <- err
+					return
+				}
+				hist := all[:step+1]
+				for i, d := range p.ELV {
+					want, err := scan.BruteKNN(hist, hist[len(hist)-d:], p.Rho, 5, 2)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(res[i].Neighbors) != len(want) {
+						errs <- fmt.Errorf("sensor %d d=%d: %d vs %d neighbours",
+							seed, d, len(res[i].Neighbors), len(want))
+						return
+					}
+					for j := range want {
+						if math.Abs(res[i].Neighbors[j].Dist-want[j].Dist) > 1e-9*(1+want[j].Dist) {
+							errs <- fmt.Errorf("sensor %d: distance mismatch", seed)
+							return
+						}
+					}
+				}
+			}
+		}(int64(s + 100))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"smiler/internal/dtw"
+	"smiler/internal/gpusim"
+)
+
+// SearchMulti answers the Suffix kNN Search for several horizons in a
+// single pass. The horizon only changes the label-validity mask
+// (candidates must satisfy t ≤ |C| − d − h), so the group-level lower
+// bounds are produced once and each candidate segment's DTW is
+// verified at most once, no matter how many horizons ask for it. The
+// result maps each horizon to its per-item-query kNN sets, each
+// identical to what Search(k, h) would return.
+func (ix *Index) SearchMulti(k int, hs []int) (map[int][]ItemResult, error) {
+	if ix.closed {
+		return nil, errors.New("index: closed")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("index: k=%d must be positive", k)
+	}
+	if len(hs) == 0 {
+		return nil, errors.New("index: empty horizon list")
+	}
+	sorted := append([]int(nil), hs...)
+	sort.Ints(sorted)
+	if sorted[0] <= 0 {
+		return nil, fmt.Errorf("index: horizon %d must be positive", sorted[0])
+	}
+	ix.stats = SearchStats{}
+
+	// Lower bounds once, with the smallest horizon's (largest) mask.
+	hMin := sorted[0]
+	lbs, err := ix.groupLevelLowerBounds(hMin)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make(map[int][]ItemResult, len(sorted))
+	for _, h := range sorted {
+		out[h] = make([]ItemResult, len(ix.p.ELV))
+	}
+
+	n := len(ix.c)
+	for i, d := range ix.p.ELV {
+		query := ix.c[n-d:]
+		dists, err := ix.verifyMulti(d, query, lbs[i], k, sorted)
+		if err != nil {
+			return nil, err
+		}
+		for _, h := range sorted {
+			maxT := n - d - h
+			if maxT >= len(dists) {
+				maxT = len(dists) - 1
+			}
+			var neighbors []Neighbor
+			if maxT >= 0 {
+				neighbors, err = ix.selectKRange(dists[:maxT+1], k)
+				if err != nil {
+					return nil, err
+				}
+			}
+			out[h][i] = ItemResult{D: d, Neighbors: neighbors}
+			if h == hMin {
+				prev := make([]int, len(neighbors))
+				for j, nb := range neighbors {
+					prev[j] = nb.T
+				}
+				ix.prevNN[d] = prev
+			}
+		}
+	}
+	return out, nil
+}
+
+// verifyMulti computes exact DTW distances for the union over horizons
+// of the candidates that must be verified: for each horizon an exact
+// threshold τ_h is derived on its candidate range, and a candidate is
+// verified when any horizon's filter keeps it. Extra verified
+// candidates can only improve the selections (never miss a true
+// neighbour), so every per-horizon result stays exact.
+func (ix *Index) verifyMulti(d int, query []float64, lbs []float64, k int, hs []int) ([]float64, error) {
+	nPos := len(lbs)
+	inf := math.Inf(1)
+	dists := make([]float64, nPos)
+	for t := range dists {
+		dists[t] = inf
+	}
+	if nPos == 0 {
+		return dists, nil
+	}
+	n := len(ix.c)
+
+	// Per-horizon thresholds on their own ranges.
+	need := make([]bool, nPos)
+	for _, h := range hs {
+		maxT := n - d - h
+		if maxT >= nPos {
+			maxT = nPos - 1
+		}
+		if maxT < 0 {
+			continue
+		}
+		tau, err := ix.threshold(d, query, lbs[:maxT+1], k)
+		if err != nil {
+			return nil, err
+		}
+		for t := 0; t <= maxT; t++ {
+			if lbs[t] <= tau {
+				need[t] = true
+			}
+		}
+	}
+
+	rho := ix.p.Rho
+	before := ix.dev.SimSeconds()
+	grid := (nPos + verifyChunk - 1) / verifyChunk
+	counts := make([]int, grid)
+	err := ix.dev.Launch(grid, func(blk *gpusim.Block) error {
+		lo := blk.ID * verifyChunk
+		hi := lo + verifyChunk
+		if hi > nPos {
+			hi = nPos
+		}
+		cnt := 0
+		for t := lo; t < hi; t++ {
+			blk.GlobalAccess(1)
+			if need[t] {
+				cnt++
+			}
+		}
+		counts[blk.ID] = cnt
+		if cnt == 0 {
+			return nil
+		}
+		if err := chargeVerifyBlock(blk, d, rho, cnt); err != nil {
+			return err
+		}
+		scratch := dtw.NewCompressedScratch(rho)
+		for t := lo; t < hi; t++ {
+			if !need[t] {
+				continue
+			}
+			dist, err := dtw.DistanceCompressed(query, ix.c[t:t+d], rho, scratch)
+			if err != nil {
+				return err
+			}
+			dists[t] = dist
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ix.stats.VerifySimSeconds += ix.dev.SimSeconds() - before
+	for _, c := range counts {
+		ix.stats.Unfiltered += c
+	}
+	return dists, nil
+}
+
+// selectKRange selects the k nearest among the verified candidates in
+// the given range, honouring MinSeparation like selectK.
+func (ix *Index) selectKRange(dists []float64, k int) ([]Neighbor, error) {
+	return ix.selectK(dists, k)
+}

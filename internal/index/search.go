@@ -1,0 +1,406 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"smiler/internal/dtw"
+	"smiler/internal/gpusim"
+)
+
+// Neighbor is one kNN result: the segment C[T : T+D] at distance Dist
+// from the item query of length D. Its h-step-ahead label is the
+// observation C[T+D-1+h].
+type Neighbor struct {
+	T    int
+	Dist float64
+}
+
+// ItemResult holds the kNN set of one item query.
+type ItemResult struct {
+	// D is the item query length (an entry of ELV).
+	D int
+	// Neighbors is sorted ascending by distance (ties by T). It may be
+	// shorter than k when the history has fewer valid candidates.
+	Neighbors []Neighbor
+}
+
+// verifyChunk is the number of candidate positions one verification
+// block processes (two-phase filter/verify per Section 4.4 keeps the
+// block's lanes homogeneous).
+const verifyChunk = 256
+
+// Search answers the Suffix kNN Search for the current master query:
+// for every item query length in ELV it returns the k nearest
+// historical segments under banded DTW, considering only candidates
+// whose h-step-ahead label already exists (t ≤ |C| − d − h). The
+// result slice is ordered like ELV.
+func (ix *Index) Search(k, h int) ([]ItemResult, error) {
+	if ix.closed {
+		return nil, errors.New("index: closed")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("index: k=%d must be positive", k)
+	}
+	if h <= 0 {
+		return nil, fmt.Errorf("index: horizon h=%d must be positive", h)
+	}
+	ix.stats = SearchStats{}
+
+	lbs, err := ix.groupLevelLowerBounds(h)
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]ItemResult, len(ix.p.ELV))
+	for i, d := range ix.p.ELV {
+		res, err := ix.searchOneItem(d, lbs[i], k, h)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = res
+	}
+	return results, nil
+}
+
+// ComputeLowerBounds exposes the group-level lower-bound pass on its
+// own: one bound slice per ELV entry, indexed by candidate position
+// (+Inf where no valid candidate exists). The Fig. 8 experiment uses
+// it to compare LBen production with and without the window-level
+// index.
+func (ix *Index) ComputeLowerBounds(h int) ([][]float64, error) {
+	if ix.closed {
+		return nil, errors.New("index: closed")
+	}
+	if h <= 0 {
+		return nil, fmt.Errorf("index: horizon h=%d must be positive", h)
+	}
+	ix.stats = SearchStats{}
+	return ix.groupLevelLowerBounds(h)
+}
+
+// groupLevelLowerBounds runs the group-level kernel: one block per CSG
+// identifier b ∈ [0, ω), shift-summing window-level posting lists to
+// produce, for every item query i and candidate position t, the window
+// enhanced lower bound LBw (Theorem 4.3, Algorithm 1). Positions whose
+// label does not exist yet are left at +Inf.
+func (ix *Index) groupLevelLowerBounds(h int) ([][]float64, error) {
+	n := len(ix.c)
+	omega := ix.p.Omega
+	inf := math.Inf(1)
+
+	lbs := make([][]float64, len(ix.p.ELV))
+	maxT := make([]int, len(ix.p.ELV))
+	for i, d := range ix.p.ELV {
+		maxT[i] = n - d - h // last candidate start with an existing label
+		if maxT[i] < 0 {
+			maxT[i] = -1
+		}
+		lbs[i] = make([]float64, maxT[i]+1)
+		for t := range lbs[i] {
+			lbs[i][t] = inf
+		}
+	}
+
+	before := ix.dev.SimSeconds()
+	err := ix.dev.Launch(omega, func(blk *gpusim.Block) error {
+		b := blk.ID
+		// Precompute, per item query, the CSG size m_i = ⌊(d_i−b)/ω⌋
+		// and remainder used by the alignment formula (Lemma 4.1).
+		m := make([]int, len(ix.p.ELV))
+		rem := make([]int, len(ix.p.ELV))
+		for i, d := range ix.p.ELV {
+			m[i] = (d - b) / omega
+			rem[i] = (d - b) % omega
+		}
+		maxJ := (ix.nSW - 1 - b) / omega // deepest window of CSG_b in MQ
+		for r := 0; r < ix.nDW; r++ {
+			var sumEQ, sumEC float64
+			jHi := maxJ
+			if r < jHi {
+				jHi = r
+			}
+			for j := 0; j <= jHi; j++ {
+				s := ix.slot(b + j*omega)
+				sumEQ += ix.postEQ[s][r-j]
+				sumEC += ix.postEC[s][r-j]
+				blk.GlobalAccess(2)
+				blk.Compute(2)
+				for i := range ix.p.ELV {
+					if m[i] != j+1 {
+						continue
+					}
+					t := (r-j)*omega - rem[i]
+					if t < 0 || t > maxT[i] {
+						continue
+					}
+					var lb float64
+					switch ix.p.LB {
+					case LBModeEQ:
+						lb = sumEQ
+					case LBModeEC:
+						lb = sumEC
+					default:
+						lb = math.Max(sumEQ, sumEC)
+					}
+					lbs[i][t] = lb
+					blk.GlobalAccess(1)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ix.stats.LowerBoundSimSeconds += ix.dev.SimSeconds() - before
+	for i := range lbs {
+		for _, v := range lbs[i] {
+			if !math.IsInf(v, 1) {
+				ix.stats.Candidates++
+			}
+		}
+	}
+	return lbs, nil
+}
+
+// searchOneItem runs filter → verify → select for one item query.
+func (ix *Index) searchOneItem(d int, lbs []float64, k, h int) (ItemResult, error) {
+	res := ItemResult{D: d}
+	if len(lbs) == 0 {
+		return res, nil
+	}
+	query := ix.c[len(ix.c)-d:]
+
+	tau, err := ix.threshold(d, query, lbs, k)
+	if err != nil {
+		return res, err
+	}
+
+	dists, unfiltered, err := ix.verify(query, lbs, tau)
+	if err != nil {
+		return res, err
+	}
+	ix.stats.Unfiltered += unfiltered
+
+	neighbors, err := ix.selectK(dists, k)
+	if err != nil {
+		return res, err
+	}
+	res.Neighbors = neighbors
+
+	prev := make([]int, len(neighbors))
+	for i, nb := range neighbors {
+		prev[i] = nb.T
+	}
+	ix.prevNN[d] = prev
+	return res, nil
+}
+
+// threshold derives the filter threshold τ for one item query. During
+// continuous prediction it reuses the previous step's kNN positions
+// (their DTW distances to the *current* query upper-bound the new k-th
+// NN distance); on the first query it verifies the k candidates with
+// the smallest lower bounds. Both variants are exact: at least k
+// candidates have true distance ≤ τ, so no true neighbour is filtered.
+func (ix *Index) threshold(d int, query []float64, lbs []float64, k int) (float64, error) {
+	var seeds []int
+	if prev, ok := ix.prevNN[d]; ok {
+		for _, t := range prev {
+			if t <= len(lbs)-1 { // still label-valid
+				seeds = append(seeds, t)
+			}
+		}
+	}
+	if len(seeds) < k {
+		// Initial query (or too few reusable positions): take the k
+		// smallest lower bounds as seeds.
+		seeds = seeds[:0]
+		var sel []gpusim.KSelectResult
+		if err := ix.dev.Launch(1, func(blk *gpusim.Block) error {
+			sel = gpusim.KSelectBlock(blk, lbs, k)
+			return nil
+		}); err != nil {
+			return 0, err
+		}
+		for _, s := range sel {
+			seeds = append(seeds, s.Index)
+		}
+	}
+	if len(seeds) == 0 {
+		return math.Inf(1), nil
+	}
+	tau := math.Inf(-1)
+	rho := ix.p.Rho
+	err := ix.dev.Launch(1, func(blk *gpusim.Block) error {
+		if err := chargeVerifyBlock(blk, d, rho, len(seeds)); err != nil {
+			return err
+		}
+		scratch := dtw.NewCompressedScratch(rho)
+		for _, t := range seeds {
+			dist, err := dtw.DistanceCompressed(query, ix.c[t:t+d], rho, scratch)
+			if err != nil {
+				return err
+			}
+			if dist > tau {
+				tau = dist
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return tau, nil
+}
+
+// chargeVerifyBlock charges the cost model for a verification block:
+// the query and the compressed warping matrix live in shared memory
+// (Algorithm 2 / Appendix E), candidates stream from global memory,
+// and each thread fills its candidate's d·(2ρ+1) band cells — about
+// six ops per cell counting the shared-memory traffic, which is
+// lane-parallel and therefore folded into the per-thread op count.
+func chargeVerifyBlock(blk *gpusim.Block, d, rho, candidates int) error {
+	if err := blk.AllocShared(8 * d); err != nil { // query resident
+		return err
+	}
+	if err := blk.AllocShared(8 * dtw.CompressedScratchLen(rho)); err != nil {
+		return err
+	}
+	blk.GlobalAccess(d * candidates)
+	blk.ParallelCompute(candidates, d*(2*rho+1)*6)
+	return nil
+}
+
+// verify computes exact banded DTW for every candidate whose lower
+// bound passes the filter (lb ≤ τ); filtered candidates are reported
+// as +Inf. One block verifies a fixed-size chunk of positions so the
+// filter and verify phases stay separate (Section 4.4).
+func (ix *Index) verify(query []float64, lbs []float64, tau float64) ([]float64, int, error) {
+	n := len(lbs)
+	d := len(query)
+	rho := ix.p.Rho
+	inf := math.Inf(1)
+	dists := make([]float64, n)
+	var unfiltered int
+
+	before := ix.dev.SimSeconds()
+	grid := (n + verifyChunk - 1) / verifyChunk
+	counts := make([]int, grid)
+	err := ix.dev.Launch(grid, func(blk *gpusim.Block) error {
+		lo := blk.ID * verifyChunk
+		hi := lo + verifyChunk
+		if hi > n {
+			hi = n
+		}
+		// Count survivors first so the cost charge matches the work.
+		cnt := 0
+		for t := lo; t < hi; t++ {
+			blk.GlobalAccess(1)
+			if lbs[t] <= tau {
+				cnt++
+			}
+		}
+		counts[blk.ID] = cnt
+		if cnt == 0 {
+			for t := lo; t < hi; t++ {
+				dists[t] = inf
+			}
+			return nil
+		}
+		if err := chargeVerifyBlock(blk, d, rho, cnt); err != nil {
+			return err
+		}
+		scratch := dtw.NewCompressedScratch(rho)
+		for t := lo; t < hi; t++ {
+			if lbs[t] > tau {
+				dists[t] = inf
+				continue
+			}
+			dist, err := dtw.DistanceCompressed(query, ix.c[t:t+d], rho, scratch)
+			if err != nil {
+				return err
+			}
+			dists[t] = dist
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	ix.stats.VerifySimSeconds += ix.dev.SimSeconds() - before
+	for _, c := range counts {
+		unfiltered += c
+	}
+	return dists, unfiltered, nil
+}
+
+// selectK picks the k nearest verified candidates. With MinSeparation
+// ≤ 1 this is the exact GPU block k-selection; otherwise a greedy
+// sweep over the sorted candidates enforces the separation (best-effort
+// among unfiltered candidates — see Params.MinSeparation).
+func (ix *Index) selectK(dists []float64, k int) ([]Neighbor, error) {
+	if ix.p.MinSeparation > 1 {
+		return ix.selectSeparated(dists, k), nil
+	}
+	var sel []gpusim.KSelectResult
+	if err := ix.dev.Launch(1, func(blk *gpusim.Block) error {
+		sel = gpusim.KSelectBlock(blk, dists, k)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out := make([]Neighbor, len(sel))
+	for i, s := range sel {
+		out[i] = Neighbor{T: s.Index, Dist: s.Value}
+	}
+	return out, nil
+}
+
+// selectSeparated greedily selects up to k nearest candidates keeping
+// starts at least MinSeparation apart.
+func (ix *Index) selectSeparated(dists []float64, k int) []Neighbor {
+	type cand struct {
+		t int
+		d float64
+	}
+	var cands []cand
+	for t, v := range dists {
+		if !math.IsInf(v, 1) && !math.IsNaN(v) {
+			cands = append(cands, cand{t, v})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return cands[i].t < cands[j].t
+	})
+	sep := ix.p.MinSeparation
+	var out []Neighbor
+	for _, c := range cands {
+		ok := true
+		for _, nb := range out {
+			if abs(nb.T-c.t) < sep {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, Neighbor{T: c.t, Dist: c.d})
+			if len(out) == k {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,330 @@
+// Package mat provides the small dense linear-algebra kernel used by the
+// Gaussian Process predictors: column-dense matrices, Cholesky
+// factorization of symmetric positive definite systems, triangular
+// solves, SPD inversion and log-determinants.
+//
+// The package is deliberately minimal — it implements exactly the
+// operations the semi-lazy GP needs on k×k systems (k is the number of
+// nearest neighbours, typically 8–128) and favours clarity and numeric
+// robustness over asymptotic tricks. All matrices are row-major.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotSPD is returned by Cholesky-based routines when the input matrix
+// is not (numerically) symmetric positive definite.
+var ErrNotSPD = errors.New("mat: matrix is not positive definite")
+
+// ErrShape is returned when operand dimensions are incompatible.
+var ErrShape = errors.New("mat: dimension mismatch")
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense allocates an r×c zero matrix.
+func NewDense(r, c int) *Dense {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %d×%d", r, c))
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// NewDenseData wraps data (length r*c, row-major) without copying.
+func NewDenseData(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: data length %d != %d×%d", len(data), r, c))
+	}
+	return &Dense{rows: r, cols: c, data: data}
+}
+
+// Dims returns the matrix dimensions.
+func (m *Dense) Dims() (r, c int) { return m.rows, m.cols }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns a view of row i (not a copy).
+func (m *Dense) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Data returns the underlying row-major backing slice (not a copy).
+func (m *Dense) Data() []float64 { return m.data }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	d := make([]float64, len(m.data))
+	copy(d, m.data)
+	return &Dense{rows: m.rows, cols: m.cols, data: d}
+}
+
+// CopyFrom copies src into m. The shapes must match.
+func (m *Dense) CopyFrom(src *Dense) error {
+	if m.rows != src.rows || m.cols != src.cols {
+		return ErrShape
+	}
+	copy(m.data, src.data)
+	return nil
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.data[j*t.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return t
+}
+
+// Mul returns a*b.
+func Mul(a, b *Dense) (*Dense, error) {
+	if a.cols != b.rows {
+		return nil, ErrShape
+	}
+	out := NewDense(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns a·x as a new vector.
+func MulVec(a *Dense, x []float64) ([]float64, error) {
+	if a.cols != len(x) {
+		return nil, ErrShape
+	}
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		out[i] = Dot(a.Row(i), x)
+	}
+	return out, nil
+}
+
+// Dot returns the inner product of x and y, which must have equal length.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("mat: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	return math.Sqrt(Dot(x, x))
+}
+
+// AXPY computes y ← a·x + y in place.
+func AXPY(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("mat: AXPY length mismatch")
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// Scale multiplies every element of x by a in place.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Cholesky holds the lower-triangular Cholesky factor L of an SPD
+// matrix A = L·Lᵀ, and exposes solves against it.
+type Cholesky struct {
+	n int
+	l *Dense // lower triangular; upper part is zero
+}
+
+// NewCholesky factors the SPD matrix a. It returns ErrNotSPD when a
+// pivot is non-positive (within a tiny tolerance scaled by the matrix).
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	if a.rows != a.cols {
+		return nil, ErrShape
+	}
+	n := a.rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		lrowj := l.Row(j)
+		for k := 0; k < j; k++ {
+			d -= lrowj[k] * lrowj[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotSPD
+		}
+		ljj := math.Sqrt(d)
+		lrowj[j] = ljj
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			lrowi := l.Row(i)
+			for k := 0; k < j; k++ {
+				s -= lrowi[k] * lrowj[k]
+			}
+			lrowi[j] = s / ljj
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// Size returns the order of the factored matrix.
+func (c *Cholesky) Size() int { return c.n }
+
+// L returns the lower-triangular factor (a view, not a copy).
+func (c *Cholesky) L() *Dense { return c.l }
+
+// SolveVec solves A·x = b and returns x.
+func (c *Cholesky) SolveVec(b []float64) ([]float64, error) {
+	if len(b) != c.n {
+		return nil, ErrShape
+	}
+	// Forward substitution: L·y = b.
+	y := make([]float64, c.n)
+	for i := 0; i < c.n; i++ {
+		s := b[i]
+		row := c.l.Row(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		y[i] = s / row[i]
+	}
+	// Back substitution: Lᵀ·x = y.
+	x := y // reuse
+	for i := c.n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < c.n; k++ {
+			s -= c.l.At(k, i) * x[k]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x, nil
+}
+
+// Solve solves A·X = B for a matrix right-hand side.
+func (c *Cholesky) Solve(b *Dense) (*Dense, error) {
+	if b.rows != c.n {
+		return nil, ErrShape
+	}
+	out := NewDense(b.rows, b.cols)
+	col := make([]float64, c.n)
+	for j := 0; j < b.cols; j++ {
+		for i := 0; i < c.n; i++ {
+			col[i] = b.At(i, j)
+		}
+		x, err := c.SolveVec(col)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < c.n; i++ {
+			out.Set(i, j, x[i])
+		}
+	}
+	return out, nil
+}
+
+// Inverse returns A⁻¹ computed from the factorization.
+func (c *Cholesky) Inverse() (*Dense, error) {
+	inv := NewDense(c.n, c.n)
+	e := make([]float64, c.n)
+	for j := 0; j < c.n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		x, err := c.SolveVec(e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < c.n; i++ {
+			inv.Set(i, j, x[i])
+		}
+	}
+	return inv, nil
+}
+
+// LogDet returns log|A| = 2·Σ log L_ii.
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	for i := 0; i < c.n; i++ {
+		s += math.Log(c.l.At(i, i))
+	}
+	return 2 * s
+}
+
+// SolveSPDVec factors a and solves a·x = b in one call.
+func SolveSPDVec(a *Dense, b []float64) ([]float64, error) {
+	ch, err := NewCholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return ch.SolveVec(b)
+}
+
+// AddDiagonal adds v to every diagonal element of the square matrix a in
+// place. It is used to add jitter/noise terms to covariance matrices.
+func AddDiagonal(a *Dense, v float64) error {
+	if a.rows != a.cols {
+		return ErrShape
+	}
+	for i := 0; i < a.rows; i++ {
+		a.data[i*a.cols+i] += v
+	}
+	return nil
+}
+
+// SymmetrizeInPlace replaces a with (a + aᵀ)/2, cleaning up asymmetry
+// introduced by floating-point accumulation.
+func SymmetrizeInPlace(a *Dense) error {
+	if a.rows != a.cols {
+		return ErrShape
+	}
+	for i := 0; i < a.rows; i++ {
+		for j := i + 1; j < a.cols; j++ {
+			v := (a.At(i, j) + a.At(j, i)) / 2
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return nil
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference
+// between a and b; useful in tests.
+func MaxAbsDiff(a, b *Dense) (float64, error) {
+	if a.rows != b.rows || a.cols != b.cols {
+		return 0, ErrShape
+	}
+	var m float64
+	for i, v := range a.data {
+		d := math.Abs(v - b.data[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,144 @@
+// Package metrics implements the paper's two evaluation measures
+// (Section 6.3.1): mean absolute error (MAE) over point predictions
+// and mean negative log predictive density (MNLPD) over probabilistic
+// predictions, plus streaming accumulators used by the experiment
+// harness to aggregate per-horizon results across sensors and steps.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrEmpty is returned when a metric is evaluated over no samples.
+var ErrEmpty = errors.New("metrics: no samples")
+
+// ErrLength is returned on mismatched slice lengths.
+var ErrLength = errors.New("metrics: length mismatch")
+
+// MAE returns the mean absolute error between predictions and truths.
+func MAE(pred, truth []float64) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrLength, len(pred), len(truth))
+	}
+	if len(pred) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for i := range pred {
+		s += math.Abs(pred[i] - truth[i])
+	}
+	return s / float64(len(pred)), nil
+}
+
+// NLPD returns the negative log density of truth under N(mean, variance).
+func NLPD(mean, variance, truth float64) (float64, error) {
+	if variance <= 0 {
+		return 0, fmt.Errorf("metrics: non-positive variance %v", variance)
+	}
+	d := truth - mean
+	return 0.5*math.Log(2*math.Pi*variance) + d*d/(2*variance), nil
+}
+
+// MNLPD returns the mean negative log predictive density of the truths
+// under the per-sample Gaussian predictions.
+func MNLPD(means, variances, truth []float64) (float64, error) {
+	if len(means) != len(truth) || len(variances) != len(truth) {
+		return 0, fmt.Errorf("%w: %d/%d/%d", ErrLength, len(means), len(variances), len(truth))
+	}
+	if len(truth) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for i := range truth {
+		v, err := NLPD(means[i], variances[i], truth[i])
+		if err != nil {
+			return 0, err
+		}
+		s += v
+	}
+	return s / float64(len(truth)), nil
+}
+
+// z95 is the two-sided 95% Gaussian quantile used for the coverage
+// statistic.
+const z95 = 1.959963984540054
+
+// Accumulator aggregates absolute errors, negative log predictive
+// densities and 95%-interval coverage online; the experiment harness
+// keeps one per (method, dataset, horizon) triple.
+type Accumulator struct {
+	n        int
+	absErr   float64
+	nlpd     float64
+	hasProb  bool
+	probOnly int // samples that contributed NLPD
+	covered  int // samples whose truth fell inside the 95% interval
+}
+
+// Add records a point prediction against the truth.
+func (a *Accumulator) Add(mean, truth float64) {
+	a.n++
+	a.absErr += math.Abs(mean - truth)
+}
+
+// AddProb records a probabilistic prediction against the truth; it
+// contributes to both MAE and MNLPD. Non-positive variances are
+// rejected.
+func (a *Accumulator) AddProb(mean, variance, truth float64) error {
+	v, err := NLPD(mean, variance, truth)
+	if err != nil {
+		return err
+	}
+	a.n++
+	a.absErr += math.Abs(mean - truth)
+	a.nlpd += v
+	a.probOnly++
+	a.hasProb = true
+	if math.Abs(truth-mean) <= z95*math.Sqrt(variance) {
+		a.covered++
+	}
+	return nil
+}
+
+// N returns the number of samples recorded.
+func (a *Accumulator) N() int { return a.n }
+
+// MAE returns the mean absolute error so far.
+func (a *Accumulator) MAE() (float64, error) {
+	if a.n == 0 {
+		return 0, ErrEmpty
+	}
+	return a.absErr / float64(a.n), nil
+}
+
+// MNLPD returns the mean negative log predictive density so far; it
+// errors if no probabilistic samples were recorded.
+func (a *Accumulator) MNLPD() (float64, error) {
+	if !a.hasProb {
+		return 0, ErrEmpty
+	}
+	return a.nlpd / float64(a.probOnly), nil
+}
+
+// Coverage95 returns the fraction of probabilistic samples whose truth
+// fell inside the central 95% interval of the prediction. A
+// well-calibrated forecaster scores ≈0.95; lower means overconfident
+// intervals, higher means wastefully wide ones.
+func (a *Accumulator) Coverage95() (float64, error) {
+	if !a.hasProb {
+		return 0, ErrEmpty
+	}
+	return float64(a.covered) / float64(a.probOnly), nil
+}
+
+// Merge folds another accumulator into a.
+func (a *Accumulator) Merge(b Accumulator) {
+	a.n += b.n
+	a.absErr += b.absErr
+	a.nlpd += b.nlpd
+	a.probOnly += b.probOnly
+	a.hasProb = a.hasProb || b.hasProb
+	a.covered += b.covered
+}

@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMAE(t *testing.T) {
+	got, err := MAE([]float64{1, 2, 3}, []float64{2, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("MAE = %v, want 1", got)
+	}
+	if _, err := MAE([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLength) {
+		t.Fatal("length error expected")
+	}
+	if _, err := MAE(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty error expected")
+	}
+}
+
+func TestNLPD(t *testing.T) {
+	// Standard normal at its mean: NLPD = ½log(2π).
+	got, err := NLPD(0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5*math.Log(2*math.Pi)) > 1e-12 {
+		t.Fatalf("NLPD = %v", got)
+	}
+	if _, err := NLPD(0, 0, 0); err == nil {
+		t.Fatal("variance 0 should fail")
+	}
+	// Farther truth ⇒ larger NLPD.
+	near, _ := NLPD(0, 1, 0.5)
+	far, _ := NLPD(0, 1, 3)
+	if near >= far {
+		t.Fatal("NLPD should grow with error")
+	}
+}
+
+func TestMNLPD(t *testing.T) {
+	means := []float64{0, 1}
+	vars := []float64{1, 1}
+	truth := []float64{0, 1}
+	got, err := MNLPD(means, vars, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5*math.Log(2*math.Pi)) > 1e-12 {
+		t.Fatalf("MNLPD = %v", got)
+	}
+	if _, err := MNLPD(means, vars, []float64{1}); !errors.Is(err, ErrLength) {
+		t.Fatal("length error expected")
+	}
+	if _, err := MNLPD(nil, nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty error expected")
+	}
+	if _, err := MNLPD([]float64{0}, []float64{-1}, []float64{0}); err == nil {
+		t.Fatal("negative variance should fail")
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	if _, err := a.MAE(); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty MAE should fail")
+	}
+	if _, err := a.MNLPD(); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty MNLPD should fail")
+	}
+	a.Add(1, 2)
+	if err := a.AddProb(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 2 {
+		t.Fatalf("N = %d", a.N())
+	}
+	mae, err := a.MAE()
+	if err != nil || mae != 1 {
+		t.Fatalf("MAE = %v err=%v", mae, err)
+	}
+	nl, err := a.MNLPD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5*math.Log(2*math.Pi) + 0.5
+	if math.Abs(nl-want) > 1e-12 {
+		t.Fatalf("MNLPD = %v, want %v", nl, want)
+	}
+	if err := a.AddProb(0, -1, 0); err == nil {
+		t.Fatal("bad variance should fail")
+	}
+
+	var b Accumulator
+	b.Add(5, 5)
+	b.Merge(a)
+	if b.N() != 3 {
+		t.Fatalf("merged N = %d", b.N())
+	}
+	mnl, err := b.MNLPD()
+	if err != nil || math.Abs(mnl-want) > 1e-12 {
+		t.Fatalf("merged MNLPD = %v err=%v", mnl, err)
+	}
+}
+
+// Property: accumulator MAE/MNLPD agree with batch formulas.
+func TestQuickAccumulatorAgreesWithBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		means := make([]float64, n)
+		vars := make([]float64, n)
+		truth := make([]float64, n)
+		var a Accumulator
+		for i := 0; i < n; i++ {
+			means[i] = rng.NormFloat64()
+			vars[i] = 0.1 + rng.Float64()
+			truth[i] = rng.NormFloat64()
+			if err := a.AddProb(means[i], vars[i], truth[i]); err != nil {
+				return false
+			}
+		}
+		wantMAE, err := MAE(means, truth)
+		if err != nil {
+			return false
+		}
+		wantMNLPD, err := MNLPD(means, vars, truth)
+		if err != nil {
+			return false
+		}
+		gotMAE, err := a.MAE()
+		if err != nil {
+			return false
+		}
+		gotMNLPD, err := a.MNLPD()
+		if err != nil {
+			return false
+		}
+		return math.Abs(gotMAE-wantMAE) < 1e-9 && math.Abs(gotMNLPD-wantMNLPD) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverage95(t *testing.T) {
+	var a Accumulator
+	if _, err := a.Coverage95(); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty coverage should fail")
+	}
+	// Truth at the mean: inside any interval.
+	if err := a.AddProb(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Truth 3σ away: outside the 95% interval.
+	if err := a.AddProb(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	cov, err := a.Coverage95()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov != 0.5 {
+		t.Fatalf("coverage = %v, want 0.5", cov)
+	}
+	var b Accumulator
+	_ = b.AddProb(0, 1, 0.1)
+	b.Merge(a)
+	cov, _ = b.Coverage95()
+	if math.Abs(cov-2.0/3.0) > 1e-12 {
+		t.Fatalf("merged coverage = %v", cov)
+	}
+}
+
+// Property: well-specified Gaussian samples give ≈95% coverage.
+func TestQuickCoverageCalibrated(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var a Accumulator
+	const n = 20000
+	for i := 0; i < n; i++ {
+		mean := rng.NormFloat64() * 3
+		sd := 0.5 + rng.Float64()
+		truth := mean + rng.NormFloat64()*sd
+		if err := a.AddProb(mean, sd*sd, truth); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cov, err := a.Coverage95()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cov-0.95) > 0.01 {
+		t.Fatalf("coverage = %v, want ≈0.95", cov)
+	}
+}

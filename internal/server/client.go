@@ -1,0 +1,144 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Client is a typed HTTP client for the SMiLer service. It is a thin
+// convenience wrapper for tools and tests; any HTTP client works.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets a service at base (e.g. "http://localhost:8080").
+// httpClient may be nil for http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) (*Client, error) {
+	u, err := url.Parse(base)
+	if err != nil {
+		return nil, fmt.Errorf("server: invalid base URL: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("server: base URL %q must be absolute", base)
+	}
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: u.String(), hc: httpClient}, nil
+}
+
+func (c *Client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var er errorResponse
+		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
+			return fmt.Errorf("server: %s %s: %s (HTTP %d)", method, path, er.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// AddSensor registers a sensor with its history.
+func (c *Client) AddSensor(id string, history []float64) error {
+	return c.do(http.MethodPost, "/sensors", AddSensorRequest{ID: id, History: history}, nil)
+}
+
+// RemoveSensor deletes a sensor.
+func (c *Client) RemoveSensor(id string) error {
+	return c.do(http.MethodDelete, "/sensors/"+url.PathEscape(id), nil, nil)
+}
+
+// Sensors lists registered sensor ids.
+func (c *Client) Sensors() ([]string, error) {
+	var out []string
+	err := c.do(http.MethodGet, "/sensors", nil, &out)
+	return out, err
+}
+
+// Forecast requests an h-step-ahead forecast.
+func (c *Client) Forecast(id string, h int) (ForecastResponse, error) {
+	var out ForecastResponse
+	err := c.do(http.MethodGet,
+		fmt.Sprintf("/sensors/%s/forecast?h=%d", url.PathEscape(id), h), nil, &out)
+	return out, err
+}
+
+// Observe streams one observation.
+func (c *Client) Observe(id string, value float64) error {
+	return c.do(http.MethodPost, "/sensors/"+url.PathEscape(id)+"/observe",
+		ObserveRequest{Value: &value}, nil)
+}
+
+// ObserveBatch streams several observations in order.
+func (c *Client) ObserveBatch(id string, values []float64) error {
+	return c.do(http.MethodPost, "/sensors/"+url.PathEscape(id)+"/observe",
+		ObserveRequest{Values: values}, nil)
+}
+
+// Ensemble fetches the sensor's auto-tuning weights.
+func (c *Client) Ensemble(id string) ([]EnsembleCell, error) {
+	var out []EnsembleCell
+	err := c.do(http.MethodGet, "/sensors/"+url.PathEscape(id)+"/ensemble", nil, &out)
+	return out, err
+}
+
+// Stats fetches system statistics.
+func (c *Client) Stats() (StatsResponse, error) {
+	var out StatsResponse
+	err := c.do(http.MethodGet, "/stats", nil, &out)
+	return out, err
+}
+
+// Healthz checks liveness.
+func (c *Client) Healthz() error {
+	return c.do(http.MethodGet, "/healthz", nil, nil)
+}
+
+// Forecasts requests several horizons from one shared kNN search.
+func (c *Client) Forecasts(id string, hs []int) ([]ForecastResponse, error) {
+	parts := make([]string, len(hs))
+	for i, h := range hs {
+		parts[i] = fmt.Sprint(h)
+	}
+	var out []ForecastResponse
+	err := c.do(http.MethodGet,
+		fmt.Sprintf("/sensors/%s/forecasts?hs=%s", url.PathEscape(id), strings.Join(parts, ",")),
+		nil, &out)
+	return out, err
+}
+
+// SendReadings posts raw timestamped readings for grid regularization
+// (requires a server built with NewWithInterval).
+func (c *Client) SendReadings(id string, readings []Reading) error {
+	return c.do(http.MethodPost, "/sensors/"+url.PathEscape(id)+"/readings",
+		ReadingsRequest{Readings: readings}, nil)
+}

@@ -1,0 +1,449 @@
+// Package server exposes a SMiLer system as an HTTP/JSON service —
+// the deployment shape the paper targets (many sensors streaming
+// observations, applications pulling forecasts in real time).
+//
+// Routes:
+//
+//	GET    /healthz                 liveness probe
+//	GET    /stats                   device memory + sensor count
+//	GET    /sensors                 list sensor ids
+//	POST   /sensors                 {"id": "...", "history": [...]}
+//	DELETE /sensors/{id}            remove a sensor
+//	GET    /sensors/{id}/forecast?h=1[&z=1.96]
+//	POST   /sensors/{id}/observe    {"value": 1.23}  (or {"values": [...]})
+//	POST   /sensors/{id}/readings   {"readings":[{"at":"RFC3339","value":x},...]}
+//	                                (requires NewWithInterval; irregular readings
+//	                                are regularized onto the fixed sample grid)
+//	GET    /sensors/{id}/forecasts?hs=1,3,6  multi-horizon ladder
+//	GET    /sensors/{id}/ensemble   auto-tuning weights
+//
+// All bodies and responses are JSON. Errors are {"error": "..."} with
+// an appropriate status code.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"smiler"
+	"smiler/internal/timeseries"
+)
+
+// Server is an http.Handler serving one SMiLer system.
+type Server struct {
+	sys *smiler.System
+	mux *http.ServeMux
+
+	// addMu serializes sensor registration so duplicate-id races
+	// surface as clean 409s rather than interleaved errors.
+	addMu sync.Mutex
+
+	// interval, when positive, enables the timestamped-readings
+	// endpoint: raw (time, value) readings are regularized onto a
+	// fixed grid of this period before entering the system
+	// (timeseries.Regularizer).
+	interval time.Duration
+	regMu    sync.Mutex
+	regs     map[string]*timeseries.Regularizer
+}
+
+// New wraps a system. The caller retains ownership of sys (and is
+// responsible for Close).
+func New(sys *smiler.System) (*Server, error) {
+	return NewWithInterval(sys, 0)
+}
+
+// NewWithInterval additionally enables POST /sensors/{id}/readings:
+// irregular timestamped readings are linearly re-interpolated onto a
+// grid with the given sample interval (the paper's fixed-sample-rate
+// assumption, Section 3.1), and each finalized grid sample is fed to
+// Observe.
+func NewWithInterval(sys *smiler.System, interval time.Duration) (*Server, error) {
+	if sys == nil {
+		return nil, errors.New("server: nil system")
+	}
+	if interval < 0 {
+		return nil, fmt.Errorf("server: negative sample interval %v", interval)
+	}
+	s := &Server{
+		sys:      sys,
+		mux:      http.NewServeMux(),
+		interval: interval,
+		regs:     make(map[string]*timeseries.Regularizer),
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/sensors", s.handleSensors)
+	s.mux.HandleFunc("/sensors/", s.handleSensor)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// --- payloads ---
+
+// AddSensorRequest registers a sensor.
+type AddSensorRequest struct {
+	ID      string    `json:"id"`
+	History []float64 `json:"history"`
+}
+
+// ObserveRequest streams one or more observations.
+type ObserveRequest struct {
+	Value  *float64  `json:"value,omitempty"`
+	Values []float64 `json:"values,omitempty"`
+}
+
+// ForecastResponse is a forecast with its central interval.
+type ForecastResponse struct {
+	ID       string  `json:"id"`
+	Horizon  int     `json:"horizon"`
+	Mean     float64 `json:"mean"`
+	Variance float64 `json:"variance"`
+	StdDev   float64 `json:"stddev"`
+	Lo       float64 `json:"lo"`
+	Hi       float64 `json:"hi"`
+	Z        float64 `json:"z"`
+}
+
+// StatsResponse summarizes the system.
+type StatsResponse struct {
+	Sensors     int        `json:"sensors"`
+	DeviceUsed  int64      `json:"device_used_bytes"`
+	DeviceTotal int64      `json:"device_total_bytes"`
+	Devices     [][2]int64 `json:"devices"`
+}
+
+// EnsembleCell reports one auto-tuning cell.
+type EnsembleCell struct {
+	K      int     `json:"k"`
+	D      int     `json:"d"`
+	Weight float64 `json:"weight"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w)
+		return
+	}
+	used, total := s.sys.DeviceUsage()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Sensors:     len(s.sys.Sensors()),
+		DeviceUsed:  used,
+		DeviceTotal: total,
+		Devices:     s.sys.DeviceUsagePer(),
+	})
+}
+
+func (s *Server) handleSensors(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.sys.Sensors())
+	case http.MethodPost:
+		var req AddSensorRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		if req.ID == "" {
+			writeError(w, http.StatusBadRequest, "missing sensor id")
+			return
+		}
+		s.addMu.Lock()
+		err := s.sys.AddSensor(req.ID, req.History)
+		s.addMu.Unlock()
+		if err != nil {
+			status := http.StatusBadRequest
+			if strings.Contains(err.Error(), "already registered") {
+				status = http.StatusConflict
+			}
+			writeError(w, status, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"id": req.ID})
+	default:
+		methodNotAllowed(w)
+	}
+}
+
+// handleSensor routes /sensors/{id}[/verb].
+func (s *Server) handleSensor(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/sensors/")
+	parts := strings.SplitN(rest, "/", 2)
+	id := parts[0]
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "missing sensor id")
+		return
+	}
+	verb := ""
+	if len(parts) == 2 {
+		verb = parts[1]
+	}
+	switch {
+	case verb == "" && r.Method == http.MethodDelete:
+		s.deleteSensor(w, id)
+	case verb == "forecast" && r.Method == http.MethodGet:
+		s.forecast(w, r, id)
+	case verb == "forecasts" && r.Method == http.MethodGet:
+		s.forecastMulti(w, r, id)
+	case verb == "observe" && r.Method == http.MethodPost:
+		s.observe(w, r, id)
+	case verb == "readings" && r.Method == http.MethodPost:
+		s.readings(w, r, id)
+	case verb == "ensemble" && r.Method == http.MethodGet:
+		s.ensemble(w, id)
+	default:
+		methodNotAllowed(w)
+	}
+}
+
+func (s *Server) deleteSensor(w http.ResponseWriter, id string) {
+	if err := s.sys.RemoveSensor(id); err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	s.regMu.Lock()
+	delete(s.regs, id)
+	s.regMu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]string{"id": id})
+}
+
+func (s *Server) forecast(w http.ResponseWriter, r *http.Request, id string) {
+	h := 1
+	if v := r.URL.Query().Get("h"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid horizon %q", v))
+			return
+		}
+		h = parsed
+	}
+	z := 1.96
+	if v := r.URL.Query().Get("z"); v != "" {
+		parsed, err := strconv.ParseFloat(v, 64)
+		if err != nil || parsed <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid z %q", v))
+			return
+		}
+		z = parsed
+	}
+	f, err := s.sys.Predict(id, h)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	lo, hi := f.Interval(z)
+	writeJSON(w, http.StatusOK, ForecastResponse{
+		ID: id, Horizon: h, Mean: f.Mean, Variance: f.Variance,
+		StdDev: f.StdDev(), Lo: lo, Hi: hi, Z: z,
+	})
+}
+
+// forecastMulti serves a ladder of horizons from one shared kNN
+// search: GET /sensors/{id}/forecasts?hs=1,3,6[&z=1.96].
+func (s *Server) forecastMulti(w http.ResponseWriter, r *http.Request, id string) {
+	hsParam := r.URL.Query().Get("hs")
+	if hsParam == "" {
+		writeError(w, http.StatusBadRequest, "missing hs parameter")
+		return
+	}
+	var hs []int
+	for _, part := range strings.Split(hsParam, ",") {
+		h, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || h <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid horizon %q", part))
+			return
+		}
+		hs = append(hs, h)
+	}
+	z := 1.96
+	if v := r.URL.Query().Get("z"); v != "" {
+		parsed, err := strconv.ParseFloat(v, 64)
+		if err != nil || parsed <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid z %q", v))
+			return
+		}
+		z = parsed
+	}
+	fs, err := s.sys.PredictHorizons(id, hs)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	out := make([]ForecastResponse, 0, len(hs))
+	for _, h := range hs {
+		f := fs[h]
+		lo, hi := f.Interval(z)
+		out = append(out, ForecastResponse{
+			ID: id, Horizon: h, Mean: f.Mean, Variance: f.Variance,
+			StdDev: f.StdDev(), Lo: lo, Hi: hi, Z: z,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) observe(w http.ResponseWriter, r *http.Request, id string) {
+	var req ObserveRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	var values []float64
+	if req.Value != nil {
+		values = append(values, *req.Value)
+	}
+	values = append(values, req.Values...)
+	if len(values) == 0 {
+		writeError(w, http.StatusBadRequest, "no values to observe")
+		return
+	}
+	for i, v := range values {
+		if err := s.sys.Observe(id, v); err != nil {
+			writeError(w, statusFor(err), fmt.Sprintf("value %d: %s", i, err))
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"observed": len(values)})
+}
+
+// ReadingsRequest carries raw timestamped readings.
+type ReadingsRequest struct {
+	Readings []Reading `json:"readings"`
+}
+
+// Reading is one raw sensor reading.
+type Reading struct {
+	At    time.Time `json:"at"`
+	Value float64   `json:"value"`
+}
+
+// readings regularizes irregular timestamped readings onto the
+// configured grid and observes each finalized sample.
+func (s *Server) readings(w http.ResponseWriter, r *http.Request, id string) {
+	if s.interval <= 0 {
+		writeError(w, http.StatusNotImplemented,
+			"timestamped readings need a server sample interval (NewWithInterval)")
+		return
+	}
+	var req ReadingsRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Readings) == 0 {
+		writeError(w, http.StatusBadRequest, "no readings")
+		return
+	}
+	s.regMu.Lock()
+	reg, ok := s.regs[id]
+	if !ok {
+		var err error
+		reg, err = timeseries.NewRegularizer(req.Readings[0].At, s.interval)
+		if err != nil {
+			s.regMu.Unlock()
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		s.regs[id] = reg
+	}
+	s.regMu.Unlock()
+
+	observed := 0
+	for i, rd := range req.Readings {
+		samples, err := reg.Add(rd.At, rd.Value)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("reading %d: %s", i, err))
+			return
+		}
+		for _, v := range samples {
+			if err := s.sys.Observe(id, v); err != nil {
+				writeError(w, statusFor(err), err.Error())
+				return
+			}
+			observed++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]int{
+		"observed": observed,
+		"pending":  reg.Pending(),
+	})
+}
+
+func (s *Server) ensemble(w http.ResponseWriter, id string) {
+	weights, err := s.sys.EnsembleWeights(id)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	cells := make([]EnsembleCell, 0, len(weights))
+	for kd, wgt := range weights {
+		cells = append(cells, EnsembleCell{K: kd[0], D: kd[1], Weight: wgt})
+	}
+	// Deterministic order for clients and tests.
+	for i := 1; i < len(cells); i++ {
+		for j := i; j > 0 && less(cells[j], cells[j-1]); j-- {
+			cells[j], cells[j-1] = cells[j-1], cells[j]
+		}
+	}
+	writeJSON(w, http.StatusOK, cells)
+}
+
+func less(a, b EnsembleCell) bool {
+	if a.K != b.K {
+		return a.K < b.K
+	}
+	return a.D < b.D
+}
+
+// --- helpers ---
+
+func statusFor(err error) int {
+	if strings.Contains(err.Error(), "unknown sensor") {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+func methodNotAllowed(w http.ResponseWriter) {
+	writeError(w, http.StatusMethodNotAllowed, "method not allowed")
+}

@@ -1,0 +1,130 @@
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Regularizer converts irregular (timestamp, value) readings into the
+// fixed-rate samples the prediction system requires (the paper assumes
+// a fixed sample rate and tells users to re-interpolate otherwise —
+// Section 3.1 footnote; this is that re-interpolation as a streaming
+// component). Readings may arrive slightly out of order within the
+// current sampling interval; emitted samples are linear interpolations
+// at exact grid instants, with gaps held at the last known value.
+type Regularizer struct {
+	start    time.Time
+	interval time.Duration
+
+	emitted  int // number of grid samples already produced
+	readings []reading
+	last     *reading
+}
+
+type reading struct {
+	at time.Time
+	v  float64
+}
+
+// NewRegularizer creates a regularizer with the first grid instant at
+// start and one sample per interval.
+func NewRegularizer(start time.Time, interval time.Duration) (*Regularizer, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("timeseries: non-positive interval %v", interval)
+	}
+	return &Regularizer{start: start, interval: interval}, nil
+}
+
+// ErrStale is returned for readings older than the last emitted grid
+// instant; they can no longer influence any sample.
+var ErrStale = errors.New("timeseries: reading older than the emitted grid")
+
+// Add ingests one reading and returns the grid samples that became
+// final because of it (possibly none, possibly several when the
+// reading jumps multiple intervals ahead). NaN values are rejected.
+func (r *Regularizer) Add(at time.Time, v float64) ([]float64, error) {
+	if math.IsNaN(v) {
+		return nil, errors.New("timeseries: NaN reading")
+	}
+	if r.emitted > 0 {
+		// Instants up to (emitted−1) are final; a reading older than
+		// the last of them can no longer influence any sample. A
+		// reading after it is still a valid left anchor for the next
+		// instant.
+		lastDone := r.start.Add(time.Duration(r.emitted-1) * r.interval)
+		if at.Before(lastDone) {
+			return nil, fmt.Errorf("%w: %v < %v", ErrStale, at, lastDone)
+		}
+	}
+	r.readings = append(r.readings, reading{at: at, v: v})
+	sort.Slice(r.readings, func(i, j int) bool { return r.readings[i].at.Before(r.readings[j].at) })
+
+	var out []float64
+	for {
+		instant := r.start.Add(time.Duration(r.emitted) * r.interval)
+		s, ok := r.sampleAt(instant)
+		if !ok {
+			break
+		}
+		out = append(out, s)
+		r.emitted++
+		// Keep only readings that can still affect future instants.
+		next := r.start.Add(time.Duration(r.emitted) * r.interval)
+		kept := r.readings[:0]
+		for _, rd := range r.readings {
+			if !rd.at.Before(next) {
+				kept = append(kept, rd)
+				continue
+			}
+			// The newest reading before the next instant becomes the
+			// left interpolation anchor.
+			rdCopy := rd
+			r.last = &rdCopy
+		}
+		r.readings = kept
+	}
+	return out, nil
+}
+
+// sampleAt interpolates the value at a grid instant once a reading at
+// or after it exists (so the sample is final).
+func (r *Regularizer) sampleAt(instant time.Time) (float64, bool) {
+	var right *reading
+	for i := range r.readings {
+		if !r.readings[i].at.Before(instant) {
+			right = &r.readings[i]
+			break
+		}
+	}
+	if right == nil {
+		return 0, false // not final yet
+	}
+	var left *reading
+	for i := range r.readings {
+		if r.readings[i].at.Before(instant) {
+			left = &r.readings[i]
+		}
+	}
+	if left == nil {
+		left = r.last
+	}
+	if left == nil || right.at.Equal(instant) {
+		return right.v, true
+	}
+	span := right.at.Sub(left.at).Seconds()
+	if span <= 0 {
+		return right.v, true
+	}
+	frac := instant.Sub(left.at).Seconds() / span
+	return left.v + (right.v-left.v)*frac, true
+}
+
+// Emitted returns how many grid samples have been produced so far.
+func (r *Regularizer) Emitted() int { return r.emitted }
+
+// Pending returns how many raw readings are buffered awaiting a later
+// reading to finalize their interval.
+func (r *Regularizer) Pending() int { return len(r.readings) }

@@ -1,0 +1,158 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2026, 7, 5, 0, 0, 0, 0, time.UTC)
+
+func TestNewRegularizerValidation(t *testing.T) {
+	if _, err := NewRegularizer(t0, 0); err == nil {
+		t.Fatal("zero interval should fail")
+	}
+	if _, err := NewRegularizer(t0, -time.Second); err == nil {
+		t.Fatal("negative interval should fail")
+	}
+}
+
+func TestRegularizerExactGridReadings(t *testing.T) {
+	r, err := NewRegularizer(t0, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []float64
+	for i := 0; i < 5; i++ {
+		out, err := r.Add(t0.Add(time.Duration(i)*time.Minute), float64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, out...)
+	}
+	// Readings exactly on the grid emit themselves.
+	want := []float64{0, 1, 2, 3, 4}
+	if len(all) != len(want) {
+		t.Fatalf("emitted %v", all)
+	}
+	for i := range want {
+		if all[i] != want[i] {
+			t.Fatalf("sample %d = %v, want %v", i, all[i], want[i])
+		}
+	}
+	if r.Emitted() != 5 {
+		t.Fatalf("Emitted = %d", r.Emitted())
+	}
+}
+
+func TestRegularizerInterpolatesOffGridReadings(t *testing.T) {
+	r, err := NewRegularizer(t0, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Readings at -: 30s→0, 90s→2: the 60s grid instant is midway.
+	if _, err := r.Add(t0.Add(30*time.Second), 0); err != nil {
+		t.Fatal(err)
+	}
+	// First grid instant (0s) is not final until a reading ≥ 0s
+	// exists... the 30s reading already is ≥ 0s, so instant 0 uses it.
+	out, err := r.Add(t0.Add(90*time.Second), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instant 0s: nearest right reading 30s → value 0 (no left anchor).
+	// Instant 60s: between 30s(0) and 90s(2) → 1.
+	if len(out) != 1 || math.Abs(out[0]-1) > 1e-12 {
+		t.Fatalf("out = %v", out)
+	}
+	if r.Emitted() != 2 {
+		t.Fatalf("Emitted = %d", r.Emitted())
+	}
+}
+
+func TestRegularizerStaleAndNaN(t *testing.T) {
+	r, err := NewRegularizer(t0, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add(t0.Add(2*time.Minute), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add(t0.Add(-time.Hour), 1); !errors.Is(err, ErrStale) {
+		t.Fatalf("err = %v, want ErrStale", err)
+	}
+	if _, err := r.Add(t0.Add(3*time.Minute), math.NaN()); err == nil {
+		t.Fatal("NaN should fail")
+	}
+}
+
+func TestRegularizerGapJump(t *testing.T) {
+	r, err := NewRegularizer(t0, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add(t0, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Jump 4 intervals: intermediate instants interpolate the ramp.
+	out, err := r.Add(t0.Add(4*time.Minute), 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{12, 14, 16, 18}
+	if len(out) != len(want) {
+		t.Fatalf("out = %v", out)
+	}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-9 {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+	if r.Pending() > 1 {
+		t.Fatalf("pending = %d readings retained needlessly", r.Pending())
+	}
+}
+
+// Property: for any in-order reading sequence, the number of emitted
+// samples equals the number of grid instants covered by the last
+// reading, and all samples lie within the readings' value range.
+func TestQuickRegularizerCoverage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, err := NewRegularizer(t0, time.Minute)
+		if err != nil {
+			return false
+		}
+		at := t0
+		lo, hi := math.Inf(1), math.Inf(-1)
+		var emitted int
+		for i := 0; i < 30; i++ {
+			at = at.Add(time.Duration(1+rng.Intn(150)) * time.Second)
+			v := rng.NormFloat64() * 10
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			out, err := r.Add(at, v)
+			if err != nil {
+				return false
+			}
+			for _, s := range out {
+				if s < lo-1e-9 || s > hi+1e-9 {
+					return false
+				}
+			}
+			emitted += len(out)
+		}
+		wantInstants := int(at.Sub(t0)/time.Minute) + 1
+		return emitted == wantInstants && emitted == r.Emitted()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

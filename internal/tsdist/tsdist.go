@@ -1,0 +1,178 @@
+// Package tsdist implements the alternative time series similarity
+// measures the paper surveys when motivating its choice of DTW
+// (Section 4): Euclidean distance [32], LCSS [66], ERP [21] and EDR
+// [22]. SMiLer's index is built on DTW — the paper argues it is simple,
+// robust to shifting/scaling and empirically the strongest measure for
+// time series mining [30, 54, 60] — and the distance-measure ablation
+// bench uses this package to check that claim on the synthetic
+// corpora: kNN prediction under DTW should beat kNN under these
+// measures.
+//
+// Conventions match the dtw package: Euclidean and ERP accumulate
+// squared differences; LCSS similarity is converted to a distance in
+// [0, 1]; EDR counts edits normalized by length.
+package tsdist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrLength is returned when operand lengths are invalid.
+var ErrLength = errors.New("tsdist: invalid lengths")
+
+// Func is a distance between two equal-length series (smaller =
+// more similar). All functions in this package with a (q, c) prefix
+// signature can be adapted to it.
+type Func func(q, c []float64) (float64, error)
+
+func checkEqualLen(q, c []float64) error {
+	if len(q) == 0 || len(q) != len(c) {
+		return fmt.Errorf("%w: |q|=%d |c|=%d", ErrLength, len(q), len(c))
+	}
+	return nil
+}
+
+// Euclidean returns the squared Euclidean distance Σ(qᵢ−cᵢ)². It is
+// the ρ=0 special case of banded DTW: cheap, but sensitive to shifts.
+func Euclidean(q, c []float64) (float64, error) {
+	if err := checkEqualLen(q, c); err != nil {
+		return 0, err
+	}
+	var s float64
+	for i := range q {
+		d := q[i] - c[i]
+		s += d * d
+	}
+	return s, nil
+}
+
+// LCSS returns a distance derived from the Longest Common SubSequence
+// similarity under matching threshold eps and (Sakoe-Chiba style)
+// warping window rho: dist = 1 − |LCSS|/min(|q|,|c|), in [0, 1].
+// Unmatched noise points are simply skipped, which makes LCSS robust
+// to outliers but blind to their magnitude.
+func LCSS(q, c []float64, eps float64, rho int) (float64, error) {
+	if err := checkEqualLen(q, c); err != nil {
+		return 0, err
+	}
+	if eps < 0 || rho < 0 {
+		return 0, fmt.Errorf("tsdist: negative eps %v or rho %d", eps, rho)
+	}
+	n, m := len(q), len(c)
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for i := 1; i <= n; i++ {
+		for j := range cur {
+			cur[j] = 0
+		}
+		jlo, jhi := i-rho, i+rho
+		if jlo < 1 {
+			jlo = 1
+		}
+		if jhi > m {
+			jhi = m
+		}
+		for j := jlo; j <= jhi; j++ {
+			if math.Abs(q[i-1]-c[j-1]) <= eps {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	best := 0
+	for _, v := range prev {
+		if v > best {
+			best = v
+		}
+	}
+	return 1 - float64(best)/float64(n), nil
+}
+
+// ERP returns the Edit distance with Real Penalty under gap value g:
+// a metric (triangle inequality holds) that combines edit-distance
+// alignment with L1-style real penalties against the constant g.
+func ERP(q, c []float64, g float64) (float64, error) {
+	if err := checkEqualLen(q, c); err != nil {
+		return 0, err
+	}
+	n, m := len(q), len(c)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	// Base row: delete all of c against gaps.
+	for j := 1; j <= m; j++ {
+		prev[j] = prev[j-1] + math.Abs(c[j-1]-g)
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = prev[0] + math.Abs(q[i-1]-g)
+		for j := 1; j <= m; j++ {
+			match := prev[j-1] + math.Abs(q[i-1]-c[j-1])
+			gapQ := prev[j] + math.Abs(q[i-1]-g)
+			gapC := cur[j-1] + math.Abs(c[j-1]-g)
+			cur[j] = math.Min(match, math.Min(gapQ, gapC))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m], nil
+}
+
+// EDR returns the Edit Distance on Real sequences under matching
+// threshold eps, normalized by the series length: the minimum number
+// of insert/delete/replace edits (each costing 1) needed to align q
+// and c when points within eps match for free.
+func EDR(q, c []float64, eps float64) (float64, error) {
+	if err := checkEqualLen(q, c); err != nil {
+		return 0, err
+	}
+	if eps < 0 {
+		return 0, fmt.Errorf("tsdist: negative eps %v", eps)
+	}
+	n, m := len(q), len(c)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = float64(j)
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = float64(i)
+		for j := 1; j <= m; j++ {
+			sub := 1.0
+			if math.Abs(q[i-1]-c[j-1]) <= eps {
+				sub = 0
+			}
+			v := prev[j-1] + sub
+			if w := prev[j] + 1; w < v {
+				v = w
+			}
+			if w := cur[j-1] + 1; w < v {
+				v = w
+			}
+			cur[j] = v
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m] / float64(n), nil
+}
+
+// EuclideanFunc adapts Euclidean to Func.
+func EuclideanFunc() Func { return Euclidean }
+
+// LCSSFunc adapts LCSS with fixed parameters to Func.
+func LCSSFunc(eps float64, rho int) Func {
+	return func(q, c []float64) (float64, error) { return LCSS(q, c, eps, rho) }
+}
+
+// ERPFunc adapts ERP with a fixed gap value to Func.
+func ERPFunc(g float64) Func {
+	return func(q, c []float64) (float64, error) { return ERP(q, c, g) }
+}
+
+// EDRFunc adapts EDR with a fixed threshold to Func.
+func EDRFunc(eps float64) Func {
+	return func(q, c []float64) (float64, error) { return EDR(q, c, eps) }
+}

@@ -1,0 +1,231 @@
+package tsdist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSeries(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	v := 0.0
+	for i := range out {
+		v += rng.NormFloat64() * 0.5
+		out[i] = v
+	}
+	return out
+}
+
+func TestEuclidean(t *testing.T) {
+	got, err := Euclidean([]float64{1, 2}, []float64{3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 8 {
+		t.Fatalf("Euclidean = %v, want 8", got)
+	}
+	if _, err := Euclidean(nil, nil); err == nil {
+		t.Fatal("empty should fail")
+	}
+	if _, err := Euclidean([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+func TestLCSS(t *testing.T) {
+	q := []float64{1, 2, 3, 4}
+	// Identical: distance 0.
+	d, err := LCSS(q, q, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("LCSS(q,q) = %v", d)
+	}
+	// Nothing matches: distance 1.
+	far := []float64{100, 200, 300, 400}
+	d, err = LCSS(q, far, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Fatalf("LCSS disjoint = %v", d)
+	}
+	// Half matches within the window.
+	half := []float64{1, 2, 300, 400}
+	d, err = LCSS(q, half, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0.5 {
+		t.Fatalf("LCSS half = %v", d)
+	}
+	if _, err := LCSS(q, q, -1, 2); err == nil {
+		t.Fatal("negative eps should fail")
+	}
+	if _, err := LCSS(q, q, 0.1, -1); err == nil {
+		t.Fatal("negative rho should fail")
+	}
+}
+
+func TestERP(t *testing.T) {
+	q := []float64{1, 2, 3}
+	d, err := ERP(q, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("ERP(q,q) = %v", d)
+	}
+	// Pure pointwise differences when alignment is trivial.
+	d, err = ERP([]float64{1, 1}, []float64{2, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Fatalf("ERP = %v, want 2", d)
+	}
+	if _, err := ERP(nil, nil, 0); err == nil {
+		t.Fatal("empty should fail")
+	}
+}
+
+func TestEDR(t *testing.T) {
+	q := []float64{1, 2, 3, 4}
+	d, err := EDR(q, q, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("EDR(q,q) = %v", d)
+	}
+	// One substitution out of four points.
+	c := []float64{1, 2, 99, 4}
+	d, err = EDR(q, c, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0.25 {
+		t.Fatalf("EDR one edit = %v", d)
+	}
+	if _, err := EDR(q, q, -1); err == nil {
+		t.Fatal("negative eps should fail")
+	}
+}
+
+func TestFuncAdapters(t *testing.T) {
+	q := []float64{1, 2, 3}
+	c := []float64{1, 2, 4}
+	for name, f := range map[string]Func{
+		"euclid": EuclideanFunc(),
+		"lcss":   LCSSFunc(0.5, 1),
+		"erp":    ERPFunc(0),
+		"edr":    EDRFunc(0.5),
+	} {
+		d, err := f(q, c)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d < 0 || math.IsNaN(d) {
+			t.Fatalf("%s: distance %v", name, d)
+		}
+		self, err := f(q, q)
+		if err != nil || self != 0 {
+			t.Fatalf("%s: self distance %v err=%v", name, self, err)
+		}
+	}
+}
+
+// Property: all measures are symmetric and non-negative with zero
+// self-distance.
+func TestQuickMeasureAxioms(t *testing.T) {
+	funcs := map[string]Func{
+		"euclid": EuclideanFunc(),
+		"lcss":   LCSSFunc(0.3, 3),
+		"erp":    ERPFunc(0),
+		"edr":    EDRFunc(0.3),
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		q := randSeries(rng, n)
+		c := randSeries(rng, n)
+		for _, fn := range funcs {
+			ab, err := fn(q, c)
+			if err != nil || ab < 0 || math.IsNaN(ab) {
+				return false
+			}
+			ba, err := fn(c, q)
+			if err != nil || math.Abs(ab-ba) > 1e-9*(1+ab) {
+				return false
+			}
+			self, err := fn(q, q)
+			if err != nil || self != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ERP with gap 0 satisfies the triangle inequality (it is a
+// metric, unlike DTW — the trade-off the paper accepts for DTW's
+// accuracy).
+func TestQuickERPTriangle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(15)
+		a := randSeries(rng, n)
+		b := randSeries(rng, n)
+		c := randSeries(rng, n)
+		ab, err := ERP(a, b, 0)
+		if err != nil {
+			return false
+		}
+		bc, err := ERP(b, c, 0)
+		if err != nil {
+			return false
+		}
+		ac, err := ERP(a, c, 0)
+		if err != nil {
+			return false
+		}
+		return ac <= ab+bc+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Euclidean upper-bounds banded DTW conceptually (it is the
+// ρ=0 case) — here we just check a shifted pattern: LCSS/EDR tolerate
+// a one-step shift better than Euclidean does.
+func TestShiftRobustness(t *testing.T) {
+	n := 40
+	base := make([]float64, n)
+	shifted := make([]float64, n)
+	for i := range base {
+		base[i] = math.Sin(float64(i) / 3)
+		shifted[i] = math.Sin(float64(i-1) / 3)
+	}
+	eu, err := Euclidean(base, shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := LCSS(base, shifted, 0.05, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LCSS should see the shifted series as nearly identical while
+	// Euclidean accumulates real error.
+	if lc > 0.2 {
+		t.Fatalf("LCSS should absorb the shift, got %v", lc)
+	}
+	if eu < 0.5 {
+		t.Fatalf("Euclidean should penalize the shift, got %v", eu)
+	}
+}

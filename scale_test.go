@@ -1,0 +1,116 @@
+package smiler
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"smiler/internal/gpusim"
+)
+
+func TestMaxHistoryCapsFootprint(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	hist := noisySeasonal(rng, 2000, 1, 0)
+
+	full, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	if err := full.AddSensor("s", hist); err != nil {
+		t.Fatal(err)
+	}
+	fullUsed, _ := full.DeviceUsage()
+
+	capped := smallConfig()
+	capped.MaxHistory = 500
+	sys, err := New(capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.AddSensor("s", hist); err != nil {
+		t.Fatal(err)
+	}
+	cappedUsed, _ := sys.DeviceUsage()
+	if cappedUsed >= fullUsed {
+		t.Fatalf("capped footprint %d should be < full %d", cappedUsed, fullUsed)
+	}
+	// The capped system still predicts.
+	if _, err := sys.Predict("s", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := smallConfig()
+	bad.MaxHistory = -1
+	if _, err := New(bad); err == nil {
+		t.Fatal("negative MaxHistory should fail")
+	}
+}
+
+func TestMultiDevicePlacement(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Devices = 3
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 3; i++ {
+		if err := sys.AddSensor(string(rune('a'+i)), noisySeasonal(rng, 400, 1, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	per := sys.DeviceUsagePer()
+	if len(per) != 3 {
+		t.Fatalf("got %d devices", len(per))
+	}
+	// Most-free placement must spread 3 equal sensors over 3 devices.
+	for i, p := range per {
+		if p[0] == 0 {
+			t.Fatalf("device %d received no sensor: %v", i, per)
+		}
+	}
+	// Sensors on different devices predict independently.
+	if _, err := sys.PredictAll(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiDeviceOverflowFallback(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Devices = 2
+	cfg.Device.GlobalMemBytes = 40_000 // fits one small index per device
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	rng := rand.New(rand.NewSource(3))
+	hist := noisySeasonal(rng, 400, 1, 0)
+	if err := sys.AddSensor("a", hist); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddSensor("b", hist); err != nil {
+		t.Fatal(err)
+	}
+	// Both devices are now full; a third sensor must fail cleanly with
+	// the device OOM error.
+	err = sys.AddSensor("c", hist)
+	if !errors.Is(err, gpusim.ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	// And nothing leaked on the failure path.
+	per := sys.DeviceUsagePer()
+	if per[0][0] == 0 || per[1][0] == 0 {
+		t.Fatalf("sensors should occupy both devices: %v", per)
+	}
+	if err := sys.RemoveSensor("a"); err != nil {
+		t.Fatal(err)
+	}
+	// With space freed, the sensor fits again.
+	if err := sys.AddSensor("c", hist); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,531 @@
+// Package smiler is a semi-lazy time series prediction system for
+// sensors — a from-scratch reproduction of "SMiLer: A Semi-Lazy Time
+// Series Prediction System for Sensors" (SIGMOD 2015).
+//
+// Instead of eagerly training one global model per sensor, SMiLer
+// answers each prediction request by (1) retrieving the k nearest
+// historical segments of the sensor's own recent window under banded
+// DTW — served by a two-level inverted-like index on a (simulated)
+// GPU — and (2) fitting a small query-dependent Gaussian Process on
+// just those neighbours, yielding a closed-form predictive mean and
+// variance. An ensemble over (k, d) configurations self-tunes by
+// reweighting predictors with their predictive likelihood and putting
+// persistently weak ones to sleep.
+//
+// # Quick start
+//
+//	sys, _ := smiler.New(smiler.DefaultConfig())
+//	defer sys.Close()
+//	_ = sys.AddSensor("sensor-1", history)      // ≥ a few hundred points
+//	f, _ := sys.Predict("sensor-1", 1)          // 1-step-ahead forecast
+//	fmt.Println(f.Mean, f.StdDev())
+//	_ = sys.Observe("sensor-1", nextValue)      // stream & self-tune
+//
+// The packages under internal/ implement the substrates: the DTW
+// engine and lower bounds, the SMiLer index, the GPU simulator, the
+// exact GP with LOO training, and the paper's ten competitor
+// baselines.
+package smiler
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"smiler/internal/core"
+	"smiler/internal/gpusim"
+	"smiler/internal/index"
+	"smiler/internal/timeseries"
+)
+
+// PredictorKind selects the instantiation of the abstract semi-lazy
+// predictor.
+type PredictorKind int
+
+const (
+	// PredictorGP is the Gaussian Process predictor (SMiLer-GP) — the
+	// paper's headline configuration.
+	PredictorGP PredictorKind = iota
+	// PredictorAR is the aggregation-regression predictor (SMiLer-AR):
+	// cheaper, nearly as accurate on seasonal data, weaker uncertainty.
+	PredictorAR
+)
+
+func (k PredictorKind) String() string {
+	switch k {
+	case PredictorGP:
+		return "GP"
+	case PredictorAR:
+		return "AR"
+	default:
+		return fmt.Sprintf("PredictorKind(%d)", int(k))
+	}
+}
+
+// Config configures a System. DefaultConfig returns the paper's
+// defaults (Table 2).
+type Config struct {
+	// Device describes the simulated GPU hosting the per-sensor
+	// indexes.
+	Device gpusim.Config
+
+	// EKV and ELV are the ensemble's kNN and segment-length vectors.
+	EKV []int
+	ELV []int
+
+	// Rho is the Sakoe-Chiba warping width; Omega the index window
+	// length.
+	Rho   int
+	Omega int
+
+	// Predictor selects GP or AR cells.
+	Predictor PredictorKind
+
+	// Normalize z-normalizes each sensor on its initial history and
+	// maps forecasts back to raw units (the paper normalizes every
+	// sensor). Disable only if inputs are pre-normalized.
+	Normalize bool
+
+	// MinSeparation optionally keeps retrieved neighbours this many
+	// steps apart (0 = paper behaviour).
+	MinSeparation int
+
+	// Ablation switches (Fig. 11): SMiLerNE disables the ensemble
+	// (single FixedK×FixedD predictor), SMiLerNS disables the
+	// self-adaptive weights.
+	DisableEnsemble   bool
+	DisableAdaptation bool
+	DisableSleep      bool
+	// FixedK and FixedD configure the single predictor when the
+	// ensemble is disabled (paper uses k=32, d=64).
+	FixedK int
+	FixedD int
+
+	// Devices is the number of simulated GPUs; sensors are placed on
+	// the device with the most free memory (the paper's first scale-out
+	// option, Section 6.4.1). 0 or 1 means a single device.
+	Devices int
+
+	// MaxHistory caps the history indexed per sensor at AddSensor time:
+	// only the most recent MaxHistory points are kept — the paper's
+	// second scale-out option (reduce the per-sensor footprint M to fit
+	// more sensors, trading prediction quality; Section 6.4.1). 0 means
+	// keep everything. Streamed observations still grow the history.
+	MaxHistory int
+}
+
+// DefaultConfig returns the paper's default parameters: ρ=8, ω=16,
+// ELV={32,64,96}, EKV={8,16,32}, GP predictors, z-normalization on a
+// GTX-TITAN-like simulated device.
+func DefaultConfig() Config {
+	return Config{
+		Device:    gpusim.DefaultConfig(),
+		EKV:       []int{8, 16, 32},
+		ELV:       []int{32, 64, 96},
+		Rho:       8,
+		Omega:     16,
+		Predictor: PredictorGP,
+		Normalize: true,
+		FixedK:    32,
+		FixedD:    64,
+	}
+}
+
+// Forecast is a probabilistic prediction in the sensor's raw units.
+type Forecast struct {
+	// Mean is the predicted value.
+	Mean float64
+	// Variance is the predictive variance.
+	Variance float64
+	// Horizon is the look-ahead h the forecast was made for.
+	Horizon int
+}
+
+// StdDev returns the predictive standard deviation.
+func (f Forecast) StdDev() float64 { return math.Sqrt(f.Variance) }
+
+// Interval returns the central interval mean ± z·stddev (z=1.96 for a
+// 95% Gaussian interval).
+func (f Forecast) Interval(z float64) (lo, hi float64) {
+	d := z * f.StdDev()
+	return f.Mean - d, f.Mean + d
+}
+
+// System hosts one semi-lazy prediction pipeline per sensor on a
+// shared simulated GPU. All exported methods are safe for concurrent
+// use; operations on distinct sensors run in parallel.
+type System struct {
+	cfg  Config
+	devs []*gpusim.Device
+
+	mu      sync.RWMutex
+	sensors map[string]*sensorState
+	closed  bool
+}
+
+type sensorState struct {
+	mu   sync.Mutex
+	norm *timeseries.Normalizer
+	pipe *core.Pipeline
+	ix   *index.Index
+	dev  *gpusim.Device
+}
+
+// New builds a System.
+func New(cfg Config) (*System, error) {
+	n := cfg.Devices
+	if n <= 0 {
+		n = 1
+	}
+	devs := make([]*gpusim.Device, n)
+	for i := range devs {
+		dev, err := gpusim.NewDevice(cfg.Device)
+		if err != nil {
+			return nil, err
+		}
+		devs[i] = dev
+	}
+	if _, err := cfg.indexParams(); err != nil {
+		return nil, err
+	}
+	if !cfg.DisableEnsemble && len(cfg.EKV) == 0 {
+		return nil, errors.New("smiler: empty EKV")
+	}
+	if cfg.MaxHistory < 0 {
+		return nil, fmt.Errorf("smiler: negative MaxHistory %d", cfg.MaxHistory)
+	}
+	return &System{cfg: cfg, devs: devs, sensors: make(map[string]*sensorState)}, nil
+}
+
+// pickDevice returns the device with the most free memory.
+func (s *System) pickDevice() *gpusim.Device {
+	best := s.devs[0]
+	bestFree := best.TotalBytes() - best.UsedBytes()
+	for _, d := range s.devs[1:] {
+		if free := d.TotalBytes() - d.UsedBytes(); free > bestFree {
+			best, bestFree = d, free
+		}
+	}
+	return best
+}
+
+// indexParams derives the per-sensor index parameters from the config.
+func (c Config) indexParams() (index.Params, error) {
+	elv := c.ELV
+	if c.DisableEnsemble {
+		if c.FixedD <= 0 {
+			return index.Params{}, errors.New("smiler: DisableEnsemble needs FixedD")
+		}
+		elv = []int{c.FixedD}
+	}
+	p := index.Params{Rho: c.Rho, Omega: c.Omega, ELV: elv, MinSeparation: c.MinSeparation}
+	if err := p.Validate(); err != nil {
+		return index.Params{}, err
+	}
+	return p, nil
+}
+
+// predictorFactory builds the per-cell predictor constructor.
+func (c Config) predictorFactory() core.PredictorFactory {
+	if c.Predictor == PredictorAR {
+		return func() core.Predictor { return core.NewAR() }
+	}
+	return func() core.Predictor { return core.NewGP() }
+}
+
+// MinHistory returns the minimum number of points AddSensor requires.
+func (s *System) MinHistory() int {
+	p, _ := s.cfg.indexParams()
+	return p.ELV[len(p.ELV)-1] + s.cfg.Omega
+}
+
+// AddSensor registers a sensor with its initial history. The history
+// must be at least MinHistory points. With Normalize set, the sensor's
+// z-statistics are frozen on this history.
+func (s *System) AddSensor(id string, history []float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("smiler: system closed")
+	}
+	if _, dup := s.sensors[id]; dup {
+		return fmt.Errorf("smiler: sensor %q already registered", id)
+	}
+	params, err := s.cfg.indexParams()
+	if err != nil {
+		return err
+	}
+	if s.cfg.MaxHistory > 0 && len(history) > s.cfg.MaxHistory {
+		history = history[len(history)-s.cfg.MaxHistory:]
+	}
+
+	work := history
+	var norm *timeseries.Normalizer
+	if s.cfg.Normalize {
+		norm, err = timeseries.NewNormalizer(history)
+		if err != nil {
+			return fmt.Errorf("smiler: sensor %q: %w", id, err)
+		}
+		work = make([]float64, len(history))
+		for i, v := range history {
+			work[i] = norm.Apply(v)
+		}
+	}
+
+	// Place the sensor on the device with the most free memory; if the
+	// allocation fails there, try the remaining devices before giving
+	// up (the multi-GPU scale-out of Section 6.4.1).
+	dev := s.pickDevice()
+	ix, err := index.New(dev, work, params)
+	if errors.Is(err, gpusim.ErrOutOfMemory) {
+		for _, alt := range s.devs {
+			if alt == dev {
+				continue
+			}
+			if ix2, err2 := index.New(alt, work, params); err2 == nil {
+				ix, err, dev = ix2, nil, alt
+				break
+			}
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("smiler: sensor %q: %w", id, err)
+	}
+	ekv := s.cfg.EKV
+	if s.cfg.DisableEnsemble {
+		ekv = []int{s.cfg.FixedK}
+	}
+	pipe, err := core.NewPipeline(ix, core.PipelineConfig{
+		EKV:     ekv,
+		Index:   params,
+		Horizon: 1,
+		Factory: s.cfg.predictorFactory(),
+		Ensemble: core.EnsembleConfig{
+			DisableAdaptation: s.cfg.DisableAdaptation,
+			DisableSleep:      s.cfg.DisableSleep,
+		},
+	})
+	if err != nil {
+		ix.Close()
+		return fmt.Errorf("smiler: sensor %q: %w", id, err)
+	}
+	s.sensors[id] = &sensorState{norm: norm, pipe: pipe, ix: ix, dev: dev}
+	return nil
+}
+
+// RemoveSensor drops a sensor and frees its device memory.
+func (s *System) RemoveSensor(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.sensors[id]
+	if !ok {
+		return fmt.Errorf("smiler: unknown sensor %q", id)
+	}
+	delete(s.sensors, id)
+	return st.ix.Close()
+}
+
+// Sensors returns the registered sensor ids, sorted.
+func (s *System) Sensors() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.sensors))
+	for id := range s.sensors {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *System) sensor(id string) (*sensorState, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, errors.New("smiler: system closed")
+	}
+	st, ok := s.sensors[id]
+	if !ok {
+		return nil, fmt.Errorf("smiler: unknown sensor %q", id)
+	}
+	return st, nil
+}
+
+// Predict forecasts the sensor's value h steps ahead of its latest
+// observation.
+func (s *System) Predict(id string, h int) (Forecast, error) {
+	st, err := s.sensor(id)
+	if err != nil {
+		return Forecast{}, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	pred, err := st.pipe.Predict(h)
+	if err != nil {
+		return Forecast{}, err
+	}
+	f := Forecast{Mean: pred.Mean, Variance: pred.Variance, Horizon: h}
+	if st.norm != nil {
+		f.Mean = st.norm.Invert(pred.Mean)
+		f.Variance = st.norm.InvertVariance(pred.Variance)
+	}
+	return f, nil
+}
+
+// PredictHorizons forecasts the sensor at several horizons from one
+// shared kNN search (the index verifies each candidate at most once).
+// Equivalent to calling Predict per horizon, considerably cheaper when
+// forecasting a ladder of lead times.
+func (s *System) PredictHorizons(id string, hs []int) (map[int]Forecast, error) {
+	st, err := s.sensor(id)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	preds, err := st.pipe.PredictMulti(hs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]Forecast, len(preds))
+	for h, pred := range preds {
+		f := Forecast{Mean: pred.Mean, Variance: pred.Variance, Horizon: h}
+		if st.norm != nil {
+			f.Mean = st.norm.Invert(pred.Mean)
+			f.Variance = st.norm.InvertVariance(pred.Variance)
+		}
+		out[h] = f
+	}
+	return out, nil
+}
+
+// Observe streams the next observation of the sensor into the system:
+// it closes the auto-tuning loop for matured predictions and advances
+// the index incrementally. A NaN observation marks a missing reading:
+// the gap is filled with the system's own one-step-ahead prediction so
+// the fixed sample rate (Section 3.1) is preserved; the auto-tuning
+// update for that step is skipped (there is no truth to score
+// against).
+func (s *System) Observe(id string, v float64) error {
+	st, err := s.sensor(id)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if math.IsNaN(v) {
+		pred, err := st.pipe.Predict(1)
+		if err != nil {
+			return fmt.Errorf("smiler: imputing missing reading for %q: %w", id, err)
+		}
+		st.pipe.DropPendingFor(st.pipe.Index().Len()) // no truth will arrive
+		return st.pipe.Observe(pred.Mean)
+	}
+	if st.norm != nil {
+		v = st.norm.Apply(v)
+	}
+	return st.pipe.Observe(v)
+}
+
+// PredictAll forecasts every sensor h steps ahead, processing sensors
+// in parallel (the paper scales out by giving each sensor its own
+// index and more GPU blocks). It returns the first error encountered.
+func (s *System) PredictAll(h int) (map[string]Forecast, error) {
+	ids := s.Sensors()
+	out := make(map[string]Forecast, len(ids))
+	var (
+		outMu    sync.Mutex
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			f, err := s.Predict(id, h)
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				return
+			}
+			outMu.Lock()
+			out[id] = f
+			outMu.Unlock()
+		}(id)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// ObserveAll streams one observation per sensor (missing sensors
+// error).
+func (s *System) ObserveAll(values map[string]float64) error {
+	for id, v := range values {
+		if err := s.Observe(id, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeviceUsage reports the simulated GPU memory consumption summed over
+// all devices.
+func (s *System) DeviceUsage() (used, total int64) {
+	for _, d := range s.devs {
+		used += d.UsedBytes()
+		total += d.TotalBytes()
+	}
+	return used, total
+}
+
+// DeviceUsagePer reports per-device memory consumption, in device
+// order.
+func (s *System) DeviceUsagePer() [][2]int64 {
+	out := make([][2]int64, len(s.devs))
+	for i, d := range s.devs {
+		out[i] = [2]int64{d.UsedBytes(), d.TotalBytes()}
+	}
+	return out
+}
+
+// Device exposes the first simulated GPU (benchmarks read its timers).
+func (s *System) Device() *gpusim.Device { return s.devs[0] }
+
+// EnsembleWeights reports the current (k, d) → weight map of a
+// sensor's ensemble; sleeping cells report weight 0.
+func (s *System) EnsembleWeights(id string) (map[[2]int]float64, error) {
+	st, err := s.sensor(id)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[[2]int]float64)
+	for _, c := range st.pipe.Ensemble().Cells() {
+		out[[2]int{c.K, c.D}] = c.Weight()
+	}
+	return out, nil
+}
+
+// Close releases every sensor's device memory. The system is unusable
+// afterwards.
+func (s *System) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for id, st := range s.sensors {
+		if err := st.ix.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.sensors, id)
+	}
+	return first
+}
