@@ -1,0 +1,27 @@
+# Developer entry points; CI runs the same targets (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-ingest
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Paper-shape benchmarks (Tables 3-4, Figs 7-13).
+bench:
+	$(GO) test -bench . -run '^$$' ./...
+
+# Ingestion pipeline throughput: direct Observe vs sharded bulk ingest.
+bench-ingest:
+	$(GO) test ./internal/ingest -bench Throughput -run '^$$'

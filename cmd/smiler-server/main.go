@@ -1,15 +1,19 @@
 // Command smiler-server runs the SMiLer prediction system as an
 // HTTP/JSON service. Sensors are registered and fed over the API (see
-// internal/server for the routes); an optional checkpoint file
-// persists state across restarts.
+// internal/server for the routes); observations flow through a
+// sharded ingestion pipeline (internal/ingest); an optional
+// checkpoint file persists state across restarts.
 //
 // Usage:
 //
 //	smiler-server -addr :8080
 //	smiler-server -addr :8080 -predictor ar -checkpoint state.gob
+//	smiler-server -shards 8 -queue 1024 -backpressure drop-newest
 //
 // With -checkpoint, state is loaded at startup (if the file exists)
-// and saved on clean shutdown (SIGINT/SIGTERM).
+// and saved on clean shutdown (SIGINT/SIGTERM). Shutdown first stops
+// the listener, then drains the ingestion pipeline, then writes the
+// checkpoint — no accepted observation is lost.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -26,63 +31,108 @@ import (
 	"time"
 
 	"smiler"
+	"smiler/internal/ingest"
 	"smiler/internal/server"
 )
 
+// options carries every tunable of the server process.
+type options struct {
+	addr         string
+	predictor    string
+	devices      int
+	maxHistory   int
+	checkpoint   string
+	interval     time.Duration
+	shards       int
+	queue        int
+	batch        int
+	backpressure string
+
+	// onReady, when set, is called with the bound listen address once
+	// the listener is accepting (tests use it to find an ephemeral
+	// port).
+	onReady func(addr string)
+}
+
 func main() {
-	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		predictor  = flag.String("predictor", "gp", "predictor: gp|ar")
-		devices    = flag.Int("devices", 1, "number of simulated GPUs")
-		maxHistory = flag.Int("max-history", 0, "cap indexed history per sensor (0 = unlimited)")
-		checkpoint = flag.String("checkpoint", "", "checkpoint file (load at start, save at shutdown)")
-		interval   = flag.Duration("interval", 0, "fixed sample interval enabling POST /sensors/{id}/readings (0 = disabled)")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.predictor, "predictor", "gp", "predictor: gp|ar")
+	flag.IntVar(&o.devices, "devices", 1, "number of simulated GPUs")
+	flag.IntVar(&o.maxHistory, "max-history", 0, "cap indexed history per sensor (0 = unlimited)")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint file (load at start, save at shutdown)")
+	flag.DurationVar(&o.interval, "interval", 0, "fixed sample interval enabling POST /sensors/{id}/readings (0 = disabled)")
+	flag.IntVar(&o.shards, "shards", 0, "ingestion shard workers (0 = GOMAXPROCS)")
+	flag.IntVar(&o.queue, "queue", 0, "per-shard ingestion queue capacity (0 = default 256)")
+	flag.IntVar(&o.batch, "batch", 0, "ingestion micro-batch cap (0 = default 32)")
+	flag.StringVar(&o.backpressure, "backpressure", "block", "full-queue policy: block|drop-newest|error")
 	flag.Parse()
-	if err := run(*addr, *predictor, *devices, *maxHistory, *checkpoint, *interval); err != nil {
+	if err := run(o); err != nil {
 		log.Fatal("smiler-server: ", err)
 	}
 }
 
-func run(addr, predictor string, devices, maxHistory int, checkpoint string, interval time.Duration) error {
+func run(o options) error {
 	cfg := smiler.DefaultConfig()
-	switch strings.ToLower(predictor) {
+	switch strings.ToLower(o.predictor) {
 	case "gp":
 		cfg.Predictor = smiler.PredictorGP
 	case "ar":
 		cfg.Predictor = smiler.PredictorAR
 	default:
-		return fmt.Errorf("unknown predictor %q", predictor)
+		return fmt.Errorf("unknown predictor %q", o.predictor)
 	}
-	cfg.Devices = devices
-	cfg.MaxHistory = maxHistory
+	cfg.Devices = o.devices
+	cfg.MaxHistory = o.maxHistory
 
-	sys, err := loadOrNew(cfg, checkpoint)
+	policy, err := ingest.ParseBackpressure(o.backpressure)
+	if err != nil {
+		return err
+	}
+
+	sys, err := loadOrNew(cfg, o.checkpoint)
 	if err != nil {
 		return err
 	}
 	defer sys.Close()
 
-	handler, err := server.NewWithInterval(sys, interval)
+	handler, err := server.NewWithOptions(sys, server.Options{
+		Interval: o.interval,
+		Pipeline: ingest.Config{
+			Shards:       o.shards,
+			QueueSize:    o.queue,
+			MaxBatch:     o.batch,
+			Backpressure: policy,
+			OnError: func(obs ingest.Observation, err error) {
+				log.Printf("smiler-server: observe %s: %v", obs.Sensor, err)
+			},
+		},
+	})
 	if err != nil {
 		return err
 	}
 	srv := &http.Server{
-		Addr:              addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("smiler-server: listening on %s (%s predictors, %d device(s))",
-			addr, strings.ToUpper(predictor), devices)
-		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("smiler-server: listening on %s (%s predictors, %d device(s), %s backpressure)",
+			ln.Addr(), strings.ToUpper(o.predictor), o.devices, policy)
+		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 			return
 		}
 		errCh <- nil
 	}()
+	if o.onReady != nil {
+		o.onReady(ln.Addr().String())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -98,11 +148,19 @@ func run(addr, predictor string, devices, maxHistory int, checkpoint string, int
 	if err := srv.Shutdown(ctx); err != nil {
 		return err
 	}
-	if checkpoint != "" {
-		if err := saveCheckpoint(sys, checkpoint); err != nil {
+	// The listener is stopped: drain the pipeline so every accepted
+	// observation reaches the system before state is persisted.
+	if err := handler.Close(); err != nil {
+		return err
+	}
+	st := handler.Pipeline().Stats()
+	log.Printf("smiler-server: pipeline drained (%d processed, %d dropped, %d errors)",
+		st.Totals.Processed, st.Totals.Dropped, st.Totals.Errors)
+	if o.checkpoint != "" {
+		if err := saveCheckpoint(sys, o.checkpoint); err != nil {
 			return fmt.Errorf("saving checkpoint: %w", err)
 		}
-		log.Printf("smiler-server: checkpoint saved to %s", checkpoint)
+		log.Printf("smiler-server: checkpoint saved to %s", o.checkpoint)
 	}
 	return <-errCh
 }

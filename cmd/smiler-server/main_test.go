@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"smiler"
+	"smiler/internal/ingest"
+	"smiler/internal/server"
 )
 
 func smallCfg() smiler.Config {
@@ -80,25 +82,86 @@ func TestLoadOrNewCorruptCheckpoint(t *testing.T) {
 }
 
 func TestRunRejectsBadPredictor(t *testing.T) {
-	if err := run(":0", "nope", 1, 0, "", 0); err == nil {
+	if err := run(options{addr: ":0", predictor: "nope", devices: 1, backpressure: "block"}); err == nil {
 		t.Fatal("unknown predictor should fail")
 	}
 }
 
-// TestRunLifecycle drives the real server loop: start, then SIGTERM,
-// then assert a clean shutdown with a written checkpoint.
+func TestRunRejectsBadBackpressure(t *testing.T) {
+	if err := run(options{addr: ":0", predictor: "ar", devices: 1, backpressure: "nope"}); err == nil {
+		t.Fatal("unknown backpressure policy should fail")
+	}
+}
+
+// TestRunLifecycle drives the real server loop end to end: start,
+// register a sensor and stream observations over HTTP, then SIGTERM —
+// and assert that the pipeline was drained before the checkpoint was
+// written, i.e. the restored system contains every accepted
+// observation.
 func TestRunLifecycle(t *testing.T) {
 	if testing.Short() {
 		t.Skip("signal-driven lifecycle test")
 	}
 	path := filepath.Join(t.TempDir(), "state.gob")
+	ready := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run("127.0.0.1:0", "ar", 1, 100, path, time.Minute)
+		done <- run(options{
+			addr:         "127.0.0.1:0",
+			predictor:    "ar",
+			devices:      1,
+			checkpoint:   path,
+			interval:     time.Minute,
+			shards:       2,
+			queue:        64,
+			backpressure: "block",
+			onReady:      func(addr string) { ready <- addr },
+		})
 	}()
-	// Give ListenAndServe and signal.Notify time to arm before the
-	// termination signal arrives (otherwise it would kill the test
-	// binary itself).
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not start")
+	}
+
+	cl, err := server.NewClient("http://"+addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const histLen, observed, bulked = 300, 7, 5
+	hist := make([]float64, histLen)
+	for i := range hist {
+		hist[i] = 10 + 3*math.Sin(2*math.Pi*float64(i)/24)
+	}
+	if err := cl.AddSensor("s", hist); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < observed; i++ {
+		if err := cl.Observe("s", hist[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Bulk ingest endpoint, end to end through the real server loop.
+	bulk := make([]ingest.Observation, bulked)
+	for i := range bulk {
+		bulk[i] = ingest.Observation{Sensor: "s", Value: hist[observed+i]}
+	}
+	res, err := cl.ObserveMany(bulk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != bulked || res.Dropped != 0 || len(res.Failed) != 0 {
+		t.Fatalf("bulk result = %+v", res)
+	}
+	if st, err := cl.PipelineStats(); err != nil || st.Shards != 2 {
+		t.Fatalf("pipeline stats = %+v, err %v", st, err)
+	}
+
+	// Give signal.Notify time to arm before the termination signal
+	// arrives (otherwise it would kill the test binary itself).
 	time.Sleep(500 * time.Millisecond)
 	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
 		t.Fatal(err)
@@ -111,7 +174,23 @@ func TestRunLifecycle(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("server did not shut down")
 	}
-	if _, err := os.Stat(path); err != nil {
+
+	// The checkpoint must contain the full drained stream.
+	f, err := os.Open(path)
+	if err != nil {
 		t.Fatalf("checkpoint not written: %v", err)
+	}
+	defer f.Close()
+	restored, err := smiler.Load(f, smiler.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	n, err := restored.HistoryLen("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != histLen+observed+bulked {
+		t.Fatalf("restored history %d points, want %d (pipeline not drained before checkpoint)", n, histLen+observed+bulked)
 	}
 }

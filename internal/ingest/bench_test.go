@@ -1,0 +1,94 @@
+package ingest
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"smiler"
+)
+
+// benchConfig keeps per-observation cost representative but small (AR
+// cells, short segments) so the benchmark measures ingestion overhead
+// and parallelism, not GP fitting.
+func benchConfig() smiler.Config {
+	cfg := smiler.DefaultConfig()
+	cfg.Rho = 3
+	cfg.Omega = 8
+	cfg.ELV = []int{16, 24}
+	cfg.EKV = []int{4}
+	cfg.Predictor = smiler.PredictorAR
+	return cfg
+}
+
+func newBenchSystem(b *testing.B, sensors int) (*smiler.System, []string) {
+	b.Helper()
+	sys, err := smiler.New(benchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { sys.Close() })
+	ids := make([]string, sensors)
+	hist := make([]float64, 200)
+	for i := range hist {
+		hist[i] = 20 + 5*math.Sin(2*math.Pi*float64(i)/24)
+	}
+	for s := range ids {
+		ids[s] = fmt.Sprintf("bench-%02d", s)
+		if err := sys.AddSensor(ids[s], hist); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return sys, ids
+}
+
+// BenchmarkIngestThroughput compares direct synchronous Observe
+// against pipelined bulk ingest at 1, 4 and 16 shards, all over the
+// same 16-sensor system. The recorded shape lives in EXPERIMENTS.md;
+// regenerate with:
+//
+//	go test ./internal/ingest -bench Throughput -run '^$'
+func BenchmarkIngestThroughput(b *testing.B) {
+	const sensors = 16
+	const bulkChunk = 64
+
+	b.Run("direct", func(b *testing.B) {
+		sys, ids := newBenchSystem(b, sensors)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sys.Observe(ids[i%sensors], 20+float64(i%7)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "obs/s")
+	})
+
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("pipeline/shards=%d", shards), func(b *testing.B) {
+			sys, ids := newBenchSystem(b, sensors)
+			p, err := New(sys, Config{Shards: shards, QueueSize: 1024, MaxBatch: 64})
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := make([]Observation, 0, bulkChunk)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				batch = append(batch, Observation{Sensor: ids[i%sensors], Value: 20 + float64(i%7)})
+				if len(batch) == bulkChunk || i == b.N-1 {
+					if res := p.ObserveBulk(batch); len(res.Failed) > 0 {
+						b.Fatal(res.Failed[0].Error)
+					}
+					batch = batch[:0]
+				}
+			}
+			// Throughput means applied, not merely queued: the drain is
+			// part of the measured work.
+			if err := p.Drain(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "obs/s")
+			p.Close()
+		})
+	}
+}

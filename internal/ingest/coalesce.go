@@ -1,0 +1,131 @@
+package ingest
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"smiler"
+)
+
+// maxCachedHorizons bounds the per-sensor forecast cache: a sensor's
+// entry holds at most this many distinct horizons between two
+// observations. Beyond that, extra horizons are simply recomputed.
+const maxCachedHorizons = 16
+
+// flightKey identifies one deduplicable forecast computation.
+type flightKey struct {
+	id string
+	h  int
+}
+
+// flight is one in-progress forecast computation; followers block on
+// done and read f/err afterwards.
+type flight struct {
+	done  chan struct{}
+	stale bool // an observation landed while the computation ran
+	f     smiler.Forecast
+	err   error
+}
+
+// coalescer is the read-side of the pipeline: a single-flight layer
+// plus a small per-sensor forecast cache keyed (sensor, horizon),
+// invalidated by that sensor's next observation. A thundering herd of
+// identical forecast requests costs one kNN search + GP fit.
+type coalescer struct {
+	sys System
+
+	mu      sync.Mutex
+	cache   map[string]map[int]smiler.Forecast
+	flights map[flightKey]*flight
+
+	hits          atomic.Uint64
+	waits         atomic.Uint64
+	misses        atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+func newCoalescer(sys System) *coalescer {
+	return &coalescer{
+		sys:     sys,
+		cache:   make(map[string]map[int]smiler.Forecast),
+		flights: make(map[flightKey]*flight),
+	}
+}
+
+// forecast returns the (id, h) forecast, serving it from the cache
+// when the sensor has not been observed since it was computed, and
+// otherwise computing it at most once no matter how many callers ask
+// concurrently.
+func (c *coalescer) forecast(id string, h int) (smiler.Forecast, error) {
+	key := flightKey{id: id, h: h}
+	c.mu.Lock()
+	if f, ok := c.cache[id][h]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return f, nil
+	}
+	if fl, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		c.waits.Add(1)
+		<-fl.done
+		return fl.f, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[key] = fl
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	f, err := c.sys.Predict(id, h)
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	fl.f, fl.err = f, err
+	// Cache only clean successes: if an observation was applied while
+	// we computed, the result describes the pre-observation state.
+	if err == nil && !fl.stale {
+		byH := c.cache[id]
+		if byH == nil {
+			byH = make(map[int]smiler.Forecast)
+			c.cache[id] = byH
+		}
+		if len(byH) < maxCachedHorizons {
+			byH[h] = f
+		}
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return f, err
+}
+
+// invalidate flushes the sensor's cached forecasts and marks its
+// in-flight computations stale. Called by shard workers after each
+// applied observation and by the server when a sensor is removed.
+func (c *coalescer) invalidate(id string) {
+	c.mu.Lock()
+	if _, ok := c.cache[id]; ok {
+		delete(c.cache, id)
+		c.invalidations.Add(1)
+	}
+	for key, fl := range c.flights {
+		if key.id == id {
+			fl.stale = true
+		}
+	}
+	c.mu.Unlock()
+}
+
+func (c *coalescer) stats() CoalesceStats {
+	c.mu.Lock()
+	size := 0
+	for _, byH := range c.cache {
+		size += len(byH)
+	}
+	c.mu.Unlock()
+	return CoalesceStats{
+		CacheHits:      c.hits.Load(),
+		CoalescedWaits: c.waits.Load(),
+		Misses:         c.misses.Load(),
+		Invalidations:  c.invalidations.Load(),
+		CacheSize:      size,
+	}
+}

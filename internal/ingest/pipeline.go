@@ -1,0 +1,310 @@
+// Package ingest is a sharded streaming ingestion and
+// forecast-coalescing pipeline that sits between the transport layer
+// (internal/server) and the prediction system (smiler.System).
+//
+// The paper frames SMiLer as a continuous-query system over many
+// concurrent sensor streams (§3; §6.4.1 scales it out across GPUs).
+// Serving that shape over HTTP needs a front-end that decouples
+// request handling from the per-sensor locking of the core system:
+//
+//   - Write side: each observation is hashed (FNV-1a) onto one of N
+//     shard workers. A shard is a bounded queue drained by a single
+//     goroutine in micro-batches, so observations for one sensor are
+//     applied in arrival order while distinct shards proceed in
+//     parallel. When a queue fills, a configurable backpressure
+//     policy decides whether the producer blocks, the observation is
+//     dropped (with accounting), or the caller gets an error.
+//   - Read side: identical concurrent forecast requests for one
+//     (sensor, horizon) are collapsed into a single kNN search + GP
+//     fit (single-flight), and the result is cached until that
+//     sensor's next observation invalidates it.
+//
+// Close drains: every observation accepted before Close returns is
+// applied to the system, which is what lets the server drain the
+// pipeline before writing its shutdown checkpoint.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+
+	"smiler"
+)
+
+// System is the slice of *smiler.System the pipeline drives; narrowed
+// to an interface so tests can inject instrumented fakes.
+type System interface {
+	Observe(id string, v float64) error
+	Predict(id string, h int) (smiler.Forecast, error)
+	HasSensor(id string) bool
+}
+
+// Backpressure selects what happens when a shard queue is full.
+type Backpressure int
+
+const (
+	// Block makes the producer wait for queue space (lossless, the
+	// default).
+	Block Backpressure = iota
+	// DropNewest rejects the incoming observation and counts it in
+	// the shard's Dropped stat (load shedding).
+	DropNewest
+	// Error returns ErrQueueFull to the producer, which can surface
+	// it as HTTP 503 and let the client retry.
+	Error
+)
+
+func (b Backpressure) String() string {
+	switch b {
+	case Block:
+		return "block"
+	case DropNewest:
+		return "drop-newest"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("Backpressure(%d)", int(b))
+	}
+}
+
+// ParseBackpressure maps the flag spellings ("block", "drop-newest",
+// "error") to policies.
+func ParseBackpressure(s string) (Backpressure, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "drop-newest":
+		return DropNewest, nil
+	case "error":
+		return Error, nil
+	default:
+		return 0, fmt.Errorf("ingest: unknown backpressure policy %q (want block, drop-newest or error)", s)
+	}
+}
+
+// Observation is one sensor reading entering the pipeline.
+type Observation struct {
+	Sensor string  `json:"id"`
+	Value  float64 `json:"value"`
+}
+
+// Config configures a Pipeline; zero values take defaults.
+type Config struct {
+	// Shards is the number of shard workers (default GOMAXPROCS).
+	Shards int
+	// QueueSize is the per-shard queue capacity (default 256).
+	QueueSize int
+	// MaxBatch caps the micro-batch a worker drains per wakeup
+	// (default 32).
+	MaxBatch int
+	// Backpressure is the full-queue policy (default Block).
+	Backpressure Backpressure
+	// OnError, when set, is called from shard workers for every
+	// observation whose asynchronous apply failed (e.g. to log it).
+	OnError func(Observation, error)
+}
+
+func (c *Config) applyDefaults() {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+}
+
+var (
+	// ErrClosed is returned by Observe/Drain after Close.
+	ErrClosed = errors.New("ingest: pipeline closed")
+	// ErrQueueFull is returned under the Error backpressure policy
+	// when the target shard's queue is full.
+	ErrQueueFull = errors.New("ingest: shard queue full")
+)
+
+// Pipeline is the sharded ingestion front-end. All methods are safe
+// for concurrent use.
+type Pipeline struct {
+	cfg    Config
+	sys    System
+	shards []*shard
+	co     *coalescer
+
+	// closeMu guards the closed flag against in-flight sends: Observe
+	// holds it shared while sending, Close holds it exclusively while
+	// closing the shard channels, so no send can race a close.
+	closeMu sync.RWMutex
+	closed  bool
+	wg      sync.WaitGroup
+	done    chan struct{}
+}
+
+// New builds a pipeline over sys and starts its shard workers.
+func New(sys System, cfg Config) (*Pipeline, error) {
+	if sys == nil {
+		return nil, errors.New("ingest: nil system")
+	}
+	switch cfg.Backpressure {
+	case Block, DropNewest, Error:
+	default:
+		return nil, fmt.Errorf("ingest: invalid backpressure policy %d", int(cfg.Backpressure))
+	}
+	cfg.applyDefaults()
+	p := &Pipeline{
+		cfg:    cfg,
+		sys:    sys,
+		shards: make([]*shard, cfg.Shards),
+		co:     newCoalescer(sys),
+		done:   make(chan struct{}),
+	}
+	for i := range p.shards {
+		p.shards[i] = &shard{id: i, ch: make(chan item, cfg.QueueSize)}
+		p.wg.Add(1)
+		go p.worker(p.shards[i])
+	}
+	return p, nil
+}
+
+// shardFor hashes the sensor id onto its shard (FNV-1a): one sensor
+// always lands on one shard, which is what preserves its ordering.
+func (p *Pipeline) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return p.shards[h.Sum32()%uint32(len(p.shards))]
+}
+
+// Observe enqueues one observation for asynchronous apply. It returns
+// (true, nil) when accepted, (false, nil) when the DropNewest policy
+// shed it, and (false, err) when rejected — ErrQueueFull under the
+// Error policy, ErrClosed after Close, or an unknown-sensor error.
+func (p *Pipeline) Observe(id string, v float64) (accepted bool, err error) {
+	if !p.sys.HasSensor(id) {
+		return false, fmt.Errorf("ingest: unknown sensor %q", id)
+	}
+	it := item{obs: Observation{Sensor: id, Value: v}, at: time.Now()}
+	p.closeMu.RLock()
+	defer p.closeMu.RUnlock()
+	if p.closed {
+		return false, ErrClosed
+	}
+	sh := p.shardFor(id)
+	switch p.cfg.Backpressure {
+	case Block:
+		select {
+		case sh.ch <- it:
+		case <-p.done:
+			return false, ErrClosed
+		}
+	default: // DropNewest, Error
+		select {
+		case sh.ch <- it:
+		default:
+			if p.cfg.Backpressure == DropNewest {
+				sh.dropped.Add(1)
+				return false, nil
+			}
+			return false, ErrQueueFull
+		}
+	}
+	sh.enqueued.Add(1)
+	return true, nil
+}
+
+// BulkFailure reports one rejected observation of a bulk request.
+type BulkFailure struct {
+	Index int    `json:"index"`
+	ID    string `json:"id"`
+	Error string `json:"error"`
+}
+
+// BulkResult accounts for a bulk enqueue.
+type BulkResult struct {
+	Accepted int           `json:"accepted"`
+	Dropped  int           `json:"dropped"`
+	Failed   []BulkFailure `json:"failed,omitempty"`
+}
+
+// ObserveBulk enqueues a batch of observations, possibly spanning many
+// sensors, and reports per-item outcomes instead of failing the batch
+// on the first bad item.
+func (p *Pipeline) ObserveBulk(obs []Observation) BulkResult {
+	var res BulkResult
+	for i, o := range obs {
+		accepted, err := p.Observe(o.Sensor, o.Value)
+		switch {
+		case accepted:
+			res.Accepted++
+		case err == nil:
+			res.Dropped++
+		default:
+			res.Failed = append(res.Failed, BulkFailure{Index: i, ID: o.Sensor, Error: err.Error()})
+		}
+	}
+	return res
+}
+
+// Forecast returns the sensor's h-step-ahead forecast through the
+// coalescing layer: cached until the sensor's next observation, and
+// computed at most once across concurrent identical requests.
+func (p *Pipeline) Forecast(id string, h int) (smiler.Forecast, error) {
+	return p.co.forecast(id, h)
+}
+
+// Invalidate flushes any cached forecasts for the sensor. Shard
+// workers invalidate automatically after each applied observation;
+// this is for out-of-band state changes (sensor removal).
+func (p *Pipeline) Invalidate(id string) { p.co.invalidate(id) }
+
+// Drain blocks until every observation enqueued before the call has
+// been applied to the system. Observations enqueued concurrently with
+// Drain may or may not be covered.
+func (p *Pipeline) Drain() error {
+	p.closeMu.RLock()
+	if p.closed {
+		p.closeMu.RUnlock()
+		return ErrClosed
+	}
+	tokens := make([]chan struct{}, len(p.shards))
+	for i, sh := range p.shards {
+		tokens[i] = make(chan struct{})
+		// Flush tokens always block for space: they are control flow,
+		// not load, and must never be shed.
+		select {
+		case sh.ch <- item{flush: tokens[i]}:
+		case <-p.done:
+			p.closeMu.RUnlock()
+			return ErrClosed
+		}
+	}
+	p.closeMu.RUnlock()
+	for _, tok := range tokens {
+		<-tok
+	}
+	return nil
+}
+
+// Close drains and stops the pipeline: every accepted observation is
+// applied before Close returns, after which Observe and Drain return
+// ErrClosed. Forecast keeps working (reads do not need the workers).
+// Close is idempotent.
+func (p *Pipeline) Close() error {
+	p.closeMu.Lock()
+	if p.closed {
+		p.closeMu.Unlock()
+		return nil
+	}
+	p.closed = true
+	close(p.done)
+	for _, sh := range p.shards {
+		close(sh.ch)
+	}
+	p.closeMu.Unlock()
+	p.wg.Wait()
+	return nil
+}

@@ -1,0 +1,100 @@
+package ingest
+
+// ShardStats is a point-in-time snapshot of one shard worker's
+// counters. The same shape doubles as the all-shard aggregate (with
+// Shard = -1).
+type ShardStats struct {
+	// Shard is the shard index, or -1 for the aggregate row.
+	Shard int `json:"shard"`
+	// QueueDepth is the number of observations currently waiting in
+	// the shard's bounded queue.
+	QueueDepth int `json:"queue_depth"`
+	// Enqueued counts observations accepted into the queue.
+	Enqueued uint64 `json:"enqueued"`
+	// Processed counts observations applied to the system.
+	Processed uint64 `json:"processed"`
+	// Dropped counts observations rejected by the DropNewest policy.
+	Dropped uint64 `json:"dropped"`
+	// Errors counts observations whose asynchronous apply failed.
+	Errors uint64 `json:"errors"`
+	// Batches counts micro-batches drained from the queue; Processed /
+	// Batches is the mean batch size.
+	Batches uint64 `json:"batches"`
+	// AvgBatch is the mean micro-batch size (0 before any batch).
+	AvgBatch float64 `json:"avg_batch"`
+	// AvgLatencyMicros is the mean enqueue-to-applied latency in
+	// microseconds (0 before any observation).
+	AvgLatencyMicros float64 `json:"avg_latency_us"`
+}
+
+// CoalesceStats snapshots the forecast-coalescing layer.
+type CoalesceStats struct {
+	// CacheHits counts forecasts served straight from the per-sensor
+	// cache.
+	CacheHits uint64 `json:"cache_hits"`
+	// CoalescedWaits counts forecast requests that piggybacked on an
+	// identical in-flight computation (thundering-herd followers).
+	CoalescedWaits uint64 `json:"coalesced_waits"`
+	// Misses counts forecasts that actually ran a kNN search + GP fit.
+	Misses uint64 `json:"misses"`
+	// Invalidations counts per-sensor cache flushes triggered by a new
+	// observation (or an explicit Invalidate).
+	Invalidations uint64 `json:"invalidations"`
+	// CacheSize is the number of (sensor, horizon) forecasts cached
+	// right now.
+	CacheSize int `json:"cache_size"`
+}
+
+// Stats is a point-in-time snapshot of the whole pipeline, served by
+// GET /pipeline/stats.
+type Stats struct {
+	// Shards is the number of shard workers.
+	Shards int `json:"shards"`
+	// QueueSize is the per-shard queue capacity.
+	QueueSize int `json:"queue_size"`
+	// MaxBatch is the micro-batch size cap.
+	MaxBatch int `json:"max_batch"`
+	// Backpressure names the overflow policy.
+	Backpressure string `json:"backpressure"`
+	// PerShard holds one row per shard worker.
+	PerShard []ShardStats `json:"per_shard"`
+	// Totals aggregates PerShard (Shard = -1).
+	Totals ShardStats `json:"totals"`
+	// Coalesce snapshots the forecast cache / single-flight layer.
+	Coalesce CoalesceStats `json:"coalesce"`
+}
+
+// Stats assembles a consistent-enough snapshot of all counters. Each
+// counter is read atomically; the snapshot as a whole is not a
+// transaction (counters advance while it is taken).
+func (p *Pipeline) Stats() Stats {
+	st := Stats{
+		Shards:       len(p.shards),
+		QueueSize:    p.cfg.QueueSize,
+		MaxBatch:     p.cfg.MaxBatch,
+		Backpressure: p.cfg.Backpressure.String(),
+		PerShard:     make([]ShardStats, len(p.shards)),
+		Totals:       ShardStats{Shard: -1},
+	}
+	var totalLatencyNs int64
+	for i, sh := range p.shards {
+		s := sh.snapshot()
+		st.PerShard[i] = s
+		t := &st.Totals
+		t.QueueDepth += s.QueueDepth
+		t.Enqueued += s.Enqueued
+		t.Processed += s.Processed
+		t.Dropped += s.Dropped
+		t.Errors += s.Errors
+		t.Batches += s.Batches
+		totalLatencyNs += sh.latencyNs.Load()
+	}
+	if st.Totals.Batches > 0 {
+		st.Totals.AvgBatch = float64(st.Totals.Processed) / float64(st.Totals.Batches)
+	}
+	if st.Totals.Processed > 0 {
+		st.Totals.AvgLatencyMicros = float64(totalLatencyNs) / 1e3 / float64(st.Totals.Processed)
+	}
+	st.Coalesce = p.co.stats()
+	return st
+}

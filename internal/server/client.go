@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+
+	"smiler/internal/ingest"
 )
 
 // Client is a typed HTTP client for the SMiLer service. It is a thin
@@ -141,4 +143,19 @@ func (c *Client) Forecasts(id string, hs []int) ([]ForecastResponse, error) {
 func (c *Client) SendReadings(id string, readings []Reading) error {
 	return c.do(http.MethodPost, "/sensors/"+url.PathEscape(id)+"/readings",
 		ReadingsRequest{Readings: readings}, nil)
+}
+
+// ObserveMany bulk-ingests observations spanning many sensors in one
+// request and reports per-item outcomes.
+func (c *Client) ObserveMany(obs []ingest.Observation) (ingest.BulkResult, error) {
+	var out ingest.BulkResult
+	err := c.do(http.MethodPost, "/observations", BulkObserveRequest{Observations: obs}, &out)
+	return out, err
+}
+
+// PipelineStats fetches the ingestion pipeline counters.
+func (c *Client) PipelineStats() (ingest.Stats, error) {
+	var out ingest.Stats
+	err := c.do(http.MethodGet, "/pipeline/stats", nil, &out)
+	return out, err
 }

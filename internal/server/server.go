@@ -1,11 +1,20 @@
 // Package server exposes a SMiLer system as an HTTP/JSON service —
 // the deployment shape the paper targets (many sensors streaming
-// observations, applications pulling forecasts in real time).
+// observations, applications pulling forecasts in real time). Writes
+// and single-horizon reads are routed through internal/ingest: a
+// sharded, micro-batching ingestion pipeline with per-sensor ordering
+// and single-flight forecast coalescing.
 //
 // Routes:
 //
 //	GET    /healthz                 liveness probe
 //	GET    /stats                   device memory + sensor count
+//	GET    /pipeline/stats          ingestion pipeline counters (per-shard
+//	                                queue depth / processed / dropped /
+//	                                batching, forecast-coalescing hits)
+//	POST   /observations            {"observations":[{"id":"...","value":x},...]}
+//	                                multi-sensor bulk ingest with per-item
+//	                                outcomes
 //	GET    /sensors                 list sensor ids
 //	POST   /sensors                 {"id": "...", "history": [...]}
 //	DELETE /sensors/{id}            remove a sensor
@@ -17,8 +26,11 @@
 //	GET    /sensors/{id}/forecasts?hs=1,3,6  multi-horizon ladder
 //	GET    /sensors/{id}/ensemble   auto-tuning weights
 //
-// All bodies and responses are JSON. Errors are {"error": "..."} with
-// an appropriate status code.
+// Observations accepted by the pipeline are applied asynchronously
+// (in per-sensor order); a full queue surfaces as HTTP 503 under the
+// Error backpressure policy, or as a "dropped" count under
+// DropNewest. All bodies and responses are JSON. Errors are
+// {"error": "..."} with an appropriate status code.
 package server
 
 import (
@@ -32,13 +44,16 @@ import (
 	"time"
 
 	"smiler"
+	"smiler/internal/ingest"
 	"smiler/internal/timeseries"
 )
 
-// Server is an http.Handler serving one SMiLer system.
+// Server is an http.Handler serving one SMiLer system behind an
+// ingestion pipeline.
 type Server struct {
-	sys *smiler.System
-	mux *http.ServeMux
+	sys  *smiler.System
+	pipe *ingest.Pipeline
+	mux  *http.ServeMux
 
 	// addMu serializes sensor registration so duplicate-id races
 	// surface as clean 409s rather than interleaved errors.
@@ -53,10 +68,21 @@ type Server struct {
 	regs     map[string]*timeseries.Regularizer
 }
 
-// New wraps a system. The caller retains ownership of sys (and is
-// responsible for Close).
+// Options configures optional server behaviour.
+type Options struct {
+	// Interval, when positive, enables POST /sensors/{id}/readings
+	// (see NewWithInterval).
+	Interval time.Duration
+	// Pipeline configures the ingestion pipeline (zero values take
+	// ingest defaults: GOMAXPROCS shards, queue 256, Block policy).
+	Pipeline ingest.Config
+}
+
+// New wraps a system behind a default-configured ingestion pipeline.
+// The caller retains ownership of sys (and is responsible for its
+// Close); call Server.Close to drain the pipeline at shutdown.
 func New(sys *smiler.System) (*Server, error) {
-	return NewWithInterval(sys, 0)
+	return NewWithOptions(sys, Options{})
 }
 
 // NewWithInterval additionally enables POST /sensors/{id}/readings:
@@ -65,24 +91,46 @@ func New(sys *smiler.System) (*Server, error) {
 // assumption, Section 3.1), and each finalized grid sample is fed to
 // Observe.
 func NewWithInterval(sys *smiler.System, interval time.Duration) (*Server, error) {
+	return NewWithOptions(sys, Options{Interval: interval})
+}
+
+// NewWithOptions builds a server with explicit pipeline and readings
+// configuration.
+func NewWithOptions(sys *smiler.System, opts Options) (*Server, error) {
 	if sys == nil {
 		return nil, errors.New("server: nil system")
 	}
-	if interval < 0 {
-		return nil, fmt.Errorf("server: negative sample interval %v", interval)
+	if opts.Interval < 0 {
+		return nil, fmt.Errorf("server: negative sample interval %v", opts.Interval)
+	}
+	pipe, err := ingest.New(sys, opts.Pipeline)
+	if err != nil {
+		return nil, err
 	}
 	s := &Server{
 		sys:      sys,
+		pipe:     pipe,
 		mux:      http.NewServeMux(),
-		interval: interval,
+		interval: opts.Interval,
 		regs:     make(map[string]*timeseries.Regularizer),
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/pipeline/stats", s.handlePipelineStats)
+	s.mux.HandleFunc("/observations", s.handleObservations)
 	s.mux.HandleFunc("/sensors", s.handleSensors)
 	s.mux.HandleFunc("/sensors/", s.handleSensor)
 	return s, nil
 }
+
+// Close drains the ingestion pipeline: every accepted observation is
+// applied to the system before Close returns. Call it after the HTTP
+// listener has stopped and before checkpointing, so no accepted
+// observation is lost at shutdown.
+func (s *Server) Close() error { return s.pipe.Close() }
+
+// Pipeline exposes the ingestion pipeline (stats, manual drains).
+func (s *Server) Pipeline() *ingest.Pipeline { return s.pipe }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -158,6 +206,39 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *Server) handlePipelineStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.pipe.Stats())
+}
+
+// BulkObserveRequest is a multi-sensor batch of observations.
+type BulkObserveRequest struct {
+	Observations []ingest.Observation `json:"observations"`
+}
+
+// handleObservations is the bulk ingest endpoint: one POST carries
+// observations for many sensors, each routed to its shard. Per-item
+// failures (unknown sensor, full queue under the Error policy) are
+// reported in the response instead of failing the batch.
+func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w)
+		return
+	}
+	var req BulkObserveRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Observations) == 0 {
+		writeError(w, http.StatusBadRequest, "no observations")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.pipe.ObserveBulk(req.Observations))
+}
+
 func (s *Server) handleSensors(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
@@ -224,6 +305,7 @@ func (s *Server) deleteSensor(w http.ResponseWriter, id string) {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
+	s.pipe.Invalidate(id) // drop any cached forecasts for the dead sensor
 	s.regMu.Lock()
 	delete(s.regs, id)
 	s.regMu.Unlock()
@@ -249,7 +331,9 @@ func (s *Server) forecast(w http.ResponseWriter, r *http.Request, id string) {
 		}
 		z = parsed
 	}
-	f, err := s.sys.Predict(id, h)
+	// Single-horizon forecasts go through the coalescing layer: a
+	// thundering herd of identical requests costs one kNN+GP run.
+	f, err := s.pipe.Forecast(id, h)
 	if err != nil {
 		writeError(w, statusFor(err), err.Error())
 		return
@@ -318,13 +402,22 @@ func (s *Server) observe(w http.ResponseWriter, r *http.Request, id string) {
 		writeError(w, http.StatusBadRequest, "no values to observe")
 		return
 	}
+	// Enqueue into the sharded pipeline: the observations are applied
+	// asynchronously, in order, by the sensor's shard worker.
+	accepted, dropped := 0, 0
 	for i, v := range values {
-		if err := s.sys.Observe(id, v); err != nil {
+		ok, err := s.pipe.Observe(id, v)
+		switch {
+		case ok:
+			accepted++
+		case err == nil: // DropNewest shed it
+			dropped++
+		default:
 			writeError(w, statusFor(err), fmt.Sprintf("value %d: %s", i, err))
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"observed": len(values)})
+	writeJSON(w, http.StatusOK, map[string]int{"observed": accepted, "dropped": dropped})
 }
 
 // ReadingsRequest carries raw timestamped readings.
@@ -376,11 +469,17 @@ func (s *Server) readings(w http.ResponseWriter, r *http.Request, id string) {
 			return
 		}
 		for _, v := range samples {
-			if err := s.sys.Observe(id, v); err != nil {
+			// Finalized grid samples enter through the pipeline like
+			// every other observation (ordering per sensor holds: the
+			// regularizer emits them in grid order here).
+			ok, err := s.pipe.Observe(id, v)
+			if err != nil {
 				writeError(w, statusFor(err), err.Error())
 				return
 			}
-			observed++
+			if ok {
+				observed++
+			}
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]int{
@@ -418,7 +517,11 @@ func less(a, b EnsembleCell) bool {
 // --- helpers ---
 
 func statusFor(err error) int {
-	if strings.Contains(err.Error(), "unknown sensor") {
+	switch {
+	case errors.Is(err, ingest.ErrQueueFull), errors.Is(err, ingest.ErrClosed):
+		// Transient overload / shutdown: the client should retry.
+		return http.StatusServiceUnavailable
+	case strings.Contains(err.Error(), "unknown sensor"):
 		return http.StatusNotFound
 	}
 	return http.StatusBadRequest

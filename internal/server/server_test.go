@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"smiler"
+	"smiler/internal/ingest"
 )
 
 func testConfig() smiler.Config {
@@ -369,6 +370,135 @@ func TestReadingsDisabledWithoutInterval(t *testing.T) {
 	err := cl.SendReadings("x", []Reading{{At: time.Now(), Value: 1}})
 	if err == nil || !strings.Contains(err.Error(), "501") {
 		t.Fatalf("expected 501, got %v", err)
+	}
+}
+
+func TestBulkObservationsEndpoint(t *testing.T) {
+	ts, cl, _ := newTestServer(t)
+	rng := rand.New(rand.NewSource(21))
+	if err := cl.AddSensor("a", seasonal(rng, 400)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AddSensor("b", seasonal(rng, 400)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.ObserveMany([]ingest.Observation{
+		{Sensor: "a", Value: 50},
+		{Sensor: "b", Value: 51},
+		{Sensor: "ghost", Value: 52},
+		{Sensor: "a", Value: 53},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 3 || res.Dropped != 0 || len(res.Failed) != 1 {
+		t.Fatalf("bulk result = %+v", res)
+	}
+	if res.Failed[0].Index != 2 || res.Failed[0].ID != "ghost" {
+		t.Fatalf("failure = %+v", res.Failed[0])
+	}
+
+	// Error paths: wrong method, empty batch, bad JSON.
+	for _, tc := range []struct {
+		method, body string
+		wantStatus   int
+	}{
+		{http.MethodGet, "", http.StatusMethodNotAllowed},
+		{http.MethodPost, `{"observations":[]}`, http.StatusBadRequest},
+		{http.MethodPost, `{bad`, http.StatusBadRequest},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+"/observations", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Fatalf("%s /observations %q: status %d, want %d", tc.method, tc.body, resp.StatusCode, tc.wantStatus)
+		}
+	}
+}
+
+func TestPipelineStatsEndpoint(t *testing.T) {
+	ts, cl, _ := newTestServer(t)
+	rng := rand.New(rand.NewSource(22))
+	if err := cl.AddSensor("p", seasonal(rng, 400)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.ObserveBatch("p", []float64{50, 51, 52}); err != nil {
+		t.Fatal(err)
+	}
+	// Identical forecasts: the second must be a coalescing-cache hit.
+	if _, err := cl.Forecast("p", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Forecast("p", 1); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.PipelineStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards < 1 || len(st.PerShard) != st.Shards || st.QueueSize <= 0 {
+		t.Fatalf("pipeline stats = %+v", st)
+	}
+	if st.Totals.Enqueued != 3 {
+		t.Fatalf("enqueued %d, want 3", st.Totals.Enqueued)
+	}
+	if st.Coalesce.CacheHits+st.Coalesce.CoalescedWaits < 1 || st.Coalesce.Misses < 1 {
+		t.Fatalf("coalesce stats = %+v", st.Coalesce)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/pipeline/stats", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /pipeline/stats: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestServerCloseDrains: observations accepted before Close must be
+// applied to the system by the time Close returns (this is what the
+// SIGTERM path relies on before checkpointing).
+func TestServerCloseDrains(t *testing.T) {
+	sys, err := smiler.New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	srv, err := NewWithOptions(sys, Options{Pipeline: ingest.Config{Shards: 2, QueueSize: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	cl, err := NewClient(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	if err := cl.AddSensor("d", seasonal(rng, 400)); err != nil {
+		t.Fatal(err)
+	}
+	const n = 25
+	if err := cl.ObserveBatch("d", seasonal(rng, n)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Pipeline().Stats()
+	if st.Totals.Processed != n || st.Totals.QueueDepth != 0 || st.Totals.Errors != 0 {
+		t.Fatalf("pipeline not drained: %+v", st.Totals)
+	}
+	// A post-close observe surfaces as 503 (shutting down).
+	err = cl.Observe("d", 1)
+	if err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("post-close observe: %v, want 503", err)
 	}
 }
 

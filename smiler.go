@@ -31,8 +31,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"smiler/internal/core"
 	"smiler/internal/gpusim"
@@ -315,7 +317,10 @@ func (s *System) AddSensor(id string, history []float64) error {
 	return nil
 }
 
-// RemoveSensor drops a sensor and frees its device memory.
+// RemoveSensor drops a sensor and frees its device memory. In-flight
+// operations on the sensor finish first (the close waits on the
+// sensor's lock); operations that grabbed the sensor but not yet its
+// lock fail cleanly with an "index: closed" error.
 func (s *System) RemoveSensor(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -324,6 +329,8 @@ func (s *System) RemoveSensor(id string) error {
 		return fmt.Errorf("smiler: unknown sensor %q", id)
 	}
 	delete(s.sensors, id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	return st.ix.Close()
 }
 
@@ -339,6 +346,20 @@ func (s *System) Sensors() []string {
 	return out
 }
 
+// HasSensor reports whether the sensor is currently registered (false
+// on a closed system). Ingestion front-ends use it to reject
+// observations for unknown sensors at enqueue time, before the
+// asynchronous apply.
+func (s *System) HasSensor(id string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return false
+	}
+	_, ok := s.sensors[id]
+	return ok
+}
+
 func (s *System) sensor(id string) (*sensorState, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -350,6 +371,19 @@ func (s *System) sensor(id string) (*sensorState, error) {
 		return nil, fmt.Errorf("smiler: unknown sensor %q", id)
 	}
 	return st, nil
+}
+
+// HistoryLen reports the number of points currently indexed for the
+// sensor — its initial history plus every streamed observation (and
+// minus nothing: MaxHistory only truncates at AddSensor time).
+func (s *System) HistoryLen(id string) (int, error) {
+	st, err := s.sensor(id)
+	if err != nil {
+		return 0, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.ix.History()), nil
 }
 
 // Predict forecasts the sensor's value h steps ahead of its latest
@@ -428,48 +462,85 @@ func (s *System) Observe(id string, v float64) error {
 	return st.pipe.Observe(v)
 }
 
-// PredictAll forecasts every sensor h steps ahead, processing sensors
-// in parallel (the paper scales out by giving each sensor its own
-// index and more GPU blocks). It returns the first error encountered.
-func (s *System) PredictAll(h int) (map[string]Forecast, error) {
-	ids := s.Sensors()
-	out := make(map[string]Forecast, len(ids))
+// poolSize bounds a per-sensor fan-out at GOMAXPROCS workers: with
+// millions of sensors, one goroutine per sensor would swamp the
+// scheduler for no extra parallelism.
+func poolSize(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forEachSensor runs fn over the ids on a bounded worker pool and
+// returns the first error encountered (remaining ids are still
+// visited).
+func forEachSensor(ids []string, fn func(id string) error) error {
 	var (
-		outMu    sync.Mutex
 		wg       sync.WaitGroup
+		next     atomic.Int64
 		errOnce  sync.Once
 		firstErr error
 	)
-	for _, id := range ids {
+	for w := 0; w < poolSize(len(ids)); w++ {
 		wg.Add(1)
-		go func(id string) {
+		go func() {
 			defer wg.Done()
-			f, err := s.Predict(id, h)
-			if err != nil {
-				errOnce.Do(func() { firstErr = err })
-				return
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				if err := fn(ids[i]); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
 			}
-			outMu.Lock()
-			out[id] = f
-			outMu.Unlock()
-		}(id)
+		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	return firstErr
+}
+
+// PredictAll forecasts every sensor h steps ahead, processing sensors
+// in parallel on a worker pool bounded by GOMAXPROCS (the paper scales
+// out by giving each sensor its own index and more GPU blocks). It
+// returns the first error encountered.
+func (s *System) PredictAll(h int) (map[string]Forecast, error) {
+	ids := s.Sensors()
+	out := make(map[string]Forecast, len(ids))
+	var outMu sync.Mutex
+	err := forEachSensor(ids, func(id string) error {
+		f, err := s.Predict(id, h)
+		if err != nil {
+			return err
+		}
+		outMu.Lock()
+		out[id] = f
+		outMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // ObserveAll streams one observation per sensor (missing sensors
-// error).
+// error). Distinct sensors hold distinct locks, so observations are
+// applied in parallel on a worker pool bounded by GOMAXPROCS; on
+// error, observations for other sensors may still have been applied.
 func (s *System) ObserveAll(values map[string]float64) error {
-	for id, v := range values {
-		if err := s.Observe(id, v); err != nil {
-			return err
-		}
+	ids := make([]string, 0, len(values))
+	for id := range values {
+		ids = append(ids, id)
 	}
-	return nil
+	return forEachSensor(ids, func(id string) error {
+		return s.Observe(id, values[id])
+	})
 }
 
 // DeviceUsage reports the simulated GPU memory consumption summed over
@@ -522,7 +593,10 @@ func (s *System) Close() error {
 	s.closed = true
 	var first error
 	for id, st := range s.sensors {
-		if err := st.ix.Close(); err != nil && first == nil {
+		st.mu.Lock()
+		err := st.ix.Close()
+		st.mu.Unlock()
+		if err != nil && first == nil {
 			first = err
 		}
 		delete(s.sensors, id)

@@ -1,0 +1,162 @@
+package smiler
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// stressCfg keeps the per-operation cost low so the stress tests
+// drive many operations in a short wall-clock window.
+func stressCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Rho = 3
+	cfg.Omega = 8
+	cfg.ELV = []int{16, 24}
+	cfg.EKV = []int{4}
+	cfg.Predictor = PredictorAR
+	return cfg
+}
+
+func stressHistory(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 20 + 5*math.Sin(2*math.Pi*float64(i)/24) + rng.NormFloat64()*0.2
+	}
+	return out
+}
+
+// tolerable reports whether an error is an expected casualty of the
+// add/remove churn (the sensor vanished between pick and call), as
+// opposed to a correctness bug.
+func tolerable(err error) bool {
+	return err == nil ||
+		strings.Contains(err.Error(), "unknown sensor") ||
+		strings.Contains(err.Error(), "already registered") ||
+		// Sensor removed between lookup and use: the call raced the
+		// churner and lost, which is fine.
+		strings.Contains(err.Error(), "index: closed")
+}
+
+// TestConcurrentSystemStress hammers one System from many goroutines
+// mixing Observe, Predict, PredictAll, ObserveAll, AddSensor and
+// RemoveSensor. Run with -race it is the concurrency safety net for
+// the public API; without -race it still catches deadlocks and map
+// corruption.
+func TestConcurrentSystemStress(t *testing.T) {
+	sys, err := New(stressCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Stable sensors that always exist, plus churned ones that come
+	// and go mid-flight.
+	const stable, iters = 4, 120
+	for i := 0; i < stable; i++ {
+		if err := sys.AddSensor(fmt.Sprintf("stable-%d", i), stressHistory(int64(i), 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	fail := func(op string, err error) {
+		select {
+		case errs <- fmt.Errorf("%s: %w", op, err):
+		default:
+		}
+	}
+
+	// Observers: one per stable sensor keeps per-sensor ordering a
+	// non-issue; the point here is cross-sensor interleaving.
+	for i := 0; i < stable; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("stable-%d", i)
+			vals := stressHistory(int64(100+i), iters)
+			for _, v := range vals {
+				if err := sys.Observe(id, v); err != nil {
+					fail("observe", err)
+					return
+				}
+			}
+		}(i)
+	}
+	// Predictors hammer reads across all sensors, including churned
+	// ones that may vanish mid-call.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				id := fmt.Sprintf("stable-%d", i%stable)
+				if i%3 == g%3 {
+					id = fmt.Sprintf("churn-%d", i%2)
+				}
+				if _, err := sys.Predict(id, 1+i%3); !tolerable(err) {
+					fail("predict", err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Bulk paths exercise the bounded worker pools under churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/6; i++ {
+			if _, err := sys.PredictAll(1); !tolerable(err) {
+				fail("predictAll", err)
+				return
+			}
+			batch := make(map[string]float64, stable)
+			for s := 0; s < stable; s++ {
+				batch[fmt.Sprintf("stable-%d", s)] = 20 + float64(i%5)
+			}
+			if err := sys.ObserveAll(batch); !tolerable(err) {
+				fail("observeAll", err)
+				return
+			}
+		}
+	}()
+	// Churner: adds and removes sensors while everything else runs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/4; i++ {
+			id := fmt.Sprintf("churn-%d", i%2)
+			if err := sys.AddSensor(id, stressHistory(int64(200+i), 200)); !tolerable(err) {
+				fail("add", err)
+				return
+			}
+			sys.HasSensor(id)
+			if err := sys.RemoveSensor(id); !tolerable(err) {
+				fail("remove", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// The stable sensors must have absorbed every observation.
+	for i := 0; i < stable; i++ {
+		id := fmt.Sprintf("stable-%d", i)
+		n, err := sys.HistoryLen(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < 200+iters { // initial + per-sensor observer stream
+			t.Errorf("%s: history %d, want ≥ %d", id, n, 200+iters)
+		}
+	}
+}
