@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-ingest
+.PHONY: all build vet test race bench bench-ingest bench-obs metrics-smoke
 
 all: vet build test
 
@@ -25,3 +25,14 @@ bench:
 # Ingestion pipeline throughput: direct Observe vs sharded bulk ingest.
 bench-ingest:
 	$(GO) test ./internal/ingest -bench Throughput -run '^$$'
+
+# Instrumentation overhead: metrics registry enabled vs DisableMetrics.
+bench-obs:
+	$(GO) test -bench 'ObservabilityOverhead|Scrape' -run '^$$' .
+	$(GO) test ./internal/ingest -bench 'Throughput/direct' -run '^$$'
+
+# End-to-end scrape check: boot the real server, feed one sensor,
+# predict, and assert the required metric families appear in /metrics
+# and the trace endpoint serves spans (scripts/metrics_smoke.sh).
+metrics-smoke: build
+	./scripts/metrics_smoke.sh

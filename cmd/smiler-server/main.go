@@ -9,11 +9,20 @@
 //	smiler-server -addr :8080
 //	smiler-server -addr :8080 -predictor ar -checkpoint state.gob
 //	smiler-server -shards 8 -queue 1024 -backpressure drop-newest
+//	smiler-server -addr :8080 -pprof -log-level debug
 //
 // With -checkpoint, state is loaded at startup (if the file exists)
 // and saved on clean shutdown (SIGINT/SIGTERM). Shutdown first stops
 // the listener, then drains the ingestion pipeline, then writes the
 // checkpoint — no accepted observation is lost.
+//
+// Observability: GET /metrics serves Prometheus text exposition and
+// GET /debug/trace/{sensor} the recent prediction traces (see
+// docs/OBSERVABILITY.md). -pprof additionally mounts the standard
+// net/http/pprof profiling endpoints under /debug/pprof/ on the same
+// listener; it is off by default because profiling endpoints can
+// expose memory contents. Logs are structured (log/slog, text
+// format); -log-level sets the floor (debug|info|warn|error).
 package main
 
 import (
@@ -21,9 +30,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -47,6 +57,8 @@ type options struct {
 	queue        int
 	batch        int
 	backpressure string
+	logLevel     string
+	pprof        bool
 
 	// onReady, when set, is called with the bound listen address once
 	// the listener is accepting (tests use it to find an ephemeral
@@ -66,13 +78,40 @@ func main() {
 	flag.IntVar(&o.queue, "queue", 0, "per-shard ingestion queue capacity (0 = default 256)")
 	flag.IntVar(&o.batch, "batch", 0, "ingestion micro-batch cap (0 = default 32)")
 	flag.StringVar(&o.backpressure, "backpressure", "block", "full-queue policy: block|drop-newest|error")
+	flag.StringVar(&o.logLevel, "log-level", "info", "log floor: debug|info|warn|error")
+	flag.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 	flag.Parse()
 	if err := run(o); err != nil {
-		log.Fatal("smiler-server: ", err)
+		fmt.Fprintln(os.Stderr, "smiler-server:", err)
+		os.Exit(1)
 	}
 }
 
+// parseLogLevel maps the -log-level flag onto a slog.Level. Empty
+// defaults to info so an explicit flag value is never required.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q", s)
+}
+
 func run(o options) error {
+	level, err := parseLogLevel(o.logLevel)
+	if err != nil {
+		return err
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
 	cfg := smiler.DefaultConfig()
 	switch strings.ToLower(o.predictor) {
 	case "gp":
@@ -90,7 +129,7 @@ func run(o options) error {
 		return err
 	}
 
-	sys, err := loadOrNew(cfg, o.checkpoint)
+	sys, err := loadOrNew(cfg, o.checkpoint, logger)
 	if err != nil {
 		return err
 	}
@@ -98,13 +137,14 @@ func run(o options) error {
 
 	handler, err := server.NewWithOptions(sys, server.Options{
 		Interval: o.interval,
+		Logger:   logger,
 		Pipeline: ingest.Config{
 			Shards:       o.shards,
 			QueueSize:    o.queue,
 			MaxBatch:     o.batch,
 			Backpressure: policy,
 			OnError: func(obs ingest.Observation, err error) {
-				log.Printf("smiler-server: observe %s: %v", obs.Sensor, err)
+				logger.Warn("observe failed", "sensor", obs.Sensor, "err", err)
 			},
 		},
 	})
@@ -112,7 +152,7 @@ func run(o options) error {
 		return err
 	}
 	srv := &http.Server{
-		Handler:           handler,
+		Handler:           rootHandler(handler, o.pprof),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -122,8 +162,13 @@ func run(o options) error {
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("smiler-server: listening on %s (%s predictors, %d device(s), %s backpressure)",
-			ln.Addr(), strings.ToUpper(o.predictor), o.devices, policy)
+		logger.Info("listening",
+			"addr", ln.Addr().String(),
+			"predictor", strings.ToLower(o.predictor),
+			"devices", o.devices,
+			"backpressure", policy.String(),
+			"pprof", o.pprof,
+		)
 		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 			return
@@ -140,7 +185,7 @@ func run(o options) error {
 	case err := <-errCh:
 		return err
 	case s := <-sig:
-		log.Printf("smiler-server: %v, shutting down", s)
+		logger.Info("shutting down", "signal", s.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -154,19 +199,39 @@ func run(o options) error {
 		return err
 	}
 	st := handler.Pipeline().Stats()
-	log.Printf("smiler-server: pipeline drained (%d processed, %d dropped, %d errors)",
-		st.Totals.Processed, st.Totals.Dropped, st.Totals.Errors)
+	logger.Info("pipeline drained",
+		"processed", st.Totals.Processed,
+		"dropped", st.Totals.Dropped,
+		"errors", st.Totals.Errors,
+	)
 	if o.checkpoint != "" {
 		if err := saveCheckpoint(sys, o.checkpoint); err != nil {
 			return fmt.Errorf("saving checkpoint: %w", err)
 		}
-		log.Printf("smiler-server: checkpoint saved to %s", o.checkpoint)
+		logger.Info("checkpoint saved", "path", o.checkpoint)
 	}
 	return <-errCh
 }
 
+// rootHandler mounts the pprof endpoints next to the API handler when
+// enabled. The server's own /debug/trace/ namespace does not collide
+// with /debug/pprof/; everything else falls through to the API.
+func rootHandler(api http.Handler, withPprof bool) http.Handler {
+	if !withPprof {
+		return api
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", api)
+	return mux
+}
+
 // loadOrNew restores the system from a checkpoint when one exists.
-func loadOrNew(cfg smiler.Config, path string) (*smiler.System, error) {
+func loadOrNew(cfg smiler.Config, path string, logger *slog.Logger) (*smiler.System, error) {
 	if path == "" {
 		return smiler.New(cfg)
 	}
@@ -182,7 +247,7 @@ func loadOrNew(cfg smiler.Config, path string) (*smiler.System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("loading checkpoint %s: %w", path, err)
 	}
-	log.Printf("smiler-server: restored %d sensor(s) from %s", len(sys.Sensors()), path)
+	logger.Info("checkpoint restored", "sensors", len(sys.Sensors()), "path", path)
 	return sys, nil
 }
 

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"io"
+	"log/slog"
 	"math"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -12,6 +16,9 @@ import (
 	"smiler/internal/ingest"
 	"smiler/internal/server"
 )
+
+// quiet discards all log output in tests.
+var quiet = slog.New(slog.DiscardHandler)
 
 func smallCfg() smiler.Config {
 	cfg := smiler.DefaultConfig()
@@ -24,12 +31,12 @@ func smallCfg() smiler.Config {
 }
 
 func TestLoadOrNewFreshAndMissingFile(t *testing.T) {
-	sys, err := loadOrNew(smallCfg(), "")
+	sys, err := loadOrNew(smallCfg(), "", quiet)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sys.Close()
-	sys, err = loadOrNew(smallCfg(), filepath.Join(t.TempDir(), "missing.gob"))
+	sys, err = loadOrNew(smallCfg(), filepath.Join(t.TempDir(), "missing.gob"), quiet)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +65,7 @@ func TestSaveAndReloadCheckpoint(t *testing.T) {
 		t.Fatal("temp file should be renamed away")
 	}
 
-	restored, err := loadOrNew(cfg, path)
+	restored, err := loadOrNew(cfg, path, quiet)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +83,7 @@ func TestLoadOrNewCorruptCheckpoint(t *testing.T) {
 	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadOrNew(smallCfg(), path); err == nil {
+	if _, err := loadOrNew(smallCfg(), path, quiet); err == nil {
 		t.Fatal("corrupt checkpoint should fail")
 	}
 }
@@ -90,6 +97,103 @@ func TestRunRejectsBadPredictor(t *testing.T) {
 func TestRunRejectsBadBackpressure(t *testing.T) {
 	if err := run(options{addr: ":0", predictor: "ar", devices: 1, backpressure: "nope"}); err == nil {
 		t.Fatal("unknown backpressure policy should fail")
+	}
+}
+
+// TestMetricsSmoke boots the real server loop with -pprof, drives one
+// prediction, and asserts that /metrics serves the required metric
+// families, /debug/trace/{sensor} serves spans, and the pprof index
+// responds.
+func TestMetricsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("signal-driven lifecycle test")
+	}
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(options{
+			addr:         "127.0.0.1:0",
+			predictor:    "ar",
+			devices:      1,
+			shards:       2,
+			backpressure: "block",
+			logLevel:     "error",
+			pprof:        true,
+			onReady:      func(addr string) { ready <- addr },
+		})
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not start")
+	}
+	base := "http://" + addr
+
+	cl, err := server.NewClient(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := make([]float64, 300)
+	for i := range hist {
+		hist[i] = 10 + 3*math.Sin(2*math.Pi*float64(i)/24)
+	}
+	if err := cl.AddSensor("s", hist); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Forecast("s", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"smiler_predictions_total 1",
+		"# TYPE smiler_predict_phase_seconds histogram",
+		"smiler_knn_candidates_total",
+		`smiler_ingest_processed_total{shard=`,
+		"smiler_forecast_cache_misses_total",
+		"smiler_http_requests_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if code, body = get("/debug/trace/s"); code != http.StatusOK || !strings.Contains(body, `"name":"search"`) {
+		t.Fatalf("/debug/trace/s = %d: %s", code, body)
+	}
+	if code, _ = get("/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ = %d (pprof flag not wired)", code)
+	}
+
+	time.Sleep(500 * time.Millisecond)
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
 	}
 }
 

@@ -3,9 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"smiler/internal/index"
+	"smiler/internal/obs"
 )
 
 // PipelineConfig configures a per-sensor pipeline.
@@ -49,19 +51,46 @@ type pendingUpdate struct {
 // of semi-lazy predictors), with the adaptive auto-tuning loop closed
 // by Observe.
 type Pipeline struct {
-	ix      *index.Index
-	ens     *Ensemble
-	cfg     PipelineConfig
-	pending []pendingUpdate
-	timing  PhaseTiming
+	ix        *index.Index
+	ens       *Ensemble
+	cfg       PipelineConfig
+	pending   []pendingUpdate
+	timing    PhaseTiming
+	obsTiming ObserveTiming
 }
 
-// PhaseTiming reports where the last Predict call spent its time —
-// the Search Step (kNN retrieval) vs the Prediction Step (model
-// construction and evaluation). Fig. 12 plots these two components.
+// PhaseTiming reports where the last Predict call spent its time.
+// SearchSec vs PredictSec is the two-way split Fig. 12 plots; the
+// remaining fields break each side down further so the serving
+// system's per-phase latency histograms see every stage of a
+// prediction: the group-level lower-bound pass and the DTW
+// verification inside the Search Step, and the per-cell model fits
+// plus the ensemble mix inside the Prediction Step.
 type PhaseTiming struct {
-	SearchSec  float64
+	// SearchSec is the whole Search Step (kNN retrieval).
+	SearchSec float64
+	// LowerBoundSec is the group-level LBen pass within the search
+	// (wall clock; the threshold seeding and k-selection make up the
+	// difference to SearchSec).
+	LowerBoundSec float64
+	// VerifySec is the exact banded-DTW verification within the search.
+	VerifySec float64
+	// PredictSec is the whole Prediction Step (model construction,
+	// evaluation and mixing).
 	PredictSec float64
+	// CellFitSec is the time spent fitting and evaluating the awake
+	// ensemble cells' predictors (GP training dominates here).
+	CellFitSec float64
+	// MixSec is the ensemble mixing time.
+	MixSec float64
+}
+
+// ObserveTiming reports where the last Observe call spent its time:
+// the self-adaptive reweighting of matured predictions vs the
+// incremental index advance.
+type ObserveTiming struct {
+	ReweightSec float64
+	AdvanceSec  float64
 }
 
 // NewPipeline builds a pipeline over an existing index. The index's
@@ -98,15 +127,26 @@ func (p *Pipeline) Ensemble() *Ensemble { return p.ens }
 // that when the observation for the predicted time step arrives via
 // Observe, the ensemble weights adapt.
 func (p *Pipeline) Predict(h int) (Prediction, error) {
+	return p.PredictTraced(h, nil)
+}
+
+// PredictTraced is Predict with per-phase tracing: when tr is
+// non-nil, one span is recorded for the index search (with nested
+// lower-bound and verify spans from the index's own wall clocks), one
+// per awake ensemble cell's model fit, and one for the mix, plus the
+// search's kNN effectiveness stats. A nil trace costs nothing.
+func (p *Pipeline) PredictTraced(h int, tr *obs.Trace) (Prediction, error) {
 	if h <= 0 {
 		return Prediction{}, fmt.Errorf("core: horizon %d must be positive", h)
 	}
+	p.timing = PhaseTiming{}
 	searchStart := time.Now()
 	results, err := p.ix.Search(p.ens.MaxK(), h)
 	if err != nil {
 		return Prediction{}, fmt.Errorf("core: search step failed: %w", err)
 	}
 	p.timing.SearchSec = time.Since(searchStart).Seconds()
+	p.recordSearch(tr, searchStart)
 	predictStart := time.Now()
 	byD := make(map[int]index.ItemResult, len(results))
 	for _, r := range results {
@@ -114,11 +154,11 @@ func (p *Pipeline) Predict(h int) (Prediction, error) {
 	}
 
 	n := p.ix.Len()
-	preds, err := p.cellPredictions(byD, h, n)
+	preds, err := p.cellPredictions(byD, h, n, tr)
 	if err != nil {
 		return Prediction{}, err
 	}
-	mixed, err := p.ens.Mix(preds)
+	mixed, err := p.mixTimed(preds, tr)
 	if err != nil {
 		return Prediction{}, err
 	}
@@ -127,8 +167,51 @@ func (p *Pipeline) Predict(h int) (Prediction, error) {
 	return mixed, nil
 }
 
+// recordSearch folds the search phase into the trace and the timing
+// struct: the span covering the whole Search Step plus the index's
+// wall-clock split of lower-bound production vs DTW verification and
+// its kNN effectiveness counters.
+func (p *Pipeline) recordSearch(tr *obs.Trace, searchStart time.Time) {
+	st := p.ix.Stats()
+	p.timing.LowerBoundSec = st.LowerBoundWallSeconds
+	p.timing.VerifySec = st.VerifyWallSeconds
+	if tr == nil {
+		return
+	}
+	searchDur := time.Duration(p.timing.SearchSec * float64(time.Second))
+	base := searchStart
+	tr.AddSpan("search", "", sinceTraceStart(tr, base), searchDur)
+	lbDur := time.Duration(st.LowerBoundWallSeconds * float64(time.Second))
+	tr.AddSpan("lower_bound", "", sinceTraceStart(tr, base), lbDur)
+	tr.AddSpan("verify", "", sinceTraceStart(tr, base.Add(lbDur)),
+		time.Duration(st.VerifyWallSeconds*float64(time.Second)))
+	tr.SetStat("knn_candidates", float64(st.Candidates))
+	tr.SetStat("knn_pruned", float64(st.Pruned()))
+	tr.SetStat("knn_unfiltered", float64(st.Unfiltered))
+	tr.SetStat("gpu_sim_seconds", st.LowerBoundSimSeconds+st.VerifySimSeconds)
+}
+
+// sinceTraceStart converts an absolute instant to a trace offset.
+func sinceTraceStart(tr *obs.Trace, at time.Time) time.Duration {
+	return at.Sub(tr.Start)
+}
+
+// mixTimed runs the ensemble mix under a span and the MixSec timer.
+func (p *Pipeline) mixTimed(preds []CellPrediction, tr *obs.Trace) (Prediction, error) {
+	end := tr.StartSpan("mix", "")
+	mixStart := time.Now()
+	mixed, err := p.ens.Mix(preds)
+	p.timing.MixSec += time.Since(mixStart).Seconds()
+	end()
+	return mixed, err
+}
+
 // Timing reports the phase breakdown of the most recent Predict call.
 func (p *Pipeline) Timing() PhaseTiming { return p.timing }
+
+// LastObserveTiming reports the phase breakdown of the most recent
+// Observe call.
+func (p *Pipeline) LastObserveTiming() ObserveTiming { return p.obsTiming }
 
 // PredictMulti runs one Search Step shared across several horizons
 // (the index verifies each candidate segment at most once) and one
@@ -136,6 +219,12 @@ func (p *Pipeline) Timing() PhaseTiming { return p.timing }
 // It is equivalent to calling Predict for every horizon, at a fraction
 // of the search cost.
 func (p *Pipeline) PredictMulti(hs []int) (map[int]Prediction, error) {
+	return p.PredictMultiTraced(hs, nil)
+}
+
+// PredictMultiTraced is PredictMulti with per-phase tracing (see
+// PredictTraced); the cell-fit spans carry the horizon they belong to.
+func (p *Pipeline) PredictMultiTraced(hs []int, tr *obs.Trace) (map[int]Prediction, error) {
 	if len(hs) == 0 {
 		return nil, errors.New("core: empty horizon list")
 	}
@@ -144,12 +233,14 @@ func (p *Pipeline) PredictMulti(hs []int) (map[int]Prediction, error) {
 			return nil, fmt.Errorf("core: horizon %d must be positive", h)
 		}
 	}
+	p.timing = PhaseTiming{}
 	searchStart := time.Now()
 	resultsByH, err := p.ix.SearchMulti(p.ens.MaxK(), hs)
 	if err != nil {
 		return nil, fmt.Errorf("core: search step failed: %w", err)
 	}
 	p.timing.SearchSec = time.Since(searchStart).Seconds()
+	p.recordSearch(tr, searchStart)
 	predictStart := time.Now()
 
 	n := p.ix.Len()
@@ -159,11 +250,11 @@ func (p *Pipeline) PredictMulti(hs []int) (map[int]Prediction, error) {
 		for _, r := range resultsByH[h] {
 			byD[r.D] = r
 		}
-		preds, err := p.cellPredictions(byD, h, n)
+		preds, err := p.cellPredictions(byD, h, n, tr)
 		if err != nil {
 			return nil, err
 		}
-		mixed, err := p.ens.Mix(preds)
+		mixed, err := p.mixTimed(preds, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -175,8 +266,8 @@ func (p *Pipeline) PredictMulti(hs []int) (map[int]Prediction, error) {
 }
 
 // cellPredictions evaluates every awake ensemble cell on its kNN data
-// for one horizon.
-func (p *Pipeline) cellPredictions(byD map[int]index.ItemResult, h, n int) ([]CellPrediction, error) {
+// for one horizon, recording one fit span per cell.
+func (p *Pipeline) cellPredictions(byD map[int]index.ItemResult, h, n int, tr *obs.Trace) ([]CellPrediction, error) {
 	var preds []CellPrediction
 	for _, cell := range p.ens.Cells() {
 		if cell.Sleeping() {
@@ -207,7 +298,17 @@ func (p *Pipeline) cellPredictions(byD map[int]index.ItemResult, h, n int) ([]Ce
 		for j := 0; j < cell.D; j++ {
 			x0[j] = p.ix.Value(n - cell.D + j)
 		}
+		var end func()
+		if tr != nil {
+			end = tr.StartSpan(strings.ToLower(cell.Pred.Name())+"_fit",
+				fmt.Sprintf("k=%d d=%d h=%d", cell.K, cell.D, h))
+		}
+		fitStart := time.Now()
 		pr, err := cell.Pred.Predict(x0, x, y)
+		p.timing.CellFitSec += time.Since(fitStart).Seconds()
+		if end != nil {
+			end()
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: predictor (k=%d,d=%d) failed: %w", cell.K, cell.D, err)
 		}
@@ -221,6 +322,7 @@ func (p *Pipeline) cellPredictions(byD map[int]index.ItemResult, h, n int) ([]Ce
 // observation is, then advances the index (continuous reuse path).
 func (p *Pipeline) Observe(v float64) error {
 	t := p.ix.Len() // index the new observation will occupy
+	reweightStart := time.Now()
 	kept := p.pending[:0]
 	for _, pu := range p.pending {
 		switch {
@@ -232,7 +334,11 @@ func (p *Pipeline) Observe(v float64) error {
 		// Targets below t are stale (already matched or skipped).
 	}
 	p.pending = kept
-	return p.ix.Advance(v)
+	advanceStart := time.Now()
+	p.obsTiming.ReweightSec = advanceStart.Sub(reweightStart).Seconds()
+	err := p.ix.Advance(v)
+	p.obsTiming.AdvanceSec = time.Since(advanceStart).Seconds()
+	return err
 }
 
 // PendingUpdates reports how many predictions still await their truth.

@@ -101,6 +101,7 @@ func Fit(x [][]float64, y []float64, hp Hyper) (*Model, error) {
 			return nil, fmt.Errorf("%w: row %d has %d features, want %d", ErrDims, i, len(xi), dim)
 		}
 	}
+	statFits.Add(1)
 	m := &Model{x: x, y: y, hyper: hp, dim: dim}
 	if err := m.factorize(); err != nil {
 		return nil, err
@@ -134,11 +135,13 @@ func (m *Model) factorize() error {
 		ch, err := mat.NewCholesky(c)
 		if err != nil {
 			lastErr = err
+			statJitterRetries.Add(1)
 			continue
 		}
 		alpha, err := ch.SolveVec(m.y)
 		if err != nil {
 			lastErr = err
+			statJitterRetries.Add(1)
 			continue
 		}
 		m.chol = ch

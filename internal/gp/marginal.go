@@ -70,7 +70,9 @@ func OptimizeML(x [][]float64, y []float64, init Hyper, maxIter int) (OptimizeRe
 	if maxIter < 0 {
 		return OptimizeResult{}, fmt.Errorf("gp: negative maxIter %d", maxIter)
 	}
-	return ascend(x, y, init, maxIter, mlValueGrad)
+	res, err := ascend(x, y, init, maxIter, mlValueGrad)
+	statOptimizeEvals.Add(uint64(res.Evals))
+	return res, err
 }
 
 // objective is a (value, gradient) evaluator over log hyperparameters.

@@ -124,5 +124,7 @@ func Optimize(x [][]float64, y []float64, init Hyper, maxIter int) (OptimizeResu
 	if maxIter < 0 {
 		return OptimizeResult{}, fmt.Errorf("gp: negative maxIter %d", maxIter)
 	}
-	return ascend(x, y, init, maxIter, looValueGrad)
+	res, err := ascend(x, y, init, maxIter, looValueGrad)
+	statOptimizeEvals.Add(uint64(res.Evals))
+	return res, err
 }

@@ -177,6 +177,24 @@ type SearchStats struct {
 	// LowerBoundSimSeconds is the simulated GPU time spent producing
 	// lower bounds (group-level shift sums).
 	LowerBoundSimSeconds float64
+	// LowerBoundWallSeconds is the host wall-clock time of the
+	// group-level lower-bound pass (what a real deployment's latency
+	// histograms observe; the sim seconds above are the cost-model
+	// view).
+	LowerBoundWallSeconds float64
+	// VerifyWallSeconds is the host wall-clock time of DTW
+	// verification, summed over item queries.
+	VerifyWallSeconds float64
+}
+
+// Pruned returns the number of candidates eliminated by the lower
+// bound filter without a DTW verification.
+func (s SearchStats) Pruned() int {
+	p := s.Candidates - s.Unfiltered
+	if p < 0 {
+		return 0
+	}
+	return p
 }
 
 // New builds an index over the given history. The history must be at

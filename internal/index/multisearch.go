@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"smiler/internal/dtw"
 	"smiler/internal/gpusim"
@@ -118,6 +119,8 @@ func (ix *Index) verifyMulti(d int, query []float64, lbs []float64, k int, hs []
 	}
 
 	rho := ix.p.Rho
+	wallStart := time.Now()
+	defer func() { ix.stats.VerifyWallSeconds += time.Since(wallStart).Seconds() }()
 	before := ix.dev.SimSeconds()
 	grid := (nPos + verifyChunk - 1) / verifyChunk
 	counts := make([]int, grid)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"smiler/internal/dtw"
 	"smiler/internal/gpusim"
@@ -87,6 +88,8 @@ func (ix *Index) ComputeLowerBounds(h int) ([][]float64, error) {
 // enhanced lower bound LBw (Theorem 4.3, Algorithm 1). Positions whose
 // label does not exist yet are left at +Inf.
 func (ix *Index) groupLevelLowerBounds(h int) ([][]float64, error) {
+	wallStart := time.Now()
+	defer func() { ix.stats.LowerBoundWallSeconds += time.Since(wallStart).Seconds() }()
 	n := len(ix.c)
 	omega := ix.p.Omega
 	inf := math.Inf(1)
@@ -286,6 +289,8 @@ func (ix *Index) verify(query []float64, lbs []float64, tau float64) ([]float64,
 	dists := make([]float64, n)
 	var unfiltered int
 
+	wallStart := time.Now()
+	defer func() { ix.stats.VerifyWallSeconds += time.Since(wallStart).Seconds() }()
 	before := ix.dev.SimSeconds()
 	grid := (n + verifyChunk - 1) / verifyChunk
 	counts := make([]int, grid)

@@ -22,8 +22,14 @@ func benchConfig() smiler.Config {
 }
 
 func newBenchSystem(b *testing.B, sensors int) (*smiler.System, []string) {
+	return newBenchSystemMetrics(b, sensors, false)
+}
+
+func newBenchSystemMetrics(b *testing.B, sensors int, disableMetrics bool) (*smiler.System, []string) {
 	b.Helper()
-	sys, err := smiler.New(benchConfig())
+	cfg := benchConfig()
+	cfg.DisableMetrics = disableMetrics
+	sys, err := smiler.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -52,16 +58,26 @@ func BenchmarkIngestThroughput(b *testing.B) {
 	const sensors = 16
 	const bulkChunk = 64
 
-	b.Run("direct", func(b *testing.B) {
-		sys, ids := newBenchSystem(b, sensors)
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if err := sys.Observe(ids[i%sensors], 20+float64(i%7)); err != nil {
-				b.Fatal(err)
+	// metrics=on vs metrics=off isolates the instrumentation overhead
+	// (the nil-instrument no-op sink); recorded in EXPERIMENTS.md.
+	for _, tc := range []struct {
+		name    string
+		disable bool
+	}{
+		{"direct/metrics=on", false},
+		{"direct/metrics=off", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			sys, ids := newBenchSystemMetrics(b, sensors, tc.disable)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sys.Observe(ids[i%sensors], 20+float64(i%7)); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "obs/s")
-	})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "obs/s")
+		})
+	}
 
 	for _, shards := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("pipeline/shards=%d", shards), func(b *testing.B) {

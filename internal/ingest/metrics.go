@@ -1,0 +1,68 @@
+package ingest
+
+import (
+	"strconv"
+
+	"smiler/internal/obs"
+)
+
+// RegisterMetrics bridges the pipeline's counters into a metrics
+// registry as lazy collectors: the shard workers keep writing their
+// own atomics (zero extra hot-path cost) and the registry reads them
+// at scrape time. Safe to call on a nil registry (no-op). The shard
+// label is the shard index; the apply-latency counter is a running
+// sum of seconds, so rate(latency)/rate(processed) is the mean
+// enqueue-to-applied latency over any scrape window — the same
+// quantity /pipeline/stats reports as AvgLatencyMicros since startup.
+func (p *Pipeline) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("smiler_ingest_shards",
+		"Shard workers in the ingestion pipeline.",
+		func() float64 { return float64(len(p.shards)) })
+	reg.GaugeFunc("smiler_ingest_queue_capacity",
+		"Per-shard bounded queue capacity.",
+		func() float64 { return float64(p.cfg.QueueSize) })
+	for _, sh := range p.shards {
+		sh := sh
+		label := obs.L("shard", strconv.Itoa(sh.id))
+		reg.CounterFunc("smiler_ingest_enqueued_total",
+			"Observations accepted into shard queues.",
+			func() float64 { return float64(sh.enqueued.Load()) }, label)
+		reg.CounterFunc("smiler_ingest_processed_total",
+			"Observations applied to the system.",
+			func() float64 { return float64(sh.processed.Load()) }, label)
+		reg.CounterFunc("smiler_ingest_dropped_total",
+			"Observations shed by the DropNewest backpressure policy.",
+			func() float64 { return float64(sh.dropped.Load()) }, label)
+		reg.CounterFunc("smiler_ingest_errors_total",
+			"Observations whose asynchronous apply failed.",
+			func() float64 { return float64(sh.errs.Load()) }, label)
+		reg.CounterFunc("smiler_ingest_batches_total",
+			"Micro-batches drained from shard queues.",
+			func() float64 { return float64(sh.batches.Load()) }, label)
+		reg.CounterFunc("smiler_ingest_apply_latency_seconds_total",
+			"Cumulative enqueue-to-applied latency.",
+			func() float64 { return float64(sh.latencyNs.Load()) / 1e9 }, label)
+		reg.GaugeFunc("smiler_ingest_queue_depth",
+			"Observations waiting in the shard queue.",
+			func() float64 { return float64(len(sh.ch)) }, label)
+	}
+	co := p.co
+	reg.CounterFunc("smiler_forecast_cache_hits_total",
+		"Forecasts served from the per-sensor cache.",
+		func() float64 { return float64(co.hits.Load()) })
+	reg.CounterFunc("smiler_forecast_cache_misses_total",
+		"Forecasts that ran a kNN search + model fit.",
+		func() float64 { return float64(co.misses.Load()) })
+	reg.CounterFunc("smiler_forecast_coalesced_waits_total",
+		"Forecast requests that piggybacked on an in-flight identical computation.",
+		func() float64 { return float64(co.waits.Load()) })
+	reg.CounterFunc("smiler_forecast_cache_invalidations_total",
+		"Per-sensor forecast cache flushes.",
+		func() float64 { return float64(co.invalidations.Load()) })
+	reg.GaugeFunc("smiler_forecast_cache_size",
+		"(sensor, horizon) forecasts cached right now.",
+		func() float64 { return float64(co.stats().CacheSize) })
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries: a value equal to an upper bound lands
+// in that bucket (le semantics), a value above the last bound lands in
+// +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.0001, 2, 3.9, 4, 4.0001, 100} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 2, 2} // (≤1, ≤2, ≤4, +Inf) non-cumulative
+	got := h.snapshot()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	h.Observe(math.NaN()) // ignored
+	if h.Count() != 8 {
+		t.Fatal("NaN observation must be ignored")
+	}
+}
+
+// TestHistogramQuantileUniform: 1..100 against decade buckets is
+// uniform within every bucket, so linear interpolation recovers exact
+// quantiles.
+func TestHistogramQuantileUniform(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 50},
+		{0.90, 90},
+		{0.99, 99},
+		{0.10, 10},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := h.Sum(); got != 5050 {
+		t.Fatalf("sum = %v, want 5050", got)
+	}
+}
+
+// TestHistogramQuantileSkewed: mass concentrated in one bucket.
+func TestHistogramQuantileSkewed(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	for i := 0; i < 98; i++ {
+		h.Observe(0.005) // all in the ≤0.01 bucket
+	}
+	h.Observe(0.5)
+	h.Observe(5) // +Inf bucket
+	// p50 rank = 50 of 100 → inside the first bucket: 0 + 0.01*50/98.
+	if got, want := h.Quantile(0.5), 0.01*50/98; math.Abs(got-want) > 1e-12 {
+		t.Errorf("p50 = %v, want %v", got, want)
+	}
+	// p99 rank = 99 → the (0.1, 1] bucket holds observation 99.
+	if got := h.Quantile(0.99); got <= 0.1 || got > 1 {
+		t.Errorf("p99 = %v, want within (0.1, 1]", got)
+	}
+	// p999 rank 99.9 lands in +Inf → clamped to the largest finite bound.
+	if got := h.Quantile(0.999); got != 1 {
+		t.Errorf("p999 = %v, want clamp to 1", got)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram(nil) // DefBuckets
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty histogram quantile = %v, want NaN", got)
+	}
+	h.Observe(0.003)
+	for _, q := range []float64{0, 1, -0.5, 1.5} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Fatalf("Quantile(%v) = %v, want NaN", q, got)
+		}
+	}
+	if len(h.Bounds()) != len(DefBuckets) {
+		t.Fatal("nil bounds must take DefBuckets")
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Sum != 2 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if math.IsNaN(s.P50) || math.IsNaN(s.P90) || math.IsNaN(s.P99) {
+		t.Fatalf("snapshot quantiles NaN: %+v", s)
+	}
+}

@@ -1,0 +1,263 @@
+// Package obs is the observability substrate of the SMiLer serving
+// system: a dependency-free metrics registry (atomic counters, gauges
+// and fixed-bucket latency histograms with quantile estimation),
+// Prometheus text exposition, and a lightweight per-query prediction
+// trace that records one span per pipeline phase (index search,
+// lower-bound compute, DTW verification, GP fit per ensemble cell,
+// mixing) plus the kNN effectiveness stats the index already tracks.
+//
+// Everything is safe for concurrent use. Instruments are nil-safe: a
+// nil *Counter / *Gauge / *Histogram / *Registry / *Trace accepts the
+// full API as a no-op, so instrumented hot paths carry no branches and
+// a disabled system pays only a nil check — the "no-op sink" the
+// overhead benchmarks compare against.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension (name="value" in the exposition).
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L builds a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Kind enumerates the metric families the registry serves.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing count.
+	KindCounter Kind = iota
+	// KindGauge is a value that can go up and down.
+	KindGauge
+	// KindHistogram is a fixed-bucket distribution.
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n (negative n is ignored: counters
+// are monotonic).
+func (c *Counter) Add(n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(uint64(n))
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic float64 value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta to the value (CAS loop).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// family is one metric name: a help string, a kind, and every labeled
+// child plus lazy collector callbacks registered under the name.
+type family struct {
+	name string
+	help string
+	kind Kind
+
+	mu       sync.Mutex
+	children map[string]*child // keyed by canonical label signature
+	order    []string          // insertion order of signatures
+}
+
+// child is one (name, labels) instrument.
+type child struct {
+	labels []Label
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+
+	// fn, when set, is a lazy collector: the value is read at scrape
+	// time (bridging pre-existing atomic counters costs nothing on the
+	// hot path).
+	fn func() float64
+}
+
+// Registry is a concurrent collection of metric families. The zero
+// value is NOT ready; use NewRegistry. A nil *Registry hands out nil
+// instruments, making every recording site a no-op.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	names    []string // insertion order
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// signature canonicalizes a label set (sorted by name).
+func signature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// familyFor returns (creating if needed) the family with the given
+// name, panicking on a kind conflict — mixing kinds under one name is
+// a programming error that would corrupt the exposition.
+func (r *Registry) familyFor(name, help string, kind Kind) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, children: make(map[string]*child)}
+		r.families[name] = f
+		r.names = append(r.names, name)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// childFor returns (creating via mk) the labeled child of f.
+func (f *family) childFor(labels []Label, mk func() *child) *child {
+	sig := signature(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.children[sig]
+	if !ok {
+		c = mk()
+		c.labels = append([]Label(nil), labels...)
+		f.children[sig] = c
+		f.order = append(f.order, sig)
+	}
+	return c
+}
+
+// Counter returns the counter with the given name and labels, creating
+// it on first use. Returns nil on a nil registry.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.familyFor(name, help, KindCounter)
+	c := f.childFor(labels, func() *child { return &child{counter: &Counter{}} })
+	return c.counter
+}
+
+// Gauge returns the gauge with the given name and labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.familyFor(name, help, KindGauge)
+	c := f.childFor(labels, func() *child { return &child{gauge: &Gauge{}} })
+	return c.gauge
+}
+
+// Histogram returns the histogram with the given name, labels and
+// bucket upper bounds (nil buckets take DefBuckets). Bounds must match
+// across children of one family; the first registration wins.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	f := r.familyFor(name, help, KindHistogram)
+	c := f.childFor(labels, func() *child { return &child{hist: NewHistogram(buckets)} })
+	return c.hist
+}
+
+// CounterFunc registers a lazy counter read at scrape time — the
+// bridge for subsystems that already maintain their own atomics
+// (ingest shard counters, GP fit stats). fn must be monotonic.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	f := r.familyFor(name, help, KindCounter)
+	f.childFor(labels, func() *child { return &child{fn: fn} })
+}
+
+// GaugeFunc registers a lazy gauge read at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	f := r.familyFor(name, help, KindGauge)
+	f.childFor(labels, func() *child { return &child{fn: fn} })
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(0)
+	c.Add(-7) // monotonic: negative deltas ignored
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(1.5)
+	g.Add(-4)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %v, want 0", got)
+	}
+	g.Set(-1.25)
+	if got := g.Value(); got != -1.25 {
+		t.Fatalf("gauge = %v, want -1.25", got)
+	}
+}
+
+// TestNilInstrumentsNoOp: the whole API must be callable through nil
+// receivers — that is the disabled-metrics fast path.
+func TestNilInstrumentsNoOp(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter value")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Bounds() != nil {
+		t.Fatal("nil histogram state")
+	}
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram snapshot")
+	}
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "", nil) != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	r.CounterFunc("x", "", func() float64 { return 1 })
+	r.GaugeFunc("x", "", func() float64 { return 1 })
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegistryIdentity: same (name, labels) returns the same
+// instrument; different labels return distinct children.
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits_total", "h", L("route", "/a"))
+	b := r.Counter("hits_total", "h", L("route", "/b"))
+	if a == b {
+		t.Fatal("distinct label sets must get distinct counters")
+	}
+	if again := r.Counter("hits_total", "h", L("route", "/a")); again != a {
+		t.Fatal("same label set must return the same counter")
+	}
+	// Label order must not matter.
+	x := r.Gauge("depth", "d", L("a", "1"), L("b", "2"))
+	y := r.Gauge("depth", "d", L("b", "2"), L("a", "1"))
+	if x != y {
+		t.Fatal("label order must not create a new child")
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name under two kinds must panic")
+		}
+	}()
+	r.Gauge("m", "h")
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines —
+// meaningful under -race.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lbl := L("w", string(rune('a'+w%4)))
+			for i := 0; i < iters; i++ {
+				r.Counter("c_total", "c", lbl).Inc()
+				r.Gauge("g", "g", lbl).Add(1)
+				r.Histogram("h_seconds", "h", nil, lbl).Observe(0.001 * float64(i))
+			}
+		}()
+	}
+	// Concurrent scrapes while writers run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if err := r.WritePrometheus(discard{}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	var total uint64
+	for _, v := range []string{"a", "b", "c", "d"} {
+		total += r.Counter("c_total", "c", L("w", v)).Value()
+	}
+	if total != workers*iters {
+		t.Fatalf("counter total = %d, want %d", total, workers*iters)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestCounterFuncReadAtScrapeTime(t *testing.T) {
+	r := NewRegistry()
+	v := 0.0
+	r.CounterFunc("lazy_total", "l", func() float64 { return v })
+	v = 42
+	out := scrape(t, r)
+	want := "lazy_total 42\n"
+	if !contains(out, want) {
+		t.Fatalf("scrape missing %q:\n%s", want, out)
+	}
+}

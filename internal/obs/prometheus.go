@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every registered family in the Prometheus
+// text exposition format (version 0.0.4): # HELP / # TYPE headers,
+// one sample line per child, histogram children expanded into
+// cumulative _bucket series plus _sum and _count. Families appear in
+// registration order, children in creation order — stable output for
+// humans and golden tests alike.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	names := append([]string(nil), r.names...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.RUnlock()
+
+	for _, f := range fams {
+		f.mu.Lock()
+		children := make([]*child, len(f.order))
+		for i, sig := range f.order {
+			children[i] = f.children[sig]
+		}
+		f.mu.Unlock()
+		if len(children) == 0 {
+			continue
+		}
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, c := range children {
+			writeChild(bw, f, c)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeChild(bw *bufio.Writer, f *family, c *child) {
+	switch {
+	case c.fn != nil:
+		writeSample(bw, f.name, "", c.labels, nil, c.fn())
+	case c.counter != nil:
+		writeSample(bw, f.name, "", c.labels, nil, float64(c.counter.Value()))
+	case c.gauge != nil:
+		writeSample(bw, f.name, "", c.labels, nil, c.gauge.Value())
+	case c.hist != nil:
+		h := c.hist
+		counts := h.snapshot()
+		var cum uint64
+		for i, cnt := range counts {
+			cum += cnt
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = formatFloat(h.bounds[i])
+			}
+			writeSample(bw, f.name, "_bucket", c.labels, &Label{Name: "le", Value: le}, float64(cum))
+		}
+		writeSample(bw, f.name, "_sum", c.labels, nil, h.Sum())
+		writeSample(bw, f.name, "_count", c.labels, nil, float64(h.Count()))
+	}
+}
+
+// writeSample emits one exposition line: name[suffix]{labels[,extra]} value.
+func writeSample(bw *bufio.Writer, name, suffix string, labels []Label, extra *Label, v float64) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(labels) > 0 || extra != nil {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			writeLabel(bw, l)
+		}
+		if extra != nil {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			writeLabel(bw, *extra)
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+func writeLabel(bw *bufio.Writer, l Label) {
+	bw.WriteString(l.Name)
+	bw.WriteString(`="`)
+	bw.WriteString(escapeLabel(l.Value))
+	bw.WriteByte('"')
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }

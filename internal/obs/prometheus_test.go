@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func scrape(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func contains(haystack, needle string) bool { return strings.Contains(haystack, needle) }
+
+// TestWritePrometheusGolden locks the exposition format: family order
+// = registration order, child order = creation order, histograms
+// expanded to cumulative le buckets + _sum + _count.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_requests_total", "Total requests.", L("route", "/a")).Add(3)
+	r.Counter("test_requests_total", "Total requests.", L("route", "/b")).Inc()
+	r.Gauge("test_temp", "Current temperature.").Set(1.5)
+	h := r.Histogram("test_latency_seconds", "Request latency.", []float64{0.25, 1})
+	h.Observe(0.25)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	want := `# HELP test_requests_total Total requests.
+# TYPE test_requests_total counter
+test_requests_total{route="/a"} 3
+test_requests_total{route="/b"} 1
+# HELP test_temp Current temperature.
+# TYPE test_temp gauge
+test_temp 1.5
+# HELP test_latency_seconds Request latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.25"} 1
+test_latency_seconds_bucket{le="1"} 2
+test_latency_seconds_bucket{le="+Inf"} 3
+test_latency_seconds_sum 2.75
+test_latency_seconds_count 3
+`
+	if got := scrape(t, r); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "help with \\ and\nnewline", L("v", "a\"b\\c\nd")).Inc()
+	got := scrape(t, r)
+	if !contains(got, `# HELP esc_total help with \\ and\nnewline`) {
+		t.Fatalf("help not escaped:\n%s", got)
+	}
+	if !contains(got, `esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped:\n%s", got)
+	}
+}
+
+// TestWritePrometheusEmptyFamilySkipped: CounterFunc-less families with
+// no children emit nothing; an empty registry emits nothing.
+func TestWritePrometheusEmpty(t *testing.T) {
+	r := NewRegistry()
+	if got := scrape(t, r); got != "" {
+		t.Fatalf("empty registry scrape = %q", got)
+	}
+}

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"smiler/internal/obs"
+)
+
+// statusRecorder captures the status code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// withObservability wraps the mux with the request-scoped
+// observability: a request ID (echoed as X-Request-Id, honoring one
+// supplied by the client), a structured per-request log line (method,
+// path, status, latency, request ID) when a logger is configured, and
+// the HTTP request counter/latency histogram labeled by normalized
+// route.
+func (s *Server) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = s.reqPrefix + "-" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+		}
+		w.Header().Set("X-Request-Id", reqID)
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		route := normalizeRoute(r.URL.Path)
+		if reg := s.sys.Metrics(); reg != nil {
+			reg.Counter("smiler_http_requests_total",
+				"HTTP requests by route, method and status.",
+				obs.L("route", route), obs.L("method", r.Method),
+				obs.L("status", strconv.Itoa(rec.status))).Inc()
+			reg.Histogram("smiler_http_request_seconds",
+				"HTTP request latency by route.", nil,
+				obs.L("route", route)).Observe(elapsed.Seconds())
+		}
+		if s.log != nil {
+			s.log.Info("request",
+				"id", reqID,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"route", route,
+				"status", rec.status,
+				"latency", elapsed,
+			)
+		}
+	})
+}
+
+// normalizeRoute collapses the sensor id out of a path so metric
+// label cardinality stays bounded by the route table, not the sensor
+// population.
+func normalizeRoute(path string) string {
+	if rest, ok := strings.CutPrefix(path, "/sensors/"); ok && rest != "" {
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			return "/sensors/{id}/" + rest[i+1:]
+		}
+		return "/sensors/{id}"
+	}
+	if rest, ok := strings.CutPrefix(path, "/debug/trace/"); ok && rest != "" {
+		return "/debug/trace/{sensor}"
+	}
+	return path
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format. 404 when the system was built with metrics disabled.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w)
+		return
+	}
+	reg := s.sys.Metrics()
+	if reg == nil {
+		writeError(w, http.StatusNotFound, "metrics disabled")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = reg.WritePrometheus(w)
+}
+
+// handleTrace serves GET /debug/trace/{sensor}[?n=k]: the last n
+// (default all stored, newest first) prediction traces of the sensor,
+// each with its per-phase spans and kNN stats.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w)
+		return
+	}
+	store := s.sys.Traces()
+	if store == nil {
+		writeError(w, http.StatusNotFound, "tracing disabled")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, http.StatusBadRequest, "missing sensor id")
+		return
+	}
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed <= 0 {
+			writeError(w, http.StatusBadRequest, "invalid n "+strconv.Quote(v))
+			return
+		}
+		n = parsed
+	}
+	traces := store.Last(id, n)
+	if len(traces) == 0 && !s.sys.HasSensor(id) {
+		writeError(w, http.StatusNotFound, "unknown sensor "+strconv.Quote(id))
+		return
+	}
+	if traces == nil {
+		traces = []*obs.Trace{}
+	}
+	writeJSON(w, http.StatusOK, traces)
+}

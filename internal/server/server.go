@@ -9,6 +9,11 @@
 //
 //	GET    /healthz                 liveness probe
 //	GET    /stats                   device memory + sensor count
+//	GET    /metrics                 Prometheus text exposition (prediction
+//	                                phase histograms, kNN pruning counters,
+//	                                ingest/coalesce counters, HTTP metrics)
+//	GET    /debug/trace/{sensor}    last-N prediction traces (per-phase
+//	                                spans + kNN stats) as JSON; ?n=k
 //	GET    /pipeline/stats          ingestion pipeline counters (per-shard
 //	                                queue depth / processed / dropped /
 //	                                batching, forecast-coalescing hits)
@@ -37,10 +42,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"smiler"
@@ -54,6 +61,16 @@ type Server struct {
 	sys  *smiler.System
 	pipe *ingest.Pipeline
 	mux  *http.ServeMux
+	// handler is the mux wrapped in the observability middleware,
+	// built once at construction.
+	handler http.Handler
+
+	// log, when non-nil, receives one structured line per request
+	// (method, path, status, latency, request ID).
+	log *slog.Logger
+	// reqPrefix + reqSeq mint process-unique request IDs.
+	reqPrefix string
+	reqSeq    atomic.Uint64
 
 	// addMu serializes sensor registration so duplicate-id races
 	// surface as clean 409s rather than interleaved errors.
@@ -76,6 +93,10 @@ type Options struct {
 	// Pipeline configures the ingestion pipeline (zero values take
 	// ingest defaults: GOMAXPROCS shards, queue 256, Block policy).
 	Pipeline ingest.Config
+	// Logger, when set, enables structured access logging: one line
+	// per request with method, path, status, latency and request ID.
+	// Nil disables the log line (request IDs and metrics still flow).
+	Logger *slog.Logger
 }
 
 // New wraps a system behind a default-configured ingestion pipeline.
@@ -108,18 +129,24 @@ func NewWithOptions(sys *smiler.System, opts Options) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		sys:      sys,
-		pipe:     pipe,
-		mux:      http.NewServeMux(),
-		interval: opts.Interval,
-		regs:     make(map[string]*timeseries.Regularizer),
+		sys:       sys,
+		pipe:      pipe,
+		mux:       http.NewServeMux(),
+		log:       opts.Logger,
+		reqPrefix: strconv.FormatInt(time.Now().UnixNano(), 36),
+		interval:  opts.Interval,
+		regs:      make(map[string]*timeseries.Regularizer),
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/trace/", s.handleTrace)
 	s.mux.HandleFunc("/pipeline/stats", s.handlePipelineStats)
 	s.mux.HandleFunc("/observations", s.handleObservations)
 	s.mux.HandleFunc("/sensors", s.handleSensors)
 	s.mux.HandleFunc("/sensors/", s.handleSensor)
+	s.handler = s.withObservability(s.mux)
+	pipe.RegisterMetrics(sys.Metrics())
 	return s, nil
 }
 
@@ -134,7 +161,7 @@ func (s *Server) Pipeline() *ingest.Pipeline { return s.pipe }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 // --- payloads ---

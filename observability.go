@@ -1,0 +1,149 @@
+package smiler
+
+import (
+	"strconv"
+
+	"smiler/internal/core"
+	"smiler/internal/gp"
+	"smiler/internal/index"
+	"smiler/internal/obs"
+)
+
+// Phase label values of the prediction latency histogram.
+var predictPhases = []string{"total", "search", "lower_bound", "verify", "cell_fit", "mix"}
+
+// Phase label values of the observation latency histogram.
+var observePhases = []string{"total", "reweight", "advance"}
+
+// systemObs owns the system's metrics registry, trace store and every
+// pre-resolved instrument the hot paths record into. With metrics
+// disabled every field is nil; all obs instruments are nil-safe, so
+// the recording sites below degrade to a handful of nil checks — the
+// no-op sink the EXPERIMENTS.md overhead benchmark compares against.
+type systemObs struct {
+	reg    *obs.Registry
+	traces *obs.TraceStore
+
+	predictions *obs.Counter
+	predictErrs *obs.Counter
+	observed    *obs.Counter
+	observeErrs *obs.Counter
+
+	predictPhase map[string]*obs.Histogram
+	observePhase map[string]*obs.Histogram
+
+	knnCandidates *obs.Counter
+	knnPruned     *obs.Counter
+	knnUnfiltered *obs.Counter
+}
+
+// newSystemObs builds the registry and instruments (enabled mode).
+func newSystemObs() *systemObs {
+	reg := obs.NewRegistry()
+	so := &systemObs{
+		reg:    reg,
+		traces: obs.NewTraceStore(obs.DefaultTraceCapacity),
+		predictions: reg.Counter("smiler_predictions_total",
+			"Completed predictions (all horizons of a multi-horizon call count once)."),
+		predictErrs: reg.Counter("smiler_predict_errors_total",
+			"Predictions that failed."),
+		observed: reg.Counter("smiler_observations_total",
+			"Observations applied to the system."),
+		observeErrs: reg.Counter("smiler_observe_errors_total",
+			"Observations whose apply failed."),
+		predictPhase: make(map[string]*obs.Histogram, len(predictPhases)),
+		observePhase: make(map[string]*obs.Histogram, len(observePhases)),
+		knnCandidates: reg.Counter("smiler_knn_candidates_total",
+			"Candidate segments whose lower bound the group-level index produced."),
+		knnPruned: reg.Counter("smiler_knn_pruned_total",
+			"Candidates eliminated by the LBen filter without DTW verification."),
+		knnUnfiltered: reg.Counter("smiler_knn_unfiltered_total",
+			"Candidates that survived the filter and required DTW verification."),
+	}
+	for _, ph := range predictPhases {
+		so.predictPhase[ph] = reg.Histogram("smiler_predict_phase_seconds",
+			"Prediction latency by pipeline phase.", nil, obs.L("phase", ph))
+	}
+	for _, ph := range observePhases {
+		so.observePhase[ph] = reg.Histogram("smiler_observe_phase_seconds",
+			"Observation-apply latency by pipeline phase.", nil, obs.L("phase", ph))
+	}
+	// GP fitting keeps package-level counters (the innermost hot loop
+	// carries no registry handle); bridge them lazily at scrape time.
+	reg.CounterFunc("smiler_gp_fits_total",
+		"GP conditioning runs (covariance build + Cholesky).",
+		func() float64 { return float64(gp.SnapshotStats().Fits) })
+	reg.CounterFunc("smiler_gp_jitter_retries_total",
+		"Cholesky attempts that failed and walked up the jitter ladder.",
+		func() float64 { return float64(gp.SnapshotStats().JitterRetries) })
+	reg.CounterFunc("smiler_gp_optimizer_evals_total",
+		"Objective/gradient evaluations spent optimizing GP hyperparameters.",
+		func() float64 { return float64(gp.SnapshotStats().OptimizeEvals) })
+	return so
+}
+
+// registerSystem adds the gauges that read live system state at
+// scrape time (sensor count, device memory).
+func (so *systemObs) registerSystem(s *System) {
+	if so.reg == nil {
+		return
+	}
+	so.reg.GaugeFunc("smiler_sensors",
+		"Registered sensors.",
+		func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(len(s.sensors))
+		})
+	for i, d := range s.devs {
+		dev := d
+		label := obs.L("device", strconv.Itoa(i))
+		so.reg.GaugeFunc("smiler_device_used_bytes",
+			"Simulated GPU memory in use.",
+			func() float64 { return float64(dev.UsedBytes()) }, label)
+		so.reg.GaugeFunc("smiler_device_total_bytes",
+			"Simulated GPU memory capacity.",
+			func() float64 { return float64(dev.TotalBytes()) }, label)
+	}
+}
+
+// recordPredict folds one prediction's timing and search stats into
+// the registry.
+func (so *systemObs) recordPredict(totalSec float64, timing core.PhaseTiming, st index.SearchStats, err error) {
+	if err != nil {
+		so.predictErrs.Inc()
+		return
+	}
+	so.predictions.Inc()
+	so.predictPhase["total"].Observe(totalSec)
+	so.predictPhase["search"].Observe(timing.SearchSec)
+	so.predictPhase["lower_bound"].Observe(timing.LowerBoundSec)
+	so.predictPhase["verify"].Observe(timing.VerifySec)
+	so.predictPhase["cell_fit"].Observe(timing.CellFitSec)
+	so.predictPhase["mix"].Observe(timing.MixSec)
+	so.knnCandidates.Add(st.Candidates)
+	so.knnPruned.Add(st.Pruned())
+	so.knnUnfiltered.Add(st.Unfiltered)
+}
+
+// recordObserve folds one applied observation's timing into the
+// registry.
+func (so *systemObs) recordObserve(totalSec float64, timing core.ObserveTiming, err error) {
+	if err != nil {
+		so.observeErrs.Inc()
+		return
+	}
+	so.observed.Inc()
+	so.observePhase["total"].Observe(totalSec)
+	so.observePhase["reweight"].Observe(timing.ReweightSec)
+	so.observePhase["advance"].Observe(timing.AdvanceSec)
+}
+
+// Metrics returns the system's metrics registry (nil when the system
+// was built with DisableMetrics — a nil registry serves the whole obs
+// API as a no-op, and WritePrometheus on it emits nothing).
+func (s *System) Metrics() *obs.Registry { return s.obs.reg }
+
+// Traces returns the per-sensor store of recent prediction traces
+// (nil when metrics are disabled).
+func (s *System) Traces() *obs.TraceStore { return s.obs.traces }

@@ -1,0 +1,92 @@
+// Instrumentation overhead benchmarks: the same prediction and
+// observation workloads with the metrics registry enabled (default)
+// and with DisableMetrics — the nil-instrument no-op sink. The
+// recorded comparison lives in EXPERIMENTS.md; regenerate with:
+//
+//	go test -bench ObservabilityOverhead -run '^$' .
+package smiler_test
+
+import (
+	"math"
+	"testing"
+
+	"smiler"
+)
+
+func overheadConfig(disable bool) smiler.Config {
+	cfg := smiler.DefaultConfig()
+	cfg.Rho = 3
+	cfg.Omega = 8
+	cfg.ELV = []int{16, 24}
+	cfg.EKV = []int{4}
+	cfg.Predictor = smiler.PredictorAR
+	cfg.DisableMetrics = disable
+	return cfg
+}
+
+func newOverheadSystem(b *testing.B, disable bool) *smiler.System {
+	b.Helper()
+	sys, err := smiler.New(overheadConfig(disable))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { sys.Close() })
+	hist := make([]float64, 300)
+	for i := range hist {
+		hist[i] = 20 + 5*math.Sin(2*math.Pi*float64(i)/24)
+	}
+	if err := sys.AddSensor("s", hist); err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+func BenchmarkObservabilityOverhead(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		disable bool
+	}{
+		{"metrics=on", false},
+		{"metrics=off", true},
+	} {
+		b.Run("predict/"+tc.name, func(b *testing.B) {
+			sys := newOverheadSystem(b, tc.disable)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.Predict("s", 1+i%3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("observe/"+tc.name, func(b *testing.B) {
+			sys := newOverheadSystem(b, tc.disable)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sys.Observe("s", 20+float64(i%7)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScrape measures one /metrics-shaped exposition pass over a
+// registry populated by real traffic.
+func BenchmarkScrape(b *testing.B) {
+	sys := newOverheadSystem(b, false)
+	for i := 0; i < 100; i++ {
+		if _, err := sys.Predict("s", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.Metrics().WritePrometheus(discardWriter{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,76 @@
+#!/usr/bin/env sh
+# End-to-end observability smoke test: start smiler-server on an
+# ephemeral port, register a sensor, run one prediction, then assert
+# that /metrics serves every required metric family and that
+# /debug/trace/{sensor} returns per-phase spans. Exits non-zero on any
+# missing family. Run via `make metrics-smoke`.
+set -eu
+
+BIN=$(mktemp -d)/smiler-server
+ADDR=127.0.0.1:18080
+LOG=$(mktemp)
+
+go build -o "$BIN" ./cmd/smiler-server
+
+"$BIN" -addr "$ADDR" -predictor ar -log-level warn &
+PID=$!
+cleanup() {
+    kill "$PID" 2>/dev/null || true
+    wait "$PID" 2>/dev/null || true
+    rm -f "$LOG"
+}
+trap cleanup EXIT INT TERM
+
+# Wait for the listener.
+i=0
+until curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "metrics-smoke: server did not come up on $ADDR" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+# One sensor, one prediction — enough traffic to populate every family.
+HIST=$(awk 'BEGIN{s="";for(i=0;i<300;i++){v=10+3*sin(2*3.14159265*i/24);s=s (i?",":"") v}print s}')
+curl -sf -X POST "http://$ADDR/sensors" \
+    -H 'Content-Type: application/json' \
+    -d "{\"id\":\"smoke\",\"history\":[$HIST]}" >/dev/null
+curl -sf "http://$ADDR/sensors/smoke/forecast?h=1" >/dev/null
+
+curl -sf "http://$ADDR/metrics" >"$LOG"
+
+status=0
+for family in \
+    smiler_predictions_total \
+    smiler_predict_phase_seconds_bucket \
+    smiler_knn_candidates_total \
+    smiler_knn_pruned_total \
+    smiler_knn_unfiltered_total \
+    smiler_ingest_processed_total \
+    smiler_forecast_cache_misses_total \
+    smiler_forecast_cache_hits_total \
+    smiler_gp_fits_total \
+    smiler_sensors \
+    smiler_http_requests_total \
+    smiler_http_request_seconds_bucket \
+    ; do
+    if ! grep -q "^$family" "$LOG"; then
+        echo "metrics-smoke: MISSING family $family" >&2
+        status=1
+    fi
+done
+
+if ! curl -sf "http://$ADDR/debug/trace/smoke" | grep -q '"name":"search"'; then
+    echo "metrics-smoke: /debug/trace/smoke missing search span" >&2
+    status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+    echo "metrics-smoke: OK ($(grep -c '^smiler_' "$LOG") smiler_* samples)"
+else
+    echo "--- /metrics dump ---" >&2
+    cat "$LOG" >&2
+fi
+exit $status

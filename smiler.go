@@ -35,10 +35,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"smiler/internal/core"
 	"smiler/internal/gpusim"
 	"smiler/internal/index"
+	"smiler/internal/obs"
 	"smiler/internal/timeseries"
 )
 
@@ -116,6 +118,13 @@ type Config struct {
 	// more sensors, trading prediction quality; Section 6.4.1). 0 means
 	// keep everything. Streamed observations still grow the history.
 	MaxHistory int
+
+	// DisableMetrics turns the observability layer off: no metrics
+	// registry, no prediction traces, and every instrumented hot path
+	// degrades to nil-check no-ops. Metrics are on by default; this
+	// exists for the instrumentation-overhead benchmark and for
+	// embedders that scrape nothing.
+	DisableMetrics bool
 }
 
 // DefaultConfig returns the paper's default parameters: ρ=8, ω=16,
@@ -161,6 +170,7 @@ func (f Forecast) Interval(z float64) (lo, hi float64) {
 type System struct {
 	cfg  Config
 	devs []*gpusim.Device
+	obs  *systemObs
 
 	mu      sync.RWMutex
 	sensors map[string]*sensorState
@@ -198,7 +208,13 @@ func New(cfg Config) (*System, error) {
 	if cfg.MaxHistory < 0 {
 		return nil, fmt.Errorf("smiler: negative MaxHistory %d", cfg.MaxHistory)
 	}
-	return &System{cfg: cfg, devs: devs, sensors: make(map[string]*sensorState)}, nil
+	so := &systemObs{} // disabled: nil instruments are no-ops
+	if !cfg.DisableMetrics {
+		so = newSystemObs()
+	}
+	s := &System{cfg: cfg, devs: devs, obs: so, sensors: make(map[string]*sensorState)}
+	so.registerSystem(s)
+	return s, nil
 }
 
 // pickDevice returns the device with the most free memory.
@@ -329,6 +345,7 @@ func (s *System) RemoveSensor(id string) error {
 		return fmt.Errorf("smiler: unknown sensor %q", id)
 	}
 	delete(s.sensors, id)
+	s.obs.traces.Remove(id)
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return st.ix.Close()
@@ -387,15 +404,28 @@ func (s *System) HistoryLen(id string) (int, error) {
 }
 
 // Predict forecasts the sensor's value h steps ahead of its latest
-// observation.
+// observation. With metrics enabled, the prediction's per-phase
+// latencies and kNN effectiveness land in the registry and a trace of
+// its spans in the trace store.
 func (s *System) Predict(id string, h int) (Forecast, error) {
 	st, err := s.sensor(id)
 	if err != nil {
+		s.obs.predictErrs.Inc()
 		return Forecast{}, err
 	}
+	var tr *obs.Trace
+	if s.obs.traces != nil {
+		tr = obs.NewTrace(id, h)
+	}
+	start := time.Now()
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	pred, err := st.pipe.Predict(h)
+	pred, err := st.pipe.PredictTraced(h, tr)
+	timing := st.pipe.Timing()
+	searchStats := st.ix.Stats()
+	st.mu.Unlock()
+	s.obs.recordPredict(time.Since(start).Seconds(), timing, searchStats, err)
+	tr.Finish(err)
+	s.obs.traces.Add(tr)
 	if err != nil {
 		return Forecast{}, err
 	}
@@ -414,11 +444,20 @@ func (s *System) Predict(id string, h int) (Forecast, error) {
 func (s *System) PredictHorizons(id string, hs []int) (map[int]Forecast, error) {
 	st, err := s.sensor(id)
 	if err != nil {
+		s.obs.predictErrs.Inc()
 		return nil, err
 	}
+	var tr *obs.Trace
+	if s.obs.traces != nil {
+		tr = obs.NewTrace(id, hs...)
+	}
+	start := time.Now()
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	preds, err := st.pipe.PredictMulti(hs)
+	preds, err := st.pipe.PredictMultiTraced(hs, tr)
+	s.obs.recordPredict(time.Since(start).Seconds(), st.pipe.Timing(), st.ix.Stats(), err)
+	tr.Finish(err)
+	s.obs.traces.Add(tr)
 	if err != nil {
 		return nil, err
 	}
@@ -444,22 +483,29 @@ func (s *System) PredictHorizons(id string, hs []int) (map[int]Forecast, error) 
 func (s *System) Observe(id string, v float64) error {
 	st, err := s.sensor(id)
 	if err != nil {
+		s.obs.observeErrs.Inc()
 		return err
 	}
+	start := time.Now()
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if math.IsNaN(v) {
 		pred, err := st.pipe.Predict(1)
 		if err != nil {
+			s.obs.observeErrs.Inc()
 			return fmt.Errorf("smiler: imputing missing reading for %q: %w", id, err)
 		}
 		st.pipe.DropPendingFor(st.pipe.Index().Len()) // no truth will arrive
-		return st.pipe.Observe(pred.Mean)
+		err = st.pipe.Observe(pred.Mean)
+		s.obs.recordObserve(time.Since(start).Seconds(), st.pipe.LastObserveTiming(), err)
+		return err
 	}
 	if st.norm != nil {
 		v = st.norm.Apply(v)
 	}
-	return st.pipe.Observe(v)
+	err = st.pipe.Observe(v)
+	s.obs.recordObserve(time.Since(start).Seconds(), st.pipe.LastObserveTiming(), err)
+	return err
 }
 
 // poolSize bounds a per-sensor fan-out at GOMAXPROCS workers: with
