@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-ingest bench-obs metrics-smoke
+.PHONY: all build vet test race bench bench-ingest bench-obs bench-json metrics-smoke
 
 all: vet build test
 
@@ -30,6 +30,13 @@ bench-ingest:
 bench-obs:
 	$(GO) test -bench 'ObservabilityOverhead|Scrape' -run '^$$' .
 	$(GO) test ./internal/ingest -bench 'Throughput/direct' -run '^$$'
+
+# Machine-readable prediction-path benchmark numbers: predict,
+# predict-multi, observe and ingest ns/op + allocs into
+# BENCH_predict.json (scripts/bench_json.sh; BENCHTIME=2s for stable
+# local numbers, default 1x is the CI smoke).
+bench-json:
+	./scripts/bench_json.sh
 
 # End-to-end scrape check: boot the real server, feed one sensor,
 # predict, and assert the required metric families appear in /metrics

@@ -59,6 +59,8 @@ type options struct {
 	backpressure string
 	logLevel     string
 	pprof        bool
+	workers      int
+	sharedHyper  bool
 
 	// onReady, when set, is called with the bound listen address once
 	// the listener is accepting (tests use it to find an ephemeral
@@ -80,6 +82,8 @@ func main() {
 	flag.StringVar(&o.backpressure, "backpressure", "block", "full-queue policy: block|drop-newest|error")
 	flag.StringVar(&o.logLevel, "log-level", "info", "log floor: debug|info|warn|error")
 	flag.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
+	flag.IntVar(&o.workers, "predict-workers", 0, "prediction-step cell-fit workers (0 = GOMAXPROCS, 1 = sequential)")
+	flag.BoolVar(&o.sharedHyper, "shared-hyper", false, "share GP hyperparameters per item-query column (approximate, faster)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "smiler-server:", err)
@@ -123,6 +127,8 @@ func run(o options) error {
 	}
 	cfg.Devices = o.devices
 	cfg.MaxHistory = o.maxHistory
+	cfg.PredictWorkers = o.workers
+	cfg.SharedHyper = o.sharedHyper
 
 	policy, err := ingest.ParseBackpressure(o.backpressure)
 	if err != nil {

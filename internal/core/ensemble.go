@@ -21,6 +21,10 @@ type Cell struct {
 	sleepLeft  int // steps remaining before recovery
 	sleepSpan  int // ς_{i,j}: the adaptive sleep duration
 	wokeLately bool
+
+	// recoveredNow marks a cell that woke up during the current
+	// schedule pass; always false outside (*Ensemble).schedule.
+	recoveredNow bool
 }
 
 // Weight returns the cell's current normalized ensemble weight (zero
@@ -58,7 +62,8 @@ type EnsembleConfig struct {
 type Ensemble struct {
 	cells []*Cell
 	cfg   EnsembleConfig
-	eta   float64 // sleep threshold η = 1/(2·n·m)
+	eta   float64   // sleep threshold η = 1/(2·n·m)
+	lik   []float64 // reweight scratch, reused across steps
 }
 
 // NewEnsemble builds the m×n ensemble over EKV × ELV; factory is
@@ -167,7 +172,13 @@ func (e *Ensemble) Update(preds []CellPrediction, y float64) {
 // over the awake cells.
 func (e *Ensemble) reweight(preds []CellPrediction, y float64) {
 	var lsum float64
-	lik := make([]float64, len(preds))
+	if cap(e.lik) < len(preds) {
+		e.lik = make([]float64, len(preds))
+	}
+	lik := e.lik[:len(preds)]
+	for i := range lik {
+		lik[i] = 0
+	}
 	for i, cp := range preds {
 		if cp.Cell.sleeping || !cp.Pred.Valid() {
 			continue
@@ -229,8 +240,9 @@ func (e *Ensemble) normalize() {
 // recovery), sleeping cells tick toward recovery, and recovered cells
 // re-enter at weight η (after normalization).
 func (e *Ensemble) schedule() {
-	// 1. Tick sleepers and collect recoveries.
-	var recovered []*Cell
+	// 1. Tick sleepers and mark recoveries (the recoveredNow flag
+	// replaces the old O(cells²) membership scans).
+	recovered := 0
 	for _, c := range e.cells {
 		if !c.sleeping {
 			continue
@@ -239,7 +251,8 @@ func (e *Ensemble) schedule() {
 		if c.sleepLeft <= 0 {
 			c.sleeping = false
 			c.wokeLately = true
-			recovered = append(recovered, c)
+			c.recoveredNow = true
+			recovered++
 		}
 	}
 
@@ -255,7 +268,7 @@ func (e *Ensemble) schedule() {
 		if c.sleeping || awake <= 1 {
 			continue
 		}
-		if c.wokeLately && containsCell(recovered, c) {
+		if c.recoveredNow {
 			// Freshly recovered this step; give it one step to prove
 			// itself before it can be re-evaluated.
 			continue
@@ -288,28 +301,31 @@ func (e *Ensemble) schedule() {
 	// predictor pre-normalization weight η/(1−κη), which after
 	// normalization is exactly η. Equivalently: rescale the incumbents
 	// to total 1−κη and set each recovered cell to η.
-	if len(recovered) > 0 {
-		kappa := float64(len(recovered))
+	if recovered > 0 {
+		kappa := float64(recovered)
 		target := 1 - kappa*e.eta
 		if target < e.eta {
 			target = e.eta // pathological κ: keep weights positive
 		}
 		var sumOthers float64
 		for _, c := range e.cells {
-			if !c.sleeping && !containsCell(recovered, c) {
+			if !c.sleeping && !c.recoveredNow {
 				sumOthers += c.weight
 			}
 		}
 		if sumOthers > 0 {
 			scale := target / sumOthers
 			for _, c := range e.cells {
-				if !c.sleeping && !containsCell(recovered, c) {
+				if !c.sleeping && !c.recoveredNow {
 					c.weight *= scale
 				}
 			}
 		}
-		for _, c := range recovered {
-			c.weight = e.eta
+		for _, c := range e.cells {
+			if c.recoveredNow {
+				c.weight = e.eta
+				c.recoveredNow = false
+			}
 		}
 		slept = true // force the final renormalization below
 	}
@@ -365,13 +381,4 @@ func (e *Ensemble) ImportState(states []CellState) error {
 	}
 	e.normalize()
 	return nil
-}
-
-func containsCell(cs []*Cell, c *Cell) bool {
-	for _, x := range cs {
-		if x == c {
-			return true
-		}
-	}
-	return false
 }

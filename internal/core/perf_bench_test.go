@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"smiler/internal/gpusim"
+	"smiler/internal/index"
+)
+
+// perf_bench_test.go holds the machine-readable perf trajectory of the
+// Prediction and Observe hot paths (make bench-json → BENCH_predict.json).
+// Unlike the paper-shape benches in the repo root, these run the
+// pipeline directly at the paper's default 3×3 ensemble so the
+// Prediction Step (CellFitSec-dominated) is measured without serving-
+// layer noise.
+
+// benchHistory synthesizes the same seasonal regime the pipeline tests
+// use, long enough for the default ELV={32,64,96} master query.
+func benchHistory(n int) []float64 {
+	rng := rand.New(rand.NewSource(42))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Sin(2*math.Pi*float64(i)/48) +
+			0.4*math.Sin(2*math.Pi*float64(i)/12) +
+			rng.NormFloat64()*0.05
+	}
+	return out
+}
+
+// newBenchPipeline builds the paper-default 3×3 GP pipeline over a
+// fresh simulated device.
+func newBenchPipeline(b *testing.B, workers int, factory PredictorFactory) *Pipeline {
+	return newBenchPipelineShared(b, workers, factory, false)
+}
+
+func newBenchPipelineShared(b *testing.B, workers int, factory PredictorFactory, shared bool) *Pipeline {
+	b.Helper()
+	dev := gpusim.MustNewDevice(gpusim.DefaultConfig())
+	p := index.DefaultParams()
+	ix, err := index.New(dev, benchHistory(800), p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ix.Close() })
+	cfg := DefaultPipelineConfig()
+	cfg.Index = p
+	cfg.PredictWorkers = workers
+	cfg.SharedHyper = shared
+	if factory != nil {
+		cfg.Factory = factory
+	}
+	pl, err := NewPipeline(ix, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pl
+}
+
+// runPredictBench drives one Predict per iteration and reports the
+// Prediction Step split as custom metrics alongside ns/op.
+func runPredictBench(b *testing.B, pl *Pipeline) {
+	if _, err := pl.Predict(1); err != nil { // prime prevNN + warm starts
+		b.Fatal(err)
+	}
+	pl.pending = pl.pending[:0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	var predictSec, cellFitSec, searchSec float64
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.Predict(1); err != nil {
+			b.Fatal(err)
+		}
+		t := pl.Timing()
+		predictSec += t.PredictSec
+		cellFitSec += t.CellFitSec
+		searchSec += t.SearchSec
+		pl.pending = pl.pending[:0] // no Observe: don't let maturity queue grow
+	}
+	b.StopTimer()
+	n := float64(b.N)
+	b.ReportMetric(predictSec/n*1e9, "predict-step-ns/op")
+	b.ReportMetric(cellFitSec/n*1e9, "cell-fit-ns/op")
+	b.ReportMetric(searchSec/n*1e9, "search-ns/op")
+}
+
+// BenchmarkPredict measures one full Predict (Search Step + Prediction
+// Step) at the paper's default 3×3 GP ensemble. The predict-step-ns/op
+// metric isolates the Prediction Step — the CellFitSec-dominated path
+// the shared-computation work targets.
+func BenchmarkPredict(b *testing.B) {
+	runPredictBench(b, newBenchPipeline(b, 0, nil))
+}
+
+// BenchmarkPredictSequential pins the Prediction Step to one worker —
+// the reference the parallel path must match numerically, and the
+// apples-to-apples view of the pure algorithmic sharing.
+func BenchmarkPredictSequential(b *testing.B) {
+	runPredictBench(b, newBenchPipeline(b, 1, nil))
+}
+
+// BenchmarkPredictSharedHyper measures the opt-in SharedHyper mode:
+// one hyperparameter fit per column at the largest k, prefix-Cholesky
+// reuse for the smaller-k cells.
+func BenchmarkPredictSharedHyper(b *testing.B) {
+	runPredictBench(b, newBenchPipelineShared(b, 0, nil, true))
+}
+
+// BenchmarkPredictMulti measures PredictMulti over a 3-horizon ladder
+// (one shared Search Step, one Prediction Step per horizon).
+func BenchmarkPredictMulti(b *testing.B) {
+	pl := newBenchPipeline(b, 0, nil)
+	hs := []int{1, 3, 6}
+	if _, err := pl.PredictMulti(hs); err != nil {
+		b.Fatal(err)
+	}
+	pl.pending = pl.pending[:0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	var predictSec float64
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.PredictMulti(hs); err != nil {
+			b.Fatal(err)
+		}
+		predictSec += pl.Timing().PredictSec
+		pl.pending = pl.pending[:0]
+	}
+	b.StopTimer()
+	b.ReportMetric(predictSec/float64(b.N)*1e9, "predict-step-ns/op")
+}
+
+// BenchmarkObserve measures the Observe path — self-adaptive reweight
+// of one matured prediction plus the incremental index advance — with
+// the reweight queue refilled outside the pipeline each iteration
+// (white-box) so every Observe pays the full auto-tuning cost.
+func BenchmarkObserve(b *testing.B) {
+	pl := newBenchPipeline(b, 0, func() Predictor { return NewAR() })
+	if _, err := pl.Predict(1); err != nil {
+		b.Fatal(err)
+	}
+	preds := pl.pending[0].preds
+	pl.pending = pl.pending[:0]
+	vals := benchHistory(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl.pending = append(pl.pending, pendingUpdate{target: pl.ix.Len(), preds: preds})
+		if err := pl.Observe(vals[i%len(vals)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

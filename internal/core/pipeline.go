@@ -3,9 +3,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"smiler/internal/gp"
 	"smiler/internal/index"
 	"smiler/internal/obs"
 )
@@ -24,6 +28,20 @@ type PipelineConfig struct {
 	Factory PredictorFactory
 	// Ensemble tunes the auto-tuning mechanism (ablations).
 	Ensemble EnsembleConfig
+	// PredictWorkers bounds the worker pool evaluating the ensemble's
+	// ELV columns in parallel during the Prediction Step: 0 means
+	// min(GOMAXPROCS, columns), 1 forces the sequential reference path,
+	// n > 1 caps the pool at n. Columns are independent, so the output
+	// is identical at any setting.
+	PredictWorkers int
+	// SharedHyper turns on per-column hyperparameter sharing: the
+	// column's GP hyperparameters are fitted once at the largest k and
+	// every smaller-k cell reuses the leading principal block of the
+	// resulting Cholesky factor. Exact under the shared hyperparameters
+	// (a leading submatrix of a Cholesky factor is the factor of the
+	// leading submatrix), but the smaller cells no longer tune their own
+	// Θ — an accuracy/time trade-off, off by default.
+	SharedHyper bool
 }
 
 // DefaultPipelineConfig returns the paper's defaults (Table 2): the
@@ -265,56 +283,306 @@ func (p *Pipeline) PredictMultiTraced(hs []int, tr *obs.Trace) (map[int]Predicti
 	return out, nil
 }
 
+// predColumn groups the awake cells of one ELV column (same item-query
+// length d) with their slots in the output slice. Cells of one column
+// consume nested prefixes of one sorted neighbor list, so the column is
+// the unit of shared materialization and of parallel evaluation.
+type predColumn struct {
+	d     int
+	item  index.ItemResult
+	cells []*Cell
+	slots []int
+}
+
+// spanRec is a trace span recorded off the hot path: obs.Trace is not
+// goroutine-safe, so parallel column workers collect spans locally and
+// the join appends them in deterministic column order.
+type spanRec struct {
+	name, detail string
+	start        time.Time
+	dur          time.Duration
+}
+
+// colOutcome is one column worker's result.
+type colOutcome struct {
+	fitSec float64
+	spans  []spanRec
+	err    error
+}
+
+// predictWorkers resolves the Prediction-Step pool size for a given
+// column count.
+func (p *Pipeline) predictWorkers(ncols int) int {
+	w := p.cfg.PredictWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > ncols {
+		w = ncols
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // cellPredictions evaluates every awake ensemble cell on its kNN data
-// for one horizon, recording one fit span per cell.
+// for one horizon, recording one fit span per cell. Cells are grouped
+// by column: each column materializes its neighbor segments, labels and
+// Gram base once, and independent columns run on a bounded worker pool.
+// Output order, timing sums and span order are deterministic and
+// identical at any worker count.
 func (p *Pipeline) cellPredictions(byD map[int]index.ItemResult, h, n int, tr *obs.Trace) ([]CellPrediction, error) {
-	var preds []CellPrediction
+	var cols []*predColumn
+	byCol := make(map[int]*predColumn, len(byD))
+	slots := 0
 	for _, cell := range p.ens.Cells() {
 		if cell.Sleeping() {
 			continue
 		}
-		item, ok := byD[cell.D]
-		if !ok {
-			return nil, fmt.Errorf("core: search returned no results for d=%d", cell.D)
-		}
-		neighbors := item.Neighbors
-		if len(neighbors) > cell.K {
-			neighbors = neighbors[:cell.K]
-		}
-		if len(neighbors) == 0 {
-			continue
-		}
-		x := make([][]float64, len(neighbors))
-		y := make([]float64, len(neighbors))
-		for i, nb := range neighbors {
-			seg := make([]float64, cell.D)
-			for j := 0; j < cell.D; j++ {
-				seg[j] = p.ix.Value(nb.T + j)
+		pc := byCol[cell.D]
+		if pc == nil {
+			item, ok := byD[cell.D]
+			if !ok {
+				return nil, fmt.Errorf("core: search returned no results for d=%d", cell.D)
 			}
-			x[i] = seg
-			y[i] = p.ix.Value(nb.T + cell.D - 1 + h)
+			pc = &predColumn{d: cell.D, item: item}
+			byCol[cell.D] = pc
+			cols = append(cols, pc)
 		}
-		x0 := make([]float64, cell.D)
-		for j := 0; j < cell.D; j++ {
-			x0[j] = p.ix.Value(n - cell.D + j)
+		pc.cells = append(pc.cells, cell)
+		pc.slots = append(pc.slots, slots)
+		slots++
+	}
+	if slots == 0 {
+		return nil, nil
+	}
+
+	results := make([]CellPrediction, slots)
+	valid := make([]bool, slots)
+	outs := make([]colOutcome, len(cols))
+	workers := p.predictWorkers(len(cols))
+	if workers <= 1 {
+		for i, pc := range cols {
+			outs[i] = p.predictColumn(pc, h, n, tr != nil, results, valid)
 		}
-		var end func()
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(cols) {
+						return
+					}
+					outs[i] = p.predictColumn(cols[i], h, n, tr != nil, results, valid)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Deterministic join: first error by column order wins; fit seconds
+	// and spans accumulate in column order regardless of completion
+	// order, so traces and timings are stable under parallelism.
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+	}
+	for i := range outs {
+		p.timing.CellFitSec += outs[i].fitSec
 		if tr != nil {
-			end = tr.StartSpan(strings.ToLower(cell.Pred.Name())+"_fit",
-				fmt.Sprintf("k=%d d=%d h=%d", cell.K, cell.D, h))
+			for _, s := range outs[i].spans {
+				tr.AddSpan(s.name, s.detail, s.start.Sub(tr.Start), s.dur)
+			}
 		}
-		fitStart := time.Now()
-		pr, err := cell.Pred.Predict(x0, x, y)
-		p.timing.CellFitSec += time.Since(fitStart).Seconds()
-		if end != nil {
-			end()
+	}
+	preds := make([]CellPrediction, 0, slots)
+	for i := range results {
+		if valid[i] {
+			preds = append(preds, results[i])
 		}
-		if err != nil {
-			return nil, fmt.Errorf("core: predictor (k=%d,d=%d) failed: %w", cell.K, cell.D, err)
-		}
-		preds = append(preds, CellPrediction{Cell: cell, Pred: pr})
 	}
 	return preds, nil
+}
+
+// predictColumn evaluates one column's cells: neighbor segments and
+// labels are materialized once at the column's largest usable k, every
+// cell takes a prefix, and GP cells share the column's Gram base. Runs
+// on the worker pool — it must not touch the trace, the timing struct
+// or any other column's slots.
+func (p *Pipeline) predictColumn(pc *predColumn, h, n int, traced bool, results []CellPrediction, valid []bool) colOutcome {
+	var out colOutcome
+	neighbors := pc.item.Neighbors
+	if len(neighbors) == 0 {
+		return out // every cell of the column is skipped
+	}
+	kmax := 0
+	for _, c := range pc.cells {
+		if c.K > kmax {
+			kmax = c.K
+		}
+	}
+	if kmax > len(neighbors) {
+		kmax = len(neighbors)
+	}
+	d := pc.d
+	x := make([][]float64, kmax)
+	y := make([]float64, kmax)
+	for i := 0; i < kmax; i++ {
+		seg := make([]float64, d)
+		t := neighbors[i].T
+		for j := 0; j < d; j++ {
+			seg[j] = p.ix.Value(t + j)
+		}
+		x[i] = seg
+		y[i] = p.ix.Value(t + d - 1 + h)
+	}
+	x0 := make([]float64, d)
+	for j := 0; j < d; j++ {
+		x0[j] = p.ix.Value(n - d + j)
+	}
+
+	// The shared Gram base is only worth building when a predictor can
+	// consume it (pure-AR ensembles skip the O(k²d) construction).
+	var col *gp.Column
+	for _, c := range pc.cells {
+		if _, ok := c.Pred.(ColumnPredictor); ok {
+			var err error
+			col, err = gp.NewColumn(x0, x, y)
+			if err != nil {
+				out.err = fmt.Errorf("core: column d=%d: %w", d, err)
+				return out
+			}
+			break
+		}
+	}
+
+	if p.cfg.SharedHyper && col != nil && p.sharedColumnCells(pc, col, kmax, h, traced, results, valid, &out) {
+		return out
+	}
+
+	for ci, cell := range pc.cells {
+		k := cell.K
+		if k > kmax {
+			k = kmax
+		}
+		fitStart := time.Now()
+		var pr Prediction
+		var err error
+		if cp, ok := cell.Pred.(ColumnPredictor); ok {
+			pr, err = cp.PredictColumn(col, k)
+		} else {
+			pr, err = cell.Pred.Predict(x0, x[:k], y[:k])
+		}
+		dur := time.Since(fitStart)
+		out.fitSec += dur.Seconds()
+		if traced {
+			out.spans = append(out.spans, spanRec{
+				name:   strings.ToLower(cell.Pred.Name()) + "_fit",
+				detail: fmt.Sprintf("k=%d d=%d h=%d", cell.K, cell.D, h),
+				start:  fitStart,
+				dur:    dur,
+			})
+		}
+		if err != nil {
+			out.err = fmt.Errorf("core: predictor (k=%d,d=%d) failed: %w", cell.K, cell.D, err)
+			return out
+		}
+		results[pc.slots[ci]] = CellPrediction{Cell: cell, Pred: pr}
+		valid[pc.slots[ci]] = true
+	}
+	return out
+}
+
+// sharedColumnCells attempts the opt-in SharedHyper path: the column's
+// largest-k GP cell trains Θ once on the full column, the covariance is
+// factored once, and every GP cell is conditioned from the leading
+// principal block of that one Cholesky factor (exact under the shared
+// Θ). Returns false — leaving the per-cell path to run — when the
+// column has no GP driver at kmax or any shared step fails; non-GP
+// cells inside an otherwise shared column still use their own Predict.
+func (p *Pipeline) sharedColumnCells(pc *predColumn, col *gp.Column, kmax, h int, traced bool, results []CellPrediction, valid []bool, out *colOutcome) bool {
+	var driver *GPPredictor
+	for _, c := range pc.cells {
+		k := c.K
+		if k > kmax {
+			k = kmax
+		}
+		if k == kmax {
+			if g, ok := c.Pred.(*GPPredictor); ok {
+				driver = g
+				break
+			}
+		}
+	}
+	if driver == nil {
+		return false
+	}
+	fitStart := time.Now()
+	hyper, err := driver.OptimizeColumnHyper(col)
+	var sf *gp.SharedFactor
+	if err == nil {
+		sf, err = col.Factor(hyper)
+	}
+	dur := time.Since(fitStart)
+	out.fitSec += dur.Seconds()
+	if traced {
+		out.spans = append(out.spans, spanRec{
+			name:   "gp_shared_hyper",
+			detail: fmt.Sprintf("kmax=%d d=%d h=%d", kmax, pc.d, h),
+			start:  fitStart,
+			dur:    dur,
+		})
+	}
+	if err != nil {
+		return false
+	}
+	x0 := col.X0()
+	for ci, cell := range pc.cells {
+		k := cell.K
+		if k > kmax {
+			k = kmax
+		}
+		fitStart := time.Now()
+		var pr Prediction
+		var err error
+		if _, ok := cell.Pred.(*GPPredictor); ok {
+			var m *gp.Model
+			m, err = sf.ModelAt(k)
+			if err == nil {
+				var mean, variance float64
+				mean, variance, err = m.Predict(x0)
+				if variance < varianceFloor {
+					variance = varianceFloor
+				}
+				pr = Prediction{Mean: mean, Variance: variance}
+			}
+		} else {
+			x, y := col.XY(k)
+			pr, err = cell.Pred.Predict(x0, x, y)
+		}
+		dur := time.Since(fitStart)
+		out.fitSec += dur.Seconds()
+		if traced {
+			out.spans = append(out.spans, spanRec{
+				name:   strings.ToLower(cell.Pred.Name()) + "_fit",
+				detail: fmt.Sprintf("k=%d d=%d h=%d shared", cell.K, cell.D, h),
+				start:  fitStart,
+				dur:    dur,
+			})
+		}
+		if err != nil {
+			return false // fall back to the per-cell path
+		}
+		results[pc.slots[ci]] = CellPrediction{Cell: cell, Pred: pr}
+		valid[pc.slots[ci]] = true
+	}
+	return true
 }
 
 // Observe feeds the next observation into the pipeline: it closes the

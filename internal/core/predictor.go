@@ -195,6 +195,100 @@ func (g *GPPredictor) Predict(x0 []float64, x [][]float64, y []float64) (Predict
 	return Prediction{Mean: mean, Variance: variance}, nil
 }
 
+// ColumnPredictor is implemented by predictors that can evaluate one
+// ensemble cell through a shared per-column gp.Column, reusing the
+// column's Gram-base matrix across every cell with the same d. The
+// result must be numerically identical to Predict on the same prefix —
+// the sharing only avoids recomputation.
+type ColumnPredictor interface {
+	PredictColumn(col *gp.Column, k int) (Prediction, error)
+}
+
+// PredictColumn implements ColumnPredictor: it mirrors Predict exactly
+// (warm start, fallback reseed, prior-collapse guard) but routes every
+// optimization and conditioning through the column's shared Gram base,
+// so the returned posterior is bit-identical to Predict on the leading
+// k pairs.
+func (g *GPPredictor) PredictColumn(col *gp.Column, k int) (Prediction, error) {
+	if k > col.Len() {
+		k = col.Len()
+	}
+	if k <= 0 {
+		return Prediction{}, ErrNoNeighbors
+	}
+	x, y := col.XY(k)
+	x0 := col.X0()
+	iters := g.OnlineIterations
+	init := g.hyper
+	if !g.trained || init.Validate() != nil {
+		init = gp.HeuristicHyper(x, y)
+		iters = g.FullIterations
+	}
+	optimize := col.Optimize
+	if g.Objective == ObjectiveML {
+		optimize = col.OptimizeML
+	}
+	res, err := optimize(k, init, iters)
+	if err != nil {
+		res, err = optimize(k, gp.HeuristicHyper(x, y), g.FullIterations)
+		if err != nil {
+			return Prediction{}, fmt.Errorf("core: GP training failed: %w", err)
+		}
+	}
+	hyper := res.Hyper
+	if !supported(x0, x, hyper) {
+		hyper = gp.HeuristicHyper(x, y)
+	}
+	g.hyper = hyper
+	g.trained = true
+
+	model, err := col.Fit(k, hyper)
+	if err != nil {
+		return Prediction{}, fmt.Errorf("core: GP conditioning failed: %w", err)
+	}
+	mean, variance, err := model.Predict(x0)
+	if err != nil {
+		return Prediction{}, fmt.Errorf("core: GP prediction failed: %w", err)
+	}
+	if variance < varianceFloor {
+		variance = varianceFloor
+	}
+	return Prediction{Mean: mean, Variance: variance}, nil
+}
+
+// OptimizeColumnHyper trains the hyperparameters once on the column's
+// full (largest-k) training set with the predictor's usual warm-start,
+// fallback and prior-collapse rules, updates the warm-start state, and
+// returns the resulting shared Θ — the SharedHyper driver step.
+func (g *GPPredictor) OptimizeColumnHyper(col *gp.Column) (gp.Hyper, error) {
+	k := col.Len()
+	x, y := col.XY(k)
+	iters := g.OnlineIterations
+	init := g.hyper
+	if !g.trained || init.Validate() != nil {
+		init = gp.HeuristicHyper(x, y)
+		iters = g.FullIterations
+	}
+	optimize := col.Optimize
+	if g.Objective == ObjectiveML {
+		optimize = col.OptimizeML
+	}
+	res, err := optimize(k, init, iters)
+	if err != nil {
+		res, err = optimize(k, gp.HeuristicHyper(x, y), g.FullIterations)
+		if err != nil {
+			return gp.Hyper{}, fmt.Errorf("core: GP training failed: %w", err)
+		}
+	}
+	hyper := res.Hyper
+	if !supported(col.X0(), x, hyper) {
+		hyper = gp.HeuristicHyper(x, y)
+	}
+	g.hyper = hyper
+	g.trained = true
+	return hyper, nil
+}
+
 // supported reports whether the test input retains meaningful
 // covariance with at least one training point under hp: the largest
 // normalized kernel value c(x0,xi)/θ₀² must exceed a small floor.

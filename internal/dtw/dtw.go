@@ -132,6 +132,76 @@ func DistanceCompressed(q, c []float64, rho int, scratch []float64) (float64, er
 	return *cell(d, d), nil
 }
 
+// DistanceCompressedAbandon is DistanceCompressed with an early-
+// abandoning cutoff: every warping path visits every column of the
+// warping matrix and path costs only grow along a path, so once the
+// minimum over a column's band cells exceeds cutoff no path can finish
+// at or below it. The function then abandons, reporting (+Inf, cols,
+// nil) with cols the number of columns actually processed — callers
+// charge cost models for work done, not work skipped. Abandonment
+// fires only on a strictly greater column minimum, so candidates whose
+// true distance equals the cutoff are fully computed. With cutoff =
+// +Inf the result is identical to DistanceCompressed.
+func DistanceCompressedAbandon(q, c []float64, rho int, cutoff float64, scratch []float64) (float64, int, error) {
+	d := len(q)
+	if d == 0 || d != len(c) {
+		return 0, 0, fmt.Errorf("%w: |q|=%d |c|=%d", ErrLength, len(q), len(c))
+	}
+	if rho < 0 {
+		return 0, 0, fmt.Errorf("dtw: negative warping width %d", rho)
+	}
+	m := 2*rho + 2
+	if len(scratch) < 2*m {
+		scratch = make([]float64, 2*m)
+	}
+	g := scratch[:2*m]
+	inf := math.Inf(1)
+	for i := 0; i < m; i++ {
+		g[i*2] = inf
+	}
+	g[0] = 0
+	cell := func(i, j int) *float64 {
+		ii := i % m
+		if ii < 0 {
+			ii += m
+		}
+		return &g[ii*2+(j&1)]
+	}
+	for j := 1; j <= d; j++ {
+		*cell(j-rho-1, j) = inf
+		*cell(j+rho, j-1) = inf
+		if j-rho-1 < 0 {
+			*cell(0, j) = inf
+		}
+		ilo, ihi := j-rho, j+rho
+		if ilo < 1 {
+			ilo = 1
+		}
+		if ihi > d {
+			ihi = d
+		}
+		colMin := inf
+		for i := ilo; i <= ihi; i++ {
+			best := *cell(i-1, j)
+			if v := *cell(i, j-1); v < best {
+				best = v
+			}
+			if v := *cell(i-1, j-1); v < best {
+				best = v
+			}
+			v := dist(q[i-1], c[j-1]) + best
+			*cell(i, j) = v
+			if v < colMin {
+				colMin = v
+			}
+		}
+		if colMin > cutoff {
+			return inf, j, nil
+		}
+	}
+	return *cell(d, d), d, nil
+}
+
 // CompressedScratchLen returns the scratch length DistanceCompressed
 // needs for warping width rho.
 func CompressedScratchLen(rho int) int { return 2 * (2*rho + 2) }

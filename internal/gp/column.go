@@ -1,0 +1,178 @@
+package gp
+
+import (
+	"fmt"
+
+	"smiler/internal/mat"
+)
+
+// Column holds the shared state of one Prediction-Step ensemble column
+// (all cells with the same item-query length d): the kNN training pairs
+// materialized once at the column's largest k, the query segment, and
+// the pairwise squared-distance (Gram-base) matrix computed once and
+// reused by every cell of the column. Hyper.Cov only rescales the
+// squared distances, so sharing them is exact for every cell regardless
+// of per-cell hyperparameters — cells with smaller k simply read the
+// leading principal block.
+type Column struct {
+	x0 []float64
+	x  [][]float64
+	y  []float64
+	sq *mat.Dense // ‖x_i−x_j‖², n×n
+}
+
+// NewColumn validates and wraps a column's training data, computing the
+// Gram-base matrix once. Slices are retained, not copied.
+func NewColumn(x0 []float64, x [][]float64, y []float64) (*Column, error) {
+	if len(x) == 0 || len(y) == 0 {
+		return nil, ErrNoData
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("%w: %d inputs vs %d targets", ErrDims, len(x), len(y))
+	}
+	dim := len(x[0])
+	if len(x0) != dim {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrDimInput, len(x0), dim)
+	}
+	for i, xi := range x {
+		if len(xi) != dim {
+			return nil, fmt.Errorf("%w: row %d has %d features, want %d", ErrDims, i, len(xi), dim)
+		}
+	}
+	n := len(x)
+	sq := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := sqDist(x[i], x[j])
+			sq.Set(i, j, v)
+			sq.Set(j, i, v)
+		}
+	}
+	statColumns.Add(1)
+	return &Column{x0: x0, x: x, y: y, sq: sq}, nil
+}
+
+// Len returns the number of training pairs (the column's largest k).
+func (c *Column) Len() int { return len(c.y) }
+
+// X0 returns the column's query segment (a view, not a copy).
+func (c *Column) X0() []float64 { return c.x0 }
+
+// XY returns prefix views of the leading k training pairs.
+func (c *Column) XY(k int) ([][]float64, []float64) {
+	return c.x[:k], c.y[:k]
+}
+
+// set wraps the leading k pairs as a trainSet backed by the shared
+// Gram base.
+func (c *Column) set(k int) trainSet {
+	return trainSet{x: c.x[:k], y: c.y[:k], r2: func(i, j int) float64 { return c.sq.At(i, j) }}
+}
+
+// checkK validates a prefix size against the column.
+func (c *Column) checkK(k int) error {
+	if k <= 0 || k > len(c.y) {
+		return fmt.Errorf("%w: k=%d outside column of %d pairs", ErrDims, k, len(c.y))
+	}
+	return nil
+}
+
+// Fit conditions a GP on the leading k pairs, reusing the column's
+// Gram base. The result is bit-identical to Fit on the same prefix.
+func (c *Column) Fit(k int, hp Hyper) (*Model, error) {
+	if err := c.checkK(k); err != nil {
+		return nil, err
+	}
+	if err := hp.Validate(); err != nil {
+		return nil, err
+	}
+	return fitSet(c.set(k), hp)
+}
+
+// Optimize maximizes the LOO objective on the leading k pairs exactly
+// like the package-level Optimize, but with every objective evaluation
+// reading squared distances from the shared Gram base.
+func (c *Column) Optimize(k int, init Hyper, maxIter int) (OptimizeResult, error) {
+	if err := c.checkK(k); err != nil {
+		return OptimizeResult{}, err
+	}
+	if err := init.Validate(); err != nil {
+		return OptimizeResult{}, err
+	}
+	if maxIter < 0 {
+		return OptimizeResult{}, fmt.Errorf("gp: negative maxIter %d", maxIter)
+	}
+	res, err := ascend(c.set(k), init, maxIter, looValueGrad)
+	statOptimizeEvals.Add(uint64(res.Evals))
+	return res, err
+}
+
+// OptimizeML is Column.Optimize for the marginal-likelihood objective.
+func (c *Column) OptimizeML(k int, init Hyper, maxIter int) (OptimizeResult, error) {
+	if err := c.checkK(k); err != nil {
+		return OptimizeResult{}, err
+	}
+	if err := init.Validate(); err != nil {
+		return OptimizeResult{}, err
+	}
+	if maxIter < 0 {
+		return OptimizeResult{}, fmt.Errorf("gp: negative maxIter %d", maxIter)
+	}
+	res, err := ascend(c.set(k), init, maxIter, mlValueGrad)
+	statOptimizeEvals.Add(uint64(res.Evals))
+	return res, err
+}
+
+// SharedFactor is the column's full covariance factored once under a
+// single shared hyperparameter set. Because a leading submatrix of a
+// Cholesky factor is exactly the factor of the leading submatrix,
+// smaller-k cells condition by copying the leading principal block of
+// L instead of refactorizing — exact under the shared Θ.
+type SharedFactor struct {
+	col   *Column
+	hyper Hyper
+	full  *Model
+}
+
+// Factor fits the column's full training set under hp (walking the
+// usual jitter ladder) and returns the shared factorization.
+func (c *Column) Factor(hp Hyper) (*SharedFactor, error) {
+	m, err := c.Fit(c.Len(), hp)
+	if err != nil {
+		return nil, err
+	}
+	return &SharedFactor{col: c, hyper: hp, full: m}, nil
+}
+
+// Hyper returns the shared hyperparameters.
+func (sf *SharedFactor) Hyper() Hyper { return sf.hyper }
+
+// ModelAt returns the GP conditioned on the leading k pairs under the
+// shared hyperparameters, reusing the leading k×k block of the full
+// Cholesky factor. k equal to the column size returns the full model.
+func (sf *SharedFactor) ModelAt(k int) (*Model, error) {
+	if err := sf.col.checkK(k); err != nil {
+		return nil, err
+	}
+	if k == sf.col.Len() {
+		return sf.full, nil
+	}
+	ch, err := sf.full.chol.Prefix(k)
+	if err != nil {
+		return nil, err
+	}
+	alpha, err := ch.SolveVec(sf.col.y[:k])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCondition, err)
+	}
+	statPrefixReuses.Add(1)
+	return &Model{
+		x:      sf.col.x[:k],
+		y:      sf.col.y[:k],
+		hyper:  sf.hyper,
+		dim:    len(sf.col.x0),
+		chol:   ch,
+		alpha:  alpha,
+		jitter: sf.full.jitter,
+	}, nil
+}

@@ -1,0 +1,181 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// columnFixture builds a deterministic training set of n pairs in dim
+// dimensions with a smooth target plus noise.
+func columnFixture(t *testing.T, n, dim int, seed int64) ([]float64, [][]float64, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	x0 := make([]float64, dim)
+	for j := range x0 {
+		x0[j] = rng.NormFloat64()
+	}
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = make([]float64, dim)
+		var s float64
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64()
+			s += x[i][j]
+		}
+		y[i] = math.Sin(s) + 0.05*rng.NormFloat64()
+	}
+	return x0, x, y
+}
+
+// TestColumnGramBaseBitIdentical checks the tentpole exactness claim:
+// the covariance matrix built from the column's precomputed Gram base
+// is bit-identical to the one built by recomputing squared distances
+// directly, for every prefix k and arbitrary hyperparameters.
+func TestColumnGramBaseBitIdentical(t *testing.T) {
+	x0, x, y := columnFixture(t, 24, 8, 1)
+	col, err := NewColumn(x0, x, y)
+	if err != nil {
+		t.Fatalf("NewColumn: %v", err)
+	}
+	for _, hp := range []Hyper{
+		{Signal: 1.3, Length: 0.9, Noise: 0.1},
+		{Signal: 0.2, Length: 3.7, Noise: 0.01},
+	} {
+		for _, k := range []int{1, 7, 16, 24} {
+			direct := covMatrix(x[:k], hp, 0)
+			shared := covMatrixR2(k, col.set(k).r2, hp, 0)
+			for i := 0; i < k; i++ {
+				for j := 0; j < k; j++ {
+					if direct.At(i, j) != shared.At(i, j) {
+						t.Fatalf("k=%d hp=%+v: cov[%d][%d] direct %v != shared %v",
+							k, hp, i, j, direct.At(i, j), shared.At(i, j))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestColumnFitMatchesPlainFit checks Column.Fit posterior == plain Fit
+// posterior bitwise on every prefix.
+func TestColumnFitMatchesPlainFit(t *testing.T) {
+	x0, x, y := columnFixture(t, 20, 6, 2)
+	col, err := NewColumn(x0, x, y)
+	if err != nil {
+		t.Fatalf("NewColumn: %v", err)
+	}
+	hp := Hyper{Signal: 1.1, Length: 1.4, Noise: 0.08}
+	for _, k := range []int{3, 10, 20} {
+		plain, err := Fit(x[:k], y[:k], hp)
+		if err != nil {
+			t.Fatalf("Fit(k=%d): %v", k, err)
+		}
+		viaCol, err := col.Fit(k, hp)
+		if err != nil {
+			t.Fatalf("Column.Fit(k=%d): %v", k, err)
+		}
+		m1, v1, err := plain.Predict(x0)
+		if err != nil {
+			t.Fatalf("plain.Predict: %v", err)
+		}
+		m2, v2, err := viaCol.Predict(x0)
+		if err != nil {
+			t.Fatalf("column.Predict: %v", err)
+		}
+		if m1 != m2 || v1 != v2 {
+			t.Fatalf("k=%d: plain (%v, %v) != column (%v, %v)", k, m1, v1, m2, v2)
+		}
+	}
+}
+
+// TestColumnOptimizeMatchesPlain checks that hyperparameter training
+// through the column's shared Gram base follows the exact same
+// optimization trajectory as the package-level entry points.
+func TestColumnOptimizeMatchesPlain(t *testing.T) {
+	x0, x, y := columnFixture(t, 18, 5, 3)
+	col, err := NewColumn(x0, x, y)
+	if err != nil {
+		t.Fatalf("NewColumn: %v", err)
+	}
+	for _, k := range []int{6, 18} {
+		initK := HeuristicHyper(x[:k], y[:k])
+		plain, err1 := Optimize(x[:k], y[:k], initK, 12)
+		viaCol, err2 := col.Optimize(k, initK, 12)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("k=%d: error mismatch %v vs %v", k, err1, err2)
+		}
+		if err1 == nil && plain.Hyper != viaCol.Hyper {
+			t.Fatalf("k=%d LOO: plain %+v != column %+v", k, plain.Hyper, viaCol.Hyper)
+		}
+		plainML, err1 := OptimizeML(x[:k], y[:k], initK, 12)
+		viaColML, err2 := col.OptimizeML(k, initK, 12)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("k=%d ML: error mismatch %v vs %v", k, err1, err2)
+		}
+		if err1 == nil && plainML.Hyper != viaColML.Hyper {
+			t.Fatalf("k=%d ML: plain %+v != column %+v", k, plainML.Hyper, viaColML.Hyper)
+		}
+	}
+}
+
+// TestSharedFactorPrefixMatchesIndependentFit is the prefix-Cholesky
+// property test: under a shared Θ, ModelAt(k) must reproduce an
+// independent Fit on the leading k pairs to tight tolerance (the only
+// differences are rounding in the triangular solves).
+func TestSharedFactorPrefixMatchesIndependentFit(t *testing.T) {
+	x0, x, y := columnFixture(t, 32, 8, 4)
+	col, err := NewColumn(x0, x, y)
+	if err != nil {
+		t.Fatalf("NewColumn: %v", err)
+	}
+	hp := Hyper{Signal: 1.0, Length: 1.8, Noise: 0.12}
+	sf, err := col.Factor(hp)
+	if err != nil {
+		t.Fatalf("Factor: %v", err)
+	}
+	for _, k := range []int{4, 8, 16, 31, 32} {
+		shared, err := sf.ModelAt(k)
+		if err != nil {
+			t.Fatalf("ModelAt(%d): %v", k, err)
+		}
+		indep, err := Fit(x[:k], y[:k], hp)
+		if err != nil {
+			t.Fatalf("Fit(k=%d): %v", k, err)
+		}
+		m1, v1, err := shared.Predict(x0)
+		if err != nil {
+			t.Fatalf("shared.Predict(k=%d): %v", k, err)
+		}
+		m2, v2, err := indep.Predict(x0)
+		if err != nil {
+			t.Fatalf("indep.Predict(k=%d): %v", k, err)
+		}
+		if math.Abs(m1-m2) > 1e-9 || math.Abs(v1-v2) > 1e-9 {
+			t.Fatalf("k=%d: shared (%v, %v) vs independent (%v, %v) beyond 1e-9",
+				k, m1, v1, m2, v2)
+		}
+	}
+}
+
+// TestSharedFactorFullModelIsSame checks that the largest-k cell reuses
+// the driver's factorization outright.
+func TestSharedFactorFullModelIsSame(t *testing.T) {
+	x0, x, y := columnFixture(t, 12, 4, 5)
+	col, err := NewColumn(x0, x, y)
+	if err != nil {
+		t.Fatalf("NewColumn: %v", err)
+	}
+	sf, err := col.Factor(Hyper{Signal: 1, Length: 1, Noise: 0.1})
+	if err != nil {
+		t.Fatalf("Factor: %v", err)
+	}
+	m, err := sf.ModelAt(col.Len())
+	if err != nil {
+		t.Fatalf("ModelAt(full): %v", err)
+	}
+	if m != sf.full {
+		t.Fatal("ModelAt(Len) should return the shared full model")
+	}
+}

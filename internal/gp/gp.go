@@ -64,10 +64,54 @@ func sqDist(a, b []float64) float64 {
 	return s
 }
 
+// covR2 evaluates the SE covariance for a precomputed squared distance
+// r² = ‖a−b‖². The hyperparameters only rescale r², which is what makes
+// the per-column Gram-base sharing of Column exact: the same r² values
+// serve every cell regardless of its Θ.
+func (h Hyper) covR2(r2 float64) float64 {
+	return h.Signal * h.Signal * math.Exp(-0.5*r2/(h.Length*h.Length))
+}
+
 // Cov evaluates the SE covariance between two (distinct) inputs,
 // without the noise term.
 func (h Hyper) Cov(a, b []float64) float64 {
-	return h.Signal * h.Signal * math.Exp(-0.5*sqDist(a, b)/(h.Length*h.Length))
+	return h.covR2(sqDist(a, b))
+}
+
+// trainSet couples training pairs with a squared-distance source: the
+// direct source recomputes ‖x_i−x_j‖² on demand, a Column's source
+// reads the Gram-base matrix computed once per column. Every fitting
+// and optimization internal evaluates through it, so the direct and
+// shared paths run the same code on bit-identical values.
+type trainSet struct {
+	x  [][]float64
+	y  []float64
+	r2 func(i, j int) float64
+}
+
+// directSet wraps raw training pairs with the on-demand distance source.
+func directSet(x [][]float64, y []float64) trainSet {
+	return trainSet{x: x, y: y, r2: func(i, j int) float64 { return sqDist(x[i], x[j]) }}
+}
+
+// validateTraining checks the invariants Fit documents.
+func validateTraining(x [][]float64, y []float64, hp Hyper) error {
+	if len(x) == 0 || len(y) == 0 {
+		return ErrNoData
+	}
+	if len(x) != len(y) {
+		return fmt.Errorf("%w: %d inputs vs %d targets", ErrDims, len(x), len(y))
+	}
+	if err := hp.Validate(); err != nil {
+		return err
+	}
+	dim := len(x[0])
+	for i, xi := range x {
+		if len(xi) != dim {
+			return fmt.Errorf("%w: row %d has %d features, want %d", ErrDims, i, len(xi), dim)
+		}
+	}
+	return nil
 }
 
 // Model is a GP regression model conditioned on a training set.
@@ -77,33 +121,29 @@ type Model struct {
 	hyper Hyper
 	dim   int
 
-	chol  *mat.Cholesky
-	alpha []float64  // C⁻¹·y
-	kinv  *mat.Dense // C⁻¹, materialized lazily for LOO
+	chol   *mat.Cholesky
+	alpha  []float64  // C⁻¹·y
+	kinv   *mat.Dense // C⁻¹, materialized lazily for LOO
+	cov    *mat.Dense // the factored C (kept for gradient reuse); may be nil
+	jitter float64    // extra diagonal jitter baked into cov
 }
 
 // Fit conditions a GP with hyperparameters hp on the training pairs
 // (x[i], y[i]). Rows of x must share one dimension. The slices are
 // retained (not copied); callers must not mutate them afterwards.
 func Fit(x [][]float64, y []float64, hp Hyper) (*Model, error) {
-	if len(x) == 0 || len(y) == 0 {
-		return nil, ErrNoData
-	}
-	if len(x) != len(y) {
-		return nil, fmt.Errorf("%w: %d inputs vs %d targets", ErrDims, len(x), len(y))
-	}
-	if err := hp.Validate(); err != nil {
+	if err := validateTraining(x, y, hp); err != nil {
 		return nil, err
 	}
-	dim := len(x[0])
-	for i, xi := range x {
-		if len(xi) != dim {
-			return nil, fmt.Errorf("%w: row %d has %d features, want %d", ErrDims, i, len(xi), dim)
-		}
-	}
+	return fitSet(directSet(x, y), hp)
+}
+
+// fitSet is the conditioning core behind Fit and Column.Fit; inputs are
+// already validated.
+func fitSet(ts trainSet, hp Hyper) (*Model, error) {
 	statFits.Add(1)
-	m := &Model{x: x, y: y, hyper: hp, dim: dim}
-	if err := m.factorize(); err != nil {
+	m := &Model{x: ts.x, y: ts.y, hyper: hp, dim: len(ts.x[0])}
+	if err := m.factorize(ts.r2); err != nil {
 		return nil, err
 	}
 	return m, nil
@@ -111,11 +151,15 @@ func Fit(x [][]float64, y []float64, hp Hyper) (*Model, error) {
 
 // covMatrix builds C = K + θ₂²·I (+ extra diagonal jitter).
 func covMatrix(x [][]float64, hp Hyper, extraJitter float64) *mat.Dense {
-	n := len(x)
+	return covMatrixR2(len(x), directSet(x, nil).r2, hp, extraJitter)
+}
+
+// covMatrixR2 builds the covariance from a squared-distance source.
+func covMatrixR2(n int, r2 func(i, j int) float64, hp Hyper, extraJitter float64) *mat.Dense {
 	c := mat.NewDense(n, n)
 	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
-			v := hp.Cov(x[i], x[j])
+			v := hp.covR2(r2(i, j))
 			if i == j {
 				v += hp.Noise*hp.Noise + extraJitter
 			}
@@ -127,11 +171,13 @@ func covMatrix(x [][]float64, hp Hyper, extraJitter float64) *mat.Dense {
 }
 
 // factorize builds and factors the covariance, walking the jitter
-// ladder if the matrix is numerically indefinite.
-func (m *Model) factorize() error {
+// ladder if the matrix is numerically indefinite. The successful
+// covariance is retained on the model so gradient evaluations can read
+// K_SE entries back without re-exponentiating.
+func (m *Model) factorize(r2 func(i, j int) float64) error {
 	var lastErr error
 	for _, j := range jitters {
-		c := covMatrix(m.x, m.hyper, j)
+		c := covMatrixR2(len(m.x), r2, m.hyper, j)
 		ch, err := mat.NewCholesky(c)
 		if err != nil {
 			lastErr = err
@@ -147,6 +193,8 @@ func (m *Model) factorize() error {
 		m.chol = ch
 		m.alpha = alpha
 		m.kinv = nil
+		m.cov = c
+		m.jitter = j
 		return nil
 	}
 	return fmt.Errorf("%w: %v", ErrSingular, lastErr)

@@ -25,9 +25,13 @@ func (m *Model) MarginalLikelihood() float64 {
 // mlValueGrad evaluates the log marginal likelihood and its gradient
 // w.r.t. the log hyperparameters:
 // ∂logZ/∂ψ_j = ½·tr((ααᵀ − C⁻¹)·∂C/∂ψ_j)   [R&W 2006, Eqn. 5.9].
-func mlValueGrad(x [][]float64, y []float64, hp Hyper) (float64, [3]float64, error) {
+// K_SE entries are read back from the retained covariance (off-diagonal
+// entries are exactly K_SE; on the diagonal K_SE = θ₀²) and squared
+// distances come from the trainSet source, so one O(n²) pass serves all
+// three traces with no re-exponentiation.
+func mlValueGrad(ts trainSet, hp Hyper) (float64, [3]float64, error) {
 	var grad [3]float64
-	m, err := Fit(x, y, hp)
+	m, err := fitSet(ts, hp)
 	if err != nil {
 		return 0, grad, err
 	}
@@ -36,24 +40,24 @@ func mlValueGrad(x [][]float64, y []float64, hp Hyper) (float64, [3]float64, err
 	if err != nil {
 		return 0, grad, err
 	}
-	n := len(y)
+	n := len(ts.y)
 	alpha := m.alpha
 
 	sig2 := hp.Signal * hp.Signal
 	len2 := hp.Length * hp.Length
-	// tr((ααᵀ − C⁻¹)·D) = Σ_ij (α_i·α_j − C⁻¹_ij)·D_ij for symmetric D;
-	// accumulate all three derivative matrices in one pass.
+	noise2 := hp.Noise * hp.Noise
+	cov := m.cov
 	for i := 0; i < n; i++ {
 		kinvRow := kinv.Row(i)
-		for j := 0; j < n; j++ {
-			w := alpha[i]*alpha[j] - kinvRow[j]
-			r2 := sqDist(x[i], x[j])
-			kse := sig2 * math.Exp(-0.5*r2/len2)
-			grad[0] += 0.5 * w * (2 * kse)         // ∂C/∂log θ₀
-			grad[1] += 0.5 * w * (kse * r2 / len2) // ∂C/∂log θ₁
-			if i == j {
-				grad[2] += 0.5 * w * (2 * hp.Noise * hp.Noise) // ∂C/∂log θ₂
-			}
+		covRow := cov.Row(i)
+		wii := alpha[i]*alpha[i] - kinvRow[i]
+		grad[0] += 0.5 * wii * (2 * sig2)    // diagonal K_SE = θ₀², r² = 0
+		grad[2] += 0.5 * wii * (2 * noise2)  // ∂C/∂log θ₂ lives on the diagonal
+		for j := i + 1; j < n; j++ {
+			w := 2 * (alpha[i]*alpha[j] - kinvRow[j]) // (i,j) and (j,i)
+			kse := covRow[j]
+			grad[0] += 0.5 * w * (2 * kse)
+			grad[1] += 0.5 * w * (kse * ts.r2(i, j) / len2)
 		}
 	}
 	return lz, grad, nil
@@ -70,20 +74,21 @@ func OptimizeML(x [][]float64, y []float64, init Hyper, maxIter int) (OptimizeRe
 	if maxIter < 0 {
 		return OptimizeResult{}, fmt.Errorf("gp: negative maxIter %d", maxIter)
 	}
-	res, err := ascend(x, y, init, maxIter, mlValueGrad)
+	res, err := ascend(directSet(x, y), init, maxIter, mlValueGrad)
 	statOptimizeEvals.Add(uint64(res.Evals))
 	return res, err
 }
 
 // objective is a (value, gradient) evaluator over log hyperparameters.
-type objective func(x [][]float64, y []float64, hp Hyper) (float64, [3]float64, error)
+type objective func(ts trainSet, hp Hyper) (float64, [3]float64, error)
 
-// ascend is the shared CG maximizer behind Optimize and OptimizeML.
-func ascend(x [][]float64, y []float64, init Hyper, maxIter int, obj objective) (OptimizeResult, error) {
+// ascend is the shared CG maximizer behind Optimize, OptimizeML and
+// their Column variants.
+func ascend(ts trainSet, init Hyper, maxIter int, obj objective) (OptimizeResult, error) {
 	psi := toLog(init).clamp()
 	res := OptimizeResult{Hyper: psi.hyper()}
 
-	f, g, err := obj(x, y, psi.hyper())
+	f, g, err := obj(ts, psi.hyper())
 	res.Evals++
 	if err != nil {
 		return res, err
@@ -111,7 +116,7 @@ func ascend(x [][]float64, y []float64, init Hyper, maxIter int, obj objective) 
 		)
 		for tries := 0; tries < 14; tries++ {
 			cand := logHyper{psi[0] + step*dir[0], psi[1] + step*dir[1], psi[2] + step*dir[2]}.clamp()
-			fc, gc, err := obj(x, y, cand.hyper())
+			fc, gc, err := obj(ts, cand.hyper())
 			res.Evals++
 			if err == nil && !math.IsNaN(fc) && fc >= f+1e-4*step*slope {
 				fNew, gNew, psNew, ok = fc, gc, cand, true

@@ -45,11 +45,20 @@ func (p logHyper) clamp() logHyper {
 }
 
 // looValueGrad evaluates the LOO log likelihood and its gradient with
-// respect to the log hyperparameters, using the closed form of
-// [Rasmussen & Williams 2006, Eqn. 5.13] with Z_j = C⁻¹·∂C/∂ψ_j.
-func looValueGrad(x [][]float64, y []float64, hp Hyper) (float64, [3]float64, error) {
+// respect to the log hyperparameters [Rasmussen & Williams 2006,
+// Eqn. 5.13]. The naive form needs one O(n³) product C⁻¹·∂C/∂ψ_j per
+// hyperparameter; both terms of the gradient are linear in ∂C, so with
+//
+//	v = C⁻¹·(α ⊘ diag C⁻¹),  c_i = ½(1+α_i²/[C⁻¹]_ii)/[C⁻¹]_ii,
+//	G = v·αᵀ − C⁻¹·diag(c)·C⁻¹,
+//
+// every gradient collapses to ∂ll/∂ψ_j = Σ_ab G_ab·(∂C/∂ψ_j)_ab — a
+// single shared O(n³) product plus one O(n²) trace per hyperparameter,
+// with K_SE entries read back from the retained covariance instead of
+// re-exponentiating.
+func looValueGrad(ts trainSet, hp Hyper) (float64, [3]float64, error) {
 	var grad [3]float64
-	m, err := Fit(x, y, hp)
+	m, err := fitSet(ts, hp)
 	if err != nil {
 		return 0, grad, err
 	}
@@ -61,53 +70,60 @@ func looValueGrad(x [][]float64, y []float64, hp Hyper) (float64, [3]float64, er
 	if err != nil {
 		return 0, grad, err
 	}
-	n := len(y)
+	n := len(ts.y)
 	alpha := m.alpha
 
-	// Partial derivative matrices of C w.r.t. the log hyperparameters.
-	sig2 := hp.Signal * hp.Signal
-	len2 := hp.Length * hp.Length
-	dSig := mat.NewDense(n, n)   // ∂C/∂log θ₀ = 2·K_SE
-	dLen := mat.NewDense(n, n)   // ∂C/∂log θ₁ = K_SE ∘ (r²/θ₁²)
-	dNoise := mat.NewDense(n, n) // ∂C/∂log θ₂ = 2θ₂²·I
+	w := make([]float64, n)     // α ⊘ diag C⁻¹
+	cdiag := make([]float64, n) // curvature weights c_i
 	for i := 0; i < n; i++ {
-		for j := i; j < n; j++ {
-			r2 := sqDist(x[i], x[j])
-			kse := sig2 * math.Exp(-0.5*r2/len2)
-			dSig.Set(i, j, 2*kse)
-			dSig.Set(j, i, 2*kse)
-			dl := kse * r2 / len2
-			dLen.Set(i, j, dl)
-			dLen.Set(j, i, dl)
+		kii := kinv.At(i, i)
+		if kii <= 0 {
+			return 0, grad, fmt.Errorf("%w: nonpositive precision diagonal", ErrCondition)
 		}
-		dNoise.Set(i, i, 2*hp.Noise*hp.Noise)
+		w[i] = alpha[i] / kii
+		cdiag[i] = 0.5 * (1 + alpha[i]*alpha[i]/kii) / kii
+	}
+	v, err := mat.MulVec(kinv, w) // C⁻¹ is symmetric
+	if err != nil {
+		return 0, grad, err
+	}
+	// M = C⁻¹·diag(c)·C⁻¹ — the one shared O(n³) product.
+	b := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		brow := b.Row(i)
+		krow := kinv.Row(i)
+		for j := 0; j < n; j++ {
+			brow[j] = krow[j] * cdiag[j]
+		}
+	}
+	mm, err := mat.Mul(b, kinv)
+	if err != nil {
+		return 0, grad, err
 	}
 
-	for pi, dC := range []*mat.Dense{dSig, dLen, dNoise} {
-		z, err := mat.Mul(kinv, dC)
-		if err != nil {
-			return 0, grad, err
+	// One pass over the upper triangle accumulates all three traces.
+	// ∂C/∂log θ₀ = 2·K_SE, ∂C/∂log θ₁ = K_SE ∘ (r²/θ₁²) (zero on the
+	// diagonal), ∂C/∂log θ₂ = 2θ₂²·I. Off-diagonal covariance entries
+	// are exactly K_SE; on the diagonal K_SE = θ₀².
+	sig2 := hp.Signal * hp.Signal
+	len2 := hp.Length * hp.Length
+	noise2 := hp.Noise * hp.Noise
+	cov := m.cov
+	var gSig, gLen, gNoise float64
+	for a := 0; a < n; a++ {
+		covRow := cov.Row(a)
+		mmRow := mm.Row(a)
+		gaa := v[a]*alpha[a] - mmRow[a]
+		gSig += gaa * 2 * sig2
+		gNoise += gaa * 2 * noise2
+		for bb := a + 1; bb < n; bb++ {
+			g2 := v[a]*alpha[bb] - mmRow[bb] + v[bb]*alpha[a] - mm.At(bb, a)
+			kse := covRow[bb]
+			gSig += g2 * 2 * kse
+			gLen += g2 * kse * ts.r2(a, bb) / len2
 		}
-		za, err := mat.MulVec(z, alpha)
-		if err != nil {
-			return 0, grad, err
-		}
-		var g float64
-		for i := 0; i < n; i++ {
-			// [Z·C⁻¹]_ii = Σ_k Z_ik · C⁻¹_ki.
-			var zkinvII float64
-			zrow := z.Row(i)
-			for k := 0; k < n; k++ {
-				zkinvII += zrow[k] * kinv.At(k, i)
-			}
-			kii := kinv.At(i, i)
-			if kii <= 0 {
-				return 0, grad, fmt.Errorf("%w: nonpositive precision diagonal", ErrCondition)
-			}
-			g += (alpha[i]*za[i] - 0.5*(1+alpha[i]*alpha[i]/kii)*zkinvII) / kii
-		}
-		grad[pi] = g
 	}
+	grad[0], grad[1], grad[2] = gSig, gLen, gNoise
 	return ll, grad, nil
 }
 
@@ -124,7 +140,7 @@ func Optimize(x [][]float64, y []float64, init Hyper, maxIter int) (OptimizeResu
 	if maxIter < 0 {
 		return OptimizeResult{}, fmt.Errorf("gp: negative maxIter %d", maxIter)
 	}
-	res, err := ascend(x, y, init, maxIter, looValueGrad)
+	res, err := ascend(directSet(x, y), init, maxIter, looValueGrad)
 	statOptimizeEvals.Add(uint64(res.Evals))
 	return res, err
 }

@@ -12,6 +12,8 @@ var (
 	statFits          atomic.Uint64
 	statJitterRetries atomic.Uint64
 	statOptimizeEvals atomic.Uint64
+	statColumns       atomic.Uint64
+	statPrefixReuses  atomic.Uint64
 )
 
 // Stats is a point-in-time snapshot of the package counters.
@@ -25,6 +27,13 @@ type Stats struct {
 	// OptimizeEvals counts objective/gradient evaluations spent in
 	// hyperparameter optimization (each is one Fit plus a gradient).
 	OptimizeEvals uint64
+	// Columns counts shared per-column Gram-base constructions (one per
+	// ensemble column per Prediction Step on the shared path).
+	Columns uint64
+	// PrefixReuses counts cell conditionings served by reusing the
+	// leading principal block of a shared Cholesky factor instead of a
+	// fresh factorization (SharedHyper mode).
+	PrefixReuses uint64
 }
 
 // SnapshotStats reads the package counters.
@@ -33,5 +42,7 @@ func SnapshotStats() Stats {
 		Fits:          statFits.Load(),
 		JitterRetries: statJitterRetries.Load(),
 		OptimizeEvals: statOptimizeEvals.Load(),
+		Columns:       statColumns.Load(),
+		PrefixReuses:  statPrefixReuses.Load(),
 	}
 }

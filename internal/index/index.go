@@ -81,6 +81,12 @@ type Params struct {
 	// many time steps apart, suppressing trivially-overlapping matches.
 	// 0 or 1 disables the constraint (the paper's behaviour).
 	MinSeparation int
+	// DisableEarlyAbandon turns off the τ-cutoff early abandonment
+	// inside DTW verification (an ablation/debug knob; the abandonment
+	// is exact, so results are identical either way). It is forced off
+	// automatically when MinSeparation > 1, where the separated
+	// selection wants exact distances for all unfiltered candidates.
+	DisableEarlyAbandon bool
 }
 
 // Validate checks parameter consistency.
@@ -185,6 +191,23 @@ type SearchStats struct {
 	// VerifyWallSeconds is the host wall-clock time of DTW
 	// verification, summed over item queries.
 	VerifyWallSeconds float64
+	// PerItem splits the candidate counters per item query, ordered
+	// like ELV. The fused verification launch processes every item
+	// query's chunks in one grid, so the per-item split is carried here
+	// rather than read between launches.
+	PerItem []ItemStats
+}
+
+// ItemStats is the per-item-query slice of the search counters.
+type ItemStats struct {
+	// D is the item query length.
+	D int
+	// Candidates is the number of candidate segments with a finite
+	// lower bound.
+	Candidates int
+	// Unfiltered is the number of candidates that survived the filter
+	// and were DTW-verified.
+	Unfiltered int
 }
 
 // Pruned returns the number of candidates eliminated by the lower

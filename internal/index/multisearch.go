@@ -5,10 +5,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"time"
-
-	"smiler/internal/dtw"
-	"smiler/internal/gpusim"
 )
 
 // SearchMulti answers the Suffix kNN Search for several horizons in a
@@ -47,12 +43,74 @@ func (ix *Index) SearchMulti(k int, hs []int) (map[int][]ItemResult, error) {
 		out[h] = make([]ItemResult, len(ix.p.ELV))
 	}
 
+	// Filter phase: per item query, union the per-horizon filters into
+	// one need mask (a candidate is verified when any horizon keeps it)
+	// with the per-horizon thresholds derived on their own candidate
+	// ranges. The early-abandon cutoff is the max threshold over
+	// horizons: τ_h ≤ τ_max for every h, so a candidate abandoned at
+	// τ_max has true distance > τ_max ≥ τ_h and cannot be among any
+	// horizon's k nearest — the seeds backing each τ_h all have true
+	// distance ≤ τ_h and survive fully computed.
 	n := len(ix.c)
+	tasks := make([]*verifyTask, len(ix.p.ELV))
+	var launch []*verifyTask
 	for i, d := range ix.p.ELV {
+		nPos := len(lbs[i])
+		if nPos == 0 {
+			continue
+		}
 		query := ix.c[n-d:]
-		dists, err := ix.verifyMulti(d, query, lbs[i], k, sorted)
-		if err != nil {
-			return nil, err
+		need := make([]bool, nPos)
+		tauMax := math.Inf(-1)
+		any := false
+		for _, h := range sorted {
+			maxT := n - d - h
+			if maxT >= nPos {
+				maxT = nPos - 1
+			}
+			if maxT < 0 {
+				continue
+			}
+			tau, err := ix.threshold(d, query, lbs[i][:maxT+1], k)
+			if err != nil {
+				return nil, err
+			}
+			if tau > tauMax {
+				tauMax = tau
+			}
+			for t := 0; t <= maxT; t++ {
+				if lbs[i][t] <= tau {
+					need[t] = true
+					any = true
+				}
+			}
+		}
+		if !any {
+			continue
+		}
+		t := &verifyTask{d: d, query: query, lbs: lbs[i], need: need, cutoff: ix.abandonCutoff(tauMax)}
+		tasks[i] = t
+		launch = append(launch, t)
+	}
+	if err := ix.verifyFused(launch); err != nil {
+		return nil, err
+	}
+
+	inf := math.Inf(1)
+	for i, d := range ix.p.ELV {
+		t := tasks[i]
+		var dists []float64
+		if t != nil {
+			ix.stats.Unfiltered += t.unfiltered
+			if i < len(ix.stats.PerItem) {
+				ix.stats.PerItem[i].Unfiltered = t.unfiltered
+			}
+			dists = t.dists
+		} else {
+			dists = make([]float64, len(lbs[i]))
+			for j := range dists {
+				dists[j] = inf
+			}
 		}
 		for _, h := range sorted {
 			maxT := n - d - h
@@ -77,94 +135,6 @@ func (ix *Index) SearchMulti(k int, hs []int) (map[int][]ItemResult, error) {
 		}
 	}
 	return out, nil
-}
-
-// verifyMulti computes exact DTW distances for the union over horizons
-// of the candidates that must be verified: for each horizon an exact
-// threshold τ_h is derived on its candidate range, and a candidate is
-// verified when any horizon's filter keeps it. Extra verified
-// candidates can only improve the selections (never miss a true
-// neighbour), so every per-horizon result stays exact.
-func (ix *Index) verifyMulti(d int, query []float64, lbs []float64, k int, hs []int) ([]float64, error) {
-	nPos := len(lbs)
-	inf := math.Inf(1)
-	dists := make([]float64, nPos)
-	for t := range dists {
-		dists[t] = inf
-	}
-	if nPos == 0 {
-		return dists, nil
-	}
-	n := len(ix.c)
-
-	// Per-horizon thresholds on their own ranges.
-	need := make([]bool, nPos)
-	for _, h := range hs {
-		maxT := n - d - h
-		if maxT >= nPos {
-			maxT = nPos - 1
-		}
-		if maxT < 0 {
-			continue
-		}
-		tau, err := ix.threshold(d, query, lbs[:maxT+1], k)
-		if err != nil {
-			return nil, err
-		}
-		for t := 0; t <= maxT; t++ {
-			if lbs[t] <= tau {
-				need[t] = true
-			}
-		}
-	}
-
-	rho := ix.p.Rho
-	wallStart := time.Now()
-	defer func() { ix.stats.VerifyWallSeconds += time.Since(wallStart).Seconds() }()
-	before := ix.dev.SimSeconds()
-	grid := (nPos + verifyChunk - 1) / verifyChunk
-	counts := make([]int, grid)
-	err := ix.dev.Launch(grid, func(blk *gpusim.Block) error {
-		lo := blk.ID * verifyChunk
-		hi := lo + verifyChunk
-		if hi > nPos {
-			hi = nPos
-		}
-		cnt := 0
-		for t := lo; t < hi; t++ {
-			blk.GlobalAccess(1)
-			if need[t] {
-				cnt++
-			}
-		}
-		counts[blk.ID] = cnt
-		if cnt == 0 {
-			return nil
-		}
-		if err := chargeVerifyBlock(blk, d, rho, cnt); err != nil {
-			return err
-		}
-		scratch := dtw.NewCompressedScratch(rho)
-		for t := lo; t < hi; t++ {
-			if !need[t] {
-				continue
-			}
-			dist, err := dtw.DistanceCompressed(query, ix.c[t:t+d], rho, scratch)
-			if err != nil {
-				return err
-			}
-			dists[t] = dist
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	ix.stats.VerifySimSeconds += ix.dev.SimSeconds() - before
-	for _, c := range counts {
-		ix.stats.Unfiltered += c
-	}
-	return dists, nil
 }
 
 // selectKRange selects the k nearest among the verified candidates in

@@ -31,19 +31,36 @@ func (ix *Index) SearchRange(eps float64, h int) ([]ItemResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The filter threshold is eps itself, and eps is also an exact
+	// early-abandon cutoff: a candidate abandoned at eps has true
+	// distance > eps and is outside the range by definition.
 	results := make([]ItemResult, len(ix.p.ELV))
 	n := len(ix.c)
+	tasks := make([]*verifyTask, len(ix.p.ELV))
+	var launch []*verifyTask
 	for i, d := range ix.p.ELV {
 		results[i] = ItemResult{D: d}
 		if len(lbs[i]) == 0 {
 			continue
 		}
 		query := ix.c[n-d:]
-		dists, unfiltered, err := ix.verify(query, lbs[i], eps)
-		if err != nil {
-			return nil, err
+		t := &verifyTask{d: d, query: query, lbs: lbs[i], tau: eps, cutoff: ix.abandonCutoff(eps)}
+		tasks[i] = t
+		launch = append(launch, t)
+	}
+	if err := ix.verifyFused(launch); err != nil {
+		return nil, err
+	}
+	for i := range ix.p.ELV {
+		t := tasks[i]
+		if t == nil {
+			continue
 		}
-		ix.stats.Unfiltered += unfiltered
+		ix.stats.Unfiltered += t.unfiltered
+		if i < len(ix.stats.PerItem) {
+			ix.stats.PerItem[i].Unfiltered = t.unfiltered
+		}
+		dists := t.dists
 		var sel []gpusim.KSelectResult
 		if err := ix.dev.Launch(1, func(blk *gpusim.Block) error {
 			// Range selection: keep everything within eps; reuse the

@@ -55,15 +55,66 @@ func (ix *Index) Search(k, h int) ([]ItemResult, error) {
 		return nil, err
 	}
 
+	// Filter phase per item query (threshold derivation is cheap and
+	// seeds from the previous step's kNN), then ONE fused verification
+	// launch covering every item query's chunks, then selection.
+	n := len(ix.c)
 	results := make([]ItemResult, len(ix.p.ELV))
+	tasks := make([]*verifyTask, len(ix.p.ELV))
+	var launch []*verifyTask
 	for i, d := range ix.p.ELV {
-		res, err := ix.searchOneItem(d, lbs[i], k, h)
+		results[i] = ItemResult{D: d}
+		if len(lbs[i]) == 0 {
+			continue
+		}
+		query := ix.c[n-d:]
+		tau, err := ix.threshold(d, query, lbs[i], k)
 		if err != nil {
 			return nil, err
 		}
-		results[i] = res
+		t := &verifyTask{d: d, query: query, lbs: lbs[i], tau: tau, cutoff: ix.abandonCutoff(tau)}
+		tasks[i] = t
+		launch = append(launch, t)
+	}
+	if err := ix.verifyFused(launch); err != nil {
+		return nil, err
+	}
+	for i, d := range ix.p.ELV {
+		t := tasks[i]
+		if t == nil {
+			continue
+		}
+		ix.stats.Unfiltered += t.unfiltered
+		if i < len(ix.stats.PerItem) {
+			ix.stats.PerItem[i].Unfiltered = t.unfiltered
+		}
+		neighbors, err := ix.selectK(t.dists, k)
+		if err != nil {
+			return nil, err
+		}
+		results[i].Neighbors = neighbors
+		prev := make([]int, len(neighbors))
+		for j, nb := range neighbors {
+			prev[j] = nb.T
+		}
+		ix.prevNN[d] = prev
 	}
 	return results, nil
+}
+
+// abandonCutoff returns the early-abandon cutoff threaded into DTW
+// verification: τ itself when the exactness argument holds — the
+// threshold construction guarantees at least k candidates with true
+// distance ≤ τ (when fewer exist, every candidate was a seed and τ
+// bounds them all), and ties at τ survive because abandonment fires
+// only on strictly greater column minima — and +Inf when the separated
+// selection needs exact distances for every unfiltered candidate or
+// the ablation knob disables it.
+func (ix *Index) abandonCutoff(tau float64) float64 {
+	if ix.p.MinSeparation > 1 || ix.p.DisableEarlyAbandon {
+		return math.Inf(1)
+	}
+	return tau
 }
 
 // ComputeLowerBounds exposes the group-level lower-bound pass on its
@@ -159,47 +210,18 @@ func (ix *Index) groupLevelLowerBounds(h int) ([][]float64, error) {
 		return nil, err
 	}
 	ix.stats.LowerBoundSimSeconds += ix.dev.SimSeconds() - before
+	ix.stats.PerItem = make([]ItemStats, len(ix.p.ELV))
 	for i := range lbs {
+		cnt := 0
 		for _, v := range lbs[i] {
 			if !math.IsInf(v, 1) {
-				ix.stats.Candidates++
+				cnt++
 			}
 		}
+		ix.stats.PerItem[i] = ItemStats{D: ix.p.ELV[i], Candidates: cnt}
+		ix.stats.Candidates += cnt
 	}
 	return lbs, nil
-}
-
-// searchOneItem runs filter → verify → select for one item query.
-func (ix *Index) searchOneItem(d int, lbs []float64, k, h int) (ItemResult, error) {
-	res := ItemResult{D: d}
-	if len(lbs) == 0 {
-		return res, nil
-	}
-	query := ix.c[len(ix.c)-d:]
-
-	tau, err := ix.threshold(d, query, lbs, k)
-	if err != nil {
-		return res, err
-	}
-
-	dists, unfiltered, err := ix.verify(query, lbs, tau)
-	if err != nil {
-		return res, err
-	}
-	ix.stats.Unfiltered += unfiltered
-
-	neighbors, err := ix.selectK(dists, k)
-	if err != nil {
-		return res, err
-	}
-	res.Neighbors = neighbors
-
-	prev := make([]int, len(neighbors))
-	for i, nb := range neighbors {
-		prev[i] = nb.T
-	}
-	ix.prevNN[d] = prev
-	return res, nil
 }
 
 // threshold derives the filter threshold τ for one item query. During
@@ -277,69 +299,119 @@ func chargeVerifyBlock(blk *gpusim.Block, d, rho, candidates int) error {
 	return nil
 }
 
-// verify computes exact banded DTW for every candidate whose lower
-// bound passes the filter (lb ≤ τ); filtered candidates are reported
-// as +Inf. One block verifies a fixed-size chunk of positions so the
-// filter and verify phases stay separate (Section 4.4).
-func (ix *Index) verify(query []float64, lbs []float64, tau float64) ([]float64, int, error) {
-	n := len(lbs)
-	d := len(query)
-	rho := ix.p.Rho
-	inf := math.Inf(1)
-	dists := make([]float64, n)
-	var unfiltered int
+// verifyTask describes one item query's slice of the fused
+// verification launch: which candidates to verify (an explicit need
+// mask, or the lb ≤ τ filter), the early-abandon cutoff, and the
+// output distances (+Inf for filtered or abandoned candidates).
+type verifyTask struct {
+	d      int
+	query  []float64
+	lbs    []float64
+	need   []bool // nil: filter by lbs[t] ≤ tau
+	tau    float64
+	cutoff float64 // early-abandon cutoff (+Inf disables)
 
+	dists      []float64 // out: exact DTW or +Inf
+	unfiltered int       // out: candidates verified
+}
+
+// keep reports whether candidate position t must be verified.
+func (t *verifyTask) keep(pos int) bool {
+	if t.need != nil {
+		return t.need[pos]
+	}
+	return t.lbs[pos] <= t.tau
+}
+
+// verifyFused runs the DTW verification of every item query in ONE
+// device launch: each grid block verifies one fixed-size chunk of one
+// task's candidate positions, so the simulated device pays a single
+// launch overhead per Search instead of one per ELV entry. Each block
+// charges the cost model for the columns its candidates actually
+// processed — early-abandoned lanes stream and compute only what they
+// touched, with the SIMD lock-step wave cost set by the longest lane.
+func (ix *Index) verifyFused(tasks []*verifyTask) error {
+	inf := math.Inf(1)
+	type chunkRef struct {
+		task, lo int
+	}
+	var refs []chunkRef
+	for ti, t := range tasks {
+		n := len(t.lbs)
+		t.dists = make([]float64, n)
+		for i := range t.dists {
+			t.dists[i] = inf
+		}
+		for lo := 0; lo < n; lo += verifyChunk {
+			refs = append(refs, chunkRef{ti, lo})
+		}
+	}
+	if len(refs) == 0 {
+		return nil
+	}
+	rho := ix.p.Rho
 	wallStart := time.Now()
 	defer func() { ix.stats.VerifyWallSeconds += time.Since(wallStart).Seconds() }()
 	before := ix.dev.SimSeconds()
-	grid := (n + verifyChunk - 1) / verifyChunk
-	counts := make([]int, grid)
-	err := ix.dev.Launch(grid, func(blk *gpusim.Block) error {
-		lo := blk.ID * verifyChunk
+	counts := make([]int, len(refs))
+	err := ix.dev.Launch(len(refs), func(blk *gpusim.Block) error {
+		ref := refs[blk.ID]
+		t := tasks[ref.task]
+		lo := ref.lo
 		hi := lo + verifyChunk
-		if hi > n {
-			hi = n
+		if hi > len(t.lbs) {
+			hi = len(t.lbs)
 		}
-		// Count survivors first so the cost charge matches the work.
+		// Count survivors first so the phases stay separate (Section 4.4).
 		cnt := 0
-		for t := lo; t < hi; t++ {
+		for pos := lo; pos < hi; pos++ {
 			blk.GlobalAccess(1)
-			if lbs[t] <= tau {
+			if t.keep(pos) {
 				cnt++
 			}
 		}
 		counts[blk.ID] = cnt
 		if cnt == 0 {
-			for t := lo; t < hi; t++ {
-				dists[t] = inf
-			}
 			return nil
 		}
-		if err := chargeVerifyBlock(blk, d, rho, cnt); err != nil {
+		d := t.d
+		if err := blk.AllocShared(8 * d); err != nil { // query resident
+			return err
+		}
+		if err := blk.AllocShared(8 * dtw.CompressedScratchLen(rho)); err != nil {
 			return err
 		}
 		scratch := dtw.NewCompressedScratch(rho)
-		for t := lo; t < hi; t++ {
-			if lbs[t] > tau {
-				dists[t] = inf
+		totalCols, maxCols := 0, 0
+		for pos := lo; pos < hi; pos++ {
+			if !t.keep(pos) {
 				continue
 			}
-			dist, err := dtw.DistanceCompressed(query, ix.c[t:t+d], rho, scratch)
+			dist, cols, err := dtw.DistanceCompressedAbandon(t.query, ix.c[pos:pos+d], rho, t.cutoff, scratch)
 			if err != nil {
 				return err
 			}
-			dists[t] = dist
+			t.dists[pos] = dist
+			totalCols += cols
+			if cols > maxCols {
+				maxCols = cols
+			}
 		}
+		// Honest abandon accounting: candidates stream only the columns
+		// that were processed, and each lane fills cols·(2ρ+1) band
+		// cells in lock-step waves bounded by the longest lane.
+		blk.GlobalAccess(totalCols)
+		blk.ParallelCompute(cnt, maxCols*(2*rho+1)*6)
 		return nil
 	})
 	if err != nil {
-		return nil, 0, err
+		return err
 	}
 	ix.stats.VerifySimSeconds += ix.dev.SimSeconds() - before
-	for _, c := range counts {
-		unfiltered += c
+	for i, ref := range refs {
+		tasks[ref.task].unfiltered += counts[i]
 	}
-	return dists, unfiltered, nil
+	return nil
 }
 
 // selectK picks the k nearest verified candidates. With MinSeparation

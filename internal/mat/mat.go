@@ -247,21 +247,55 @@ func (c *Cholesky) Solve(b *Dense) (*Dense, error) {
 	return out, nil
 }
 
-// Inverse returns A⁻¹ computed from the factorization.
+// Prefix returns the Cholesky factorization of the leading k×k
+// principal submatrix of the factored matrix. Column j of a Cholesky
+// factor depends only on the leading j×j block of the input, so the
+// leading k×k block of L is exactly the factor of the leading k×k
+// submatrix — Prefix just copies it out, no refactorization.
+func (c *Cholesky) Prefix(k int) (*Cholesky, error) {
+	if k <= 0 || k > c.n {
+		return nil, ErrShape
+	}
+	l := NewDense(k, k)
+	for i := 0; i < k; i++ {
+		copy(l.Row(i)[:i+1], c.l.Row(i)[:i+1])
+	}
+	return &Cholesky{n: k, l: l}, nil
+}
+
+// Inverse returns A⁻¹ computed from the factorization by inverting the
+// triangular factor (A⁻¹ = L⁻ᵀ·L⁻¹). Exploiting triangularity costs
+// ~n³/2 flops instead of the 2n³ of n full solves, and the result is
+// symmetric by construction.
 func (c *Cholesky) Inverse() (*Dense, error) {
-	inv := NewDense(c.n, c.n)
-	e := make([]float64, c.n)
-	for j := 0; j < c.n; j++ {
-		for i := range e {
-			e[i] = 0
+	n := c.n
+	// L⁻¹ by forward substitution down each column; lower triangular.
+	linv := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		ljj := c.l.At(j, j)
+		if ljj == 0 {
+			return nil, ErrNotSPD
 		}
-		e[j] = 1
-		x, err := c.SolveVec(e)
-		if err != nil {
-			return nil, err
+		linv.Set(j, j, 1/ljj)
+		for i := j + 1; i < n; i++ {
+			lrow := c.l.Row(i)
+			var s float64
+			for k := j; k < i; k++ {
+				s += lrow[k] * linv.At(k, j)
+			}
+			linv.Set(i, j, -s/lrow[i])
 		}
-		for i := 0; i < c.n; i++ {
-			inv.Set(i, j, x[i])
+	}
+	// (A⁻¹)_ij = Σ_{m ≥ max(i,j)} L⁻¹_mi · L⁻¹_mj.
+	inv := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			var s float64
+			for m := j; m < n; m++ {
+				s += linv.At(m, i) * linv.At(m, j)
+			}
+			inv.Set(i, j, s)
+			inv.Set(j, i, s)
 		}
 	}
 	return inv, nil

@@ -79,6 +79,12 @@ func newSystemObs() *systemObs {
 	reg.CounterFunc("smiler_gp_optimizer_evals_total",
 		"Objective/gradient evaluations spent optimizing GP hyperparameters.",
 		func() float64 { return float64(gp.SnapshotStats().OptimizeEvals) })
+	reg.CounterFunc("smiler_gp_columns_total",
+		"Shared per-column Gram bases materialized for the Prediction Step.",
+		func() float64 { return float64(gp.SnapshotStats().Columns) })
+	reg.CounterFunc("smiler_gp_prefix_reuses_total",
+		"Smaller-k models served from a prefix of a shared Cholesky factor.",
+		func() float64 { return float64(gp.SnapshotStats().PrefixReuses) })
 	return so
 }
 

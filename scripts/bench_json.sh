@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# bench_json.sh — run the prediction-path benchmarks and emit
+# BENCH_predict.json with ns/op, allocs and every custom metric
+# (predict-step-ns/op, cell-fit-ns/op, search-ns/op, ...). No
+# dependencies beyond go and awk; CI and `make bench-json` call this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_predict.json}"
+BENCHTIME="${BENCHTIME:-1x}"
+# 1x is the CI smoke setting; local runs use BENCHTIME=2s for stable
+# numbers.
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test ./internal/core -run '^$' -bench 'Benchmark(Predict|PredictSequential|PredictSharedHyper|PredictMulti|Observe)$' \
+    -benchmem -benchtime "$BENCHTIME" >>"$raw"
+go test ./internal/ingest -run '^$' -bench 'BenchmarkIngestThroughput/direct' \
+    -benchmem -benchtime "$BENCHTIME" >>"$raw"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    out = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, $2)
+    for (i = 3; i + 1 <= NF; i += 2) {
+        val = $i
+        unit = $(i + 1)
+        key = unit
+        gsub(/\//, "_per_", key)
+        gsub(/[^A-Za-z0-9_]/, "_", key)
+        out = out sprintf(", \"%s\": %s", key, val)
+    }
+    out = out "}"
+    lines[n++] = out
+}
+END {
+    print "{"
+    print "  \"benchmarks\": ["
+    for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
+    print "  ]"
+    print "}"
+}
+' "$raw" >"$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"

@@ -125,6 +125,25 @@ type Config struct {
 	// exists for the instrumentation-overhead benchmark and for
 	// embedders that scrape nothing.
 	DisableMetrics bool
+
+	// PredictWorkers bounds the worker pool evaluating ensemble cells
+	// across item-query columns during the Prediction Step. 0 (default)
+	// uses GOMAXPROCS workers; 1 forces the sequential path. Results
+	// are bit-identical regardless of the setting.
+	PredictWorkers int
+
+	// SharedHyper fits the GP hyperparameters once per item-query
+	// column (at the column's largest k) and reuses the shared Θ — and
+	// a prefix of the resulting Cholesky factor — for every smaller-k
+	// cell of that column. Cheaper, but cells no longer train their own
+	// Θ, so posteriors differ slightly from the default per-cell
+	// training (see docs/PERF.md). Off by default.
+	SharedHyper bool
+
+	// DisableEarlyAbandon turns off the τ-cutoff early-abandoning DTW
+	// in the index verification step (an exactness-preserving
+	// optimization, on by default) for ablations and debugging.
+	DisableEarlyAbandon bool
 }
 
 // DefaultConfig returns the paper's default parameters: ρ=8, ω=16,
@@ -238,7 +257,7 @@ func (c Config) indexParams() (index.Params, error) {
 		}
 		elv = []int{c.FixedD}
 	}
-	p := index.Params{Rho: c.Rho, Omega: c.Omega, ELV: elv, MinSeparation: c.MinSeparation}
+	p := index.Params{Rho: c.Rho, Omega: c.Omega, ELV: elv, MinSeparation: c.MinSeparation, DisableEarlyAbandon: c.DisableEarlyAbandon}
 	if err := p.Validate(); err != nil {
 		return index.Params{}, err
 	}
@@ -316,10 +335,12 @@ func (s *System) AddSensor(id string, history []float64) error {
 		ekv = []int{s.cfg.FixedK}
 	}
 	pipe, err := core.NewPipeline(ix, core.PipelineConfig{
-		EKV:     ekv,
-		Index:   params,
-		Horizon: 1,
-		Factory: s.cfg.predictorFactory(),
+		EKV:            ekv,
+		Index:          params,
+		Horizon:        1,
+		Factory:        s.cfg.predictorFactory(),
+		PredictWorkers: s.cfg.PredictWorkers,
+		SharedHyper:    s.cfg.SharedHyper,
 		Ensemble: core.EnsembleConfig{
 			DisableAdaptation: s.cfg.DisableAdaptation,
 			DisableSleep:      s.cfg.DisableSleep,
