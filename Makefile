@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-ingest bench-obs bench-json metrics-smoke
+.PHONY: all build vet test race bench bench-ingest bench-obs bench-json metrics-smoke torture
 
 all: vet build test
 
@@ -43,3 +43,12 @@ bench-json:
 # and the trace endpoint serves spans (scripts/metrics_smoke.sh).
 metrics-smoke: build
 	./scripts/metrics_smoke.sh
+
+# Fault-tolerance suite under the race detector: seeded crash-recovery
+# kill points (WAL truncation/corruption at >120 boundaries plus torn
+# tails), per-fsync-policy recovery properties, degraded-mode fallback
+# behaviour, and the 1k-injected-panic survival test. All seeds are
+# fixed — failures reproduce deterministically.
+torture:
+	$(GO) test -race -run 'Torture|RecoveredHistory|WALLifecycle|Degrade|Panic' ./cmd/smiler-server ./internal/server .
+	$(GO) test -race ./internal/wal ./internal/fault ./internal/baselines

@@ -1,18 +1,32 @@
 package smiler
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
 
 	"smiler/internal/core"
+	"smiler/internal/fault"
 	"smiler/internal/gp"
 	"smiler/internal/timeseries"
+	"smiler/internal/wal"
 )
 
 // checkpointVersion guards the on-disk format.
 const checkpointVersion = 1
+
+// checkpointMagic opens the framed checkpoint envelope: magic, then a
+// CRC32C of the gob payload, then the payload. The checksum is what
+// turns a truncated or bit-rotted checkpoint into a clean load error
+// instead of a decode panic or silently partial state.
+var checkpointMagic = [8]byte{'S', 'M', 'L', 'R', 'C', 'K', 'P', '1'}
+
+var checkpointCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 // cellCheckpoint serializes one ensemble cell's auto-tuning state plus
 // its GP warm-start hyperparameters (zero for AR cells or untrained
@@ -75,7 +89,42 @@ func (s *System) SaveTo(w io.Writer) error {
 		st.mu.Unlock()
 		cp.Sensors = append(cp.Sensors, sc)
 	}
-	return gob.NewEncoder(w).Encode(cp)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(cp); err != nil {
+		return fmt.Errorf("smiler: encoding checkpoint: %w", err)
+	}
+	if _, err := w.Write(checkpointMagic[:]); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload.Bytes(), checkpointCRCTable))
+	if _, err := w.Write(crc[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload.Bytes())
+	return err
+}
+
+// SaveFile writes a checkpoint crash-atomically: the bytes land in a
+// temp file that is fsynced and renamed over path, so a crash mid-save
+// leaves either the previous checkpoint or the new one, never a torn
+// mix.
+func (s *System) SaveFile(path string) error {
+	if err := fault.Check(fault.PointCheckpointWrite); err != nil {
+		return err
+	}
+	return wal.WriteFileAtomic(path, s.SaveTo)
+}
+
+// LoadFile restores a System from a checkpoint file written by
+// SaveFile (see Load).
+func LoadFile(path string, cfg Config) (*System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, cfg)
 }
 
 // sensorsLocked returns sorted ids; callers hold s.mu.
@@ -103,9 +152,9 @@ func sortStrings(xs []string) {
 // re-indexed from scratch, ensemble weights and GP hyperparameters are
 // restored by (k, d) match.
 func Load(r io.Reader, cfg Config) (*System, error) {
-	var cp checkpoint
-	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
-		return nil, fmt.Errorf("smiler: decoding checkpoint: %w", err)
+	cp, err := decodeCheckpoint(r)
+	if err != nil {
+		return nil, err
 	}
 	if cp.Version != checkpointVersion {
 		return nil, fmt.Errorf("smiler: checkpoint version %d, want %d", cp.Version, checkpointVersion)
@@ -121,6 +170,41 @@ func Load(r io.Reader, cfg Config) (*System, error) {
 		}
 	}
 	return sys, nil
+}
+
+// decodeCheckpoint reads the framed envelope: magic, CRC32C, gob
+// payload. Truncated or corrupt bytes — including gob decoder panics
+// on hostile input — come back as descriptive errors, never partial
+// state: the payload is checksummed before a single byte is decoded.
+func decodeCheckpoint(r io.Reader) (cp checkpoint, err error) {
+	var magic [8]byte
+	if _, rerr := io.ReadFull(r, magic[:]); rerr != nil {
+		return cp, fmt.Errorf("smiler: checkpoint truncated reading header: %w", rerr)
+	}
+	if magic != checkpointMagic {
+		return cp, fmt.Errorf("smiler: not a checkpoint (bad magic %q)", magic[:])
+	}
+	var crcBuf [4]byte
+	if _, rerr := io.ReadFull(r, crcBuf[:]); rerr != nil {
+		return cp, fmt.Errorf("smiler: checkpoint truncated reading checksum: %w", rerr)
+	}
+	payload, rerr := io.ReadAll(r)
+	if rerr != nil {
+		return cp, fmt.Errorf("smiler: reading checkpoint payload: %w", rerr)
+	}
+	want := binary.LittleEndian.Uint32(crcBuf[:])
+	if got := crc32.Checksum(payload, checkpointCRCTable); got != want {
+		return cp, fmt.Errorf("smiler: checkpoint corrupt: CRC %08x, want %08x (truncated write or bit rot)", got, want)
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("smiler: decoding checkpoint: %v", rec)
+		}
+	}()
+	if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(&cp); derr != nil {
+		return cp, fmt.Errorf("smiler: decoding checkpoint: %w", derr)
+	}
+	return cp, nil
 }
 
 // restoreSensor re-adds one sensor from its checkpoint. The history in

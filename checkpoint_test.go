@@ -158,3 +158,90 @@ func TestCheckpointErrors(t *testing.T) {
 		t.Fatal("SaveTo after Close should fail")
 	}
 }
+
+// TestCheckpointTruncatedAndCorrupt is the regression test for the
+// load path: truncated bytes at every prefix length and a flipped byte
+// anywhere must produce a clean, descriptive error — never a panic and
+// never a silently partial system.
+func TestCheckpointTruncatedAndCorrupt(t *testing.T) {
+	cfg := smallConfig()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	rng := rand.New(rand.NewSource(4))
+	if err := sys.AddSensor("s", noisySeasonal(rng, 400, 2, 5)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Every truncation point fails cleanly (sampled stride to keep the
+	// test fast, plus the boundary cases around the 12-byte envelope).
+	cuts := []int{0, 1, 7, 8, 11, 12, 13, len(full) - 1}
+	for n := 16; n < len(full); n += 97 {
+		cuts = append(cuts, n)
+	}
+	for _, n := range cuts {
+		_, err := Load(bytes.NewReader(full[:n]), cfg)
+		if err == nil {
+			t.Fatalf("truncation at %d/%d loaded successfully", n, len(full))
+		}
+	}
+	// Every corrupted byte position fails cleanly too.
+	for pos := 0; pos < len(full); pos += 131 {
+		bad := append([]byte(nil), full...)
+		bad[pos] ^= 0x5a
+		if _, err := Load(bytes.NewReader(bad), cfg); err == nil {
+			t.Fatalf("flipped byte at %d loaded successfully", pos)
+		}
+	}
+	// And the pristine bytes still load.
+	restored, err := Load(bytes.NewReader(full), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored.Close()
+}
+
+// TestSaveFileAtomic exercises the crash-atomic file checkpoint: a
+// save over an existing checkpoint either fully replaces it or leaves
+// it untouched, and LoadFile round-trips.
+func TestSaveFileAtomic(t *testing.T) {
+	cfg := smallConfig()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	rng := rand.New(rand.NewSource(5))
+	if err := sys.AddSensor("s", noisySeasonal(rng, 400, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/state.ckpt"
+	if err := sys.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadFile(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Sensors(); len(got) != 1 || got[0] != "s" {
+		t.Fatalf("restored sensors = %v", got)
+	}
+	restored.Close()
+	// Overwrite keeps working (rename over an existing file).
+	if err := sys.Observe("s", 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+// Durability wiring for smiler-server: WAL recovery at startup, the
+// journal hooks that keep the WAL ahead of applied state, and the WAL
+// metrics. See docs/ROBUSTNESS.md for the failure model.
+package main
+
+import (
+	"fmt"
+	"log/slog"
+	"runtime"
+
+	"smiler"
+	"smiler/internal/ingest"
+	"smiler/internal/obs"
+	"smiler/internal/wal"
+)
+
+// walShards resolves the shard count the WAL must mirror: the
+// ingestion pipeline's configured worker count (its own default is
+// GOMAXPROCS). Recovery does not depend on this matching a previous
+// run — ReplayDir reads whatever shard directories exist.
+func walShards(configured int) int {
+	if configured > 0 {
+		return configured
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// walOptions maps the -fsync / -fsync-interval flags onto wal.Options.
+func walOptions(o options) (wal.Options, error) {
+	policy, err := wal.ParseSyncPolicy(o.fsync)
+	if err != nil {
+		return wal.Options{}, err
+	}
+	return wal.Options{Policy: policy, Interval: o.fsyncInterval}, nil
+}
+
+// recoverWAL replays every intact record under dir into the system,
+// stopping cleanly per shard at the first torn or corrupt record.
+// Replay application is idempotent-tolerant: a record that no longer
+// applies (re-adding a sensor the checkpoint already holds, removing
+// one it never saw) is counted and skipped, not fatal — such records
+// appear only in the crash window between a checkpoint save and the
+// WAL reset it covers.
+func recoverWAL(sys *smiler.System, dir string, logger *slog.Logger) (wal.ReplayStats, error) {
+	applied, skipped := 0, 0
+	known := make(map[string]bool)
+	for _, id := range sys.Sensors() {
+		known[id] = true
+	}
+	st, err := wal.ReplayDir(dir, func(shard int, seq uint64, r wal.Record) error {
+		var aerr error
+		switch r.Type {
+		case wal.RecAddSensor:
+			if known[r.Sensor] {
+				skipped++
+				return nil
+			}
+			if aerr = sys.AddSensor(r.Sensor, r.History); aerr == nil {
+				known[r.Sensor] = true
+			}
+		case wal.RecObserve:
+			if !known[r.Sensor] {
+				skipped++
+				return nil
+			}
+			aerr = sys.Observe(r.Sensor, r.Value)
+		case wal.RecRemoveSensor:
+			if !known[r.Sensor] {
+				skipped++
+				return nil
+			}
+			if aerr = sys.RemoveSensor(r.Sensor); aerr == nil {
+				delete(known, r.Sensor)
+			}
+		default:
+			skipped++
+			return nil
+		}
+		if aerr != nil {
+			skipped++
+			logger.Warn("wal replay: record skipped",
+				"shard", shard, "seq", seq, "type", r.Type.String(), "err", aerr)
+			return nil
+		}
+		applied++
+		return nil
+	})
+	if err != nil {
+		return st, fmt.Errorf("replaying WAL %s: %w", dir, err)
+	}
+	if st.Records > 0 || st.Torn {
+		logger.Info("wal replayed",
+			"records", st.Records, "applied", applied, "skipped", skipped,
+			"segments", st.Segments, "torn", st.Torn)
+	}
+	return st, nil
+}
+
+// openDurability performs the full recovery sequence and returns the
+// live WAL manager:
+//
+//  1. replay the existing WAL into the (checkpoint-restored) system;
+//  2. if a checkpoint path is configured, write a post-recovery
+//     checkpoint covering everything replayed, then delete the
+//     replayed logs so the WAL restarts empty;
+//  3. open the sharded manager for appending.
+//
+// Without a checkpoint the replayed logs are kept: the WAL is then the
+// only durable copy, and new appends extend it.
+func openDurability(sys *smiler.System, o options, logger *slog.Logger) (*wal.Manager, error) {
+	opts, err := walOptions(o)
+	if err != nil {
+		return nil, err
+	}
+	st, err := recoverWAL(sys, o.walDir, logger)
+	if err != nil {
+		return nil, err
+	}
+	if o.checkpoint != "" && (st.Records > 0 || st.Torn) {
+		if err := sys.SaveFile(o.checkpoint); err != nil {
+			return nil, fmt.Errorf("post-recovery checkpoint: %w", err)
+		}
+		if err := wal.RemoveDir(o.walDir); err != nil {
+			return nil, fmt.Errorf("truncating recovered WAL: %w", err)
+		}
+		logger.Info("post-recovery checkpoint saved", "path", o.checkpoint)
+	}
+	mgr, err := wal.OpenManager(o.walDir, walShards(o.shards), opts, ingest.ShardIndex)
+	if err != nil {
+		return nil, fmt.Errorf("opening WAL %s: %w", o.walDir, err)
+	}
+	logger.Info("wal open",
+		"dir", o.walDir, "shards", mgr.Shards(), "fsync", opts.Policy.String())
+	return mgr, nil
+}
+
+// registerWALMetrics exposes the manager's counters on /metrics.
+func registerWALMetrics(reg *obs.Registry, mgr *wal.Manager) {
+	reg.CounterFunc("smiler_wal_appends_total",
+		"Records appended to the write-ahead log.",
+		func() float64 { return float64(mgr.Stats().Appends) })
+	reg.CounterFunc("smiler_wal_syncs_total",
+		"Explicit fsyncs of write-ahead-log segments.",
+		func() float64 { return float64(mgr.Stats().Syncs) })
+	reg.CounterFunc("smiler_wal_bytes_total",
+		"Bytes appended to the write-ahead log.",
+		func() float64 { return float64(mgr.Stats().Bytes) })
+	reg.CounterFunc("smiler_wal_rotations_total",
+		"Write-ahead-log segment rotations.",
+		func() float64 { return float64(mgr.Stats().Rotations) })
+}
+
+// shutdownDurability runs the clean-exit tail after the pipeline has
+// drained: sync the WAL, write the final checkpoint, and — only once
+// that checkpoint is durably on disk — reset the logs it covers.
+func shutdownDurability(sys *smiler.System, mgr *wal.Manager, o options, logger *slog.Logger) error {
+	if mgr != nil {
+		if err := mgr.Sync(); err != nil {
+			return fmt.Errorf("syncing WAL: %w", err)
+		}
+	}
+	if o.checkpoint != "" {
+		if err := saveCheckpoint(sys, o.checkpoint); err != nil {
+			return fmt.Errorf("saving checkpoint: %w", err)
+		}
+		logger.Info("checkpoint saved", "path", o.checkpoint)
+		if mgr != nil {
+			if err := mgr.Reset(); err != nil {
+				return fmt.Errorf("resetting WAL: %w", err)
+			}
+		}
+	}
+	if mgr != nil {
+		if err := mgr.Close(); err != nil {
+			return fmt.Errorf("closing WAL: %w", err)
+		}
+	}
+	return nil
+}

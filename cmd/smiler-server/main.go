@@ -10,11 +10,27 @@
 //	smiler-server -addr :8080 -predictor ar -checkpoint state.gob
 //	smiler-server -shards 8 -queue 1024 -backpressure drop-newest
 //	smiler-server -addr :8080 -pprof -log-level debug
+//	smiler-server -checkpoint state.gob -wal-dir wal/ -fsync always
+//	smiler-server -predict-deadline 200ms -degraded-fallback ar1
 //
 // With -checkpoint, state is loaded at startup (if the file exists)
 // and saved on clean shutdown (SIGINT/SIGTERM). Shutdown first stops
 // the listener, then drains the ingestion pipeline, then writes the
 // checkpoint — no accepted observation is lost.
+//
+// With -wal-dir, every accepted observation and sensor add/remove is
+// appended to a sharded write-ahead log before it is applied, and
+// recovered on the next start even after a crash: startup replays the
+// WAL on top of the checkpoint, stopping cleanly at the first torn
+// record. -fsync picks the durability/latency trade-off (see
+// docs/ROBUSTNESS.md for the loss window of each policy). GET /readyz
+// answers 503 until recovery completes and again while draining;
+// /healthz stays pure liveness.
+//
+// With -degraded-fallback, predictions that fail or overrun
+// -predict-deadline are answered by a cheap stateless predictor
+// (persistence or AR(1)) and tagged "degraded" in the response
+// instead of erroring.
 //
 // Observability: GET /metrics serves Prometheus text exposition and
 // GET /debug/trace/{sensor} the recent prediction traces (see
@@ -43,6 +59,7 @@ import (
 	"smiler"
 	"smiler/internal/ingest"
 	"smiler/internal/server"
+	"smiler/internal/wal"
 )
 
 // options carries every tunable of the server process.
@@ -61,6 +78,12 @@ type options struct {
 	pprof        bool
 	workers      int
 	sharedHyper  bool
+
+	walDir          string
+	fsync           string
+	fsyncInterval   time.Duration
+	predictDeadline time.Duration
+	fallback        string
 
 	// onReady, when set, is called with the bound listen address once
 	// the listener is accepting (tests use it to find an ephemeral
@@ -84,6 +107,11 @@ func main() {
 	flag.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 	flag.IntVar(&o.workers, "predict-workers", 0, "prediction-step cell-fit workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.BoolVar(&o.sharedHyper, "shared-hyper", false, "share GP hyperparameters per item-query column (approximate, faster)")
+	flag.StringVar(&o.walDir, "wal-dir", "", "write-ahead-log directory (empty = no WAL)")
+	flag.StringVar(&o.fsync, "fsync", "always", "WAL fsync policy: always|interval|off")
+	flag.DurationVar(&o.fsyncInterval, "fsync-interval", 0, "fsync period for -fsync interval (0 = default 50ms)")
+	flag.DurationVar(&o.predictDeadline, "predict-deadline", 0, "per-prediction deadline (0 = none)")
+	flag.StringVar(&o.fallback, "degraded-fallback", "none", "degraded-mode predictor: none|persistence|ar1")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "smiler-server:", err)
@@ -129,6 +157,12 @@ func run(o options) error {
 	cfg.MaxHistory = o.maxHistory
 	cfg.PredictWorkers = o.workers
 	cfg.SharedHyper = o.sharedHyper
+	cfg.PredictDeadline = o.predictDeadline
+	fb, err := smiler.ParseFallback(o.fallback)
+	if err != nil {
+		return err
+	}
+	cfg.Fallback = fb
 
 	policy, err := ingest.ParseBackpressure(o.backpressure)
 	if err != nil {
@@ -141,9 +175,10 @@ func run(o options) error {
 	}
 	defer sys.Close()
 
-	handler, err := server.NewWithOptions(sys, server.Options{
-		Interval: o.interval,
-		Logger:   logger,
+	opts := server.Options{
+		Interval:      o.interval,
+		Logger:        logger,
+		StartNotReady: true,
 		Pipeline: ingest.Config{
 			Shards:       o.shards,
 			QueueSize:    o.queue,
@@ -153,13 +188,31 @@ func run(o options) error {
 				logger.Warn("observe failed", "sensor", obs.Sensor, "err", err)
 			},
 		},
-	})
+	}
+	var mgr *wal.Manager
+	if o.walDir != "" {
+		mgr, err = openDurability(sys, o, logger)
+		if err != nil {
+			return err
+		}
+		opts.SensorJournal = mgr
+		opts.Pipeline.Journal = mgr.AppendObserve
+		registerWALMetrics(sys.Metrics(), mgr)
+	}
+
+	handler, err := server.NewWithOptions(sys, opts)
 	if err != nil {
+		if mgr != nil {
+			mgr.Close()
+		}
 		return err
 	}
 	srv := &http.Server{
 		Handler:           rootHandler(handler, o.pprof),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	ln, err := net.Listen("tcp", o.addr)
@@ -181,6 +234,10 @@ func run(o options) error {
 		}
 		errCh <- nil
 	}()
+	// Recovery (checkpoint load + WAL replay) finished before the
+	// listener came up, so readiness follows immediately; /readyz flips
+	// back to 503 when shutdown starts draining.
+	handler.SetReady()
 	if o.onReady != nil {
 		o.onReady(ln.Addr().String())
 	}
@@ -194,6 +251,9 @@ func run(o options) error {
 		logger.Info("shutting down", "signal", s.String())
 	}
 
+	// Flip /readyz to 503 first so load balancers stop routing, then
+	// stop the listener (in-flight requests get the grace period).
+	handler.SetDraining()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
@@ -210,11 +270,8 @@ func run(o options) error {
 		"dropped", st.Totals.Dropped,
 		"errors", st.Totals.Errors,
 	)
-	if o.checkpoint != "" {
-		if err := saveCheckpoint(sys, o.checkpoint); err != nil {
-			return fmt.Errorf("saving checkpoint: %w", err)
-		}
-		logger.Info("checkpoint saved", "path", o.checkpoint)
+	if err := shutdownDurability(sys, mgr, o, logger); err != nil {
+		return err
 	}
 	return <-errCh
 }
@@ -241,15 +298,10 @@ func loadOrNew(cfg smiler.Config, path string, logger *slog.Logger) (*smiler.Sys
 	if path == "" {
 		return smiler.New(cfg)
 	}
-	f, err := os.Open(path)
+	sys, err := smiler.LoadFile(path, cfg)
 	if errors.Is(err, os.ErrNotExist) {
 		return smiler.New(cfg)
 	}
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	sys, err := smiler.Load(f, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("loading checkpoint %s: %w", path, err)
 	}
@@ -257,21 +309,9 @@ func loadOrNew(cfg smiler.Config, path string, logger *slog.Logger) (*smiler.Sys
 	return sys, nil
 }
 
-// saveCheckpoint writes atomically via a temp file + rename.
+// saveCheckpoint writes crash-atomically: temp file, fsync, rename,
+// directory fsync. A crash mid-save leaves the previous checkpoint
+// intact.
 func saveCheckpoint(sys *smiler.System, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := sys.SaveTo(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return sys.SaveFile(path)
 }

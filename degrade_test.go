@@ -1,0 +1,201 @@
+package smiler
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"smiler/internal/core"
+	"smiler/internal/fault"
+)
+
+// degradeConfig is a small GP configuration (GP cells expose the
+// gp.fit fault seam) with a persistence fallback.
+func degradeConfig() Config {
+	cfg := smallConfig()
+	cfg.Predictor = PredictorGP
+	cfg.EKV = []int{4}
+	cfg.ELV = []int{16}
+	cfg.Fallback = FallbackPersistence
+	return cfg
+}
+
+func degradeSystem(t *testing.T, cfg Config) *System {
+	t.Helper()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	rng := rand.New(rand.NewSource(11))
+	if err := sys.AddSensor("s", noisySeasonal(rng, 400, 5, 20)); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestDegradedOnInjectedGPError(t *testing.T) {
+	sys := degradeSystem(t, degradeConfig())
+	in := fault.NewInjector(1)
+	in.Set(fault.PointGPFit, fault.Rule{Kind: fault.KindError, After: 1})
+	fault.Arm(in)
+	t.Cleanup(fault.Disarm)
+
+	f, err := sys.Predict("s", 1)
+	if err != nil {
+		t.Fatalf("fallback should have answered, got error %v", err)
+	}
+	if !f.Degraded || f.DegradedReason != "error" {
+		t.Fatalf("forecast = %+v, want Degraded with reason \"error\"", f)
+	}
+	if f.Variance <= 0 {
+		t.Fatalf("degraded variance %v must be positive", f.Variance)
+	}
+
+	// Recovery: disarm and the full pipeline answers again.
+	fault.Disarm()
+	f, err = sys.Predict("s", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Degraded {
+		t.Fatal("pipeline recovered but forecast still degraded")
+	}
+}
+
+func TestDegradedOnInjectedPanic(t *testing.T) {
+	sys := degradeSystem(t, degradeConfig())
+	in := fault.NewInjector(2)
+	in.Set(fault.PointGPFit, fault.Rule{Kind: fault.KindPanic, After: 1})
+	fault.Arm(in)
+	t.Cleanup(fault.Disarm)
+
+	f, err := sys.Predict("s", 1)
+	if err != nil {
+		t.Fatalf("panic should have been recovered into a fallback, got %v", err)
+	}
+	if !f.Degraded || f.DegradedReason != "panic" {
+		t.Fatalf("forecast = %+v, want Degraded with reason \"panic\"", f)
+	}
+}
+
+func TestPanicSurfacesAsErrorWithoutFallback(t *testing.T) {
+	cfg := degradeConfig()
+	cfg.Fallback = FallbackNone
+	sys := degradeSystem(t, cfg)
+	in := fault.NewInjector(3)
+	in.Set(fault.PointGPFit, fault.Rule{Kind: fault.KindPanic, After: 1})
+	fault.Arm(in)
+	t.Cleanup(fault.Disarm)
+
+	_, err := sys.Predict("s", 1)
+	if !errors.Is(err, core.ErrPanicked) {
+		t.Fatalf("err = %v, want core.ErrPanicked", err)
+	}
+}
+
+func TestDegradedOnDeadline(t *testing.T) {
+	sys := degradeSystem(t, degradeConfig())
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	f, err := sys.PredictCtx(ctx, "s", 1)
+	if err != nil {
+		t.Fatalf("expired deadline should degrade, got error %v", err)
+	}
+	if !f.Degraded || f.DegradedReason != "deadline" {
+		t.Fatalf("forecast = %+v, want Degraded with reason \"deadline\"", f)
+	}
+}
+
+func TestConfigPredictDeadline(t *testing.T) {
+	cfg := degradeConfig()
+	cfg.PredictDeadline = time.Nanosecond
+	sys := degradeSystem(t, cfg)
+	f, err := sys.Predict("s", 1)
+	if err != nil {
+		t.Fatalf("implicit deadline should degrade, got error %v", err)
+	}
+	if !f.Degraded || f.DegradedReason != "deadline" {
+		t.Fatalf("forecast = %+v, want Degraded with reason \"deadline\"", f)
+	}
+}
+
+func TestDegradedHorizons(t *testing.T) {
+	cfg := degradeConfig()
+	cfg.Fallback = FallbackAR1
+	sys := degradeSystem(t, cfg)
+	in := fault.NewInjector(4)
+	in.Set(fault.PointGPFit, fault.Rule{Kind: fault.KindError, After: 1})
+	fault.Arm(in)
+	t.Cleanup(fault.Disarm)
+
+	hs := []int{1, 2, 3}
+	out, err := sys.PredictHorizons("s", hs)
+	if err != nil {
+		t.Fatalf("fallback should have answered, got %v", err)
+	}
+	for _, h := range hs {
+		f, ok := out[h]
+		if !ok {
+			t.Fatalf("missing horizon %d", h)
+		}
+		if !f.Degraded || f.DegradedReason != "error" || f.Horizon != h {
+			t.Fatalf("h=%d forecast = %+v, want degraded with reason \"error\"", h, f)
+		}
+	}
+}
+
+func TestValidationErrorsNeverDegrade(t *testing.T) {
+	sys := degradeSystem(t, degradeConfig())
+	if _, err := sys.Predict("nope", 1); err == nil || !strings.Contains(err.Error(), "unknown sensor") {
+		t.Fatalf("unknown sensor must error, got %v", err)
+	}
+	if _, err := sys.Predict("s", 0); err == nil {
+		t.Fatal("h=0 must error even with fallback configured")
+	}
+	if _, err := sys.PredictHorizons("s", nil); err == nil {
+		t.Fatal("empty horizon list must error even with fallback configured")
+	}
+}
+
+func TestDegradedMetrics(t *testing.T) {
+	sys := degradeSystem(t, degradeConfig())
+	in := fault.NewInjector(5)
+	in.Set(fault.PointGPFit, fault.Rule{Kind: fault.KindPanic, After: 1})
+	fault.Arm(in)
+	t.Cleanup(fault.Disarm)
+	if _, err := sys.Predict("s", 1); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	sys.Metrics().WritePrometheus(&buf)
+	text := buf.String()
+	if !strings.Contains(text, `smiler_degraded_predictions_total{reason="panic"} 1`) {
+		t.Fatalf("missing degraded counter in exposition:\n%s", text)
+	}
+	if !strings.Contains(text, "smiler_panics_recovered_total 1") {
+		t.Fatalf("missing panics-recovered counter in exposition:\n%s", text)
+	}
+}
+
+// TestInjectedGPUSimLaunchFault drives the second fault seam: a launch
+// failure inside the simulated GPU fails the search step, and the
+// fallback still answers.
+func TestInjectedGPUSimLaunchFault(t *testing.T) {
+	sys := degradeSystem(t, degradeConfig())
+	in := fault.NewInjector(6)
+	in.Set(fault.PointGPUSimLaunch, fault.Rule{Kind: fault.KindError, After: 1})
+	fault.Arm(in)
+	t.Cleanup(fault.Disarm)
+
+	f, err := sys.Predict("s", 1)
+	if err != nil {
+		t.Fatalf("fallback should have answered a launch fault, got %v", err)
+	}
+	if !f.Degraded {
+		t.Fatalf("forecast = %+v, want degraded", f)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -13,6 +14,12 @@ import (
 	"smiler/internal/index"
 	"smiler/internal/obs"
 )
+
+// ErrPanicked wraps a panic recovered inside a prediction worker. A
+// misbehaving predictor (or an injected fault) must never take the
+// process down: the panic is converted into an error carrying this
+// sentinel so callers can classify it and degrade.
+var ErrPanicked = errors.New("core: recovered panic in predictor")
 
 // PipelineConfig configures a per-sensor pipeline.
 type PipelineConfig struct {
@@ -154,10 +161,23 @@ func (p *Pipeline) Predict(h int) (Prediction, error) {
 // per awake ensemble cell's model fit, and one for the mix, plus the
 // search's kNN effectiveness stats. A nil trace costs nothing.
 func (p *Pipeline) PredictTraced(h int, tr *obs.Trace) (Prediction, error) {
+	return p.PredictTracedCtx(context.Background(), h, tr)
+}
+
+// PredictTracedCtx is PredictTraced with a deadline: the context is
+// checked at every phase boundary (before the search, before the cell
+// fits, before the mix), so an expired deadline surfaces as
+// ctx.Err() within one phase rather than after the whole pipeline.
+// Phases themselves run to completion — the index and GP code are
+// synchronous — which bounds the overrun to the longest single phase.
+func (p *Pipeline) PredictTracedCtx(ctx context.Context, h int, tr *obs.Trace) (Prediction, error) {
 	if h <= 0 {
 		return Prediction{}, fmt.Errorf("core: horizon %d must be positive", h)
 	}
 	p.timing = PhaseTiming{}
+	if err := ctx.Err(); err != nil {
+		return Prediction{}, err
+	}
 	searchStart := time.Now()
 	results, err := p.ix.Search(p.ens.MaxK(), h)
 	if err != nil {
@@ -165,6 +185,9 @@ func (p *Pipeline) PredictTraced(h int, tr *obs.Trace) (Prediction, error) {
 	}
 	p.timing.SearchSec = time.Since(searchStart).Seconds()
 	p.recordSearch(tr, searchStart)
+	if err := ctx.Err(); err != nil {
+		return Prediction{}, err
+	}
 	predictStart := time.Now()
 	byD := make(map[int]index.ItemResult, len(results))
 	for _, r := range results {
@@ -172,8 +195,11 @@ func (p *Pipeline) PredictTraced(h int, tr *obs.Trace) (Prediction, error) {
 	}
 
 	n := p.ix.Len()
-	preds, err := p.cellPredictions(byD, h, n, tr)
+	preds, err := p.cellPredictions(ctx, byD, h, n, tr)
 	if err != nil {
+		return Prediction{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Prediction{}, err
 	}
 	mixed, err := p.mixTimed(preds, tr)
@@ -243,6 +269,13 @@ func (p *Pipeline) PredictMulti(hs []int) (map[int]Prediction, error) {
 // PredictMultiTraced is PredictMulti with per-phase tracing (see
 // PredictTraced); the cell-fit spans carry the horizon they belong to.
 func (p *Pipeline) PredictMultiTraced(hs []int, tr *obs.Trace) (map[int]Prediction, error) {
+	return p.PredictMultiTracedCtx(context.Background(), hs, tr)
+}
+
+// PredictMultiTracedCtx is PredictMultiTraced with a deadline (see
+// PredictTracedCtx); the context is additionally checked between
+// horizons.
+func (p *Pipeline) PredictMultiTracedCtx(ctx context.Context, hs []int, tr *obs.Trace) (map[int]Prediction, error) {
 	if len(hs) == 0 {
 		return nil, errors.New("core: empty horizon list")
 	}
@@ -252,6 +285,9 @@ func (p *Pipeline) PredictMultiTraced(hs []int, tr *obs.Trace) (map[int]Predicti
 		}
 	}
 	p.timing = PhaseTiming{}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	searchStart := time.Now()
 	resultsByH, err := p.ix.SearchMulti(p.ens.MaxK(), hs)
 	if err != nil {
@@ -264,11 +300,14 @@ func (p *Pipeline) PredictMultiTraced(hs []int, tr *obs.Trace) (map[int]Predicti
 	n := p.ix.Len()
 	out := make(map[int]Prediction, len(hs))
 	for _, h := range hs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		byD := make(map[int]index.ItemResult, len(resultsByH[h]))
 		for _, r := range resultsByH[h] {
 			byD[r.D] = r
 		}
-		preds, err := p.cellPredictions(byD, h, n, tr)
+		preds, err := p.cellPredictions(ctx, byD, h, n, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -332,7 +371,7 @@ func (p *Pipeline) predictWorkers(ncols int) int {
 // Gram base once, and independent columns run on a bounded worker pool.
 // Output order, timing sums and span order are deterministic and
 // identical at any worker count.
-func (p *Pipeline) cellPredictions(byD map[int]index.ItemResult, h, n int, tr *obs.Trace) ([]CellPrediction, error) {
+func (p *Pipeline) cellPredictions(ctx context.Context, byD map[int]index.ItemResult, h, n int, tr *obs.Trace) ([]CellPrediction, error) {
 	var cols []*predColumn
 	byCol := make(map[int]*predColumn, len(byD))
 	slots := 0
@@ -364,7 +403,10 @@ func (p *Pipeline) cellPredictions(byD map[int]index.ItemResult, h, n int, tr *o
 	workers := p.predictWorkers(len(cols))
 	if workers <= 1 {
 		for i, pc := range cols {
-			outs[i] = p.predictColumn(pc, h, n, tr != nil, results, valid)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			outs[i] = p.safePredictColumn(pc, h, n, tr != nil, results, valid)
 		}
 	} else {
 		var next atomic.Int64
@@ -378,7 +420,11 @@ func (p *Pipeline) cellPredictions(byD map[int]index.ItemResult, h, n int, tr *o
 					if i >= len(cols) {
 						return
 					}
-					outs[i] = p.predictColumn(cols[i], h, n, tr != nil, results, valid)
+					if err := ctx.Err(); err != nil {
+						outs[i] = colOutcome{err: err}
+						continue // mark every remaining column cancelled
+					}
+					outs[i] = p.safePredictColumn(cols[i], h, n, tr != nil, results, valid)
 				}
 			}()
 		}
@@ -408,6 +454,20 @@ func (p *Pipeline) cellPredictions(byD map[int]index.ItemResult, h, n int, tr *o
 		}
 	}
 	return preds, nil
+}
+
+// safePredictColumn runs predictColumn with a panic guard: a panic in
+// any predictor (a numerical pathology or an injected fault) is
+// recovered into an ErrPanicked-wrapped error on the column's outcome
+// instead of crossing the worker-goroutine boundary and killing the
+// process.
+func (p *Pipeline) safePredictColumn(pc *predColumn, h, n int, traced bool, results []CellPrediction, valid []bool) (out colOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			out.err = fmt.Errorf("%w: column d=%d h=%d: %v", ErrPanicked, pc.d, h, r)
+		}
+	}()
+	return p.predictColumn(pc, h, n, traced, results, valid)
 }
 
 // predictColumn evaluates one column's cells: neighbor segments and

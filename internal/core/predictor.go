@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 
+	"smiler/internal/fault"
 	"smiler/internal/gp"
 )
 
@@ -146,6 +147,9 @@ func (g *GPPredictor) Predict(x0 []float64, x [][]float64, y []float64) (Predict
 	if len(y) == 0 {
 		return Prediction{}, ErrNoNeighbors
 	}
+	if err := fault.Check(fault.PointGPFit); err != nil {
+		return Prediction{}, fmt.Errorf("core: GP fit: %w", err)
+	}
 	iters := g.OnlineIterations
 	init := g.hyper
 	if !g.trained || init.Validate() != nil {
@@ -216,6 +220,9 @@ func (g *GPPredictor) PredictColumn(col *gp.Column, k int) (Prediction, error) {
 	if k <= 0 {
 		return Prediction{}, ErrNoNeighbors
 	}
+	if err := fault.Check(fault.PointGPFit); err != nil {
+		return Prediction{}, fmt.Errorf("core: GP fit: %w", err)
+	}
 	x, y := col.XY(k)
 	x0 := col.X0()
 	iters := g.OnlineIterations
@@ -261,6 +268,9 @@ func (g *GPPredictor) PredictColumn(col *gp.Column, k int) (Prediction, error) {
 // fallback and prior-collapse rules, updates the warm-start state, and
 // returns the resulting shared Θ — the SharedHyper driver step.
 func (g *GPPredictor) OptimizeColumnHyper(col *gp.Column) (gp.Hyper, error) {
+	if err := fault.Check(fault.PointGPFit); err != nil {
+		return gp.Hyper{}, fmt.Errorf("core: GP fit: %w", err)
+	}
 	k := col.Len()
 	x, y := col.XY(k)
 	iters := g.OnlineIterations

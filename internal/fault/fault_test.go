@@ -1,0 +1,152 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedCheckIsNoOp(t *testing.T) {
+	Disarm()
+	if err := Check("anything"); err != nil {
+		t.Fatalf("disarmed Check returned %v", err)
+	}
+	data := []byte{1, 2, 3}
+	Corrupt("anything", data)
+	if data[0] != 1 || data[1] != 2 || data[2] != 3 {
+		t.Fatalf("disarmed Corrupt mutated data: %v", data)
+	}
+}
+
+func TestErrorRuleAfter(t *testing.T) {
+	in := NewInjector(1)
+	in.Set("p", Rule{Kind: KindError, After: 3})
+	Arm(in)
+	t.Cleanup(Disarm)
+	for i := 1; i <= 2; i++ {
+		if err := Check("p"); err != nil {
+			t.Fatalf("check %d fired early: %v", i, err)
+		}
+	}
+	err := Check("p")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("check 3 = %v, want ErrInjected", err)
+	}
+	if err := Check("p"); err == nil {
+		t.Fatal("After rules without Once keep firing; check 4 succeeded")
+	}
+	if got := in.Fired("p"); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+	if got := in.Checks("p"); got != 4 {
+		t.Fatalf("Checks = %d, want 4", got)
+	}
+}
+
+func TestOnceRuleFiresExactlyOnce(t *testing.T) {
+	in := NewInjector(1)
+	in.Set("p", Rule{Kind: KindError, After: 2, Once: true})
+	Arm(in)
+	t.Cleanup(Disarm)
+	var fired int
+	for i := 0; i < 10; i++ {
+		if Check("p") != nil {
+			fired++
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("Once rule fired %d times", fired)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	sentinel := errors.New("boom")
+	in := NewInjector(1)
+	in.Set("p", Rule{Kind: KindError, After: 1, Err: sentinel})
+	Arm(in)
+	t.Cleanup(Disarm)
+	if err := Check("p"); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestProbabilisticDeterminism(t *testing.T) {
+	run := func() []bool {
+		in := NewInjector(42)
+		in.Set("p", Rule{Kind: KindError, Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.check("p") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at check %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("Prob 0.5 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	in := NewInjector(1)
+	in.Set("p", Rule{Kind: KindPanic, After: 1})
+	Arm(in)
+	t.Cleanup(Disarm)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_ = Check("p")
+}
+
+func TestLatencyRule(t *testing.T) {
+	in := NewInjector(1)
+	in.Set("p", Rule{Kind: KindLatency, After: 1, Latency: 10 * time.Millisecond})
+	Arm(in)
+	t.Cleanup(Disarm)
+	start := time.Now()
+	if err := Check("p"); err != nil {
+		t.Fatalf("latency rule returned error %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("latency rule slept only %v", elapsed)
+	}
+}
+
+func TestCorruptFlipsOneByte(t *testing.T) {
+	in := NewInjector(7)
+	in.Set("p", Rule{Kind: KindCorrupt, After: 1})
+	Arm(in)
+	t.Cleanup(Disarm)
+	data := make([]byte, 32)
+	Corrupt("p", data)
+	flipped := 0
+	for _, b := range data {
+		if b != 0 {
+			flipped++
+		}
+	}
+	if flipped != 1 {
+		t.Fatalf("corrupt flipped %d bytes, want 1", flipped)
+	}
+}
+
+func TestClear(t *testing.T) {
+	in := NewInjector(1)
+	in.Set("p", Rule{Kind: KindError, After: 1})
+	in.Clear("p")
+	Arm(in)
+	t.Cleanup(Disarm)
+	if err := Check("p"); err != nil {
+		t.Fatalf("cleared rule fired: %v", err)
+	}
+}

@@ -32,6 +32,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"smiler/internal/fault"
 )
 
 // Common errors.
@@ -278,6 +280,12 @@ func (b *Block) SharedUsed() int { return b.sharedBytes }
 func (d *Device) Launch(grid int, kernel func(b *Block) error) error {
 	if grid <= 0 {
 		return fmt.Errorf("gpusim: invalid grid size %d", grid)
+	}
+	// Fault-injection seam: a simulated launch failure (the real-GPU
+	// analogue of a CUDA launch error) surfaces here, before any block
+	// runs, so callers exercise their degradation paths.
+	if err := fault.Check(fault.PointGPUSimLaunch); err != nil {
+		return fmt.Errorf("gpusim: launch: %w", err)
 	}
 	d.launches.Add(1)
 	d.blocks.Add(int64(grid))

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -42,6 +43,7 @@ type coalescer struct {
 	waits         atomic.Uint64
 	misses        atomic.Uint64
 	invalidations atomic.Uint64
+	panics        atomic.Uint64
 }
 
 func newCoalescer(sys System) *coalescer {
@@ -75,14 +77,17 @@ func (c *coalescer) forecast(id string, h int) (smiler.Forecast, error) {
 	c.mu.Unlock()
 
 	c.misses.Add(1)
-	f, err := c.sys.Predict(id, h)
+	f, err := c.safePredict(id, h)
 
 	c.mu.Lock()
 	delete(c.flights, key)
 	fl.f, fl.err = f, err
-	// Cache only clean successes: if an observation was applied while
-	// we computed, the result describes the pre-observation state.
-	if err == nil && !fl.stale {
+	// Cache only clean, full-pipeline successes: if an observation was
+	// applied while we computed, the result describes the
+	// pre-observation state; and a degraded (fallback) answer must not
+	// shadow the real pipeline once it recovers — every degraded
+	// request gets a fresh chance at a full answer.
+	if err == nil && !fl.stale && !f.Degraded {
 		byH := c.cache[id]
 		if byH == nil {
 			byH = make(map[int]smiler.Forecast)
@@ -95,6 +100,19 @@ func (c *coalescer) forecast(id string, h int) (smiler.Forecast, error) {
 	c.mu.Unlock()
 	close(fl.done)
 	return f, err
+}
+
+// safePredict runs the system's Predict with a panic guard: a panic
+// inside the prediction pipeline fails this flight (all coalesced
+// followers see the error) instead of killing the process.
+func (c *coalescer) safePredict(id string, h int) (f smiler.Forecast, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.panics.Add(1)
+			f, err = smiler.Forecast{}, fmt.Errorf("ingest: recovered panic in forecast: %v", r)
+		}
+	}()
+	return c.sys.Predict(id, h)
 }
 
 // invalidate flushes the sensor's cached forecasts and marks its
@@ -127,5 +145,6 @@ func (c *coalescer) stats() CoalesceStats {
 		Misses:         c.misses.Load(),
 		Invalidations:  c.invalidations.Load(),
 		CacheSize:      size,
+		Panics:         c.panics.Load(),
 	}
 }

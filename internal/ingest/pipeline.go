@@ -106,6 +106,14 @@ type Config struct {
 	// OnError, when set, is called from shard workers for every
 	// observation whose asynchronous apply failed (e.g. to log it).
 	OnError func(Observation, error)
+	// Journal, when set, is called from the shard worker immediately
+	// before each observation is applied — the write-ahead-log hook.
+	// Because the worker is the shard's single writer, journal order
+	// exactly equals apply order. A journal failure counts in the
+	// shard's JournalErrors stat and is reported through OnError, but
+	// the observation is still applied: availability over durability
+	// for the window until the next successful sync.
+	Journal func(shard int, id string, v float64) error
 }
 
 func (c *Config) applyDefaults() {
@@ -171,12 +179,19 @@ func New(sys System, cfg Config) (*Pipeline, error) {
 	return p, nil
 }
 
-// shardFor hashes the sensor id onto its shard (FNV-1a): one sensor
-// always lands on one shard, which is what preserves its ordering.
-func (p *Pipeline) shardFor(id string) *shard {
+// ShardIndex maps a sensor id onto one of n shards (FNV-1a): one
+// sensor always lands on one shard, which is what preserves its
+// ordering. Exported so the write-ahead log can co-locate a sensor's
+// registration records with its observations in the same shard log.
+func ShardIndex(id string, n int) int {
 	h := fnv.New32a()
 	h.Write([]byte(id))
-	return p.shards[h.Sum32()%uint32(len(p.shards))]
+	return int(h.Sum32() % uint32(n))
+}
+
+// shardFor hashes the sensor id onto its shard.
+func (p *Pipeline) shardFor(id string) *shard {
+	return p.shards[ShardIndex(id, len(p.shards))]
 }
 
 // Observe enqueues one observation for asynchronous apply. It returns

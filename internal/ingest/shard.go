@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 )
@@ -22,23 +23,27 @@ type shard struct {
 	id int
 	ch chan item
 
-	enqueued  atomic.Uint64
-	processed atomic.Uint64
-	dropped   atomic.Uint64
-	errs      atomic.Uint64
-	batches   atomic.Uint64
-	latencyNs atomic.Int64
+	enqueued    atomic.Uint64
+	processed   atomic.Uint64
+	dropped     atomic.Uint64
+	errs        atomic.Uint64
+	batches     atomic.Uint64
+	latencyNs   atomic.Int64
+	journalErrs atomic.Uint64
+	panics      atomic.Uint64
 }
 
 func (sh *shard) snapshot() ShardStats {
 	s := ShardStats{
-		Shard:      sh.id,
-		QueueDepth: len(sh.ch),
-		Enqueued:   sh.enqueued.Load(),
-		Processed:  sh.processed.Load(),
-		Dropped:    sh.dropped.Load(),
-		Errors:     sh.errs.Load(),
-		Batches:    sh.batches.Load(),
+		Shard:         sh.id,
+		QueueDepth:    len(sh.ch),
+		Enqueued:      sh.enqueued.Load(),
+		Processed:     sh.processed.Load(),
+		Dropped:       sh.dropped.Load(),
+		Errors:        sh.errs.Load(),
+		Batches:       sh.batches.Load(),
+		JournalErrors: sh.journalErrs.Load(),
+		Panics:        sh.panics.Load(),
 	}
 	if s.Batches > 0 {
 		s.AvgBatch = float64(s.Processed) / float64(s.Batches)
@@ -79,17 +84,43 @@ func (p *Pipeline) worker(sh *shard) {
 				close(it.flush)
 				continue
 			}
-			if err := p.sys.Observe(it.obs.Sensor, it.obs.Value); err != nil {
-				sh.errs.Add(1)
-				if p.cfg.OnError != nil {
-					p.cfg.OnError(it.obs, err)
-				}
-			}
+			p.applyItem(sh, it)
 			// The sensor's state changed (or at least may have): any
 			// cached forecast for it is stale.
 			p.co.invalidate(it.obs.Sensor)
 			sh.processed.Add(1)
 			sh.latencyNs.Add(time.Since(it.at).Nanoseconds())
+		}
+	}
+}
+
+// applyItem journals and applies one observation with a panic guard:
+// a panic in the journal or the apply (a bug or an injected fault)
+// becomes one errored observation, never a dead shard worker — every
+// sensor hashed onto this shard would silently stop ingesting
+// otherwise.
+func (p *Pipeline) applyItem(sh *shard, it item) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.panics.Add(1)
+			sh.errs.Add(1)
+			if p.cfg.OnError != nil {
+				p.cfg.OnError(it.obs, fmt.Errorf("ingest: recovered panic applying observation: %v", r))
+			}
+		}
+	}()
+	if p.cfg.Journal != nil {
+		if err := p.cfg.Journal(sh.id, it.obs.Sensor, it.obs.Value); err != nil {
+			sh.journalErrs.Add(1)
+			if p.cfg.OnError != nil {
+				p.cfg.OnError(it.obs, fmt.Errorf("ingest: journal failed (observation still applied): %w", err))
+			}
+		}
+	}
+	if err := p.sys.Observe(it.obs.Sensor, it.obs.Value); err != nil {
+		sh.errs.Add(1)
+		if p.cfg.OnError != nil {
+			p.cfg.OnError(it.obs, err)
 		}
 	}
 }

@@ -25,6 +25,12 @@ type ShardStats struct {
 	// AvgLatencyMicros is the mean enqueue-to-applied latency in
 	// microseconds (0 before any observation).
 	AvgLatencyMicros float64 `json:"avg_latency_us"`
+	// JournalErrors counts observations whose write-ahead-log append
+	// failed (the observation was still applied).
+	JournalErrors uint64 `json:"journal_errors"`
+	// Panics counts panics recovered inside the shard worker — each one
+	// an errored observation instead of a dead worker.
+	Panics uint64 `json:"panics"`
 }
 
 // CoalesceStats snapshots the forecast-coalescing layer.
@@ -43,6 +49,10 @@ type CoalesceStats struct {
 	// CacheSize is the number of (sensor, horizon) forecasts cached
 	// right now.
 	CacheSize int `json:"cache_size"`
+	// Panics counts panics recovered inside forecast flights — each one
+	// surfaced as an error to the callers of that flight instead of a
+	// crashed process.
+	Panics uint64 `json:"panics"`
 }
 
 // Stats is a point-in-time snapshot of the whole pipeline, served by
@@ -87,6 +97,8 @@ func (p *Pipeline) Stats() Stats {
 		t.Dropped += s.Dropped
 		t.Errors += s.Errors
 		t.Batches += s.Batches
+		t.JournalErrors += s.JournalErrors
+		t.Panics += s.Panics
 		totalLatencyNs += sh.latencyNs.Load()
 	}
 	if st.Totals.Batches > 0 {

@@ -2,25 +2,51 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 
 	"smiler/internal/ingest"
 )
 
+// RetryPolicy bounds the client's automatic retries of idempotent
+// GETs. Retries fire on transport errors, HTTP 5xx and HTTP 429, with
+// jittered exponential backoff; POST/DELETE are never retried (an
+// enqueue or a registration might have landed before the failure).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (1 = no retries).
+	MaxAttempts int
+	// BaseDelay is the first backoff step (doubled per attempt, with
+	// up to 50% uniform jitter added).
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy retries idempotent GETs up to 3 times with
+// 50ms/100ms jittered backoff.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+}
+
 // Client is a typed HTTP client for the SMiLer service. It is a thin
 // convenience wrapper for tools and tests; any HTTP client works.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
+	rng   *rand.Rand
 }
 
 // NewClient targets a service at base (e.g. "http://localhost:8080").
-// httpClient may be nil for http.DefaultClient.
+// httpClient may be nil for http.DefaultClient. The client retries
+// idempotent GETs per DefaultRetryPolicy; see SetRetryPolicy.
 func NewClient(base string, httpClient *http.Client) (*Client, error) {
 	u, err := url.Parse(base)
 	if err != nil {
@@ -32,41 +58,113 @@ func NewClient(base string, httpClient *http.Client) (*Client, error) {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: u.String(), hc: httpClient}, nil
+	return &Client{
+		base:  u.String(),
+		hc:    httpClient,
+		retry: DefaultRetryPolicy(),
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+	}, nil
 }
 
+// SetRetryPolicy replaces the GET retry policy ({MaxAttempts: 1}
+// disables retries). Not safe to call concurrently with requests.
+func (c *Client) SetRetryPolicy(p RetryPolicy) { c.retry = p }
+
 func (c *Client) do(method, path string, body, out any) error {
-	var rd io.Reader
+	return c.doCtx(context.Background(), method, path, body, out)
+}
+
+// doCtx issues one API request. Idempotent GETs are retried on
+// transport errors and retryable statuses (5xx, 429) with jittered
+// exponential backoff, respecting ctx cancellation between attempts.
+func (c *Client) doCtx(ctx context.Context, method, path string, body, out any) error {
+	var payload []byte
 	if body != nil {
 		b, err := json.Marshal(body)
 		if err != nil {
 			return err
 		}
-		rd = bytes.NewReader(b)
+		payload = b
 	}
-	req, err := http.NewRequest(method, c.base+path, rd)
+	attempts := 1
+	if method == http.MethodGet && c.retry.MaxAttempts > 1 {
+		attempts = c.retry.MaxAttempts
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleepBackoff(ctx, attempt); err != nil {
+				return lastErr
+			}
+		}
+		err, retryable := c.doOnce(ctx, method, path, payload, body != nil, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable || ctx.Err() != nil {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// sleepBackoff waits the attempt's jittered exponential delay, or
+// returns early on ctx cancellation.
+func (c *Client) sleepBackoff(ctx context.Context, attempt int) error {
+	d := c.retry.BaseDelay << (attempt - 1)
+	if c.retry.MaxDelay > 0 && d > c.retry.MaxDelay {
+		d = c.retry.MaxDelay
+	}
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	// Up to 50% uniform jitter decorrelates clients retrying in sync.
+	d += time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// doOnce issues a single request; the second return reports whether a
+// failure is safe and worthwhile to retry.
+func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte, hasBody bool, out any) (err error, retryable bool) {
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return err
+		return err, false
 	}
-	if body != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		return err, true // transport error: connection refused, reset, timeout
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
+		retry := resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
 		var er errorResponse
 		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
-			return fmt.Errorf("server: %s %s: %s (HTTP %d)", method, path, er.Error, resp.StatusCode)
+			return fmt.Errorf("server: %s %s: %s (HTTP %d)", method, path, er.Error, resp.StatusCode), retry
 		}
-		return fmt.Errorf("server: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return fmt.Errorf("server: %s %s: HTTP %d", method, path, resp.StatusCode), retry
 	}
 	if out == nil {
-		return nil
+		return nil, false
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return err, false
+	}
+	return nil, false
 }
 
 // AddSensor registers a sensor with its history.

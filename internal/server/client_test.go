@@ -1,0 +1,166 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyHandler fails the first failures requests with the given status
+// and then serves a fixed JSON body.
+type flakyHandler struct {
+	failures int32
+	status   int
+	calls    atomic.Int32
+	body     any
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := f.calls.Add(1)
+	if n <= atomic.LoadInt32(&f.failures) {
+		w.WriteHeader(f.status)
+		json.NewEncoder(w).Encode(errorResponse{Error: "transient"})
+		return
+	}
+	json.NewEncoder(w).Encode(f.body)
+}
+
+func fastRetry(attempts int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+}
+
+func TestClientRetriesFlakyGET(t *testing.T) {
+	h := &flakyHandler{failures: 2, status: http.StatusServiceUnavailable, body: []string{"a", "b"}}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c, err := NewClient(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetryPolicy(fastRetry(3))
+
+	ids, err := c.Sensors()
+	if err != nil {
+		t.Fatalf("GET should have recovered after retries, got %v", err)
+	}
+	if len(ids) != 2 || ids[0] != "a" {
+		t.Fatalf("ids = %v, want [a b]", ids)
+	}
+	if got := h.calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+}
+
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	h := &flakyHandler{failures: 100, status: http.StatusInternalServerError, body: nil}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c, err := NewClient(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetryPolicy(fastRetry(3))
+
+	if _, err := c.Sensors(); err == nil {
+		t.Fatal("want error after retry budget exhausted")
+	} else if !strings.Contains(err.Error(), "HTTP 500") {
+		t.Fatalf("err = %v, want the final HTTP 500", err)
+	}
+	if got := h.calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want exactly the 3-attempt budget", got)
+	}
+}
+
+func TestClientNoRetryOn4xx(t *testing.T) {
+	h := &flakyHandler{failures: 100, status: http.StatusNotFound, body: nil}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c, err := NewClient(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetryPolicy(fastRetry(5))
+
+	if _, err := c.Sensors(); err == nil {
+		t.Fatal("want error on 404")
+	}
+	if got := h.calls.Load(); got != 1 {
+		t.Fatalf("server saw %d requests; 4xx must not be retried", got)
+	}
+}
+
+func TestClientNoRetryOnPOST(t *testing.T) {
+	h := &flakyHandler{failures: 100, status: http.StatusServiceUnavailable, body: nil}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c, err := NewClient(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetryPolicy(fastRetry(5))
+
+	if err := c.Observe("s", 1.0); err == nil {
+		t.Fatal("want error on failing POST")
+	}
+	if got := h.calls.Load(); got != 1 {
+		t.Fatalf("server saw %d requests; POST must never be retried", got)
+	}
+}
+
+func TestClientRetryTransportError(t *testing.T) {
+	// A server that is started and immediately closed yields a
+	// connection-refused transport error on every attempt.
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close()
+
+	c, err := NewClient(url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetryPolicy(fastRetry(3))
+
+	start := time.Now()
+	if _, err := c.Sensors(); err == nil {
+		t.Fatal("want transport error")
+	}
+	// Two backoff sleeps (1ms, 2ms) must have happened; generous bound.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retries took %v, backoff not bounded", elapsed)
+	}
+}
+
+func TestClientRetryRespectsContext(t *testing.T) {
+	h := &flakyHandler{failures: 100, status: http.StatusServiceUnavailable, body: nil}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c, err := NewClient(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 50, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = c.doCtx(ctx, http.MethodGet, "/sensors", nil, nil)
+	if err == nil {
+		t.Fatal("want error under cancelled context")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled retry loop ran %v; must stop promptly", elapsed)
+	}
+	if got := h.calls.Load(); got >= 50 {
+		t.Fatalf("server saw %d requests; cancellation must cut the budget short", got)
+	}
+}

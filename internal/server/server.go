@@ -7,7 +7,10 @@
 //
 // Routes:
 //
-//	GET    /healthz                 liveness probe
+//	GET    /healthz                 liveness probe (200 while the process runs)
+//	GET    /readyz                  readiness probe (503 while recovering
+//	                                from the WAL at startup or draining on
+//	                                SIGTERM)
 //	GET    /stats                   device memory + sensor count
 //	GET    /metrics                 Prometheus text exposition (prediction
 //	                                phase histograms, kNN pruning counters,
@@ -83,6 +86,25 @@ type Server struct {
 	interval time.Duration
 	regMu    sync.Mutex
 	regs     map[string]*timeseries.Regularizer
+
+	// ready/draining drive GET /readyz: a server replaying its WAL at
+	// startup is alive (healthz 200) but not ready (readyz 503), and a
+	// server draining on SIGTERM flips back to not-ready so load
+	// balancers stop routing to it before the listener closes.
+	ready    atomic.Bool
+	draining atomic.Bool
+
+	// journal, when set, records sensor registrations and removals
+	// durably (the WAL) so they survive a crash between checkpoints.
+	journal SensorJournal
+}
+
+// SensorJournal persists sensor lifecycle events. A journal failure is
+// logged and counted but does not fail the request: availability over
+// durability, consistent with the observation journal.
+type SensorJournal interface {
+	AppendAddSensor(id string, history []float64) error
+	AppendRemoveSensor(id string) error
 }
 
 // Options configures optional server behaviour.
@@ -97,6 +119,12 @@ type Options struct {
 	// per request with method, path, status, latency and request ID.
 	// Nil disables the log line (request IDs and metrics still flow).
 	Logger *slog.Logger
+	// StartNotReady makes GET /readyz answer 503 until SetReady is
+	// called — the recovery window where the WAL is still replaying.
+	StartNotReady bool
+	// SensorJournal, when set, receives sensor add/remove events for
+	// durable logging.
+	SensorJournal SensorJournal
 }
 
 // New wraps a system behind a default-configured ingestion pipeline.
@@ -136,8 +164,11 @@ func NewWithOptions(sys *smiler.System, opts Options) (*Server, error) {
 		reqPrefix: strconv.FormatInt(time.Now().UnixNano(), 36),
 		interval:  opts.Interval,
 		regs:      make(map[string]*timeseries.Regularizer),
+		journal:   opts.SensorJournal,
 	}
+	s.ready.Store(!opts.StartNotReady)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/trace/", s.handleTrace)
@@ -159,6 +190,14 @@ func (s *Server) Close() error { return s.pipe.Close() }
 // Pipeline exposes the ingestion pipeline (stats, manual drains).
 func (s *Server) Pipeline() *ingest.Pipeline { return s.pipe }
 
+// SetReady flips /readyz to 200 — recovery (checkpoint load + WAL
+// replay) is complete and the server can take traffic.
+func (s *Server) SetReady() { s.ready.Store(true) }
+
+// SetDraining flips /readyz to 503 ahead of shutdown so load balancers
+// drain this instance while in-flight requests finish.
+func (s *Server) SetDraining() { s.draining.Store(true) }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)
@@ -178,16 +217,31 @@ type ObserveRequest struct {
 	Values []float64 `json:"values,omitempty"`
 }
 
-// ForecastResponse is a forecast with its central interval.
+// ForecastResponse is a forecast with its central interval. Degraded
+// marks a fallback answer (the full pipeline failed or missed its
+// deadline and the configured baseline answered instead) — still HTTP
+// 200, because the client got a usable forecast.
 type ForecastResponse struct {
-	ID       string  `json:"id"`
-	Horizon  int     `json:"horizon"`
-	Mean     float64 `json:"mean"`
-	Variance float64 `json:"variance"`
-	StdDev   float64 `json:"stddev"`
-	Lo       float64 `json:"lo"`
-	Hi       float64 `json:"hi"`
-	Z        float64 `json:"z"`
+	ID             string  `json:"id"`
+	Horizon        int     `json:"horizon"`
+	Mean           float64 `json:"mean"`
+	Variance       float64 `json:"variance"`
+	StdDev         float64 `json:"stddev"`
+	Lo             float64 `json:"lo"`
+	Hi             float64 `json:"hi"`
+	Z              float64 `json:"z"`
+	Degraded       bool    `json:"degraded,omitempty"`
+	DegradedReason string  `json:"degraded_reason,omitempty"`
+}
+
+// forecastResponse assembles the wire shape from a Forecast.
+func forecastResponse(id string, h int, f smiler.Forecast, z float64) ForecastResponse {
+	lo, hi := f.Interval(z)
+	return ForecastResponse{
+		ID: id, Horizon: h, Mean: f.Mean, Variance: f.Variance,
+		StdDev: f.StdDev(), Lo: lo, Hi: hi, Z: z,
+		Degraded: f.Degraded, DegradedReason: f.DegradedReason,
+	}
 }
 
 // StatsResponse summarizes the system.
@@ -217,6 +271,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: distinct from /healthz
+// (liveness) — a recovering or draining process is alive but must not
+// receive traffic.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w)
+		return
+	}
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case !s.ready.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -290,6 +362,11 @@ func (s *Server) handleSensors(w http.ResponseWriter, r *http.Request) {
 			writeError(w, status, err.Error())
 			return
 		}
+		if s.journal != nil {
+			if jerr := s.journal.AppendAddSensor(req.ID, req.History); jerr != nil && s.log != nil {
+				s.log.Warn("sensor journal failed", "sensor", req.ID, "err", jerr)
+			}
+		}
 		writeJSON(w, http.StatusCreated, map[string]string{"id": req.ID})
 	default:
 		methodNotAllowed(w)
@@ -332,6 +409,11 @@ func (s *Server) deleteSensor(w http.ResponseWriter, id string) {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
+	if s.journal != nil {
+		if jerr := s.journal.AppendRemoveSensor(id); jerr != nil && s.log != nil {
+			s.log.Warn("sensor journal failed", "sensor", id, "err", jerr)
+		}
+	}
 	s.pipe.Invalidate(id) // drop any cached forecasts for the dead sensor
 	s.regMu.Lock()
 	delete(s.regs, id)
@@ -365,11 +447,7 @@ func (s *Server) forecast(w http.ResponseWriter, r *http.Request, id string) {
 		writeError(w, statusFor(err), err.Error())
 		return
 	}
-	lo, hi := f.Interval(z)
-	writeJSON(w, http.StatusOK, ForecastResponse{
-		ID: id, Horizon: h, Mean: f.Mean, Variance: f.Variance,
-		StdDev: f.StdDev(), Lo: lo, Hi: hi, Z: z,
-	})
+	writeJSON(w, http.StatusOK, forecastResponse(id, h, f, z))
 }
 
 // forecastMulti serves a ladder of horizons from one shared kNN
@@ -398,19 +476,16 @@ func (s *Server) forecastMulti(w http.ResponseWriter, r *http.Request, id string
 		}
 		z = parsed
 	}
-	fs, err := s.sys.PredictHorizons(id, hs)
+	// The request's context carries the client disconnect (and any
+	// proxy deadline) into the pipeline's phase-boundary checks.
+	fs, err := s.sys.PredictHorizonsCtx(r.Context(), id, hs)
 	if err != nil {
 		writeError(w, statusFor(err), err.Error())
 		return
 	}
 	out := make([]ForecastResponse, 0, len(hs))
 	for _, h := range hs {
-		f := fs[h]
-		lo, hi := f.Interval(z)
-		out = append(out, ForecastResponse{
-			ID: id, Horizon: h, Mean: f.Mean, Variance: f.Variance,
-			StdDev: f.StdDev(), Lo: lo, Hi: hi, Z: z,
-		})
+		out = append(out, forecastResponse(id, h, fs[h], z))
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -1,0 +1,192 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Manager shards one logical WAL across N per-shard Logs, mirroring
+// the ingestion pipeline's sharding: a sensor's registration and all
+// its observations land in one shard's log, so per-sensor ordering is
+// preserved by per-shard append order — the same argument the
+// ingestion pipeline makes for its queues. Cross-sensor order is not
+// preserved and does not matter (sensors are independent).
+type Manager struct {
+	dir      string
+	logs     []*Log
+	shardFor func(id string, shards int) int
+}
+
+func shardDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
+}
+
+// OpenManager opens (creating as needed) a sharded WAL under dir with
+// one log per shard. shardFor maps a sensor id onto its shard and
+// must match the ingestion pipeline's placement (ingest.ShardIndex)
+// so registration records share a log with their observations.
+func OpenManager(dir string, shards int, opts Options, shardFor func(id string, shards int) int) (*Manager, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("wal: shard count %d must be positive", shards)
+	}
+	if shardFor == nil {
+		return nil, fmt.Errorf("wal: nil shard function")
+	}
+	m := &Manager{dir: dir, logs: make([]*Log, shards), shardFor: shardFor}
+	for i := range m.logs {
+		l, err := Open(shardDir(dir, i), opts)
+		if err != nil {
+			for _, open := range m.logs[:i] {
+				open.Close()
+			}
+			return nil, err
+		}
+		m.logs[i] = l
+	}
+	return m, nil
+}
+
+// Shards returns the number of shard logs.
+func (m *Manager) Shards() int { return len(m.logs) }
+
+// AppendObserve logs one observation into the given shard's log (the
+// shard the ingestion pipeline routed the observation to).
+func (m *Manager) AppendObserve(shard int, id string, v float64) error {
+	if shard < 0 || shard >= len(m.logs) {
+		return fmt.Errorf("wal: shard %d out of range [0, %d)", shard, len(m.logs))
+	}
+	_, err := m.logs[shard].Append(Record{Type: RecObserve, Sensor: id, Value: v})
+	return err
+}
+
+// AppendAddSensor logs a sensor registration into the sensor's shard.
+func (m *Manager) AppendAddSensor(id string, history []float64) error {
+	_, err := m.logs[m.shardFor(id, len(m.logs))].Append(Record{
+		Type: RecAddSensor, Sensor: id, History: history,
+	})
+	return err
+}
+
+// AppendRemoveSensor logs a sensor removal into the sensor's shard.
+func (m *Manager) AppendRemoveSensor(id string) error {
+	_, err := m.logs[m.shardFor(id, len(m.logs))].Append(Record{
+		Type: RecRemoveSensor, Sensor: id,
+	})
+	return err
+}
+
+// Sync fsyncs every shard log.
+func (m *Manager) Sync() error {
+	for _, l := range m.logs {
+		if err := l.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reset discards every record in every shard log (all are covered by
+// a just-written checkpoint).
+func (m *Manager) Reset() error {
+	for _, l := range m.logs {
+		if err := l.Reset(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close seals every shard log.
+func (m *Manager) Close() error {
+	var first error
+	for _, l := range m.logs {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stats sums the per-shard log counters.
+func (m *Manager) Stats() LogStats {
+	var st LogStats
+	for _, l := range m.logs {
+		s := l.Stats()
+		st.Appends += s.Appends
+		st.Syncs += s.Syncs
+		st.Bytes += s.Bytes
+		st.Rotations += s.Rotations
+	}
+	return st
+}
+
+// ReplayDir visits every intact record under a sharded WAL directory,
+// shard by shard (ascending shard index), in append order within each
+// shard. It reads whatever shard directories exist on disk — not a
+// configured count — so recovery survives a restart with a different
+// shard setting. Per shard, replay stops cleanly at the first torn or
+// corrupt record; stats are aggregated across shards.
+func ReplayDir(dir string, fn func(shard int, seq uint64, r Record) error) (ReplayStats, error) {
+	var st ReplayStats
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return st, nil
+	}
+	if err != nil {
+		return st, fmt.Errorf("wal: %w", err)
+	}
+	var shards []int
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "shard-") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimPrefix(e.Name(), "shard-"))
+		if err != nil {
+			continue
+		}
+		shards = append(shards, n)
+	}
+	sort.Ints(shards)
+	for _, shard := range shards {
+		sub, err := Replay(shardDir(dir, shard), func(seq uint64, r Record) error {
+			return fn(shard, seq, r)
+		})
+		st.Records += sub.Records
+		st.Segments += sub.Segments
+		if sub.Torn {
+			st.Torn = true
+			st.TornSegment = sub.TornSegment
+		}
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// RemoveDir deletes a sharded WAL directory tree entirely — used after
+// a recovery checkpoint has captured everything the WAL held. The
+// directory itself is kept (recreated empty) so a configured -wal-dir
+// stays valid.
+func RemoveDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "shard-") {
+			continue
+		}
+		if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// RecordType discriminates WAL record payloads.
+type RecordType uint8
+
+const (
+	// RecObserve logs one streamed observation (Sensor, Value).
+	RecObserve RecordType = 1
+	// RecAddSensor logs a sensor registration (Sensor, History).
+	RecAddSensor RecordType = 2
+	// RecRemoveSensor logs a sensor removal (Sensor).
+	RecRemoveSensor RecordType = 3
+)
+
+func (t RecordType) String() string {
+	switch t {
+	case RecObserve:
+		return "observe"
+	case RecAddSensor:
+		return "add-sensor"
+	case RecRemoveSensor:
+		return "remove-sensor"
+	default:
+		return fmt.Sprintf("RecordType(%d)", int(t))
+	}
+}
+
+// Record is one durable event. Which fields are meaningful depends on
+// Type: Value for RecObserve, History for RecAddSensor.
+type Record struct {
+	Type    RecordType
+	Sensor  string
+	Value   float64
+	History []float64
+}
+
+// maxPayload bounds one record's encoded payload; a frame header
+// claiming more is treated as corruption, not an allocation request.
+// Large enough for an add-sensor record carrying a multi-million-point
+// history.
+const maxPayload = 64 << 20
+
+// appendPayload encodes the record payload (everything inside the
+// frame) onto buf.
+func appendPayload(buf []byte, r Record) ([]byte, error) {
+	switch r.Type {
+	case RecObserve, RecAddSensor, RecRemoveSensor:
+	default:
+		return nil, fmt.Errorf("wal: unknown record type %d", int(r.Type))
+	}
+	buf = append(buf, byte(r.Type))
+	buf = binary.AppendUvarint(buf, uint64(len(r.Sensor)))
+	buf = append(buf, r.Sensor...)
+	switch r.Type {
+	case RecObserve:
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Value))
+	case RecAddSensor:
+		buf = binary.AppendUvarint(buf, uint64(len(r.History)))
+		for _, v := range r.History {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	if len(buf) > maxPayload {
+		return nil, fmt.Errorf("wal: record payload %d bytes exceeds cap %d", len(buf), maxPayload)
+	}
+	return buf, nil
+}
+
+// decodePayload parses one record payload. Any structural mismatch is
+// an error (the caller treats it as corruption).
+func decodePayload(p []byte) (Record, error) {
+	var r Record
+	if len(p) < 1 {
+		return r, fmt.Errorf("wal: empty payload")
+	}
+	r.Type = RecordType(p[0])
+	p = p[1:]
+	idLen, n := binary.Uvarint(p)
+	if n <= 0 || idLen > uint64(len(p)-n) {
+		return r, fmt.Errorf("wal: bad sensor-id length")
+	}
+	p = p[n:]
+	r.Sensor = string(p[:idLen])
+	p = p[idLen:]
+	switch r.Type {
+	case RecObserve:
+		if len(p) != 8 {
+			return r, fmt.Errorf("wal: observe payload has %d trailing bytes, want 8", len(p))
+		}
+		r.Value = math.Float64frombits(binary.LittleEndian.Uint64(p))
+	case RecAddSensor:
+		count, n := binary.Uvarint(p)
+		if n <= 0 {
+			return r, fmt.Errorf("wal: bad history length")
+		}
+		p = p[n:]
+		if uint64(len(p)) != 8*count {
+			return r, fmt.Errorf("wal: add-sensor history has %d bytes, want %d", len(p), 8*count)
+		}
+		r.History = make([]float64, count)
+		for i := range r.History {
+			r.History[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
+		}
+	case RecRemoveSensor:
+		if len(p) != 0 {
+			return r, fmt.Errorf("wal: remove-sensor payload has %d trailing bytes", len(p))
+		}
+	default:
+		return r, fmt.Errorf("wal: unknown record type %d", int(r.Type))
+	}
+	return r, nil
+}

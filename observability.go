@@ -1,6 +1,7 @@
 package smiler
 
 import (
+	"errors"
 	"strconv"
 
 	"smiler/internal/core"
@@ -35,7 +36,17 @@ type systemObs struct {
 	knnCandidates *obs.Counter
 	knnPruned     *obs.Counter
 	knnUnfiltered *obs.Counter
+
+	// Fault-tolerance instruments: degraded (fallback) answers by
+	// failure reason, and panics recovered into errors instead of
+	// crashing the process.
+	degraded        map[string]*obs.Counter
+	panicsRecovered *obs.Counter
 }
+
+// degradeReasons are the label values of the degraded-predictions
+// counter (see degradeReason).
+var degradeReasons = []string{"deadline", "panic", "error"}
 
 // newSystemObs builds the registry and instruments (enabled mode).
 func newSystemObs() *systemObs {
@@ -59,6 +70,14 @@ func newSystemObs() *systemObs {
 			"Candidates eliminated by the LBen filter without DTW verification."),
 		knnUnfiltered: reg.Counter("smiler_knn_unfiltered_total",
 			"Candidates that survived the filter and required DTW verification."),
+	}
+	so.panicsRecovered = reg.Counter("smiler_panics_recovered_total",
+		"Panics recovered into errors (predict workers, ingest shards, coalescer flights).")
+	so.degraded = make(map[string]*obs.Counter, len(degradeReasons))
+	for _, reason := range degradeReasons {
+		so.degraded[reason] = reg.Counter("smiler_degraded_predictions_total",
+			"Predictions answered by the fallback baseline instead of the full pipeline.",
+			obs.L("reason", reason))
 	}
 	for _, ph := range predictPhases {
 		so.predictPhase[ph] = reg.Histogram("smiler_predict_phase_seconds",
@@ -144,6 +163,30 @@ func (so *systemObs) recordObserve(totalSec float64, timing core.ObserveTiming, 
 	so.observePhase["reweight"].Observe(timing.ReweightSec)
 	so.observePhase["advance"].Observe(timing.AdvanceSec)
 }
+
+// recordDegraded counts one fallback answer by failure reason, and the
+// recovered panic behind it if that is what failed the pipeline.
+func (so *systemObs) recordDegraded(reason string, err error) {
+	if so.degraded != nil {
+		if c, ok := so.degraded[reason]; ok {
+			c.Inc()
+		}
+	}
+	so.countPanic(err)
+}
+
+// countPanic bumps the recovered-panic counter when err carries the
+// core.ErrPanicked sentinel (nil-safe, cheap on the non-panic path).
+func (so *systemObs) countPanic(err error) {
+	if err != nil && errors.Is(err, core.ErrPanicked) {
+		so.panicsRecovered.Inc()
+	}
+}
+
+// PanicsRecovered reports the number of panics recovered inside the
+// prediction pipeline so far — each one a degraded answer or an error
+// instead of a dead process (0 with metrics disabled).
+func (s *System) PanicsRecovered() uint64 { return s.obs.panicsRecovered.Value() }
 
 // Metrics returns the system's metrics registry (nil when the system
 // was built with DisableMetrics — a nil registry serves the whole obs

@@ -28,15 +28,18 @@
 package smiler
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"smiler/internal/baselines"
 	"smiler/internal/core"
 	"smiler/internal/gpusim"
 	"smiler/internal/index"
@@ -66,6 +69,48 @@ func (k PredictorKind) String() string {
 	default:
 		return fmt.Sprintf("PredictorKind(%d)", int(k))
 	}
+}
+
+// FallbackKind selects the graceful-degradation predictor used when
+// the full semi-lazy pipeline fails or misses its deadline.
+type FallbackKind int
+
+const (
+	// FallbackNone disables degradation: pipeline errors surface to the
+	// caller unchanged.
+	FallbackNone FallbackKind = iota
+	// FallbackPersistence answers with the last observed value and a
+	// random-walk variance — the cheapest defensible forecast.
+	FallbackPersistence
+	// FallbackAR1 answers with a lag-1 autoregression fitted on the
+	// recent history window.
+	FallbackAR1
+)
+
+func (k FallbackKind) String() string {
+	switch k {
+	case FallbackNone:
+		return "none"
+	case FallbackPersistence:
+		return "persistence"
+	case FallbackAR1:
+		return "ar1"
+	default:
+		return fmt.Sprintf("FallbackKind(%d)", int(k))
+	}
+}
+
+// ParseFallback maps a flag value onto a FallbackKind.
+func ParseFallback(s string) (FallbackKind, error) {
+	switch strings.ToLower(s) {
+	case "", "none", "off":
+		return FallbackNone, nil
+	case "persistence", "naive":
+		return FallbackPersistence, nil
+	case "ar1", "ar":
+		return FallbackAR1, nil
+	}
+	return FallbackNone, fmt.Errorf("smiler: unknown fallback %q (none|persistence|ar1)", s)
 }
 
 // Config configures a System. DefaultConfig returns the paper's
@@ -144,6 +189,19 @@ type Config struct {
 	// in the index verification step (an exactness-preserving
 	// optimization, on by default) for ablations and debugging.
 	DisableEarlyAbandon bool
+
+	// PredictDeadline bounds every prediction that arrives without its
+	// own context deadline: when it elapses, the pipeline stops at the
+	// next phase boundary and — with Fallback set — the caller gets a
+	// degraded answer instead of an error. 0 means no implicit
+	// deadline.
+	PredictDeadline time.Duration
+
+	// Fallback selects the graceful-degradation predictor. With
+	// FallbackNone (default), pipeline failures surface as errors; with
+	// persistence or AR(1), they come back as answers tagged
+	// Forecast.Degraded with the failure reason.
+	Fallback FallbackKind
 }
 
 // DefaultConfig returns the paper's default parameters: ρ=8, ω=16,
@@ -171,6 +229,15 @@ type Forecast struct {
 	Variance float64
 	// Horizon is the look-ahead h the forecast was made for.
 	Horizon int
+	// Degraded marks a fallback answer: the full semi-lazy pipeline
+	// failed or missed its deadline and the forecast came from the
+	// configured cheap baseline instead. Degraded answers are still
+	// calibrated (mean + variance) but carry none of the kNN/GP
+	// machinery's accuracy.
+	Degraded bool
+	// DegradedReason classifies why ("deadline", "panic", "error");
+	// empty when Degraded is false.
+	DegradedReason string
 }
 
 // StdDev returns the predictive standard deviation.
@@ -424,30 +491,80 @@ func (s *System) HistoryLen(id string) (int, error) {
 	return len(st.ix.History()), nil
 }
 
+// History returns a copy of the sensor's indexed points in arrival
+// order — its initial history followed by every streamed observation —
+// in the original units (the internal normalization is inverted).
+// Recovery tests compare this against a reference stream.
+func (s *System) History(id string) ([]float64, error) {
+	st, err := s.sensor(id)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := append([]float64(nil), st.ix.History()...)
+	if st.norm != nil {
+		for i, v := range out {
+			out[i] = st.norm.Invert(v)
+		}
+	}
+	return out, nil
+}
+
 // Predict forecasts the sensor's value h steps ahead of its latest
 // observation. With metrics enabled, the prediction's per-phase
 // latencies and kNN effectiveness land in the registry and a trace of
 // its spans in the trace store.
 func (s *System) Predict(id string, h int) (Forecast, error) {
+	return s.PredictCtx(context.Background(), id, h)
+}
+
+// PredictCtx is Predict with a deadline: the context is checked at
+// every pipeline phase boundary. With Config.Fallback set, any
+// operational failure — deadline exceeded, a predictor panic, a GP or
+// index error — comes back as a degraded answer from the cheap
+// baseline instead of an error. Validation failures (unknown sensor,
+// non-positive horizon) always surface as errors; there is nothing to
+// degrade to.
+func (s *System) PredictCtx(ctx context.Context, id string, h int) (Forecast, error) {
 	st, err := s.sensor(id)
 	if err != nil {
 		s.obs.predictErrs.Inc()
 		return Forecast{}, err
 	}
+	if h <= 0 {
+		s.obs.predictErrs.Inc()
+		return Forecast{}, fmt.Errorf("smiler: horizon %d must be positive", h)
+	}
+	ctx, cancel := s.predictContext(ctx)
+	defer cancel()
 	var tr *obs.Trace
 	if s.obs.traces != nil {
 		tr = obs.NewTrace(id, h)
 	}
 	start := time.Now()
 	st.mu.Lock()
-	pred, err := st.pipe.PredictTraced(h, tr)
+	pred, err := st.pipe.PredictTracedCtx(ctx, h, tr)
 	timing := st.pipe.Timing()
 	searchStats := st.ix.Stats()
+	if err != nil && s.cfg.Fallback != FallbackNone {
+		if fb, fbErr := s.fallbackLocked(st, h); fbErr == nil {
+			st.mu.Unlock()
+			reason := degradeReason(err)
+			s.obs.recordDegraded(reason, err)
+			tr.SetStat("degraded", 1)
+			tr.Finish(nil)
+			s.obs.traces.Add(tr)
+			fb.DegradedReason = reason
+			return fb, nil
+		}
+	}
 	st.mu.Unlock()
 	s.obs.recordPredict(time.Since(start).Seconds(), timing, searchStats, err)
 	tr.Finish(err)
 	s.obs.traces.Add(tr)
 	if err != nil {
+		s.obs.countPanic(err)
 		return Forecast{}, err
 	}
 	f := Forecast{Mean: pred.Mean, Variance: pred.Variance, Horizon: h}
@@ -463,11 +580,31 @@ func (s *System) Predict(id string, h int) (Forecast, error) {
 // Equivalent to calling Predict per horizon, considerably cheaper when
 // forecasting a ladder of lead times.
 func (s *System) PredictHorizons(id string, hs []int) (map[int]Forecast, error) {
+	return s.PredictHorizonsCtx(context.Background(), id, hs)
+}
+
+// PredictHorizonsCtx is PredictHorizons with a deadline and — when
+// Config.Fallback is set — graceful degradation (see PredictCtx): on
+// an operational failure every requested horizon gets a fallback
+// forecast.
+func (s *System) PredictHorizonsCtx(ctx context.Context, id string, hs []int) (map[int]Forecast, error) {
 	st, err := s.sensor(id)
 	if err != nil {
 		s.obs.predictErrs.Inc()
 		return nil, err
 	}
+	if len(hs) == 0 {
+		s.obs.predictErrs.Inc()
+		return nil, errors.New("smiler: empty horizon list")
+	}
+	for _, h := range hs {
+		if h <= 0 {
+			s.obs.predictErrs.Inc()
+			return nil, fmt.Errorf("smiler: horizon %d must be positive", h)
+		}
+	}
+	ctx, cancel := s.predictContext(ctx)
+	defer cancel()
 	var tr *obs.Trace
 	if s.obs.traces != nil {
 		tr = obs.NewTrace(id, hs...)
@@ -475,11 +612,33 @@ func (s *System) PredictHorizons(id string, hs []int) (map[int]Forecast, error) 
 	start := time.Now()
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	preds, err := st.pipe.PredictMultiTraced(hs, tr)
+	preds, err := st.pipe.PredictMultiTracedCtx(ctx, hs, tr)
+	if err != nil && s.cfg.Fallback != FallbackNone {
+		reason := degradeReason(err)
+		out := make(map[int]Forecast, len(hs))
+		ok := true
+		for _, h := range hs {
+			fb, fbErr := s.fallbackLocked(st, h)
+			if fbErr != nil {
+				ok = false
+				break
+			}
+			fb.DegradedReason = reason
+			out[h] = fb
+		}
+		if ok {
+			s.obs.recordDegraded(reason, err)
+			tr.SetStat("degraded", 1)
+			tr.Finish(nil)
+			s.obs.traces.Add(tr)
+			return out, nil
+		}
+	}
 	s.obs.recordPredict(time.Since(start).Seconds(), st.pipe.Timing(), st.ix.Stats(), err)
 	tr.Finish(err)
 	s.obs.traces.Add(tr)
 	if err != nil {
+		s.obs.countPanic(err)
 		return nil, err
 	}
 	out := make(map[int]Forecast, len(preds))
@@ -492,6 +651,55 @@ func (s *System) PredictHorizons(id string, hs []int) (map[int]Forecast, error) 
 		out[h] = f
 	}
 	return out, nil
+}
+
+// predictContext applies the configured PredictDeadline when the
+// caller's context carries no deadline of its own.
+func (s *System) predictContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.cfg.PredictDeadline <= 0 {
+		return ctx, func() {}
+	}
+	if _, has := ctx.Deadline(); has {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, s.cfg.PredictDeadline)
+}
+
+// degradeReason classifies an operational prediction failure for the
+// Forecast tag and the degraded-predictions metric.
+func degradeReason(err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return "deadline"
+	case errors.Is(err, core.ErrPanicked):
+		return "panic"
+	default:
+		return "error"
+	}
+}
+
+// fallbackLocked computes the degraded forecast from the sensor's
+// surviving history (normalized space when normalization is on, then
+// inverted like the normal path). Callers hold st.mu.
+func (s *System) fallbackLocked(st *sensorState, h int) (Forecast, error) {
+	hist := st.ix.History()
+	var pred baselines.Prediction
+	var err error
+	switch s.cfg.Fallback {
+	case FallbackAR1:
+		pred, err = baselines.AR1Fallback(hist, h)
+	default:
+		pred, err = baselines.PersistenceFallback(hist, h)
+	}
+	if err != nil {
+		return Forecast{}, err
+	}
+	f := Forecast{Mean: pred.Mean, Variance: pred.Variance, Horizon: h, Degraded: true}
+	if st.norm != nil {
+		f.Mean = st.norm.Invert(pred.Mean)
+		f.Variance = st.norm.InvertVariance(pred.Variance)
+	}
+	return f, nil
 }
 
 // Observe streams the next observation of the sensor into the system:
