@@ -52,6 +52,16 @@ type sensorCheckpoint struct {
 type checkpoint struct {
 	Version int
 	Sensors []sensorCheckpoint
+	// WALCover records, per write-ahead-log shard, the sequence number
+	// that shard's next append would have received when this checkpoint
+	// was saved: every WAL record with a lower sequence number is
+	// already folded into the checkpoint and must be skipped on replay.
+	// Saved atomically with the state it covers, it closes the crash
+	// window between a checkpoint save and the WAL reset it covers —
+	// without it those records would be applied twice. Nil when no WAL
+	// was in use (and in checkpoints written before the field existed;
+	// gob decodes the missing field as nil).
+	WALCover map[int]uint64
 }
 
 // SaveTo writes a checkpoint of the system — per-sensor histories,
@@ -60,12 +70,21 @@ type checkpoint struct {
 // truth (pending auto-tuning updates) are not persisted; after a
 // restore, the first few updates are simply skipped.
 func (s *System) SaveTo(w io.Writer) error {
+	return s.SaveToWithCover(w, nil)
+}
+
+// SaveToWithCover writes a checkpoint like SaveTo and embeds cover —
+// the per-shard WAL sequence numbers the checkpoint reaches (see
+// wal.Manager.NextSeqs). Replay skips records below the cover, so a
+// crash between the checkpoint save and the WAL reset it covers can
+// never double-apply observations.
+func (s *System) SaveToWithCover(w io.Writer, cover map[int]uint64) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return errors.New("smiler: system closed")
 	}
-	cp := checkpoint{Version: checkpointVersion}
+	cp := checkpoint{Version: checkpointVersion, WALCover: cover}
 	for _, id := range s.sensorsLocked() {
 		st := s.sensors[id]
 		st.mu.Lock()
@@ -110,21 +129,38 @@ func (s *System) SaveTo(w io.Writer) error {
 // leaves either the previous checkpoint or the new one, never a torn
 // mix.
 func (s *System) SaveFile(path string) error {
+	return s.SaveFileWithCover(path, nil)
+}
+
+// SaveFileWithCover writes a checkpoint crash-atomically like SaveFile
+// with an embedded WAL cover (see SaveToWithCover).
+func (s *System) SaveFileWithCover(path string, cover map[int]uint64) error {
 	if err := fault.Check(fault.PointCheckpointWrite); err != nil {
 		return err
 	}
-	return wal.WriteFileAtomic(path, s.SaveTo)
+	return wal.WriteFileAtomic(path, func(w io.Writer) error {
+		return s.SaveToWithCover(w, cover)
+	})
 }
 
 // LoadFile restores a System from a checkpoint file written by
 // SaveFile (see Load).
 func LoadFile(path string, cfg Config) (*System, error) {
+	sys, _, err := LoadFileWithCover(path, cfg)
+	return sys, err
+}
+
+// LoadFileWithCover restores a System from a checkpoint file and
+// returns the WAL cover embedded at save time (nil for checkpoints
+// saved without a WAL). Recovery passes the cover to WAL replay so
+// records the checkpoint already contains are skipped.
+func LoadFileWithCover(path string, cfg Config) (*System, map[int]uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
-	return Load(f, cfg)
+	return loadWithCover(f, cfg)
 }
 
 // sensorsLocked returns sorted ids; callers hold s.mu.
@@ -152,24 +188,29 @@ func sortStrings(xs []string) {
 // re-indexed from scratch, ensemble weights and GP hyperparameters are
 // restored by (k, d) match.
 func Load(r io.Reader, cfg Config) (*System, error) {
+	sys, _, err := loadWithCover(r, cfg)
+	return sys, err
+}
+
+func loadWithCover(r io.Reader, cfg Config) (*System, map[int]uint64, error) {
 	cp, err := decodeCheckpoint(r)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if cp.Version != checkpointVersion {
-		return nil, fmt.Errorf("smiler: checkpoint version %d, want %d", cp.Version, checkpointVersion)
+		return nil, nil, fmt.Errorf("smiler: checkpoint version %d, want %d", cp.Version, checkpointVersion)
 	}
 	sys, err := New(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, sc := range cp.Sensors {
 		if err := sys.restoreSensor(sc); err != nil {
 			sys.Close()
-			return nil, fmt.Errorf("smiler: restoring sensor %q: %w", sc.ID, err)
+			return nil, nil, fmt.Errorf("smiler: restoring sensor %q: %w", sc.ID, err)
 		}
 	}
-	return sys, nil
+	return sys, cp.WALCover, nil
 }
 
 // decodeCheckpoint reads the framed envelope: magic, CRC32C, gob
@@ -229,13 +270,10 @@ func (s *System) restoreSensor(sc sensorCheckpoint) error {
 		if err != nil {
 			return err
 		}
-		// Two points at mean ± std reproduce exactly the frozen
-		// statistics when refit.
-		norm, err := timeseries.NewNormalizer([]float64{sc.Norm.Mean - sc.Norm.Std, sc.Norm.Mean + sc.Norm.Std})
-		if err != nil {
-			return err
-		}
-		st.norm = norm
+		// Reinstate the frozen statistics bit-exactly; refitting on
+		// reconstructed points would only approximate them and recovered
+		// values would drift by an ulp from the never-crashed system.
+		st.norm = timeseries.NewNormalizerFromStats(sc.Norm)
 	} else {
 		if err := s.AddSensor(sc.ID, sc.History); err != nil {
 			return err

@@ -59,8 +59,12 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Restore must be bit-exact, not merely close: the normalizer
+	// reinstates frozen stats and ImportState must not renormalize
+	// already-normalized weights, so a recovered system forecasts
+	// identically to the live one it was checkpointed from.
 	for kd, w := range wantWeights {
-		if math.Abs(gotWeights[kd]-w) > 1e-9 {
+		if gotWeights[kd] != w {
 			t.Fatalf("weight %v: %v vs %v", kd, gotWeights[kd], w)
 		}
 	}
@@ -68,15 +72,64 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(gotForecast.Mean-wantForecast.Mean) > 1e-6 {
+	if gotForecast.Mean != wantForecast.Mean {
 		t.Fatalf("restored forecast %v, want %v", gotForecast.Mean, wantForecast.Mean)
 	}
-	if math.Abs(gotForecast.Variance-wantForecast.Variance) > 1e-6 {
+	if gotForecast.Variance != wantForecast.Variance {
 		t.Fatalf("restored variance %v, want %v", gotForecast.Variance, wantForecast.Variance)
 	}
 	// Streaming must keep working on the restored system (raw units).
 	if err := restored.Observe("a", all[430]); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCheckpointWALCoverRoundTrip: the cover saved with a checkpoint
+// must come back on load, and plain SaveFile must yield a nil cover
+// (as must checkpoints written before the field existed — gob decodes
+// the absent field as nil).
+func TestCheckpointWALCoverRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	rng := rand.New(rand.NewSource(2))
+	if err := sys.AddSensor("a", noisySeasonal(rng, 400, 10, 100)); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	withCover := dir + "/cover.gob"
+	cover := map[int]uint64{0: 17, 1: 0, 2: 131}
+	if err := sys.SaveFileWithCover(withCover, cover); err != nil {
+		t.Fatal(err)
+	}
+	restored, got, err := LoadFileWithCover(withCover, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if len(got) != len(cover) {
+		t.Fatalf("cover = %v, want %v", got, cover)
+	}
+	for shard, seq := range cover {
+		if got[shard] != seq {
+			t.Fatalf("cover[%d] = %d, want %d", shard, got[shard], seq)
+		}
+	}
+
+	plain := dir + "/plain.gob"
+	if err := sys.SaveFile(plain); err != nil {
+		t.Fatal(err)
+	}
+	restored2, got2, err := LoadFileWithCover(plain, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored2.Close()
+	if got2 != nil {
+		t.Fatalf("plain SaveFile produced cover %v, want nil", got2)
 	}
 }
 

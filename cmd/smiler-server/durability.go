@@ -14,10 +14,13 @@ import (
 	"smiler/internal/wal"
 )
 
-// walShards resolves the shard count the WAL must mirror: the
-// ingestion pipeline's configured worker count (its own default is
-// GOMAXPROCS). Recovery does not depend on this matching a previous
-// run — ReplayDir reads whatever shard directories exist.
+// walShards resolves the shard count requested for a fresh WAL
+// directory: the ingestion pipeline's configured worker count (its own
+// default is GOMAXPROCS). A directory that already holds logs pins its
+// own count in a meta file, which OpenManager reuses regardless of
+// this value — sensor→shard placement must not move while records for
+// the old placement remain on disk. The pipeline is then sized from
+// Manager.Shards() so placement agrees end to end.
 func walShards(configured int) int {
 	if configured > 0 {
 		return configured
@@ -36,18 +39,26 @@ func walOptions(o options) (wal.Options, error) {
 
 // recoverWAL replays every intact record under dir into the system,
 // stopping cleanly per shard at the first torn or corrupt record.
-// Replay application is idempotent-tolerant: a record that no longer
-// applies (re-adding a sensor the checkpoint already holds, removing
-// one it never saw) is counted and skipped, not fatal — such records
-// appear only in the crash window between a checkpoint save and the
-// WAL reset it covers.
-func recoverWAL(sys *smiler.System, dir string, logger *slog.Logger) (wal.ReplayStats, error) {
-	applied, skipped := 0, 0
+// cover is the checkpoint's embedded WAL position (per-shard next
+// sequence number at checkpoint save): records below it are already in
+// the checkpoint and are skipped, so a crash between a checkpoint save
+// and the WAL reset it covers never double-applies observations.
+// Replay application is additionally idempotent-tolerant: a record
+// that no longer applies (re-adding a sensor the checkpoint already
+// holds, removing one it never saw) is counted and skipped, not fatal
+// — the remaining defense for checkpoints written before the cover
+// field existed.
+func recoverWAL(sys *smiler.System, dir string, cover map[int]uint64, logger *slog.Logger) (wal.ReplayStats, error) {
+	applied, skipped, covered := 0, 0, 0
 	known := make(map[string]bool)
 	for _, id := range sys.Sensors() {
 		known[id] = true
 	}
 	st, err := wal.ReplayDir(dir, func(shard int, seq uint64, r wal.Record) error {
+		if seq < cover[shard] {
+			covered++
+			return nil
+		}
 		var aerr error
 		switch r.Type {
 		case wal.RecAddSensor:
@@ -90,44 +101,69 @@ func recoverWAL(sys *smiler.System, dir string, logger *slog.Logger) (wal.Replay
 	}
 	if st.Records > 0 || st.Torn {
 		logger.Info("wal replayed",
-			"records", st.Records, "applied", applied, "skipped", skipped,
-			"segments", st.Segments, "torn", st.Torn)
+			"records", st.Records, "applied", applied, "covered", covered,
+			"skipped", skipped, "segments", st.Segments, "torn", st.Torn)
 	}
 	return st, nil
+}
+
+// staleCover reports a checkpoint cover that cannot belong to the open
+// WAL: a shard index outside the log's range or a covered sequence
+// number ahead of the shard's next append. That happens only when the
+// WAL directory was cleared (or replaced) after the checkpoint was
+// saved; the checkpoint must then be rewritten with a fresh cover or
+// replay would wrongly skip new records landing on the reused low
+// sequence numbers.
+func staleCover(cover map[int]uint64, mgr *wal.Manager) bool {
+	next := mgr.NextSeqs()
+	for shard, seq := range cover {
+		n, ok := next[shard]
+		if !ok || seq > n {
+			return true
+		}
+	}
+	return false
 }
 
 // openDurability performs the full recovery sequence and returns the
 // live WAL manager:
 //
-//  1. replay the existing WAL into the (checkpoint-restored) system;
-//  2. if a checkpoint path is configured, write a post-recovery
-//     checkpoint covering everything replayed, then delete the
-//     replayed logs so the WAL restarts empty;
-//  3. open the sharded manager for appending.
+//  1. replay the existing WAL into the (checkpoint-restored) system,
+//     skipping records the checkpoint's cover already contains;
+//  2. open the sharded manager for appending (repairing torn tails and
+//     positioning sequence numbers after the last intact record);
+//  3. if a checkpoint path is configured and anything was replayed (or
+//     the on-disk cover is stale), write a post-recovery checkpoint
+//     embedding the manager's current positions as its cover, then
+//     reset the logs — sequence numbers are preserved, so a crash at
+//     any point in this window replays nothing twice.
 //
 // Without a checkpoint the replayed logs are kept: the WAL is then the
-// only durable copy, and new appends extend it.
-func openDurability(sys *smiler.System, o options, logger *slog.Logger) (*wal.Manager, error) {
+// only durable copy, and new appends extend it under the shard count
+// pinned in the directory's meta file.
+func openDurability(sys *smiler.System, cover map[int]uint64, o options, logger *slog.Logger) (*wal.Manager, error) {
 	opts, err := walOptions(o)
 	if err != nil {
 		return nil, err
 	}
-	st, err := recoverWAL(sys, o.walDir, logger)
+	st, err := recoverWAL(sys, o.walDir, cover, logger)
 	if err != nil {
 		return nil, err
-	}
-	if o.checkpoint != "" && (st.Records > 0 || st.Torn) {
-		if err := sys.SaveFile(o.checkpoint); err != nil {
-			return nil, fmt.Errorf("post-recovery checkpoint: %w", err)
-		}
-		if err := wal.RemoveDir(o.walDir); err != nil {
-			return nil, fmt.Errorf("truncating recovered WAL: %w", err)
-		}
-		logger.Info("post-recovery checkpoint saved", "path", o.checkpoint)
 	}
 	mgr, err := wal.OpenManager(o.walDir, walShards(o.shards), opts, ingest.ShardIndex)
 	if err != nil {
 		return nil, fmt.Errorf("opening WAL %s: %w", o.walDir, err)
+	}
+	if o.checkpoint != "" && (st.Records > 0 || st.Torn || staleCover(cover, mgr)) {
+		if err := saveCheckpoint(sys, o.checkpoint, mgr.NextSeqs()); err != nil {
+			mgr.Close()
+			return nil, fmt.Errorf("post-recovery checkpoint: %w", err)
+		}
+		if err := mgr.Reset(); err != nil {
+			mgr.Close()
+			return nil, fmt.Errorf("truncating recovered WAL: %w", err)
+		}
+		logger.Info("post-recovery checkpoint saved", "path", o.checkpoint)
 	}
 	logger.Info("wal open",
 		"dir", o.walDir, "shards", mgr.Shards(), "fsync", opts.Policy.String())
@@ -151,8 +187,11 @@ func registerWALMetrics(reg *obs.Registry, mgr *wal.Manager) {
 }
 
 // shutdownDurability runs the clean-exit tail after the pipeline has
-// drained: sync the WAL, write the final checkpoint, and — only once
-// that checkpoint is durably on disk — reset the logs it covers.
+// drained: sync the WAL, write the final checkpoint with the WAL
+// positions embedded as its cover, and reset the logs it covers. The
+// reset preserves sequence numbers, so a crash between the checkpoint
+// save and the reset leaves records the next start recognizes as
+// covered and skips — never a double apply.
 func shutdownDurability(sys *smiler.System, mgr *wal.Manager, o options, logger *slog.Logger) error {
 	if mgr != nil {
 		if err := mgr.Sync(); err != nil {
@@ -160,7 +199,11 @@ func shutdownDurability(sys *smiler.System, mgr *wal.Manager, o options, logger 
 		}
 	}
 	if o.checkpoint != "" {
-		if err := saveCheckpoint(sys, o.checkpoint); err != nil {
+		var cover map[int]uint64
+		if mgr != nil {
+			cover = mgr.NextSeqs()
+		}
+		if err := saveCheckpoint(sys, o.checkpoint, cover); err != nil {
 			return fmt.Errorf("saving checkpoint: %w", err)
 		}
 		logger.Info("checkpoint saved", "path", o.checkpoint)

@@ -169,7 +169,7 @@ func run(o options) error {
 		return err
 	}
 
-	sys, err := loadOrNew(cfg, o.checkpoint, logger)
+	sys, cover, err := loadOrNew(cfg, o.checkpoint, logger)
 	if err != nil {
 		return err
 	}
@@ -191,12 +191,16 @@ func run(o options) error {
 	}
 	var mgr *wal.Manager
 	if o.walDir != "" {
-		mgr, err = openDurability(sys, o, logger)
+		mgr, err = openDurability(sys, cover, o, logger)
 		if err != nil {
 			return err
 		}
 		opts.SensorJournal = mgr
 		opts.Pipeline.Journal = mgr.AppendObserve
+		// The WAL pins the shard count its logs were written under; the
+		// pipeline must shard identically or the journal hook would route
+		// observations to the wrong log.
+		opts.Pipeline.Shards = mgr.Shards()
 		registerWALMetrics(sys.Metrics(), mgr)
 	}
 
@@ -293,25 +297,30 @@ func rootHandler(api http.Handler, withPprof bool) http.Handler {
 	return mux
 }
 
-// loadOrNew restores the system from a checkpoint when one exists.
-func loadOrNew(cfg smiler.Config, path string, logger *slog.Logger) (*smiler.System, error) {
+// loadOrNew restores the system from a checkpoint when one exists,
+// returning the WAL cover the checkpoint embeds (nil without one) for
+// WAL replay to skip records the checkpoint already contains.
+func loadOrNew(cfg smiler.Config, path string, logger *slog.Logger) (*smiler.System, map[int]uint64, error) {
 	if path == "" {
-		return smiler.New(cfg)
+		sys, err := smiler.New(cfg)
+		return sys, nil, err
 	}
-	sys, err := smiler.LoadFile(path, cfg)
+	sys, cover, err := smiler.LoadFileWithCover(path, cfg)
 	if errors.Is(err, os.ErrNotExist) {
-		return smiler.New(cfg)
+		sys, err := smiler.New(cfg)
+		return sys, nil, err
 	}
 	if err != nil {
-		return nil, fmt.Errorf("loading checkpoint %s: %w", path, err)
+		return nil, nil, fmt.Errorf("loading checkpoint %s: %w", path, err)
 	}
 	logger.Info("checkpoint restored", "sensors", len(sys.Sensors()), "path", path)
-	return sys, nil
+	return sys, cover, nil
 }
 
 // saveCheckpoint writes crash-atomically: temp file, fsync, rename,
 // directory fsync. A crash mid-save leaves the previous checkpoint
-// intact.
-func saveCheckpoint(sys *smiler.System, path string) error {
-	return sys.SaveFile(path)
+// intact. cover embeds the WAL positions the checkpoint reaches so
+// replay can skip covered records (nil without a WAL).
+func saveCheckpoint(sys *smiler.System, path string, cover map[int]uint64) error {
+	return sys.SaveFileWithCover(path, cover)
 }

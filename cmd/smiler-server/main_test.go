@@ -31,12 +31,12 @@ func smallCfg() smiler.Config {
 }
 
 func TestLoadOrNewFreshAndMissingFile(t *testing.T) {
-	sys, err := loadOrNew(smallCfg(), "", quiet)
+	sys, _, err := loadOrNew(smallCfg(), "", quiet)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sys.Close()
-	sys, err = loadOrNew(smallCfg(), filepath.Join(t.TempDir(), "missing.gob"), quiet)
+	sys, _, err = loadOrNew(smallCfg(), filepath.Join(t.TempDir(), "missing.gob"), quiet)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestSaveAndReloadCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "state.gob")
-	if err := saveCheckpoint(sys, path); err != nil {
+	if err := saveCheckpoint(sys, path, nil); err != nil {
 		t.Fatal(err)
 	}
 	sys.Close()
@@ -65,7 +65,7 @@ func TestSaveAndReloadCheckpoint(t *testing.T) {
 		t.Fatal("temp file should be renamed away")
 	}
 
-	restored, err := loadOrNew(cfg, path, quiet)
+	restored, _, err := loadOrNew(cfg, path, quiet)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestLoadOrNewCorruptCheckpoint(t *testing.T) {
 	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadOrNew(smallCfg(), path, quiet); err == nil {
+	if _, _, err := loadOrNew(smallCfg(), path, quiet); err == nil {
 		t.Fatal("corrupt checkpoint should fail")
 	}
 }

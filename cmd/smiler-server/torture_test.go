@@ -302,7 +302,7 @@ func TestTortureTornAndCorruptTails(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer recovered.Close()
-			if _, err := recoverWAL(recovered, crash, quiet); err != nil {
+			if _, err := recoverWAL(recovered, crash, nil, quiet); err != nil {
 				t.Fatal(err)
 			}
 			reference, err := smiler.New(smallCfg())
@@ -359,6 +359,219 @@ func TestTortureTornAndCorruptTails(t *testing.T) {
 	}
 }
 
+// applyOps feeds reference ops straight into a system.
+func applyOps(t *testing.T, sys *smiler.System, ops []tortureOp) {
+	t.Helper()
+	for _, op := range ops {
+		var err error
+		switch op.rec.Type {
+		case wal.RecAddSensor:
+			err = sys.AddSensor(op.rec.Sensor, op.rec.History)
+		case wal.RecObserve:
+			err = sys.Observe(op.rec.Sensor, op.rec.Value)
+		case wal.RecRemoveSensor:
+			err = sys.RemoveSensor(op.rec.Sensor)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// assertSameHistories fails unless both systems hold bit-identical
+// per-sensor histories.
+func assertSameHistories(t *testing.T, got, want *smiler.System) {
+	t.Helper()
+	gotIDs, wantIDs := got.Sensors(), want.Sensors()
+	if len(gotIDs) != len(wantIDs) {
+		t.Fatalf("recovered sensors %v, want %v", gotIDs, wantIDs)
+	}
+	for _, id := range wantIDs {
+		wh, err := want.History(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gh, err := got.History(id)
+		if err != nil {
+			t.Fatalf("sensor %s missing after recovery: %v", id, err)
+		}
+		if len(gh) != len(wh) {
+			t.Fatalf("sensor %s: recovered %d points, want %d (covered records re-applied?)", id, len(gh), len(wh))
+		}
+		for i := range wh {
+			if gh[i] != wh[i] {
+				t.Fatalf("sensor %s point %d: %v != %v", id, i, gh[i], wh[i])
+			}
+		}
+	}
+}
+
+// emulateShardReset leaves one shard's directory exactly as
+// Manager.Reset does: every segment deleted and a fresh empty segment
+// whose name preserves the next sequence number.
+func emulateShardReset(t *testing.T, dir string, shard int, nextSeq uint64) {
+	t.Helper()
+	sd := filepath.Join(dir, fmt.Sprintf("shard-%03d", shard))
+	matches, err := filepath.Glob(filepath.Join(sd, "*.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range matches {
+		if err := os.Remove(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh := filepath.Join(sd, fmt.Sprintf("%020d.wal", nextSeq))
+	if err := os.WriteFile(fresh, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTortureCheckpointResetWindow is the kill point between a
+// checkpoint save and the WAL reset it covers — the window where the
+// durable checkpoint already contains every WAL record. Crashing there
+// (before the reset, or after only some shards were reset) must not
+// double-apply a single observation: the cover embedded in the
+// checkpoint tells replay to skip everything below it.
+func TestTortureCheckpointResetWindow(t *testing.T) {
+	ops := tortureWorkload(13, 90)
+	base := filepath.Join(t.TempDir(), "wal")
+	writeWorkload(t, base, ops, wal.SyncAlways)
+
+	// The state and cover the shutdown checkpoint captured.
+	ref, err := smiler.New(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	applyOps(t, ref, ops)
+	mgr, err := wal.OpenManager(base, tortureShards, wal.Options{}, ingest.ShardIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover := mgr.NextSeqs()
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "state.gob")
+	if err := ref.SaveFileWithCover(ckpt, cover); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill points: before any shard was reset, mid-reset, after all.
+	for resetShards := 0; resetShards <= tortureShards; resetShards++ {
+		t.Run(fmt.Sprintf("reset-%d-shards", resetShards), func(t *testing.T) {
+			crash := filepath.Join(t.TempDir(), "crash")
+			cloneWAL(t, base, crash)
+			for s := 0; s < resetShards; s++ {
+				emulateShardReset(t, crash, s, cover[s])
+			}
+			sys, loadedCover, err := smiler.LoadFileWithCover(ckpt, smallCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sys.Close()
+			if len(loadedCover) != tortureShards {
+				t.Fatalf("checkpoint cover = %v, want %d shards", loadedCover, tortureShards)
+			}
+			if _, err := recoverWAL(sys, crash, loadedCover, quiet); err != nil {
+				t.Fatal(err)
+			}
+			assertSameHistories(t, sys, ref)
+		})
+	}
+
+	// The same window through the production path: openDurability must
+	// fold the leftover covered records away (fresh checkpoint + reset,
+	// sequence numbers preserved) and keep the state intact.
+	crash := filepath.Join(t.TempDir(), "crash-prod")
+	cloneWAL(t, base, crash)
+	ckpt2 := filepath.Join(t.TempDir(), "state2.gob")
+	b, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ckpt2, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sys, loadedCover, err := smiler.LoadFileWithCover(ckpt2, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	o := options{walDir: crash, checkpoint: ckpt2, fsync: "always", shards: tortureShards}
+	mgr, err = openDurability(sys, loadedCover, o, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	assertSameHistories(t, sys, ref)
+	// Sequence numbers must survive the reset so the rewritten cover
+	// stays consistent with future appends.
+	for shard, next := range mgr.NextSeqs() {
+		if next < cover[shard] {
+			t.Fatalf("shard %d sequence regressed to %d (cover %d)", shard, next, cover[shard])
+		}
+	}
+	if st, err := recoverWAL(sys, crash, nil, quiet); err != nil || st.Records != 0 {
+		t.Fatalf("WAL not reset after post-recovery checkpoint: %d records, err %v", st.Records, err)
+	}
+	// The rewritten checkpoint must carry the fresh cover.
+	sys2, cover2, err := smiler.LoadFileWithCover(ckpt2, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	assertSameHistories(t, sys2, ref)
+	for shard, next := range mgr.NextSeqs() {
+		if cover2[shard] != next {
+			t.Fatalf("rewritten cover[%d] = %d, want %d", shard, cover2[shard], next)
+		}
+	}
+}
+
+// TestTortureStaleCoverRewritten: a checkpoint whose cover refers to a WAL
+// that no longer exists (directory wiped by an operator) must not make
+// replay skip the low sequence numbers a fresh WAL reuses — recovery
+// detects the stale cover and rewrites the checkpoint against the
+// fresh, empty log.
+func TestTortureStaleCoverRewritten(t *testing.T) {
+	ref, err := smiler.New(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	applyOps(t, ref, tortureWorkload(5, 6))
+	ckpt := filepath.Join(t.TempDir(), "state.gob")
+	stale := map[int]uint64{0: 50, 1: 40, 2: 30}
+	if err := ref.SaveFileWithCover(ckpt, stale); err != nil {
+		t.Fatal(err)
+	}
+
+	sys, cover, err := smiler.LoadFileWithCover(ckpt, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	walDir := filepath.Join(t.TempDir(), "wal") // fresh: seqs restart at 0
+	o := options{walDir: walDir, checkpoint: ckpt, fsync: "always", shards: tortureShards}
+	mgr, err := openDurability(sys, cover, o, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	sys2, cover2, err := smiler.LoadFileWithCover(ckpt, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	for shard, seq := range cover2 {
+		if seq != 0 {
+			t.Fatalf("stale cover survived recovery: cover[%d] = %d, want 0", shard, seq)
+		}
+	}
+}
+
 // TestRecoveredHistoryPrefixProperty is the per-fsync-policy property:
 // whatever suffix of the log a crash destroys, the recovered history
 // of every sensor is a prefix of the reference stream — the policies
@@ -397,7 +610,7 @@ func TestRecoveredHistoryPrefixProperty(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if _, err := recoverWAL(sys, crash, quiet); err != nil {
+				if _, err := recoverWAL(sys, crash, nil, quiet); err != nil {
 					t.Fatal(err)
 				}
 				for _, id := range sys.Sensors() {

@@ -379,6 +379,19 @@ func (e *Ensemble) ImportState(states []CellState) error {
 		c.sleepSpan = st.SleepSpan
 		c.wokeLately = st.WokeLately
 	}
-	e.normalize()
+	// The exported weights were already normalized, and the mix divides
+	// by the participating weight sum anyway; renormalizing here would
+	// divide by a sum an ulp away from one and perturb every weight,
+	// so a checkpoint-restored ensemble would drift from the live one.
+	// Only repair a degenerate import (no awake weight mass).
+	var sum float64
+	for _, c := range e.cells {
+		if !c.sleeping {
+			sum += c.weight
+		}
+	}
+	if sum <= 0 {
+		e.normalize()
+	}
 	return nil
 }

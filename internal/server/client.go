@@ -41,7 +41,6 @@ type Client struct {
 	base  string
 	hc    *http.Client
 	retry RetryPolicy
-	rng   *rand.Rand
 }
 
 // NewClient targets a service at base (e.g. "http://localhost:8080").
@@ -62,7 +61,6 @@ func NewClient(base string, httpClient *http.Client) (*Client, error) {
 		base:  u.String(),
 		hc:    httpClient,
 		retry: DefaultRetryPolicy(),
-		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
 	}, nil
 }
 
@@ -120,7 +118,9 @@ func (c *Client) sleepBackoff(ctx context.Context, attempt int) error {
 		d = time.Millisecond
 	}
 	// Up to 50% uniform jitter decorrelates clients retrying in sync.
-	d += time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	// The top-level rand functions are safe for the concurrent GETs a
+	// shared Client serves; a per-Client *rand.Rand would race.
+	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

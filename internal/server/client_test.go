@@ -57,6 +57,53 @@ func TestClientRetriesFlakyGET(t *testing.T) {
 	}
 }
 
+// TestClientConcurrentRetries hammers one shared Client from many
+// goroutines against a server that fails every other request, so most
+// GETs go through the backoff path concurrently. A shared Client must
+// be safe for concurrent use (only SetRetryPolicy is exempt); the
+// jitter source in particular must not race — run under -race.
+func TestClientConcurrentRetries(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1)%2 == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(errorResponse{Error: "transient"})
+			return
+		}
+		json.NewEncoder(w).Encode([]string{"a"})
+	}))
+	defer ts.Close()
+
+	c, err := NewClient(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetryPolicy(fastRetry(4))
+
+	// With requests from 8 goroutines interleaving on the shared
+	// counter, one GET can draw the failing parity on all its attempts
+	// and exhaust its budget — that outcome is fine (it still walked the
+	// backoff path); any other error is not.
+	const goroutines, gets = 8, 20
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			for i := 0; i < gets; i++ {
+				if _, err := c.Sensors(); err != nil && !strings.Contains(err.Error(), "transient") {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("concurrent GET failed with a non-transient error: %v", err)
+		}
+	}
+}
+
 func TestClientRetryBudgetExhausted(t *testing.T) {
 	h := &flakyHandler{failures: 100, status: http.StatusInternalServerError, body: nil}
 	ts := httptest.NewServer(h)

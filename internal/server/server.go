@@ -352,7 +352,37 @@ func (s *Server) handleSensors(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.addMu.Lock()
+		// Journal before apply, like the observation path, so a crash
+		// between the two cannot leave an applied-but-unjournaled event.
+		// The duplicate pre-check keeps a rejected re-registration out of
+		// the journal entirely (addMu serializes registrations, so the
+		// check cannot race another add).
+		journaled := false
+		if s.journal != nil {
+			if s.sys.HasSensor(req.ID) {
+				s.addMu.Unlock()
+				writeError(w, http.StatusConflict,
+					fmt.Sprintf("smiler: sensor %q already registered", req.ID))
+				return
+			}
+			if jerr := s.journal.AppendAddSensor(req.ID, req.History); jerr != nil {
+				if s.log != nil {
+					s.log.Warn("sensor journal failed", "sensor", req.ID, "err", jerr)
+				}
+			} else {
+				journaled = true
+			}
+		}
 		err := s.sys.AddSensor(req.ID, req.History)
+		if err != nil && journaled {
+			// The registration was journaled but rejected (bad history,
+			// closed system): append a compensating removal so replay
+			// cannot resurrect it. Safe because the pre-check above proved
+			// no sensor with this id existed before the journaled add.
+			if cerr := s.journal.AppendRemoveSensor(req.ID); cerr != nil && s.log != nil {
+				s.log.Warn("sensor journal compensation failed", "sensor", req.ID, "err", cerr)
+			}
+		}
 		s.addMu.Unlock()
 		if err != nil {
 			status := http.StatusBadRequest
@@ -361,11 +391,6 @@ func (s *Server) handleSensors(w http.ResponseWriter, r *http.Request) {
 			}
 			writeError(w, status, err.Error())
 			return
-		}
-		if s.journal != nil {
-			if jerr := s.journal.AppendAddSensor(req.ID, req.History); jerr != nil && s.log != nil {
-				s.log.Warn("sensor journal failed", "sensor", req.ID, "err", jerr)
-			}
 		}
 		writeJSON(w, http.StatusCreated, map[string]string{"id": req.ID})
 	default:
@@ -405,14 +430,23 @@ func (s *Server) handleSensor(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) deleteSensor(w http.ResponseWriter, id string) {
-	if err := s.sys.RemoveSensor(id); err != nil {
-		writeError(w, http.StatusNotFound, err.Error())
-		return
-	}
+	// Journal before apply (see handleSensors). The pre-check keeps
+	// removals of unknown sensors out of the journal; if two concurrent
+	// deletes both pass it, both are journaled, one apply fails with
+	// not-found, and replay skips the second removal as unknown — the
+	// recovered state still matches.
 	if s.journal != nil {
+		if !s.sys.HasSensor(id) {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("smiler: unknown sensor %q", id))
+			return
+		}
 		if jerr := s.journal.AppendRemoveSensor(id); jerr != nil && s.log != nil {
 			s.log.Warn("sensor journal failed", "sensor", id, "err", jerr)
 		}
+	}
+	if err := s.sys.RemoveSensor(id); err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
 	}
 	s.pipe.Invalidate(id) // drop any cached forecasts for the dead sensor
 	s.regMu.Lock()

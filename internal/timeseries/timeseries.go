@@ -142,6 +142,14 @@ func NewNormalizer(values []float64) (*Normalizer, error) {
 	return &Normalizer{stats: st}, nil
 }
 
+// NewNormalizerFromStats reinstates a normalizer with exactly the
+// given frozen statistics — the checkpoint-restore path, where refitting
+// on reconstructed points would reproduce the moments only to within
+// rounding and break bit-identical recovery.
+func NewNormalizerFromStats(st Stats) *Normalizer {
+	return &Normalizer{stats: st}
+}
+
 // Stats returns the frozen statistics.
 func (n *Normalizer) Stats() Stats { return n.stats }
 

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -25,16 +26,100 @@ func shardDir(dir string, i int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
 }
 
+// metaName is the per-WAL-directory metadata file pinning the shard
+// count the logs were written under. Sensor→shard placement depends on
+// the shard count, so reopening existing logs under a different count
+// would route a sensor's new appends to a different log than its old
+// records and scramble per-sensor replay order. The pinned count wins
+// over the configured one until the directory is cleared (RemoveDir).
+const metaName = "wal.meta"
+
+// readMeta returns the pinned shard count, or 0 when no meta file
+// exists (fresh directory or one written before meta was introduced).
+func readMeta(dir string) (int, error) {
+	b, err := os.ReadFile(filepath.Join(dir, metaName))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("wal: corrupt meta file %s: %q", filepath.Join(dir, metaName), b)
+	}
+	return n, nil
+}
+
+func writeMeta(dir string, shards int) error {
+	return WriteFileAtomic(filepath.Join(dir, metaName), func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "%d\n", shards)
+		return err
+	})
+}
+
+// listShardDirs returns the shard indices of the existing shard-NNN
+// subdirectories, ascending.
+func listShardDirs(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var shards []int
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "shard-") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimPrefix(e.Name(), "shard-"))
+		if err != nil {
+			continue
+		}
+		shards = append(shards, n)
+	}
+	sort.Ints(shards)
+	return shards, nil
+}
+
 // OpenManager opens (creating as needed) a sharded WAL under dir with
 // one log per shard. shardFor maps a sensor id onto its shard and
 // must match the ingestion pipeline's placement (ingest.ShardIndex)
 // so registration records share a log with their observations.
+//
+// The first open of a directory pins the shard count in a meta file;
+// later opens reuse the pinned count (callers should size anything
+// that must agree on placement — e.g. the ingestion pipeline — from
+// Shards(), not from their configured value). A directory holding
+// shard subdirectories but no meta file (written before meta existed)
+// pins the count inferred from the highest shard index.
 func OpenManager(dir string, shards int, opts Options, shardFor func(id string, shards int) int) (*Manager, error) {
 	if shards <= 0 {
 		return nil, fmt.Errorf("wal: shard count %d must be positive", shards)
 	}
 	if shardFor == nil {
 		return nil, fmt.Errorf("wal: nil shard function")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	pinned, err := readMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pinned == 0 {
+		if existing, err := listShardDirs(dir); err != nil {
+			return nil, err
+		} else if len(existing) > 0 {
+			pinned = existing[len(existing)-1] + 1
+		}
+	}
+	if pinned > 0 {
+		shards = pinned
+	}
+	if err := writeMeta(dir, shards); err != nil {
+		return nil, err
 	}
 	m := &Manager{dir: dir, logs: make([]*Log, shards), shardFor: shardFor}
 	for i := range m.logs {
@@ -77,6 +162,18 @@ func (m *Manager) AppendRemoveSensor(id string) error {
 		Type: RecRemoveSensor, Sensor: id,
 	})
 	return err
+}
+
+// NextSeqs reports, per shard, the sequence number the shard's next
+// append will receive. Captured immediately after a Sync, it is the
+// "cover" a checkpoint embeds: every record with a lower sequence
+// number is folded into the checkpoint and must be skipped on replay.
+func (m *Manager) NextSeqs() map[int]uint64 {
+	out := make(map[int]uint64, len(m.logs))
+	for i, l := range m.logs {
+		out[i] = l.NextSeq()
+	}
+	return out
 }
 
 // Sync fsyncs every shard log.
@@ -168,10 +265,12 @@ func ReplayDir(dir string, fn func(shard int, seq uint64, r Record) error) (Repl
 	return st, nil
 }
 
-// RemoveDir deletes a sharded WAL directory tree entirely — used after
-// a recovery checkpoint has captured everything the WAL held. The
+// RemoveDir deletes a sharded WAL directory tree entirely — shard
+// logs, sequence numbers and the pinned shard count all reset. The
 // directory itself is kept (recreated empty) so a configured -wal-dir
-// stays valid.
+// stays valid. Note that a checkpoint whose cover refers to the
+// removed logs becomes stale; prefer Manager.Reset, which preserves
+// sequence numbers, when a checkpoint covers the log.
 func RemoveDir(dir string) error {
 	entries, err := os.ReadDir(dir)
 	if os.IsNotExist(err) {
@@ -181,11 +280,15 @@ func RemoveDir(dir string) error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	for _, e := range entries {
-		if !e.IsDir() || !strings.HasPrefix(e.Name(), "shard-") {
-			continue
+		if e.IsDir() && strings.HasPrefix(e.Name(), "shard-") {
+			if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
 		}
-		if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
-			return fmt.Errorf("wal: %w", err)
+		if !e.IsDir() && e.Name() == metaName {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
 		}
 	}
 	return nil

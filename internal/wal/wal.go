@@ -175,9 +175,23 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	if err := f.Truncate(validEnd); err != nil {
+	fi, err := f.Stat()
+	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if fi.Size() != validEnd {
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+		}
+		// Make the repair itself durable: without this fsync a crash
+		// shortly after recovery could resurrect the torn bytes behind
+		// newly appended frames under SyncInterval/SyncOff.
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: syncing repaired tail of %s: %w", path, err)
+		}
 	}
 	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
 		f.Close()

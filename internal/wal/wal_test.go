@@ -389,6 +389,73 @@ func TestManagerResetAndRemoveDir(t *testing.T) {
 	}
 }
 
+// TestManagerPinsShardCount: the first open of a WAL directory pins
+// its shard count; reopening with a different configured count (e.g. a
+// GOMAXPROCS default changing across hosts) must keep the pinned count
+// while records remain, so a sensor's appends stay in the shard whose
+// log holds its earlier records and per-sensor replay order survives.
+func TestManagerPinsShardCount(t *testing.T) {
+	dir := t.TempDir()
+	m, err := OpenManager(dir, 3, Options{Policy: SyncOff}, ShardByLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const id = "abcd" // len 4: shard 1 of 3, but shard 0 of 4
+	if err := m.AppendAddSensor(id, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendObserve(ShardByLen(id, m.Shards()), id, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen asking for 4 shards: the pinned count must win.
+	m, err = OpenManager(dir, 4, Options{Policy: SyncOff}, ShardByLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards() != 3 {
+		t.Fatalf("reopened with %d shards, want pinned 3", m.Shards())
+	}
+	if err := m.AppendObserve(ShardByLen(id, m.Shards()), id, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	if _, err := ReplayDir(dir, func(shard int, seq uint64, r Record) error {
+		if want := ShardByLen(id, 3); shard != want {
+			t.Fatalf("record %v on shard %d, want %d", r.Type, shard, want)
+		}
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Type != RecAddSensor || got[1].Value != 1 || got[2].Value != 2 {
+		t.Fatalf("replay = %+v, want add,1,2 in order", got)
+	}
+
+	// RemoveDir clears the pin with the logs; a fresh open may remap.
+	if err := RemoveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	m, err = OpenManager(dir, 4, Options{Policy: SyncOff}, ShardByLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Shards() != 4 {
+		t.Fatalf("fresh open has %d shards, want 4", m.Shards())
+	}
+}
+
+// ShardByLen is a trivial shard function for manager tests.
+func ShardByLen(id string, n int) int { return len(id) % n }
+
 func TestInjectedAppendAndSyncFaults(t *testing.T) {
 	in := fault.NewInjector(1)
 	in.Set(fault.PointWALAppend, fault.Rule{Kind: fault.KindError, After: 3, Once: true})
