@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-ingest bench-obs bench-json metrics-smoke torture
+.PHONY: all build vet test race bench bench-ingest bench-obs bench-json metrics-smoke torture cluster-smoke cluster-smoke-procs
 
 all: vet build test
 
@@ -52,3 +52,15 @@ metrics-smoke: build
 torture:
 	$(GO) test -race -run 'Torture|RecoveredHistory|WALLifecycle|Degrade|Panic' ./cmd/smiler-server ./internal/server .
 	$(GO) test -race ./internal/wal ./internal/fault ./internal/baselines
+
+# Cluster suite under the race detector: 3-node in-process harness —
+# forwarding, async replication + gap resync, owner-death failover to
+# a degraded replica, bit-exact migration, idempotent retry dedupe
+# through the proxy (docs/CLUSTER.md).
+cluster-smoke:
+	$(GO) test -race -count=1 -run 'TestCluster' ./internal/cluster
+
+# Same story against three real smiler-server processes on loopback
+# ports (scripts/cluster_smoke.sh).
+cluster-smoke-procs: build
+	./scripts/cluster_smoke.sh

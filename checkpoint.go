@@ -86,28 +86,89 @@ func (s *System) SaveToWithCover(w io.Writer, cover map[int]uint64) error {
 	}
 	cp := checkpoint{Version: checkpointVersion, WALCover: cover}
 	for _, id := range s.sensorsLocked() {
-		st := s.sensors[id]
-		st.mu.Lock()
-		sc := sensorCheckpoint{
-			ID:      id,
-			History: st.ix.History(),
-		}
-		if st.norm != nil {
-			sc.Normalized = true
-			sc.Norm = st.norm.Stats()
-		}
-		states := st.pipe.Ensemble().ExportState()
-		cells := st.pipe.Ensemble().Cells()
-		for i, state := range states {
-			cc := cellCheckpoint{State: state}
-			if gpp, ok := cells[i].Pred.(*core.GPPredictor); ok {
-				cc.Hyper = gpp.Hyper()
-			}
-			sc.Cells = append(sc.Cells, cc)
-		}
-		st.mu.Unlock()
-		cp.Sensors = append(cp.Sensors, sc)
+		cp.Sensors = append(cp.Sensors, snapshotSensor(id, s.sensors[id]))
 	}
+	return writeCheckpoint(w, cp)
+}
+
+// SaveSensorTo writes a checkpoint envelope — same format as SaveTo —
+// containing exactly one sensor. This is the unit the cluster layer
+// streams over HTTP when a sensor migrates between nodes or a stale
+// replica resyncs: restoring it via RestoreSensorsFrom is bit-exact,
+// like any checkpoint restore.
+func (s *System) SaveSensorTo(w io.Writer, id string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return errors.New("smiler: system closed")
+	}
+	st, ok := s.sensors[id]
+	if !ok {
+		return fmt.Errorf("smiler: unknown sensor %q", id)
+	}
+	return writeCheckpoint(w, checkpoint{
+		Version: checkpointVersion,
+		Sensors: []sensorCheckpoint{snapshotSensor(id, st)},
+	})
+}
+
+// RestoreSensorsFrom reads a checkpoint envelope and merges every
+// sensor it holds into the live system, replacing any existing sensor
+// with the same id (a migration target replaces its async-replicated
+// copy with the owner's authoritative snapshot). It returns the ids
+// restored.
+func (s *System) RestoreSensorsFrom(r io.Reader) ([]string, error) {
+	cp, err := decodeCheckpoint(r)
+	if err != nil {
+		return nil, err
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("smiler: checkpoint version %d, want %d", cp.Version, checkpointVersion)
+	}
+	ids := make([]string, 0, len(cp.Sensors))
+	for _, sc := range cp.Sensors {
+		if s.HasSensor(sc.ID) {
+			if err := s.RemoveSensor(sc.ID); err != nil {
+				return ids, fmt.Errorf("smiler: replacing sensor %q: %w", sc.ID, err)
+			}
+		}
+		if err := s.restoreSensor(sc); err != nil {
+			return ids, fmt.Errorf("smiler: restoring sensor %q: %w", sc.ID, err)
+		}
+		ids = append(ids, sc.ID)
+	}
+	return ids, nil
+}
+
+// snapshotSensor captures one sensor's checkpoint state (history,
+// normalizer statistics, ensemble auto-tuning state, GP warm-start
+// hyperparameters). Callers hold s.mu (read side is enough; the
+// per-sensor lock serializes against concurrent predictions).
+func snapshotSensor(id string, st *sensorState) sensorCheckpoint {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sc := sensorCheckpoint{
+		ID:      id,
+		History: st.ix.History(),
+	}
+	if st.norm != nil {
+		sc.Normalized = true
+		sc.Norm = st.norm.Stats()
+	}
+	states := st.pipe.Ensemble().ExportState()
+	cells := st.pipe.Ensemble().Cells()
+	for i, state := range states {
+		cc := cellCheckpoint{State: state}
+		if gpp, ok := cells[i].Pred.(*core.GPPredictor); ok {
+			cc.Hyper = gpp.Hyper()
+		}
+		sc.Cells = append(sc.Cells, cc)
+	}
+	return sc
+}
+
+// writeCheckpoint frames the gob payload: magic, CRC32C, payload.
+func writeCheckpoint(w io.Writer, cp checkpoint) error {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(cp); err != nil {
 		return fmt.Errorf("smiler: encoding checkpoint: %w", err)

@@ -298,3 +298,79 @@ func TestSaveFileAtomic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSensorCheckpointRoundTrip: a single-sensor envelope written by
+// SaveSensorTo and merged back by RestoreSensorsFrom must be bit-exact
+// and must replace an existing (diverged) copy of the sensor — the
+// contract the cluster migration/resync path relies on.
+func TestSensorCheckpointRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	src, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	rng := rand.New(rand.NewSource(7))
+	all := noisySeasonal(rng, 460, 10, 100)
+	if err := src.AddSensor("a", all[:400]); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.AddSensor("other", noisySeasonal(rng, 400, 3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 400; i < 430; i++ {
+		if _, err := src.Predict("a", 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := src.Observe("a", all[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := src.Predict("a", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := src.SaveSensorTo(&buf, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SaveSensorTo(&bytes.Buffer{}, "nope"); err == nil {
+		t.Fatal("want error for unknown sensor")
+	}
+
+	// Target holds a diverged copy of "a" (shorter history) plus its own
+	// sensor; restore must replace the former and keep the latter.
+	dst, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if err := dst.AddSensor("a", all[:390]); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.AddSensor("mine", noisySeasonal(rng, 400, 5, 50)); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := dst.RestoreSensorsFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "a" {
+		t.Fatalf("restored ids = %v", ids)
+	}
+	got, err := dst.Predict("a", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mean != want.Mean || got.Variance != want.Variance {
+		t.Fatalf("restored forecast (%v, %v), want (%v, %v)",
+			got.Mean, got.Variance, want.Mean, want.Variance)
+	}
+	if !dst.HasSensor("mine") {
+		t.Fatal("unrelated sensor lost during restore")
+	}
+	if n, _ := dst.HistoryLen("a"); n != 430 {
+		t.Fatalf("restored history len %d, want 430", n)
+	}
+}

@@ -12,6 +12,7 @@
 //	smiler-server -addr :8080 -pprof -log-level debug
 //	smiler-server -checkpoint state.gob -wal-dir wal/ -fsync always
 //	smiler-server -predict-deadline 200ms -degraded-fallback ar1
+//	smiler-server -node-id n1 -cluster-peers n1=http://h1:8080,n2=http://h2:8080,n3=http://h3:8080
 //
 // With -checkpoint, state is loaded at startup (if the file exists)
 // and saved on clean shutdown (SIGINT/SIGTERM). Shutdown first stops
@@ -31,6 +32,15 @@
 // -predict-deadline are answered by a cheap stateless predictor
 // (persistence or AR(1)) and tagged "degraded" in the response
 // instead of erroring.
+//
+// With -cluster-peers (and a matching -node-id), the process joins a
+// static-membership cluster: a consistent-hash ring assigns each
+// sensor a primary plus -replicas async followers, any node accepts
+// any request and forwards it to the owner, and when a primary stops
+// answering /readyz for -probe-failures consecutive probes its replica
+// serves forecasts tagged degraded_reason "replica" (writes are
+// refused with 503 until the primary returns). POST /cluster/migrate
+// moves a sensor between nodes bit-exactly. See docs/CLUSTER.md.
 //
 // Observability: GET /metrics serves Prometheus text exposition and
 // GET /debug/trace/{sensor} the recent prediction traces (see
@@ -57,6 +67,7 @@ import (
 	"time"
 
 	"smiler"
+	"smiler/internal/cluster"
 	"smiler/internal/ingest"
 	"smiler/internal/server"
 	"smiler/internal/wal"
@@ -85,6 +96,13 @@ type options struct {
 	predictDeadline time.Duration
 	fallback        string
 
+	nodeID        string
+	clusterPeers  string
+	replicas      int
+	probeInterval time.Duration
+	probeFailures int
+	maxStaleness  time.Duration
+
 	// onReady, when set, is called with the bound listen address once
 	// the listener is accepting (tests use it to find an ephemeral
 	// port).
@@ -112,6 +130,12 @@ func main() {
 	flag.DurationVar(&o.fsyncInterval, "fsync-interval", 0, "fsync period for -fsync interval (0 = default 50ms)")
 	flag.DurationVar(&o.predictDeadline, "predict-deadline", 0, "per-prediction deadline (0 = none)")
 	flag.StringVar(&o.fallback, "degraded-fallback", "none", "degraded-mode predictor: none|persistence|ar1")
+	flag.StringVar(&o.nodeID, "node-id", "", "this node's cluster member id (enables clustering with -cluster-peers)")
+	flag.StringVar(&o.clusterPeers, "cluster-peers", "", `static membership incl. self: "n1=http://host1:8080,n2=http://host2:8080"`)
+	flag.IntVar(&o.replicas, "replicas", 1, "follower copies per sensor")
+	flag.DurationVar(&o.probeInterval, "probe-interval", 0, "peer health probe period (0 = default 500ms)")
+	flag.IntVar(&o.probeFailures, "probe-failures", 0, "consecutive probe failures before failover (0 = default 3)")
+	flag.DurationVar(&o.maxStaleness, "max-staleness", 0, "staleness bound for promoted-replica reads (0 = default 5m)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "smiler-server:", err)
@@ -204,12 +228,34 @@ func run(o options) error {
 		registerWALMetrics(sys.Metrics(), mgr)
 	}
 
+	opts.NodeID = o.nodeID
 	handler, err := server.NewWithOptions(sys, opts)
 	if err != nil {
 		if mgr != nil {
 			mgr.Close()
 		}
 		return err
+	}
+	var node *cluster.Node
+	if o.clusterPeers != "" {
+		members, err := parseClusterPeers(o.clusterPeers)
+		if err != nil {
+			return err
+		}
+		node, err = cluster.New(sys, handler, cluster.Config{
+			Self:          o.nodeID,
+			Members:       members,
+			Replicas:      o.replicas,
+			ProbeInterval: o.probeInterval,
+			ProbeFailures: o.probeFailures,
+			MaxStaleness:  o.maxStaleness,
+			Logger:        logger,
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+		defer node.Close()
+		logger.Info("cluster enabled", "self", o.nodeID, "members", len(members), "replicas", o.replicas)
 	}
 	srv := &http.Server{
 		Handler:           rootHandler(handler, o.pprof),
@@ -278,6 +324,27 @@ func run(o options) error {
 		return err
 	}
 	return <-errCh
+}
+
+// parseClusterPeers parses "-cluster-peers n1=http://a:1,n2=http://b:2"
+// into the static membership list (which must include this node).
+func parseClusterPeers(s string) ([]cluster.Member, error) {
+	var members []cluster.Member
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, u, ok := strings.Cut(part, "=")
+		if !ok || id == "" || u == "" {
+			return nil, fmt.Errorf("bad -cluster-peers entry %q (want id=url)", part)
+		}
+		members = append(members, cluster.Member{ID: id, URL: u})
+	}
+	if len(members) == 0 {
+		return nil, errors.New("-cluster-peers is empty")
+	}
+	return members, nil
 }
 
 // rootHandler mounts the pprof endpoints next to the API handler when

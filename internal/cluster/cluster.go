@@ -1,0 +1,404 @@
+// Package cluster turns independent SMiLer serving nodes into a
+// static-membership cluster with sensor sharding, asynchronous
+// replication, probe-driven failover and online migration.
+//
+// Placement is a consistent-hash ring with virtual nodes: a sensor id
+// maps to a preference list of members; the first is its owner
+// (primary), the next Replicas are its followers. Any node accepts
+// any request — an ownership gate in front of the local route table
+// forwards misrouted requests to the owner, so clients need no
+// routing knowledge (responses carry ownership hints for clients that
+// want to learn it).
+//
+// The owner ships every applied mutation to its followers as WAL
+// frames (the on-disk envelope plus a per-sensor sequence number)
+// over HTTP; followers apply in order, drop duplicates, and heal any
+// gap by requesting a snapshot — the same bit-exact checkpoint
+// envelope the durability layer writes, tagged with the sequence it
+// covers. Replication is asynchronous: acknowledged writes can lag on
+// followers, which is why failover serves Degraded forecasts.
+//
+// A health prober watches every peer's /readyz; after ProbeFailures
+// consecutive failures the peer is down and ownership slides to the
+// next healthy node in each sensor's preference list. The promoted
+// node keeps serving forecasts from its replica (tagged Degraded:
+// "replica", refused entirely once the staleness bound is exceeded)
+// but rejects mutations with 503 — reads stay available, writes wait
+// for the owner, so a returning primary cannot have missed writes.
+//
+// Migration moves a sensor between live nodes without losing an
+// observation: quiesce (pause new writes, drain the pipeline), snap
+// the sensor's checkpoint bytes plus its replication sequence, POST
+// them to the target, flip an ownership override on every member, and
+// resume — the target's state is bit-identical to the source's.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"smiler"
+	"smiler/internal/ingest"
+	"smiler/internal/server"
+	"smiler/internal/wal"
+)
+
+// Member is one static cluster member.
+type Member struct {
+	ID  string `json:"id"`
+	URL string `json:"url"` // base URL, e.g. "http://10.0.0.7:8080"
+}
+
+// Config configures a cluster node.
+type Config struct {
+	// Self is this node's member ID (must appear in Members).
+	Self string
+	// Members is the full static membership, including self.
+	Members []Member
+	// Replicas is the number of follower copies per sensor (default 1,
+	// clamped to len(Members)-1).
+	Replicas int
+	// VirtualNodes is the per-member vnode count on the ring
+	// (default 64).
+	VirtualNodes int
+	// ProbeInterval is the peer health probe period (default 500ms).
+	ProbeInterval time.Duration
+	// ProbeFailures is how many consecutive probe failures mark a peer
+	// down (default 3).
+	ProbeFailures int
+	// HeartbeatInterval is the idle replication heartbeat period
+	// (default ProbeInterval).
+	HeartbeatInterval time.Duration
+	// MaxStaleness bounds how stale a promoted replica may serve: once
+	// this long has passed since the failed primary was last heard
+	// from, degraded reads answer 503 instead (default 5m).
+	MaxStaleness time.Duration
+	// HTTPClient is used for all intra-cluster requests (default: a
+	// client with a 5s timeout).
+	HTTPClient *http.Client
+	// Logger, when set, receives cluster state transitions.
+	Logger *slog.Logger
+}
+
+func (c *Config) applyDefaults() {
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.Replicas > len(c.Members)-1 {
+		c.Replicas = len(c.Members) - 1
+	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = 64
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeFailures <= 0 {
+		c.ProbeFailures = 3
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = c.ProbeInterval
+	}
+	if c.MaxStaleness <= 0 {
+		c.MaxStaleness = 5 * time.Minute
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Timeout: 5 * time.Second}
+	}
+}
+
+// Node glues one server into the cluster: it installs the ownership
+// gate, mounts the /cluster/* endpoints, runs the health prober and
+// the replication streams.
+type Node struct {
+	cfg     Config
+	sys     *smiler.System
+	srv     *server.Server
+	ring    *Ring
+	members map[string]Member
+	peers   []string // member ids excluding self, sorted
+	hc      *http.Client
+	log     *slog.Logger
+
+	health *prober
+	repl   *replicator
+	m      *metrics
+
+	// assign overrides ring placement per sensor (migration). It wins
+	// over the ring's preference head.
+	assignMu sync.RWMutex
+	assign   map[string]string
+
+	// paused sensors reject new mutations with 503 while a snapshot or
+	// migration quiesce is in progress.
+	pauseMu sync.Mutex
+	paused  map[string]bool
+}
+
+// New builds the node, wires it into srv (gate, routes, replication
+// hook) and starts its prober and replication workers. Call before
+// the listener starts serving. The caller still owns sys and srv.
+func New(sys *smiler.System, srv *server.Server, cfg Config) (*Node, error) {
+	if sys == nil || srv == nil {
+		return nil, errors.New("cluster: nil system or server")
+	}
+	if len(cfg.Members) < 2 {
+		return nil, errors.New("cluster: need at least two members")
+	}
+	members := make(map[string]Member, len(cfg.Members))
+	ids := make([]string, 0, len(cfg.Members))
+	for _, m := range cfg.Members {
+		if m.ID == "" {
+			return nil, errors.New("cluster: member with empty id")
+		}
+		u, err := url.Parse(m.URL)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: member %q has invalid URL %q", m.ID, m.URL)
+		}
+		m.URL = strings.TrimSuffix(u.String(), "/")
+		if _, dup := members[m.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate member id %q", m.ID)
+		}
+		members[m.ID] = m
+		ids = append(ids, m.ID)
+	}
+	if _, ok := members[cfg.Self]; !ok {
+		return nil, fmt.Errorf("cluster: self %q is not a member", cfg.Self)
+	}
+	cfg.applyDefaults()
+	n := &Node{
+		cfg:     cfg,
+		sys:     sys,
+		srv:     srv,
+		ring:    NewRing(ids, cfg.VirtualNodes),
+		members: members,
+		hc:      cfg.HTTPClient,
+		log:     cfg.Logger,
+		assign:  make(map[string]string),
+		paused:  make(map[string]bool),
+	}
+	for _, id := range ids {
+		if id != cfg.Self {
+			n.peers = append(n.peers, id)
+		}
+	}
+	sort.Strings(n.peers)
+	n.health = newProber(n)
+	n.repl = newReplicator(n)
+	n.m = newMetrics(sys.Metrics(), n)
+
+	srv.Handle("/cluster/ring", n.handleRing)
+	srv.Handle("/cluster/health", n.handleHealth)
+	srv.Handle("/cluster/replicate", n.handleReplicate)
+	srv.Handle("/cluster/restore", n.handleRestore)
+	srv.Handle("/cluster/migrate", n.handleMigrate)
+	srv.Handle("/cluster/assign", n.handleAssign)
+	srv.SetGate(n.gate)
+	// Every observation the pipeline applies locally streams to this
+	// sensor's followers (the gate only lets the owner apply locally,
+	// so emission happens exactly once per write).
+	srv.Pipeline().SetOnApplied(func(o ingest.Observation) {
+		n.repl.emit(wal.Record{Type: wal.RecObserve, Sensor: o.Sensor, Value: o.Value})
+	})
+
+	n.health.start()
+	n.repl.start()
+	return n, nil
+}
+
+// Close stops the prober and replication workers and detaches the
+// node from its server (gate and hook cleared). The server keeps
+// serving single-node.
+func (n *Node) Close() error {
+	n.srv.SetGate(nil)
+	n.srv.Pipeline().SetOnApplied(nil)
+	n.health.close()
+	n.repl.close()
+	return nil
+}
+
+// member looks up a member by id.
+func (n *Node) member(id string) (Member, bool) {
+	m, ok := n.members[id]
+	return m, ok
+}
+
+// peerIDs returns every member id except self, sorted.
+func (n *Node) peerIDs() []string { return n.peers }
+
+// --- placement ---
+
+// preference returns the sensor's member preference order: the
+// migration override first (when set), then the ring walk.
+func (n *Node) preference(sensor string) []string {
+	pref := n.ring.Preference(sensor, len(n.members))
+	n.assignMu.RLock()
+	override, ok := n.assign[sensor]
+	n.assignMu.RUnlock()
+	if !ok || (len(pref) > 0 && pref[0] == override) {
+		return pref
+	}
+	out := make([]string, 0, len(pref)+1)
+	out = append(out, override)
+	for _, id := range pref {
+		if id != override {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// route resolves the sensor's effective owner: the first healthy node
+// in its preference order. promoted reports that the effective owner
+// is standing in for a down primary (it serves degraded reads only).
+func (n *Node) route(sensor string) (owner Member, promoted bool) {
+	pref := n.preference(sensor)
+	for i, id := range pref {
+		if n.health.isUp(id) {
+			m, _ := n.member(id)
+			return m, i > 0
+		}
+	}
+	// Everyone is down (by our view): fall back to the primary; the
+	// forward will fail and surface as 502.
+	m, _ := n.member(pref[0])
+	return m, false
+}
+
+// replicaTargets returns the follower ids for a sensor: the first
+// Replicas members after the effective owner in preference order.
+// Self counts toward the replica budget but is never a target (a node
+// does not stream to itself).
+func (n *Node) replicaTargets(sensor string) []string {
+	pref := n.preference(sensor)
+	owner, _ := n.route(sensor)
+	var out []string
+	taken := 0
+	for _, id := range pref {
+		if id == owner.ID {
+			continue
+		}
+		if taken >= n.cfg.Replicas {
+			break
+		}
+		taken++
+		if id != n.cfg.Self {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// --- pause (quiesce) ---
+
+func (n *Node) pauseSensor(sensor string) {
+	n.pauseMu.Lock()
+	n.paused[sensor] = true
+	n.pauseMu.Unlock()
+}
+
+func (n *Node) unpauseSensor(sensor string) {
+	n.pauseMu.Lock()
+	delete(n.paused, sensor)
+	n.pauseMu.Unlock()
+}
+
+func (n *Node) isPaused(sensor string) bool {
+	n.pauseMu.Lock()
+	defer n.pauseMu.Unlock()
+	return n.paused[sensor]
+}
+
+// snapshotSensor quiesces the sensor and captures (checkpoint bytes,
+// covered seq) atomically: new mutations 503 while paused (clients
+// retry under their idempotent backoff), the pipeline drains, and
+// only then are the sequence number and state read.
+func (n *Node) snapshotSensor(sensor string) ([]byte, uint64, error) {
+	n.pauseSensor(sensor)
+	defer n.unpauseSensor(sensor)
+	if err := n.srv.Pipeline().Drain(); err != nil {
+		return nil, 0, err
+	}
+	seq := n.repl.seqOf(sensor)
+	var b bytes.Buffer
+	if err := n.sys.SaveSensorTo(&b, sensor); err != nil {
+		return nil, 0, err
+	}
+	return b.Bytes(), seq, nil
+}
+
+// --- info endpoints ---
+
+// RingInfo is GET /cluster/ring without a sensor: the membership view.
+type RingInfo struct {
+	Self     string   `json:"self"`
+	Members  []Member `json:"members"`
+	Replicas int      `json:"replicas"`
+}
+
+// SensorRoute is GET /cluster/ring?sensor=...: one sensor's placement.
+type SensorRoute struct {
+	Sensor     string   `json:"sensor"`
+	Owner      string   `json:"owner"`
+	OwnerURL   string   `json:"owner_url"`
+	Promoted   bool     `json:"promoted"`
+	Preference []string `json:"preference"`
+}
+
+func (n *Node) handleRing(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	sensor := r.URL.Query().Get("sensor")
+	if sensor == "" {
+		info := RingInfo{Self: n.cfg.Self, Replicas: n.cfg.Replicas}
+		for _, id := range n.ring.Nodes() {
+			m, _ := n.member(id)
+			info.Members = append(info.Members, m)
+		}
+		writeJSON(w, http.StatusOK, info)
+		return
+	}
+	owner, promoted := n.route(sensor)
+	writeJSON(w, http.StatusOK, SensorRoute{
+		Sensor: sensor, Owner: owner.ID, OwnerURL: owner.URL,
+		Promoted: promoted, Preference: n.preference(sensor),
+	})
+}
+
+func (n *Node) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"self":  n.cfg.Self,
+		"peers": n.health.snapshot(),
+	})
+}
+
+// --- small shared helpers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func readJSON(r interface{ Read([]byte) (int, error) }, v any) error {
+	return json.NewDecoder(r).Decode(v)
+}

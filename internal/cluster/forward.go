@@ -1,0 +1,433 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"smiler/internal/ingest"
+	"smiler/internal/server"
+	"smiler/internal/wal"
+)
+
+// forwardedHeader marks a request that already went through one
+// ownership gate. A node receiving it serves locally no matter what
+// its own view says — two nodes with momentarily different health
+// views must not bounce a request between them forever.
+const forwardedHeader = "X-Smiler-Forwarded"
+
+// ownerHeader names the node that served (or should serve) the
+// sensor; server.OwnerURLHeader carries its base URL for ring-aware
+// clients.
+const ownerHeader = "X-Smiler-Owner"
+
+// gate is the ownership middleware installed in front of the server's
+// route table. It resolves the sensor a request targets (if any),
+// then serves locally, forwards to the owner, or answers as a
+// promoted replica.
+func (n *Node) gate(w http.ResponseWriter, r *http.Request, next http.Handler) {
+	sensor, bodyCopy, ok := n.extractSensor(w, r)
+	if !ok {
+		return // extractSensor already answered (bad body)
+	}
+	if sensor == "" {
+		if r.Method == http.MethodPost && r.URL.Path == "/observations" {
+			n.bulkObserve(w, r, bodyCopy)
+			return
+		}
+		next.ServeHTTP(w, r) // not sensor-scoped: always local
+		return
+	}
+	owner, promoted := n.route(sensor)
+	if owner.ID != n.cfg.Self {
+		if r.Header.Get(forwardedHeader) != "" {
+			// View skew: the sender thought we own this sensor. Serve
+			// locally rather than bounce; our state is at worst a lagging
+			// replica of the truth.
+			n.setOwnerHeaders(w, Member{ID: n.cfg.Self, URL: n.members[n.cfg.Self].URL})
+			next.ServeHTTP(w, r)
+			return
+		}
+		n.forward(w, r, owner, bodyCopy)
+		return
+	}
+	// We are the effective owner.
+	n.setOwnerHeaders(w, owner)
+	if promoted {
+		n.serveAsReplica(w, r, sensor, next)
+		return
+	}
+	if n.isPaused(sensor) && r.Method != http.MethodGet {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			"sensor is quiescing for snapshot/migration; retry")
+		return
+	}
+	if r.Method == http.MethodPost && r.URL.Path == "/sensors" {
+		n.serveAddSensor(w, r, sensor, next)
+		return
+	}
+	if r.Method == http.MethodDelete {
+		n.serveRemoveSensor(w, r, sensor, next)
+		return
+	}
+	next.ServeHTTP(w, r)
+}
+
+func (n *Node) setOwnerHeaders(w http.ResponseWriter, owner Member) {
+	w.Header().Set(ownerHeader, owner.ID)
+	w.Header().Set(server.OwnerURLHeader, owner.URL)
+}
+
+// extractSensor pulls the target sensor id out of the request: the
+// path for /sensors/{id}..., the body for POST /sensors. For
+// body-carrying routes the body is read fully and both returned and
+// re-installed on the request. ok=false means an error response was
+// already written.
+func (n *Node) extractSensor(w http.ResponseWriter, r *http.Request) (sensor string, body []byte, ok bool) {
+	path := r.URL.Path
+	if rest, found := strings.CutPrefix(path, "/sensors/"); found && rest != "" {
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			rest = rest[:i]
+		}
+		return rest, nil, true
+	}
+	if (path == "/sensors" && r.Method == http.MethodPost) ||
+		(path == "/observations" && r.Method == http.MethodPost) {
+		b, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 256<<20))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+			return "", nil, false
+		}
+		r.Body = io.NopCloser(bytes.NewReader(b))
+		if path == "/observations" {
+			return "", b, true // routed per-item by bulkObserve
+		}
+		var req server.AddSensorRequest
+		if err := json.Unmarshal(b, &req); err != nil || req.ID == "" {
+			// Let the local handler produce its usual 400.
+			return "", b, true
+		}
+		return req.ID, b, true
+	}
+	return "", nil, true
+}
+
+// forward proxies the request to the owner, marking it forwarded and
+// preserving the idempotency key, and relays the response verbatim
+// (including the owner headers the owner set).
+func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner Member, body []byte) {
+	start := time.Now()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	} else if r.Body != nil {
+		rd = r.Body
+	}
+	u := owner.URL + r.URL.Path
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, rd)
+	if err != nil {
+		n.m.forwardErrs.Inc()
+		writeError(w, http.StatusInternalServerError, "forward: "+err.Error())
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	if key := r.Header.Get(server.IdempotencyKeyHeader); key != "" {
+		req.Header.Set(server.IdempotencyKeyHeader, key)
+	}
+	req.Header.Set(forwardedHeader, "1")
+	req.Header.Set(fromHeader, n.cfg.Self)
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		n.m.forwardErrs.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusBadGateway, "forward to "+owner.ID+" failed: "+err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", ownerHeader, server.OwnerURLHeader, server.IdempotentReplayHeader, "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	n.m.forwards(owner.ID).Inc()
+	n.m.forwardSec.Observe(time.Since(start).Seconds())
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// --- owner-side lifecycle interception (replication of add/remove) ---
+
+// statusRecorder captures the status the local handler wrote so the
+// gate can replicate only mutations that actually applied.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// serveAddSensor runs the local registration and, on success, streams
+// a self-contained add-sensor frame (carrying the sensor's current
+// history, not the request body — any observation racing the
+// registration is then already inside it) to the followers.
+func (n *Node) serveAddSensor(w http.ResponseWriter, r *http.Request, sensor string, next http.Handler) {
+	rec := &statusRecorder{ResponseWriter: w}
+	next.ServeHTTP(rec, r)
+	if rec.status < 200 || rec.status >= 300 {
+		return
+	}
+	history, err := n.sys.History(sensor)
+	if err != nil {
+		return // removed in between; the remove frame covers it
+	}
+	n.repl.emit(wal.Record{Type: wal.RecAddSensor, Sensor: sensor, History: history})
+}
+
+// serveRemoveSensor runs the local removal and, on success, streams a
+// remove frame to the followers.
+func (n *Node) serveRemoveSensor(w http.ResponseWriter, r *http.Request, sensor string, next http.Handler) {
+	rec := &statusRecorder{ResponseWriter: w}
+	next.ServeHTTP(rec, r)
+	if rec.status < 200 || rec.status >= 300 {
+		return
+	}
+	n.repl.emit(wal.Record{Type: wal.RecRemoveSensor, Sensor: sensor})
+	n.repl.dropSeq(sensor)
+}
+
+// --- promoted replica serving ---
+
+// serveAsReplica answers for a sensor whose primary is down, from
+// this node's replica state. Forecast reads are served tagged
+// Degraded: "replica" while the staleness bound holds; everything
+// else (mutations, and reads once too stale) answers 503 — writes
+// wait for the primary (or an operator migration), so a returning
+// primary has not missed any.
+func (n *Node) serveAsReplica(w http.ResponseWriter, r *http.Request, sensor string, next http.Handler) {
+	pref := n.preference(sensor)
+	primary := pref[0]
+	if r.Method != http.MethodGet {
+		n.m.writeRejects.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(int(n.cfg.ProbeInterval/time.Second)+1))
+		writeError(w, http.StatusServiceUnavailable,
+			"sensor "+sensor+" owner "+primary+" is down; mutations are rejected on replicas, retry")
+		return
+	}
+	if stale := n.repl.sinceContact(primary); stale > n.cfg.MaxStaleness {
+		n.m.staleRejects.Inc()
+		writeError(w, http.StatusServiceUnavailable,
+			"replica for "+sensor+" exceeded the staleness bound ("+stale.Truncate(time.Second).String()+")")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/sensors/")
+	verb := ""
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		verb = rest[i+1:]
+	}
+	switch verb {
+	case "forecast":
+		n.replicaForecast(w, r, sensor)
+	case "forecasts":
+		n.replicaForecasts(w, r, sensor)
+	default:
+		// Non-forecast reads (ensemble, etc.) serve from local replica
+		// state untagged; they are diagnostics, not predictions.
+		next.ServeHTTP(w, r)
+	}
+}
+
+func parseZ(r *http.Request) (float64, bool) {
+	z := 1.96
+	if v := r.URL.Query().Get("z"); v != "" {
+		p, err := strconv.ParseFloat(v, 64)
+		if err != nil || p <= 0 {
+			return 0, false
+		}
+		z = p
+	}
+	return z, true
+}
+
+func (n *Node) replicaForecast(w http.ResponseWriter, r *http.Request, sensor string) {
+	h := 1
+	if v := r.URL.Query().Get("h"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p <= 0 {
+			writeError(w, http.StatusBadRequest, "invalid horizon "+strconv.Quote(v))
+			return
+		}
+		h = p
+	}
+	z, ok := parseZ(r)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "invalid z")
+		return
+	}
+	f, err := n.sys.PredictCtx(r.Context(), sensor, h)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "replica predict: "+err.Error())
+		return
+	}
+	n.m.promotedServe.Inc()
+	resp := server.MakeForecastResponse(sensor, h, f, z)
+	resp.Degraded = true
+	resp.DegradedReason = "replica"
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (n *Node) replicaForecasts(w http.ResponseWriter, r *http.Request, sensor string) {
+	hsParam := r.URL.Query().Get("hs")
+	if hsParam == "" {
+		writeError(w, http.StatusBadRequest, "missing hs parameter")
+		return
+	}
+	var hs []int
+	for _, part := range strings.Split(hsParam, ",") {
+		h, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || h <= 0 {
+			writeError(w, http.StatusBadRequest, "invalid horizon "+strconv.Quote(part))
+			return
+		}
+		hs = append(hs, h)
+	}
+	z, ok := parseZ(r)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "invalid z")
+		return
+	}
+	fs, err := n.sys.PredictHorizonsCtx(r.Context(), sensor, hs)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "replica predict: "+err.Error())
+		return
+	}
+	out := make([]server.ForecastResponse, 0, len(hs))
+	for _, h := range hs {
+		resp := server.MakeForecastResponse(sensor, h, fs[h], z)
+		resp.Degraded = true
+		resp.DegradedReason = "replica"
+		out = append(out, resp)
+	}
+	n.m.promotedServe.Inc()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// --- bulk observations ---
+
+// bulkObserve partitions a multi-sensor batch by effective owner: the
+// local partition goes through the pipeline, remote partitions are
+// POSTed to their owners (with derived idempotency keys so each
+// partition dedupes independently on retry), and per-item outcomes
+// are merged back under the caller's original indices.
+func (n *Node) bulkObserve(w http.ResponseWriter, r *http.Request, body []byte) {
+	var req server.BulkObserveRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	if len(req.Observations) == 0 {
+		writeError(w, http.StatusBadRequest, "no observations")
+		return
+	}
+	type part struct {
+		owner   Member
+		obs     []ingest.Observation
+		indices []int
+	}
+	parts := make(map[string]*part)
+	for i, o := range req.Observations {
+		owner, _ := n.route(o.Sensor)
+		p := parts[owner.ID]
+		if p == nil {
+			p = &part{owner: owner}
+			parts[owner.ID] = p
+		}
+		p.obs = append(p.obs, o)
+		p.indices = append(p.indices, i)
+	}
+	key := r.Header.Get(server.IdempotencyKeyHeader)
+	var merged ingest.BulkResult
+	for id, p := range parts {
+		var res ingest.BulkResult
+		if id == n.cfg.Self || r.Header.Get(forwardedHeader) != "" {
+			res = n.srv.Pipeline().ObserveBulk(p.obs)
+		} else {
+			var err error
+			res, err = n.forwardBulk(r, p.owner, p.obs, key)
+			if err != nil {
+				n.m.forwardErrs.Inc()
+				// The whole partition failed in transit: report every item.
+				for j, idx := range p.indices {
+					merged.Failed = append(merged.Failed, ingest.BulkFailure{
+						Index: idx, ID: p.obs[j].Sensor,
+						Error: "forward to " + id + " failed: " + err.Error(),
+					})
+				}
+				continue
+			}
+		}
+		merged.Accepted += res.Accepted
+		merged.Dropped += res.Dropped
+		for _, f := range res.Failed {
+			// Remap the partition-local index back to the caller's.
+			if f.Index >= 0 && f.Index < len(p.indices) {
+				f.Index = p.indices[f.Index]
+			}
+			merged.Failed = append(merged.Failed, f)
+		}
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// forwardBulk ships one owner's partition of a bulk request.
+func (n *Node) forwardBulk(r *http.Request, owner Member, obs []ingest.Observation, key string) (ingest.BulkResult, error) {
+	var res ingest.BulkResult
+	body, err := json.Marshal(server.BulkObserveRequest{Observations: obs})
+	if err != nil {
+		return res, err
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, owner.URL+"/observations", bytes.NewReader(body))
+	if err != nil {
+		return res, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardedHeader, "1")
+	req.Header.Set(fromHeader, n.cfg.Self)
+	if key != "" {
+		// Derived key: each partition dedupes independently on retry.
+		req.Header.Set(server.IdempotencyKeyHeader, key+"/"+owner.ID)
+	}
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return res, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return res, errors.New("owner answered HTTP " + strconv.Itoa(resp.StatusCode))
+	}
+	n.m.forwards(owner.ID).Inc()
+	err = json.NewDecoder(resp.Body).Decode(&res)
+	return res, err
+}

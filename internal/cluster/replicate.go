@@ -1,0 +1,428 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"smiler/internal/wal"
+)
+
+// Replication headers.
+const (
+	// fromHeader names the sending node on replication, restore and
+	// forwarded requests.
+	fromHeader = "X-Smiler-From"
+	// replSeqHeader carries the per-sensor replication sequence number
+	// a snapshot covers: the receiver drops frames at or below it and
+	// replays the tail above it.
+	replSeqHeader = "X-Smiler-Repl-Seq"
+)
+
+// replicator ships per-sensor WAL frames from the owner to its
+// follower nodes, asynchronously, and applies inbound frames on
+// followers.
+//
+// Every mutation the owner applies (observation, registration,
+// removal) is encoded with wal.EncodeFrame — the exact on-disk WAL
+// envelope plus a per-sensor sequence number — and queued to each
+// follower's stream. A follower applies frames in order, drops
+// duplicates (seq ≤ last applied) and answers with a resync request
+// on a gap (a shed frame, a missed registration, a restart); the
+// owner then pushes a full sensor snapshot (the checkpoint envelope)
+// tagged with the sequence number it covers, and streaming resumes
+// above it. The design is convergent rather than lossless: any
+// divergence heals through the snapshot path.
+type replicator struct {
+	n *Node
+
+	// mu guards seq: per-sensor replication sequence numbers. On an
+	// owner the counter is incremented per emitted frame; on a follower
+	// it tracks the last applied frame. A node is owner or follower per
+	// sensor, never both, so one map serves both roles — and keeps the
+	// sequence continuous across a promotion.
+	mu  sync.Mutex
+	seq map[string]uint64
+
+	peers map[string]*peerStream
+
+	// contact tracks when each peer last reached this node (frames,
+	// heartbeats, snapshots). A promoted replica uses the failed
+	// primary's entry to bound the staleness of the reads it serves.
+	contactMu   sync.RWMutex
+	lastContact map[string]time.Time
+
+	wg sync.WaitGroup
+}
+
+// peerStream is one follower's outbound stream: a bounded frame queue
+// drained by a single worker (one POST in flight per peer, so frames
+// arrive in emission order).
+type peerStream struct {
+	id, url string
+	frames  chan []byte
+	resync  chan string // sensor ids needing a snapshot push
+	stop    chan struct{}
+}
+
+const (
+	peerQueueSize  = 4096
+	resyncQueue    = 256
+	maxBatchFrames = 256
+)
+
+func newReplicator(n *Node) *replicator {
+	r := &replicator{
+		n:           n,
+		seq:         make(map[string]uint64),
+		peers:       make(map[string]*peerStream),
+		lastContact: make(map[string]time.Time),
+	}
+	for _, id := range n.peerIDs() {
+		member, _ := n.member(id)
+		r.peers[id] = &peerStream{
+			id:     id,
+			url:    member.URL,
+			frames: make(chan []byte, peerQueueSize),
+			resync: make(chan string, resyncQueue),
+			stop:   make(chan struct{}),
+		}
+	}
+	return r
+}
+
+func (r *replicator) start() {
+	for _, p := range r.peers {
+		r.wg.Add(1)
+		go r.peerLoop(p)
+	}
+}
+
+func (r *replicator) close() {
+	for _, p := range r.peers {
+		close(p.stop)
+	}
+	r.wg.Wait()
+}
+
+// --- sequence bookkeeping ---
+
+func (r *replicator) nextSeq(sensor string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq[sensor]++
+	return r.seq[sensor]
+}
+
+func (r *replicator) seqOf(sensor string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq[sensor]
+}
+
+func (r *replicator) setSeq(sensor string, seq uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq[sensor] = seq
+}
+
+func (r *replicator) dropSeq(sensor string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.seq, sensor)
+}
+
+// queuedFrames reports the total outbound backlog (replication lag in
+// frames) across peers.
+func (r *replicator) queuedFrames() int {
+	total := 0
+	for _, p := range r.peers {
+		total += len(p.frames)
+	}
+	return total
+}
+
+// --- contact tracking ---
+
+func (r *replicator) touch(peer string) {
+	if peer == "" {
+		return
+	}
+	r.contactMu.Lock()
+	r.lastContact[peer] = time.Now()
+	r.contactMu.Unlock()
+}
+
+// sinceContact reports how long ago the peer last reached this node.
+// Peers never heard from read as infinitely stale only if they were
+// never seen; before first contact we report zero so a freshly started
+// cluster is not instantly "too stale" (the node just joined and the
+// primary may simply have had nothing to say yet).
+func (r *replicator) sinceContact(peer string) time.Duration {
+	r.contactMu.RLock()
+	at, ok := r.lastContact[peer]
+	r.contactMu.RUnlock()
+	if !ok {
+		return 0
+	}
+	return time.Since(at)
+}
+
+// --- outbound: owner side ---
+
+// emit encodes one applied mutation and queues it to every follower of
+// the sensor. Called on the owner, after the mutation is applied
+// locally (apply order equals emission order per sensor: observations
+// come from the sensor's single shard worker, lifecycle events from
+// the serialized add/delete handlers).
+func (r *replicator) emit(rec wal.Record) {
+	targets := r.n.replicaTargets(rec.Sensor)
+	if len(targets) == 0 {
+		return
+	}
+	seq := r.nextSeq(rec.Sensor)
+	frame, err := wal.EncodeFrame(nil, seq, rec)
+	if err != nil {
+		return // unencodable record: nothing a follower could do either
+	}
+	for _, id := range targets {
+		p := r.peers[id]
+		if p == nil {
+			continue
+		}
+		select {
+		case p.frames <- frame:
+			r.n.m.replFrames.Inc()
+		default:
+			// Full queue: shed. The follower detects the gap on the next
+			// frame it does receive and resyncs via snapshot.
+			r.n.m.replDropped.Inc()
+		}
+	}
+}
+
+// peerLoop drains one follower's queue: frames are batched into a
+// single POST (bounded), responses are checked for resync requests,
+// and an idle stream sends heartbeats so the follower's staleness
+// clock keeps ticking while there is nothing to replicate.
+func (r *replicator) peerLoop(p *peerStream) {
+	defer r.wg.Done()
+	hb := time.NewTicker(r.n.cfg.HeartbeatInterval)
+	defer hb.Stop()
+	var batch bytes.Buffer
+	for {
+		select {
+		case <-p.stop:
+			return
+		case sensor := <-p.resync:
+			r.pushSnapshot(p, sensor)
+		case frame := <-p.frames:
+			batch.Reset()
+			batch.Write(frame)
+			// Gather whatever else is queued, without blocking.
+		gather:
+			for i := 1; i < maxBatchFrames; i++ {
+				select {
+				case f := <-p.frames:
+					batch.Write(f)
+				default:
+					break gather
+				}
+			}
+			r.post(p, batch.Bytes())
+		case <-hb.C:
+			r.post(p, nil) // heartbeat: empty batch, still updates contact
+		}
+	}
+}
+
+// replicateResponse is the follower's answer to a frame batch.
+type replicateResponse struct {
+	Applied int      `json:"applied"`
+	Dupes   int      `json:"dupes,omitempty"`
+	Resync  []string `json:"resync,omitempty"`
+}
+
+// post ships one batch (possibly empty — a heartbeat) to the peer and
+// queues any requested snapshot resyncs.
+func (r *replicator) post(p *peerStream, body []byte) {
+	req, err := http.NewRequest(http.MethodPost, p.url+"/cluster/replicate", bytes.NewReader(body))
+	if err != nil {
+		r.n.m.replErrs.Inc()
+		return
+	}
+	req.Header.Set(fromHeader, r.n.cfg.Self)
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := r.n.hc.Do(req)
+	if err != nil {
+		r.n.m.replErrs.Inc()
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		r.n.m.replErrs.Inc()
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return
+	}
+	var rr replicateResponse
+	if err := readJSON(resp.Body, &rr); err != nil {
+		return
+	}
+	for _, sensor := range rr.Resync {
+		select {
+		case p.resync <- sensor:
+		default: // resync queue full; the follower will ask again
+		}
+	}
+}
+
+// pushSnapshot quiesces the sensor, captures a bit-exact snapshot
+// (checkpoint envelope) tagged with the replication sequence it
+// covers, and ships it to the peer. The quiesce — pause new writes,
+// drain the pipeline — guarantees the (state, seq) pair is atomic:
+// every frame at or below the tagged seq is inside the snapshot,
+// every frame above it is not.
+func (r *replicator) pushSnapshot(p *peerStream, sensor string) {
+	if !r.n.sys.HasSensor(sensor) {
+		return // removed since the gap; the remove frame will catch up
+	}
+	r.n.m.resyncs.Inc()
+	body, seq, err := r.n.snapshotSensor(sensor)
+	if err != nil {
+		if r.n.log != nil {
+			r.n.log.Warn("cluster snapshot failed", "sensor", sensor, "peer", p.id, "err", err)
+		}
+		return
+	}
+	req, err := http.NewRequest(http.MethodPost, p.url+"/cluster/restore", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set(fromHeader, r.n.cfg.Self)
+	req.Header.Set(replSeqHeader, strconv.FormatUint(seq, 10))
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := r.n.hc.Do(req)
+	if err != nil {
+		r.n.m.replErrs.Inc()
+		return
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		r.n.m.replErrs.Inc()
+	}
+}
+
+// --- inbound: follower side ---
+
+// handleReplicate is POST /cluster/replicate: a batch of WAL frames
+// from a primary. Frames apply in order; duplicates drop; a gap or an
+// unknown sensor asks for a resync instead of applying out of order.
+func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	n.repl.touch(r.Header.Get(fromHeader))
+	var resp replicateResponse
+	needResync := map[string]bool{}
+	fr := wal.NewFrameReader(http.MaxBytesReader(w, r.Body, 256<<20))
+	for {
+		seq, rec, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Torn batch: everything decoded so far applied; the rest of
+			// the stream is gone. The sender sees frames shed (and this
+			// follower will gap out and resync), so just stop here.
+			break
+		}
+		n.applyFrame(seq, rec, needResync, &resp)
+	}
+	for s := range needResync {
+		resp.Resync = append(resp.Resync, s)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// applyFrame applies one replicated record under the sequence rules.
+func (n *Node) applyFrame(seq uint64, rec wal.Record, needResync map[string]bool, resp *replicateResponse) {
+	sensor := rec.Sensor
+	switch rec.Type {
+	case wal.RecAddSensor:
+		// Self-contained replace: the frame carries the owner's full
+		// history at emission, so it is safe to apply regardless of any
+		// gap before it.
+		if n.sys.HasSensor(sensor) {
+			_ = n.sys.RemoveSensor(sensor)
+		}
+		if err := n.sys.AddSensor(sensor, rec.History); err != nil {
+			needResync[sensor] = true
+			return
+		}
+		n.repl.setSeq(sensor, seq)
+		n.srv.Pipeline().Invalidate(sensor)
+		n.m.replApplied.Inc()
+		resp.Applied++
+	case wal.RecRemoveSensor:
+		_ = n.sys.RemoveSensor(sensor) // unknown is fine: already gone
+		n.repl.setSeq(sensor, seq)
+		n.srv.Pipeline().Invalidate(sensor)
+		n.m.replApplied.Inc()
+		resp.Applied++
+	case wal.RecObserve:
+		cur := n.repl.seqOf(sensor)
+		switch {
+		case seq <= cur:
+			n.m.replDupes.Inc()
+			resp.Dupes++
+		case seq == cur+1 && n.sys.HasSensor(sensor):
+			if err := n.sys.Observe(sensor, rec.Value); err != nil {
+				needResync[sensor] = true
+				return
+			}
+			n.repl.setSeq(sensor, seq)
+			n.srv.Pipeline().Invalidate(sensor)
+			n.m.replApplied.Inc()
+			resp.Applied++
+		default:
+			// Gap, or an observation for a sensor this follower has never
+			// seen: ask for a snapshot.
+			needResync[sensor] = true
+		}
+	default:
+		needResync[sensor] = true
+	}
+}
+
+// handleRestore is POST /cluster/restore: a sensor snapshot (the
+// checkpoint envelope) covering every frame at or below the tagged
+// sequence number. Restore replaces local state bit-exactly; frames
+// above the tag then replay on top.
+func (n *Node) handleRestore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	n.repl.touch(r.Header.Get(fromHeader))
+	seq, err := strconv.ParseUint(r.Header.Get(replSeqHeader), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad %s header: %v", replSeqHeader, err))
+		return
+	}
+	ids, err := n.sys.RestoreSensorsFrom(http.MaxBytesReader(w, r.Body, 256<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "restore failed: "+err.Error())
+		return
+	}
+	for _, id := range ids {
+		n.repl.setSeq(id, seq)
+		n.srv.Pipeline().Invalidate(id)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"restored": ids, "seq": seq})
+}

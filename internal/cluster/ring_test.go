@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAndDistinct(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"}, 64)
+	for i := 0; i < 200; i++ {
+		sensor := fmt.Sprintf("sensor-%d", i)
+		p1 := r.Preference(sensor, 3)
+		p2 := r.Preference(sensor, 3)
+		if len(p1) != 3 {
+			t.Fatalf("preference for %s has %d entries, want 3", sensor, len(p1))
+		}
+		seen := map[string]bool{}
+		for j := range p1 {
+			if p1[j] != p2[j] {
+				t.Fatalf("preference for %s not deterministic: %v vs %v", sensor, p1, p2)
+			}
+			if seen[p1[j]] {
+				t.Fatalf("preference for %s repeats a member: %v", sensor, p1)
+			}
+			seen[p1[j]] = true
+		}
+		if r.Owner(sensor) != p1[0] {
+			t.Fatalf("Owner disagrees with Preference[0] for %s", sensor)
+		}
+	}
+	// Order-insensitive construction: the same membership in any order
+	// yields the same placement.
+	r2 := NewRing([]string{"n3", "n1", "n2"}, 64)
+	for i := 0; i < 50; i++ {
+		sensor := fmt.Sprintf("sensor-%d", i)
+		if r.Owner(sensor) != r2.Owner(sensor) {
+			t.Fatalf("placement depends on member order for %s", sensor)
+		}
+	}
+}
+
+// TestRingBalance: with virtual nodes, no member should own a wildly
+// disproportionate share of sensors.
+func TestRingBalance(t *testing.T) {
+	members := []string{"n1", "n2", "n3", "n4"}
+	r := NewRing(members, 64)
+	counts := map[string]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("sensor-%d", i))]++
+	}
+	want := n / len(members)
+	for _, m := range members {
+		if counts[m] < want/3 || counts[m] > want*3 {
+			t.Fatalf("member %s owns %d of %d sensors (expected near %d): %v",
+				m, counts[m], n, want, counts)
+		}
+	}
+}
+
+func TestRingSingleAndEmpty(t *testing.T) {
+	r := NewRing(nil, 8)
+	if got := r.Preference("x", 2); got != nil {
+		t.Fatalf("empty ring preference = %v, want nil", got)
+	}
+	if r.Owner("x") != "" {
+		t.Fatal("empty ring must have no owner")
+	}
+	one := NewRing([]string{"solo"}, 8)
+	if p := one.Preference("x", 5); len(p) != 1 || p[0] != "solo" {
+		t.Fatalf("single-member preference = %v", p)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"hash/fnv"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"smiler"
@@ -114,6 +115,14 @@ type Config struct {
 	// the observation is still applied: availability over durability
 	// for the window until the next successful sync.
 	Journal func(shard int, id string, v float64) error
+	// OnApplied, when set, is called from the shard worker after each
+	// observation has been successfully applied to the system and
+	// before the forecast cache is invalidated — the replication hook.
+	// Per-sensor call order equals apply order (single worker per
+	// shard); failed applies never reach it. It can also be installed
+	// after construction with SetOnApplied (the cluster layer is built
+	// after the server that owns this pipeline).
+	OnApplied func(Observation)
 }
 
 func (c *Config) applyDefaults() {
@@ -144,6 +153,10 @@ type Pipeline struct {
 	shards []*shard
 	co     *coalescer
 
+	// onApplied is the live post-apply hook (Config.OnApplied or a
+	// later SetOnApplied), read atomically by shard workers.
+	onApplied atomic.Pointer[func(Observation)]
+
 	// closeMu guards the closed flag against in-flight sends: Observe
 	// holds it shared while sending, Close holds it exclusively while
 	// closing the shard channels, so no send can race a close.
@@ -170,6 +183,9 @@ func New(sys System, cfg Config) (*Pipeline, error) {
 		shards: make([]*shard, cfg.Shards),
 		co:     newCoalescer(sys),
 		done:   make(chan struct{}),
+	}
+	if cfg.OnApplied != nil {
+		p.onApplied.Store(&cfg.OnApplied)
 	}
 	for i := range p.shards {
 		p.shards[i] = &shard{id: i, ch: make(chan item, cfg.QueueSize)}
@@ -269,6 +285,17 @@ func (p *Pipeline) ObserveBulk(obs []Observation) BulkResult {
 // computed at most once across concurrent identical requests.
 func (p *Pipeline) Forecast(id string, h int) (smiler.Forecast, error) {
 	return p.co.forecast(id, h)
+}
+
+// SetOnApplied installs (or clears, with nil) the post-apply hook at
+// runtime — see Config.OnApplied for its contract. Safe to call while
+// workers run; observations mid-apply may still see the old hook.
+func (p *Pipeline) SetOnApplied(fn func(Observation)) {
+	if fn == nil {
+		p.onApplied.Store(nil)
+		return
+	}
+	p.onApplied.Store(&fn)
 }
 
 // Invalidate flushes any cached forecasts for the sensor. Shard

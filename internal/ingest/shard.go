@@ -122,5 +122,9 @@ func (p *Pipeline) applyItem(sh *shard, it item) {
 		if p.cfg.OnError != nil {
 			p.cfg.OnError(it.obs, err)
 		}
+		return
+	}
+	if fn := p.onApplied.Load(); fn != nil {
+		(*fn)(it.obs)
 	}
 }

@@ -261,3 +261,14 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 	f := r.familyFor(name, help, KindGauge)
 	f.childFor(labels, func() *child { return &child{fn: fn} })
 }
+
+// Info registers an info-style gauge pinned at 1 whose labels carry
+// the interesting values — the Prometheus build_info/node_info idiom
+// (e.g. smiler_build_info{version="0.5.0",go="go1.22"} 1). Calling it
+// again with the same labels is a no-op.
+func (r *Registry) Info(name, help string, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.Gauge(name, help, labels...).Set(1)
+}

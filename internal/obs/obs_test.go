@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"strings"
 	"sync"
 	"testing"
 )
@@ -149,4 +150,24 @@ func TestCounterFuncReadAtScrapeTime(t *testing.T) {
 	if !contains(out, want) {
 		t.Fatalf("scrape missing %q:\n%s", want, out)
 	}
+}
+
+func TestRegistryInfo(t *testing.T) {
+	r := NewRegistry()
+	r.Info("smiler_build_info", "Build information.",
+		L("version", "0.5.0"), L("go", "go1.22"))
+	r.Info("smiler_build_info", "Build information.",
+		L("version", "0.5.0"), L("go", "go1.22")) // idempotent
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := `smiler_build_info{version="0.5.0",go="go1.22"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing %q:\n%s", want, out)
+	}
+	// Nil registry: no-op, no panic.
+	var nilReg *Registry
+	nilReg.Info("x", "y")
 }

@@ -9,16 +9,28 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"smiler/internal/ingest"
 )
 
-// RetryPolicy bounds the client's automatic retries of idempotent
-// GETs. Retries fire on transport errors, HTTP 5xx and HTTP 429, with
-// jittered exponential backoff; POST/DELETE are never retried (an
-// enqueue or a registration might have landed before the failure).
+// OwnerURLHeader is set by a cluster node on sensor-scoped responses:
+// the base URL of the node that owns the sensor. A ring-aware client
+// caches it and sends that sensor's next requests straight to the
+// owner, skipping the forwarding hop.
+const OwnerURLHeader = "X-Smiler-Owner-Url"
+
+// RetryPolicy bounds the client's automatic retries. Retries fire on
+// transport errors, HTTP 5xx and HTTP 429, with jittered exponential
+// backoff. GETs are idempotent and always eligible; POST/DELETE are
+// retried too because every mutation carries a unique idempotency key
+// (IdempotencyKeyHeader) that the server — or the cluster node that
+// ends up applying the forwarded request — deduplicates, so a retry
+// after a lost response cannot double-apply.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of tries (1 = no retries).
 	MaxAttempts int
@@ -29,23 +41,35 @@ type RetryPolicy struct {
 	MaxDelay time.Duration
 }
 
-// DefaultRetryPolicy retries idempotent GETs up to 3 times with
-// 50ms/100ms jittered backoff.
+// DefaultRetryPolicy retries up to 3 times with 50ms/100ms jittered
+// backoff.
 func DefaultRetryPolicy() RetryPolicy {
 	return RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
 }
 
 // Client is a typed HTTP client for the SMiLer service. It is a thin
 // convenience wrapper for tools and tests; any HTTP client works.
+// Against a cluster it is ring-aware: ownership hints returned by any
+// node (OwnerURLHeader) are remembered per sensor, so follow-up
+// requests go straight to the owner.
 type Client struct {
 	base  string
 	hc    *http.Client
 	retry RetryPolicy
+
+	// idemPrefix + idemSeq mint process-unique idempotency keys for
+	// mutations.
+	idemPrefix string
+	idemSeq    atomic.Uint64
+
+	// owners caches sensor → owner base URL hints from cluster nodes.
+	ownersMu sync.Mutex
+	owners   map[string]string
 }
 
 // NewClient targets a service at base (e.g. "http://localhost:8080").
 // httpClient may be nil for http.DefaultClient. The client retries
-// idempotent GETs per DefaultRetryPolicy; see SetRetryPolicy.
+// requests per DefaultRetryPolicy; see SetRetryPolicy.
 func NewClient(base string, httpClient *http.Client) (*Client, error) {
 	u, err := url.Parse(base)
 	if err != nil {
@@ -58,24 +82,65 @@ func NewClient(base string, httpClient *http.Client) (*Client, error) {
 		httpClient = http.DefaultClient
 	}
 	return &Client{
-		base:  u.String(),
+		base:  strings.TrimSuffix(u.String(), "/"),
 		hc:    httpClient,
 		retry: DefaultRetryPolicy(),
+		idemPrefix: strconv.FormatInt(time.Now().UnixNano(), 36) + "-" +
+			strconv.FormatUint(rand.Uint64(), 36),
+		owners: make(map[string]string),
 	}, nil
 }
 
-// SetRetryPolicy replaces the GET retry policy ({MaxAttempts: 1}
-// disables retries). Not safe to call concurrently with requests.
+// SetRetryPolicy replaces the retry policy ({MaxAttempts: 1} disables
+// retries). Not safe to call concurrently with requests.
 func (c *Client) SetRetryPolicy(p RetryPolicy) { c.retry = p }
 
 func (c *Client) do(method, path string, body, out any) error {
-	return c.doCtx(context.Background(), method, path, body, out)
+	return c.doSensor(context.Background(), "", method, path, body, out)
 }
 
-// doCtx issues one API request. Idempotent GETs are retried on
-// transport errors and retryable statuses (5xx, 429) with jittered
-// exponential backoff, respecting ctx cancellation between attempts.
 func (c *Client) doCtx(ctx context.Context, method, path string, body, out any) error {
+	return c.doSensor(ctx, "", method, path, body, out)
+}
+
+// owner returns the cached owner base URL for a sensor ("" when
+// unknown).
+func (c *Client) owner(sensor string) string {
+	c.ownersMu.Lock()
+	defer c.ownersMu.Unlock()
+	return c.owners[sensor]
+}
+
+func (c *Client) setOwner(sensor, base string) {
+	u, err := url.Parse(base)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return // malformed hint; ignore
+	}
+	base = strings.TrimSuffix(u.String(), "/")
+	c.ownersMu.Lock()
+	if base == c.base {
+		delete(c.owners, sensor) // the primary base is the owner; no hint needed
+	} else {
+		c.owners[sensor] = base
+	}
+	c.ownersMu.Unlock()
+}
+
+func (c *Client) clearOwner(sensor string) {
+	c.ownersMu.Lock()
+	delete(c.owners, sensor)
+	c.ownersMu.Unlock()
+}
+
+// doSensor issues one API request, retrying per the policy. The body
+// is marshaled exactly once, up front — every retry resends the same
+// bytes. Mutations get a fresh idempotency key (one per logical
+// request, shared by its retries) so the server can deduplicate them.
+// When sensor is non-empty, a cached ownership hint routes the request
+// straight to the owning cluster node; hints are updated from
+// responses and dropped when the hinted node fails. On exhaustion the
+// returned error reports how many attempts were made.
+func (c *Client) doSensor(ctx context.Context, sensor, method, path string, body, out any) error {
 	var payload []byte
 	if body != nil {
 		b, err := json.Marshal(body)
@@ -84,27 +149,58 @@ func (c *Client) doCtx(ctx context.Context, method, path string, body, out any) 
 		}
 		payload = b
 	}
+	idemKey := ""
+	if method != http.MethodGet {
+		idemKey = c.idemPrefix + "-" + strconv.FormatUint(c.idemSeq.Add(1), 36)
+	}
 	attempts := 1
-	if method == http.MethodGet && c.retry.MaxAttempts > 1 {
+	if c.retry.MaxAttempts > 1 {
 		attempts = c.retry.MaxAttempts
 	}
 	var lastErr error
+	made := 0
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			if err := c.sleepBackoff(ctx, attempt); err != nil {
-				return lastErr
+				return attemptsErr(lastErr, made)
 			}
 		}
-		err, retryable := c.doOnce(ctx, method, path, payload, body != nil, out)
+		base := c.base
+		usedHint := false
+		if sensor != "" {
+			if o := c.owner(sensor); o != "" {
+				base, usedHint = o, true
+			}
+		}
+		made++
+		ownerHint, err, retryable := c.doOnce(ctx, base, method, path, payload, body != nil, idemKey, out)
 		if err == nil {
+			if sensor != "" && ownerHint != "" {
+				c.setOwner(sensor, ownerHint)
+			}
 			return nil
 		}
 		lastErr = err
+		if usedHint {
+			// The hinted owner failed (died, or the sensor moved): fall
+			// back to the primary base, whose gate re-resolves ownership.
+			c.clearOwner(sensor)
+		}
 		if !retryable || ctx.Err() != nil {
-			return err
+			return attemptsErr(err, made)
 		}
 	}
-	return lastErr
+	return attemptsErr(lastErr, made)
+}
+
+// attemptsErr annotates the final error with the attempt count so a
+// log line distinguishes "failed instantly" from "failed after the
+// whole backoff budget".
+func attemptsErr(err error, made int) error {
+	if err == nil || made <= 1 {
+		return err
+	}
+	return fmt.Errorf("%w (after %d attempts)", err, made)
 }
 
 // sleepBackoff waits the attempt's jittered exponential delay, or
@@ -131,50 +227,56 @@ func (c *Client) sleepBackoff(ctx context.Context, attempt int) error {
 	}
 }
 
-// doOnce issues a single request; the second return reports whether a
-// failure is safe and worthwhile to retry.
-func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte, hasBody bool, out any) (err error, retryable bool) {
+// doOnce issues a single request against base. ownerHint is the
+// sensor-ownership hint from the response headers (empty when absent);
+// retryable reports whether a failure is safe and worthwhile to retry.
+func (c *Client) doOnce(ctx context.Context, base, method, path string, payload []byte, hasBody bool, idemKey string, out any) (ownerHint string, err error, retryable bool) {
 	var rd io.Reader
 	if payload != nil {
 		rd = bytes.NewReader(payload)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 	if err != nil {
-		return err, false
+		return "", err, false
 	}
 	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if idemKey != "" {
+		req.Header.Set(IdempotencyKeyHeader, idemKey)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err, true // transport error: connection refused, reset, timeout
+		return "", err, true // transport error: connection refused, reset, timeout
 	}
 	defer resp.Body.Close()
+	ownerHint = resp.Header.Get(OwnerURLHeader)
 	if resp.StatusCode >= 400 {
 		retry := resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
 		var er errorResponse
 		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
-			return fmt.Errorf("server: %s %s: %s (HTTP %d)", method, path, er.Error, resp.StatusCode), retry
+			return ownerHint, fmt.Errorf("server: %s %s: %s (HTTP %d)", method, path, er.Error, resp.StatusCode), retry
 		}
-		return fmt.Errorf("server: %s %s: HTTP %d", method, path, resp.StatusCode), retry
+		return ownerHint, fmt.Errorf("server: %s %s: HTTP %d", method, path, resp.StatusCode), retry
 	}
 	if out == nil {
-		return nil, false
+		return ownerHint, nil, false
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return err, false
+		return ownerHint, err, false
 	}
-	return nil, false
+	return ownerHint, nil, false
 }
 
 // AddSensor registers a sensor with its history.
 func (c *Client) AddSensor(id string, history []float64) error {
-	return c.do(http.MethodPost, "/sensors", AddSensorRequest{ID: id, History: history}, nil)
+	return c.doSensor(context.Background(), id, http.MethodPost, "/sensors",
+		AddSensorRequest{ID: id, History: history}, nil)
 }
 
 // RemoveSensor deletes a sensor.
 func (c *Client) RemoveSensor(id string) error {
-	return c.do(http.MethodDelete, "/sensors/"+url.PathEscape(id), nil, nil)
+	return c.doSensor(context.Background(), id, http.MethodDelete, "/sensors/"+url.PathEscape(id), nil, nil)
 }
 
 // Sensors lists registered sensor ids.
@@ -187,27 +289,28 @@ func (c *Client) Sensors() ([]string, error) {
 // Forecast requests an h-step-ahead forecast.
 func (c *Client) Forecast(id string, h int) (ForecastResponse, error) {
 	var out ForecastResponse
-	err := c.do(http.MethodGet,
+	err := c.doSensor(context.Background(), id, http.MethodGet,
 		fmt.Sprintf("/sensors/%s/forecast?h=%d", url.PathEscape(id), h), nil, &out)
 	return out, err
 }
 
 // Observe streams one observation.
 func (c *Client) Observe(id string, value float64) error {
-	return c.do(http.MethodPost, "/sensors/"+url.PathEscape(id)+"/observe",
+	return c.doSensor(context.Background(), id, http.MethodPost, "/sensors/"+url.PathEscape(id)+"/observe",
 		ObserveRequest{Value: &value}, nil)
 }
 
 // ObserveBatch streams several observations in order.
 func (c *Client) ObserveBatch(id string, values []float64) error {
-	return c.do(http.MethodPost, "/sensors/"+url.PathEscape(id)+"/observe",
+	return c.doSensor(context.Background(), id, http.MethodPost, "/sensors/"+url.PathEscape(id)+"/observe",
 		ObserveRequest{Values: values}, nil)
 }
 
 // Ensemble fetches the sensor's auto-tuning weights.
 func (c *Client) Ensemble(id string) ([]EnsembleCell, error) {
 	var out []EnsembleCell
-	err := c.do(http.MethodGet, "/sensors/"+url.PathEscape(id)+"/ensemble", nil, &out)
+	err := c.doSensor(context.Background(), id, http.MethodGet,
+		"/sensors/"+url.PathEscape(id)+"/ensemble", nil, &out)
 	return out, err
 }
 
@@ -230,7 +333,7 @@ func (c *Client) Forecasts(id string, hs []int) ([]ForecastResponse, error) {
 		parts[i] = fmt.Sprint(h)
 	}
 	var out []ForecastResponse
-	err := c.do(http.MethodGet,
+	err := c.doSensor(context.Background(), id, http.MethodGet,
 		fmt.Sprintf("/sensors/%s/forecasts?hs=%s", url.PathEscape(id), strings.Join(parts, ",")),
 		nil, &out)
 	return out, err
@@ -239,7 +342,7 @@ func (c *Client) Forecasts(id string, hs []int) ([]ForecastResponse, error) {
 // SendReadings posts raw timestamped readings for grid regularization
 // (requires a server built with NewWithInterval).
 func (c *Client) SendReadings(id string, readings []Reading) error {
-	return c.do(http.MethodPost, "/sensors/"+url.PathEscape(id)+"/readings",
+	return c.doSensor(context.Background(), id, http.MethodPost, "/sensors/"+url.PathEscape(id)+"/readings",
 		ReadingsRequest{Readings: readings}, nil)
 }
 

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -144,9 +145,20 @@ func TestClientNoRetryOn4xx(t *testing.T) {
 	}
 }
 
-func TestClientNoRetryOnPOST(t *testing.T) {
-	h := &flakyHandler{failures: 100, status: http.StatusServiceUnavailable, body: nil}
-	ts := httptest.NewServer(h)
+// TestClientRetryOnPOST: mutations are retried under the backoff
+// budget, all attempts of one logical request share one idempotency
+// key (so the server can dedupe), distinct requests get distinct keys,
+// and the exhausted error reports the attempt count.
+func TestClientRetryOnPOST(t *testing.T) {
+	var mu sync.Mutex
+	var keys []string
+	base := &flakyHandler{failures: 100, status: http.StatusServiceUnavailable, body: nil}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		keys = append(keys, r.Header.Get(IdempotencyKeyHeader))
+		mu.Unlock()
+		base.ServeHTTP(w, r)
+	}))
 	defer ts.Close()
 
 	c, err := NewClient(ts.URL, nil)
@@ -155,11 +167,33 @@ func TestClientNoRetryOnPOST(t *testing.T) {
 	}
 	c.SetRetryPolicy(fastRetry(5))
 
-	if err := c.Observe("s", 1.0); err == nil {
+	err = c.Observe("s", 1.0)
+	if err == nil {
 		t.Fatal("want error on failing POST")
 	}
-	if got := h.calls.Load(); got != 1 {
-		t.Fatalf("server saw %d requests; POST must never be retried", got)
+	if !strings.Contains(err.Error(), "after 5 attempts") {
+		t.Fatalf("err = %v, want the attempt count surfaced", err)
+	}
+	if got := base.calls.Load(); got != 5 {
+		t.Fatalf("server saw %d requests, want the full 5-attempt budget", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, k := range keys {
+		if k == "" {
+			t.Fatalf("attempt %d carried no idempotency key", i)
+		}
+		if k != keys[0] {
+			t.Fatalf("attempt %d used key %q, want %q (one key per logical request)", i, k, keys[0])
+		}
+	}
+	// A fresh logical request must mint a fresh key.
+	keys = keys[:0]
+	mu.Unlock()
+	_ = c.Observe("s", 2.0)
+	mu.Lock()
+	if len(keys) == 0 || keys[0] == "" {
+		t.Fatal("second request carried no idempotency key")
 	}
 }
 

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// postObserve sends one keyed observe POST and returns the response.
+func postObserve(t *testing.T, ts *httptest.Server, key, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/sensors/a/observe",
+		bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set(IdempotencyKeyHeader, key)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestIdempotencyDedupe: a duplicate keyed mutation applies once; the
+// duplicate replays the remembered response with the replay marker.
+func TestIdempotencyDedupe(t *testing.T) {
+	ts, cl, sys := newTestServer(t)
+
+	if err := cl.AddSensor("a", seasonal(rand.New(rand.NewSource(7)), 420)); err != nil {
+		t.Fatal(err)
+	}
+	before, err := sys.HistoryLen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first := postObserve(t, ts, "key-1", `{"value": 51.5}`)
+	if first.StatusCode != http.StatusAccepted && first.StatusCode != http.StatusOK {
+		t.Fatalf("first attempt: HTTP %d", first.StatusCode)
+	}
+	if first.Header.Get(IdempotentReplayHeader) != "" {
+		t.Fatal("first attempt must not be marked as a replay")
+	}
+	firstBody, _ := io.ReadAll(first.Body)
+
+	dup := postObserve(t, ts, "key-1", `{"value": 51.5}`)
+	if dup.StatusCode != first.StatusCode {
+		t.Fatalf("replayed status %d, want %d", dup.StatusCode, first.StatusCode)
+	}
+	if dup.Header.Get(IdempotentReplayHeader) != "1" {
+		t.Fatal("duplicate must carry the replay marker")
+	}
+	dupBody, _ := io.ReadAll(dup.Body)
+	if !bytes.Equal(firstBody, dupBody) {
+		t.Fatalf("replayed body %q != original %q", dupBody, firstBody)
+	}
+
+	if got, _ := sys.HistoryLen("a"); got != before+1 {
+		t.Fatalf("history grew by %d, want exactly 1 (dedupe)", got-before)
+	}
+
+	// A different key is a different logical request and applies again.
+	fresh := postObserve(t, ts, "key-2", `{"value": 51.5}`)
+	if fresh.Header.Get(IdempotentReplayHeader) != "" {
+		t.Fatal("fresh key must not replay")
+	}
+	if got, _ := sys.HistoryLen("a"); got != before+2 {
+		t.Fatalf("history grew by %d after second key, want 2", got-before)
+	}
+}
+
+// TestIdempotencyDoesNotCacheServerErrors: a 5xx outcome is not
+// remembered — the retry re-executes instead of replaying the failure.
+func TestIdempotencyDoesNotCacheServerErrors(t *testing.T) {
+	var calls atomic.Int32
+	cache := newIdemCache()
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "shedding", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		_, _ = w.Write([]byte(`{"ok":true}`))
+	})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cache.serve(w, r, next)
+	}))
+	defer ts.Close()
+
+	r1 := postObserve(t, ts, "k", `{}`)
+	if r1.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("first: HTTP %d, want 503", r1.StatusCode)
+	}
+	r2 := postObserve(t, ts, "k", `{}`)
+	if r2.StatusCode != http.StatusAccepted {
+		t.Fatalf("retry: HTTP %d, want 202 (5xx must not be replayed)", r2.StatusCode)
+	}
+	if r2.Header.Get(IdempotentReplayHeader) != "" {
+		t.Fatal("re-executed retry must not be marked as a replay")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("handler ran %d times, want 2", got)
+	}
+	// Third attempt replays the cached 202.
+	r3 := postObserve(t, ts, "k", `{}`)
+	if r3.StatusCode != http.StatusAccepted || r3.Header.Get(IdempotentReplayHeader) != "1" {
+		t.Fatalf("third: HTTP %d replay=%q, want cached 202 replay", r3.StatusCode, r3.Header.Get(IdempotentReplayHeader))
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("handler ran %d times after replay, want still 2", got)
+	}
+}
+
+// TestIdempotencyCoalescesInFlight: duplicates racing the leader wait
+// for its response instead of executing concurrently.
+func TestIdempotencyCoalescesInFlight(t *testing.T) {
+	var entered atomic.Int32
+	release := make(chan struct{})
+	cache := newIdemCache()
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered.Add(1)
+		<-release
+		w.WriteHeader(http.StatusAccepted)
+		_, _ = w.Write([]byte("done"))
+	})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cache.serve(w, r, next)
+	}))
+	defer ts.Close()
+
+	const dups = 4
+	var wg sync.WaitGroup
+	statuses := make([]int, dups)
+	for i := 0; i < dups; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req, _ := http.NewRequest(http.MethodPost, ts.URL+"/x", bytes.NewReader([]byte("{}")))
+			req.Header.Set(IdempotencyKeyHeader, "shared")
+			resp, err := ts.Client().Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			statuses[i] = resp.StatusCode
+		}(i)
+	}
+	// Let the leader enter, then release it; followers must coalesce.
+	deadline := time.Now().Add(5 * time.Second)
+	for entered.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never entered the handler")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if got := entered.Load(); got != 1 {
+		t.Fatalf("handler executed %d times for one key, want 1", got)
+	}
+	for i, s := range statuses {
+		if s != http.StatusAccepted {
+			t.Fatalf("duplicate %d got HTTP %d, want coalesced 202", i, s)
+		}
+	}
+}

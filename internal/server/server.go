@@ -47,6 +47,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -55,8 +56,21 @@ import (
 
 	"smiler"
 	"smiler/internal/ingest"
+	"smiler/internal/obs"
 	"smiler/internal/timeseries"
 )
+
+// Version identifies the serving build; it is reported by GET
+// /healthz and the smiler_build_info metric so orchestrators and
+// cluster peers can tell what they are probing.
+const Version = "0.5.0"
+
+// GateFunc intercepts requests between the observability middleware
+// and the local route table. The cluster layer installs one to check
+// sensor ownership and forward misrouted requests to their owner;
+// next serves the request locally (through the idempotency layer and
+// the mux).
+type GateFunc func(w http.ResponseWriter, r *http.Request, next http.Handler)
 
 // Server is an http.Handler serving one SMiLer system behind an
 // ingestion pipeline.
@@ -67,6 +81,14 @@ type Server struct {
 	// handler is the mux wrapped in the observability middleware,
 	// built once at construction.
 	handler http.Handler
+
+	// gate, when set, sees every request before local routing — the
+	// cluster ownership middleware hook.
+	gate atomic.Pointer[GateFunc]
+	// idem replays remembered responses to retried keyed mutations.
+	idem *idemCache
+	// nodeID tags /healthz and build info in cluster deployments.
+	nodeID string
 
 	// log, when non-nil, receives one structured line per request
 	// (method, path, status, latency, request ID).
@@ -125,6 +147,9 @@ type Options struct {
 	// SensorJournal, when set, receives sensor add/remove events for
 	// durable logging.
 	SensorJournal SensorJournal
+	// NodeID, when set, is reported by GET /healthz and in the
+	// smiler_build_info metric — the cluster node's identity.
+	NodeID string
 }
 
 // New wraps a system behind a default-configured ingestion pipeline.
@@ -165,6 +190,8 @@ func NewWithOptions(sys *smiler.System, opts Options) (*Server, error) {
 		interval:  opts.Interval,
 		regs:      make(map[string]*timeseries.Regularizer),
 		journal:   opts.SensorJournal,
+		idem:      newIdemCache(),
+		nodeID:    opts.NodeID,
 	}
 	s.ready.Store(!opts.StartNotReady)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -176,9 +203,50 @@ func NewWithOptions(sys *smiler.System, opts Options) (*Server, error) {
 	s.mux.HandleFunc("/observations", s.handleObservations)
 	s.mux.HandleFunc("/sensors", s.handleSensors)
 	s.mux.HandleFunc("/sensors/", s.handleSensor)
-	s.handler = s.withObservability(s.mux)
+	s.handler = s.withObservability(http.HandlerFunc(s.dispatch))
 	pipe.RegisterMetrics(sys.Metrics())
+	if reg := sys.Metrics(); reg != nil {
+		labels := []obs.Label{obs.L("version", Version), obs.L("go", runtime.Version())}
+		if s.nodeID != "" {
+			labels = append(labels, obs.L("node", s.nodeID))
+		}
+		reg.Info("smiler_build_info", "Build and node identity (value is always 1).", labels...)
+	}
 	return s, nil
+}
+
+// dispatch routes one request: through the installed gate (cluster
+// ownership middleware) when present, then the idempotency layer, then
+// the route table.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) {
+	if g := s.gate.Load(); g != nil {
+		(*g)(w, r, http.HandlerFunc(s.serveLocal))
+		return
+	}
+	s.serveLocal(w, r)
+}
+
+// serveLocal handles the request on this node.
+func (s *Server) serveLocal(w http.ResponseWriter, r *http.Request) {
+	s.idem.serve(w, r, s.mux)
+}
+
+// SetGate installs (or clears, with nil) the ownership gate. Install
+// before the listener starts serving; the gate itself must be safe for
+// concurrent use.
+func (s *Server) SetGate(g GateFunc) {
+	if g == nil {
+		s.gate.Store(nil)
+		return
+	}
+	s.gate.Store(&g)
+}
+
+// Handle mounts an extra route on the server's mux — the cluster layer
+// adds its /cluster/* endpoints here so they flow through the same
+// observability middleware as the API. Mount before serving begins.
+func (s *Server) Handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, h)
 }
 
 // Close drains the ingestion pipeline: every accepted observation is
@@ -234,6 +302,13 @@ type ForecastResponse struct {
 	DegradedReason string  `json:"degraded_reason,omitempty"`
 }
 
+// MakeForecastResponse assembles the wire shape from a Forecast — the
+// cluster layer uses it when a promoted replica answers directly (and
+// then overrides the Degraded fields).
+func MakeForecastResponse(id string, h int, f smiler.Forecast, z float64) ForecastResponse {
+	return forecastResponse(id, h, f, z)
+}
+
 // forecastResponse assembles the wire shape from a Forecast.
 func forecastResponse(id string, h int, f smiler.Forecast, z float64) ForecastResponse {
 	lo, hi := f.Interval(z)
@@ -265,12 +340,28 @@ type errorResponse struct {
 
 // --- handlers ---
 
+// HealthzResponse is the GET /healthz body: pure liveness plus enough
+// identity (build version, Go runtime, cluster node id) for a prober
+// or orchestrator to tell what answered. Distinct from /readyz: a
+// recovering or draining process is healthy but not ready.
+type HealthzResponse struct {
+	Status  string `json:"status"`
+	Version string `json:"version"`
+	Go      string `json:"go"`
+	Node    string `json:"node,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		methodNotAllowed(w)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, HealthzResponse{
+		Status:  "ok",
+		Version: Version,
+		Go:      runtime.Version(),
+		Node:    s.nodeID,
+	})
 }
 
 // handleReadyz is the readiness probe: distinct from /healthz

@@ -1,0 +1,87 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Type: RecAddSensor, Sensor: "a", History: []float64{1, 2, 3.5, math.Pi}},
+		{Type: RecObserve, Sensor: "a", Value: 4.25},
+		{Type: RecObserve, Sensor: "b/with/slashes", Value: -0.5},
+		{Type: RecRemoveSensor, Sensor: "a"},
+	}
+	var buf []byte
+	var err error
+	for i, r := range recs {
+		buf, err = EncodeFrame(buf, uint64(i+10), r)
+		if err != nil {
+			t.Fatalf("EncodeFrame: %v", err)
+		}
+	}
+	fr := NewFrameReader(bytes.NewReader(buf))
+	for i, want := range recs {
+		seq, got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("Next %d: %v", i, err)
+		}
+		if seq != uint64(i+10) {
+			t.Fatalf("frame %d: seq %d, want %d", i, seq, i+10)
+		}
+		if got.Type != want.Type || got.Sensor != want.Sensor || got.Value != want.Value {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, want)
+		}
+		if len(got.History) != len(want.History) {
+			t.Fatalf("frame %d: history %v, want %v", i, got.History, want.History)
+		}
+		for j := range want.History {
+			if got.History[j] != want.History[j] {
+				t.Fatalf("frame %d history[%d]: %v != %v", i, j, got.History[j], want.History[j])
+			}
+		}
+	}
+	if _, _, err := fr.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestStreamTruncatedAndCorrupt(t *testing.T) {
+	var buf []byte
+	var err error
+	buf, err = EncodeFrame(buf, 1, Record{Type: RecObserve, Sensor: "s", Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := len(buf)
+	buf, err = EncodeFrame(buf, 2, Record{Type: RecObserve, Sensor: "s", Value: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate the second frame at every byte boundary: the first frame
+	// must still decode, the second must come back ErrCorruptFrame.
+	for cut := one + 1; cut < len(buf); cut++ {
+		fr := NewFrameReader(bytes.NewReader(buf[:cut]))
+		if _, _, err := fr.Next(); err != nil {
+			t.Fatalf("cut %d: first frame: %v", cut, err)
+		}
+		if _, _, err := fr.Next(); !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("cut %d: want ErrCorruptFrame, got %v", cut, err)
+		}
+	}
+
+	// Flip one payload byte: CRC must catch it.
+	bad := append([]byte(nil), buf...)
+	bad[one+frameHeader+1] ^= 0x40
+	fr := NewFrameReader(bytes.NewReader(bad))
+	if _, _, err := fr.Next(); err != nil {
+		t.Fatalf("first frame: %v", err)
+	}
+	if _, _, err := fr.Next(); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("want ErrCorruptFrame on flipped byte, got %v", err)
+	}
+}
