@@ -102,6 +102,7 @@ type options struct {
 	probeInterval time.Duration
 	probeFailures int
 	maxStaleness  time.Duration
+	clusterSecret string
 
 	// onReady, when set, is called with the bound listen address once
 	// the listener is accepting (tests use it to find an ephemeral
@@ -136,6 +137,7 @@ func main() {
 	flag.DurationVar(&o.probeInterval, "probe-interval", 0, "peer health probe period (0 = default 500ms)")
 	flag.IntVar(&o.probeFailures, "probe-failures", 0, "consecutive probe failures before failover (0 = default 3)")
 	flag.DurationVar(&o.maxStaleness, "max-staleness", 0, "staleness bound for promoted-replica reads (0 = default 5m)")
+	flag.StringVar(&o.clusterSecret, "cluster-secret", "", "shared secret required on state-changing /cluster/* endpoints (empty = membership-header check only)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "smiler-server:", err)
@@ -249,6 +251,7 @@ func run(o options) error {
 			ProbeInterval: o.probeInterval,
 			ProbeFailures: o.probeFailures,
 			MaxStaleness:  o.maxStaleness,
+			Secret:        o.clusterSecret,
 			Logger:        logger,
 		})
 		if err != nil {

@@ -35,6 +35,7 @@ package cluster
 
 import (
 	"bytes"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -82,6 +83,13 @@ type Config struct {
 	// this long has passed since the failed primary was last heard
 	// from, degraded reads answer 503 instead (default 5m).
 	MaxStaleness time.Duration
+	// Secret, when set, is required (in the X-Smiler-Cluster-Secret
+	// header) on every state-changing /cluster/* endpoint — replicate,
+	// restore, assign, migrate — and attached to all intra-cluster
+	// requests this node makes. Every member must share the same value.
+	// Leave empty only when untrusted clients cannot reach the serving
+	// port (see docs/CLUSTER.md, Security).
+	Secret string
 	// HTTPClient is used for all intra-cluster requests (default: a
 	// client with a 5s timeout).
 	HTTPClient *http.Client
@@ -296,6 +304,55 @@ func (n *Node) replicaTargets(sensor string) []string {
 		}
 	}
 	return out
+}
+
+// --- peer authentication ---
+
+// secretHeader carries the shared cluster secret on intra-cluster
+// requests when Config.Secret is set.
+const secretHeader = "X-Smiler-Cluster-Secret"
+
+// peerHeaders stamps an outbound intra-cluster request with this
+// node's identity and, when configured, the shared secret.
+func (n *Node) peerHeaders(req *http.Request) {
+	req.Header.Set(fromHeader, n.cfg.Self)
+	if n.cfg.Secret != "" {
+		req.Header.Set(secretHeader, n.cfg.Secret)
+	}
+}
+
+// authSecret enforces the shared cluster secret when one is
+// configured. The operator-facing /cluster/migrate uses just this —
+// the operator is not a member and carries no fromHeader.
+func (n *Node) authSecret(w http.ResponseWriter, r *http.Request) bool {
+	if n.cfg.Secret == "" {
+		return true
+	}
+	if subtle.ConstantTimeCompare([]byte(r.Header.Get(secretHeader)), []byte(n.cfg.Secret)) != 1 {
+		writeError(w, http.StatusForbidden, "missing or wrong "+secretHeader+" header")
+		return false
+	}
+	return true
+}
+
+// authPeer gates the peer-to-peer /cluster/* endpoints (replicate,
+// restore, assign): the sender must present the shared secret when one
+// is configured and name itself as another member of the static
+// membership. Without a secret the membership check only stops stray
+// API clients from overwriting sensor state or flipping ownership —
+// any sender can claim a member id — so the secret, or keeping the
+// port off the client network, is the real boundary (docs/CLUSTER.md).
+func (n *Node) authPeer(w http.ResponseWriter, r *http.Request) bool {
+	if !n.authSecret(w, r) {
+		return false
+	}
+	from := r.Header.Get(fromHeader)
+	if _, ok := n.members[from]; !ok || from == n.cfg.Self {
+		writeError(w, http.StatusForbidden,
+			"cluster endpoint requires a known peer "+fromHeader+" header")
+		return false
+	}
+	return true
 }
 
 // --- pause (quiesce) ---

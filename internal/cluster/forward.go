@@ -37,7 +37,13 @@ func (n *Node) gate(w http.ResponseWriter, r *http.Request, next http.Handler) {
 	}
 	if sensor == "" {
 		if r.Method == http.MethodPost && r.URL.Path == "/observations" {
-			n.bulkObserve(w, r, bodyCopy)
+			// The gate handles bulk before local routing, so it must route
+			// through the idempotency cache itself: the entry node dedupes
+			// the whole request under the client's key, and a forwarded
+			// partition dedupes under the derived key the sender attached.
+			n.srv.ServeIdempotent(w, r, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				n.bulkObserve(w, r, bodyCopy)
+			}))
 			return
 		}
 		next.ServeHTTP(w, r) // not sensor-scoped: always local
@@ -129,7 +135,9 @@ func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner Member, bod
 	} else if r.Body != nil {
 		rd = r.Body
 	}
-	u := owner.URL + r.URL.Path
+	// EscapedPath, not Path: a percent-encoded sensor id ("a%20b",
+	// "a%2Fb") must reach the owner byte-identical, not re-decoded.
+	u := owner.URL + r.URL.EscapedPath()
 	if r.URL.RawQuery != "" {
 		u += "?" + r.URL.RawQuery
 	}
@@ -368,12 +376,37 @@ func (n *Node) bulkObserve(w http.ResponseWriter, r *http.Request, body []byte) 
 		p.indices = append(p.indices, i)
 	}
 	key := r.Header.Get(server.IdempotencyKeyHeader)
+	forwarded := r.Header.Get(forwardedHeader) != ""
+	// Quiesce check before anything applies or forwards, mirroring the
+	// sensor-scoped gate: an item applied on the old owner while its
+	// sensor is paused for snapshot/migration would miss the shipped
+	// snapshot and be silently lost at cutover, so the whole batch
+	// answers 503 instead (5xx responses are never idempotency-cached,
+	// so a retry re-executes once the pause lifts).
+	for id, p := range parts {
+		if id != n.cfg.Self && !forwarded {
+			continue // remote partition: its owner runs this check
+		}
+		for _, o := range p.obs {
+			if n.isPaused(o.Sensor) {
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable,
+					"sensor "+o.Sensor+" is quiescing for snapshot/migration; retry")
+				return
+			}
+		}
+	}
 	var merged ingest.BulkResult
 	for id, p := range parts {
 		var res ingest.BulkResult
-		if id == n.cfg.Self || r.Header.Get(forwardedHeader) != "" {
+		switch {
+		case forwarded:
+			// Already dedupe-gated at this node's entry under the derived
+			// key the sender attached.
 			res = n.srv.Pipeline().ObserveBulk(p.obs)
-		} else {
+		case id == n.cfg.Self:
+			res = n.applyLocalPartition(r, p.obs, key)
+		default:
 			var err error
 			res, err = n.forwardBulk(r, p.owner, p.obs, key)
 			if err != nil {
@@ -399,6 +432,66 @@ func (n *Node) bulkObserve(w http.ResponseWriter, r *http.Request, body []byte) 
 		}
 	}
 	writeJSON(w, http.StatusOK, merged)
+}
+
+// applyLocalPartition applies the partition this node owns. With an
+// idempotency key the application runs through the server's idem cache
+// under the same derived key a forwarded copy of this partition would
+// carry (key/self): a client retry that re-enters the cluster at a
+// different node forwards our partition back to us under that key and
+// replays this result instead of double-applying.
+func (n *Node) applyLocalPartition(r *http.Request, obs []ingest.Observation, key string) ingest.BulkResult {
+	if key == "" {
+		return n.srv.Pipeline().ObserveBulk(obs)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, "/observations", nil)
+	if err != nil {
+		return n.srv.Pipeline().ObserveBulk(obs)
+	}
+	req.Header.Set(server.IdempotencyKeyHeader, key+"/"+n.cfg.Self)
+	var rec bufferedResponse
+	n.srv.ServeIdempotent(&rec, req, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, n.srv.Pipeline().ObserveBulk(obs))
+	}))
+	var res ingest.BulkResult
+	if err := json.Unmarshal(rec.buf.Bytes(), &res); err != nil {
+		// The cached body is always a BulkResult we wrote ourselves;
+		// anything else means the apply never produced one.
+		for i, o := range obs {
+			res.Failed = append(res.Failed, ingest.BulkFailure{
+				Index: i, ID: o.Sensor, Error: "idempotent apply: " + err.Error(),
+			})
+		}
+	}
+	return res
+}
+
+// bufferedResponse is an in-memory http.ResponseWriter for routing an
+// internal apply through the idempotency cache.
+type bufferedResponse struct {
+	header http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header {
+	if b.header == nil {
+		b.header = make(http.Header)
+	}
+	return b.header
+}
+
+func (b *bufferedResponse) WriteHeader(code int) {
+	if b.status == 0 {
+		b.status = code
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	if b.status == 0 {
+		b.status = http.StatusOK
+	}
+	return b.buf.Write(p)
 }
 
 // forwardBulk ships one owner's partition of a bulk request.

@@ -51,6 +51,9 @@ func (n *Node) handleMigrate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
 		return
 	}
+	if !n.authSecret(w, r) {
+		return
+	}
 	var req MigrateRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
@@ -107,7 +110,7 @@ func (n *Node) handleMigrate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	post.Header.Set(fromHeader, n.cfg.Self)
+	n.peerHeaders(post)
 	post.Header.Set(replSeqHeader, strconv.FormatUint(seq, 10))
 	post.Header.Set("Content-Type", "application/octet-stream")
 	resp, err := n.hc.Do(post)
@@ -153,7 +156,7 @@ func (n *Node) broadcastAssign(sensor, node string) {
 			continue
 		}
 		req.Header.Set("Content-Type", "application/json")
-		req.Header.Set(fromHeader, n.cfg.Self)
+		n.peerHeaders(req)
 		resp, err := n.hc.Do(req)
 		if err != nil {
 			if n.log != nil {
@@ -171,6 +174,9 @@ func (n *Node) broadcastAssign(sensor, node string) {
 func (n *Node) handleAssign(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	if !n.authPeer(w, r) {
 		return
 	}
 	var req assignRequest

@@ -82,7 +82,12 @@ func newReplicator(n *Node) *replicator {
 		peers:       make(map[string]*peerStream),
 		lastContact: make(map[string]time.Time),
 	}
+	// Seed every peer's contact time at process start: a primary that is
+	// already down when this node boots must accrue staleness from boot,
+	// not read as freshly contacted forever.
+	now := time.Now()
 	for _, id := range n.peerIDs() {
+		r.lastContact[id] = now
 		member, _ := n.member(id)
 		r.peers[id] = &peerStream{
 			id:     id,
@@ -158,10 +163,11 @@ func (r *replicator) touch(peer string) {
 }
 
 // sinceContact reports how long ago the peer last reached this node.
-// Peers never heard from read as infinitely stale only if they were
-// never seen; before first contact we report zero so a freshly started
-// cluster is not instantly "too stale" (the node just joined and the
-// primary may simply have had nothing to say yet).
+// Every member is seeded with the process start time, so a peer never
+// heard from (e.g. the primary was already down when this replica
+// restarted) accrues staleness from boot — MaxStaleness stays enforced
+// in exactly the restart-during-outage case. Non-member ids (never
+// routable) read as zero.
 func (r *replicator) sinceContact(peer string) time.Duration {
 	r.contactMu.RLock()
 	at, ok := r.lastContact[peer]
@@ -255,7 +261,7 @@ func (r *replicator) post(p *peerStream, body []byte) {
 		r.n.m.replErrs.Inc()
 		return
 	}
-	req.Header.Set(fromHeader, r.n.cfg.Self)
+	r.n.peerHeaders(req)
 	req.Header.Set("Content-Type", "application/octet-stream")
 	resp, err := r.n.hc.Do(req)
 	if err != nil {
@@ -302,7 +308,7 @@ func (r *replicator) pushSnapshot(p *peerStream, sensor string) {
 	if err != nil {
 		return
 	}
-	req.Header.Set(fromHeader, r.n.cfg.Self)
+	r.n.peerHeaders(req)
 	req.Header.Set(replSeqHeader, strconv.FormatUint(seq, 10))
 	req.Header.Set("Content-Type", "application/octet-stream")
 	resp, err := r.n.hc.Do(req)
@@ -325,6 +331,9 @@ func (r *replicator) pushSnapshot(p *peerStream, sensor string) {
 func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	if !n.authPeer(w, r) {
 		return
 	}
 	n.repl.touch(r.Header.Get(fromHeader))
@@ -407,6 +416,9 @@ func (n *Node) applyFrame(seq uint64, rec wal.Record, needResync map[string]bool
 func (n *Node) handleRestore(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	if !n.authPeer(w, r) {
 		return
 	}
 	n.repl.touch(r.Header.Get(fromHeader))

@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"smiler"
+	"smiler/internal/ingest"
+	"smiler/internal/server"
+)
+
+// internalNode is one in-process member for tests that need access to
+// unexported node internals (pause, replicator bookkeeping).
+type internalNode struct {
+	id   string
+	sys  *smiler.System
+	srv  *server.Server
+	ts   *httptest.Server
+	node *Node
+}
+
+func internalSysConfig() smiler.Config {
+	cfg := smiler.DefaultConfig()
+	cfg.Omega = 8
+	cfg.ELV = []int{16, 24, 40}
+	cfg.EKV = []int{4, 8}
+	cfg.Predictor = smiler.PredictorAR
+	return cfg
+}
+
+func internalHist(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 50 + 10*math.Sin(2*math.Pi*float64(i)/48)
+	}
+	return out
+}
+
+// newInternalPair brings up a two-node cluster with direct access to
+// the Node structs.
+func newInternalPair(t *testing.T) [2]*internalNode {
+	t.Helper()
+	var nodes [2]*internalNode
+	members := make([]Member, len(nodes))
+	for i, id := range []string{"p1", "p2"} {
+		sys, err := smiler.New(internalSysConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := server.NewWithOptions(sys, server.Options{
+			NodeID:   id,
+			Pipeline: ingest.Config{Shards: 2, QueueSize: 64},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		nodes[i] = &internalNode{id: id, sys: sys, srv: srv, ts: ts}
+		members[i] = Member{ID: id, URL: ts.URL}
+	}
+	for _, in := range nodes {
+		node, err := New(in.sys, in.srv, Config{
+			Self:              in.id,
+			Members:           members,
+			Replicas:          1,
+			ProbeInterval:     15 * time.Millisecond,
+			ProbeFailures:     2,
+			HeartbeatInterval: 10 * time.Millisecond,
+			HTTPClient:        &http.Client{Timeout: 2 * time.Second},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.node = node
+	}
+	t.Cleanup(func() {
+		for _, in := range nodes {
+			in.node.Close()
+			in.ts.Close()
+			in.srv.Close()
+			in.sys.Close()
+		}
+	})
+	return nodes
+}
+
+// TestBulkObserveRejectsPausedSensor: while a sensor is quiesced for
+// snapshot/migration, a bulk batch containing it must not apply on
+// this node — directly (503 to the caller) or via a forwarded
+// partition (the owner rejects, the entry reports the item failed).
+// An observation applied under the pause would miss the migration
+// snapshot and be lost at cutover.
+func TestBulkObserveRejectsPausedSensor(t *testing.T) {
+	nodes := newInternalPair(t)
+	const sensor = "pause-bulk"
+	ownerMember, _ := nodes[0].node.route(sensor)
+	var owner, other *internalNode
+	for _, in := range nodes {
+		if in.id == ownerMember.ID {
+			owner = in
+		} else {
+			other = in
+		}
+	}
+	if err := owner.sys.AddSensor(sensor, internalHist(400)); err != nil {
+		t.Fatal(err)
+	}
+
+	const body = `{"observations":[{"id":"` + sensor + `","value":51}]}`
+	post := func(url string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(url+"/observations", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	owner.node.pauseSensor(sensor)
+
+	// Directly on the quiescing owner: the whole batch answers 503 with
+	// a retry hint, nothing applies.
+	resp := post(owner.ts.URL)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("bulk on paused owner: HTTP %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 for a quiescing sensor must carry Retry-After")
+	}
+
+	// Through the other node: the partition forwards to the owner, whose
+	// pause check rejects it; the entry reports the item as failed.
+	resp = post(other.ts.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bulk via non-owner: HTTP %d, want 200 with per-item failure", resp.StatusCode)
+	}
+	var res ingest.BulkResult
+	if err := readJSON(resp.Body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 0 || len(res.Failed) != 1 {
+		t.Fatalf("bulk via non-owner during pause: %+v, want 0 accepted / 1 failed", res)
+	}
+
+	owner.node.unpauseSensor(sensor)
+	resp = post(owner.ts.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bulk after unpause: HTTP %d, want 200", resp.StatusCode)
+	}
+	if err := readJSON(resp.Body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 1 {
+		t.Fatalf("bulk after unpause: %+v, want 1 accepted", res)
+	}
+	if err := owner.srv.Pipeline().Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := owner.sys.HistoryLen(sensor); got != 401 {
+		t.Fatalf("owner history = %d, want 401 (exactly the post-unpause item)", got)
+	}
+}
+
+// TestSinceContactSeededAtBoot: a peer that is already down when this
+// node starts must accrue staleness from process start — not read as
+// freshly contacted forever, which would let a restarted replica serve
+// degraded reads past MaxStaleness indefinitely.
+func TestSinceContactSeededAtBoot(t *testing.T) {
+	sys, err := smiler.New(internalSysConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	srv, err := server.NewWithOptions(sys, server.Options{
+		Pipeline: ingest.Config{Shards: 1, QueueSize: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	node, err := New(sys, srv, Config{
+		Self: "a",
+		Members: []Member{
+			{ID: "a", URL: ts.URL},
+			{ID: "dead", URL: "http://127.0.0.1:9"}, // never answers
+		},
+		ProbeInterval: 10 * time.Millisecond,
+		HTTPClient:    &http.Client{Timeout: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	time.Sleep(30 * time.Millisecond)
+	if got := node.repl.sinceContact("dead"); got <= 0 {
+		t.Fatalf("sinceContact for a never-heard member = %v, want > 0 (seeded at boot)", got)
+	}
+	// Ids outside the membership are not routable and stay at zero.
+	if got := node.repl.sinceContact("not-a-member"); got != 0 {
+		t.Fatalf("sinceContact for a non-member = %v, want 0", got)
+	}
+}

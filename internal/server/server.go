@@ -231,6 +231,14 @@ func (s *Server) serveLocal(w http.ResponseWriter, r *http.Request) {
 	s.idem.serve(w, r, s.mux)
 }
 
+// ServeIdempotent runs next under the idempotency layer — the same
+// response-replay cache serveLocal uses. The cluster gate intercepts
+// some request paths before local routing (bulk observations) and
+// routes them through here so keyed retries still dedupe.
+func (s *Server) ServeIdempotent(w http.ResponseWriter, r *http.Request, next http.Handler) {
+	s.idem.serve(w, r, next)
+}
+
 // SetGate installs (or clears, with nil) the ownership gate. Install
 // before the listener starts serving; the gate itself must be safe for
 // concurrent use.
