@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-ingest bench-obs bench-json metrics-smoke torture cluster-smoke cluster-smoke-procs
+.PHONY: all build vet test race bench bench-ingest bench-obs bench-json metrics-smoke torture cluster-smoke cluster-smoke-procs loader-smoke
 
 all: vet build test
 
@@ -64,3 +64,9 @@ cluster-smoke:
 # ports (scripts/cluster_smoke.sh).
 cluster-smoke-procs: build
 	./scripts/cluster_smoke.sh
+
+# smilerloader end to end: drive a real loopback 3-node cluster with
+# ~20s of SLO-gated Poisson load and assert zero violations plus a
+# well-formed report (scripts/loader_smoke.sh, docs/LOADER.md).
+loader-smoke: build
+	./scripts/loader_smoke.sh

@@ -1,0 +1,247 @@
+// Command smilerloader is the production load generator and soak
+// harness for smiler-server: it synthesizes a large sensor population
+// from the deterministic corpus streams (internal/datasets), drives
+// one node or a whole cluster over HTTP with a configurable
+// observe:forecast mix and arrival process, and reports what a client
+// actually experienced — per-op p50/p99/p999 latency, throughput,
+// error and degraded rates — judged against declared SLOs.
+//
+// Usage:
+//
+//	# closed-loop: 16 workers back-to-back against one node
+//	smilerloader -targets http://localhost:8080 -sensors 1000 -duration 60s
+//
+//	# open-loop Poisson at 500 ops/s, 10:1 observe:forecast, SLO-gated
+//	smilerloader -targets http://localhost:8080 -sensors 100000 \
+//	    -arrival poisson -rate 500 -mix 10:1 -ramp 10s -duration 120s \
+//	    -slo 'observe.p99<=50ms,forecast.p99<=500ms,error_rate<=0.001' \
+//	    -out BENCH_cluster.json
+//
+//	# bursty soak against a 3-node cluster
+//	smilerloader -targets http://n1:8080,http://n2:8080,http://n3:8080 \
+//	    -arrival bursty -rate 300 -burst-factor 4 -duration 30m
+//
+// Setup registers the sensors (HTTP 409 counts as already-present, so
+// reruns are idempotent; -skip-setup skips the phase entirely). The
+// steady phase is the measurement window: SLOs are judged on it, and
+// the report lands as machine-readable JSON (-out). Exit codes: 0
+// success, 1 operational failure, 2 SLO violation — so a CI job or a
+// capacity sweep can gate on the loader directly. See docs/LOADER.md.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"smiler/internal/datasets"
+	"smiler/internal/load"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smilerloader:", err)
+	}
+	os.Exit(code)
+}
+
+// run parses flags and executes the load run; split from main for
+// tests. Returns the process exit code.
+func run(args []string, out *os.File) (int, error) {
+	fs := flag.NewFlagSet("smilerloader", flag.ContinueOnError)
+	var (
+		targets   = fs.String("targets", "http://localhost:8080", "comma-separated node base URLs")
+		sensors   = fs.Int("sensors", 1000, "distinct sensors in the population")
+		kindFlag  = fs.String("kind", "road", "synthetic corpus: road|mall|net")
+		seed      = fs.Int64("seed", 1, "workload seed (streams, mix draws)")
+		history   = fs.Int("history", 128, "bootstrap history length per sensor")
+		prefix    = fs.String("prefix", "load", "sensor id prefix")
+		mix       = fs.String("mix", "10:1", "observe:forecast weight ratio")
+		horizons  = fs.String("horizons", "1", `forecast horizon distribution: "1", "1,3,6", or "1:8,3:1"`)
+		arrival   = fs.String("arrival", "closed", "arrival process: closed|poisson|bursty")
+		rate      = fs.Float64("rate", 0, "open-loop target ops/s (poisson|bursty)")
+		conc      = fs.Int("concurrency", 16, "workers (closed-loop) / max in-flight (open-loop)")
+		burstF    = fs.Float64("burst-factor", 4, "bursty: rate multiplier during bursts")
+		burstP    = fs.Duration("burst-period", 10*time.Second, "bursty: burst cycle period")
+		burstD    = fs.Float64("burst-duty", 0.2, "bursty: fraction of the period spent bursting")
+		ramp      = fs.Duration("ramp", 0, "linear ramp-up window before the steady phase")
+		duration  = fs.Duration("duration", 30*time.Second, "steady (measurement) phase length; a soak is a long duration")
+		sloFlag   = fs.String("slo", "", `objectives judged on the steady phase, e.g. "observe.p99<=50ms,forecast.p999<=2s,error_rate<=0.001"`)
+		setupConc = fs.Int("setup-concurrency", 32, "parallel sensor registrations during setup")
+		skipSetup = fs.Bool("skip-setup", false, "assume sensors are already registered")
+		teardown  = fs.Bool("teardown", false, "remove the sensor population after the run")
+		progress  = fs.Duration("progress", 5*time.Second, "progress line period (0 = quiet)")
+		retries   = fs.Int("retries", 1, "client attempts per op (1 = no retries; >1 honors server Retry-After)")
+		outPath   = fs.String("out", "BENCH_cluster.json", "report file (empty = don't write)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1, nil // flag package already printed the message
+	}
+
+	kind, err := parseKind(*kindFlag)
+	if err != nil {
+		return 1, err
+	}
+	obsW, fcW, err := load.ParseMix(*mix)
+	if err != nil {
+		return 1, err
+	}
+	hs, err := load.ParseHorizons(*horizons)
+	if err != nil {
+		return 1, err
+	}
+	arr, err := load.ParseArrival(*arrival)
+	if err != nil {
+		return 1, err
+	}
+	slos, err := load.ParseSLOs(*sloFlag)
+	if err != nil {
+		return 1, err
+	}
+
+	cfg := load.Config{
+		Targets:          splitTargets(*targets),
+		Sensors:          *sensors,
+		Kind:             kind,
+		Seed:             *seed,
+		History:          *history,
+		Prefix:           *prefix,
+		ObserveWeight:    obsW,
+		ForecastWeight:   fcW,
+		Horizons:         hs,
+		Arrival:          arr,
+		Rate:             *rate,
+		Concurrency:      *conc,
+		BurstFactor:      *burstF,
+		BurstPeriod:      *burstP,
+		BurstDuty:        *burstD,
+		Ramp:             *ramp,
+		Duration:         *duration,
+		SLOs:             slos,
+		SetupConcurrency: *setupConc,
+		SkipSetup:        *skipSetup,
+		Teardown:         *teardown,
+		ProgressEvery:    *progress,
+		Progress:         out,
+		RetryAttempts:    *retries,
+	}
+	ldr, err := load.New(cfg)
+	if err != nil {
+		return 1, err
+	}
+
+	// SIGINT/SIGTERM ends the run early but still writes the report —
+	// the soak-interrupt path.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if !*skipSetup {
+		if _, err := ldr.Setup(ctx); err != nil {
+			return 1, err
+		}
+	}
+	report, runErr := ldr.Run(ctx)
+	if *teardown {
+		// Teardown under a fresh context: the run context may already be
+		// canceled by the interrupt that ended the soak.
+		tctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		if err := ldr.Teardown(tctx); err != nil {
+			fmt.Fprintln(os.Stderr, "smilerloader: teardown:", err)
+		}
+		cancel()
+	}
+	if report != nil {
+		printSummary(out, report)
+		if *outPath != "" {
+			if err := report.WriteFile(*outPath); err != nil {
+				return 1, err
+			}
+			fmt.Fprintf(out, "report written to %s\n", *outPath)
+		}
+	}
+	if runErr != nil {
+		return 1, fmt.Errorf("run ended early: %w", runErr)
+	}
+	if report.Violations > 0 {
+		return 2, fmt.Errorf("%d SLO violation(s)", report.Violations)
+	}
+	return 0, nil
+}
+
+func parseKind(s string) (datasets.Kind, error) {
+	switch strings.ToLower(s) {
+	case "road":
+		return datasets.Road, nil
+	case "mall":
+		return datasets.Mall, nil
+	case "net":
+		return datasets.Net, nil
+	}
+	return 0, fmt.Errorf("unknown corpus kind %q (road|mall|net)", s)
+}
+
+func splitTargets(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, strings.TrimSuffix(t, "/"))
+		}
+	}
+	return out
+}
+
+// printSummary renders the human-facing tail of the run.
+func printSummary(out *os.File, r *load.Report) {
+	fmt.Fprintf(out, "\n== %s → %s (%.1fs) — %d distinct sensors driven ==\n",
+		r.Started.Format(time.TimeOnly), r.Finished.Format(time.TimeOnly),
+		r.Finished.Sub(r.Started).Seconds(), r.DistinctSensors)
+	for _, name := range []string{"ramp", "steady"} {
+		p, ok := r.Phases[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(out, "%s (%.1fs): %.1f op/s", name, p.DurationS, p.Total.Throughput)
+		if p.Shed > 0 {
+			fmt.Fprintf(out, " [%d shed by loader]", p.Shed)
+		}
+		fmt.Fprintln(out)
+		for _, op := range []string{"observe", "forecast"} {
+			s, ok := p.Ops[op]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(out,
+				"  %-8s n=%-8d %8.1f/s  p50=%-8s p99=%-8s p999=%-8s err=%d (%.3g%%) degraded=%d (%.3g%%)\n",
+				op, s.Count, s.Throughput,
+				fmtMs(s.P50Ms), fmtMs(s.P99Ms), fmtMs(s.P999Ms),
+				s.Errors, s.ErrorRate*100, s.Degraded, s.DegradedRate*100)
+		}
+	}
+	for _, sr := range r.SLOs {
+		status := "OK  "
+		switch {
+		case sr.Skipped:
+			status = "SKIP"
+		case !sr.OK:
+			status = "FAIL"
+		}
+		fmt.Fprintf(out, "SLO %s %-32s actual=%.6g bound=%.6g\n", status, sr.Expr, sr.Actual, sr.Bound)
+	}
+}
+
+func fmtMs(v float64) string {
+	switch {
+	case v >= 1000:
+		return fmt.Sprintf("%.2fs", v/1000)
+	case v >= 10:
+		return fmt.Sprintf("%.0fms", v)
+	default:
+		return fmt.Sprintf("%.2gms", v)
+	}
+}

@@ -125,109 +125,179 @@ func Generate(cfg Config) ([]*timeseries.Series, error) {
 	return out, nil
 }
 
-// genRoad synthesizes freeway occupancy in [0,1]: a weekday-shaped
-// double rush peak, stochastic congestion events that spike occupancy
-// and decay exponentially, and strong AR(1) noise.
+// A stepper produces one sensor's series one sample at a time. The
+// three corpus generators are written as steppers so the eager
+// Generate path and the lazy Stream path share one implementation:
+// each stepper draws its per-sensor personality from the rng at
+// construction and then consumes the rng identically per step, so a
+// given (rng sequence, step count) always yields the same values.
+type stepper interface {
+	next() float64
+}
+
+// genRoad synthesizes freeway occupancy in [0,1] (see roadGen).
 func genRoad(rng *rand.Rand, days int) []float64 {
-	spd := Road.SamplesPerDay()
-	n := days * spd
-	out := make([]float64, n)
-	// Per-sensor personality.
-	amPeak := 0.30 + 0.15*rng.Float64()  // morning rush height
-	pmPeak := 0.35 + 0.15*rng.Float64()  // evening rush height
-	baseOcc := 0.04 + 0.04*rng.Float64() // off-peak floor
-	amAt := 8.0 + rng.NormFloat64()*0.5  // hours
-	pmAt := 17.5 + rng.NormFloat64()*0.5 // hours
-	width := 1.2 + 0.6*rng.Float64()     // rush width (hours)
-	// Real 10-minute occupancy is rough at lag one (vehicles arrive in
-	// platoons); keep the short-range noise strong and only weakly
-	// autocorrelated so one-step persistence is not trivially optimal.
-	noiseScale := 0.05 + 0.03*rng.Float64()
-
-	ar := 0.0
-	congestion := 0.0
-	for i := 0; i < n; i++ {
-		day := i / spd
-		hour := 24 * float64(i%spd) / float64(spd)
-		weekday := day%7 < 5
-		level := baseOcc
-		if weekday {
-			level += amPeak*gauss(hour, amAt, width) + pmPeak*gauss(hour, pmAt, width)
-		} else {
-			// Weekends: one soft midday bump.
-			level += 0.4 * pmPeak * gauss(hour, 14, 2.5)
-		}
-		// Congestion events: ~1.5 per weekday, decaying over ~an hour.
-		if weekday && rng.Float64() < 1.5/float64(spd) {
-			congestion += 0.2 + 0.3*rng.Float64()
-		}
-		congestion *= 0.9
-		ar = 0.4*ar + rng.NormFloat64()*noiseScale
-		v := level + congestion + ar
-		out[i] = clamp(v, 0, 1)
-	}
-	return out
+	return materialize(newRoadGen(rng), days*Road.SamplesPerDay())
 }
 
-// genMall synthesizes available car-park lots: capacity minus a
-// strongly seasonal occupancy with opening-hours structure.
+// genMall synthesizes available car-park lots (see mallGen).
 func genMall(rng *rand.Rand, days int) []float64 {
-	spd := Mall.SamplesPerDay()
-	n := days * spd
-	out := make([]float64, n)
-	capacity := float64(300 + rng.Intn(900))
-	peakFrac := 0.6 + 0.3*rng.Float64() // fraction of lots taken at peak
-	peakAt := 13.0 + rng.NormFloat64()  // early afternoon
-	eveAt := 19.0 + rng.NormFloat64()*0.5
-	weekendBoost := 1.15 + 0.2*rng.Float64()
-	noise := 4 + 6*rng.Float64()
+	return materialize(newMallGen(rng), days*Mall.SamplesPerDay())
+}
 
-	ar := 0.0
-	for i := 0; i < n; i++ {
-		day := i / spd
-		hour := 24 * float64(i%spd) / float64(spd)
-		open := hour >= 7 && hour <= 23
-		occ := 0.0
-		if open {
-			occ = peakFrac * (gauss(hour, peakAt, 2.5) + 0.7*gauss(hour, eveAt, 1.8))
-			if day%7 >= 5 {
-				occ *= weekendBoost
-			}
-		}
-		ar = 0.7*ar + rng.NormFloat64()*noise
-		avail := capacity*(1-clamp(occ, 0, 0.98)) + ar
-		out[i] = clamp(avail, 0, capacity)
+// genNet synthesizes backbone traffic volume (see netGen).
+func genNet(rng *rand.Rand, days int) []float64 {
+	return materialize(newNetGen(rng), days*Net.SamplesPerDay())
+}
+
+func materialize(g stepper, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = g.next()
 	}
 	return out
 }
 
-// genNet synthesizes backbone traffic volume: smooth diurnal and
-// weekly sinusoid mixture with occasional log-normal bursts.
-func genNet(rng *rand.Rand, days int) []float64 {
-	spd := Net.SamplesPerDay()
-	n := days * spd
-	out := make([]float64, n)
-	base := 2e9 * (0.5 + rng.Float64()) // bits per interval scale
-	diurnal := 0.45 + 0.15*rng.Float64()
-	weekly := 0.10 + 0.05*rng.Float64()
-	phase := rng.Float64() * 2 * math.Pi
-	noise := 0.02 + 0.02*rng.Float64()
+// roadGen steps freeway occupancy in [0,1]: a weekday-shaped double
+// rush peak, stochastic congestion events that spike occupancy and
+// decay exponentially, and strong AR(1) noise.
+type roadGen struct {
+	rng *rand.Rand
+	// Per-sensor personality.
+	amPeak     float64 // morning rush height
+	pmPeak     float64 // evening rush height
+	baseOcc    float64 // off-peak floor
+	amAt, pmAt float64 // rush hours
+	width      float64 // rush width (hours)
+	noiseScale float64
 
-	burst := 0.0
-	ar := 0.0
-	for i := 0; i < n; i++ {
-		tDay := 2 * math.Pi * float64(i%spd) / float64(spd)
-		tWeek := 2 * math.Pi * float64(i%(7*spd)) / float64(7*spd)
-		level := 1 + diurnal*math.Sin(tDay+phase) + 0.3*diurnal*math.Sin(2*tDay+phase) +
-			weekly*math.Sin(tWeek)
-		if rng.Float64() < 0.4/float64(spd) { // sparse bursts
-			burst += math.Exp(rng.NormFloat64()*0.6) * 0.3
-		}
-		burst *= 0.85
-		ar = 0.8*ar + rng.NormFloat64()*noise
-		out[i] = base * math.Max(0.05, level+burst+ar)
+	i          int
+	ar         float64
+	congestion float64
+}
+
+func newRoadGen(rng *rand.Rand) *roadGen {
+	return &roadGen{
+		rng:     rng,
+		amPeak:  0.30 + 0.15*rng.Float64(),
+		pmPeak:  0.35 + 0.15*rng.Float64(),
+		baseOcc: 0.04 + 0.04*rng.Float64(),
+		amAt:    8.0 + rng.NormFloat64()*0.5,
+		pmAt:    17.5 + rng.NormFloat64()*0.5,
+		width:   1.2 + 0.6*rng.Float64(),
+		// Real 10-minute occupancy is rough at lag one (vehicles arrive
+		// in platoons); keep the short-range noise strong and only weakly
+		// autocorrelated so one-step persistence is not trivially optimal.
+		noiseScale: 0.05 + 0.03*rng.Float64(),
 	}
-	return out
+}
+
+func (g *roadGen) next() float64 {
+	spd := Road.SamplesPerDay()
+	day := g.i / spd
+	hour := 24 * float64(g.i%spd) / float64(spd)
+	g.i++
+	weekday := day%7 < 5
+	level := g.baseOcc
+	if weekday {
+		level += g.amPeak*gauss(hour, g.amAt, g.width) + g.pmPeak*gauss(hour, g.pmAt, g.width)
+	} else {
+		// Weekends: one soft midday bump.
+		level += 0.4 * g.pmPeak * gauss(hour, 14, 2.5)
+	}
+	// Congestion events: ~1.5 per weekday, decaying over ~an hour.
+	if weekday && g.rng.Float64() < 1.5/float64(spd) {
+		g.congestion += 0.2 + 0.3*g.rng.Float64()
+	}
+	g.congestion *= 0.9
+	g.ar = 0.4*g.ar + g.rng.NormFloat64()*g.noiseScale
+	return clamp(level+g.congestion+g.ar, 0, 1)
+}
+
+// mallGen steps available car-park lots: capacity minus a strongly
+// seasonal occupancy with opening-hours structure.
+type mallGen struct {
+	rng          *rand.Rand
+	capacity     float64
+	peakFrac     float64 // fraction of lots taken at peak
+	peakAt       float64 // early afternoon
+	eveAt        float64
+	weekendBoost float64
+	noise        float64
+
+	i  int
+	ar float64
+}
+
+func newMallGen(rng *rand.Rand) *mallGen {
+	return &mallGen{
+		rng:          rng,
+		capacity:     float64(300 + rng.Intn(900)),
+		peakFrac:     0.6 + 0.3*rng.Float64(),
+		peakAt:       13.0 + rng.NormFloat64(),
+		eveAt:        19.0 + rng.NormFloat64()*0.5,
+		weekendBoost: 1.15 + 0.2*rng.Float64(),
+		noise:        4 + 6*rng.Float64(),
+	}
+}
+
+func (g *mallGen) next() float64 {
+	spd := Mall.SamplesPerDay()
+	day := g.i / spd
+	hour := 24 * float64(g.i%spd) / float64(spd)
+	g.i++
+	open := hour >= 7 && hour <= 23
+	occ := 0.0
+	if open {
+		occ = g.peakFrac * (gauss(hour, g.peakAt, 2.5) + 0.7*gauss(hour, g.eveAt, 1.8))
+		if day%7 >= 5 {
+			occ *= g.weekendBoost
+		}
+	}
+	g.ar = 0.7*g.ar + g.rng.NormFloat64()*g.noise
+	avail := g.capacity*(1-clamp(occ, 0, 0.98)) + g.ar
+	return clamp(avail, 0, g.capacity)
+}
+
+// netGen steps backbone traffic volume: smooth diurnal and weekly
+// sinusoid mixture with occasional log-normal bursts.
+type netGen struct {
+	rng     *rand.Rand
+	base    float64 // bits per interval scale
+	diurnal float64
+	weekly  float64
+	phase   float64
+	noise   float64
+
+	i     int
+	burst float64
+	ar    float64
+}
+
+func newNetGen(rng *rand.Rand) *netGen {
+	return &netGen{
+		rng:     rng,
+		base:    2e9 * (0.5 + rng.Float64()),
+		diurnal: 0.45 + 0.15*rng.Float64(),
+		weekly:  0.10 + 0.05*rng.Float64(),
+		phase:   rng.Float64() * 2 * math.Pi,
+		noise:   0.02 + 0.02*rng.Float64(),
+	}
+}
+
+func (g *netGen) next() float64 {
+	spd := Net.SamplesPerDay()
+	tDay := 2 * math.Pi * float64(g.i%spd) / float64(spd)
+	tWeek := 2 * math.Pi * float64(g.i%(7*spd)) / float64(7*spd)
+	g.i++
+	level := 1 + g.diurnal*math.Sin(tDay+g.phase) + 0.3*g.diurnal*math.Sin(2*tDay+g.phase) +
+		g.weekly*math.Sin(tWeek)
+	if g.rng.Float64() < 0.4/float64(spd) { // sparse bursts
+		g.burst += math.Exp(g.rng.NormFloat64()*0.6) * 0.3
+	}
+	g.burst *= 0.85
+	g.ar = 0.8*g.ar + g.rng.NormFloat64()*g.noise
+	return g.base * math.Max(0.05, level+g.burst+g.ar)
 }
 
 func gauss(x, mu, sigma float64) float64 {

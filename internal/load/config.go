@@ -1,0 +1,316 @@
+// Package load is the SMiLer load-generation and soak subsystem: it
+// drives a live smiler-server (one node or a cluster) over HTTP with a
+// configurable synthetic workload and measures what a client actually
+// experiences — per-op p50/p99/p999 latency, throughput, error and
+// degraded-response rates — against declared SLOs.
+//
+// The workload model (in the spirit of aistore's aisloader):
+//
+//   - Population: N distinct sensors, each a deterministic lazy
+//     datasets.Stream (constant memory per sensor, so 10⁵–10⁶ streams
+//     fit in loader RAM). Setup registers them with a short bootstrap
+//     history; the run phase streams the continuation of each series.
+//   - Mix: observe:forecast ratio; forecast horizons drawn from a
+//     weighted distribution.
+//   - Arrival process: closed-loop (a fixed worker pool issuing
+//     back-to-back requests — throughput finds its own level) or
+//     open-loop Poisson / bursty (arrivals scheduled by wall clock
+//     independent of completions — the honest way to measure tail
+//     latency under a target rate, with queueing delay charged to the
+//     op so coordinated omission cannot hide overload).
+//   - Phases: an optional linear ramp, then a steady phase that is the
+//     measurement window (SLOs are judged on steady-phase stats). A
+//     soak is simply a long steady phase.
+//
+// Results stream as periodic progress lines and land in a
+// machine-readable report (BENCH_cluster.json); see docs/LOADER.md.
+package load
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"smiler/internal/datasets"
+)
+
+// Arrival selects how ops are injected.
+type Arrival int
+
+const (
+	// ClosedLoop runs Concurrency workers back-to-back: each worker
+	// issues its next op as soon as the previous one completes, so the
+	// offered load self-regulates to what the server can absorb.
+	ClosedLoop Arrival = iota
+	// Poisson schedules arrivals as an open-loop Poisson process at
+	// Rate ops/s, independent of completions.
+	Poisson
+	// Bursty is an on/off-modulated Poisson process: rate
+	// Rate×BurstFactor for BurstDuty of each BurstPeriod, and a
+	// compensating low rate otherwise, keeping the long-run mean at
+	// Rate.
+	Bursty
+)
+
+func (a Arrival) String() string {
+	switch a {
+	case ClosedLoop:
+		return "closed"
+	case Poisson:
+		return "poisson"
+	case Bursty:
+		return "bursty"
+	default:
+		return fmt.Sprintf("Arrival(%d)", int(a))
+	}
+}
+
+// ParseArrival maps flag spellings onto arrival processes.
+func ParseArrival(s string) (Arrival, error) {
+	switch strings.ToLower(s) {
+	case "closed", "closed-loop":
+		return ClosedLoop, nil
+	case "poisson", "open", "open-loop":
+		return Poisson, nil
+	case "bursty", "burst":
+		return Bursty, nil
+	}
+	return 0, fmt.Errorf("load: unknown arrival process %q (closed|poisson|bursty)", s)
+}
+
+// WeightedHorizon is one entry of the forecast-horizon distribution.
+type WeightedHorizon struct {
+	H int `json:"h"`
+	W int `json:"w"`
+}
+
+// ParseHorizons parses a weighted horizon distribution: "1" (always
+// h=1), "1,3,6" (uniform over the three), "1:8,3:1,6:1" (weighted).
+func ParseHorizons(s string) ([]WeightedHorizon, error) {
+	if strings.TrimSpace(s) == "" {
+		return []WeightedHorizon{{H: 1, W: 1}}, nil
+	}
+	var out []WeightedHorizon
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		hs, ws, weighted := strings.Cut(part, ":")
+		h, err := strconv.Atoi(hs)
+		if err != nil || h <= 0 {
+			return nil, fmt.Errorf("load: bad horizon %q", part)
+		}
+		w := 1
+		if weighted {
+			w, err = strconv.Atoi(ws)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("load: bad horizon weight %q", part)
+			}
+		}
+		out = append(out, WeightedHorizon{H: h, W: w})
+	}
+	return out, nil
+}
+
+// ParseMix parses an "observe:forecast" weight pair, e.g. "10:1".
+// "1:0" is pure ingest; "0:1" pure forecasting.
+func ParseMix(s string) (observe, forecast int, err error) {
+	os, fs, ok := strings.Cut(strings.TrimSpace(s), ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("load: bad mix %q (want observe:forecast, e.g. 10:1)", s)
+	}
+	observe, err = strconv.Atoi(strings.TrimSpace(os))
+	if err != nil || observe < 0 {
+		return 0, 0, fmt.Errorf("load: bad observe weight in mix %q", s)
+	}
+	forecast, err = strconv.Atoi(strings.TrimSpace(fs))
+	if err != nil || forecast < 0 {
+		return 0, 0, fmt.Errorf("load: bad forecast weight in mix %q", s)
+	}
+	if observe+forecast == 0 {
+		return 0, 0, fmt.Errorf("load: mix %q has zero total weight", s)
+	}
+	return observe, forecast, nil
+}
+
+// Config describes one load run. Validate fills defaults.
+type Config struct {
+	// Targets are the base URLs of the nodes to drive. Ops are spread
+	// round-robin; per-sensor ownership hints returned by cluster nodes
+	// are honored by the underlying client, so after warm-up most
+	// requests go straight to the owning node.
+	Targets []string
+
+	// Sensors is the number of distinct sensors in the population.
+	Sensors int
+	// Kind selects the synthetic corpus (road|mall|net).
+	Kind datasets.Kind
+	// Seed makes the whole workload — sensor streams, op mix draws,
+	// arrival jitter — deterministic.
+	Seed int64
+	// History is the bootstrap history length registered per sensor
+	// (default 128; the system's minimum is ELV_max+ω = 112 under
+	// paper defaults).
+	History int
+	// Prefix names sensors "<prefix>-0000001"... (default "load").
+	Prefix string
+
+	// ObserveWeight:ForecastWeight is the op mix (default 10:1).
+	ObserveWeight  int
+	ForecastWeight int
+	// Horizons is the forecast-horizon distribution (default h=1).
+	Horizons []WeightedHorizon
+
+	// Arrival is the injection process (default ClosedLoop).
+	Arrival Arrival
+	// Rate is the open-loop target in ops/s (required for
+	// Poisson/Bursty).
+	Rate float64
+	// Concurrency is the worker count: the closed-loop population, or
+	// the open-loop in-flight cap (default 16).
+	Concurrency int
+	// BurstFactor/BurstPeriod/BurstDuty shape the Bursty process
+	// (defaults 4×, 10s, 0.2; Factor×Duty must be ≤ 1).
+	BurstFactor float64
+	BurstPeriod time.Duration
+	BurstDuty   float64
+
+	// Ramp linearly scales offered load from zero over this window
+	// before the steady phase (default 0).
+	Ramp time.Duration
+	// Duration is the steady (measurement) phase length (default 30s).
+	// A soak is just a long Duration.
+	Duration time.Duration
+
+	// SLOs are judged against steady-phase stats after the run.
+	SLOs []SLO
+
+	// SetupConcurrency parallelizes sensor registration (default 32).
+	SetupConcurrency int
+	// SkipSetup assumes the sensor population is already registered
+	// (reruns against a warm server).
+	SkipSetup bool
+	// Teardown removes the registered sensors after the run.
+	Teardown bool
+
+	// ProgressEvery is the progress-line period (default 5s; 0
+	// disables).
+	ProgressEvery time.Duration
+	// Progress receives progress lines (default io.Discard).
+	Progress io.Writer
+	// RetryAttempts bounds client retries per op (default 1 = measure
+	// raw behaviour; raise it to measure what a retrying client
+	// experiences, including honored Retry-After backoff).
+	RetryAttempts int
+}
+
+// Validate checks the configuration and fills defaults in place.
+func (c *Config) Validate() error {
+	if len(c.Targets) == 0 {
+		return errors.New("load: no targets")
+	}
+	for _, t := range c.Targets {
+		if t == "" {
+			return errors.New("load: empty target URL")
+		}
+	}
+	if c.Sensors <= 0 {
+		return fmt.Errorf("load: sensors %d must be positive", c.Sensors)
+	}
+	if c.Kind < datasets.Road || c.Kind > datasets.Net {
+		return fmt.Errorf("load: unknown corpus kind %d", int(c.Kind))
+	}
+	if c.History == 0 {
+		c.History = 128
+	}
+	if c.History < 0 {
+		return fmt.Errorf("load: negative history %d", c.History)
+	}
+	if c.Prefix == "" {
+		c.Prefix = "load"
+	}
+	if strings.ContainsAny(c.Prefix, "/ ") {
+		return fmt.Errorf("load: prefix %q must not contain '/' or spaces", c.Prefix)
+	}
+	if c.ObserveWeight == 0 && c.ForecastWeight == 0 {
+		c.ObserveWeight, c.ForecastWeight = 10, 1
+	}
+	if c.ObserveWeight < 0 || c.ForecastWeight < 0 {
+		return errors.New("load: negative mix weight")
+	}
+	if len(c.Horizons) == 0 {
+		c.Horizons = []WeightedHorizon{{H: 1, W: 1}}
+	}
+	for _, wh := range c.Horizons {
+		if wh.H <= 0 || wh.W <= 0 {
+			return fmt.Errorf("load: bad horizon entry %+v", wh)
+		}
+	}
+	switch c.Arrival {
+	case ClosedLoop:
+	case Poisson, Bursty:
+		if c.Rate <= 0 {
+			return fmt.Errorf("load: %v arrival needs -rate > 0", c.Arrival)
+		}
+	default:
+		return fmt.Errorf("load: invalid arrival %d", int(c.Arrival))
+	}
+	if c.Concurrency == 0 {
+		c.Concurrency = 16
+	}
+	if c.Concurrency < 0 {
+		return fmt.Errorf("load: negative concurrency %d", c.Concurrency)
+	}
+	if c.Arrival == Bursty {
+		if c.BurstFactor == 0 {
+			c.BurstFactor = 4
+		}
+		if c.BurstPeriod == 0 {
+			c.BurstPeriod = 10 * time.Second
+		}
+		if c.BurstDuty == 0 {
+			c.BurstDuty = 0.2
+		}
+		if c.BurstFactor < 1 || c.BurstDuty <= 0 || c.BurstDuty >= 1 {
+			return fmt.Errorf("load: bad burst shape factor=%v duty=%v", c.BurstFactor, c.BurstDuty)
+		}
+		if c.BurstFactor*c.BurstDuty > 1 {
+			return fmt.Errorf("load: burst factor %v × duty %v exceeds 1 — no budget left for the off phase",
+				c.BurstFactor, c.BurstDuty)
+		}
+	}
+	if c.Ramp < 0 {
+		return fmt.Errorf("load: negative ramp %v", c.Ramp)
+	}
+	if c.Duration == 0 {
+		c.Duration = 30 * time.Second
+	}
+	if c.Duration < 0 {
+		return fmt.Errorf("load: negative duration %v", c.Duration)
+	}
+	if c.SetupConcurrency == 0 {
+		c.SetupConcurrency = 32
+	}
+	if c.SetupConcurrency < 0 {
+		return fmt.Errorf("load: negative setup concurrency %d", c.SetupConcurrency)
+	}
+	if c.ProgressEvery < 0 {
+		return fmt.Errorf("load: negative progress period %v", c.ProgressEvery)
+	}
+	if c.Progress == nil {
+		c.Progress = io.Discard
+	}
+	if c.RetryAttempts == 0 {
+		c.RetryAttempts = 1
+	}
+	if c.RetryAttempts < 0 {
+		return fmt.Errorf("load: negative retry attempts %d", c.RetryAttempts)
+	}
+	for _, s := range c.SLOs {
+		if err := s.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package load
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"smiler/internal/datasets"
+)
+
+func TestParseMix(t *testing.T) {
+	cases := []struct {
+		in      string
+		obs, fc int
+		wantErr bool
+	}{
+		{"10:1", 10, 1, false},
+		{" 3 : 2 ", 3, 2, false},
+		{"1:0", 1, 0, false},
+		{"0:1", 0, 1, false},
+		{"0:0", 0, 0, true},
+		{"10", 0, 0, true},
+		{"a:b", 0, 0, true},
+		{"-1:2", 0, 0, true},
+	}
+	for _, c := range cases {
+		obs, fc, err := ParseMix(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseMix(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && (obs != c.obs || fc != c.fc) {
+			t.Errorf("ParseMix(%q) = %d:%d, want %d:%d", c.in, obs, fc, c.obs, c.fc)
+		}
+	}
+}
+
+func TestParseHorizons(t *testing.T) {
+	hs, err := ParseHorizons("")
+	if err != nil || len(hs) != 1 || hs[0].H != 1 || hs[0].W != 1 {
+		t.Fatalf("empty spec = %v, %v; want default h=1", hs, err)
+	}
+	hs, err = ParseHorizons("1,3,6")
+	if err != nil || len(hs) != 3 || hs[1].H != 3 || hs[1].W != 1 {
+		t.Fatalf("uniform spec = %v, %v", hs, err)
+	}
+	hs, err = ParseHorizons("1:8,3:1,6:1")
+	if err != nil || len(hs) != 3 || hs[0].W != 8 {
+		t.Fatalf("weighted spec = %v, %v", hs, err)
+	}
+	for _, bad := range []string{"0", "-1", "x", "1:0", "1:x", "1:-2"} {
+		if _, err := ParseHorizons(bad); err == nil {
+			t.Errorf("ParseHorizons(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseArrival(t *testing.T) {
+	for in, want := range map[string]Arrival{
+		"closed": ClosedLoop, "closed-loop": ClosedLoop,
+		"poisson": Poisson, "open": Poisson, "OPEN-LOOP": Poisson,
+		"bursty": Bursty, "burst": Bursty,
+	} {
+		got, err := ParseArrival(in)
+		if err != nil || got != want {
+			t.Errorf("ParseArrival(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseArrival("uniform"); err == nil {
+		t.Error("ParseArrival accepted unknown process")
+	}
+}
+
+func TestParseSLOs(t *testing.T) {
+	slos, err := ParseSLOs("observe.p99<=50ms, forecast.p999<=2s, error_rate<=0.001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slos) != 3 {
+		t.Fatalf("got %d SLOs, want 3", len(slos))
+	}
+	if slos[0].Op != "observe" || slos[0].Metric != "p99" || slos[0].Bound != 0.05 {
+		t.Fatalf("slos[0] = %+v", slos[0])
+	}
+	if slos[1].Bound != 2.0 {
+		t.Fatalf("slos[1].Bound = %v, want 2", slos[1].Bound)
+	}
+	if slos[2].Op != "" || slos[2].Metric != "error_rate" || slos[2].Bound != 0.001 {
+		t.Fatalf("slos[2] = %+v", slos[2])
+	}
+	if got, _ := ParseSLOs("  "); got != nil {
+		t.Fatalf("blank spec = %v, want nil", got)
+	}
+	for _, bad := range []string{
+		"p99<=50ms",         // latency needs an op
+		"observe.p99<=oops", // unparseable duration
+		"observe.p42<=50ms", // unknown metric
+		"gc.p99<=50ms",      // unknown op
+		"observe.p99>=50ms", // wrong comparator
+		"error_rate<=-0.5",  // negative bound
+	} {
+		if _, err := ParseSLOs(bad); err == nil {
+			t.Errorf("ParseSLOs(%q) accepted", bad)
+		}
+	}
+}
+
+func TestConfigValidateDefaults(t *testing.T) {
+	c := Config{Targets: []string{"http://x"}, Sensors: 10, Kind: datasets.Road}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.History != 128 || c.Prefix != "load" || c.Concurrency != 16 ||
+		c.ObserveWeight != 10 || c.ForecastWeight != 1 ||
+		c.Duration != 30*time.Second || c.SetupConcurrency != 32 ||
+		c.RetryAttempts != 1 || len(c.Horizons) != 1 || c.Progress == nil {
+		t.Fatalf("defaults not filled: %+v", c)
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	base := func() Config {
+		return Config{Targets: []string{"http://x"}, Sensors: 10, Kind: datasets.Road}
+	}
+	cases := map[string]func(*Config){
+		"no targets":       func(c *Config) { c.Targets = nil },
+		"zero sensors":     func(c *Config) { c.Sensors = 0 },
+		"bad kind":         func(c *Config) { c.Kind = datasets.Kind(99) },
+		"bad prefix":       func(c *Config) { c.Prefix = "a b" },
+		"open needs rate":  func(c *Config) { c.Arrival = Poisson },
+		"burst overbudget": func(c *Config) { c.Arrival = Bursty; c.Rate = 10; c.BurstFactor = 8; c.BurstDuty = 0.5 },
+		"negative ramp":    func(c *Config) { c.Ramp = -time.Second },
+		"bad SLO":          func(c *Config) { c.SLOs = []SLO{{Metric: "p99", Expr: "p99<=1ms"}} },
+	}
+	for name, mut := range cases {
+		c := base()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, c)
+		}
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	phase := PhaseSummary{
+		Ops: map[string]OpSummary{
+			"observe": {Count: 100, P99Ms: 40, ErrorRate: 0.002},
+		},
+		Total: OpSummary{Count: 100, ErrorRate: 0.002},
+	}
+	slos, err := ParseSLOs("observe.p99<=50ms,error_rate<=0.001,forecast.p999<=2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, violations := evaluate(slos, phase)
+	if violations != 1 {
+		t.Fatalf("violations = %d, want 1 (only error_rate)", violations)
+	}
+	if !results[0].OK || results[0].Actual != 0.04 {
+		t.Fatalf("observe.p99 result = %+v", results[0])
+	}
+	if results[1].OK {
+		t.Fatalf("error_rate should fail: %+v", results[1])
+	}
+	if !results[2].Skipped {
+		t.Fatalf("forecast SLO with no forecast traffic must be skipped: %+v", results[2])
+	}
+}
+
+func TestLatencyBucketsShape(t *testing.T) {
+	if len(latencyBuckets) < 40 {
+		t.Fatalf("only %d buckets — too coarse for p999", len(latencyBuckets))
+	}
+	for i := 1; i < len(latencyBuckets); i++ {
+		ratio := latencyBuckets[i] / latencyBuckets[i-1]
+		if ratio < 1.2 || ratio > 1.3 {
+			t.Fatalf("bucket ratio %v at %d, want ~1.25", ratio, i)
+		}
+	}
+	if last := latencyBuckets[len(latencyBuckets)-1]; last < 60 {
+		t.Fatalf("top bucket %vs cannot hold a stuck-minute outlier", last)
+	}
+}
+
+func TestSLOExprRoundTripInReport(t *testing.T) {
+	slos, err := ParseSLOs("observe.p99<=50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(slos[0].Expr, "observe.p99") {
+		t.Fatalf("Expr %q lost the flag spelling", slos[0].Expr)
+	}
+}

@@ -1,0 +1,525 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smiler/internal/server"
+)
+
+// Loader drives one workload against a set of target nodes. Build
+// with New, optionally Setup the sensor population, then Run.
+type Loader struct {
+	cfg     Config
+	clients []*server.Client
+	src     *source
+
+	clientSeq atomic.Uint64
+	sensorSeq atomic.Uint64
+
+	// phase and window are the live accounting scopes: every completed
+	// op records into both. window is swapped by the progress reporter.
+	phase  atomic.Pointer[phaseStats]
+	window atomic.Pointer[phaseStats]
+
+	inflight atomic.Int64
+
+	// touched is a bitset of sensor indices hit at least once during
+	// the run — the report's distinct-sensor count, which is what
+	// substantiates a "drove N sensors" claim.
+	touched []atomic.Uint64
+
+	// dead marks sensor indices whose registration failed; ops re-pick
+	// around them. Empty in healthy runs.
+	deadMu sync.Mutex
+	dead   map[int]bool
+
+	setup *SetupSummary
+}
+
+// New validates cfg and builds the loader (clients, sensor streams).
+func New(cfg Config) (*Loader, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// One transport sized for the worker population, shared by every
+	// client: without MaxIdleConnsPerHost ≈ concurrency the default (2)
+	// would churn TCP connections at exactly the moment the loader is
+	// trying to measure server latency.
+	conns := cfg.Concurrency + cfg.SetupConcurrency
+	tr := &http.Transport{
+		MaxIdleConns:        conns * 2,
+		MaxIdleConnsPerHost: conns,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	hc := &http.Client{Transport: tr, Timeout: 60 * time.Second}
+	l := &Loader{
+		cfg:     cfg,
+		touched: make([]atomic.Uint64, (cfg.Sensors+63)/64),
+		dead:    make(map[int]bool),
+	}
+	for _, t := range cfg.Targets {
+		cl, err := server.NewClient(t, hc)
+		if err != nil {
+			return nil, err
+		}
+		cl.SetRetryPolicy(server.RetryPolicy{
+			MaxAttempts: cfg.RetryAttempts,
+			BaseDelay:   50 * time.Millisecond,
+			MaxDelay:    2 * time.Second,
+		})
+		l.clients = append(l.clients, cl)
+	}
+	src, err := newSource(cfg.Prefix, cfg.Kind, cfg.Seed, cfg.Sensors)
+	if err != nil {
+		return nil, err
+	}
+	l.src = src
+	return l, nil
+}
+
+func (l *Loader) client() *server.Client {
+	return l.clients[int(l.clientSeq.Add(1))%len(l.clients)]
+}
+
+// Setup registers the sensor population with its bootstrap history.
+// Sensors already present on the server (HTTP 409) count as existing,
+// so re-running against a warm server is cheap and idempotent.
+func (l *Loader) Setup(ctx context.Context) (*SetupSummary, error) {
+	start := time.Now()
+	var registered, existing, failed atomic.Int64
+	idx := make(chan int, l.cfg.SetupConcurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < l.cfg.SetupConcurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				hist := l.src.history(i, l.cfg.History)
+				err := l.client().AddSensor(l.src.id(i), hist)
+				switch {
+				case err == nil:
+					registered.Add(1)
+				case httpStatus(err) == http.StatusConflict:
+					existing.Add(1)
+				default:
+					failed.Add(1)
+					l.deadMu.Lock()
+					l.dead[i] = true
+					l.deadMu.Unlock()
+				}
+			}
+		}()
+	}
+	lastLine := start
+feed:
+	for i := 0; i < l.cfg.Sensors; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+		if l.cfg.ProgressEvery > 0 && time.Since(lastLine) >= l.cfg.ProgressEvery {
+			lastLine = time.Now()
+			done := registered.Load() + existing.Load() + failed.Load()
+			fmt.Fprintf(l.cfg.Progress, "[setup] %d/%d sensors (%.0f/s, %d failed)\n",
+				done, l.cfg.Sensors, float64(done)/time.Since(start).Seconds(), failed.Load())
+		}
+	}
+	close(idx)
+	wg.Wait()
+	sum := &SetupSummary{
+		Registered: int(registered.Load()),
+		Existing:   int(existing.Load()),
+		Errors:     int(failed.Load()),
+		DurationS:  time.Since(start).Seconds(),
+	}
+	if sum.DurationS > 0 {
+		sum.PerS = float64(sum.Registered) / sum.DurationS
+	}
+	l.setup = sum
+	if err := ctx.Err(); err != nil {
+		return sum, err
+	}
+	if sum.Registered+sum.Existing == 0 {
+		return sum, fmt.Errorf("load: setup registered nothing (%d errors) — are the targets serving?", sum.Errors)
+	}
+	fmt.Fprintf(l.cfg.Progress, "[setup] done: %d registered, %d existing, %d failed in %.1fs (%.0f sensors/s)\n",
+		sum.Registered, sum.Existing, sum.Errors, sum.DurationS, sum.PerS)
+	return sum, nil
+}
+
+// Teardown removes the registered sensor population.
+func (l *Loader) Teardown(ctx context.Context) error {
+	idx := make(chan int, l.cfg.SetupConcurrency)
+	var wg sync.WaitGroup
+	var firstErr atomic.Pointer[error]
+	for w := 0; w < l.cfg.SetupConcurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				err := l.client().RemoveSensor(l.src.id(i))
+				if err != nil && httpStatus(err) != http.StatusNotFound {
+					firstErr.CompareAndSwap(nil, &err)
+				}
+			}
+		}()
+	}
+	for i := 0; i < l.cfg.Sensors && ctx.Err() == nil; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if p := firstErr.Load(); p != nil {
+		return *p
+	}
+	return ctx.Err()
+}
+
+// opSpec is one scheduled operation. due is the moment the op was
+// *supposed* to start: for open-loop arrivals that is the scheduled
+// arrival time, so measured latency includes any time the op spent
+// queued behind a saturated worker pool — the anti-coordinated-
+// omission accounting that makes open-loop tails honest.
+type opSpec struct {
+	op     Op
+	sensor int
+	h      int
+	due    time.Time
+}
+
+// draw picks the next op from the configured mix. Sensors are walked
+// round-robin so a run that issues ≥ Sensors ops touches every sensor
+// (and each stream advances evenly); horizons follow their weights.
+func (l *Loader) draw(rng *rand.Rand) opSpec {
+	var spec opSpec
+	mixTotal := l.cfg.ObserveWeight + l.cfg.ForecastWeight
+	if rng.Intn(mixTotal) < l.cfg.ObserveWeight {
+		spec.op = OpObserve
+	} else {
+		spec.op = OpForecast
+		wTotal := 0
+		for _, wh := range l.cfg.Horizons {
+			wTotal += wh.W
+		}
+		pick := rng.Intn(wTotal)
+		for _, wh := range l.cfg.Horizons {
+			if pick < wh.W {
+				spec.h = wh.H
+				break
+			}
+			pick -= wh.W
+		}
+	}
+	for tries := 0; ; tries++ {
+		spec.sensor = int(l.sensorSeq.Add(1)-1) % l.cfg.Sensors
+		if tries >= 10 || !l.isDead(spec.sensor) {
+			break
+		}
+	}
+	return spec
+}
+
+func (l *Loader) isDead(i int) bool {
+	l.deadMu.Lock()
+	defer l.deadMu.Unlock()
+	return len(l.dead) > 0 && l.dead[i]
+}
+
+// execute runs one op and records it into the live phase and window.
+func (l *Loader) execute(spec opSpec) {
+	l.inflight.Add(1)
+	defer l.inflight.Add(-1)
+	id := l.src.id(spec.sensor)
+	cl := l.client()
+	var err error
+	degraded := false
+	switch spec.op {
+	case OpObserve:
+		err = cl.Observe(id, l.src.next(spec.sensor))
+	case OpForecast:
+		var f server.ForecastResponse
+		f, err = cl.Forecast(id, spec.h)
+		degraded = f.Degraded
+	}
+	lat := time.Since(spec.due)
+	// CAS loop instead of atomic Or: the module floor is Go 1.22.
+	word, bit := &l.touched[spec.sensor/64], uint64(1)<<(spec.sensor%64)
+	for {
+		old := word.Load()
+		if old&bit != 0 || word.CompareAndSwap(old, old|bit) {
+			break
+		}
+	}
+	if p := l.phase.Load(); p != nil {
+		p.ops[spec.op].record(lat, err, degraded)
+	}
+	if w := l.window.Load(); w != nil {
+		w.ops[spec.op].record(lat, err, degraded)
+	}
+}
+
+func (l *Loader) distinctTouched() int {
+	n := 0
+	for i := range l.touched {
+		n += bits.OnesCount64(l.touched[i].Load())
+	}
+	return n
+}
+
+// rateAt returns the open-loop arrival rate λ at offset t from the
+// run start: the bursty on/off modulation (if any) scaled by the ramp
+// fraction.
+func (l *Loader) rateAt(t time.Duration) float64 {
+	r := l.cfg.Rate
+	if l.cfg.Arrival == Bursty {
+		phase := t % l.cfg.BurstPeriod
+		on := phase < time.Duration(float64(l.cfg.BurstPeriod)*l.cfg.BurstDuty)
+		if on {
+			r *= l.cfg.BurstFactor
+		} else {
+			r *= (1 - l.cfg.BurstFactor*l.cfg.BurstDuty) / (1 - l.cfg.BurstDuty)
+		}
+	}
+	if l.cfg.Ramp > 0 && t < l.cfg.Ramp {
+		frac := float64(t) / float64(l.cfg.Ramp)
+		r *= frac
+		if min := l.cfg.Rate / 100; r < min {
+			r = min // avoid a near-infinite first gap at the foot of the ramp
+		}
+	}
+	return r
+}
+
+// Run executes the configured phases and returns the report. The
+// context cancels a run early (e.g. SIGINT during a soak); the report
+// then covers what actually ran and the context error is returned
+// alongside it.
+func (l *Loader) Run(ctx context.Context) (*Report, error) {
+	started := time.Now()
+	report := &Report{
+		Schema:   ReportSchema,
+		Started:  started,
+		Workload: workloadInfo(l.cfg),
+		Phases:   make(map[string]PhaseSummary),
+		Setup:    l.setup,
+	}
+
+	total := l.cfg.Ramp + l.cfg.Duration
+	runCtx, cancel := context.WithTimeout(ctx, total)
+	defer cancel()
+
+	var ramp, steady *phaseStats
+	if l.cfg.Ramp > 0 {
+		ramp = newPhaseStats("ramp", started)
+		l.phase.Store(ramp)
+	} else {
+		steady = newPhaseStats("steady", started)
+		l.phase.Store(steady)
+	}
+	l.window.Store(newPhaseStats("window", started))
+
+	// Phase clock: close the ramp and open the steady phase on time.
+	var phaseWG sync.WaitGroup
+	if ramp != nil {
+		phaseWG.Add(1)
+		go func() {
+			defer phaseWG.Done()
+			select {
+			case <-time.After(l.cfg.Ramp):
+				now := time.Now()
+				ramp.end = now
+				steady = newPhaseStats("steady", now)
+				l.phase.Store(steady)
+			case <-runCtx.Done():
+			}
+		}()
+	}
+
+	var workWG sync.WaitGroup
+	switch l.cfg.Arrival {
+	case ClosedLoop:
+		for w := 0; w < l.cfg.Concurrency; w++ {
+			// Stagger worker starts across the ramp so offered
+			// concurrency grows linearly.
+			var delay time.Duration
+			if l.cfg.Ramp > 0 && l.cfg.Concurrency > 1 {
+				delay = l.cfg.Ramp * time.Duration(w) / time.Duration(l.cfg.Concurrency)
+			}
+			rng := rand.New(rand.NewSource(l.cfg.Seed + int64(w)*7919))
+			workWG.Add(1)
+			go func() {
+				defer workWG.Done()
+				if delay > 0 {
+					select {
+					case <-time.After(delay):
+					case <-runCtx.Done():
+						return
+					}
+				}
+				for runCtx.Err() == nil {
+					spec := l.draw(rng)
+					spec.due = time.Now()
+					l.execute(spec)
+				}
+			}()
+		}
+	case Poisson, Bursty:
+		// Queue depth trades shed-resistance against how much loader
+		// backlog can build before arrivals are dropped; either way the
+		// drop is accounted (shed), never silent.
+		arrivals := make(chan opSpec, l.cfg.Concurrency*64)
+		for w := 0; w < l.cfg.Concurrency; w++ {
+			workWG.Add(1)
+			go func() {
+				defer workWG.Done()
+				for {
+					select {
+					case spec := <-arrivals:
+						l.execute(spec)
+					case <-runCtx.Done():
+						return
+					}
+				}
+			}()
+		}
+		rng := rand.New(rand.NewSource(l.cfg.Seed ^ 0x10ad))
+		workWG.Add(1)
+		go func() {
+			defer workWG.Done()
+			next := time.Now()
+			for runCtx.Err() == nil {
+				lambda := l.rateAt(time.Since(started))
+				gap := time.Duration(rng.ExpFloat64() / lambda * float64(time.Second))
+				if gap > 5*time.Second {
+					gap = 5 * time.Second
+				}
+				next = next.Add(gap)
+				if d := time.Until(next); d > 0 {
+					select {
+					case <-time.After(d):
+					case <-runCtx.Done():
+						return
+					}
+				}
+				spec := l.draw(rng)
+				spec.due = next
+				select {
+				case arrivals <- spec:
+				default:
+					if p := l.phase.Load(); p != nil {
+						p.shed.Add(1)
+					}
+				}
+			}
+		}()
+	}
+
+	// Progress reporter: swap the window and print one line per tick.
+	progressDone := make(chan struct{})
+	if l.cfg.ProgressEvery > 0 {
+		go func() {
+			defer close(progressDone)
+			tick := time.NewTicker(l.cfg.ProgressEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					l.printProgress(started, total)
+				case <-runCtx.Done():
+					return
+				}
+			}
+		}()
+	} else {
+		close(progressDone)
+	}
+
+	workWG.Wait()
+	phaseWG.Wait()
+	<-progressDone
+	now := time.Now()
+	report.Finished = now
+	if ramp != nil {
+		if ramp.end.IsZero() {
+			ramp.end = now
+		}
+		report.Phases["ramp"] = ramp.summary(now)
+	}
+	if steady != nil {
+		if steady.end.IsZero() {
+			steady.end = now
+		}
+		ss := steady.summary(now)
+		report.Phases["steady"] = ss
+		report.SLOs, report.Violations = evaluate(l.cfg.SLOs, ss)
+	}
+	report.DistinctSensors = l.distinctTouched()
+	if err := ctx.Err(); err != nil {
+		return report, err
+	}
+	return report, nil
+}
+
+// printProgress emits one windowed progress line.
+func (l *Loader) printProgress(started time.Time, total time.Duration) {
+	now := time.Now()
+	old := l.window.Swap(newPhaseStats("window", now))
+	if old == nil {
+		return
+	}
+	old.end = now
+	sum := old.summary(now)
+	phaseName := "steady"
+	if p := l.phase.Load(); p != nil {
+		phaseName = p.name
+	}
+	line := fmt.Sprintf("[%s %s/%s] %.1f op/s",
+		phaseName,
+		time.Since(started).Truncate(time.Second),
+		total.Truncate(time.Second),
+		sum.Total.Throughput)
+	for op := Op(0); op < numOps; op++ {
+		s, ok := sum.Ops[op.String()]
+		if !ok {
+			continue
+		}
+		line += fmt.Sprintf(" | %s n=%d p50=%s p99=%s", op, s.Count, ms(s.P50Ms), ms(s.P99Ms))
+	}
+	shed := uint64(0)
+	if p := l.phase.Load(); p != nil {
+		shed = p.shed.Load()
+	}
+	line += fmt.Sprintf(" | err=%d degraded=%d shed=%d inflight=%d",
+		sum.Total.Errors, sum.Total.Degraded, shed, l.inflight.Load())
+	fmt.Fprintln(l.cfg.Progress, line)
+}
+
+func ms(v float64) string {
+	switch {
+	case v >= 1000:
+		return fmt.Sprintf("%.1fs", v/1000)
+	case v >= 10:
+		return fmt.Sprintf("%.0fms", v)
+	default:
+		return fmt.Sprintf("%.2gms", v)
+	}
+}
+
+// httpStatus extracts the HTTP status from a client error chain (0
+// when the error was not an HTTP-level failure).
+func httpStatus(err error) int {
+	var he *server.HTTPError
+	if errors.As(err, &he) {
+		return he.Status
+	}
+	return 0
+}

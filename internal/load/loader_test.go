@@ -1,0 +1,232 @@
+package load
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"smiler"
+	"smiler/internal/datasets"
+	"smiler/internal/server"
+)
+
+// bootNode starts one in-process smiler-server with a small AR
+// configuration (fast enough that a sub-second loader run completes
+// thousands of ops).
+func bootNode(t *testing.T) *httptest.Server {
+	t.Helper()
+	cfg := smiler.DefaultConfig()
+	cfg.Rho = 3
+	cfg.Omega = 8
+	cfg.ELV = []int{16, 24, 40}
+	cfg.EKV = []int{4, 8}
+	cfg.Predictor = smiler.PredictorAR
+	sys, err := smiler.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	srv, err := server.New(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func testLoadConfig(url string) Config {
+	return Config{
+		Targets:          []string{url},
+		Sensors:          50,
+		Kind:             datasets.Road,
+		Seed:             7,
+		History:          64, // min is ELV_max+ω = 48 under the test config
+		Prefix:           "lt",
+		ObserveWeight:    5,
+		ForecastWeight:   1,
+		Horizons:         []WeightedHorizon{{H: 1, W: 3}, {H: 2, W: 1}},
+		Concurrency:      4,
+		Duration:         400 * time.Millisecond,
+		SetupConcurrency: 8,
+		ProgressEvery:    0,
+	}
+}
+
+// TestLoaderClosedLoopEndToEnd is the subsystem's core regression: a
+// real (in-process) server, a real setup + closed-loop run, and a
+// report whose numbers must hang together.
+func TestLoaderClosedLoopEndToEnd(t *testing.T) {
+	ts := bootNode(t)
+	cfg := testLoadConfig(ts.URL)
+	cfg.SLOs = mustSLOs(t, "observe.p99<=30s,forecast.p99<=30s,error_rate<=0,observe.p50<=1ns")
+
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	setup, err := l.Setup(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setup.Registered != cfg.Sensors || setup.Errors != 0 {
+		t.Fatalf("setup = %+v, want %d registered and no errors", setup, cfg.Sensors)
+	}
+
+	report, err := l.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Schema != ReportSchema {
+		t.Fatalf("schema = %q", report.Schema)
+	}
+	steady, ok := report.Phases["steady"]
+	if !ok {
+		t.Fatal("no steady phase in report")
+	}
+	obs := steady.Ops["observe"]
+	fc := steady.Ops["forecast"]
+	if obs.Count == 0 || fc.Count == 0 {
+		t.Fatalf("mixed run produced observe=%d forecast=%d", obs.Count, fc.Count)
+	}
+	if obs.Errors != 0 || fc.Errors != 0 {
+		t.Fatalf("errors against a healthy server: observe=%d forecast=%d", obs.Errors, fc.Errors)
+	}
+	if obs.P50Ms <= 0 || obs.P99Ms < obs.P50Ms {
+		t.Fatalf("observe quantiles incoherent: %+v", obs)
+	}
+	// Round-robin sensor picking: any run with ≥ Sensors ops touches
+	// the whole population.
+	if report.DistinctSensors != cfg.Sensors {
+		t.Fatalf("distinct sensors = %d, want %d", report.DistinctSensors, cfg.Sensors)
+	}
+	// The absurd observe.p50<=1ns objective must be the one violation;
+	// the generous ones must pass.
+	if report.Violations != 1 {
+		t.Fatalf("violations = %d, want exactly the impossible p50 bound; SLOs: %+v",
+			report.Violations, report.SLOs)
+	}
+
+	// Setup is idempotent: a second pass finds everything existing.
+	l2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := l2.Setup(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Existing != cfg.Sensors || again.Registered != 0 {
+		t.Fatalf("re-setup = %+v, want all existing", again)
+	}
+
+	if err := l.Teardown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Teardown(ctx); err != nil {
+		t.Fatalf("teardown must tolerate already-removed sensors: %v", err)
+	}
+}
+
+// TestLoaderOpenLoopPoisson exercises the scheduled-arrival path:
+// dispatcher, in-flight worker pool, due-time latency accounting.
+func TestLoaderOpenLoopPoisson(t *testing.T) {
+	ts := bootNode(t)
+	cfg := testLoadConfig(ts.URL)
+	cfg.Arrival = Poisson
+	cfg.Rate = 300
+	cfg.Ramp = 200 * time.Millisecond
+	cfg.Duration = 600 * time.Millisecond
+
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := l.Setup(ctx); err != nil {
+		t.Fatal(err)
+	}
+	report, err := l.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rampPhase, ok := report.Phases["ramp"]
+	if !ok {
+		t.Fatal("ramp configured but missing from report")
+	}
+	steady := report.Phases["steady"]
+	if steady.Total.Count == 0 {
+		t.Fatal("no steady-phase ops")
+	}
+	// 300/s over ~0.6s steady ≈ 180 expected arrivals; allow wide
+	// Poisson + scheduling slack but reject an order-of-magnitude miss.
+	if steady.Total.Count < 40 {
+		t.Fatalf("steady ops = %d, far below the 300/s target", steady.Total.Count)
+	}
+	// The ramp scales load down, never up past the target.
+	if rampPhase.DurationS <= 0 {
+		t.Fatalf("ramp phase duration %v", rampPhase.DurationS)
+	}
+	if steady.Total.Errors != 0 {
+		t.Fatalf("open-loop errors: %d", steady.Total.Errors)
+	}
+}
+
+// TestLoaderRunCancel: canceling mid-run still yields a report over
+// what ran, with the context error surfaced.
+func TestLoaderRunCancel(t *testing.T) {
+	ts := bootNode(t)
+	cfg := testLoadConfig(ts.URL)
+	cfg.Duration = 10 * time.Second
+
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Setup(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	report, err := l.Run(ctx)
+	if err == nil {
+		t.Fatal("canceled run must surface the context error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	if report == nil || report.Phases["steady"].Total.Count == 0 {
+		t.Fatal("canceled run must still report what ran")
+	}
+}
+
+// TestLoaderSetupFailsWithoutServer: a dead target is an error, not a
+// zero-op "success".
+func TestLoaderSetupFailsWithoutServer(t *testing.T) {
+	ts := httptest.NewServer(nil)
+	url := ts.URL
+	ts.Close()
+
+	cfg := testLoadConfig(url)
+	cfg.Sensors = 5
+	cfg.SetupConcurrency = 2
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Setup(context.Background()); err == nil {
+		t.Fatal("setup against a dead server must fail")
+	}
+}
+
+func mustSLOs(t *testing.T, s string) []SLO {
+	t.Helper()
+	slos, err := ParseSLOs(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return slos
+}

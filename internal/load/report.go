@@ -1,0 +1,105 @@
+package load
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// ReportSchema versions the JSON layout of the loader report.
+const ReportSchema = "smiler-loader/v1"
+
+// Report is the machine-readable outcome of one load run — the shape
+// committed as BENCH_cluster.json so the perf trajectory of the
+// serving layer is tracked the same way BENCH_predict.json tracks the
+// prediction hot path.
+type Report struct {
+	Schema   string    `json:"schema"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+
+	// Workload echoes the effective configuration so a report is
+	// reproducible from itself.
+	Workload WorkloadInfo `json:"workload"`
+
+	// Setup summarizes sensor registration (absent with SkipSetup).
+	Setup *SetupSummary `json:"setup,omitempty"`
+
+	// Phases maps phase name ("ramp", "steady") to its measurements.
+	// SLOs are judged on "steady" only.
+	Phases map[string]PhaseSummary `json:"phases"`
+
+	// SLOs are the judged objectives; Violations counts the failures.
+	SLOs       []SLOResult `json:"slos,omitempty"`
+	Violations int         `json:"violations"`
+
+	// DistinctSensors counts sensors hit by at least one op during the
+	// run — the substantiation of a "drove N sensors" claim.
+	DistinctSensors int `json:"distinct_sensors"`
+}
+
+// WorkloadInfo is the reproducibility block of a report.
+type WorkloadInfo struct {
+	Targets        []string          `json:"targets"`
+	Sensors        int               `json:"sensors"`
+	Kind           string            `json:"kind"`
+	Seed           int64             `json:"seed"`
+	History        int               `json:"history"`
+	ObserveWeight  int               `json:"observe_weight"`
+	ForecastWeight int               `json:"forecast_weight"`
+	Horizons       []WeightedHorizon `json:"horizons"`
+	Arrival        string            `json:"arrival"`
+	RatePerS       float64           `json:"rate_per_s,omitempty"`
+	Concurrency    int               `json:"concurrency"`
+	BurstFactor    float64           `json:"burst_factor,omitempty"`
+	BurstPeriodS   float64           `json:"burst_period_s,omitempty"`
+	BurstDuty      float64           `json:"burst_duty,omitempty"`
+	RampS          float64           `json:"ramp_s"`
+	DurationS      float64           `json:"duration_s"`
+	RetryAttempts  int               `json:"retry_attempts"`
+}
+
+// SetupSummary reports the registration phase.
+type SetupSummary struct {
+	Registered int     `json:"registered"`
+	Existing   int     `json:"existing"`
+	Errors     int     `json:"errors"`
+	DurationS  float64 `json:"duration_s"`
+	PerS       float64 `json:"sensors_per_s"`
+}
+
+func workloadInfo(cfg Config) WorkloadInfo {
+	w := WorkloadInfo{
+		Targets:        cfg.Targets,
+		Sensors:        cfg.Sensors,
+		Kind:           cfg.Kind.String(),
+		Seed:           cfg.Seed,
+		History:        cfg.History,
+		ObserveWeight:  cfg.ObserveWeight,
+		ForecastWeight: cfg.ForecastWeight,
+		Horizons:       cfg.Horizons,
+		Arrival:        cfg.Arrival.String(),
+		Concurrency:    cfg.Concurrency,
+		RampS:          cfg.Ramp.Seconds(),
+		DurationS:      cfg.Duration.Seconds(),
+		RetryAttempts:  cfg.RetryAttempts,
+	}
+	if cfg.Arrival != ClosedLoop {
+		w.RatePerS = cfg.Rate
+	}
+	if cfg.Arrival == Bursty {
+		w.BurstFactor = cfg.BurstFactor
+		w.BurstPeriodS = cfg.BurstPeriod.Seconds()
+		w.BurstDuty = cfg.BurstDuty
+	}
+	return w
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

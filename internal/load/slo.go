@@ -1,0 +1,148 @@
+package load
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SLO is one declared service-level objective, judged against the
+// steady phase after the run. Latency objectives are per op type
+// ("observe.p99<=50ms", "forecast.p999<=2s"); rate objectives may be
+// per-op or aggregate ("forecast.error_rate<=0.01",
+// "degraded_rate<=0.2"). Supported metrics: p50, p90, p99, p999,
+// mean, error_rate, degraded_rate.
+type SLO struct {
+	// Op is "observe", "forecast", or "" for the phase aggregate
+	// (rates only — there is no aggregate latency distribution).
+	Op string `json:"op,omitempty"`
+	// Metric is the judged quantity.
+	Metric string `json:"metric"`
+	// Bound is the inclusive upper bound: seconds for latency metrics,
+	// a ratio in [0,1] for rates.
+	Bound float64 `json:"bound"`
+	// Expr preserves the flag spelling for reports.
+	Expr string `json:"expr"`
+}
+
+func (s SLO) validate() error {
+	switch s.Metric {
+	case "p50", "p90", "p99", "p999", "mean":
+		if s.Op == "" {
+			return fmt.Errorf("load: SLO %q: latency objectives need an op (observe.%s or forecast.%s)",
+				s.Expr, s.Metric, s.Metric)
+		}
+	case "error_rate", "degraded_rate":
+	default:
+		return fmt.Errorf("load: SLO %q: unknown metric %q", s.Expr, s.Metric)
+	}
+	switch s.Op {
+	case "", "observe", "forecast":
+	default:
+		return fmt.Errorf("load: SLO %q: unknown op %q", s.Expr, s.Op)
+	}
+	if s.Bound < 0 {
+		return fmt.Errorf("load: SLO %q: negative bound", s.Expr)
+	}
+	return nil
+}
+
+// ParseSLOs parses a comma-separated objective list, e.g.
+//
+//	"observe.p99<=50ms,forecast.p999<=2s,error_rate<=0.001"
+//
+// Latency bounds are Go durations; rate bounds are plain ratios.
+func ParseSLOs(s string) ([]SLO, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []SLO
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		lhs, rhs, ok := strings.Cut(part, "<=")
+		if !ok {
+			return nil, fmt.Errorf("load: bad SLO %q (want metric<=bound)", part)
+		}
+		lhs, rhs = strings.TrimSpace(lhs), strings.TrimSpace(rhs)
+		slo := SLO{Expr: part, Metric: lhs}
+		if op, metric, hasOp := strings.Cut(lhs, "."); hasOp {
+			slo.Op, slo.Metric = op, metric
+		}
+		switch slo.Metric {
+		case "error_rate", "degraded_rate":
+			b, err := strconv.ParseFloat(rhs, 64)
+			if err != nil {
+				return nil, fmt.Errorf("load: bad SLO bound %q", part)
+			}
+			slo.Bound = b
+		default:
+			d, err := time.ParseDuration(rhs)
+			if err != nil {
+				return nil, fmt.Errorf("load: bad SLO bound %q (latency bounds are durations, e.g. 250ms)", part)
+			}
+			slo.Bound = d.Seconds()
+		}
+		if err := slo.validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, slo)
+	}
+	return out, nil
+}
+
+// SLOResult is one judged objective in the report.
+type SLOResult struct {
+	SLO
+	// Actual is the measured value (same units as Bound).
+	Actual float64 `json:"actual"`
+	// OK reports Actual <= Bound.
+	OK bool `json:"ok"`
+	// Skipped marks an objective with no matching traffic (e.g. a
+	// forecast SLO under a 1:0 mix); skipped objectives do not violate.
+	Skipped bool `json:"skipped,omitempty"`
+}
+
+// evaluate judges every objective against one phase summary.
+func evaluate(slos []SLO, phase PhaseSummary) (results []SLOResult, violations int) {
+	for _, s := range slos {
+		r := SLOResult{SLO: s}
+		var sum OpSummary
+		if s.Op == "" {
+			sum = phase.Total
+		} else {
+			var ok bool
+			sum, ok = phase.Ops[s.Op]
+			if !ok {
+				r.Skipped = true
+				results = append(results, r)
+				continue
+			}
+		}
+		switch s.Metric {
+		case "p50":
+			r.Actual = sum.P50Ms / 1000
+		case "p90":
+			r.Actual = sum.P90Ms / 1000
+		case "p99":
+			r.Actual = sum.P99Ms / 1000
+		case "p999":
+			r.Actual = sum.P999Ms / 1000
+		case "mean":
+			r.Actual = sum.MeanMs / 1000
+		case "error_rate":
+			r.Actual = sum.ErrorRate
+		case "degraded_rate":
+			r.Actual = sum.DegradedRate
+		}
+		r.OK = r.Actual <= s.Bound
+		if !r.OK {
+			violations++
+		}
+		results = append(results, r)
+	}
+	return results, violations
+}

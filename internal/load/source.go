@@ -1,0 +1,63 @@
+package load
+
+import (
+	"fmt"
+	"sync"
+
+	"smiler/internal/datasets"
+)
+
+// source owns the sensor population: ids and one lazy deterministic
+// stream per sensor. Streams advance under a per-sensor mutex so
+// concurrent workers hitting the same sensor still observe a single
+// coherent series (per-sensor ordering is what the server's sharded
+// pipeline preserves; the loader must not feed it interleaved
+// garbage). Memory is O(1) per sensor (~250 B), which is what makes a
+// 10⁶-sensor population practical in one loader process.
+type source struct {
+	prefix  string
+	kind    datasets.Kind
+	seed    int64
+	ids     []string
+	mus     []sync.Mutex
+	streams []*datasets.Stream
+}
+
+func newSource(prefix string, kind datasets.Kind, seed int64, n int) (*source, error) {
+	s := &source{
+		prefix:  prefix,
+		kind:    kind,
+		seed:    seed,
+		ids:     make([]string, n),
+		mus:     make([]sync.Mutex, n),
+		streams: make([]*datasets.Stream, n),
+	}
+	for i := 0; i < n; i++ {
+		s.ids[i] = fmt.Sprintf("%s-%07d", prefix, i)
+		st, err := datasets.NewStream(kind, seed, i)
+		if err != nil {
+			return nil, err
+		}
+		s.streams[i] = st
+	}
+	return s, nil
+}
+
+func (s *source) len() int { return len(s.ids) }
+
+func (s *source) id(i int) string { return s.ids[i] }
+
+// history draws the sensor's bootstrap history (the first n values of
+// its stream). Call once per sensor, before next.
+func (s *source) history(i, n int) []float64 {
+	s.mus[i].Lock()
+	defer s.mus[i].Unlock()
+	return s.streams[i].Take(n)
+}
+
+// next draws the sensor's next observation value.
+func (s *source) next(i int) float64 {
+	s.mus[i].Lock()
+	defer s.mus[i].Unlock()
+	return s.streams[i].Next()
+}

@@ -1,0 +1,180 @@
+package load
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"smiler/internal/obs"
+)
+
+// Op enumerates the request types the loader issues and accounts for
+// separately.
+type Op int
+
+const (
+	// OpObserve is POST /sensors/{id}/observe with the sensor's next
+	// stream value.
+	OpObserve Op = iota
+	// OpForecast is GET /sensors/{id}/forecast?h=H.
+	OpForecast
+	numOps
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpObserve:
+		return "observe"
+	case OpForecast:
+		return "forecast"
+	default:
+		return "op?"
+	}
+}
+
+// latencyBuckets are the loader's histogram bounds: 50µs → ~120s in
+// ×1.25 steps (~66 buckets). The serving registry's DefBuckets are too
+// coarse for a p999 claim — at ×2.5 spacing a p999 estimate can be off
+// by 2.5×; at ×1.25 the interpolation error is bounded at 25%.
+var latencyBuckets = func() []float64 {
+	var out []float64
+	for b := 50e-6; b < 120; b *= 1.25 {
+		out = append(out, b)
+	}
+	return out
+}()
+
+// opStats accumulates one op type's outcomes over one accounting
+// scope (a phase, or a progress window). All methods are safe for
+// concurrent use; reads are scrape-style (not transactional).
+type opStats struct {
+	count    atomic.Uint64
+	errors   atomic.Uint64
+	degraded atomic.Uint64
+	hist     *obs.Histogram
+}
+
+func newOpStats() *opStats {
+	return &opStats{hist: obs.NewHistogram(latencyBuckets)}
+}
+
+func (s *opStats) record(d time.Duration, err error, degraded bool) {
+	s.count.Add(1)
+	if err != nil {
+		s.errors.Add(1)
+		return // failed ops don't pollute the latency distribution
+	}
+	if degraded {
+		s.degraded.Add(1)
+	}
+	s.hist.Observe(d.Seconds())
+}
+
+// OpSummary is the reported view of one op type over one phase.
+type OpSummary struct {
+	Count        uint64  `json:"count"`
+	Throughput   float64 `json:"throughput_per_s"`
+	P50Ms        float64 `json:"p50_ms"`
+	P90Ms        float64 `json:"p90_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	P999Ms       float64 `json:"p999_ms"`
+	MeanMs       float64 `json:"mean_ms"`
+	Errors       uint64  `json:"errors"`
+	ErrorRate    float64 `json:"error_rate"`
+	Degraded     uint64  `json:"degraded"`
+	DegradedRate float64 `json:"degraded_rate"`
+}
+
+func (s *opStats) summary(elapsed time.Duration) OpSummary {
+	n := s.count.Load()
+	errs := s.errors.Load()
+	deg := s.degraded.Load()
+	out := OpSummary{Count: n, Errors: errs, Degraded: deg}
+	if n > 0 {
+		out.ErrorRate = float64(errs) / float64(n)
+		out.DegradedRate = float64(deg) / float64(n)
+	}
+	if elapsed > 0 {
+		out.Throughput = float64(n) / elapsed.Seconds()
+	}
+	if ok := s.hist.Count(); ok > 0 {
+		out.MeanMs = s.hist.Sum() / float64(ok) * 1000
+		out.P50Ms = quantMs(s.hist, 0.50)
+		out.P90Ms = quantMs(s.hist, 0.90)
+		out.P99Ms = quantMs(s.hist, 0.99)
+		out.P999Ms = quantMs(s.hist, 0.999)
+	}
+	return out
+}
+
+func quantMs(h *obs.Histogram, q float64) float64 {
+	v := h.Quantile(q)
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v * 1000
+}
+
+// phaseStats scopes op accounting to one phase of the run.
+type phaseStats struct {
+	name  string
+	start time.Time
+	// end is set when the phase closes; zero while live.
+	end time.Time
+	ops [numOps]*opStats
+	// shed counts open-loop arrivals the loader itself had to drop
+	// because its dispatch queue was full — loader saturation, not
+	// server failure, and reported separately so it can't masquerade
+	// as either throughput or success.
+	shed atomic.Uint64
+}
+
+func newPhaseStats(name string, start time.Time) *phaseStats {
+	p := &phaseStats{name: name, start: start}
+	for i := range p.ops {
+		p.ops[i] = newOpStats()
+	}
+	return p
+}
+
+func (p *phaseStats) elapsed(now time.Time) time.Duration {
+	if !p.end.IsZero() {
+		return p.end.Sub(p.start)
+	}
+	return now.Sub(p.start)
+}
+
+// PhaseSummary is the reported view of one phase.
+type PhaseSummary struct {
+	DurationS float64              `json:"duration_s"`
+	Ops       map[string]OpSummary `json:"ops"`
+	Total     OpSummary            `json:"total"`
+	Shed      uint64               `json:"shed,omitempty"`
+}
+
+func (p *phaseStats) summary(now time.Time) PhaseSummary {
+	el := p.elapsed(now)
+	out := PhaseSummary{
+		DurationS: el.Seconds(),
+		Ops:       make(map[string]OpSummary, numOps),
+		Shed:      p.shed.Load(),
+	}
+	var total OpSummary
+	for op := Op(0); op < numOps; op++ {
+		s := p.ops[op].summary(el)
+		if s.Count == 0 {
+			continue
+		}
+		out.Ops[op.String()] = s
+		total.Count += s.Count
+		total.Errors += s.Errors
+		total.Degraded += s.Degraded
+		total.Throughput += s.Throughput
+	}
+	if total.Count > 0 {
+		total.ErrorRate = float64(total.Errors) / float64(total.Count)
+		total.DegradedRate = float64(total.Degraded) / float64(total.Count)
+	}
+	out.Total = total
+	return out
+}

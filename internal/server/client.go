@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -26,11 +27,16 @@ const OwnerURLHeader = "X-Smiler-Owner-Url"
 
 // RetryPolicy bounds the client's automatic retries. Retries fire on
 // transport errors, HTTP 5xx and HTTP 429, with jittered exponential
-// backoff. GETs are idempotent and always eligible; POST/DELETE are
-// retried too because every mutation carries a unique idempotency key
-// (IdempotencyKeyHeader) that the server — or the cluster node that
-// ends up applying the forwarded request — deduplicates, so a retry
-// after a lost response cannot double-apply.
+// backoff — except when the response carries a Retry-After header
+// (cluster nodes send one on every deliberate 503: migration quiesce,
+// draining, replica write rejection), in which case the client sleeps
+// what the server asked for (capped at MaxDelay, plus up to 10%
+// jitter) instead of its own schedule. GETs are idempotent and always
+// eligible; POST/DELETE are retried too because every mutation
+// carries a unique idempotency key (IdempotencyKeyHeader) that the
+// server — or the cluster node that ends up applying the forwarded
+// request — deduplicates, so a retry after a lost response cannot
+// double-apply.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of tries (1 = no retries).
 	MaxAttempts int
@@ -45,6 +51,49 @@ type RetryPolicy struct {
 // backoff.
 func DefaultRetryPolicy() RetryPolicy {
 	return RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+}
+
+// HTTPError is an API-level failure: the server answered, with a
+// non-2xx status. It preserves the status code (so callers can branch
+// on 409/404/503 without string matching) and any Retry-After hint
+// the server attached. Transport failures (connection refused, reset,
+// timeout) are NOT HTTPErrors.
+type HTTPError struct {
+	// Method and Path identify the failed request.
+	Method, Path string
+	// Status is the HTTP status code.
+	Status int
+	// Msg is the server's {"error": ...} body, when one was sent.
+	Msg string
+	// RetryAfter is the parsed Retry-After header (0 when absent).
+	RetryAfter time.Duration
+}
+
+func (e *HTTPError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("server: %s %s: %s (HTTP %d)", e.Method, e.Path, e.Msg, e.Status)
+	}
+	return fmt.Sprintf("server: %s %s: HTTP %d", e.Method, e.Path, e.Status)
+}
+
+// parseRetryAfter reads a Retry-After value: delta-seconds or an
+// HTTP date (RFC 9110 §10.2.3). Returns 0 when absent or unparseable.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // Client is a typed HTTP client for the SMiLer service. It is a thin
@@ -161,7 +210,15 @@ func (c *Client) doSensor(ctx context.Context, sensor, method, path string, body
 	made := 0
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			if err := c.sleepBackoff(ctx, attempt); err != nil {
+			// A Retry-After hint from the previous response overrides the
+			// exponential schedule: the server knows when it will be ready
+			// (migration cutover, drain window, primary recovery).
+			var hint time.Duration
+			var he *HTTPError
+			if errors.As(lastErr, &he) {
+				hint = he.RetryAfter
+			}
+			if err := c.sleepBackoff(ctx, attempt, hint); err != nil {
 				return attemptsErr(lastErr, made)
 			}
 		}
@@ -203,20 +260,33 @@ func attemptsErr(err error, made int) error {
 	return fmt.Errorf("%w (after %d attempts)", err, made)
 }
 
-// sleepBackoff waits the attempt's jittered exponential delay, or
-// returns early on ctx cancellation.
-func (c *Client) sleepBackoff(ctx context.Context, attempt int) error {
-	d := c.retry.BaseDelay << (attempt - 1)
-	if c.retry.MaxDelay > 0 && d > c.retry.MaxDelay {
-		d = c.retry.MaxDelay
+// sleepBackoff waits before the attempt-th retry: the server's
+// Retry-After hint when one was sent (capped at MaxDelay, ~10%
+// jitter), the jittered exponential schedule otherwise. Returns early
+// on ctx cancellation.
+func (c *Client) sleepBackoff(ctx context.Context, attempt int, hint time.Duration) error {
+	var d time.Duration
+	if hint > 0 {
+		d = hint
+		if c.retry.MaxDelay > 0 && d > c.retry.MaxDelay {
+			d = c.retry.MaxDelay
+		}
+		// Light jitter only: the point of honoring the hint is to come
+		// back when the server said it would be ready, not sooner.
+		d += time.Duration(rand.Int63n(int64(d)/10 + 1))
+	} else {
+		d = c.retry.BaseDelay << (attempt - 1)
+		if c.retry.MaxDelay > 0 && d > c.retry.MaxDelay {
+			d = c.retry.MaxDelay
+		}
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		// Up to 50% uniform jitter decorrelates clients retrying in sync.
+		// The top-level rand functions are safe for the concurrent GETs a
+		// shared Client serves; a per-Client *rand.Rand would race.
+		d += time.Duration(rand.Int63n(int64(d)/2 + 1))
 	}
-	if d <= 0 {
-		d = time.Millisecond
-	}
-	// Up to 50% uniform jitter decorrelates clients retrying in sync.
-	// The top-level rand functions are safe for the concurrent GETs a
-	// shared Client serves; a per-Client *rand.Rand would race.
-	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -253,11 +323,15 @@ func (c *Client) doOnce(ctx context.Context, base, method, path string, payload 
 	ownerHint = resp.Header.Get(OwnerURLHeader)
 	if resp.StatusCode >= 400 {
 		retry := resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
+		he := &HTTPError{
+			Method: method, Path: path, Status: resp.StatusCode,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 		var er errorResponse
 		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
-			return ownerHint, fmt.Errorf("server: %s %s: %s (HTTP %d)", method, path, er.Error, resp.StatusCode), retry
+			he.Msg = er.Error
 		}
-		return ownerHint, fmt.Errorf("server: %s %s: HTTP %d", method, path, resp.StatusCode), retry
+		return ownerHint, he, retry
 	}
 	if out == nil {
 		return ownerHint, nil, false

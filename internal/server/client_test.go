@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -243,5 +244,118 @@ func TestClientRetryRespectsContext(t *testing.T) {
 	}
 	if got := h.calls.Load(); got >= 50 {
 		t.Fatalf("server saw %d requests; cancellation must cut the budget short", got)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"2", 2 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{"soon", 0},
+		{time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat), 0},
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// An HTTP-date ~2s out parses to roughly that distance.
+	in := time.Now().Add(2 * time.Second).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(in); got <= 0 || got > 3*time.Second {
+		t.Errorf("parseRetryAfter(%q) = %v, want ~2s", in, got)
+	}
+}
+
+// TestClientHonorsRetryAfter: a 503 carrying Retry-After must delay
+// the retry until the server said it would be ready, overriding the
+// (here, millisecond-scale) exponential schedule.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(errorResponse{Error: "draining"})
+			return
+		}
+		json.NewEncoder(w).Encode([]string{"a"})
+	}))
+	defer ts.Close()
+
+	c, err := NewClient(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Second})
+
+	start := time.Now()
+	if _, err := c.Sensors(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retry after %v; the 1s Retry-After hint was not honored", elapsed)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2", got)
+	}
+}
+
+// TestClientRetryAfterCappedAtMaxDelay: a hostile or confused hint
+// cannot stall the client past its own MaxDelay.
+func TestClientRetryAfterCappedAtMaxDelay(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "3600")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode([]string{"a"})
+	}))
+	defer ts.Close()
+
+	c, err := NewClient(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond})
+
+	start := time.Now()
+	if _, err := c.Sensors(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry stalled %v; hint must be capped at MaxDelay", elapsed)
+	}
+}
+
+// TestClientErrorExposesHTTPStatus: callers branch on status via
+// errors.As instead of string matching.
+func TestClientErrorExposesHTTPStatus(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusConflict)
+		json.NewEncoder(w).Encode(errorResponse{Error: "sensor exists"})
+	}))
+	defer ts.Close()
+
+	c, err := NewClient(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.AddSensor("s", nil)
+	var he *HTTPError
+	if !errors.As(err, &he) {
+		t.Fatalf("err %T %v; want *HTTPError in the chain", err, err)
+	}
+	if he.Status != http.StatusConflict || he.Msg != "sensor exists" {
+		t.Fatalf("HTTPError = %+v", he)
+	}
+	if !strings.Contains(he.Error(), "HTTP 409") {
+		t.Fatalf("Error() = %q", he.Error())
 	}
 }

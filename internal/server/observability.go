@@ -54,8 +54,9 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 				obs.L("route", route), obs.L("method", r.Method),
 				obs.L("status", strconv.Itoa(rec.status))).Inc()
 			reg.Histogram("smiler_http_request_seconds",
-				"HTTP request latency by route.", nil,
-				obs.L("route", route)).Observe(elapsed.Seconds())
+				"HTTP request latency by route and status code.", nil,
+				obs.L("route", route),
+				obs.L("code", strconv.Itoa(rec.status))).Observe(elapsed.Seconds())
 		}
 		if s.log != nil {
 			s.log.Info("request",

@@ -69,6 +69,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"smiler_gp_fits_total",
 		`smiler_http_requests_total{route="/sensors",method="POST",status="201"} 1`,
 		"smiler_http_request_seconds_bucket",
+		`smiler_http_request_seconds_count{route="/sensors",code="201"} 1`,
+		`smiler_http_request_seconds_count{route="/sensors/{id}/forecast",code="200"} 1`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)

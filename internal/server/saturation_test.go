@@ -1,0 +1,161 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"smiler"
+	"smiler/internal/ingest"
+)
+
+// TestControlPlaneResponsiveUnderSaturatedIngest is the regression
+// guard for a failure mode load testing exposed the risk of: when the
+// ingest pipeline is saturated under Block backpressure, observe
+// handlers park in ServeHTTP waiting for queue space — and the
+// control-plane routes (/metrics, /readyz, /pipeline/stats) must NOT
+// be dragged down with them, or operators lose exactly the telemetry
+// that explains the overload.
+//
+// Saturation is manufactured deterministically: one shard, a
+// two-deep queue, and a Journal hook that blocks the shard worker
+// until released, so queued observations cannot drain.
+func TestControlPlaneResponsiveUnderSaturatedIngest(t *testing.T) {
+	release := make(chan struct{})
+	sys, err := smiler.New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	srv, err := NewWithOptions(sys, Options{
+		Pipeline: ingest.Config{
+			Shards:       1,
+			QueueSize:    2,
+			MaxBatch:     1,
+			Backpressure: ingest.Block,
+			Journal: func(shard int, id string, v float64) error {
+				<-release // stall the single shard worker
+				return nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Release the worker no matter how the test exits, so Close and the
+	// parked handlers can finish.
+	var releaseOnce sync.Once
+	unblock := func() { releaseOnce.Do(func() { close(release) }) }
+	defer unblock()
+
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	cl, err := NewClient(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Registration bypasses the pipeline (history is applied
+	// synchronously), so setup succeeds with the worker already stalled.
+	rng := rand.New(rand.NewSource(11))
+	if err := cl.AddSensor("sat", seasonal(rng, 400)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Saturate: the worker parks on the first observation's journal
+	// call, the queue (cap 2) fills, and the rest of these block inside
+	// their observe handlers under Block backpressure.
+	const writers = 6
+	done := make(chan error, writers)
+	for i := 0; i < writers; i++ {
+		v := float64(i)
+		go func() {
+			body := bytes.NewReader([]byte(fmt.Sprintf(`{"value": %g}`, v)))
+			resp, err := http.Post(ts.URL+"/sensors/sat/observe", "application/json", body)
+			if err == nil {
+				resp.Body.Close()
+			}
+			done <- err
+		}()
+	}
+	// Wait until the pipeline is provably wedged: enqueued ops neither
+	// complete nor fail, and at least the queue capacity is occupied.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := srv.Pipeline().Stats()
+		if st.Totals.Enqueued >= 3 && st.Totals.Processed == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pipeline never saturated: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The control plane must answer promptly while data-plane handlers
+	// are parked. 2s is generous — these are sub-millisecond routes; the
+	// bound only has to distinguish "responsive" from "waiting for the
+	// queue to drain", which it would do forever.
+	quick := &http.Client{Timeout: 2 * time.Second}
+	for _, path := range []string{"/metrics", "/readyz", "/pipeline/stats", "/healthz"} {
+		start := time.Now()
+		resp, err := quick.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s while saturated: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s while saturated = %d", path, resp.StatusCode)
+		}
+		if el := time.Since(start); el > 2*time.Second {
+			t.Fatalf("GET %s took %v under saturation", path, el)
+		}
+	}
+
+	// The observe handler answers 202 on enqueue, so the writers that
+	// won queue slots (one consumed by the parked worker + QueueSize in
+	// the queue) complete; every other writer must stay parked in its
+	// handler — blocked, not dropped and not errored.
+	completed := 0
+	for drained := false; !drained; {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("observe failed while the pipeline was wedged: %v", err)
+			}
+			completed++
+		case <-time.After(300 * time.Millisecond):
+			drained = true
+		}
+	}
+	if completed > 3 {
+		t.Fatalf("%d observes completed while wedged; Block backpressure admitted past the queue", completed)
+	}
+	if st := srv.Pipeline().Stats(); st.Totals.Dropped != 0 || st.Totals.Errors != 0 || st.Totals.Enqueued > 3 {
+		t.Fatalf("wedged pipeline leaked ops: %+v", st.Totals)
+	}
+
+	// Release the worker: every parked observe must now complete
+	// successfully — blocked, not lost.
+	unblock()
+	for i := completed; i < writers; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("observe failed after release: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("observe still blocked after the pipeline was released")
+		}
+	}
+	if err := srv.Pipeline().Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Pipeline().Stats(); st.Totals.Processed != writers {
+		t.Fatalf("processed %d, want %d", st.Totals.Processed, writers)
+	}
+}

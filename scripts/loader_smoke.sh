@@ -1,0 +1,88 @@
+#!/usr/bin/env sh
+# Loader smoke test: boot a real 3-node smiler-server cluster on
+# loopback ports and run smilerloader against it — open-loop Poisson,
+# mixed observe/forecast traffic, SLO-gated. Asserts the loader exits 0
+# (zero SLO violations), the report is valid JSON with the expected
+# schema, and every sensor in the population was driven. Run via
+# `make loader-smoke`; this is the CI gate that keeps the load
+# subsystem honest end to end.
+set -eu
+
+DIR=$(mktemp -d)
+BIN="$DIR/smiler-server"
+LOADER="$DIR/smilerloader"
+REPORT="$DIR/report.json"
+P1=19091
+P2=19092
+P3=19093
+PEERS="n1=http://127.0.0.1:$P1,n2=http://127.0.0.1:$P2,n3=http://127.0.0.1:$P3"
+
+go build -o "$BIN" ./cmd/smiler-server
+go build -o "$LOADER" ./cmd/smilerloader
+
+"$BIN" -addr "127.0.0.1:$P1" -node-id n1 -cluster-peers "$PEERS" -predictor ar -log-level warn &
+PID1=$!
+"$BIN" -addr "127.0.0.1:$P2" -node-id n2 -cluster-peers "$PEERS" -predictor ar -log-level warn &
+PID2=$!
+"$BIN" -addr "127.0.0.1:$P3" -node-id n3 -cluster-peers "$PEERS" -predictor ar -log-level warn &
+PID3=$!
+cleanup() {
+    kill "$PID1" "$PID2" "$PID3" 2>/dev/null || true
+    wait "$PID1" "$PID2" "$PID3" 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+for port in "$P1" "$P2" "$P3"; do
+    i=0
+    until curl -sf "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            echo "loader-smoke: node on :$port did not come up" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+done
+
+# ~20s of mixed load at 100 ops/s across all three nodes. The SLO
+# bounds are deliberately loose — this smoke asserts the machinery
+# (setup, arrival process, accounting, SLO gate, report), not a perf
+# number; the perf numbers live in docs/PERF.md.
+if ! "$LOADER" \
+    -targets "http://127.0.0.1:$P1,http://127.0.0.1:$P2,http://127.0.0.1:$P3" \
+    -sensors 200 -history 128 -seed 42 -prefix smoke \
+    -mix 10:1 -horizons 1:3,3:1 \
+    -arrival poisson -rate 100 -concurrency 8 \
+    -ramp 3s -duration 15s -progress 5s -retries 3 \
+    -slo 'observe.p99<=5s,forecast.p99<=10s,error_rate<=0.005' \
+    -out "$REPORT"; then
+    echo "loader-smoke: smilerloader exited nonzero" >&2
+    exit 1
+fi
+
+status=0
+if ! grep -q '"schema": "smiler-loader/v1"' "$REPORT"; then
+    echo "loader-smoke: report missing schema marker" >&2
+    status=1
+fi
+if ! grep -q '"violations": 0' "$REPORT"; then
+    echo "loader-smoke: report shows SLO violations" >&2
+    status=1
+fi
+if ! grep -q '"distinct_sensors": 200' "$REPORT"; then
+    echo "loader-smoke: loader did not drive the whole population" >&2
+    status=1
+fi
+if ! grep -q '"steady"' "$REPORT"; then
+    echo "loader-smoke: report missing steady phase" >&2
+    status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+    echo "loader-smoke: OK"
+else
+    echo "--- report ---" >&2
+    cat "$REPORT" >&2
+fi
+exit $status

@@ -62,6 +62,11 @@ for family in \
     fi
 done
 
+if ! grep -q '^smiler_http_request_seconds_bucket{route=.*code="2' "$LOG"; then
+    echo "metrics-smoke: smiler_http_request_seconds lacks the code label" >&2
+    status=1
+fi
+
 if ! curl -sf "http://$ADDR/debug/trace/smoke" | grep -q '"name":"search"'; then
     echo "metrics-smoke: /debug/trace/smoke missing search span" >&2
     status=1
