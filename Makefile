@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-ingest bench-obs bench-json metrics-smoke torture cluster-smoke cluster-smoke-procs loader-smoke
+.PHONY: all build vet test race bench bench-ingest bench-obs bench-json metrics-smoke events-smoke torture cluster-smoke cluster-smoke-procs loader-smoke
 
 all: vet build test
 
@@ -43,6 +43,13 @@ bench-json:
 # and the trace endpoint serves spans (scripts/metrics_smoke.sh).
 metrics-smoke: build
 	./scripts/metrics_smoke.sh
+
+# Flight-recorder lifecycle check: boot with WAL + checkpoint, assert
+# /debug/events serves the ring, SIGTERM dumps it to stderr, a clean
+# restart records checkpoint_restore, and a kill -9 crash makes the
+# next boot record wal_replay (scripts/events_smoke.sh).
+events-smoke: build
+	./scripts/events_smoke.sh
 
 # Fault-tolerance suite under the race detector: seeded crash-recovery
 # kill points (WAL truncation/corruption at >120 boundaries plus torn

@@ -103,6 +103,15 @@ func recoverWAL(sys *smiler.System, dir string, cover map[int]uint64, logger *sl
 		logger.Info("wal replayed",
 			"records", st.Records, "applied", applied, "covered", covered,
 			"skipped", skipped, "segments", st.Segments, "torn", st.Torn)
+		sev := obs.SevInfo
+		if st.Torn {
+			sev = obs.SevWarn
+		}
+		sys.Events().Record(obs.Event{
+			Type: "wal_replay", Severity: sev,
+			Detail: fmt.Sprintf("records=%d applied=%d covered=%d skipped=%d torn=%v",
+				st.Records, applied, covered, skipped, st.Torn),
+		})
 	}
 	return st, nil
 }
@@ -159,10 +168,12 @@ func openDurability(sys *smiler.System, cover map[int]uint64, o options, logger 
 			mgr.Close()
 			return nil, fmt.Errorf("post-recovery checkpoint: %w", err)
 		}
+		sys.Events().Record(obs.Event{Type: "checkpoint", Detail: "post-recovery, " + o.checkpoint})
 		if err := mgr.Reset(); err != nil {
 			mgr.Close()
 			return nil, fmt.Errorf("truncating recovered WAL: %w", err)
 		}
+		sys.Events().Record(obs.Event{Type: "wal_reset", Detail: "recovered WAL truncated, " + o.walDir})
 		logger.Info("post-recovery checkpoint saved", "path", o.checkpoint)
 	}
 	logger.Info("wal open",
@@ -206,11 +217,13 @@ func shutdownDurability(sys *smiler.System, mgr *wal.Manager, o options, logger 
 		if err := saveCheckpoint(sys, o.checkpoint, cover); err != nil {
 			return fmt.Errorf("saving checkpoint: %w", err)
 		}
+		sys.Events().Record(obs.Event{Type: "checkpoint", Detail: "shutdown, " + o.checkpoint})
 		logger.Info("checkpoint saved", "path", o.checkpoint)
 		if mgr != nil {
 			if err := mgr.Reset(); err != nil {
 				return fmt.Errorf("resetting WAL: %w", err)
 			}
+			sys.Events().Record(obs.Event{Type: "wal_reset", Detail: "covered by shutdown checkpoint"})
 		}
 	}
 	if mgr != nil {

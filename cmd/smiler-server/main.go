@@ -69,6 +69,7 @@ import (
 	"smiler"
 	"smiler/internal/cluster"
 	"smiler/internal/ingest"
+	"smiler/internal/obs"
 	"smiler/internal/server"
 	"smiler/internal/wal"
 )
@@ -95,6 +96,7 @@ type options struct {
 	fsyncInterval   time.Duration
 	predictDeadline time.Duration
 	fallback        string
+	runtimeMetrics  time.Duration
 
 	nodeID        string
 	clusterPeers  string
@@ -131,6 +133,7 @@ func main() {
 	flag.DurationVar(&o.fsyncInterval, "fsync-interval", 0, "fsync period for -fsync interval (0 = default 50ms)")
 	flag.DurationVar(&o.predictDeadline, "predict-deadline", 0, "per-prediction deadline (0 = none)")
 	flag.StringVar(&o.fallback, "degraded-fallback", "none", "degraded-mode predictor: none|persistence|ar1")
+	flag.DurationVar(&o.runtimeMetrics, "runtime-metrics-interval", 0, "runtime/GC telemetry sample period (0 = default 10s, negative = sample at scrape time only)")
 	flag.StringVar(&o.nodeID, "node-id", "", "this node's cluster member id (enables clustering with -cluster-peers)")
 	flag.StringVar(&o.clusterPeers, "cluster-peers", "", `static membership incl. self: "n1=http://host1:8080,n2=http://host2:8080"`)
 	flag.IntVar(&o.replicas, "replicas", 1, "follower copies per sensor")
@@ -184,6 +187,7 @@ func run(o options) error {
 	cfg.PredictWorkers = o.workers
 	cfg.SharedHyper = o.sharedHyper
 	cfg.PredictDeadline = o.predictDeadline
+	cfg.RuntimeMetricsInterval = o.runtimeMetrics
 	fb, err := smiler.ParseFallback(o.fallback)
 	if err != nil {
 		return err
@@ -200,6 +204,15 @@ func run(o options) error {
 		return err
 	}
 	defer sys.Close()
+	// The flight recorder is a black box: whatever it retained gets
+	// dumped to stderr if the process dies on a panic, so the last
+	// failovers/migrations/WAL events survive in the crash log.
+	defer func() {
+		if r := recover(); r != nil {
+			dumpEvents(sys, fmt.Sprintf("panic: %v", r))
+			panic(r)
+		}
+	}()
 
 	opts := server.Options{
 		Interval:      o.interval,
@@ -291,6 +304,13 @@ func run(o options) error {
 	// listener came up, so readiness follows immediately; /readyz flips
 	// back to 503 when shutdown starts draining.
 	handler.SetReady()
+	// The boot marker anchors the flight recorder: every later event
+	// reads relative to a known process start, and the events counter is
+	// live from the first scrape.
+	sys.Events().Record(obs.Event{
+		Type:   "startup",
+		Detail: "listening on " + ln.Addr().String() + ", predictor " + strings.ToLower(o.predictor),
+	})
 	if o.onReady != nil {
 		o.onReady(ln.Addr().String())
 	}
@@ -326,7 +346,23 @@ func run(o options) error {
 	if err := shutdownDurability(sys, mgr, o, logger); err != nil {
 		return err
 	}
+	// Black-box dump: everything the flight recorder retained, on the
+	// way out, after the shutdown checkpoint/WAL events were recorded.
+	dumpEvents(sys, "shutdown")
 	return <-errCh
+}
+
+// dumpEvents writes the flight recorder's retained events to stderr
+// with framing lines — the black-box readout for post-mortems. A
+// no-op with metrics disabled or an empty ring.
+func dumpEvents(sys *smiler.System, reason string) {
+	ring := sys.Events()
+	if ring == nil || ring.LastSeq() == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "--- flight recorder (%s, %d events recorded) ---\n", reason, ring.LastSeq())
+	_, _ = ring.WriteTo(os.Stderr)
+	fmt.Fprintln(os.Stderr, "--- end flight recorder ---")
 }
 
 // parseClusterPeers parses "-cluster-peers n1=http://a:1,n2=http://b:2"
@@ -384,6 +420,10 @@ func loadOrNew(cfg smiler.Config, path string, logger *slog.Logger) (*smiler.Sys
 		return nil, nil, fmt.Errorf("loading checkpoint %s: %w", path, err)
 	}
 	logger.Info("checkpoint restored", "sensors", len(sys.Sensors()), "path", path)
+	sys.Events().Record(obs.Event{
+		Type:   "checkpoint_restore",
+		Detail: fmt.Sprintf("%d sensor(s) from %s", len(sys.Sensors()), path),
+	})
 	return sys, cover, nil
 }
 

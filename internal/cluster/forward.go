@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"smiler/internal/ingest"
+	"smiler/internal/obs"
 	"smiler/internal/server"
 	"smiler/internal/wal"
 )
@@ -59,7 +60,7 @@ func (n *Node) gate(w http.ResponseWriter, r *http.Request, next http.Handler) {
 			next.ServeHTTP(w, r)
 			return
 		}
-		n.forward(w, r, owner, bodyCopy)
+		n.forward(w, r, owner, bodyCopy, sensor)
 		return
 	}
 	// We are the effective owner.
@@ -126,8 +127,13 @@ func (n *Node) extractSensor(w http.ResponseWriter, r *http.Request) (sensor str
 
 // forward proxies the request to the owner, marking it forwarded and
 // preserving the idempotency key, and relays the response verbatim
-// (including the owner headers the owner set).
-func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner Member, body []byte) {
+// (including the owner headers the owner set). The distributed trace
+// context is stamped onto the outbound hop (hop counter incremented),
+// and the hop itself is recorded as a trace on this node — with the
+// owner's phase spans inlined from its compact span-summary header —
+// so GET /debug/trace/{sensor} on the entry node shows the full
+// cross-node picture of a forwarded forecast.
+func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner Member, body []byte, sensor string) {
 	start := time.Now()
 	var rd io.Reader
 	if body != nil {
@@ -155,23 +161,52 @@ func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner Member, bod
 	}
 	req.Header.Set(forwardedHeader, "1")
 	req.Header.Set(fromHeader, n.cfg.Self)
+	tc, traced := obs.TraceFromContext(r.Context())
+	if traced {
+		req.Header.Set(obs.TraceHeader, tc.Next().HeaderValue())
+	}
 	resp, err := n.hc.Do(req)
 	if err != nil {
 		n.m.forwardErrs.Inc()
+		n.recordForwardTrace(sensor, tc, owner, start, nil, err)
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusBadGateway, "forward to "+owner.ID+" failed: "+err.Error())
 		return
 	}
 	defer resp.Body.Close()
-	for _, h := range []string{"Content-Type", ownerHeader, server.OwnerURLHeader, server.IdempotentReplayHeader, "Retry-After"} {
+	for _, h := range []string{"Content-Type", ownerHeader, server.OwnerURLHeader, server.IdempotentReplayHeader, "Retry-After", obs.SpanSummaryHeader} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
 	}
 	n.m.forwards(owner.ID).Inc()
 	n.m.forwardSec.Observe(time.Since(start).Seconds())
+	n.recordForwardTrace(sensor, tc, owner, start, obs.DecodeSpans(resp.Header.Get(obs.SpanSummaryHeader)), nil)
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)
+}
+
+// recordForwardTrace records the entry node's view of one forwarded
+// request: a "forward" hop span covering the round trip, followed by
+// the owner's phase spans (decoded from its span-summary response
+// header) inlined with the owner id so the two sides are attributable
+// in one trace. A no-op when tracing is disabled or the request
+// carried no trace context.
+func (n *Node) recordForwardTrace(sensor string, tc obs.TraceContext, owner Member, start time.Time, ownerSpans []obs.Span, fwdErr error) {
+	store := n.sys.Traces()
+	if store == nil || sensor == "" || !tc.Valid() {
+		return
+	}
+	tr := obs.NewTrace(sensor)
+	tr.SetContext(tc)
+	tr.AddSpan("forward", "to "+owner.ID, 0, time.Since(start))
+	for _, sp := range ownerSpans {
+		tr.AddSpan(sp.Name, "owner "+owner.ID,
+			time.Duration(sp.OffsetS*float64(time.Second)),
+			time.Duration(sp.Duration*float64(time.Second)))
+	}
+	tr.Finish(fwdErr)
+	store.Add(tr)
 }
 
 // --- owner-side lifecycle interception (replication of add/remove) ---
@@ -267,6 +302,26 @@ func (n *Node) serveAsReplica(w http.ResponseWriter, r *http.Request, sensor str
 	}
 }
 
+// recordFailoverTrace records a "failover_serve" hop span for a
+// degraded read served in the failed primary's stead, so the entry
+// node's trace view attributes the answer to the promoted replica.
+func (n *Node) recordFailoverTrace(r *http.Request, sensor string, start time.Time, predErr error) {
+	store := n.sys.Traces()
+	if store == nil {
+		return
+	}
+	tc, ok := obs.TraceFromContext(r.Context())
+	if !ok || !tc.Valid() {
+		return
+	}
+	primary := n.preference(sensor)[0]
+	tr := obs.NewTrace(sensor)
+	tr.SetContext(tc)
+	tr.AddSpan("failover_serve", "for primary "+primary, 0, time.Since(start))
+	tr.Finish(predErr)
+	store.Add(tr)
+}
+
 func parseZ(r *http.Request) (float64, bool) {
 	z := 1.96
 	if v := r.URL.Query().Get("z"); v != "" {
@@ -294,7 +349,9 @@ func (n *Node) replicaForecast(w http.ResponseWriter, r *http.Request, sensor st
 		writeError(w, http.StatusBadRequest, "invalid z")
 		return
 	}
+	start := time.Now()
 	f, err := n.sys.PredictCtx(r.Context(), sensor, h)
+	n.recordFailoverTrace(r, sensor, start, err)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "replica predict: "+err.Error())
 		return
@@ -326,7 +383,9 @@ func (n *Node) replicaForecasts(w http.ResponseWriter, r *http.Request, sensor s
 		writeError(w, http.StatusBadRequest, "invalid z")
 		return
 	}
+	start := time.Now()
 	fs, err := n.sys.PredictHorizonsCtx(r.Context(), sensor, hs)
+	n.recordFailoverTrace(r, sensor, start, err)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "replica predict: "+err.Error())
 		return
@@ -495,9 +554,9 @@ func (b *bufferedResponse) Write(p []byte) (int, error) {
 }
 
 // forwardBulk ships one owner's partition of a bulk request.
-func (n *Node) forwardBulk(r *http.Request, owner Member, obs []ingest.Observation, key string) (ingest.BulkResult, error) {
+func (n *Node) forwardBulk(r *http.Request, owner Member, items []ingest.Observation, key string) (ingest.BulkResult, error) {
 	var res ingest.BulkResult
-	body, err := json.Marshal(server.BulkObserveRequest{Observations: obs})
+	body, err := json.Marshal(server.BulkObserveRequest{Observations: items})
 	if err != nil {
 		return res, err
 	}
@@ -508,6 +567,9 @@ func (n *Node) forwardBulk(r *http.Request, owner Member, obs []ingest.Observati
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(forwardedHeader, "1")
 	req.Header.Set(fromHeader, n.cfg.Self)
+	if tc, ok := obs.TraceFromContext(r.Context()); ok {
+		req.Header.Set(obs.TraceHeader, tc.Next().HeaderValue())
+	}
 	if key != "" {
 		// Derived key: each partition dedupes independently on retry.
 		req.Header.Set(server.IdempotencyKeyHeader, key+"/"+owner.ID)

@@ -4,6 +4,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"smiler/internal/obs"
 )
 
 // prober watches every peer's GET /readyz and declares a peer down
@@ -130,6 +132,14 @@ func (p *prober) record(id string, err error) {
 		st.failures = 0
 		st.lastErr = ""
 		st.lastOK = time.Now()
+		if !st.up {
+			p.n.sys.Events().Record(obs.Event{
+				Type: "peer_up", Detail: "peer " + id + " recovered",
+			})
+			if p.n.log != nil {
+				p.n.log.Info("cluster peer up", "peer", id)
+			}
+		}
 		st.up = true
 		return
 	}
@@ -138,6 +148,10 @@ func (p *prober) record(id string, err error) {
 	if st.up && st.failures >= p.n.cfg.ProbeFailures {
 		st.up = false
 		p.n.m.failovers.Inc()
+		p.n.sys.Events().Record(obs.Event{
+			Type: "failover", Severity: obs.SevError,
+			Detail: "peer " + id + " down after " + err.Error(),
+		})
 		if p.n.log != nil {
 			p.n.log.Warn("cluster peer down", "peer", id, "failures", st.failures, "err", err)
 		}

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+
+	"smiler/internal/obs"
 )
 
 // MigrateRequest is POST /cluster/migrate on the sensor's current
@@ -113,6 +115,10 @@ func (n *Node) handleMigrate(w http.ResponseWriter, r *http.Request) {
 	n.peerHeaders(post)
 	post.Header.Set(replSeqHeader, strconv.FormatUint(seq, 10))
 	post.Header.Set("Content-Type", "application/octet-stream")
+	tc, _ := obs.TraceFromContext(r.Context())
+	if tc.Valid() {
+		post.Header.Set(obs.TraceHeader, tc.Next().HeaderValue())
+	}
 	resp, err := n.hc.Do(post)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, "shipping snapshot: "+err.Error())
@@ -131,6 +137,10 @@ func (n *Node) handleMigrate(w http.ResponseWriter, r *http.Request) {
 	n.setAssign(req.Sensor, req.Target)
 	n.broadcastAssign(req.Sensor, req.Target)
 	n.m.migrations.Inc()
+	n.sys.Events().Record(obs.Event{
+		Type: "migration_cutover", Sensor: req.Sensor, TraceID: tc.ID,
+		Detail: "to " + req.Target + " at seq " + strconv.FormatUint(seq, 10),
+	})
 	if n.log != nil {
 		n.log.Info("sensor migrated", "sensor", req.Sensor, "to", req.Target, "seq", seq)
 	}
@@ -193,5 +203,10 @@ func (n *Node) handleAssign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n.setAssign(req.Sensor, req.Node)
+	tc, _ := obs.TraceFromContext(r.Context())
+	n.sys.Events().Record(obs.Event{
+		Type: "migration_assign", Sensor: req.Sensor, TraceID: tc.ID,
+		Detail: "owner override -> " + req.Node,
+	})
 	writeJSON(w, http.StatusOK, map[string]string{"sensor": req.Sensor, "node": req.Node})
 }

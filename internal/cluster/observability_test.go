@@ -1,0 +1,221 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"smiler/internal/cluster"
+	"smiler/internal/obs"
+	"smiler/internal/server"
+)
+
+// traceWithID scans a node's /debug/trace/{sensor} answer for a trace
+// carrying the distributed trace id. Returns nil when absent (or when
+// the node does not know the sensor yet).
+func traceWithID(t *testing.T, baseURL, sensor, traceID string) *obs.Trace {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/debug/trace/" + sensor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var traces []*obs.Trace
+	if err := jsonDecode(resp.Body, &traces); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range traces {
+		if tr.TraceID == traceID {
+			return tr
+		}
+	}
+	return nil
+}
+
+func spanNames(tr *obs.Trace) []string {
+	names := make([]string, 0, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		names = append(names, sp.Name)
+	}
+	return names
+}
+
+func hasSpan(tr *obs.Trace, name string) bool {
+	for _, sp := range tr.Spans {
+		if sp.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TestClusterTracePropagation: a forecast entering through a non-owner
+// is one distributed trace. The entry node's hop trace shows the
+// forward span with the owner's phase spans inlined; the owner's
+// prediction trace carries the same trace id at hop 1.
+func TestClusterTracePropagation(t *testing.T) {
+	nodes := newTestCluster(t, 3, nil)
+	const sensor = "trace-sensor"
+	hist := seasonal(rand.New(rand.NewSource(21)), 420)
+
+	owner := ownerOf(t, nodes, sensor)
+	entry := nonOwnerOf(t, nodes, sensor)
+	cl, err := server.NewClient(entry.ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AddSensor(sensor, hist[:400]); err != nil {
+		t.Fatal(err)
+	}
+	if !owner.sys.HasSensor(sensor) {
+		t.Fatal("registration did not reach the owner")
+	}
+
+	// Forecast through the entry node; the response echoes the minted
+	// trace context.
+	resp, err := http.Get(entry.ts.URL + "/sensors/" + sensor + "/forecast?h=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded forecast: HTTP %d", resp.StatusCode)
+	}
+	header := resp.Header.Get(obs.TraceHeader)
+	tc, ok := obs.ParseTraceContext(header)
+	if !ok {
+		t.Fatalf("response %s header %q did not parse", obs.TraceHeader, header)
+	}
+	if tc.Hop != 0 {
+		t.Fatalf("entry-minted trace hop = %d, want 0 (%q)", tc.Hop, header)
+	}
+
+	// Entry node: a hop trace with the forward span, owner spans inlined.
+	var entryTr *obs.Trace
+	waitFor(t, 5*time.Second, "forward hop trace on the entry node", func() bool {
+		entryTr = traceWithID(t, entry.ts.URL, sensor, tc.ID)
+		return entryTr != nil
+	})
+	if !hasSpan(entryTr, "forward") {
+		t.Fatalf("entry trace has no forward span: %v", spanNames(entryTr))
+	}
+	if entryTr.Node != entry.id {
+		t.Fatalf("entry trace node = %q, want %q", entryTr.Node, entry.id)
+	}
+	// The owner answered with a span summary, so the entry trace holds
+	// more than the forward span alone: the owner's phases are inlined.
+	if len(entryTr.Spans) < 2 {
+		t.Fatalf("owner spans not inlined on the entry trace: %v", spanNames(entryTr))
+	}
+
+	// Owner node: its own prediction trace under the same trace id,
+	// one hop downstream of the entry.
+	var ownerTr *obs.Trace
+	waitFor(t, 5*time.Second, "prediction trace on the owner node", func() bool {
+		ownerTr = traceWithID(t, owner.ts.URL, sensor, tc.ID)
+		return ownerTr != nil
+	})
+	if ownerTr.Hop != 1 {
+		t.Fatalf("owner trace hop = %d, want 1", ownerTr.Hop)
+	}
+	if ownerTr.Node != owner.id {
+		t.Fatalf("owner trace node = %q, want %q", ownerTr.Node, owner.id)
+	}
+	if len(ownerTr.Spans) == 0 {
+		t.Fatal("owner trace has no phase spans")
+	}
+}
+
+// eventsOf pulls a node's flight-recorder ring.
+func eventsOf(t *testing.T, baseURL string) []obs.Event {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/debug/events")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var er server.EventsResponse
+	if err := jsonDecode(resp.Body, &er); err != nil {
+		t.Fatal(err)
+	}
+	return er.Events
+}
+
+func hasEvent(evs []obs.Event, typ string, match func(obs.Event) bool) bool {
+	for _, ev := range evs {
+		if ev.Type == typ && (match == nil || match(ev)) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestClusterEventsMigrationAndFailover: the flight recorder captures
+// the cluster's control-plane incidents — a migration cutover on the
+// old owner, the ownership override on its peers, and a failover when
+// a member dies.
+func TestClusterEventsMigrationAndFailover(t *testing.T) {
+	nodes := newTestCluster(t, 3, nil)
+	const sensor = "events-sensor"
+	hist := seasonal(rand.New(rand.NewSource(22)), 420)
+
+	owner := ownerOf(t, nodes, sensor)
+	target := nonOwnerOf(t, nodes, sensor)
+	cl, err := server.NewClient(owner.ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AddSensor(sensor, hist[:400]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Migrate the sensor; the cutover must land in the old owner's ring.
+	body, err := json.Marshal(cluster.MigrateRequest{Sensor: sensor, Target: target.id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(owner.ts.URL+"/cluster/migrate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("migrate: HTTP %d", resp.StatusCode)
+	}
+	evs := eventsOf(t, owner.ts.URL)
+	if !hasEvent(evs, "migration_cutover", func(ev obs.Event) bool {
+		return ev.Sensor == sensor && strings.Contains(ev.Detail, target.id)
+	}) {
+		t.Fatalf("old owner has no migration_cutover event: %+v", evs)
+	}
+	waitFor(t, 5*time.Second, "migration_assign on the new owner", func() bool {
+		return hasEvent(eventsOf(t, target.ts.URL), "migration_assign", func(ev obs.Event) bool {
+			return ev.Sensor == sensor
+		})
+	})
+
+	// Kill a member; within the probe window the survivors record the
+	// failover at error severity.
+	var victim *testNode
+	for _, tn := range nodes {
+		if tn != owner && tn != target {
+			victim = tn
+		}
+	}
+	victim.ts.Close()
+	waitFor(t, 5*time.Second, "failover event on a survivor", func() bool {
+		return hasEvent(eventsOf(t, owner.ts.URL), "failover", func(ev obs.Event) bool {
+			return strings.Contains(ev.Detail, victim.id) && ev.Severity == obs.SevError
+		})
+	})
+}

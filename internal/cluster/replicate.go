@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"smiler/internal/obs"
 	"smiler/internal/wal"
 )
 
@@ -297,6 +298,14 @@ func (r *replicator) pushSnapshot(p *peerStream, sensor string) {
 		return // removed since the gap; the remove frame will catch up
 	}
 	r.n.m.resyncs.Inc()
+	// A resync is a divergence healing itself — worth a flight-recorder
+	// entry with a freshly minted trace id so the snapshot push and the
+	// peer's restore correlate across nodes.
+	tc := obs.TraceContext{ID: obs.NewTraceID(), Node: r.n.cfg.Self}
+	r.n.sys.Events().Record(obs.Event{
+		Type: "repl_resync", Severity: obs.SevWarn, Sensor: sensor, TraceID: tc.ID,
+		Detail: "snapshot push to " + p.id,
+	})
 	body, seq, err := r.n.snapshotSensor(sensor)
 	if err != nil {
 		if r.n.log != nil {
@@ -309,6 +318,7 @@ func (r *replicator) pushSnapshot(p *peerStream, sensor string) {
 		return
 	}
 	r.n.peerHeaders(req)
+	req.Header.Set(obs.TraceHeader, tc.Next().HeaderValue())
 	req.Header.Set(replSeqHeader, strconv.FormatUint(seq, 10))
 	req.Header.Set("Content-Type", "application/octet-stream")
 	resp, err := r.n.hc.Do(req)
@@ -427,14 +437,29 @@ func (n *Node) handleRestore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad %s header: %v", replSeqHeader, err))
 		return
 	}
+	start := time.Now()
 	ids, err := n.sys.RestoreSensorsFrom(http.MaxBytesReader(w, r.Body, 256<<20))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "restore failed: "+err.Error())
 		return
 	}
+	tc, traced := obs.TraceFromContext(r.Context())
 	for _, id := range ids {
 		n.repl.setSeq(id, seq)
 		n.srv.Pipeline().Invalidate(id)
+		// Record the receiving side of the snapshot push under the
+		// sender's trace id, as a "replicate" hop span.
+		if store := n.sys.Traces(); store != nil && traced && tc.Valid() {
+			tr := obs.NewTrace(id)
+			tr.SetContext(tc)
+			tr.AddSpan("replicate", "restore from "+r.Header.Get(fromHeader), 0, time.Since(start))
+			tr.Finish(nil)
+			store.Add(tr)
+		}
 	}
+	n.sys.Events().Record(obs.Event{
+		Type: "repl_restore", TraceID: tc.ID,
+		Detail: fmt.Sprintf("restored %d sensor(s) from %s at seq %d", len(ids), r.Header.Get(fromHeader), seq),
+	})
 	writeJSON(w, http.StatusOK, map[string]any{"restored": ids, "seq": seq})
 }

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -57,8 +58,10 @@ func newCoalescer(sys System) *coalescer {
 // forecast returns the (id, h) forecast, serving it from the cache
 // when the sensor has not been observed since it was computed, and
 // otherwise computing it at most once no matter how many callers ask
-// concurrently.
-func (c *coalescer) forecast(id string, h int) (smiler.Forecast, error) {
+// concurrently. ctx carries request-scoped values (the distributed
+// trace context) into the computation this caller starts; followers
+// piggyback on the leader's flight and its ctx.
+func (c *coalescer) forecast(ctx context.Context, id string, h int) (smiler.Forecast, error) {
 	key := flightKey{id: id, h: h}
 	c.mu.Lock()
 	if f, ok := c.cache[id][h]; ok {
@@ -77,7 +80,7 @@ func (c *coalescer) forecast(id string, h int) (smiler.Forecast, error) {
 	c.mu.Unlock()
 
 	c.misses.Add(1)
-	f, err := c.safePredict(id, h)
+	f, err := c.safePredict(ctx, id, h)
 
 	c.mu.Lock()
 	delete(c.flights, key)
@@ -102,16 +105,25 @@ func (c *coalescer) forecast(id string, h int) (smiler.Forecast, error) {
 	return f, err
 }
 
+// ctxPredictor is the optional context-aware prediction capability:
+// *smiler.System implements it, test fakes need not.
+type ctxPredictor interface {
+	PredictCtx(ctx context.Context, id string, h int) (smiler.Forecast, error)
+}
+
 // safePredict runs the system's Predict with a panic guard: a panic
 // inside the prediction pipeline fails this flight (all coalesced
 // followers see the error) instead of killing the process.
-func (c *coalescer) safePredict(id string, h int) (f smiler.Forecast, err error) {
+func (c *coalescer) safePredict(ctx context.Context, id string, h int) (f smiler.Forecast, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			c.panics.Add(1)
 			f, err = smiler.Forecast{}, fmt.Errorf("ingest: recovered panic in forecast: %v", r)
 		}
 	}()
+	if p, ok := c.sys.(ctxPredictor); ok && ctx != nil {
+		return p.PredictCtx(ctx, id, h)
+	}
 	return c.sys.Predict(id, h)
 }
 

@@ -25,6 +25,7 @@
 package ingest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -284,7 +285,16 @@ func (p *Pipeline) ObserveBulk(obs []Observation) BulkResult {
 // coalescing layer: cached until the sensor's next observation, and
 // computed at most once across concurrent identical requests.
 func (p *Pipeline) Forecast(id string, h int) (smiler.Forecast, error) {
-	return p.co.forecast(id, h)
+	return p.co.forecast(context.Background(), id, h)
+}
+
+// ForecastCtx is Forecast with a caller context: its values (notably
+// the distributed trace context) reach the prediction when this call
+// starts the computation. Cancellation semantics are the caller's
+// choice — a coalesced flight outlives any single follower, so pass a
+// context whose cancellation you are willing to share.
+func (p *Pipeline) ForecastCtx(ctx context.Context, id string, h int) (smiler.Forecast, error) {
+	return p.co.forecast(ctx, id, h)
 }
 
 // SetOnApplied installs (or clears, with nil) the post-apply hook at

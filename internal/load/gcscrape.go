@@ -1,0 +1,140 @@
+package load
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// GCWindow correlates one progress window of the steady phase with the
+// GC activity each target reported over the same window: the delta of
+// the node's smiler_runtime_gc_pause_seconds histogram (sum and count)
+// next to the window's forecast latency percentiles and throughput.
+// Lined up across windows, the series answers "do the latency spikes
+// coincide with GC pauses?" directly from BENCH_cluster.json.
+type GCWindow struct {
+	// TS is the window's end offset from the run start, in seconds.
+	TS     float64 `json:"t_s"`
+	Target string  `json:"target"`
+	// GCPauseS / GCPauses are the target's stop-the-world pause seconds
+	// and pause count accumulated during this window.
+	GCPauseS float64 `json:"gc_pause_s"`
+	GCPauses uint64  `json:"gc_pauses"`
+	// Window-local latency and load, shared across the targets of one
+	// window (the loader does not attribute ops to targets).
+	ForecastP50Ms float64 `json:"forecast_p50_ms,omitempty"`
+	ForecastP99Ms float64 `json:"forecast_p99_ms,omitempty"`
+	OpsPerS       float64 `json:"ops_per_s"`
+	// ScrapeError notes a failed or incomplete /metrics scrape; the
+	// window is still recorded so gaps are visible, not silent.
+	ScrapeError string `json:"scrape_error,omitempty"`
+}
+
+// gcSample is one target's cumulative GC-pause reading.
+type gcSample struct {
+	sum   float64
+	count uint64
+}
+
+// gcScraper pulls smiler_runtime_gc_pause_seconds off each target's
+// /metrics endpoint and differences consecutive readings into
+// per-window deltas. Scrapes run on the progress reporter goroutine
+// only, so the state needs no locking.
+type gcScraper struct {
+	hc     *http.Client
+	prev   map[string]gcSample
+	seeded map[string]bool
+}
+
+func newGCScraper() *gcScraper {
+	return &gcScraper{
+		hc:     &http.Client{Timeout: 3 * time.Second},
+		prev:   make(map[string]gcSample),
+		seeded: make(map[string]bool),
+	}
+}
+
+// scrape reads the target's cumulative GC pause sum and count.
+func (g *gcScraper) scrape(target string) (gcSample, error) {
+	resp, err := g.hc.Get(strings.TrimSuffix(target, "/") + "/metrics")
+	if err != nil {
+		return gcSample{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return gcSample{}, fmt.Errorf("metrics answered HTTP %d", resp.StatusCode)
+	}
+	var s gcSample
+	foundSum, foundCount := false, false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if v, ok := metricValue(line, "smiler_runtime_gc_pause_seconds_sum"); ok {
+			s.sum = v
+			foundSum = true
+		} else if v, ok := metricValue(line, "smiler_runtime_gc_pause_seconds_count"); ok {
+			s.count = uint64(v)
+			foundCount = true
+		}
+		if foundSum && foundCount {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return gcSample{}, err
+	}
+	if !foundSum || !foundCount {
+		return gcSample{}, fmt.Errorf("smiler_runtime_gc_pause_seconds not exposed")
+	}
+	return s, nil
+}
+
+// metricValue parses "name value" exposition lines for an unlabeled
+// metric, rejecting prefixes of longer names ("..._sum" must not match
+// "..._summary").
+func metricValue(line, name string) (float64, bool) {
+	rest, ok := strings.CutPrefix(line, name)
+	if !ok || len(rest) == 0 || rest[0] != ' ' {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// window differences the target's current reading against the previous
+// one. The first reading only seeds the baseline (ok=false): there is
+// no window to attribute its cumulative total to.
+func (g *gcScraper) window(target string) (pauseS float64, pauses uint64, err error, ok bool) {
+	cur, err := g.scrape(target)
+	if err != nil {
+		// Drop the baseline: after a failed scrape the next delta would
+		// span two windows, which is exactly the smearing this per-window
+		// series exists to avoid.
+		g.seeded[target] = false
+		return 0, 0, err, true
+	}
+	if !g.seeded[target] {
+		g.prev[target] = cur
+		g.seeded[target] = true
+		return 0, 0, nil, false
+	}
+	prev := g.prev[target]
+	g.prev[target] = cur
+	pauseS = cur.sum - prev.sum
+	if cur.count >= prev.count {
+		pauses = cur.count - prev.count
+	}
+	if pauseS < 0 {
+		pauseS = 0 // target restarted mid-run; counters reset
+	}
+	return pauseS, pauses, nil, true
+}

@@ -1,0 +1,90 @@
+package load
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGCScraperWindows(t *testing.T) {
+	var sum atomic.Uint64 // milli-seconds of cumulative pause
+	var count atomic.Uint64
+	var fail atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		if fail.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintf(w, "# HELP smiler_runtime_gc_pause_seconds ...\n")
+		fmt.Fprintf(w, "smiler_runtime_gc_pause_seconds_summary 99\n") // prefix trap
+		fmt.Fprintf(w, "smiler_runtime_gc_pause_seconds_sum %g\n", float64(sum.Load())/1000)
+		fmt.Fprintf(w, "smiler_runtime_gc_pause_seconds_count %d\n", count.Load())
+	}))
+	defer ts.Close()
+
+	g := newGCScraper()
+
+	// First reading seeds the baseline: no window yet.
+	sum.Store(100)
+	count.Store(2)
+	if _, _, err, ok := g.window(ts.URL); err != nil || ok {
+		t.Fatalf("seed reading: err=%v ok=%v, want nil false", err, ok)
+	}
+
+	// Second reading yields the delta.
+	sum.Store(150)
+	count.Store(3)
+	pauseS, pauses, err, ok := g.window(ts.URL)
+	if err != nil || !ok {
+		t.Fatalf("window: err=%v ok=%v", err, ok)
+	}
+	if pauseS < 0.0499 || pauseS > 0.0501 || pauses != 1 {
+		t.Fatalf("delta = %gs/%d pauses, want 0.05s/1", pauseS, pauses)
+	}
+
+	// A failed scrape reports the error and drops the baseline, so the
+	// next success seeds again instead of smearing two windows into one.
+	fail.Store(true)
+	if _, _, err, ok := g.window(ts.URL); err == nil || !ok {
+		t.Fatalf("failed scrape: err=%v ok=%v, want error true", err, ok)
+	}
+	fail.Store(false)
+	sum.Store(400)
+	count.Store(9)
+	if _, _, err, ok := g.window(ts.URL); err != nil || ok {
+		t.Fatalf("post-failure reading must re-seed: err=%v ok=%v", err, ok)
+	}
+	sum.Store(410)
+	count.Store(10)
+	pauseS, pauses, err, ok = g.window(ts.URL)
+	if err != nil || !ok || pauses != 1 || pauseS > 0.0101 {
+		t.Fatalf("post-reseed delta = %gs/%d (err=%v ok=%v), want 0.01s/1", pauseS, pauses, err, ok)
+	}
+
+	// A counter reset (target restart) clamps to zero, not negative.
+	sum.Store(5)
+	count.Store(0)
+	pauseS, pauses, _, _ = g.window(ts.URL)
+	if pauseS < 0 || pauses != 0 {
+		t.Fatalf("reset delta = %gs/%d, want clamped to 0", pauseS, pauses)
+	}
+}
+
+func TestMetricValue(t *testing.T) {
+	if _, ok := metricValue("smiler_runtime_gc_pause_seconds_summary 9", "smiler_runtime_gc_pause_seconds_sum"); ok {
+		t.Fatal("prefix of a longer name must not match")
+	}
+	v, ok := metricValue("smiler_runtime_gc_pause_seconds_sum 0.25", "smiler_runtime_gc_pause_seconds_sum")
+	if !ok || v != 0.25 {
+		t.Fatalf("metricValue = %g, %v", v, ok)
+	}
+	if _, ok := metricValue("smiler_runtime_gc_pause_seconds_sum x", "smiler_runtime_gc_pause_seconds_sum"); ok {
+		t.Fatal("non-numeric value must not parse")
+	}
+}

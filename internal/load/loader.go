@@ -41,6 +41,13 @@ type Loader struct {
 	deadMu sync.Mutex
 	dead   map[int]bool
 
+	// gc correlates each steady-phase progress window with the targets'
+	// GC pause activity (scraped off /metrics); gcWindows accumulates
+	// the series for the report. Both are touched only by the progress
+	// reporter goroutine until Run collects them after it stops.
+	gc        *gcScraper
+	gcWindows []GCWindow
+
 	setup *SetupSummary
 }
 
@@ -463,6 +470,9 @@ func (l *Loader) Run(ctx context.Context) (*Report, error) {
 		report.SLOs, report.Violations = evaluate(l.cfg.SLOs, ss)
 	}
 	report.DistinctSensors = l.distinctTouched()
+	// Safe to read directly: the progress reporter (sole writer) has
+	// exited by the time progressDone is closed.
+	report.GCWindows = l.gcWindows
 	if err := ctx.Err(); err != nil {
 		return report, err
 	}
@@ -501,6 +511,40 @@ func (l *Loader) printProgress(started time.Time, total time.Duration) {
 	line += fmt.Sprintf(" | err=%d degraded=%d shed=%d inflight=%d",
 		sum.Total.Errors, sum.Total.Degraded, shed, l.inflight.Load())
 	fmt.Fprintln(l.cfg.Progress, line)
+	if phaseName == "steady" {
+		l.recordGCWindows(started, now, sum)
+	}
+}
+
+// recordGCWindows scrapes every target's GC pause counters and pairs
+// the per-window deltas with the window's latency figures. Scrape
+// failures are recorded on the window, never fatal: the loader must
+// keep driving load even when a target's /metrics is down or disabled.
+func (l *Loader) recordGCWindows(started, now time.Time, sum PhaseSummary) {
+	if l.gc == nil {
+		l.gc = newGCScraper()
+	}
+	fc := sum.Ops[OpForecast.String()]
+	for _, t := range l.cfg.Targets {
+		w := GCWindow{
+			TS:            now.Sub(started).Seconds(),
+			Target:        t,
+			ForecastP50Ms: fc.P50Ms,
+			ForecastP99Ms: fc.P99Ms,
+			OpsPerS:       sum.Total.Throughput,
+		}
+		pauseS, pauses, err, ok := l.gc.window(t)
+		if !ok {
+			continue // first reading: baseline only
+		}
+		if err != nil {
+			w.ScrapeError = err.Error()
+		} else {
+			w.GCPauseS = pauseS
+			w.GCPauses = pauses
+		}
+		l.gcWindows = append(l.gcWindows, w)
+	}
 }
 
 func ms(v float64) string {

@@ -36,6 +36,12 @@ type Report struct {
 	// DistinctSensors counts sensors hit by at least one op during the
 	// run — the substantiation of a "drove N sensors" claim.
 	DistinctSensors int `json:"distinct_sensors"`
+
+	// GCWindows is the steady-phase GC-pause vs. latency series: one
+	// entry per (progress window, target), pairing the target's GC
+	// pause deltas with the window's forecast percentiles. Empty when
+	// progress reporting is off or the run never reached steady state.
+	GCWindows []GCWindow `json:"gc_windows,omitempty"`
 }
 
 // WorkloadInfo is the reproducibility block of a report.

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventRingRecordAndSince(t *testing.T) {
+	reg := NewRegistry()
+	r := NewEventRing(4, reg)
+	r.SetNode("n1")
+	r.Record(Event{Type: "failover", Severity: SevError, Detail: "peer down"})
+	r.Record(Event{Type: "checkpoint"})
+	if got := r.LastSeq(); got != 2 {
+		t.Fatalf("LastSeq = %d, want 2", got)
+	}
+	evs := r.Since(0, 0)
+	if len(evs) != 2 {
+		t.Fatalf("Since(0) = %d events, want 2", len(evs))
+	}
+	if evs[0].Seq != 1 || evs[0].Type != "failover" || evs[0].Severity != SevError {
+		t.Fatalf("first event = %+v", evs[0])
+	}
+	if evs[1].Severity != SevInfo {
+		t.Fatalf("default severity = %q, want info", evs[1].Severity)
+	}
+	for _, ev := range evs {
+		if ev.Node != "n1" {
+			t.Fatalf("node not stamped: %+v", ev)
+		}
+		if ev.Time.IsZero() {
+			t.Fatalf("time not stamped: %+v", ev)
+		}
+	}
+	if got := r.Since(1, 0); len(got) != 1 || got[0].Seq != 2 {
+		t.Fatalf("Since(1) = %+v", got)
+	}
+
+	// Overflow: the ring keeps only the newest capacity events.
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Type: "filler"})
+	}
+	evs = r.Since(0, 0)
+	if len(evs) != 4 {
+		t.Fatalf("after overflow Since = %d events, want capacity 4", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("events out of order: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	if evs[len(evs)-1].Seq != 12 {
+		t.Fatalf("newest seq = %d, want 12", evs[len(evs)-1].Seq)
+	}
+
+	// The counter saw every record, labeled by type and severity.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`smiler_events_total{type="failover",severity="error"} 1`,
+		`smiler_events_total{type="filler",severity="info"} 10`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestEventRingWriteTo(t *testing.T) {
+	r := NewEventRing(8, nil)
+	r.SetNode("n2")
+	r.Record(Event{Type: "wal_replay", Sensor: "s1", TraceID: "deadbeef", Detail: "records=3"})
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	line := b.String()
+	for _, want := range []string{"[info]", "wal_replay", "node=n2", "sensor=s1", "trace=deadbeef", "records=3"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("dump missing %q: %s", want, line)
+		}
+	}
+}
+
+func TestEventRingNil(t *testing.T) {
+	var r *EventRing
+	r.SetNode("x")
+	if seq := r.Record(Event{Type: "t"}); seq != 0 {
+		t.Fatalf("nil Record = %d", seq)
+	}
+	if r.LastSeq() != 0 || r.Since(0, 0) != nil {
+		t.Fatal("nil ring not inert")
+	}
+	if _, err := r.WriteTo(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEventRingConcurrent races writers against readers; run under
+// -race this is the proof the lock-free ring is sound.
+func TestEventRingConcurrent(t *testing.T) {
+	r := NewEventRing(32, nil)
+	const writers, perWriter, readers = 8, 500, 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				evs := r.Since(0, 0)
+				for j := 1; j < len(evs); j++ {
+					if evs[j].Seq <= evs[j-1].Seq {
+						t.Errorf("reader saw out-of-order seqs %d, %d", evs[j-1].Seq, evs[j].Seq)
+						return
+					}
+				}
+				if _, err := r.WriteTo(io.Discard); err != nil {
+					t.Errorf("WriteTo: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		ww.Add(1)
+		go func(id int) {
+			defer ww.Done()
+			for j := 0; j < perWriter; j++ {
+				r.Record(Event{Type: "race", Detail: "w"})
+			}
+		}(i)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := r.LastSeq(); got != writers*perWriter {
+		t.Fatalf("LastSeq = %d, want %d", got, writers*perWriter)
+	}
+	evs := r.Since(0, 0)
+	if len(evs) != 32 {
+		t.Fatalf("retained = %d, want capacity 32", len(evs))
+	}
+}

@@ -61,6 +61,28 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveN records the value n times in one shot — the bulk path for
+// bridging cumulative runtime histograms, where one sampling interval
+// can carry thousands of scheduler-latency events.
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if h == nil || n == 0 || math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(n)
+	h.count.Add(n)
+	for {
+		old := h.sumBit.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v*float64(n))
+		if h.sumBit.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Count returns the number of observations (0 on nil).
 func (h *Histogram) Count() uint64 {
 	if h == nil {

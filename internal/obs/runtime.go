@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	rtm "runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// GCPauseBuckets are the bucket bounds of the GC pause and scheduling
+// latency histograms: 10µs to 2.5s in roughly ×2.5 steps. GC pauses
+// live in the tens-of-µs to tens-of-ms range; the upper decades exist
+// to catch the multi-second mark-assist stalls docs/PERF.md measured
+// at 10⁵ resident sensors.
+var GCPauseBuckets = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// DefaultRuntimeInterval is the background sampling period of the
+// runtime telemetry when none is configured.
+const DefaultRuntimeInterval = 10 * time.Second
+
+// minRuntimeRefresh rate-limits scrape-triggered sampling: a scrape
+// storm costs at most one runtime/metrics read per this interval.
+const minRuntimeRefresh = time.Second
+
+// Names of the runtime/metrics samples the sampler bridges.
+const (
+	rmGCPauses   = "/gc/pauses:seconds"
+	rmSchedLat   = "/sched/latencies:seconds"
+	rmHeapLive   = "/gc/heap/live:bytes"
+	rmHeapGoal   = "/gc/heap/goal:bytes"
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmGCCycles   = "/gc/cycles/total:gc-cycles"
+	rmAssistCPU  = "/cpu/classes/gc/mark/assist:cpu-seconds"
+)
+
+// RuntimeStats is a point-in-time view of the headline runtime
+// telemetry, cheap enough for /healthz (atomic loads, no
+// runtime/metrics read).
+type RuntimeStats struct {
+	// LastGCPauseMs is the stop-the-world duration of the most recent
+	// GC cycle, in milliseconds (0 before the first GC).
+	LastGCPauseMs float64
+	// HeapLiveBytes is the live heap after the last GC mark phase.
+	HeapLiveBytes uint64
+	// HeapGoalBytes is the heap size the pacer is steering toward.
+	HeapGoalBytes uint64
+	// Goroutines is the live goroutine count.
+	Goroutines uint64
+	// GCCycles counts completed GC cycles since process start.
+	GCCycles uint64
+}
+
+// RuntimeSampler bridges runtime/metrics into the registry: GC pause
+// and scheduler latency distributions (diffed from the runtime's
+// cumulative histograms into obs Histograms), heap live/goal gauges,
+// goroutine count, GC cycle count, and the CPU fraction spent in GC
+// mark assists — the signal behind the docs/PERF.md latency cliff.
+// Gauges refresh lazily at scrape time (rate-limited) plus on a
+// background ticker, so values stay fresh even when nobody scrapes.
+// A nil *RuntimeSampler accepts the full API as a no-op.
+type RuntimeSampler struct {
+	pause *Histogram // smiler_runtime_gc_pause_seconds
+	sched *Histogram // smiler_runtime_sched_latency_seconds
+
+	mu         sync.Mutex // serializes Sample (prev-state diffing)
+	samples    []rtm.Sample
+	prevPause  []uint64
+	prevSched  []uint64
+	prevAssist float64
+	prevWall   time.Time
+
+	lastSample atomic.Int64 // unix nanos of the last Sample
+
+	heapLive    atomic.Uint64
+	heapGoal    atomic.Uint64
+	goroutines  atomic.Uint64
+	gcCycles    atomic.Uint64
+	assistBits  atomic.Uint64 // float64 bits, cumulative assist cpu-seconds
+	assistFrac  atomic.Uint64 // float64 bits, assist CPU fraction over the last window
+	lastPauseNs atomic.Uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewRuntimeSampler builds the sampler, registers its instruments on
+// reg and takes one initial sample. Returns nil on a nil registry so
+// a disabled system carries no sampler at all.
+func NewRuntimeSampler(reg *Registry) *RuntimeSampler {
+	if reg == nil {
+		return nil
+	}
+	s := &RuntimeSampler{
+		pause: reg.Histogram("smiler_runtime_gc_pause_seconds",
+			"Distribution of GC stop-the-world pauses.", GCPauseBuckets),
+		sched: reg.Histogram("smiler_runtime_sched_latency_seconds",
+			"Distribution of goroutine scheduling latencies.", GCPauseBuckets),
+		samples: []rtm.Sample{
+			{Name: rmGCPauses},
+			{Name: rmSchedLat},
+			{Name: rmHeapLive},
+			{Name: rmHeapGoal},
+			{Name: rmGoroutines},
+			{Name: rmGCCycles},
+			{Name: rmAssistCPU},
+		},
+		stop: make(chan struct{}),
+	}
+	reg.GaugeFunc("smiler_runtime_heap_live_bytes",
+		"Live heap after the last GC mark phase.",
+		func() float64 { s.maybeSample(); return float64(s.heapLive.Load()) })
+	reg.GaugeFunc("smiler_runtime_heap_goal_bytes",
+		"Heap size the GC pacer is steering toward.",
+		func() float64 { s.maybeSample(); return float64(s.heapGoal.Load()) })
+	reg.GaugeFunc("smiler_runtime_goroutines",
+		"Live goroutines.",
+		func() float64 { s.maybeSample(); return float64(s.goroutines.Load()) })
+	reg.CounterFunc("smiler_runtime_gc_cycles_total",
+		"Completed GC cycles.",
+		func() float64 { s.maybeSample(); return float64(s.gcCycles.Load()) })
+	reg.CounterFunc("smiler_runtime_gc_assist_cpu_seconds_total",
+		"Cumulative CPU seconds user goroutines spent assisting the GC mark phase.",
+		func() float64 { s.maybeSample(); return math.Float64frombits(s.assistBits.Load()) })
+	reg.GaugeFunc("smiler_runtime_gc_assist_fraction",
+		"Fraction of available CPU spent in GC mark assists over the last sampling window.",
+		func() float64 { s.maybeSample(); return math.Float64frombits(s.assistFrac.Load()) })
+	reg.GaugeFunc("smiler_runtime_last_gc_pause_seconds",
+		"Duration of the most recent GC stop-the-world pause.",
+		func() float64 { s.maybeSample(); return float64(s.lastPauseNs.Load()) / 1e9 })
+	s.Sample()
+	return s
+}
+
+// Start launches the background sampling loop (interval <= 0 takes
+// DefaultRuntimeInterval). Nil-safe; call Stop to end the loop.
+func (s *RuntimeSampler) Start(interval time.Duration) {
+	if s == nil {
+		return
+	}
+	if interval <= 0 {
+		interval = DefaultRuntimeInterval
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.Sample()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop ends the background loop (idempotent, nil-safe). The sampler
+// keeps answering scrape-time refreshes afterwards.
+func (s *RuntimeSampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+// maybeSample refreshes the telemetry unless a sample already ran
+// within minRuntimeRefresh — the scrape-time path.
+func (s *RuntimeSampler) maybeSample() {
+	if s == nil {
+		return
+	}
+	if time.Since(time.Unix(0, s.lastSample.Load())) < minRuntimeRefresh {
+		return
+	}
+	s.Sample()
+}
+
+// Sample reads runtime/metrics once and folds the deltas into the
+// registry instruments. Safe for concurrent use; nil-safe.
+func (s *RuntimeSampler) Sample() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	rtm.Read(s.samples)
+	for i := range s.samples {
+		sm := &s.samples[i]
+		switch sm.Name {
+		case rmGCPauses:
+			if sm.Value.Kind() == rtm.KindFloat64Histogram {
+				s.prevPause = bridgeHistogram(s.pause, sm.Value.Float64Histogram(), s.prevPause)
+			}
+		case rmSchedLat:
+			if sm.Value.Kind() == rtm.KindFloat64Histogram {
+				s.prevSched = bridgeHistogram(s.sched, sm.Value.Float64Histogram(), s.prevSched)
+			}
+		case rmHeapLive:
+			if sm.Value.Kind() == rtm.KindUint64 {
+				s.heapLive.Store(sm.Value.Uint64())
+			}
+		case rmHeapGoal:
+			if sm.Value.Kind() == rtm.KindUint64 {
+				s.heapGoal.Store(sm.Value.Uint64())
+			}
+		case rmGoroutines:
+			if sm.Value.Kind() == rtm.KindUint64 {
+				s.goroutines.Store(sm.Value.Uint64())
+			}
+		case rmGCCycles:
+			if sm.Value.Kind() == rtm.KindUint64 {
+				s.gcCycles.Store(sm.Value.Uint64())
+			}
+		case rmAssistCPU:
+			if sm.Value.Kind() == rtm.KindFloat64 {
+				assist := sm.Value.Float64()
+				s.assistBits.Store(math.Float64bits(assist))
+				if !s.prevWall.IsZero() {
+					if window := now.Sub(s.prevWall).Seconds() * float64(runtime.GOMAXPROCS(0)); window > 0 {
+						frac := (assist - s.prevAssist) / window
+						if frac < 0 {
+							frac = 0
+						}
+						s.assistFrac.Store(math.Float64bits(frac))
+					}
+				}
+				s.prevAssist = assist
+			}
+		}
+	}
+	s.prevWall = now
+	// runtime/metrics has no "most recent pause" sample; MemStats does.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.NumGC > 0 {
+		s.lastPauseNs.Store(ms.PauseNs[(ms.NumGC+255)%256])
+	}
+	s.lastSample.Store(now.UnixNano())
+}
+
+// Stats returns the headline snapshot for /healthz (atomic loads only,
+// no runtime/metrics read beyond the rate-limited refresh).
+func (s *RuntimeSampler) Stats() RuntimeStats {
+	if s == nil {
+		return RuntimeStats{}
+	}
+	s.maybeSample()
+	return RuntimeStats{
+		LastGCPauseMs: float64(s.lastPauseNs.Load()) / 1e6,
+		HeapLiveBytes: s.heapLive.Load(),
+		HeapGoalBytes: s.heapGoal.Load(),
+		Goroutines:    s.goroutines.Load(),
+		GCCycles:      s.gcCycles.Load(),
+	}
+}
+
+// bridgeHistogram folds the growth of a cumulative runtime histogram
+// since prev into h, observing each new sample at its bucket midpoint,
+// and returns the updated cumulative counts for the next diff.
+func bridgeHistogram(h *Histogram, src *rtm.Float64Histogram, prev []uint64) []uint64 {
+	if src == nil {
+		return prev
+	}
+	if len(prev) != len(src.Counts) {
+		prev = make([]uint64, len(src.Counts))
+		// First sight of this histogram: everything accumulated before
+		// the sampler existed counts as new (process start ≈ sampler
+		// start in practice).
+	}
+	for i, c := range src.Counts {
+		d := c - prev[i]
+		if d == 0 || d > c { // d > c: the runtime reset (cannot happen today; be safe)
+			prev[i] = c
+			continue
+		}
+		lo, hi := src.Buckets[i], src.Buckets[i+1]
+		mid := (lo + hi) / 2
+		switch {
+		case math.IsInf(lo, -1):
+			mid = hi / 2
+		case math.IsInf(hi, 1):
+			mid = lo
+		}
+		h.ObserveN(mid, d)
+		prev[i] = c
+	}
+	return prev
+}

@@ -32,7 +32,28 @@ type Trace struct {
 	Stats    map[string]float64 `json:"stats,omitempty"`
 	Error    string             `json:"error,omitempty"`
 
+	// TraceID, Node and Hop tie node-local traces into one distributed
+	// trace: every hop of a forwarded request records a trace carrying
+	// the same 128-bit id, its own node name and its hop depth (0 = the
+	// entry node). Empty/zero for purely local work predating a trace
+	// context.
+	TraceID string `json:"trace_id,omitempty"`
+	Node    string `json:"node,omitempty"`
+	Hop     int    `json:"hop,omitempty"`
+
 	start time.Time
+}
+
+// SetContext stamps a distributed trace context onto the trace.
+// Nil-safe; a zero context is ignored.
+func (t *Trace) SetContext(tc TraceContext) {
+	if t == nil || !tc.Valid() {
+		return
+	}
+	t.TraceID, t.Hop = tc.ID, tc.Hop
+	if tc.Node != "" {
+		t.Node = tc.Node
+	}
 }
 
 // NewTrace starts a trace for one prediction over the given horizons.
@@ -44,6 +65,14 @@ func NewTrace(sensor string, horizons ...int) *Trace {
 		Start:    now,
 		start:    now,
 	}
+}
+
+// ID returns the distributed trace id ("" on nil or untraced).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.TraceID
 }
 
 // StartSpan opens a span and returns its closer. Nil-safe: on a nil

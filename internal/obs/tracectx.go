@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// TraceHeader is the HTTP header carrying the distributed trace
+// context between cluster nodes: "<32 hex chars>;hop=<n>".
+const TraceHeader = "X-Smiler-Trace"
+
+// SpanSummaryHeader is the response header a downstream node uses to
+// return a compact summary of the spans it recorded while serving a
+// forwarded request, so the entry node can inline them into its own
+// hop trace (see EncodeSpans).
+const SpanSummaryHeader = "X-Smiler-Spans"
+
+// TraceContext identifies one hop of a distributed trace: a 128-bit
+// trace id shared by every node the request touches, the hop depth
+// (0 at the entry node, +1 per forward), and the local node handling
+// this hop. Node is node-local bookkeeping and is not propagated.
+type TraceContext struct {
+	ID   string
+	Hop  int
+	Node string
+}
+
+// Valid reports whether the context carries a trace id.
+func (tc TraceContext) Valid() bool { return tc.ID != "" }
+
+// HeaderValue formats the context for the TraceHeader.
+func (tc TraceContext) HeaderValue() string {
+	return tc.ID + ";hop=" + strconv.Itoa(tc.Hop)
+}
+
+// Next returns the context the next hop should carry.
+func (tc TraceContext) Next() TraceContext {
+	return TraceContext{ID: tc.ID, Hop: tc.Hop + 1}
+}
+
+// ParseTraceContext parses a TraceHeader value ("id" or "id;hop=n").
+// The id must be 32 hex characters; anything else is rejected so a
+// hostile or corrupt header cannot inject arbitrary strings into
+// traces and logs.
+func ParseTraceContext(v string) (TraceContext, bool) {
+	id, rest, _ := strings.Cut(v, ";")
+	if len(id) != 32 {
+		return TraceContext{}, false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return TraceContext{}, false
+		}
+	}
+	tc := TraceContext{ID: id}
+	if rest != "" {
+		h, ok := strings.CutPrefix(rest, "hop=")
+		if !ok {
+			return TraceContext{}, false
+		}
+		n, err := strconv.Atoi(h)
+		if err != nil || n < 0 || n > 64 {
+			return TraceContext{}, false
+		}
+		tc.Hop = n
+	}
+	return tc, true
+}
+
+// traceSeed is 8 bytes of boot randomness; combined with a process
+// counter it yields unique 128-bit ids without a per-request
+// crypto/rand read on the request hot path.
+var traceSeed = func() [8]byte {
+	var b [8]byte
+	_, _ = rand.Read(b[:])
+	return b
+}()
+
+var traceCtr atomic.Uint64
+
+// NewTraceID mints a 128-bit trace id as 32 lowercase hex characters.
+func NewTraceID() string {
+	var b [16]byte
+	copy(b[:8], traceSeed[:])
+	binary.BigEndian.PutUint64(b[8:], traceCtr.Add(1))
+	return hex.EncodeToString(b[:])
+}
+
+type traceCtxKey struct{}
+
+// ContextWithTrace attaches the trace context to ctx.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFromContext extracts the trace context attached by
+// ContextWithTrace, reporting whether one was present.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok && tc.Valid()
+}
+
+// maxSummarySpans bounds the span-summary response header — traces of
+// a multi-horizon prediction can carry one fit span per ensemble cell,
+// and response headers should stay small.
+const maxSummarySpans = 32
+
+// EncodeSpans renders spans for the SpanSummaryHeader:
+// "name:offset_s:duration_s" triples joined by commas, details
+// dropped. At most maxSummarySpans spans are encoded.
+func EncodeSpans(spans []Span) string {
+	if len(spans) > maxSummarySpans {
+		spans = spans[:maxSummarySpans]
+	}
+	var b strings.Builder
+	for i, sp := range spans {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strings.Map(spanNameSafe, sp.Name))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatFloat(sp.OffsetS, 'g', 6, 64))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatFloat(sp.Duration, 'g', 6, 64))
+	}
+	return b.String()
+}
+
+// spanNameSafe keeps span names header- and format-safe.
+func spanNameSafe(r rune) rune {
+	switch {
+	case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+		return r
+	default:
+		return '_'
+	}
+}
+
+// DecodeSpans parses an EncodeSpans value back into spans. Malformed
+// entries are skipped — the header crosses a network boundary.
+func DecodeSpans(s string) []Span {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]Span, 0, len(parts))
+	for _, p := range parts {
+		fields := strings.SplitN(p, ":", 3)
+		if len(fields) != 3 || fields[0] == "" {
+			continue
+		}
+		off, err1 := strconv.ParseFloat(fields[1], 64)
+		dur, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		out = append(out, Span{Name: fields[0], OffsetS: off, Duration: dur})
+	}
+	return out
+}

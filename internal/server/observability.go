@@ -2,6 +2,7 @@ package server
 
 import (
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -29,10 +30,12 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 
 // withObservability wraps the mux with the request-scoped
 // observability: a request ID (echoed as X-Request-Id, honoring one
-// supplied by the client), a structured per-request log line (method,
-// path, status, latency, request ID) when a logger is configured, and
-// the HTTP request counter/latency histogram labeled by normalized
-// route.
+// supplied by the client), a distributed trace context (parsed from
+// X-Smiler-Trace on forwarded traffic, minted otherwise, echoed on the
+// response and injected into the request context so prediction traces
+// carry it), a structured per-request log line when a logger is
+// configured, and the HTTP request counter/latency histogram labeled
+// by normalized route.
 func (s *Server) withObservability(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		reqID := r.Header.Get("X-Request-Id")
@@ -40,6 +43,13 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 			reqID = s.reqPrefix + "-" + strconv.FormatUint(s.reqSeq.Add(1), 10)
 		}
 		w.Header().Set("X-Request-Id", reqID)
+		tc, fromPeer := obs.ParseTraceContext(r.Header.Get(obs.TraceHeader))
+		if !fromPeer {
+			tc = obs.TraceContext{ID: obs.NewTraceID()}
+		}
+		tc.Node = s.nodeID
+		r = r.WithContext(obs.ContextWithTrace(r.Context(), tc))
+		w.Header().Set(obs.TraceHeader, tc.HeaderValue())
 		rec := &statusRecorder{ResponseWriter: w}
 		start := time.Now()
 		next.ServeHTTP(rec, r)
@@ -61,6 +71,7 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 		if s.log != nil {
 			s.log.Info("request",
 				"id", reqID,
+				"trace", tc.ID,
 				"method", r.Method,
 				"path", r.URL.Path,
 				"route", route,
@@ -116,9 +127,12 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "tracing disabled")
 		return
 	}
-	id := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
-	if id == "" || strings.Contains(id, "/") {
-		writeError(w, http.StatusBadRequest, "missing sensor id")
+	// Trim from the escaped path and unescape afterwards, so sensor ids
+	// containing "/" or "%" (sent percent-encoded) resolve — the same
+	// treatment the cluster proxy applies when it forwards by sensor.
+	id, err := url.PathUnescape(strings.TrimPrefix(r.URL.EscapedPath(), "/debug/trace/"))
+	if err != nil || id == "" {
+		writeError(w, http.StatusBadRequest, "missing or malformed sensor id")
 		return
 	}
 	n := 0
@@ -139,4 +153,67 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		traces = []*obs.Trace{}
 	}
 	writeJSON(w, http.StatusOK, traces)
+}
+
+// EventsResponse is the GET /debug/events body: the flight recorder's
+// high-water mark plus the retained events after ?since= (oldest
+// first), so a poller can tail the ring with since=<last_seq>.
+type EventsResponse struct {
+	LastSeq uint64      `json:"last_seq"`
+	Events  []obs.Event `json:"events"`
+}
+
+// handleEvents serves GET /debug/events[?since=seq][&n=max]: the
+// flight recorder's retained events. 404 when metrics are disabled.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w)
+		return
+	}
+	ring := s.sys.Events()
+	if ring == nil {
+		writeError(w, http.StatusNotFound, "events disabled")
+		return
+	}
+	var since uint64
+	if v := r.URL.Query().Get("since"); v != "" {
+		parsed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid since "+strconv.Quote(v))
+			return
+		}
+		since = parsed
+	}
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed <= 0 {
+			writeError(w, http.StatusBadRequest, "invalid n "+strconv.Quote(v))
+			return
+		}
+		n = parsed
+	}
+	evs := ring.Since(since, n)
+	if evs == nil {
+		evs = []obs.Event{}
+	}
+	writeJSON(w, http.StatusOK, EventsResponse{LastSeq: ring.LastSeq(), Events: evs})
+}
+
+// setSpanSummary attaches the just-recorded trace's compact span
+// summary to the response of a forwarded request (hop > 0), so the
+// entry node can inline this node's phase spans into its hop trace.
+// The trace is matched by distributed trace id: a coalesced or cached
+// answer that did not run this request's pipeline simply sets nothing.
+func (s *Server) setSpanSummary(w http.ResponseWriter, r *http.Request, id string) {
+	tc, ok := obs.TraceFromContext(r.Context())
+	if !ok || tc.Hop == 0 {
+		return
+	}
+	for _, tr := range s.sys.Traces().Last(id, 4) {
+		if tr.TraceID == tc.ID {
+			w.Header().Set(obs.SpanSummaryHeader, obs.EncodeSpans(tr.Spans))
+			return
+		}
+	}
 }

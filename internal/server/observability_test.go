@@ -102,6 +102,9 @@ func TestMetricsDisabled(t *testing.T) {
 	if resp, _ := get(t, ts, "/debug/trace/x"); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("/debug/trace with metrics disabled = %d, want 404", resp.StatusCode)
 	}
+	if resp, _ := get(t, ts, "/debug/events"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/events with metrics disabled = %d, want 404", resp.StatusCode)
+	}
 	// The rest of the API must still work with a nil registry.
 	cl, err := NewClient(ts.URL, ts.Client())
 	if err != nil {
@@ -194,6 +197,91 @@ func TestTraceEndpointErrors(t *testing.T) {
 	resp, body := get(t, ts, "/debug/trace/idle")
 	if resp.StatusCode != http.StatusOK || strings.TrimSpace(body) != "[]" {
 		t.Fatalf("idle sensor = %d %q, want 200 []", resp.StatusCode, body)
+	}
+}
+
+// TestTraceEndpointEscapedID is the regression test for sensor ids
+// containing "/" or "%": sent percent-encoded, they must resolve via
+// EscapedPath + PathUnescape instead of being split by the router's
+// already-decoded path view.
+func TestTraceEndpointEscapedID(t *testing.T) {
+	ts, cl, sys := newTestServer(t)
+	const id = "a/b%c" // worst case: both a path separator and a percent
+	rng := rand.New(rand.NewSource(9))
+	if err := cl.AddSensor(id, seasonal(rng, 400)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Predict(id, 1); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := get(t, ts, "/debug/trace/a%2Fb%25c")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("escaped id = %d, want 200: %s", resp.StatusCode, body)
+	}
+	var traces []obs.Trace
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if len(traces) != 1 || traces[0].Sensor != id {
+		t.Fatalf("traces = %+v, want one for %q", traces, id)
+	}
+}
+
+func TestEventsEndpoint(t *testing.T) {
+	ts, _, sys := newTestServer(t)
+	ring := sys.Events()
+	if ring == nil {
+		t.Fatal("system has no event ring")
+	}
+	ring.Record(obs.Event{Type: "failover", Severity: obs.SevError, Detail: "peer n2 down"})
+	ring.Record(obs.Event{Type: "migration_cutover", Sensor: "s1", TraceID: "abc"})
+
+	resp, body := get(t, ts, "/debug/events")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var er EventsResponse
+	if err := json.Unmarshal([]byte(body), &er); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if er.LastSeq != 2 || len(er.Events) != 2 {
+		t.Fatalf("events = %+v, want last_seq=2 with 2 events", er)
+	}
+	if er.Events[0].Type != "failover" || er.Events[0].Severity != obs.SevError {
+		t.Fatalf("first event = %+v", er.Events[0])
+	}
+	if er.Events[1].Type != "migration_cutover" || er.Events[1].TraceID != "abc" {
+		t.Fatalf("second event = %+v", er.Events[1])
+	}
+
+	// Tail with since=: only events after the cursor come back.
+	resp, body = get(t, ts, "/debug/events?since=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("since=1 status = %d", resp.StatusCode)
+	}
+	er = EventsResponse{}
+	if err := json.Unmarshal([]byte(body), &er); err != nil {
+		t.Fatal(err)
+	}
+	if len(er.Events) != 1 || er.Events[0].Type != "migration_cutover" {
+		t.Fatalf("since=1 events = %+v", er.Events)
+	}
+
+	if resp, _ := get(t, ts, "/debug/events?since=nope"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad since = %d, want 400", resp.StatusCode)
+	}
+
+	// The healthz body reflects the ring's high-water mark.
+	resp, body = get(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("healthz failed")
+	}
+	var hz HealthzResponse
+	if err := json.Unmarshal([]byte(body), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.EventsHighWater != 2 {
+		t.Fatalf("healthz events_high_water = %d, want 2", hz.EventsHighWater)
 	}
 }
 

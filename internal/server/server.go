@@ -42,6 +42,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -177,6 +178,24 @@ func NewWithOptions(sys *smiler.System, opts Options) (*Server, error) {
 	if opts.Interval < 0 {
 		return nil, fmt.Errorf("server: negative sample interval %v", opts.Interval)
 	}
+	// Route recovered shard-worker panics into the flight recorder on
+	// their way to the embedder's error hook.
+	if ring := sys.Events(); ring != nil {
+		inner := opts.Pipeline.OnError
+		opts.Pipeline.OnError = func(o ingest.Observation, err error) {
+			if err != nil && strings.Contains(err.Error(), "recovered panic") {
+				ring.Record(obs.Event{
+					Type:     "panic_recovered",
+					Severity: obs.SevError,
+					Sensor:   o.Sensor,
+					Detail:   err.Error(),
+				})
+			}
+			if inner != nil {
+				inner(o, err)
+			}
+		}
+	}
 	pipe, err := ingest.New(sys, opts.Pipeline)
 	if err != nil {
 		return nil, err
@@ -194,11 +213,16 @@ func NewWithOptions(sys *smiler.System, opts Options) (*Server, error) {
 		nodeID:    opts.NodeID,
 	}
 	s.ready.Store(!opts.StartNotReady)
+	// Flight-recorder events carry the node identity once it is known.
+	if opts.NodeID != "" {
+		sys.Events().SetNode(opts.NodeID)
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/trace/", s.handleTrace)
+	s.mux.HandleFunc("/debug/events", s.handleEvents)
 	s.mux.HandleFunc("/pipeline/stats", s.handlePipelineStats)
 	s.mux.HandleFunc("/observations", s.handleObservations)
 	s.mux.HandleFunc("/sensors", s.handleSensors)
@@ -357,6 +381,12 @@ type HealthzResponse struct {
 	Version string `json:"version"`
 	Go      string `json:"go"`
 	Node    string `json:"node,omitempty"`
+	// LastGCPauseMs and EventsHighWater summarize the node's runtime
+	// health cheaply (the loader's SLO gate flags GC-degraded nodes
+	// from the probe body without a full /metrics scrape). Both are 0
+	// with metrics disabled.
+	LastGCPauseMs   float64 `json:"last_gc_pause_ms,omitempty"`
+	EventsHighWater uint64  `json:"events_high_water,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -365,10 +395,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, HealthzResponse{
-		Status:  "ok",
-		Version: Version,
-		Go:      runtime.Version(),
-		Node:    s.nodeID,
+		Status:          "ok",
+		Version:         Version,
+		Go:              runtime.Version(),
+		Node:            s.nodeID,
+		LastGCPauseMs:   s.sys.Runtime().Stats().LastGCPauseMs,
+		EventsHighWater: s.sys.Events().LastSeq(),
 	})
 }
 
@@ -575,11 +607,15 @@ func (s *Server) forecast(w http.ResponseWriter, r *http.Request, id string) {
 	}
 	// Single-horizon forecasts go through the coalescing layer: a
 	// thundering herd of identical requests costs one kNN+GP run.
-	f, err := s.pipe.Forecast(id, h)
+	// WithoutCancel keeps the flight's lifetime decoupled from this
+	// request (coalesced followers must not die with the leader) while
+	// still carrying the trace context into the prediction.
+	f, err := s.pipe.ForecastCtx(context.WithoutCancel(r.Context()), id, h)
 	if err != nil {
 		writeError(w, statusFor(err), err.Error())
 		return
 	}
+	s.setSpanSummary(w, r, id)
 	writeJSON(w, http.StatusOK, forecastResponse(id, h, f, z))
 }
 
@@ -616,6 +652,7 @@ func (s *Server) forecastMulti(w http.ResponseWriter, r *http.Request, id string
 		writeError(w, statusFor(err), err.Error())
 		return
 	}
+	s.setSpanSummary(w, r, id)
 	out := make([]ForecastResponse, 0, len(hs))
 	for _, h := range hs {
 		out = append(out, forecastResponse(id, h, fs[h], z))

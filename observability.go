@@ -22,8 +22,10 @@ var observePhases = []string{"total", "reweight", "advance"}
 // the recording sites below degrade to a handful of nil checks — the
 // no-op sink the EXPERIMENTS.md overhead benchmark compares against.
 type systemObs struct {
-	reg    *obs.Registry
-	traces *obs.TraceStore
+	reg     *obs.Registry
+	traces  *obs.TraceStore
+	events  *obs.EventRing
+	runtime *obs.RuntimeSampler
 
 	predictions *obs.Counter
 	predictErrs *obs.Counter
@@ -164,22 +166,36 @@ func (so *systemObs) recordObserve(totalSec float64, timing core.ObserveTiming, 
 	so.observePhase["advance"].Observe(timing.AdvanceSec)
 }
 
-// recordDegraded counts one fallback answer by failure reason, and the
-// recovered panic behind it if that is what failed the pipeline.
-func (so *systemObs) recordDegraded(reason string, err error) {
+// recordDegraded counts one fallback answer by failure reason, flags
+// it in the flight recorder, and counts the recovered panic behind it
+// if that is what failed the pipeline.
+func (so *systemObs) recordDegraded(sensor, traceID, reason string, err error) {
 	if so.degraded != nil {
 		if c, ok := so.degraded[reason]; ok {
 			c.Inc()
 		}
 	}
+	so.events.Record(obs.Event{
+		Type:     "degraded_prediction",
+		Severity: obs.SevWarn,
+		Sensor:   sensor,
+		TraceID:  traceID,
+		Detail:   "reason=" + reason,
+	})
 	so.countPanic(err)
 }
 
-// countPanic bumps the recovered-panic counter when err carries the
-// core.ErrPanicked sentinel (nil-safe, cheap on the non-panic path).
+// countPanic bumps the recovered-panic counter — and drops a
+// flight-recorder event — when err carries the core.ErrPanicked
+// sentinel (nil-safe, cheap on the non-panic path).
 func (so *systemObs) countPanic(err error) {
 	if err != nil && errors.Is(err, core.ErrPanicked) {
 		so.panicsRecovered.Inc()
+		so.events.Record(obs.Event{
+			Type:     "panic_recovered",
+			Severity: obs.SevError,
+			Detail:   err.Error(),
+		})
 	}
 }
 
@@ -196,3 +212,11 @@ func (s *System) Metrics() *obs.Registry { return s.obs.reg }
 // Traces returns the per-sensor store of recent prediction traces
 // (nil when metrics are disabled).
 func (s *System) Traces() *obs.TraceStore { return s.obs.traces }
+
+// Events returns the flight-recorder event ring (nil when metrics are
+// disabled — a nil ring serves the whole API as a no-op).
+func (s *System) Events() *obs.EventRing { return s.obs.events }
+
+// Runtime returns the runtime/GC telemetry sampler (nil when metrics
+// are disabled).
+func (s *System) Runtime() *obs.RuntimeSampler { return s.obs.runtime }

@@ -55,6 +55,10 @@ for family in \
     smiler_sensors \
     smiler_http_requests_total \
     smiler_http_request_seconds_bucket \
+    smiler_runtime_gc_pause_seconds \
+    smiler_runtime_heap_live_bytes \
+    smiler_runtime_goroutines \
+    smiler_events_total \
     ; do
     if ! grep -q "^$family" "$LOG"; then
         echo "metrics-smoke: MISSING family $family" >&2
@@ -69,6 +73,13 @@ fi
 
 if ! curl -sf "http://$ADDR/debug/trace/smoke" | grep -q '"name":"search"'; then
     echo "metrics-smoke: /debug/trace/smoke missing search span" >&2
+    status=1
+fi
+
+# The flight recorder serves its ring, and at minimum the boot marker
+# is in it.
+if ! curl -sf "http://$ADDR/debug/events" | grep -q '"type":"startup"'; then
+    echo "metrics-smoke: /debug/events missing the startup event" >&2
     status=1
 fi
 

@@ -165,11 +165,24 @@ type Config struct {
 	MaxHistory int
 
 	// DisableMetrics turns the observability layer off: no metrics
-	// registry, no prediction traces, and every instrumented hot path
-	// degrades to nil-check no-ops. Metrics are on by default; this
-	// exists for the instrumentation-overhead benchmark and for
-	// embedders that scrape nothing.
+	// registry, no prediction traces, no flight recorder, no runtime
+	// telemetry, and every instrumented hot path degrades to nil-check
+	// no-ops. Metrics are on by default; this exists for the
+	// instrumentation-overhead benchmark and for embedders that scrape
+	// nothing.
 	DisableMetrics bool
+
+	// RuntimeMetricsInterval is the background sampling period of the
+	// runtime/GC telemetry (GC pauses, heap live/goal, mark-assist CPU,
+	// goroutines, scheduling latency). 0 takes the default (10s);
+	// negative disables the background loop — telemetry then refreshes
+	// only at scrape time. Ignored with DisableMetrics.
+	RuntimeMetricsInterval time.Duration
+
+	// EventRingSize caps the flight recorder: the bounded ring of
+	// structured operational events served at /debug/events. 0 takes
+	// the default (512). Ignored with DisableMetrics.
+	EventRingSize int
 
 	// PredictWorkers bounds the worker pool evaluating ensemble cells
 	// across item-query columns during the Prediction Step. 0 (default)
@@ -297,6 +310,11 @@ func New(cfg Config) (*System, error) {
 	so := &systemObs{} // disabled: nil instruments are no-ops
 	if !cfg.DisableMetrics {
 		so = newSystemObs()
+		so.events = obs.NewEventRing(cfg.EventRingSize, so.reg)
+		so.runtime = obs.NewRuntimeSampler(so.reg)
+		if cfg.RuntimeMetricsInterval >= 0 {
+			so.runtime.Start(cfg.RuntimeMetricsInterval)
+		}
 	}
 	s := &System{cfg: cfg, devs: devs, obs: so, sensors: make(map[string]*sensorState)}
 	so.registerSystem(s)
@@ -541,6 +559,9 @@ func (s *System) PredictCtx(ctx context.Context, id string, h int) (Forecast, er
 	var tr *obs.Trace
 	if s.obs.traces != nil {
 		tr = obs.NewTrace(id, h)
+		if tc, ok := obs.TraceFromContext(ctx); ok {
+			tr.SetContext(tc)
+		}
 	}
 	start := time.Now()
 	st.mu.Lock()
@@ -551,7 +572,7 @@ func (s *System) PredictCtx(ctx context.Context, id string, h int) (Forecast, er
 		if fb, fbErr := s.fallbackLocked(st, h); fbErr == nil {
 			st.mu.Unlock()
 			reason := degradeReason(err)
-			s.obs.recordDegraded(reason, err)
+			s.obs.recordDegraded(id, tr.ID(), reason, err)
 			tr.SetStat("degraded", 1)
 			tr.Finish(nil)
 			s.obs.traces.Add(tr)
@@ -608,6 +629,9 @@ func (s *System) PredictHorizonsCtx(ctx context.Context, id string, hs []int) (m
 	var tr *obs.Trace
 	if s.obs.traces != nil {
 		tr = obs.NewTrace(id, hs...)
+		if tc, ok := obs.TraceFromContext(ctx); ok {
+			tr.SetContext(tc)
+		}
 	}
 	start := time.Now()
 	st.mu.Lock()
@@ -627,7 +651,7 @@ func (s *System) PredictHorizonsCtx(ctx context.Context, id string, hs []int) (m
 			out[h] = fb
 		}
 		if ok {
-			s.obs.recordDegraded(reason, err)
+			s.obs.recordDegraded(id, tr.ID(), reason, err)
 			tr.SetStat("degraded", 1)
 			tr.Finish(nil)
 			s.obs.traces.Add(tr)
@@ -857,9 +881,10 @@ func (s *System) EnsembleWeights(id string) (map[[2]int]float64, error) {
 	return out, nil
 }
 
-// Close releases every sensor's device memory. The system is unusable
-// afterwards.
+// Close releases every sensor's device memory and stops the runtime
+// telemetry sampler. The system is unusable afterwards.
 func (s *System) Close() error {
+	s.obs.runtime.Stop()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
