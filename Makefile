@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-ingest bench-obs bench-json metrics-smoke events-smoke torture cluster-smoke cluster-smoke-procs loader-smoke
+.PHONY: all build vet test race bench bench-ingest bench-obs bench-json metrics-smoke events-smoke torture cluster-smoke cluster-smoke-procs loader-smoke memory-smoke
 
 all: vet build test
 
@@ -77,3 +77,10 @@ cluster-smoke-procs: build
 # well-formed report (scripts/loader_smoke.sh, docs/LOADER.md).
 loader-smoke: build
 	./scripts/loader_smoke.sh
+
+# Hot/cold tiering end to end: a server capped at -max-hot-sensors 30
+# serves a 120-sensor population under load (spill/fault churn), is
+# killed -9, and its WAL replays into an untiered reference whose
+# forecasts must be byte-identical (scripts/memory_smoke.sh).
+memory-smoke: build
+	./scripts/memory_smoke.sh

@@ -9,6 +9,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sort"
 
 	"smiler/internal/core"
 	"smiler/internal/fault"
@@ -88,7 +89,40 @@ func (s *System) SaveToWithCover(w io.Writer, cover map[int]uint64) error {
 	for _, id := range s.sensorsLocked() {
 		cp.Sensors = append(cp.Sensors, snapshotSensor(id, s.sensors[id]))
 	}
+	// Cold sensors are folded in from their spill envelopes: a spilled
+	// sensor is a quiesced snapshot already, and s.mu (held read-side)
+	// blocks evictions and fault-ins, so the cold set and its files are
+	// stable for the duration of the save. The merged list is re-sorted
+	// so the payload is byte-identical to an untiered node's.
+	for _, id := range s.tier.coldIDs() {
+		sc, err := s.readSpill(id)
+		if err != nil {
+			return err
+		}
+		cp.Sensors = append(cp.Sensors, sc)
+	}
+	sort.Slice(cp.Sensors, func(i, j int) bool { return cp.Sensors[i].ID < cp.Sensors[j].ID })
 	return writeCheckpoint(w, cp)
+}
+
+// readSpill loads one cold sensor's checkpoint entry from its spill
+// envelope. Callers hold s.mu (read side suffices).
+func (s *System) readSpill(id string) (sensorCheckpoint, error) {
+	f, err := os.Open(s.tier.spillPath(id))
+	if err != nil {
+		return sensorCheckpoint{}, fmt.Errorf("smiler: reading spill for %q: %w", id, err)
+	}
+	defer f.Close()
+	cp, err := decodeCheckpoint(f)
+	if err != nil {
+		return sensorCheckpoint{}, fmt.Errorf("smiler: reading spill for %q: %w", id, err)
+	}
+	for _, sc := range cp.Sensors {
+		if sc.ID == id {
+			return sc, nil
+		}
+	}
+	return sensorCheckpoint{}, fmt.Errorf("smiler: spill for %q does not contain it", id)
 }
 
 // SaveSensorTo writes a checkpoint envelope — same format as SaveTo —
@@ -104,6 +138,19 @@ func (s *System) SaveSensorTo(w io.Writer, id string) error {
 	}
 	st, ok := s.sensors[id]
 	if !ok {
+		if s.tier.isCold(id) {
+			// A spill file IS a single-sensor checkpoint envelope — the
+			// exact bytes SaveSensorTo would produce — so a cold sensor
+			// streams to the migration/resync path without faulting in.
+			sc, err := s.readSpill(id)
+			if err != nil {
+				return err
+			}
+			return writeCheckpoint(w, checkpoint{
+				Version: checkpointVersion,
+				Sensors: []sensorCheckpoint{sc},
+			})
+		}
 		return fmt.Errorf("smiler: unknown sensor %q", id)
 	}
 	return writeCheckpoint(w, checkpoint{
@@ -147,6 +194,13 @@ func (s *System) RestoreSensorsFrom(r io.Reader) ([]string, error) {
 func snapshotSensor(id string, st *sensorState) sensorCheckpoint {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	return snapshotSensorLocked(id, st)
+}
+
+// snapshotSensorLocked is snapshotSensor for callers that already hold
+// st.mu (the tier's eviction path snapshots under the lock it must
+// keep until the state is marked gone).
+func snapshotSensorLocked(id string, st *sensorState) sensorCheckpoint {
 	sc := sensorCheckpoint{
 		ID:      id,
 		History: st.ix.History(),
@@ -309,10 +363,25 @@ func decodeCheckpoint(r io.Reader) (cp checkpoint, err error) {
 	return cp, nil
 }
 
-// restoreSensor re-adds one sensor from its checkpoint. The history in
-// the checkpoint is already normalized, so it bypasses AddSensor's
-// normalization and reinstates the frozen statistics directly.
+// restoreSensor re-adds one sensor from its checkpoint, then enforces
+// the hot-sensor cap (a restore beyond MaxHotSensors spills the least
+// recently used sensor).
 func (s *System) restoreSensor(sc sensorCheckpoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.restoreSensorLocked(sc); err != nil {
+		return err
+	}
+	s.tier.markHot(sc.ID)
+	return s.enforceCapLocked(sc.ID)
+}
+
+// restoreSensorLocked re-adds one sensor from its checkpoint. The
+// history in the checkpoint is already normalized, so it bypasses
+// AddSensor's normalization and reinstates the frozen statistics
+// directly. Callers hold s.mu write-locked and do their own tier
+// bookkeeping.
+func (s *System) restoreSensorLocked(sc sensorCheckpoint) error {
 	if sc.Normalized != s.cfg.Normalize {
 		return fmt.Errorf("normalization mismatch: checkpoint %v, config %v",
 			sc.Normalized, s.cfg.Normalize)
@@ -322,28 +391,21 @@ func (s *System) restoreSensor(sc sensorCheckpoint) error {
 		// re-attach the frozen normalizer.
 		raw := s.cfg.Normalize
 		s.cfg.Normalize = false
-		err := s.AddSensor(sc.ID, sc.History)
+		err := s.addSensorLocked(sc.ID, sc.History)
 		s.cfg.Normalize = raw
-		if err != nil {
-			return err
-		}
-		st, err := s.sensor(sc.ID)
 		if err != nil {
 			return err
 		}
 		// Reinstate the frozen statistics bit-exactly; refitting on
 		// reconstructed points would only approximate them and recovered
 		// values would drift by an ulp from the never-crashed system.
-		st.norm = timeseries.NewNormalizerFromStats(sc.Norm)
+		s.sensors[sc.ID].norm = timeseries.NewNormalizerFromStats(sc.Norm)
 	} else {
-		if err := s.AddSensor(sc.ID, sc.History); err != nil {
+		if err := s.addSensorLocked(sc.ID, sc.History); err != nil {
 			return err
 		}
 	}
-	st, err := s.sensor(sc.ID)
-	if err != nil {
-		return err
-	}
+	st := s.sensors[sc.ID]
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	states := make([]core.CellState, 0, len(sc.Cells))

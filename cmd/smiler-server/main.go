@@ -91,6 +91,10 @@ type options struct {
 	workers      int
 	sharedHyper  bool
 
+	maxHotSensors  int
+	spillDir       string
+	disablePooling bool
+
 	walDir          string
 	fsync           string
 	fsyncInterval   time.Duration
@@ -128,6 +132,9 @@ func main() {
 	flag.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 	flag.IntVar(&o.workers, "predict-workers", 0, "prediction-step cell-fit workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.BoolVar(&o.sharedHyper, "shared-hyper", false, "share GP hyperparameters per item-query column (approximate, faster)")
+	flag.IntVar(&o.maxHotSensors, "max-hot-sensors", 0, "cap on sensors kept hot in memory; the LRU excess spills to disk (0 = unlimited)")
+	flag.StringVar(&o.spillDir, "spill-dir", "", "directory for cold-sensor spill files (empty = temp dir; wiped at boot)")
+	flag.BoolVar(&o.disablePooling, "disable-pooling", false, "disable the memsys slab pool (A/B benchmarking; plain allocations)")
 	flag.StringVar(&o.walDir, "wal-dir", "", "write-ahead-log directory (empty = no WAL)")
 	flag.StringVar(&o.fsync, "fsync", "always", "WAL fsync policy: always|interval|off")
 	flag.DurationVar(&o.fsyncInterval, "fsync-interval", 0, "fsync period for -fsync interval (0 = default 50ms)")
@@ -186,6 +193,9 @@ func run(o options) error {
 	cfg.MaxHistory = o.maxHistory
 	cfg.PredictWorkers = o.workers
 	cfg.SharedHyper = o.sharedHyper
+	cfg.MaxHotSensors = o.maxHotSensors
+	cfg.SpillDir = o.spillDir
+	cfg.DisablePooling = o.disablePooling
 	cfg.PredictDeadline = o.predictDeadline
 	cfg.RuntimeMetricsInterval = o.runtimeMetrics
 	fb, err := smiler.ParseFallback(o.fallback)

@@ -635,3 +635,50 @@ func TestRecoveredHistoryPrefixProperty(t *testing.T) {
 		})
 	}
 }
+
+// TestTortureRecoveryTiered runs WAL recovery with a hot-sensor cap
+// below the population: replay must fault sensors through the spill
+// tier (evicting and restoring mid-replay) and still recover
+// bit-identical histories and forecasts. This is the crash-recovery
+// harness with tiering enabled.
+func TestTortureRecoveryTiered(t *testing.T) {
+	ops := tortureWorkload(11, 90)
+	base := filepath.Join(t.TempDir(), "wal")
+	writeWorkload(t, base, ops, wal.SyncAlways)
+
+	cfg := smallCfg()
+	cfg.MaxHotSensors = 1
+	recovered, err := smiler.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if _, err := recoverWAL(recovered, base, nil, quiet); err != nil {
+		t.Fatal(err)
+	}
+	reference, err := smiler.New(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reference.Close()
+	applyOps(t, reference, ops)
+
+	if st := recovered.Tiering(); st.Evictions == 0 || st.Faults == 0 {
+		t.Fatalf("replay over 3 sensors at cap 1 must churn the tier: %+v", st)
+	}
+	assertSameHistories(t, recovered, reference)
+	for _, id := range reference.Sensors() {
+		fr, err := reference.Predict(id, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fg, err := recovered.Predict(id, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Mean != fg.Mean || fr.Variance != fg.Variance {
+			t.Fatalf("sensor %s: tiered recovery forecast (%v, %v) != reference (%v, %v)",
+				id, fg.Mean, fg.Variance, fr.Mean, fr.Variance)
+		}
+	}
+}

@@ -377,3 +377,77 @@ func TestClusterMigration(t *testing.T) {
 		t.Fatalf("post-migration observe landed wrong: target history = %d, want 421", got)
 	}
 }
+
+// TestClusterTieredReplication runs the cluster harness with
+// hot-sensor tiering enabled on every node: with a cap below the
+// sensor count, registration and replication spill sensors cold, and
+// forecasts — faulting cold sensors back in on owner and follower —
+// stay bit-identical to a standalone untiered reference.
+func TestClusterTieredReplication(t *testing.T) {
+	tieredCfg := testConfig()
+	tieredCfg.MaxHotSensors = 2
+	nodes := newTestClusterSys(t, 3, tieredCfg, nil)
+
+	ref, err := smiler.New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	const sensors = 8
+	rng := rand.New(rand.NewSource(12))
+	cl, err := server.NewClient(nodes[0].ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hists := make(map[string][]float64, sensors)
+	for i := 0; i < sensors; i++ {
+		id := fmt.Sprintf("tier-%d", i)
+		hists[id] = seasonal(rng, 420)
+		if err := cl.AddSensor(id, hists[id][:400]); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.AddSensor(id, hists[id][:400]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id, h := range hists {
+		if err := cl.ObserveBatch(id, h[400:420]); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range h[400:420] {
+			if err := ref.Observe(id, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	drainAll(t, nodes)
+
+	// Somewhere in the cluster the cap must have been hit.
+	churned := false
+	for _, tn := range nodes {
+		if st := tn.sys.Tiering(); st.Evictions > 0 {
+			churned = true
+		}
+	}
+	if !churned {
+		t.Fatal("8 sensors across 3 nodes at cap 2 must evict somewhere")
+	}
+
+	// Forecasts through the cluster (forwarded to the owner, faulting
+	// cold sensors in) match the untiered reference bit for bit.
+	for id := range hists {
+		want, err := ref.Predict(id, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cl.Forecast(id, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Mean != want.Mean || got.Variance != want.Variance {
+			t.Fatalf("%s: tiered cluster forecast (%v, %v) != reference (%v, %v)",
+				id, got.Mean, got.Variance, want.Mean, want.Variance)
+		}
+	}
+}

@@ -46,11 +46,18 @@ func seasonal(rng *rand.Rand, n int) []float64 {
 // non-nil, adjusts each node's cluster config before it starts.
 func newTestCluster(t *testing.T, size int, mutate func(*cluster.Config)) []*testNode {
 	t.Helper()
+	return newTestClusterSys(t, size, testConfig(), mutate)
+}
+
+// newTestClusterSys is newTestCluster with an explicit system config
+// (e.g. hot-sensor tiering enabled).
+func newTestClusterSys(t *testing.T, size int, sysCfg smiler.Config, mutate func(*cluster.Config)) []*testNode {
+	t.Helper()
 	nodes := make([]*testNode, size)
 	members := make([]cluster.Member, size)
 	for i := range nodes {
 		id := fmt.Sprintf("n%d", i+1)
-		sys, err := smiler.New(testConfig())
+		sys, err := smiler.New(sysCfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -7,8 +7,10 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"smiler/internal/memsys"
 	"smiler/internal/obs"
 	"smiler/internal/wal"
 )
@@ -65,9 +67,26 @@ type replicator struct {
 // arrive in emission order).
 type peerStream struct {
 	id, url string
-	frames  chan []byte
+	frames  chan *sharedFrame
 	resync  chan string // sensor ids needing a snapshot push
 	stop    chan struct{}
+}
+
+// sharedFrame is one encoded replication frame fanned out to several
+// follower queues. The encode buffer comes from the memsys byte pool;
+// the last consumer (a peerLoop that shipped it, or emit when a full
+// queue sheds it) returns the slab.
+type sharedFrame struct {
+	buf  []byte
+	refs atomic.Int32
+}
+
+func (f *sharedFrame) release() {
+	if f.refs.Add(-1) == 0 {
+		b := f.buf
+		f.buf = nil
+		memsys.PutBytes(b)
+	}
 }
 
 const (
@@ -93,7 +112,7 @@ func newReplicator(n *Node) *replicator {
 		r.peers[id] = &peerStream{
 			id:     id,
 			url:    member.URL,
-			frames: make(chan []byte, peerQueueSize),
+			frames: make(chan *sharedFrame, peerQueueSize),
 			resync: make(chan string, resyncQueue),
 			stop:   make(chan struct{}),
 		}
@@ -192,22 +211,41 @@ func (r *replicator) emit(rec wal.Record) {
 		return
 	}
 	seq := r.nextSeq(rec.Sensor)
-	frame, err := wal.EncodeFrame(nil, seq, rec)
+	// Encode into a pooled slab sized for the common case; EncodeFrame
+	// appends, so a record that outgrows the estimate simply reallocates
+	// and the oversized result bypasses the pool on release.
+	est := 96 + len(rec.Sensor) + 8*len(rec.History)
+	buf := memsys.GetBytes(est)[:0]
+	frame, err := wal.EncodeFrame(buf, seq, rec)
 	if err != nil {
+		memsys.PutBytes(buf[:cap(buf)])
 		return // unencodable record: nothing a follower could do either
 	}
+	sf := &sharedFrame{buf: frame}
+	live := 0
+	for _, id := range targets {
+		if r.peers[id] != nil {
+			live++
+		}
+	}
+	if live == 0 {
+		memsys.PutBytes(frame)
+		return
+	}
+	sf.refs.Store(int32(live))
 	for _, id := range targets {
 		p := r.peers[id]
 		if p == nil {
 			continue
 		}
 		select {
-		case p.frames <- frame:
+		case p.frames <- sf:
 			r.n.m.replFrames.Inc()
 		default:
 			// Full queue: shed. The follower detects the gap on the next
 			// frame it does receive and resyncs via snapshot.
 			r.n.m.replDropped.Inc()
+			sf.release()
 		}
 	}
 }
@@ -224,18 +262,29 @@ func (r *replicator) peerLoop(p *peerStream) {
 	for {
 		select {
 		case <-p.stop:
-			return
+			// Drain and release whatever is still queued so pooled slabs
+			// (and the in-use gauges) settle on shutdown.
+			for {
+				select {
+				case f := <-p.frames:
+					f.release()
+				default:
+					return
+				}
+			}
 		case sensor := <-p.resync:
 			r.pushSnapshot(p, sensor)
 		case frame := <-p.frames:
 			batch.Reset()
-			batch.Write(frame)
+			batch.Write(frame.buf)
+			frame.release()
 			// Gather whatever else is queued, without blocking.
 		gather:
 			for i := 1; i < maxBatchFrames; i++ {
 				select {
 				case f := <-p.frames:
-					batch.Write(f)
+					batch.Write(f.buf)
+					f.release()
 				default:
 					break gather
 				}

@@ -8,6 +8,7 @@ import (
 	"smiler/internal/gp"
 	"smiler/internal/gpusim"
 	"smiler/internal/index"
+	"smiler/internal/memsys"
 	"smiler/internal/obs"
 )
 
@@ -212,5 +213,56 @@ func TestSharedHyperPipeline(t *testing.T) {
 	mae := absErr / 20
 	if mae > 0.3 {
 		t.Fatalf("SharedHyper MAE %v too high on clean seasonal data", mae)
+	}
+}
+
+// TestPooledMatchesUnpooledBitwise extends the determinism contract to
+// the slab allocator: with memsys pooling on, every posterior and the
+// full auto-tuning trajectory must be bit-identical to a run with
+// pooling off (plain make), at any worker count. Pooled Gets return
+// zeroed slabs, so this holds by construction — the test keeps it held.
+func TestPooledMatchesUnpooledBitwise(t *testing.T) {
+	was := memsys.Enabled()
+	defer memsys.SetEnabled(was)
+
+	rng := rand.New(rand.NewSource(23))
+	all := seasonal(rng, 520)
+	warm := 500
+
+	run := func(pooled bool, workers int) ([]Prediction, []interface{}) {
+		memsys.SetEnabled(pooled)
+		pl := workerPipeline(t, all[:warm], workers, false)
+		var out []Prediction
+		for i := warm; i < len(all); i++ {
+			f, err := pl.Predict(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, f)
+			if err := pl.Observe(all[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := pl.Ensemble().ExportState()
+		anyState := make([]interface{}, len(st))
+		for i := range st {
+			anyState[i] = st[i]
+		}
+		return out, anyState
+	}
+
+	refF, refS := run(false, 1)
+	for _, workers := range []int{1, 4} {
+		gotF, gotS := run(true, workers)
+		for i := range refF {
+			if gotF[i] != refF[i] {
+				t.Fatalf("workers=%d step %d: pooled %+v != unpooled %+v", workers, i, gotF[i], refF[i])
+			}
+		}
+		for i := range refS {
+			if gotS[i] != refS[i] {
+				t.Fatalf("workers=%d cell %d: pooled state %+v != unpooled %+v", workers, i, gotS[i], refS[i])
+			}
+		}
 	}
 }

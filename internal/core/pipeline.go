@@ -12,6 +12,7 @@ import (
 
 	"smiler/internal/gp"
 	"smiler/internal/index"
+	"smiler/internal/memsys"
 	"smiler/internal/obs"
 )
 
@@ -491,10 +492,17 @@ func (p *Pipeline) predictColumn(pc *predColumn, h, n int, traced bool, results 
 		kmax = len(neighbors)
 	}
 	d := pc.d
+	// One pooled slab backs the neighbor segments, labels and query:
+	// kmax rows of d values, then kmax labels, then the d-length query.
+	// Everything handed to gp below subslices this buffer; the end of
+	// this column (all cells done, nothing retained) is the
+	// deterministic join point where it returns to the pool.
+	flat := memsys.GetFloats(kmax*d + kmax + d)
+	defer memsys.PutFloats(flat)
 	x := make([][]float64, kmax)
-	y := make([]float64, kmax)
+	y := flat[kmax*d : kmax*d+kmax]
 	for i := 0; i < kmax; i++ {
-		seg := make([]float64, d)
+		seg := flat[i*d : (i+1)*d]
 		t := neighbors[i].T
 		for j := 0; j < d; j++ {
 			seg[j] = p.ix.Value(t + j)
@@ -502,7 +510,7 @@ func (p *Pipeline) predictColumn(pc *predColumn, h, n int, traced bool, results 
 		x[i] = seg
 		y[i] = p.ix.Value(t + d - 1 + h)
 	}
-	x0 := make([]float64, d)
+	x0 := flat[kmax*d+kmax:]
 	for j := 0; j < d; j++ {
 		x0[j] = p.ix.Value(n - d + j)
 	}
@@ -510,6 +518,7 @@ func (p *Pipeline) predictColumn(pc *predColumn, h, n int, traced bool, results 
 	// The shared Gram base is only worth building when a predictor can
 	// consume it (pure-AR ensembles skip the O(k²d) construction).
 	var col *gp.Column
+	defer func() { col.Release() }() // nil-safe; after the last cell of the column
 	for _, c := range pc.cells {
 		if _, ok := c.Pred.(ColumnPredictor); ok {
 			var err error
@@ -586,6 +595,9 @@ func (p *Pipeline) sharedColumnCells(pc *predColumn, col *gp.Column, kmax, h int
 	fitStart := time.Now()
 	hyper, err := driver.OptimizeColumnHyper(col)
 	var sf *gp.SharedFactor
+	// Released on every exit path — including the return-false fallbacks
+	// to the per-cell path, which refit from the (still live) column.
+	defer func() { sf.Release() }()
 	if err == nil {
 		sf, err = col.Factor(hyper)
 	}
@@ -603,6 +615,8 @@ func (p *Pipeline) sharedColumnCells(pc *predColumn, col *gp.Column, kmax, h int
 		return false
 	}
 	x0 := col.X0()
+	pscratch := memsys.GetFloats(2 * kmax)
+	defer memsys.PutFloats(pscratch)
 	for ci, cell := range pc.cells {
 		k := cell.K
 		if k > kmax {
@@ -616,7 +630,12 @@ func (p *Pipeline) sharedColumnCells(pc *predColumn, col *gp.Column, kmax, h int
 			m, err = sf.ModelAt(k)
 			if err == nil {
 				var mean, variance float64
-				mean, variance, err = m.Predict(x0)
+				mean, variance, err = m.PredictBuf(x0, pscratch[:2*k])
+				if k < kmax {
+					// Prefix models are per-cell transients; the full-k
+					// model aliases sf and is released with it.
+					m.Release()
+				}
 				if variance < varianceFloor {
 					variance = varianceFloor
 				}

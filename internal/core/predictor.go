@@ -15,6 +15,7 @@ import (
 
 	"smiler/internal/fault"
 	"smiler/internal/gp"
+	"smiler/internal/memsys"
 )
 
 // Prediction is the posterior of an h-step-ahead observation.
@@ -189,7 +190,12 @@ func (g *GPPredictor) Predict(x0 []float64, x [][]float64, y []float64) (Predict
 	if err != nil {
 		return Prediction{}, fmt.Errorf("core: GP conditioning failed: %w", err)
 	}
-	mean, variance, err := model.Predict(x0)
+	// The model is query-transient: only the warm-start Hyper survives
+	// this call, so its pooled state goes straight back to memsys.
+	defer model.Release()
+	scratch := memsys.GetFloats(2 * len(y))
+	defer memsys.PutFloats(scratch)
+	mean, variance, err := model.PredictBuf(x0, scratch)
 	if err != nil {
 		return Prediction{}, fmt.Errorf("core: GP prediction failed: %w", err)
 	}
@@ -253,7 +259,10 @@ func (g *GPPredictor) PredictColumn(col *gp.Column, k int) (Prediction, error) {
 	if err != nil {
 		return Prediction{}, fmt.Errorf("core: GP conditioning failed: %w", err)
 	}
-	mean, variance, err := model.Predict(x0)
+	defer model.Release()
+	scratch := memsys.GetFloats(2 * k)
+	defer memsys.PutFloats(scratch)
+	mean, variance, err := model.PredictBuf(x0, scratch)
 	if err != nil {
 		return Prediction{}, fmt.Errorf("core: GP prediction failed: %w", err)
 	}

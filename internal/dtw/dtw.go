@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"smiler/internal/memsys"
 )
 
 // ErrLength is returned when operand lengths are incompatible.
@@ -41,7 +43,10 @@ func Distance(q, c []float64, rho int) (float64, error) {
 	}
 	inf := math.Inf(1)
 	n := d + 1
-	g := make([]float64, n*n)
+	// The full DP matrix is the one large transient of the reference
+	// path; it lives exactly one call, so pool it.
+	g := memsys.GetFloats(n * n)
+	defer memsys.PutFloats(g)
 	for i := range g {
 		g[i] = inf
 	}
@@ -211,6 +216,16 @@ func CompressedScratchLen(rho int) int { return 2 * (2*rho + 2) }
 func NewCompressedScratch(rho int) []float64 {
 	return make([]float64, CompressedScratchLen(rho))
 }
+
+// GetCompressedScratch is NewCompressedScratch backed by the memsys
+// pool; return it with PutCompressedScratch when the verification
+// batch is done.
+func GetCompressedScratch(rho int) []float64 {
+	return memsys.GetFloats(CompressedScratchLen(rho))
+}
+
+// PutCompressedScratch recycles a scratch from GetCompressedScratch.
+func PutCompressedScratch(s []float64) { memsys.PutFloats(s) }
 
 // DistanceEarlyAbandon computes banded DTW but abandons and reports
 // (∞, false) as soon as every cell in the current anti-diagonal band

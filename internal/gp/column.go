@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"smiler/internal/mat"
+	"smiler/internal/memsys"
 )
 
 // Column holds the shared state of one Prediction-Step ensemble column
@@ -40,7 +41,9 @@ func NewColumn(x0 []float64, x [][]float64, y []float64) (*Column, error) {
 		}
 	}
 	n := len(x)
-	sq := mat.NewDense(n, n)
+	// Pooled and zeroed on Get; only the off-diagonal entries are
+	// written below (the diagonal is implicitly zero, as before).
+	sq := mat.GetDense(n, n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			v := sqDist(x[i], x[j])
@@ -50,6 +53,15 @@ func NewColumn(x0 []float64, x [][]float64, y []float64) (*Column, error) {
 	}
 	statColumns.Add(1)
 	return &Column{x0: x0, x: x, y: y, sq: sq}, nil
+}
+
+// Release returns the column's pooled Gram base to memsys. Idempotent;
+// the column (and any trainSets derived from it) must not be used
+// afterwards. Optional — an unreleased column is ordinary garbage.
+func (c *Column) Release() {
+	if c != nil {
+		c.sq.Release()
+	}
 }
 
 // Len returns the number of training pairs (the column's largest k).
@@ -147,6 +159,16 @@ func (c *Column) Factor(hp Hyper) (*SharedFactor, error) {
 // Hyper returns the shared hyperparameters.
 func (sf *SharedFactor) Hyper() Hyper { return sf.hyper }
 
+// Release returns the full model's pooled state. Models obtained from
+// ModelAt at the full column size alias sf.full — releasing either
+// releases both (idempotently); models from smaller k are independent
+// and carry their own Release.
+func (sf *SharedFactor) Release() {
+	if sf != nil {
+		sf.full.Release()
+	}
+}
+
 // ModelAt returns the GP conditioned on the leading k pairs under the
 // shared hyperparameters, reusing the leading k×k block of the full
 // Cholesky factor. k equal to the column size returns the full model.
@@ -157,12 +179,14 @@ func (sf *SharedFactor) ModelAt(k int) (*Model, error) {
 	if k == sf.col.Len() {
 		return sf.full, nil
 	}
-	ch, err := sf.full.chol.Prefix(k)
+	ch, err := sf.full.chol.GetPrefix(k)
 	if err != nil {
 		return nil, err
 	}
-	alpha, err := ch.SolveVec(sf.col.y[:k])
-	if err != nil {
+	alpha := memsys.GetFloats(k)
+	if err := ch.SolveVecTo(alpha, sf.col.y[:k]); err != nil {
+		memsys.PutFloats(alpha)
+		ch.Release()
 		return nil, fmt.Errorf("%w: %v", ErrCondition, err)
 	}
 	statPrefixReuses.Add(1)

@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"smiler/internal/mat"
+	"smiler/internal/memsys"
 )
 
 // Common errors.
@@ -157,6 +158,13 @@ func covMatrix(x [][]float64, hp Hyper, extraJitter float64) *mat.Dense {
 // covMatrixR2 builds the covariance from a squared-distance source.
 func covMatrixR2(n int, r2 func(i, j int) float64, hp Hyper, extraJitter float64) *mat.Dense {
 	c := mat.NewDense(n, n)
+	covMatrixR2Into(c, n, r2, hp, extraJitter)
+	return c
+}
+
+// covMatrixR2Into fills the caller-provided n×n matrix (every entry is
+// written, so dirty reused scratch is fine).
+func covMatrixR2Into(c *mat.Dense, n int, r2 func(i, j int) float64, hp Hyper, extraJitter float64) {
 	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
 			v := hp.covR2(r2(i, j))
@@ -167,25 +175,30 @@ func covMatrixR2(n int, r2 func(i, j int) float64, hp Hyper, extraJitter float64
 			c.Set(j, i, v)
 		}
 	}
-	return c
 }
 
 // factorize builds and factors the covariance, walking the jitter
 // ladder if the matrix is numerically indefinite. The successful
 // covariance is retained on the model so gradient evaluations can read
-// K_SE entries back without re-exponentiating.
+// K_SE entries back without re-exponentiating. All state is memsys-
+// backed: Release returns it, and a model that is never released is
+// ordinary garbage.
 func (m *Model) factorize(r2 func(i, j int) float64) error {
 	var lastErr error
+	n := len(m.x)
+	c := mat.GetDense(n, n)
 	for _, j := range jitters {
-		c := covMatrixR2(len(m.x), r2, m.hyper, j)
-		ch, err := mat.NewCholesky(c)
+		covMatrixR2Into(c, n, r2, m.hyper, j)
+		ch, err := mat.GetCholesky(c)
 		if err != nil {
 			lastErr = err
 			statJitterRetries.Add(1)
 			continue
 		}
-		alpha, err := ch.SolveVec(m.y)
-		if err != nil {
+		alpha := memsys.GetFloats(n)
+		if err := ch.SolveVecTo(alpha, m.y); err != nil {
+			memsys.PutFloats(alpha)
+			ch.Release()
 			lastErr = err
 			statJitterRetries.Add(1)
 			continue
@@ -197,7 +210,35 @@ func (m *Model) factorize(r2 func(i, j int) float64) error {
 		m.jitter = j
 		return nil
 	}
+	c.Release()
 	return fmt.Errorf("%w: %v", ErrSingular, lastErr)
+}
+
+// Release returns the model's pooled covariance, factor, precision and
+// α slabs to memsys. Idempotent, and safe to skip entirely — an
+// unreleased model is collected by the GC like any other value. Callers
+// must be completely done with the model (including models aliased via
+// SharedFactor.ModelAt at the full column size).
+func (m *Model) Release() {
+	if m == nil {
+		return
+	}
+	if m.alpha != nil {
+		a := m.alpha
+		m.alpha = nil
+		memsys.PutFloats(a)
+	}
+	if m.chol != nil {
+		m.chol.Release()
+	}
+	if m.cov != nil {
+		m.cov.Release()
+		m.cov = nil
+	}
+	if m.kinv != nil {
+		m.kinv.Release()
+		m.kinv = nil
+	}
 }
 
 // Size returns the number of training points.
@@ -209,17 +250,28 @@ func (m *Model) Hyper() Hyper { return m.hyper }
 // Predict returns the posterior mean and variance at test input x0
 // (Eqns. 16–17): u₀ = c₀ᵀC⁻¹Y, σ₀² = c(x₀,x₀) − c₀ᵀC⁻¹c₀.
 func (m *Model) Predict(x0 []float64) (mean, variance float64, err error) {
+	return m.PredictBuf(x0, nil)
+}
+
+// PredictBuf is Predict with caller-provided scratch of length ≥ 2n
+// (n = training-set size), removing the two per-call allocations on the
+// hot path. nil or short scratch falls back to allocating. The result
+// is bit-identical either way.
+func (m *Model) PredictBuf(x0, scratch []float64) (mean, variance float64, err error) {
 	if len(x0) != m.dim {
 		return 0, 0, fmt.Errorf("%w: got %d, want %d", ErrDimInput, len(x0), m.dim)
 	}
 	n := len(m.x)
-	c0 := make([]float64, n)
+	if len(scratch) < 2*n {
+		scratch = make([]float64, 2*n)
+	}
+	c0 := scratch[:n]
+	v := scratch[n : 2*n]
 	for i := 0; i < n; i++ {
 		c0[i] = m.hyper.Cov(m.x[i], x0)
 	}
 	mean = mat.Dot(c0, m.alpha)
-	v, err := m.chol.SolveVec(c0)
-	if err != nil {
+	if err := m.chol.SolveVecTo(v, c0); err != nil {
 		return 0, 0, fmt.Errorf("%w: %v", ErrCondition, err)
 	}
 	// Prior variance at x0 includes the noise term (we predict the
@@ -232,13 +284,18 @@ func (m *Model) Predict(x0 []float64) (mean, variance float64, err error) {
 	return mean, variance, nil
 }
 
-// kinvMatrix materializes C⁻¹ (cached).
+// kinvMatrix materializes C⁻¹ (cached, pooled; Release returns it).
 func (m *Model) kinvMatrix() (*mat.Dense, error) {
 	if m.kinv != nil {
 		return m.kinv, nil
 	}
-	inv, err := m.chol.Inverse()
+	n := m.chol.Size()
+	inv := mat.GetDense(n, n)
+	linv := mat.GetDense(n, n)
+	err := m.chol.InverseTo(inv, linv)
+	linv.Release()
 	if err != nil {
+		inv.Release()
 		return nil, fmt.Errorf("%w: %v", ErrCondition, err)
 	}
 	m.kinv = inv
@@ -254,19 +311,7 @@ func (m *Model) LOO() (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	n := len(m.y)
-	var ll float64
-	for i := 0; i < n; i++ {
-		kii := kinv.At(i, i)
-		if kii <= 0 {
-			return 0, fmt.Errorf("%w: nonpositive precision diagonal", ErrCondition)
-		}
-		sigma2 := 1 / kii
-		mu := m.y[i] - m.alpha[i]/kii
-		d := m.y[i] - mu
-		ll += -0.5*math.Log(sigma2) - d*d/(2*sigma2) - 0.5*math.Log(2*math.Pi)
-	}
-	return ll, nil
+	return looSum(m.y, m.alpha, kinv)
 }
 
 // LOOResiduals returns the per-point leave-one-out predictive means and

@@ -191,7 +191,9 @@ func TestLOOGradientFiniteDifference(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	x, y := makeData(rng, 12, 2, 0.15)
 	hp := Hyper{Signal: 0.9, Length: 1.1, Noise: 0.25}
-	_, grad, err := looValueGrad(directSet(x, y), hp)
+	scr := newEvalScratch(len(y))
+	defer scr.release()
+	_, grad, err := looValueGrad(directSet(x, y), hp, scr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,11 +203,11 @@ func TestLOOGradientFiniteDifference(t *testing.T) {
 		up, dn := psi, psi
 		up[p] += eps
 		dn[p] -= eps
-		fu, _, err := looValueGrad(directSet(x, y), up.hyper())
+		fu, _, err := looValueGrad(directSet(x, y), up.hyper(), scr)
 		if err != nil {
 			t.Fatal(err)
 		}
-		fd, _, err := looValueGrad(directSet(x, y), dn.hyper())
+		fd, _, err := looValueGrad(directSet(x, y), dn.hyper(), scr)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -3,8 +3,6 @@ package gp
 import (
 	"fmt"
 	"math"
-
-	"smiler/internal/mat"
 )
 
 // Marginal-likelihood training — the classical alternative to the LOO
@@ -18,8 +16,7 @@ import (
 // MarginalLikelihood returns the log marginal likelihood of the
 // model's training data: log p(y|X,Θ) = −½yᵀC⁻¹y − ½log|C| − n/2·log2π.
 func (m *Model) MarginalLikelihood() float64 {
-	n := len(m.y)
-	return -0.5*mat.Dot(m.y, m.alpha) - 0.5*m.chol.LogDet() - 0.5*float64(n)*math.Log(2*math.Pi)
+	return marginalSum(m.y, m.alpha, m.chol)
 }
 
 // mlValueGrad evaluates the log marginal likelihood and its gradient
@@ -29,24 +26,23 @@ func (m *Model) MarginalLikelihood() float64 {
 // entries are exactly K_SE; on the diagonal K_SE = θ₀²) and squared
 // distances come from the trainSet source, so one O(n²) pass serves all
 // three traces with no re-exponentiation.
-func mlValueGrad(ts trainSet, hp Hyper) (float64, [3]float64, error) {
+func mlValueGrad(ts trainSet, hp Hyper, s *evalScratch) (float64, [3]float64, error) {
 	var grad [3]float64
-	m, err := fitSet(ts, hp)
-	if err != nil {
+	if err := s.fit(ts, hp); err != nil {
 		return 0, grad, err
 	}
-	lz := m.MarginalLikelihood()
-	kinv, err := m.kinvMatrix()
-	if err != nil {
-		return 0, grad, err
+	lz := marginalSum(ts.y, s.alpha, &s.chol)
+	if err := s.chol.InverseTo(s.kinv, s.linv); err != nil {
+		return 0, grad, fmt.Errorf("%w: %v", ErrCondition, err)
 	}
+	kinv := s.kinv
 	n := len(ts.y)
-	alpha := m.alpha
+	alpha := s.alpha
 
 	sig2 := hp.Signal * hp.Signal
 	len2 := hp.Length * hp.Length
 	noise2 := hp.Noise * hp.Noise
-	cov := m.cov
+	cov := s.cov
 	for i := 0; i < n; i++ {
 		kinvRow := kinv.Row(i)
 		covRow := cov.Row(i)
@@ -80,15 +76,22 @@ func OptimizeML(x [][]float64, y []float64, init Hyper, maxIter int) (OptimizeRe
 }
 
 // objective is a (value, gradient) evaluator over log hyperparameters.
-type objective func(ts trainSet, hp Hyper) (float64, [3]float64, error)
+// The scratch carries every transient the evaluation needs; it is owned
+// by the surrounding ascend() and reused across evaluations.
+type objective func(ts trainSet, hp Hyper, s *evalScratch) (float64, [3]float64, error)
 
 // ascend is the shared CG maximizer behind Optimize, OptimizeML and
-// their Column variants.
+// their Column variants. It acquires one evalScratch for the whole
+// optimization and releases it on return — the deterministic join
+// point for every buffer the line search touches.
 func ascend(ts trainSet, init Hyper, maxIter int, obj objective) (OptimizeResult, error) {
+	scr := newEvalScratch(len(ts.y))
+	defer scr.release()
+
 	psi := toLog(init).clamp()
 	res := OptimizeResult{Hyper: psi.hyper()}
 
-	f, g, err := obj(ts, psi.hyper())
+	f, g, err := obj(ts, psi.hyper(), scr)
 	res.Evals++
 	if err != nil {
 		return res, err
@@ -116,7 +119,7 @@ func ascend(ts trainSet, init Hyper, maxIter int, obj objective) (OptimizeResult
 		)
 		for tries := 0; tries < 14; tries++ {
 			cand := logHyper{psi[0] + step*dir[0], psi[1] + step*dir[1], psi[2] + step*dir[2]}.clamp()
-			fc, gc, err := obj(ts, cand.hyper())
+			fc, gc, err := obj(ts, cand.hyper(), scr)
 			res.Evals++
 			if err == nil && !math.IsNaN(fc) && fc >= f+1e-4*step*slope {
 				fNew, gNew, psNew, ok = fc, gc, cand, true

@@ -24,7 +24,9 @@ func TestMLGradientFiniteDifference(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	x, y := makeData(rng, 12, 2, 0.15)
 	hp := Hyper{Signal: 0.9, Length: 1.1, Noise: 0.25}
-	_, grad, err := mlValueGrad(directSet(x, y), hp)
+	scr := newEvalScratch(len(y))
+	defer scr.release()
+	_, grad, err := mlValueGrad(directSet(x, y), hp, scr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,11 +36,11 @@ func TestMLGradientFiniteDifference(t *testing.T) {
 		up, dn := psi, psi
 		up[p] += eps
 		dn[p] -= eps
-		fu, _, err := mlValueGrad(directSet(x, y), up.hyper())
+		fu, _, err := mlValueGrad(directSet(x, y), up.hyper(), scr)
 		if err != nil {
 			t.Fatal(err)
 		}
-		fd, _, err := mlValueGrad(directSet(x, y), dn.hyper())
+		fd, _, err := mlValueGrad(directSet(x, y), dn.hyper(), scr)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -56,25 +56,29 @@ func (p logHyper) clamp() logHyper {
 // single shared O(n³) product plus one O(n²) trace per hyperparameter,
 // with K_SE entries read back from the retained covariance instead of
 // re-exponentiating.
-func looValueGrad(ts trainSet, hp Hyper) (float64, [3]float64, error) {
+// Every transient lives in the caller's evalScratch: one ascend()
+// acquires two memsys slabs and reuses them across all evaluations of
+// the line search, which removes ~10 heap allocations per evaluation
+// from the predict hot path.
+func looValueGrad(ts trainSet, hp Hyper, s *evalScratch) (float64, [3]float64, error) {
 	var grad [3]float64
-	m, err := fitSet(ts, hp)
-	if err != nil {
+	if err := s.fit(ts, hp); err != nil {
 		return 0, grad, err
 	}
-	ll, err := m.LOO()
-	if err != nil {
-		return 0, grad, err
+	if err := s.chol.InverseTo(s.kinv, s.linv); err != nil {
+		return 0, grad, fmt.Errorf("%w: %v", ErrCondition, err)
 	}
-	kinv, err := m.kinvMatrix()
-	if err != nil {
-		return 0, grad, err
-	}
+	kinv := s.kinv
 	n := len(ts.y)
-	alpha := m.alpha
+	alpha := s.alpha
 
-	w := make([]float64, n)     // α ⊘ diag C⁻¹
-	cdiag := make([]float64, n) // curvature weights c_i
+	ll, err := looSum(ts.y, alpha, kinv)
+	if err != nil {
+		return 0, grad, err
+	}
+
+	w := s.w         // α ⊘ diag C⁻¹
+	cdiag := s.cdiag // curvature weights c_i
 	for i := 0; i < n; i++ {
 		kii := kinv.At(i, i)
 		if kii <= 0 {
@@ -83,12 +87,12 @@ func looValueGrad(ts trainSet, hp Hyper) (float64, [3]float64, error) {
 		w[i] = alpha[i] / kii
 		cdiag[i] = 0.5 * (1 + alpha[i]*alpha[i]/kii) / kii
 	}
-	v, err := mat.MulVec(kinv, w) // C⁻¹ is symmetric
-	if err != nil {
+	if err := mat.MulVecTo(s.v, kinv, w); err != nil { // C⁻¹ is symmetric
 		return 0, grad, err
 	}
+	v := s.v
 	// M = C⁻¹·diag(c)·C⁻¹ — the one shared O(n³) product.
-	b := mat.NewDense(n, n)
+	b := s.b
 	for i := 0; i < n; i++ {
 		brow := b.Row(i)
 		krow := kinv.Row(i)
@@ -96,10 +100,10 @@ func looValueGrad(ts trainSet, hp Hyper) (float64, [3]float64, error) {
 			brow[j] = krow[j] * cdiag[j]
 		}
 	}
-	mm, err := mat.Mul(b, kinv)
-	if err != nil {
+	if err := mat.MulTo(s.mm, b, kinv); err != nil {
 		return 0, grad, err
 	}
+	mm := s.mm
 
 	// One pass over the upper triangle accumulates all three traces.
 	// ∂C/∂log θ₀ = 2·K_SE, ∂C/∂log θ₁ = K_SE ∘ (r²/θ₁²) (zero on the
@@ -108,7 +112,7 @@ func looValueGrad(ts trainSet, hp Hyper) (float64, [3]float64, error) {
 	sig2 := hp.Signal * hp.Signal
 	len2 := hp.Length * hp.Length
 	noise2 := hp.Noise * hp.Noise
-	cov := m.cov
+	cov := s.cov
 	var gSig, gLen, gNoise float64
 	for a := 0; a < n; a++ {
 		covRow := cov.Row(a)

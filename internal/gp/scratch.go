@@ -1,0 +1,107 @@
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"smiler/internal/mat"
+	"smiler/internal/memsys"
+)
+
+// evalScratch bundles every transient one objective evaluation needs —
+// covariance, Cholesky factor, triangular/precision scratch, the shared
+// O(n³) gradient product, and four n-vectors — backed by two memsys
+// slabs acquired once per ascend() call and reused across all ~10–60
+// evaluations of that optimization. This is the single largest
+// allocation win on the predict path: the CG line search used to heap-
+// allocate ~10 matrices/vectors per evaluation.
+//
+// n is fixed for the lifetime of a scratch (a training set never
+// changes size mid-optimization), so the Dense wrappers are built once.
+type evalScratch struct {
+	n       int
+	matSlab []float64 // 6 n×n blocks
+	vecSlab []float64 // 4 n vectors
+
+	cov  *mat.Dense // C = K + θ₂²I (+jitter), the factored covariance
+	lfac *mat.Dense // Cholesky factor storage
+	linv *mat.Dense // triangular scratch for InverseTo
+	kinv *mat.Dense // C⁻¹
+	b    *mat.Dense // C⁻¹·diag(c)
+	mm   *mat.Dense // C⁻¹·diag(c)·C⁻¹
+
+	alpha []float64 // C⁻¹·y
+	w     []float64 // α ⊘ diag C⁻¹
+	cdiag []float64 // curvature weights
+	v     []float64 // C⁻¹·w
+
+	chol mat.Cholesky
+}
+
+func newEvalScratch(n int) *evalScratch {
+	ms := memsys.GetFloats(6 * n * n)
+	vs := memsys.GetFloats(4 * n)
+	s := &evalScratch{n: n, matSlab: ms, vecSlab: vs}
+	blk := func(i int) *mat.Dense { return mat.NewDenseData(n, n, ms[i*n*n:(i+1)*n*n]) }
+	s.cov, s.lfac, s.linv, s.kinv, s.b, s.mm = blk(0), blk(1), blk(2), blk(3), blk(4), blk(5)
+	s.alpha, s.w, s.cdiag, s.v = vs[0:n], vs[n:2*n], vs[2*n:3*n], vs[3*n:4*n]
+	return s
+}
+
+// release returns the slabs. The scratch must not be used afterwards.
+func (s *evalScratch) release() {
+	ms, vs := s.matSlab, s.vecSlab
+	s.matSlab, s.vecSlab = nil, nil
+	memsys.PutFloats(ms)
+	memsys.PutFloats(vs)
+}
+
+// fit builds and factors the covariance into the scratch, walking the
+// same jitter ladder as Model.factorize, and solves for α. It is the
+// scratch-path twin of fitSet — same operations in the same order, so
+// objective values are bit-identical to the model-allocating path.
+func (s *evalScratch) fit(ts trainSet, hp Hyper) error {
+	statFits.Add(1)
+	n := len(ts.y)
+	var lastErr error
+	for _, j := range jitters {
+		covMatrixR2Into(s.cov, n, ts.r2, hp, j)
+		if err := s.chol.FactorInto(s.lfac, s.cov); err != nil {
+			lastErr = err
+			statJitterRetries.Add(1)
+			continue
+		}
+		if err := s.chol.SolveVecTo(s.alpha, ts.y); err != nil {
+			lastErr = err
+			statJitterRetries.Add(1)
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrSingular, lastErr)
+}
+
+// looSum computes the LOO predictive log likelihood from the precision
+// matrix diagonal (Eqn. 20) — shared by Model.LOO and the scratch-based
+// optimizer so both paths are arithmetically identical.
+func looSum(y, alpha []float64, kinv *mat.Dense) (float64, error) {
+	n := len(y)
+	var ll float64
+	for i := 0; i < n; i++ {
+		kii := kinv.At(i, i)
+		if kii <= 0 {
+			return 0, fmt.Errorf("%w: nonpositive precision diagonal", ErrCondition)
+		}
+		sigma2 := 1 / kii
+		mu := y[i] - alpha[i]/kii
+		d := y[i] - mu
+		ll += -0.5*math.Log(sigma2) - d*d/(2*sigma2) - 0.5*math.Log(2*math.Pi)
+	}
+	return ll, nil
+}
+
+// marginalSum computes log p(y|X,Θ) from α and the factor — shared by
+// Model.MarginalLikelihood and the scratch-based optimizer.
+func marginalSum(y, alpha []float64, chol *mat.Cholesky) float64 {
+	return -0.5*mat.Dot(y, alpha) - 0.5*chol.LogDet() - 0.5*float64(len(y))*math.Log(2*math.Pi)
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"smiler/internal/memsys"
 )
 
 // SearchMulti answers the Suffix kNN Search for several horizons in a
@@ -37,6 +39,7 @@ func (ix *Index) SearchMulti(k int, hs []int) (map[int][]ItemResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer releaseBounds(lbs)
 
 	out := make(map[int][]ItemResult, len(sorted))
 	for _, h := range sorted {
@@ -53,6 +56,7 @@ func (ix *Index) SearchMulti(k int, hs []int) (map[int][]ItemResult, error) {
 	// distance ≤ τ_h and survive fully computed.
 	n := len(ix.c)
 	tasks := make([]*verifyTask, len(ix.p.ELV))
+	defer releaseTaskDists(tasks)
 	var launch []*verifyTask
 	for i, d := range ix.p.ELV {
 		nPos := len(lbs[i])
@@ -107,10 +111,11 @@ func (ix *Index) SearchMulti(k int, hs []int) (map[int][]ItemResult, error) {
 			}
 			dists = t.dists
 		} else {
-			dists = make([]float64, len(lbs[i]))
+			dists = memsys.GetFloats(len(lbs[i]))
 			for j := range dists {
 				dists[j] = inf
 			}
+			defer memsys.PutFloats(dists)
 		}
 		for _, h := range sorted {
 			maxT := n - d - h

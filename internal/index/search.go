@@ -9,6 +9,7 @@ import (
 
 	"smiler/internal/dtw"
 	"smiler/internal/gpusim"
+	"smiler/internal/memsys"
 )
 
 // Neighbor is one kNN result: the segment C[T : T+D] at distance Dist
@@ -54,6 +55,7 @@ func (ix *Index) Search(k, h int) ([]ItemResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer releaseBounds(lbs)
 
 	// Filter phase per item query (threshold derivation is cheap and
 	// seeds from the previous step's kNN), then ONE fused verification
@@ -61,6 +63,7 @@ func (ix *Index) Search(k, h int) ([]ItemResult, error) {
 	n := len(ix.c)
 	results := make([]ItemResult, len(ix.p.ELV))
 	tasks := make([]*verifyTask, len(ix.p.ELV))
+	defer releaseTaskDists(tasks)
 	var launch []*verifyTask
 	for i, d := range ix.p.ELV {
 		results[i] = ItemResult{D: d}
@@ -152,7 +155,10 @@ func (ix *Index) groupLevelLowerBounds(h int) ([][]float64, error) {
 		if maxT[i] < 0 {
 			maxT[i] = -1
 		}
-		lbs[i] = make([]float64, maxT[i]+1)
+		// History-length bound rows are the Search Step's biggest
+		// transient; Search/SearchMulti return them to the pool when the
+		// kNN sets have been extracted.
+		lbs[i] = memsys.GetFloats(maxT[i] + 1)
 		for t := range lbs[i] {
 			lbs[i][t] = inf
 		}
@@ -263,7 +269,8 @@ func (ix *Index) threshold(d int, query []float64, lbs []float64, k int) (float6
 		if err := chargeVerifyBlock(blk, d, rho, len(seeds)); err != nil {
 			return err
 		}
-		scratch := dtw.NewCompressedScratch(rho)
+		scratch := dtw.GetCompressedScratch(rho)
+		defer dtw.PutCompressedScratch(scratch)
 		for _, t := range seeds {
 			dist, err := dtw.DistanceCompressed(query, ix.c[t:t+d], rho, scratch)
 			if err != nil {
@@ -297,6 +304,29 @@ func chargeVerifyBlock(blk *gpusim.Block, d, rho, candidates int) error {
 	blk.GlobalAccess(d * candidates)
 	blk.ParallelCompute(candidates, d*(2*rho+1)*6)
 	return nil
+}
+
+// releaseBounds returns pooled lower-bound rows. Nothing below the
+// Search entry points retains them: verify tasks alias the rows only
+// for the duration of the call, and every output (Neighbor lists,
+// prevNN) is copied out.
+func releaseBounds(lbs [][]float64) {
+	for i, s := range lbs {
+		lbs[i] = nil
+		memsys.PutFloats(s)
+	}
+}
+
+// releaseTaskDists returns the pooled distance rows of completed
+// verify tasks.
+func releaseTaskDists(tasks []*verifyTask) {
+	for _, t := range tasks {
+		if t != nil && t.dists != nil {
+			d := t.dists
+			t.dists = nil
+			memsys.PutFloats(d)
+		}
+	}
 }
 
 // verifyTask describes one item query's slice of the fused
@@ -338,7 +368,7 @@ func (ix *Index) verifyFused(tasks []*verifyTask) error {
 	var refs []chunkRef
 	for ti, t := range tasks {
 		n := len(t.lbs)
-		t.dists = make([]float64, n)
+		t.dists = memsys.GetFloats(n)
 		for i := range t.dists {
 			t.dists[i] = inf
 		}
@@ -381,7 +411,8 @@ func (ix *Index) verifyFused(tasks []*verifyTask) error {
 		if err := blk.AllocShared(8 * dtw.CompressedScratchLen(rho)); err != nil {
 			return err
 		}
-		scratch := dtw.NewCompressedScratch(rho)
+		scratch := dtw.GetCompressedScratch(rho)
+		defer dtw.PutCompressedScratch(scratch)
 		totalCols, maxCols := 0, 0
 		for pos := lo; pos < hi; pos++ {
 			if !t.keep(pos) {

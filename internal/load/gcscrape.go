@@ -24,6 +24,12 @@ type GCWindow struct {
 	// and pause count accumulated during this window.
 	GCPauseS float64 `json:"gc_pause_s"`
 	GCPauses uint64  `json:"gc_pauses"`
+	// HeapLiveBytes / HeapGoalBytes are the target's heap gauges at the
+	// window's end — live bytes after the last mark phase and the
+	// pacer's goal. Read next to the pause columns they show whether
+	// pause spikes track heap growth or pacer churn.
+	HeapLiveBytes uint64 `json:"heap_live_bytes,omitempty"`
+	HeapGoalBytes uint64 `json:"heap_goal_bytes,omitempty"`
 	// Window-local latency and load, shared across the targets of one
 	// window (the loader does not attribute ops to targets).
 	ForecastP50Ms float64 `json:"forecast_p50_ms,omitempty"`
@@ -34,10 +40,13 @@ type GCWindow struct {
 	ScrapeError string `json:"scrape_error,omitempty"`
 }
 
-// gcSample is one target's cumulative GC-pause reading.
+// gcSample is one target's cumulative GC-pause reading plus the heap
+// gauges observed on the same scrape.
 type gcSample struct {
-	sum   float64
-	count uint64
+	sum      float64
+	count    uint64
+	heapLive uint64
+	heapGoal uint64
 }
 
 // gcScraper pulls smiler_runtime_gc_pause_seconds off each target's
@@ -81,9 +90,10 @@ func (g *gcScraper) scrape(target string) (gcSample, error) {
 		} else if v, ok := metricValue(line, "smiler_runtime_gc_pause_seconds_count"); ok {
 			s.count = uint64(v)
 			foundCount = true
-		}
-		if foundSum && foundCount {
-			break
+		} else if v, ok := metricValue(line, "smiler_runtime_heap_live_bytes"); ok {
+			s.heapLive = uint64(v)
+		} else if v, ok := metricValue(line, "smiler_runtime_heap_goal_bytes"); ok {
+			s.heapGoal = uint64(v)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -111,30 +121,33 @@ func metricValue(line, name string) (float64, bool) {
 }
 
 // window differences the target's current reading against the previous
-// one. The first reading only seeds the baseline (ok=false): there is
-// no window to attribute its cumulative total to.
-func (g *gcScraper) window(target string) (pauseS float64, pauses uint64, err error, ok bool) {
+// one. The heap gauges are point-in-time values, returned as read.
+// The first reading only seeds the baseline (ok=false): there is no
+// window to attribute its cumulative total to.
+func (g *gcScraper) window(target string) (w GCWindow, err error, ok bool) {
 	cur, err := g.scrape(target)
 	if err != nil {
 		// Drop the baseline: after a failed scrape the next delta would
 		// span two windows, which is exactly the smearing this per-window
 		// series exists to avoid.
 		g.seeded[target] = false
-		return 0, 0, err, true
+		return GCWindow{}, err, true
 	}
+	w.HeapLiveBytes = cur.heapLive
+	w.HeapGoalBytes = cur.heapGoal
 	if !g.seeded[target] {
 		g.prev[target] = cur
 		g.seeded[target] = true
-		return 0, 0, nil, false
+		return w, nil, false
 	}
 	prev := g.prev[target]
 	g.prev[target] = cur
-	pauseS = cur.sum - prev.sum
+	w.GCPauseS = cur.sum - prev.sum
 	if cur.count >= prev.count {
-		pauses = cur.count - prev.count
+		w.GCPauses = cur.count - prev.count
 	}
-	if pauseS < 0 {
-		pauseS = 0 // target restarted mid-run; counters reset
+	if w.GCPauseS < 0 {
+		w.GCPauseS = 0 // target restarted mid-run; counters reset
 	}
-	return pauseS, pauses, nil, true
+	return w, nil, true
 }

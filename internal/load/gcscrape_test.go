@@ -25,6 +25,8 @@ func TestGCScraperWindows(t *testing.T) {
 		fmt.Fprintf(w, "smiler_runtime_gc_pause_seconds_summary 99\n") // prefix trap
 		fmt.Fprintf(w, "smiler_runtime_gc_pause_seconds_sum %g\n", float64(sum.Load())/1000)
 		fmt.Fprintf(w, "smiler_runtime_gc_pause_seconds_count %d\n", count.Load())
+		fmt.Fprintf(w, "smiler_runtime_heap_live_bytes %d\n", 1<<20)
+		fmt.Fprintf(w, "smiler_runtime_heap_goal_bytes %d\n", 2<<20)
 	}))
 	defer ts.Close()
 
@@ -33,46 +35,49 @@ func TestGCScraperWindows(t *testing.T) {
 	// First reading seeds the baseline: no window yet.
 	sum.Store(100)
 	count.Store(2)
-	if _, _, err, ok := g.window(ts.URL); err != nil || ok {
+	if _, err, ok := g.window(ts.URL); err != nil || ok {
 		t.Fatalf("seed reading: err=%v ok=%v, want nil false", err, ok)
 	}
 
-	// Second reading yields the delta.
+	// Second reading yields the delta, plus the heap gauges as read.
 	sum.Store(150)
 	count.Store(3)
-	pauseS, pauses, err, ok := g.window(ts.URL)
+	gw, err, ok := g.window(ts.URL)
 	if err != nil || !ok {
 		t.Fatalf("window: err=%v ok=%v", err, ok)
 	}
-	if pauseS < 0.0499 || pauseS > 0.0501 || pauses != 1 {
-		t.Fatalf("delta = %gs/%d pauses, want 0.05s/1", pauseS, pauses)
+	if gw.GCPauseS < 0.0499 || gw.GCPauseS > 0.0501 || gw.GCPauses != 1 {
+		t.Fatalf("delta = %gs/%d pauses, want 0.05s/1", gw.GCPauseS, gw.GCPauses)
+	}
+	if gw.HeapLiveBytes != 1<<20 || gw.HeapGoalBytes != 2<<20 {
+		t.Fatalf("heap gauges = %d/%d, want %d/%d", gw.HeapLiveBytes, gw.HeapGoalBytes, 1<<20, 2<<20)
 	}
 
 	// A failed scrape reports the error and drops the baseline, so the
 	// next success seeds again instead of smearing two windows into one.
 	fail.Store(true)
-	if _, _, err, ok := g.window(ts.URL); err == nil || !ok {
+	if _, err, ok := g.window(ts.URL); err == nil || !ok {
 		t.Fatalf("failed scrape: err=%v ok=%v, want error true", err, ok)
 	}
 	fail.Store(false)
 	sum.Store(400)
 	count.Store(9)
-	if _, _, err, ok := g.window(ts.URL); err != nil || ok {
+	if _, err, ok := g.window(ts.URL); err != nil || ok {
 		t.Fatalf("post-failure reading must re-seed: err=%v ok=%v", err, ok)
 	}
 	sum.Store(410)
 	count.Store(10)
-	pauseS, pauses, err, ok = g.window(ts.URL)
-	if err != nil || !ok || pauses != 1 || pauseS > 0.0101 {
-		t.Fatalf("post-reseed delta = %gs/%d (err=%v ok=%v), want 0.01s/1", pauseS, pauses, err, ok)
+	gw, err, ok = g.window(ts.URL)
+	if err != nil || !ok || gw.GCPauses != 1 || gw.GCPauseS > 0.0101 {
+		t.Fatalf("post-reseed delta = %gs/%d (err=%v ok=%v), want 0.01s/1", gw.GCPauseS, gw.GCPauses, err, ok)
 	}
 
 	// A counter reset (target restart) clamps to zero, not negative.
 	sum.Store(5)
 	count.Store(0)
-	pauseS, pauses, _, _ = g.window(ts.URL)
-	if pauseS < 0 || pauses != 0 {
-		t.Fatalf("reset delta = %gs/%d, want clamped to 0", pauseS, pauses)
+	gw, _, _ = g.window(ts.URL)
+	if gw.GCPauseS < 0 || gw.GCPauses != 0 {
+		t.Fatalf("reset delta = %gs/%d, want clamped to 0", gw.GCPauseS, gw.GCPauses)
 	}
 }
 

@@ -533,15 +533,17 @@ func (l *Loader) recordGCWindows(started, now time.Time, sum PhaseSummary) {
 			ForecastP99Ms: fc.P99Ms,
 			OpsPerS:       sum.Total.Throughput,
 		}
-		pauseS, pauses, err, ok := l.gc.window(t)
+		gw, err, ok := l.gc.window(t)
 		if !ok {
 			continue // first reading: baseline only
 		}
 		if err != nil {
 			w.ScrapeError = err.Error()
 		} else {
-			w.GCPauseS = pauseS
-			w.GCPauses = pauses
+			w.GCPauseS = gw.GCPauseS
+			w.GCPauses = gw.GCPauses
+			w.HeapLiveBytes = gw.HeapLiveBytes
+			w.HeapGoalBytes = gw.HeapGoalBytes
 		}
 		l.gcWindows = append(l.gcWindows, w)
 	}

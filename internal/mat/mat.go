@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"smiler/internal/memsys"
 )
 
 // ErrNotSPD is returned by Cholesky-based routines when the input matrix
@@ -26,6 +28,7 @@ var ErrShape = errors.New("mat: dimension mismatch")
 type Dense struct {
 	rows, cols int
 	data       []float64
+	pooled     bool // data came from memsys; Release returns it
 }
 
 // NewDense allocates an r×c zero matrix.
@@ -34,6 +37,30 @@ func NewDense(r, c int) *Dense {
 		panic(fmt.Sprintf("mat: invalid dimensions %d×%d", r, c))
 	}
 	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// GetDense allocates an r×c zero matrix whose backing slab comes from
+// the memsys pool. It is interchangeable with NewDense (a pooled slab
+// is zeroed on Get); Release returns the slab. Never calling Release is
+// safe — the slab is ordinary garbage — it just forfeits the reuse.
+func GetDense(r, c int) *Dense {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %d×%d", r, c))
+	}
+	return &Dense{rows: r, cols: c, data: memsys.GetFloats(r * c), pooled: true}
+}
+
+// Release returns a pooled matrix's slab to memsys. Idempotent: the
+// first call detaches the backing data (subsequent At/Set panic loudly
+// instead of corrupting a recycled slab), later calls are no-ops. A
+// no-op on matrices from NewDense/NewDenseData.
+func (m *Dense) Release() {
+	if m == nil || !m.pooled || m.data == nil {
+		return
+	}
+	d := m.data
+	m.data = nil
+	memsys.PutFloats(d)
 }
 
 // NewDenseData wraps data (length r*c, row-major) without copying.
@@ -92,6 +119,19 @@ func Mul(a, b *Dense) (*Dense, error) {
 		return nil, ErrShape
 	}
 	out := NewDense(a.rows, b.cols)
+	if err := MulTo(out, a, b); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulTo computes a*b into out, which must be a.rows×b.cols and may be
+// dirty (it is cleared first). out must not alias a or b.
+func MulTo(out, a, b *Dense) error {
+	if a.cols != b.rows || out.rows != a.rows || out.cols != b.cols {
+		return ErrShape
+	}
+	clear(out.data)
 	for i := 0; i < a.rows; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
@@ -105,7 +145,7 @@ func Mul(a, b *Dense) (*Dense, error) {
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // MulVec returns a·x as a new vector.
@@ -114,10 +154,21 @@ func MulVec(a *Dense, x []float64) ([]float64, error) {
 		return nil, ErrShape
 	}
 	out := make([]float64, a.rows)
+	if err := MulVecTo(out, a, x); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulVecTo computes a·x into out (length a.rows). out must not alias x.
+func MulVecTo(out []float64, a *Dense, x []float64) error {
+	if a.cols != len(x) || a.rows != len(out) {
+		return ErrShape
+	}
 	for i := 0; i < a.rows; i++ {
 		out[i] = Dot(a.Row(i), x)
 	}
-	return out, nil
+	return nil
 }
 
 // Dot returns the inner product of x and y, which must have equal length.
@@ -167,8 +218,40 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 	if a.rows != a.cols {
 		return nil, ErrShape
 	}
+	c := &Cholesky{}
+	if err := c.FactorInto(NewDense(a.rows, a.rows), a); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// GetCholesky is NewCholesky with the factor stored in a pooled matrix;
+// Release (or the factor's own Release) returns the slab.
+func GetCholesky(a *Dense) (*Cholesky, error) {
+	if a.rows != a.cols {
+		return nil, ErrShape
+	}
+	l := GetDense(a.rows, a.rows)
+	c := &Cholesky{}
+	if err := c.FactorInto(l, a); err != nil {
+		l.Release()
+		return nil, err
+	}
+	return c, nil
+}
+
+// FactorInto factors the SPD matrix a, storing L in the caller-provided
+// n×n matrix l (cleared first, so reused scratch is fine) and pointing
+// c at it. On error c is left unusable and l holds garbage.
+func (c *Cholesky) FactorInto(l, a *Dense) error {
+	if a.rows != a.cols {
+		return ErrShape
+	}
 	n := a.rows
-	l := NewDense(n, n)
+	if l.rows != n || l.cols != n {
+		return ErrShape
+	}
+	clear(l.data)
 	for j := 0; j < n; j++ {
 		d := a.At(j, j)
 		lrowj := l.Row(j)
@@ -176,7 +259,7 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 			d -= lrowj[k] * lrowj[k]
 		}
 		if d <= 0 || math.IsNaN(d) {
-			return nil, ErrNotSPD
+			return ErrNotSPD
 		}
 		ljj := math.Sqrt(d)
 		lrowj[j] = ljj
@@ -189,7 +272,9 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 			lrowi[j] = s / ljj
 		}
 	}
-	return &Cholesky{n: n, l: l}, nil
+	c.n = n
+	c.l = l
+	return nil
 }
 
 // Size returns the order of the factored matrix.
@@ -198,23 +283,42 @@ func (c *Cholesky) Size() int { return c.n }
 // L returns the lower-triangular factor (a view, not a copy).
 func (c *Cholesky) L() *Dense { return c.l }
 
+// Release returns the factor's slab to the pool when it is pooled
+// (GetCholesky/GetPrefix); a no-op otherwise. Idempotent.
+func (c *Cholesky) Release() {
+	if c != nil {
+		c.l.Release()
+	}
+}
+
 // SolveVec solves A·x = b and returns x.
 func (c *Cholesky) SolveVec(b []float64) ([]float64, error) {
 	if len(b) != c.n {
 		return nil, ErrShape
 	}
-	// Forward substitution: L·y = b.
-	y := make([]float64, c.n)
+	x := make([]float64, c.n)
+	if err := c.SolveVecTo(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveVecTo solves A·x = b into caller storage x (length n). x may
+// alias b — each b[i] is consumed before x[i] is written.
+func (c *Cholesky) SolveVecTo(x, b []float64) error {
+	if len(b) != c.n || len(x) != c.n {
+		return ErrShape
+	}
+	// Forward substitution: L·y = b (y stored in x).
 	for i := 0; i < c.n; i++ {
 		s := b[i]
 		row := c.l.Row(i)
 		for k := 0; k < i; k++ {
-			s -= row[k] * y[k]
+			s -= row[k] * x[k]
 		}
-		y[i] = s / row[i]
+		x[i] = s / row[i]
 	}
 	// Back substitution: Lᵀ·x = y.
-	x := y // reuse
 	for i := c.n - 1; i >= 0; i-- {
 		s := x[i]
 		for k := i + 1; k < c.n; k++ {
@@ -222,7 +326,7 @@ func (c *Cholesky) SolveVec(b []float64) ([]float64, error) {
 		}
 		x[i] = s / c.l.At(i, i)
 	}
-	return x, nil
+	return nil
 }
 
 // Solve solves A·X = B for a matrix right-hand side.
@@ -253,10 +357,20 @@ func (c *Cholesky) Solve(b *Dense) (*Dense, error) {
 // leading k×k block of L is exactly the factor of the leading k×k
 // submatrix — Prefix just copies it out, no refactorization.
 func (c *Cholesky) Prefix(k int) (*Cholesky, error) {
+	return c.prefix(k, NewDense)
+}
+
+// GetPrefix is Prefix with the copied factor block in a pooled matrix;
+// release it via the returned factor's Release.
+func (c *Cholesky) GetPrefix(k int) (*Cholesky, error) {
+	return c.prefix(k, GetDense)
+}
+
+func (c *Cholesky) prefix(k int, alloc func(r, cc int) *Dense) (*Cholesky, error) {
 	if k <= 0 || k > c.n {
 		return nil, ErrShape
 	}
-	l := NewDense(k, k)
+	l := alloc(k, k)
 	for i := 0; i < k; i++ {
 		copy(l.Row(i)[:i+1], c.l.Row(i)[:i+1])
 	}
@@ -268,13 +382,29 @@ func (c *Cholesky) Prefix(k int) (*Cholesky, error) {
 // ~n³/2 flops instead of the 2n³ of n full solves, and the result is
 // symmetric by construction.
 func (c *Cholesky) Inverse() (*Dense, error) {
+	inv := NewDense(c.n, c.n)
+	linv := NewDense(c.n, c.n)
+	if err := c.InverseTo(inv, linv); err != nil {
+		return nil, err
+	}
+	return inv, nil
+}
+
+// InverseTo computes A⁻¹ into inv using linv as triangular scratch;
+// both must be n×n and may be dirty (every entry consumed is written
+// first). inv, linv and the factor must all be distinct.
+func (c *Cholesky) InverseTo(inv, linv *Dense) error {
 	n := c.n
+	if inv.rows != n || inv.cols != n || linv.rows != n || linv.cols != n {
+		return ErrShape
+	}
 	// L⁻¹ by forward substitution down each column; lower triangular.
-	linv := NewDense(n, n)
+	// Only the lower triangle of linv is written, and only written
+	// entries are read back, so no clear is needed.
 	for j := 0; j < n; j++ {
 		ljj := c.l.At(j, j)
 		if ljj == 0 {
-			return nil, ErrNotSPD
+			return ErrNotSPD
 		}
 		linv.Set(j, j, 1/ljj)
 		for i := j + 1; i < n; i++ {
@@ -287,7 +417,6 @@ func (c *Cholesky) Inverse() (*Dense, error) {
 		}
 	}
 	// (A⁻¹)_ij = Σ_{m ≥ max(i,j)} L⁻¹_mi · L⁻¹_mj.
-	inv := NewDense(n, n)
 	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
 			var s float64
@@ -298,7 +427,7 @@ func (c *Cholesky) Inverse() (*Dense, error) {
 			inv.Set(j, i, s)
 		}
 	}
-	return inv, nil
+	return nil
 }
 
 // LogDet returns log|A| = 2·Σ log L_ii.

@@ -1,0 +1,151 @@
+package memsys
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{1, 0}, {32, 0}, {33, 1}, {64, 1}, {65, 2},
+		{1 << 20, nClasses - 1}, {1<<20 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+func TestGetReturnsZeroedAfterReuse(t *testing.T) {
+	s := GetFloats(100)
+	if len(s) != 100 {
+		t.Fatalf("len = %d, want 100", len(s))
+	}
+	if cap(s) != 128 {
+		t.Fatalf("cap = %d, want 128", cap(s))
+	}
+	for i := range s {
+		s[i] = 3.5
+	}
+	PutFloats(s)
+	// A reused slab must come back zeroed — pooled code must observe
+	// exactly fresh-make state.
+	s2 := GetFloats(90)
+	for i, v := range s2 {
+		if v != 0 {
+			t.Fatalf("reused slab not zeroed at %d: %v", i, v)
+		}
+	}
+	PutFloats(s2)
+}
+
+func TestOversizeFallsThrough(t *testing.T) {
+	n := 1<<20 + 1
+	s := GetFloats(n)
+	if len(s) != n {
+		t.Fatalf("len = %d, want %d", len(s), n)
+	}
+	PutFloats(s) // must not panic, silently dropped
+}
+
+func TestPutRejectsForeignSlices(t *testing.T) {
+	before := Totals(FloatStats())
+	PutFloats(nil)
+	PutFloats(make([]float64, 100)) // cap 100 is not a class size
+	after := Totals(FloatStats())
+	if after.Puts != before.Puts || after.Drops != before.Drops {
+		t.Fatalf("foreign Put changed counters: %+v -> %+v", before, after)
+	}
+}
+
+func TestDisabledDegradesToMake(t *testing.T) {
+	SetEnabled(false)
+	defer SetEnabled(true)
+	s := GetFloats(64)
+	if cap(s) != 64 {
+		t.Fatalf("disabled Get should be a plain make: cap = %d", cap(s))
+	}
+	if Enabled() {
+		t.Fatal("Enabled() = true after SetEnabled(false)")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	b := GetBytes(1000)
+	if len(b) != 1000 || cap(b) != 1024 {
+		t.Fatalf("len/cap = %d/%d, want 1000/1024", len(b), cap(b))
+	}
+	for i := range b {
+		b[i] = 0xAB
+	}
+	PutBytes(b)
+	b2 := GetBytes(1024)
+	for i, v := range b2 {
+		if v != 0 {
+			t.Fatalf("reused byte slab not zeroed at %d", i)
+		}
+	}
+	PutBytes(b2)
+}
+
+func TestStatsAccounting(t *testing.T) {
+	// Use a class unlikely to be touched by other tests in this run.
+	n := 1 << 19
+	before := FloatStats()[nClasses-2]
+	s := GetFloats(n)
+	mid := FloatStats()[nClasses-2]
+	if mid.InUse != before.InUse+1 {
+		t.Fatalf("inuse not incremented: %d -> %d", before.InUse, mid.InUse)
+	}
+	PutFloats(s)
+	s2 := GetFloats(n)
+	after := FloatStats()[nClasses-2]
+	if after.Hits < before.Hits+1 {
+		t.Fatalf("expected a pool hit: hits %d -> %d", before.Hits, after.Hits)
+	}
+	PutFloats(s2)
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			sizes := []int{17, 64, 300, 4096, 70000}
+			for i := 0; i < 2000; i++ {
+				n := sizes[(i+seed)%len(sizes)]
+				s := GetFloats(n)
+				for j := range s {
+					if s[j] != 0 {
+						t.Errorf("dirty slab (n=%d, j=%d)", n, j)
+						return
+					}
+				}
+				s[0] = float64(seed)
+				PutFloats(s)
+				b := GetBytes(n)
+				b[n-1] = byte(seed)
+				PutBytes(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func BenchmarkGetPut4096(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := GetFloats(4096)
+		PutFloats(s)
+	}
+}
+
+func BenchmarkMake4096(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := make([]float64, 4096)
+		_ = s
+	}
+}

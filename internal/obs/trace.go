@@ -62,6 +62,7 @@ func NewTrace(sensor string, horizons ...int) *Trace {
 	return &Trace{
 		Sensor:   sensor,
 		Horizons: append([]int(nil), horizons...),
+		Spans:    make([]Span, 0, 8),
 		Start:    now,
 		start:    now,
 	}

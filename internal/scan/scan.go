@@ -142,7 +142,8 @@ func gpuScan(dev *gpusim.Device, c, query []float64, rho, k, h int) ([]Result, e
 		}
 		blk.GlobalAccess((hi - lo) * d)
 		blk.ParallelCompute(hi-lo, d*(2*rho+1)*6)
-		scratch := dtw.NewCompressedScratch(rho)
+		scratch := dtw.GetCompressedScratch(rho)
+		defer dtw.PutCompressedScratch(scratch)
 		for t := lo; t < hi; t++ {
 			dist, err := dtw.DistanceCompressed(query, c[t:t+d], rho, scratch)
 			if err != nil {

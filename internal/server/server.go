@@ -57,6 +57,7 @@ import (
 
 	"smiler"
 	"smiler/internal/ingest"
+	"smiler/internal/memsys"
 	"smiler/internal/obs"
 	"smiler/internal/timeseries"
 )
@@ -809,10 +810,31 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// sliceWriter appends into a caller-provided buffer (typically a
+// pooled memsys slab), so JSON responses are staged without a fresh
+// heap buffer per request.
+type sliceWriter struct{ b []byte }
+
+func (sw *sliceWriter) Write(p []byte) (int, error) {
+	sw.b = append(sw.b, p...)
+	return len(p), nil
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	slab := memsys.GetBytes(4096)
+	sw := &sliceWriter{b: slab[:0]}
+	if err := json.NewEncoder(sw).Encode(v); err != nil {
+		memsys.PutBytes(slab)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(sw.b)
+	// Return the original slab whether or not the encoder outgrew it;
+	// a grown copy just falls to the GC.
+	memsys.PutBytes(slab)
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {

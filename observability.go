@@ -7,6 +7,7 @@ import (
 	"smiler/internal/core"
 	"smiler/internal/gp"
 	"smiler/internal/index"
+	"smiler/internal/memsys"
 	"smiler/internal/obs"
 )
 
@@ -44,6 +45,11 @@ type systemObs struct {
 	// crashing the process.
 	degraded        map[string]*obs.Counter
 	panicsRecovered *obs.Counter
+
+	// Tiering instruments: cold sensors faulted back in, and hot
+	// sensors evicted (spilled) to disk.
+	sensorFaults    *obs.Counter
+	sensorEvictions *obs.Counter
 }
 
 // degradeReasons are the label values of the degraded-predictions
@@ -75,6 +81,10 @@ func newSystemObs() *systemObs {
 	}
 	so.panicsRecovered = reg.Counter("smiler_panics_recovered_total",
 		"Panics recovered into errors (predict workers, ingest shards, coalescer flights).")
+	so.sensorFaults = reg.Counter("smiler_sensor_faults_total",
+		"Cold sensors faulted back in from their spill files.")
+	so.sensorEvictions = reg.Counter("smiler_sensor_evictions_total",
+		"Hot sensors spilled cold by the MaxHotSensors LRU.")
 	so.degraded = make(map[string]*obs.Counter, len(degradeReasons))
 	for _, reason := range degradeReasons {
 		so.degraded[reason] = reg.Counter("smiler_degraded_predictions_total",
@@ -106,7 +116,50 @@ func newSystemObs() *systemObs {
 	reg.CounterFunc("smiler_gp_prefix_reuses_total",
 		"Smaller-k models served from a prefix of a shared Cholesky factor.",
 		func() float64 { return float64(gp.SnapshotStats().PrefixReuses) })
+	registerMemsys(reg)
 	return so
+}
+
+// registerMemsys bridges the slab allocator's per-class counters into
+// the registry. Like the gp counters these live at package level (the
+// pool has no registry handle), so they are read lazily at scrape
+// time: one snapshot per pool per scrape, shared by every class series
+// through the closure table built here.
+func registerMemsys(reg *obs.Registry) {
+	pools := []struct {
+		name string
+		snap func() []memsys.ClassStats
+	}{
+		{"floats", memsys.FloatStats},
+		{"bytes", memsys.ByteStats},
+	}
+	for _, p := range pools {
+		snap := p.snap
+		for i, cs := range snap() {
+			idx := i
+			labels := []obs.Label{obs.L("pool", p.name), obs.L("class", strconv.Itoa(cs.Size))}
+			reg.CounterFunc("smiler_memsys_hits_total",
+				"Slab Gets served from a free list.",
+				func() float64 { return float64(snap()[idx].Hits) }, labels...)
+			reg.CounterFunc("smiler_memsys_misses_total",
+				"Slab Gets that fell through to the heap.",
+				func() float64 { return float64(snap()[idx].Misses) }, labels...)
+			reg.CounterFunc("smiler_memsys_drops_total",
+				"Slab returns surrendered to the GC (free list full or pool disabled).",
+				func() float64 { return float64(snap()[idx].Drops) }, labels...)
+			reg.GaugeFunc("smiler_memsys_inuse",
+				"Slabs currently outstanding (Gets minus returns).",
+				func() float64 { return float64(snap()[idx].InUse) }, labels...)
+		}
+	}
+	reg.GaugeFunc("smiler_memsys_enabled",
+		"Whether the slab pool is active (1) or degraded to plain make (0).",
+		func() float64 {
+			if memsys.Enabled() {
+				return 1
+			}
+			return 0
+		})
 }
 
 // registerSystem adds the gauges that read live system state at
@@ -116,12 +169,22 @@ func (so *systemObs) registerSystem(s *System) {
 		return
 	}
 	so.reg.GaugeFunc("smiler_sensors",
-		"Registered sensors.",
+		"Registered sensors (hot and cold).",
+		func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(len(s.sensors)) + float64(s.tier.coldCount())
+		})
+	so.reg.GaugeFunc("smiler_sensors_hot",
+		"Sensors with a live pipeline and device-resident index.",
 		func() float64 {
 			s.mu.RLock()
 			defer s.mu.RUnlock()
 			return float64(len(s.sensors))
 		})
+	so.reg.GaugeFunc("smiler_sensors_cold",
+		"Sensors currently spilled to disk by the MaxHotSensors LRU.",
+		func() float64 { return float64(s.tier.coldCount()) })
 	for i, d := range s.devs {
 		dev := d
 		label := obs.L("device", strconv.Itoa(i))

@@ -1,25 +1,73 @@
 #!/usr/bin/env bash
 # bench_json.sh — run the prediction-path benchmarks and emit
 # BENCH_predict.json with ns/op, allocs and every custom metric
-# (predict-step-ns/op, cell-fit-ns/op, search-ns/op, ...). No
-# dependencies beyond go and awk; CI and `make bench-json` call this.
+# (predict-step-ns/op, cell-fit-ns/op, search-ns/op, ...), plus a
+# vs_baseline section with the B/op and allocs/op deltas against the
+# previously committed file. No dependencies beyond go and awk; CI and
+# `make bench-json` call this.
+#
+# Gates (both skippable with GATE=off for baseline regeneration):
+#   - sanity: the ingest metrics=off row must not be slower than
+#     metrics=on by >5% — that inversion means swapped labels or an
+#     unstable run (the pair runs with INGEST_BENCHTIME=2000x because
+#     at 1x a single ~7µs op is pure noise; see PR 8).
+#   - regression: predict-path allocs_per_op must not exceed the
+#     committed baseline by >10% (with a small absolute slack so the
+#     1x CI smoke's unamortized pool misses don't flake the gate).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_predict.json}"
+BASELINE="${BASELINE:-$OUT}"
 BENCHTIME="${BENCHTIME:-1x}"
 # 1x is the CI smoke setting; local runs use BENCHTIME=2s for stable
-# numbers.
+# numbers. The ingest on/off pair always gets enough iterations for a
+# stable ordering — each op is microseconds, so 2000x stays cheap.
+INGEST_BENCHTIME="${INGEST_BENCHTIME:-2000x}"
+GATE="${GATE:-on}"
 
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+base="$(mktemp)"
+trap 'rm -f "$raw" "$base"' EXIT
+# Snapshot the committed baseline before OUT is overwritten.
+if [ -f "$BASELINE" ]; then cp "$BASELINE" "$base"; else : >"$base"; fi
 
 go test ./internal/core -run '^$' -bench 'Benchmark(Predict|PredictSequential|PredictSharedHyper|PredictMulti|Observe)$' \
     -benchmem -benchtime "$BENCHTIME" >>"$raw"
 go test ./internal/ingest -run '^$' -bench 'BenchmarkIngestThroughput/direct' \
-    -benchmem -benchtime "$BENCHTIME" >>"$raw"
+    -benchmem -benchtime "$INGEST_BENCHTIME" >>"$raw"
 
-awk '
+awk -v baseline="$base" '
+function field(line, key,    m) {
+    # Extract a numeric JSON field from one emitted benchmark line.
+    if (match(line, "\"" key "\": [-0-9.e+]+")) {
+        m = substr(line, RSTART, RLENGTH)
+        sub(".*: ", "", m)
+        return m
+    }
+    return ""
+}
+function bname(line,    m) {
+    if (match(line, /"name": "[^"]*"/)) {
+        m = substr(line, RSTART + 9, RLENGTH - 10)
+        return m
+    }
+    return ""
+}
+BEGIN {
+    # Only benchmark rows carry B_per_op/allocs_per_op; the baseline
+    # file also holds vs_baseline rows, which must not clobber these.
+    while ((getline bl < baseline) > 0) {
+        bn = bname(bl)
+        if (bn == "") continue
+        bB = field(bl, "B_per_op")
+        bA = field(bl, "allocs_per_op")
+        if (bB != "") baseB[bn] = bB
+        if (bA != "") baseA[bn] = bA
+    }
+    close(baseline)
+    n = 0
+}
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -33,12 +81,27 @@ awk '
         out = out sprintf(", \"%s\": %s", key, val)
     }
     out = out "}"
+    order[n] = name
     lines[n++] = out
 }
 END {
     print "{"
     print "  \"benchmarks\": ["
     for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
+    print "  ],"
+    print "  \"vs_baseline\": ["
+    nd = 0
+    for (i = 0; i < n; i++) {
+        bn = order[i]
+        if (!(bn in baseA) || baseA[bn] == "" || baseA[bn] + 0 == 0) continue
+        curB = field(lines[i], "B_per_op")
+        curA = field(lines[i], "allocs_per_op")
+        if (curB == "" || curA == "") continue
+        dB = 100 * (curB - baseB[bn]) / baseB[bn]
+        dA = 100 * (curA - baseA[bn]) / baseA[bn]
+        deltas[nd++] = sprintf("    {\"name\": \"%s\", \"B_per_op_delta_pct\": %.1f, \"allocs_per_op_delta_pct\": %.1f}", bn, dB, dA)
+    }
+    for (i = 0; i < nd; i++) printf "%s%s\n", deltas[i], (i < nd - 1 ? "," : "")
     print "  ]"
     print "}"
 }
@@ -46,3 +109,64 @@ END {
 
 echo "wrote $OUT:"
 cat "$OUT"
+
+[ "$GATE" = "on" ] || { echo "gates skipped (GATE=$GATE)"; exit 0; }
+
+# Sanity gate: the ingest pair must not report metrics=on faster than
+# metrics=off beyond tolerance.
+awk '
+function field(line, key,    m) {
+    if (match(line, "\"" key "\": [-0-9.e+]+")) {
+        m = substr(line, RSTART, RLENGTH); sub(".*: ", "", m); return m
+    }
+    return ""
+}
+/"name": "BenchmarkIngestThroughput\/direct\/metrics=on"/  { v = field($0, "ns_per_op"); if (v != "") on = v }
+/"name": "BenchmarkIngestThroughput\/direct\/metrics=off"/ { v = field($0, "ns_per_op"); if (v != "") off = v }
+END {
+    if (on == "" || off == "") { print "bench-json: ingest rows missing"; exit 1 }
+    if (on + 0 < off * 0.95) {
+        printf "bench-json: SANITY FAIL: metrics=on (%s ns/op) beats metrics=off (%s ns/op) by >5%% — swapped labels or unstable run\n", on, off
+        exit 1
+    }
+    printf "bench-json: ingest sanity ok (on=%s off=%s ns/op)\n", on, off
+}
+' "$OUT"
+
+# Regression gate: predict-path allocations must stay within 10% of
+# the committed baseline (plus 64 allocs absolute slack for the 1x
+# smoke, where first-iteration pool misses are unamortized).
+awk -v baseline="$base" '
+function field(line, key,    m) {
+    if (match(line, "\"" key "\": [-0-9.e+]+")) {
+        m = substr(line, RSTART, RLENGTH); sub(".*: ", "", m); return m
+    }
+    return ""
+}
+function bname(line,    m) {
+    if (match(line, /"name": "[^"]*"/)) return substr(line, RSTART + 9, RLENGTH - 10)
+    return ""
+}
+BEGIN {
+    while ((getline bl < baseline) > 0) {
+        bn = bname(bl)
+        if (bn == "") continue
+        bA = field(bl, "allocs_per_op")
+        if (bA != "") baseA[bn] = bA
+    }
+    close(baseline)
+    fail = 0
+}
+/"name": "BenchmarkPredict(Sequential|SharedHyper|Multi)?"/ {
+    bn = bname($0)
+    cur = field($0, "allocs_per_op")
+    if (!(bn in baseA) || baseA[bn] == "" || cur == "") next
+    if (cur + 0 > baseA[bn] * 1.10 && cur - baseA[bn] > 64) {
+        printf "bench-json: ALLOC REGRESSION: %s %s allocs/op vs baseline %s (>10%%)\n", bn, cur, baseA[bn]
+        fail = 1
+    } else {
+        printf "bench-json: %s allocs ok (%s vs baseline %s)\n", bn, cur, baseA[bn]
+    }
+}
+END { exit fail }
+' "$OUT"

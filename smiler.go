@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -43,6 +44,7 @@ import (
 	"smiler/internal/core"
 	"smiler/internal/gpusim"
 	"smiler/internal/index"
+	"smiler/internal/memsys"
 	"smiler/internal/obs"
 	"smiler/internal/timeseries"
 )
@@ -203,6 +205,27 @@ type Config struct {
 	// optimization, on by default) for ablations and debugging.
 	DisableEarlyAbandon bool
 
+	// MaxHotSensors caps how many sensors keep a live pipeline and
+	// device-resident index at once. Beyond the cap the least recently
+	// used sensor is spilled to a single-sensor checkpoint envelope on
+	// disk ("cold") and faulted back in transparently on its next
+	// observe, predict or history read. 0 (default) means unlimited:
+	// every registered sensor stays hot.
+	MaxHotSensors int
+
+	// SpillDir is where cold sensors spill when MaxHotSensors is set.
+	// Empty means a fresh temp directory (removed by Close). Spill
+	// files are a runtime cache, not a durability layer: the directory
+	// is wiped at New, and crash durability still comes from
+	// checkpoints (which embed cold sensors) plus WAL replay.
+	SpillDir string
+
+	// DisablePooling switches the memsys slab allocator off for the
+	// whole process (pooling is an allocator property, like GOGC), so
+	// every pooled Get degrades to a plain make. Exists for the
+	// pooled-vs-unpooled determinism harness and A/B benchmarks.
+	DisablePooling bool
+
 	// PredictDeadline bounds every prediction that arrives without its
 	// own context deadline: when it elapses, the pipeline stops at the
 	// next phase boundary and — with Fallback set — the caller gets a
@@ -274,6 +297,10 @@ type System struct {
 	mu      sync.RWMutex
 	sensors map[string]*sensorState
 	closed  bool
+
+	// tier is the hot/cold sensor tiering state (nil when
+	// MaxHotSensors is 0: every sensor stays hot).
+	tier *tierState
 }
 
 type sensorState struct {
@@ -282,6 +309,10 @@ type sensorState struct {
 	pipe *core.Pipeline
 	ix   *index.Index
 	dev  *gpusim.Device
+	// gone marks a state spilled cold by the tier while a caller held a
+	// stale pointer: set under mu, it tells the caller to retry through
+	// the fault-in path instead of using the closed index.
+	gone bool
 }
 
 // New builds a System.
@@ -307,6 +338,13 @@ func New(cfg Config) (*System, error) {
 	if cfg.MaxHistory < 0 {
 		return nil, fmt.Errorf("smiler: negative MaxHistory %d", cfg.MaxHistory)
 	}
+	if cfg.DisablePooling {
+		memsys.SetEnabled(false)
+	}
+	tier, err := newTierState(cfg)
+	if err != nil {
+		return nil, err
+	}
 	so := &systemObs{} // disabled: nil instruments are no-ops
 	if !cfg.DisableMetrics {
 		so = newSystemObs()
@@ -316,7 +354,7 @@ func New(cfg Config) (*System, error) {
 			so.runtime.Start(cfg.RuntimeMetricsInterval)
 		}
 	}
-	s := &System{cfg: cfg, devs: devs, obs: so, sensors: make(map[string]*sensorState)}
+	s := &System{cfg: cfg, devs: devs, obs: so, sensors: make(map[string]*sensorState), tier: tier}
 	so.registerSystem(s)
 	return s, nil
 }
@@ -369,10 +407,24 @@ func (s *System) MinHistory() int {
 func (s *System) AddSensor(id string, history []float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.addSensorLocked(id, history); err != nil {
+		return err
+	}
+	s.tier.markHot(id)
+	return s.enforceCapLocked(id)
+}
+
+// addSensorLocked is AddSensor without the lock, the duplicate check
+// against cold sensors, or the tier bookkeeping — the shared core of
+// AddSensor, checkpoint restore and tier fault-in. Callers hold s.mu.
+func (s *System) addSensorLocked(id string, history []float64) error {
 	if s.closed {
 		return errors.New("smiler: system closed")
 	}
 	if _, dup := s.sensors[id]; dup {
+		return fmt.Errorf("smiler: sensor %q already registered", id)
+	}
+	if s.tier.isCold(id) {
 		return fmt.Errorf("smiler: sensor %q already registered", id)
 	}
 	params, err := s.cfg.indexParams()
@@ -448,23 +500,34 @@ func (s *System) RemoveSensor(id string) error {
 	defer s.mu.Unlock()
 	st, ok := s.sensors[id]
 	if !ok {
+		if s.tier.isCold(id) {
+			// A cold sensor has no live state: dropping the spill file and
+			// the cold entry is the whole removal.
+			s.tier.dropCold(id)
+			_ = os.Remove(s.tier.spillPath(id))
+			s.obs.traces.Remove(id)
+			return nil
+		}
 		return fmt.Errorf("smiler: unknown sensor %q", id)
 	}
 	delete(s.sensors, id)
+	s.tier.dropHot(id)
 	s.obs.traces.Remove(id)
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return st.ix.Close()
 }
 
-// Sensors returns the registered sensor ids, sorted.
+// Sensors returns the registered sensor ids, sorted — hot and cold
+// alike (a spilled sensor is still registered).
 func (s *System) Sensors() []string {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.sensors))
 	for id := range s.sensors {
 		out = append(out, id)
 	}
+	s.mu.RUnlock()
+	out = append(out, s.tier.coldIDs()...)
 	sort.Strings(out)
 	return out
 }
@@ -479,32 +542,20 @@ func (s *System) HasSensor(id string) bool {
 	if s.closed {
 		return false
 	}
-	_, ok := s.sensors[id]
-	return ok
-}
-
-func (s *System) sensor(id string) (*sensorState, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
-		return nil, errors.New("smiler: system closed")
+	if _, ok := s.sensors[id]; ok {
+		return true
 	}
-	st, ok := s.sensors[id]
-	if !ok {
-		return nil, fmt.Errorf("smiler: unknown sensor %q", id)
-	}
-	return st, nil
+	return s.tier.isCold(id)
 }
 
 // HistoryLen reports the number of points currently indexed for the
 // sensor — its initial history plus every streamed observation (and
 // minus nothing: MaxHistory only truncates at AddSensor time).
 func (s *System) HistoryLen(id string) (int, error) {
-	st, err := s.sensor(id)
+	st, _, err := s.acquire(id)
 	if err != nil {
 		return 0, err
 	}
-	st.mu.Lock()
 	defer st.mu.Unlock()
 	return len(st.ix.History()), nil
 }
@@ -514,11 +565,10 @@ func (s *System) HistoryLen(id string) (int, error) {
 // in the original units (the internal normalization is inverted).
 // Recovery tests compare this against a reference stream.
 func (s *System) History(id string) ([]float64, error) {
-	st, err := s.sensor(id)
+	st, _, err := s.acquire(id)
 	if err != nil {
 		return nil, err
 	}
-	st.mu.Lock()
 	defer st.mu.Unlock()
 	out := append([]float64(nil), st.ix.History()...)
 	if st.norm != nil {
@@ -545,12 +595,14 @@ func (s *System) Predict(id string, h int) (Forecast, error) {
 // non-positive horizon) always surface as errors; there is nothing to
 // degrade to.
 func (s *System) PredictCtx(ctx context.Context, id string, h int) (Forecast, error) {
-	st, err := s.sensor(id)
+	st, faulted, err := s.acquire(id)
 	if err != nil {
 		s.obs.predictErrs.Inc()
 		return Forecast{}, err
 	}
+	// st.mu is held from here; every return path below unlocks it.
 	if h <= 0 {
+		st.mu.Unlock()
 		s.obs.predictErrs.Inc()
 		return Forecast{}, fmt.Errorf("smiler: horizon %d must be positive", h)
 	}
@@ -562,9 +614,11 @@ func (s *System) PredictCtx(ctx context.Context, id string, h int) (Forecast, er
 		if tc, ok := obs.TraceFromContext(ctx); ok {
 			tr.SetContext(tc)
 		}
+		if faulted {
+			tr.SetStat("tier_fault", 1)
+		}
 	}
 	start := time.Now()
-	st.mu.Lock()
 	pred, err := st.pipe.PredictTracedCtx(ctx, h, tr)
 	timing := st.pipe.Timing()
 	searchStats := st.ix.Stats()
@@ -609,11 +663,12 @@ func (s *System) PredictHorizons(id string, hs []int) (map[int]Forecast, error) 
 // an operational failure every requested horizon gets a fallback
 // forecast.
 func (s *System) PredictHorizonsCtx(ctx context.Context, id string, hs []int) (map[int]Forecast, error) {
-	st, err := s.sensor(id)
+	st, faulted, err := s.acquire(id)
 	if err != nil {
 		s.obs.predictErrs.Inc()
 		return nil, err
 	}
+	defer st.mu.Unlock()
 	if len(hs) == 0 {
 		s.obs.predictErrs.Inc()
 		return nil, errors.New("smiler: empty horizon list")
@@ -632,10 +687,11 @@ func (s *System) PredictHorizonsCtx(ctx context.Context, id string, hs []int) (m
 		if tc, ok := obs.TraceFromContext(ctx); ok {
 			tr.SetContext(tc)
 		}
+		if faulted {
+			tr.SetStat("tier_fault", 1)
+		}
 	}
 	start := time.Now()
-	st.mu.Lock()
-	defer st.mu.Unlock()
 	preds, err := st.pipe.PredictMultiTracedCtx(ctx, hs, tr)
 	if err != nil && s.cfg.Fallback != FallbackNone {
 		reason := degradeReason(err)
@@ -734,14 +790,13 @@ func (s *System) fallbackLocked(st *sensorState, h int) (Forecast, error) {
 // update for that step is skipped (there is no truth to score
 // against).
 func (s *System) Observe(id string, v float64) error {
-	st, err := s.sensor(id)
+	st, _, err := s.acquire(id)
 	if err != nil {
 		s.obs.observeErrs.Inc()
 		return err
 	}
-	start := time.Now()
-	st.mu.Lock()
 	defer st.mu.Unlock()
+	start := time.Now()
 	if math.IsNaN(v) {
 		pred, err := st.pipe.Predict(1)
 		if err != nil {
@@ -868,11 +923,10 @@ func (s *System) Device() *gpusim.Device { return s.devs[0] }
 // EnsembleWeights reports the current (k, d) → weight map of a
 // sensor's ensemble; sleeping cells report weight 0.
 func (s *System) EnsembleWeights(id string) (map[[2]int]float64, error) {
-	st, err := s.sensor(id)
+	st, _, err := s.acquire(id)
 	if err != nil {
 		return nil, err
 	}
-	st.mu.Lock()
 	defer st.mu.Unlock()
 	out := make(map[[2]int]float64)
 	for _, c := range st.pipe.Ensemble().Cells() {
@@ -901,5 +955,6 @@ func (s *System) Close() error {
 		}
 		delete(s.sensors, id)
 	}
+	s.tier.close()
 	return first
 }
