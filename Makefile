@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-ingest bench-obs bench-json metrics-smoke events-smoke torture cluster-smoke cluster-smoke-procs loader-smoke memory-smoke
+.PHONY: all build vet test race bench bench-ingest bench-obs bench-json metrics-smoke events-smoke torture cluster-smoke cluster-smoke-procs loader-smoke memory-smoke membership-smoke
 
 all: vet build test
 
@@ -77,6 +77,14 @@ cluster-smoke-procs: build
 # well-formed report (scripts/loader_smoke.sh, docs/LOADER.md).
 loader-smoke: build
 	./scripts/loader_smoke.sh
+
+# Dynamic membership end to end: a real 3-process cluster under
+# sustained smilerloader traffic admits a fourth node (-cluster-join),
+# then decommissions n3 (POST /cluster/decommission → drain → clean
+# exit 0) — with zero request errors and zero SLO violations
+# (scripts/membership_smoke.sh, docs/CLUSTER.md).
+membership-smoke: build
+	./scripts/membership_smoke.sh
 
 # Hot/cold tiering end to end: a server capped at -max-hot-sensors 30
 # serves a 120-sensor population under load (spill/fault churn), is

@@ -1,6 +1,7 @@
 // Package cluster turns independent SMiLer serving nodes into a
-// static-membership cluster with sensor sharding, asynchronous
-// replication, probe-driven failover and online migration.
+// dynamically-membered cluster with sensor sharding, asynchronous
+// replication, probe-driven failover, online migration, and
+// zero-downtime join/drain/leave.
 //
 // Placement is a consistent-hash ring with virtual nodes: a sensor id
 // maps to a preference list of members; the first is its owner
@@ -9,6 +10,13 @@
 // forwards misrouted requests to the owner, so clients need no
 // routing knowledge (responses carry ownership hints for clients that
 // want to learn it).
+//
+// Membership is a versioned cluster map (clustermap.go): a monotonic
+// epoch signed by the elected primary, pushed to all members and
+// pulled by any node that sees a higher epoch on a peer request. The
+// lowest-id-alive active member is the primary (vote.go); it admits
+// joiners, flips drainers, and drives batched resumable rebalancing
+// (rebalance.go) over the bit-exact migration primitive below.
 //
 // The owner ships every applied mutation to its followers as WAL
 // frames (the on-disk envelope plus a per-sensor sequence number)
@@ -24,7 +32,10 @@
 // node keeps serving forecasts from its replica (tagged Degraded:
 // "replica", refused entirely once the staleness bound is exceeded)
 // but rejects mutations with 503 — reads stay available, writes wait
-// for the owner, so a returning primary cannot have missed writes.
+// for the owner, so a returning primary cannot have missed writes. A
+// draining member answers /readyz with 503 {"status":"draining"} but
+// is deliberately treated as alive: it keeps serving the sensors it
+// still owns while the rebalancer hands them off.
 //
 // Migration moves a sensor between live nodes without losing an
 // observation: quiesce (pause new writes, drain the pipeline), snap
@@ -42,31 +53,42 @@ import (
 	"log/slog"
 	"net/http"
 	"net/url"
-	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"smiler"
+	"smiler/internal/fault"
 	"smiler/internal/ingest"
 	"smiler/internal/server"
 	"smiler/internal/wal"
 )
 
-// Member is one static cluster member.
+// Member is one cluster member as recorded in the cluster map.
 type Member struct {
-	ID  string `json:"id"`
-	URL string `json:"url"` // base URL, e.g. "http://10.0.0.7:8080"
+	ID    string      `json:"id"`
+	URL   string      `json:"url"` // base URL, e.g. "http://10.0.0.7:8080"
+	State MemberState `json:"state,omitempty"`
 }
 
 // Config configures a cluster node.
 type Config struct {
 	// Self is this node's member ID (must appear in Members).
 	Self string
-	// Members is the full static membership, including self.
+	// Members seeds the epoch-1 cluster map. All founding members must
+	// boot with the same list (and Replicas/VirtualNodes/Secret) so
+	// they derive the identical seed map; later membership changes flow
+	// through /cluster/join and /cluster/decommission. A node booted
+	// with JoinURL may list only itself.
 	Members []Member
+	// JoinURL, when set, points at any member of an existing cluster;
+	// the node starts alone in its seed map and asks that cluster's
+	// primary to admit it, receiving its ring share via rebalancing.
+	JoinURL string
 	// Replicas is the number of follower copies per sensor (default 1,
-	// clamped to len(Members)-1).
+	// clamped to the member count minus one).
 	Replicas int
 	// VirtualNodes is the per-member vnode count on the ring
 	// (default 64).
@@ -83,12 +105,19 @@ type Config struct {
 	// this long has passed since the failed primary was last heard
 	// from, degraded reads answer 503 instead (default 5m).
 	MaxStaleness time.Duration
+	// RebalanceBatch bounds how many sensor migrations the primary's
+	// rebalancer issues per pacing pause (default 16).
+	RebalanceBatch int
+	// RebalanceInterval is the pacing pause between rebalance batches
+	// (default 200ms).
+	RebalanceInterval time.Duration
 	// Secret, when set, is required (in the X-Smiler-Cluster-Secret
 	// header) on every state-changing /cluster/* endpoint — replicate,
-	// restore, assign, migrate — and attached to all intra-cluster
-	// requests this node makes. Every member must share the same value.
-	// Leave empty only when untrusted clients cannot reach the serving
-	// port (see docs/CLUSTER.md, Security).
+	// restore, assign, migrate, map, join, decommission — and attached
+	// to all intra-cluster requests this node makes. It also keys the
+	// cluster-map HMAC. Every member must share the same value. Leave
+	// empty only when untrusted clients cannot reach the serving port
+	// (see docs/CLUSTER.md, Security).
 	Secret string
 	// HTTPClient is used for all intra-cluster requests (default: a
 	// client with a 5s timeout).
@@ -100,9 +129,6 @@ type Config struct {
 func (c *Config) applyDefaults() {
 	if c.Replicas <= 0 {
 		c.Replicas = 1
-	}
-	if c.Replicas > len(c.Members)-1 {
-		c.Replicas = len(c.Members) - 1
 	}
 	if c.VirtualNodes <= 0 {
 		c.VirtualNodes = 64
@@ -119,27 +145,48 @@ func (c *Config) applyDefaults() {
 	if c.MaxStaleness <= 0 {
 		c.MaxStaleness = 5 * time.Minute
 	}
+	if c.RebalanceBatch <= 0 {
+		c.RebalanceBatch = 16
+	}
+	if c.RebalanceInterval <= 0 {
+		c.RebalanceInterval = 200 * time.Millisecond
+	}
 	if c.HTTPClient == nil {
 		c.HTTPClient = &http.Client{Timeout: 5 * time.Second}
 	}
 }
 
 // Node glues one server into the cluster: it installs the ownership
-// gate, mounts the /cluster/* endpoints, runs the health prober and
-// the replication streams.
+// gate, mounts the /cluster/* endpoints, runs the health prober, the
+// replication streams, the elector and the rebalancer.
 type Node struct {
 	cfg     Config
 	sys     *smiler.System
 	srv     *server.Server
-	ring    *Ring
-	members map[string]Member
-	peers   []string // member ids excluding self, sorted
 	hc      *http.Client
 	log     *slog.Logger
+	selfURL string
+
+	// view is the membership snapshot derived from the installed
+	// cluster map; mapMu serializes installs, proposeMu serializes
+	// primary-side map mutations.
+	view      atomic.Pointer[memberView]
+	mapMu     sync.Mutex
+	proposeMu sync.Mutex
+	primary   atomic.Value // string: last computed primary (elector)
+	pulling   atomic.Bool  // a map pull is in flight
 
 	health *prober
 	repl   *replicator
+	reb    *rebalancer
 	m      *metrics
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	drained     chan struct{}
+	drainedOnce sync.Once
 
 	// assign overrides ring placement per sensor (migration). It wins
 	// over the ring's preference head.
@@ -153,17 +200,17 @@ type Node struct {
 }
 
 // New builds the node, wires it into srv (gate, routes, replication
-// hook) and starts its prober and replication workers. Call before
-// the listener starts serving. The caller still owns sys and srv.
+// hook) and starts its prober, replication, elector and rebalancer
+// workers. Call before the listener starts serving. The caller still
+// owns sys and srv.
 func New(sys *smiler.System, srv *server.Server, cfg Config) (*Node, error) {
 	if sys == nil || srv == nil {
 		return nil, errors.New("cluster: nil system or server")
 	}
-	if len(cfg.Members) < 2 {
-		return nil, errors.New("cluster: need at least two members")
+	if len(cfg.Members) < 2 && cfg.JoinURL == "" {
+		return nil, errors.New("cluster: need at least two members (or a join URL)")
 	}
 	members := make(map[string]Member, len(cfg.Members))
-	ids := make([]string, 0, len(cfg.Members))
 	for _, m := range cfg.Members {
 		if m.ID == "" {
 			return nil, errors.New("cluster: member with empty id")
@@ -177,9 +224,9 @@ func New(sys *smiler.System, srv *server.Server, cfg Config) (*Node, error) {
 			return nil, fmt.Errorf("cluster: duplicate member id %q", m.ID)
 		}
 		members[m.ID] = m
-		ids = append(ids, m.ID)
 	}
-	if _, ok := members[cfg.Self]; !ok {
+	self, ok := members[cfg.Self]
+	if !ok {
 		return nil, fmt.Errorf("cluster: self %q is not a member", cfg.Self)
 	}
 	cfg.applyDefaults()
@@ -187,22 +234,22 @@ func New(sys *smiler.System, srv *server.Server, cfg Config) (*Node, error) {
 		cfg:     cfg,
 		sys:     sys,
 		srv:     srv,
-		ring:    NewRing(ids, cfg.VirtualNodes),
-		members: members,
 		hc:      cfg.HTTPClient,
 		log:     cfg.Logger,
+		selfURL: self.URL,
+		done:    make(chan struct{}),
+		drained: make(chan struct{}),
 		assign:  make(map[string]string),
 		paused:  make(map[string]bool),
 	}
-	for _, id := range ids {
-		if id != cfg.Self {
-			n.peers = append(n.peers, id)
-		}
-	}
-	sort.Strings(n.peers)
 	n.health = newProber(n)
 	n.repl = newReplicator(n)
+	n.reb = newRebalancer(n)
+	if err := n.installMap(seedMap(cfg, members)); err != nil {
+		return nil, fmt.Errorf("cluster: seed map: %w", err)
+	}
 	n.m = newMetrics(sys.Metrics(), n)
+	n.m.syncPeers(n.peerIDs())
 
 	srv.Handle("/cluster/ring", n.handleRing)
 	srv.Handle("/cluster/health", n.handleHealth)
@@ -210,6 +257,11 @@ func New(sys *smiler.System, srv *server.Server, cfg Config) (*Node, error) {
 	srv.Handle("/cluster/restore", n.handleRestore)
 	srv.Handle("/cluster/migrate", n.handleMigrate)
 	srv.Handle("/cluster/assign", n.handleAssign)
+	srv.Handle("/cluster/map", n.handleMap)
+	srv.Handle("/cluster/join", n.handleJoin)
+	srv.Handle("/cluster/decommission", n.handleDecommission)
+	srv.Handle("/cluster/sensors", n.handleSensorList)
+	srv.Handle("/cluster/rebalance", n.handleRebalance)
 	srv.SetGate(n.gate)
 	// Every observation the pipeline applies locally streams to this
 	// sensor's followers (the gate only lets the owner apply locally,
@@ -220,35 +272,60 @@ func New(sys *smiler.System, srv *server.Server, cfg Config) (*Node, error) {
 
 	n.health.start()
 	n.repl.start()
+	n.wg.Add(2)
+	go n.electorLoop()
+	go n.reb.loop()
+	if cfg.JoinURL != "" {
+		n.wg.Add(1)
+		go n.joinLoop()
+	}
 	return n, nil
 }
 
-// Close stops the prober and replication workers and detaches the
-// node from its server (gate and hook cleared). The server keeps
-// serving single-node.
+// Close stops the prober, replication, elector and rebalancer workers
+// and detaches the node from its server (gate and hook cleared). The
+// server keeps serving single-node. Safe to call more than once.
 func (n *Node) Close() error {
-	n.srv.SetGate(nil)
-	n.srv.Pipeline().SetOnApplied(nil)
-	n.health.close()
-	n.repl.close()
+	n.closeOnce.Do(func() {
+		close(n.done)
+		n.srv.SetGate(nil)
+		n.srv.Pipeline().SetOnApplied(nil)
+		n.health.close()
+		n.repl.close()
+		n.wg.Wait()
+	})
 	return nil
 }
 
-// member looks up a member by id.
+// member looks up a member by id in the installed map.
 func (n *Node) member(id string) (Member, bool) {
-	m, ok := n.members[id]
+	v := n.curView()
+	if v == nil {
+		return Member{}, false
+	}
+	m, ok := v.members[id]
 	return m, ok
 }
 
 // peerIDs returns every member id except self, sorted.
-func (n *Node) peerIDs() []string { return n.peers }
+func (n *Node) peerIDs() []string {
+	v := n.curView()
+	if v == nil {
+		return nil
+	}
+	return v.peers
+}
 
 // --- placement ---
 
 // preference returns the sensor's member preference order: the
-// migration override first (when set), then the ring walk.
+// migration override first (when set), then the placement-ring walk.
 func (n *Node) preference(sensor string) []string {
-	pref := n.ring.Preference(sensor, len(n.members))
+	v := n.curView()
+	if v == nil {
+		return nil
+	}
+	pref := v.place.Preference(sensor, len(v.members))
 	n.assignMu.RLock()
 	override, ok := n.assign[sensor]
 	n.assignMu.RUnlock()
@@ -270,6 +347,9 @@ func (n *Node) preference(sensor string) []string {
 // is standing in for a down primary (it serves degraded reads only).
 func (n *Node) route(sensor string) (owner Member, promoted bool) {
 	pref := n.preference(sensor)
+	if len(pref) == 0 {
+		return Member{}, false
+	}
 	for i, id := range pref {
 		if n.health.isUp(id) {
 			m, _ := n.member(id)
@@ -287,6 +367,14 @@ func (n *Node) route(sensor string) (owner Member, promoted bool) {
 // Self counts toward the replica budget but is never a target (a node
 // does not stream to itself).
 func (n *Node) replicaTargets(sensor string) []string {
+	v := n.curView()
+	if v == nil {
+		return nil
+	}
+	reps := v.cmap.Replicas
+	if max := len(v.members) - 1; reps > max {
+		reps = max
+	}
 	pref := n.preference(sensor)
 	owner, _ := n.route(sensor)
 	var out []string
@@ -295,7 +383,7 @@ func (n *Node) replicaTargets(sensor string) []string {
 		if id == owner.ID {
 			continue
 		}
-		if taken >= n.cfg.Replicas {
+		if taken >= reps {
 			break
 		}
 		taken++
@@ -313,9 +401,12 @@ func (n *Node) replicaTargets(sensor string) []string {
 const secretHeader = "X-Smiler-Cluster-Secret"
 
 // peerHeaders stamps an outbound intra-cluster request with this
-// node's identity and, when configured, the shared secret.
+// node's identity, base URL, installed map epoch and, when
+// configured, the shared secret.
 func (n *Node) peerHeaders(req *http.Request) {
 	req.Header.Set(fromHeader, n.cfg.Self)
+	req.Header.Set(fromURLHeader, n.selfURL)
+	req.Header.Set(epochHeader, strconv.FormatUint(n.epoch(), 10))
 	if n.cfg.Secret != "" {
 		req.Header.Set(secretHeader, n.cfg.Secret)
 	}
@@ -337,22 +428,36 @@ func (n *Node) authSecret(w http.ResponseWriter, r *http.Request) bool {
 
 // authPeer gates the peer-to-peer /cluster/* endpoints (replicate,
 // restore, assign): the sender must present the shared secret when one
-// is configured and name itself as another member of the static
-// membership. Without a secret the membership check only stops stray
-// API clients from overwriting sensor state or flipping ownership —
-// any sender can claim a member id — so the secret, or keeping the
-// port off the client network, is the real boundary (docs/CLUSTER.md).
+// is configured and name itself as another member of the installed
+// map. Without a secret the membership check only stops stray API
+// clients from overwriting sensor state or flipping ownership — any
+// sender can claim a member id — so the secret, or keeping the port
+// off the client network, is the real boundary (docs/CLUSTER.md).
+// The sender's epoch is noted first, even when the request is then
+// rejected: a node that fell off a newer map learns about it from the
+// rejection path itself.
 func (n *Node) authPeer(w http.ResponseWriter, r *http.Request) bool {
+	n.noteEpoch(r.Header, "")
 	if !n.authSecret(w, r) {
 		return false
 	}
 	from := r.Header.Get(fromHeader)
-	if _, ok := n.members[from]; !ok || from == n.cfg.Self {
+	if _, ok := n.member(from); !ok || from == n.cfg.Self {
 		writeError(w, http.StatusForbidden,
 			"cluster endpoint requires a known peer "+fromHeader+" header")
 		return false
 	}
 	return true
+}
+
+// checkPeerFault consults a cluster fault point twice: once bare and
+// once suffixed ":<peer>", so tests can fail the path toward a single
+// peer (a partition) or toward everyone.
+func checkPeerFault(point, peer string) error {
+	if err := fault.Check(point); err != nil {
+		return err
+	}
+	return fault.Check(point + ":" + peer)
 }
 
 // --- pause (quiesce) ---
@@ -398,6 +503,8 @@ func (n *Node) snapshotSensor(sensor string) ([]byte, uint64, error) {
 // RingInfo is GET /cluster/ring without a sensor: the membership view.
 type RingInfo struct {
 	Self     string   `json:"self"`
+	Epoch    uint64   `json:"epoch"`
+	Primary  string   `json:"primary,omitempty"` // locally elected
 	Members  []Member `json:"members"`
 	Replicas int      `json:"replicas"`
 }
@@ -416,12 +523,13 @@ func (n *Node) handleRing(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
 		return
 	}
+	n.stampEpoch(w)
 	sensor := r.URL.Query().Get("sensor")
 	if sensor == "" {
-		info := RingInfo{Self: n.cfg.Self, Replicas: n.cfg.Replicas}
-		for _, id := range n.ring.Nodes() {
-			m, _ := n.member(id)
-			info.Members = append(info.Members, m)
+		info := RingInfo{Self: n.cfg.Self, Epoch: n.epoch(), Primary: n.electedPrimary()}
+		if v := n.curView(); v != nil {
+			info.Replicas = v.cmap.Replicas
+			info.Members = append(info.Members, v.cmap.Members...)
 		}
 		writeJSON(w, http.StatusOK, info)
 		return
@@ -438,9 +546,12 @@ func (n *Node) handleHealth(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
 		return
 	}
+	n.stampEpoch(w)
 	writeJSON(w, http.StatusOK, map[string]any{
-		"self":  n.cfg.Self,
-		"peers": n.health.snapshot(),
+		"self":    n.cfg.Self,
+		"epoch":   n.epoch(),
+		"primary": n.electedPrimary(),
+		"peers":   n.health.snapshot(),
 	})
 }
 

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"smiler/internal/fault"
 	"smiler/internal/ingest"
 	"smiler/internal/obs"
 	"smiler/internal/server"
@@ -50,20 +51,42 @@ func (n *Node) gate(w http.ResponseWriter, r *http.Request, next http.Handler) {
 		next.ServeHTTP(w, r) // not sensor-scoped: always local
 		return
 	}
+	if r.Header.Get(forwardedHeader) != "" {
+		// A peer reached us directly: note its epoch, and stamp ours on
+		// the response, so stale views heal off the regular request path
+		// too (in both directions).
+		n.noteEpoch(r.Header, "")
+		n.stampEpoch(w)
+	}
 	owner, promoted := n.route(sensor)
+	if owner.ID == "" {
+		next.ServeHTTP(w, r) // no installed placement (mid-leave): local
+		return
+	}
 	if owner.ID != n.cfg.Self {
 		if r.Header.Get(forwardedHeader) != "" {
 			// View skew: the sender thought we own this sensor. Serve
 			// locally rather than bounce; our state is at worst a lagging
 			// replica of the truth.
-			n.setOwnerHeaders(w, Member{ID: n.cfg.Self, URL: n.members[n.cfg.Self].URL})
+			n.setOwnerHeaders(w, Member{ID: n.cfg.Self, URL: n.selfURL})
 			next.ServeHTTP(w, r)
 			return
 		}
 		n.forward(w, r, owner, bodyCopy, sensor)
 		return
 	}
-	// We are the effective owner.
+	// We are the effective owner. A draining node takes no NEW sensors:
+	// ring-mapped registrations for sensors it does not hold go straight
+	// to their target-ring owner, with an ownership override broadcast
+	// so the cluster routes the fresh sensor to its real home at once.
+	if !promoted && r.Method == http.MethodPost && r.URL.Path == "/sensors" &&
+		r.Header.Get(forwardedHeader) == "" && !n.sys.HasSensor(sensor) {
+		if v := n.curView(); v != nil && v.inMap && v.self == StateDraining {
+			if n.redirectNewSensor(w, r, sensor, bodyCopy) {
+				return
+			}
+		}
+	}
 	n.setOwnerHeaders(w, owner)
 	if promoted {
 		n.serveAsReplica(w, r, sensor, next)
@@ -89,6 +112,35 @@ func (n *Node) gate(w http.ResponseWriter, r *http.Request, next http.Handler) {
 func (n *Node) setOwnerHeaders(w http.ResponseWriter, owner Member) {
 	w.Header().Set(ownerHeader, owner.ID)
 	w.Header().Set(server.OwnerURLHeader, owner.URL)
+}
+
+// redirectNewSensor forwards a new-sensor registration from a
+// draining node to the first live target-ring candidate and, on
+// success, installs + broadcasts the ownership override. Returns
+// false when no live candidate exists — the registration then
+// proceeds locally rather than failing (the rebalancer will move it).
+func (n *Node) redirectNewSensor(w http.ResponseWriter, r *http.Request, sensor string, body []byte) bool {
+	v := n.curView()
+	if v == nil {
+		return false
+	}
+	for _, id := range v.target.Preference(sensor, len(v.members)) {
+		if id == n.cfg.Self || !n.health.isUp(id) {
+			continue
+		}
+		tgt, ok := n.member(id)
+		if !ok {
+			continue
+		}
+		rec := &statusRecorder{ResponseWriter: w}
+		n.forward(rec, r, tgt, body, sensor)
+		if rec.status >= 200 && rec.status < 300 {
+			n.setAssign(sensor, id)
+			n.broadcastAssign(sensor, id)
+		}
+		return true
+	}
+	return false
 }
 
 // extractSensor pulls the target sensor id out of the request: the
@@ -160,12 +212,15 @@ func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner Member, bod
 		req.Header.Set(server.IdempotencyKeyHeader, key)
 	}
 	req.Header.Set(forwardedHeader, "1")
-	req.Header.Set(fromHeader, n.cfg.Self)
+	n.peerHeaders(req)
 	tc, traced := obs.TraceFromContext(r.Context())
 	if traced {
 		req.Header.Set(obs.TraceHeader, tc.Next().HeaderValue())
 	}
-	resp, err := n.hc.Do(req)
+	var resp *http.Response
+	if err = checkPeerFault(fault.PointClusterForward, owner.ID); err == nil {
+		resp, err = n.hc.Do(req)
+	}
 	if err != nil {
 		n.m.forwardErrs.Inc()
 		n.recordForwardTrace(sensor, tc, owner, start, nil, err)
@@ -174,6 +229,7 @@ func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner Member, bod
 		return
 	}
 	defer resp.Body.Close()
+	n.noteEpoch(resp.Header, owner.URL)
 	for _, h := range []string{"Content-Type", ownerHeader, server.OwnerURLHeader, server.IdempotentReplayHeader, "Retry-After", obs.SpanSummaryHeader} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
@@ -566,7 +622,7 @@ func (n *Node) forwardBulk(r *http.Request, owner Member, items []ingest.Observa
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(forwardedHeader, "1")
-	req.Header.Set(fromHeader, n.cfg.Self)
+	n.peerHeaders(req)
 	if tc, ok := obs.TraceFromContext(r.Context()); ok {
 		req.Header.Set(obs.TraceHeader, tc.Next().HeaderValue())
 	}
@@ -574,11 +630,15 @@ func (n *Node) forwardBulk(r *http.Request, owner Member, items []ingest.Observa
 		// Derived key: each partition dedupes independently on retry.
 		req.Header.Set(server.IdempotencyKeyHeader, key+"/"+owner.ID)
 	}
+	if err := checkPeerFault(fault.PointClusterForward, owner.ID); err != nil {
+		return res, err
+	}
 	resp, err := n.hc.Do(req)
 	if err != nil {
 		return res, err
 	}
 	defer resp.Body.Close()
+	n.noteEpoch(resp.Header, owner.URL)
 	if resp.StatusCode != http.StatusOK {
 		return res, errors.New("owner answered HTTP " + strconv.Itoa(resp.StatusCode))
 	}

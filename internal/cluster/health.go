@@ -1,10 +1,13 @@
 package cluster
 
 import (
+	"encoding/json"
+	"io"
 	"net/http"
 	"sync"
 	"time"
 
+	"smiler/internal/fault"
 	"smiler/internal/obs"
 )
 
@@ -47,12 +50,29 @@ func newProber(n *Node) *prober {
 		state: make(map[string]*peerHealth),
 		stop:  make(chan struct{}),
 	}
-	// Peers start up: a fresh node must not treat the whole cluster as
-	// failed before the first probe round completes.
-	for _, id := range n.peerIDs() {
-		p.state[id] = &peerHealth{up: true}
-	}
 	return p
+}
+
+// syncPeers reconciles the probe table with a new membership view.
+// New peers start up — a map install must not make the cluster look
+// failed before the first probe round — and removed peers drop out.
+func (p *prober) syncPeers(ids []string) {
+	want := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id := range p.state {
+		if !want[id] {
+			delete(p.state, id)
+		}
+	}
+	for id := range want {
+		if p.state[id] == nil {
+			p.state[id] = &peerHealth{up: true}
+		}
+	}
 }
 
 func (p *prober) start() {
@@ -93,9 +113,15 @@ func (p *prober) probeAll() {
 }
 
 // probe hits the peer's readiness endpoint once. Any transport error
-// or non-200 (a recovering or draining node answers 503) counts as a
-// failure: not-ready nodes must not own sensors.
+// or non-200 (a recovering node answers 503) counts as a failure:
+// not-ready nodes must not own sensors. The one exception is a
+// draining peer — it answers 503 {"status":"draining"} but is alive
+// and still serving the sensors it has not yet handed off, so marking
+// it down would failover its entire share mid-drain.
 func (p *prober) probe(id string) error {
+	if err := checkPeerFault(fault.PointClusterProbe, id); err != nil {
+		return err
+	}
 	member, ok := p.n.member(id)
 	if !ok {
 		return nil
@@ -109,10 +135,18 @@ func (p *prober) probe(id string) error {
 		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return &probeStatusError{status: resp.StatusCode}
+	if resp.StatusCode == http.StatusOK {
+		return nil
 	}
-	return nil
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		var body struct {
+			Status string `json:"status"`
+		}
+		if json.NewDecoder(io.LimitReader(resp.Body, 1024)).Decode(&body) == nil && body.Status == "draining" {
+			return nil
+		}
+	}
+	return &probeStatusError{status: resp.StatusCode}
 }
 
 type probeStatusError struct{ status int }

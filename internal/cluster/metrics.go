@@ -7,7 +7,8 @@ import "smiler/internal/obs"
 // cluster behaviour next to the prediction and ingest metrics. All
 // fields tolerate a nil registry (they become no-ops).
 type metrics struct {
-	reg *obs.Registry
+	reg  *obs.Registry
+	node *Node
 
 	forwards      func(target string) *obs.Counter
 	forwardErrs   *obs.Counter
@@ -26,7 +27,7 @@ type metrics struct {
 }
 
 func newMetrics(reg *obs.Registry, node *Node) *metrics {
-	m := &metrics{reg: reg}
+	m := &metrics{reg: reg, node: node}
 	m.forwards = func(target string) *obs.Counter {
 		return reg.Counter("smiler_cluster_forwards_total",
 			"Requests forwarded to their owning node.", obs.L("target", target))
@@ -66,16 +67,55 @@ func newMetrics(reg *obs.Registry, node *Node) *metrics {
 			}
 			return float64(node.repl.queuedFrames())
 		})
-	for _, p := range node.peerIDs() {
+	// Membership: the installed map's epoch and size, and the local
+	// rebalancer's progress counters.
+	reg.GaugeFunc("smiler_cluster_map_epoch",
+		"Epoch of the installed cluster map.",
+		func() float64 { return float64(node.epoch()) })
+	reg.GaugeFunc("smiler_cluster_members",
+		"Members in the installed cluster map (any state).",
+		func() float64 {
+			if v := node.curView(); v != nil {
+				return float64(len(v.members))
+			}
+			return 0
+		})
+	reg.GaugeFunc("smiler_rebalance_moved_sensors",
+		"Sensors this node's rebalancer has migrated (cumulative).",
+		func() float64 {
+			if node.reb == nil {
+				return 0
+			}
+			return float64(node.reb.moved.Load())
+		})
+	reg.GaugeFunc("smiler_rebalance_pending_sensors",
+		"Misplaced sensors remaining in the current rebalance plan.",
+		func() float64 {
+			if node.reb == nil {
+				return 0
+			}
+			return float64(node.reb.pending.Load())
+		})
+	return m
+}
+
+// syncPeers (re)registers the per-peer up/down gauge for the current
+// peer set. The registry dedupes by name+label, so re-registering a
+// known peer is a no-op; a peer that has left the map keeps its
+// registered series but reads 0 (the closure checks membership).
+func (m *metrics) syncPeers(ids []string) {
+	for _, p := range ids {
 		p := p
-		reg.GaugeFunc("smiler_cluster_peer_up",
-			"1 when the peer's readiness probe passes, 0 when it is down.",
+		m.reg.GaugeFunc("smiler_cluster_peer_up",
+			"1 when the peer's readiness probe passes, 0 when it is down or gone.",
 			func() float64 {
-				if node.health.isUp(p) {
+				if _, ok := m.node.member(p); !ok {
+					return 0
+				}
+				if m.node.health.isUp(p) {
 					return 1
 				}
 				return 0
 			}, obs.L("peer", p))
 	}
-	return m
 }

@@ -53,9 +53,11 @@ func (n *Node) handleMigrate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
 		return
 	}
+	n.stampEpoch(w)
 	if !n.authSecret(w, r) {
 		return
 	}
+	n.noteEpoch(r.Header, "")
 	var req MigrateRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
@@ -186,6 +188,7 @@ func (n *Node) handleAssign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
 		return
 	}
+	n.stampEpoch(w)
 	if !n.authPeer(w, r) {
 		return
 	}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"smiler/internal/fault"
 	"smiler/internal/memsys"
 	"smiler/internal/obs"
 	"smiler/internal/wal"
@@ -51,7 +52,11 @@ type replicator struct {
 	mu  sync.Mutex
 	seq map[string]uint64
 
-	peers map[string]*peerStream
+	// peersMu guards peers and started: the membership view swaps
+	// streams in and out as members join and leave.
+	peersMu sync.Mutex
+	peers   map[string]*peerStream
+	started bool
 
 	// contact tracks when each peer last reached this node (frames,
 	// heartbeats, snapshots). A promoted replica uses the failed
@@ -96,41 +101,77 @@ const (
 )
 
 func newReplicator(n *Node) *replicator {
-	r := &replicator{
+	return &replicator{
 		n:           n,
 		seq:         make(map[string]uint64),
 		peers:       make(map[string]*peerStream),
 		lastContact: make(map[string]time.Time),
 	}
-	// Seed every peer's contact time at process start: a primary that is
-	// already down when this node boots must accrue staleness from boot,
-	// not read as freshly contacted forever.
+}
+
+// syncPeers reconciles the outbound streams with a new membership
+// view: streams appear for new peers (started immediately once the
+// replicator is running), disappear for removed peers, and are
+// recreated when a member's URL changed.
+func (r *replicator) syncPeers(v *memberView) {
+	r.peersMu.Lock()
+	defer r.peersMu.Unlock()
+	want := make(map[string]string, len(v.peers))
+	for _, id := range v.peers {
+		want[id] = v.members[id].URL
+	}
+	for id, p := range r.peers {
+		if url, ok := want[id]; !ok || url != p.url {
+			close(p.stop)
+			delete(r.peers, id)
+		}
+	}
 	now := time.Now()
-	for _, id := range n.peerIDs() {
-		r.lastContact[id] = now
-		member, _ := n.member(id)
-		r.peers[id] = &peerStream{
+	for id, url := range want {
+		if r.peers[id] != nil {
+			continue
+		}
+		p := &peerStream{
 			id:     id,
-			url:    member.URL,
+			url:    url,
 			frames: make(chan *sharedFrame, peerQueueSize),
 			resync: make(chan string, resyncQueue),
 			stop:   make(chan struct{}),
 		}
+		r.peers[id] = p
+		// Seed the peer's contact time on first sight: a primary that is
+		// already down when this node learns about it must accrue
+		// staleness from now, not read as freshly contacted forever.
+		r.contactMu.Lock()
+		if _, ok := r.lastContact[id]; !ok {
+			r.lastContact[id] = now
+		}
+		r.contactMu.Unlock()
+		if r.started {
+			r.wg.Add(1)
+			go r.peerLoop(p)
+		}
 	}
-	return r
 }
 
 func (r *replicator) start() {
+	r.peersMu.Lock()
+	r.started = true
 	for _, p := range r.peers {
 		r.wg.Add(1)
 		go r.peerLoop(p)
 	}
+	r.peersMu.Unlock()
 }
 
 func (r *replicator) close() {
-	for _, p := range r.peers {
+	r.peersMu.Lock()
+	r.started = false
+	for id, p := range r.peers {
 		close(p.stop)
+		delete(r.peers, id)
 	}
+	r.peersMu.Unlock()
 	r.wg.Wait()
 }
 
@@ -164,6 +205,8 @@ func (r *replicator) dropSeq(sensor string) {
 // queuedFrames reports the total outbound backlog (replication lag in
 // frames) across peers.
 func (r *replicator) queuedFrames() int {
+	r.peersMu.Lock()
+	defer r.peersMu.Unlock()
 	total := 0
 	for _, p := range r.peers {
 		total += len(p.frames)
@@ -222,22 +265,20 @@ func (r *replicator) emit(rec wal.Record) {
 		return // unencodable record: nothing a follower could do either
 	}
 	sf := &sharedFrame{buf: frame}
-	live := 0
+	r.peersMu.Lock()
+	streams := make([]*peerStream, 0, len(targets))
 	for _, id := range targets {
-		if r.peers[id] != nil {
-			live++
+		if p := r.peers[id]; p != nil {
+			streams = append(streams, p)
 		}
 	}
-	if live == 0 {
+	r.peersMu.Unlock()
+	if len(streams) == 0 {
 		memsys.PutBytes(frame)
 		return
 	}
-	sf.refs.Store(int32(live))
-	for _, id := range targets {
-		p := r.peers[id]
-		if p == nil {
-			continue
-		}
+	sf.refs.Store(int32(len(streams)))
+	for _, p := range streams {
 		select {
 		case p.frames <- sf:
 			r.n.m.replFrames.Inc()
@@ -306,6 +347,10 @@ type replicateResponse struct {
 // post ships one batch (possibly empty — a heartbeat) to the peer and
 // queues any requested snapshot resyncs.
 func (r *replicator) post(p *peerStream, body []byte) {
+	if err := checkPeerFault(fault.PointClusterReplicateSend, p.id); err != nil {
+		r.n.m.replErrs.Inc()
+		return
+	}
 	req, err := http.NewRequest(http.MethodPost, p.url+"/cluster/replicate", bytes.NewReader(body))
 	if err != nil {
 		r.n.m.replErrs.Inc()
@@ -319,6 +364,10 @@ func (r *replicator) post(p *peerStream, body []byte) {
 		return
 	}
 	defer resp.Body.Close()
+	// The heartbeat mesh doubles as epoch gossip: a follower that moved
+	// to a newer map stamps its epoch on the response and this sender
+	// pulls the map.
+	r.n.noteEpoch(resp.Header, p.url)
 	if resp.StatusCode != http.StatusOK {
 		r.n.m.replErrs.Inc()
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
@@ -362,6 +411,10 @@ func (r *replicator) pushSnapshot(p *peerStream, sensor string) {
 		}
 		return
 	}
+	if err := checkPeerFault(fault.PointClusterReplicateSend, p.id); err != nil {
+		r.n.m.replErrs.Inc()
+		return
+	}
 	req, err := http.NewRequest(http.MethodPost, p.url+"/cluster/restore", bytes.NewReader(body))
 	if err != nil {
 		return
@@ -392,6 +445,7 @@ func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
 		return
 	}
+	n.stampEpoch(w)
 	if !n.authPeer(w, r) {
 		return
 	}
@@ -477,6 +531,7 @@ func (n *Node) handleRestore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
 		return
 	}
+	n.stampEpoch(w)
 	if !n.authPeer(w, r) {
 		return
 	}

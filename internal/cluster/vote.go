@@ -1,0 +1,94 @@
+// Primary election: lowest-id-alive over the existing prober.
+//
+// Every node continuously computes the same function of (installed
+// map, local probe results): the first active-state member, in id
+// order, whose readiness probe passes. No ballots are exchanged — the
+// map is shared state and probes converge within ProbeFailures
+// intervals, so all live nodes settle on the same primary without a
+// vote round. The primary's only privilege is publishing new map
+// epochs and driving the rebalancer; a wrong transient answer (two
+// nodes briefly both believing they are primary during a probe
+// transition) is safe because epoch monotonicity arbitrates the
+// publishes.
+//
+// Joining and draining members are never candidates: a joiner has no
+// state to be authoritative about, and a drainer is on its way out.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"smiler/internal/obs"
+)
+
+// electedPrimary computes this node's current view of the primary, or
+// "" when no active member is reachable.
+func (n *Node) electedPrimary() string {
+	v := n.curView()
+	if v == nil {
+		return ""
+	}
+	ids := make([]string, 0, len(v.members))
+	for id := range v.members {
+		if v.stateOf(id) == StateActive {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if n.health.isUp(id) {
+			return id
+		}
+	}
+	return ""
+}
+
+// electorLoop watches the primary computation for transitions: the
+// winner records election_won, and a primary with members mid-
+// transition keeps the rebalancer kicked (so a freshly elected
+// primary picks up a predecessor's unfinished rebalance).
+func (n *Node) electorLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-t.C:
+			n.electTick()
+		}
+	}
+}
+
+func (n *Node) electTick() {
+	v := n.curView()
+	if v == nil || !v.inMap {
+		return
+	}
+	prim := n.electedPrimary()
+	if prim == "" {
+		return
+	}
+	prev, _ := n.primary.Load().(string)
+	if prim != prev {
+		n.primary.Store(prim)
+		if prim == n.cfg.Self && len(v.members) > 1 {
+			detail := fmt.Sprintf("primary at epoch %d", v.cmap.Epoch)
+			if prev != "" {
+				detail += ", took over from " + prev
+			}
+			n.sys.Events().Record(obs.Event{Type: "election_won", Detail: detail})
+			if n.log != nil {
+				n.log.Info("cluster election won", "epoch", v.cmap.Epoch, "previous", prev)
+			}
+		} else if n.log != nil && prev != "" {
+			n.log.Info("cluster primary changed", "primary", prim, "previous", prev)
+		}
+	}
+	if prim == n.cfg.Self && viewNeedsRebalance(v) {
+		n.reb.kickNow()
+	}
+}

@@ -244,4 +244,20 @@ const (
 	PointGPUSimLaunch = "gpusim.launch"
 	// PointGPFit fires at the top of every GP predictor fit.
 	PointGPFit = "gp.fit"
+
+	// Cluster-path points. Each is checked twice per send: once under
+	// its bare name and once suffixed ":<peer-id>", so a rule keyed
+	// "cluster.forward:n2" partitions this node from n2 only while
+	// "cluster.forward" drops every forward.
+
+	// PointClusterForward fires before a request is proxied to the
+	// sensor's owning node.
+	PointClusterForward = "cluster.forward"
+	// PointClusterReplicateSend fires before a replication frame batch,
+	// heartbeat or resync snapshot is POSTed to a follower.
+	PointClusterReplicateSend = "cluster.replicate.send"
+	// PointClusterMapPush fires before a cluster-map push to a member.
+	PointClusterMapPush = "cluster.map.push"
+	// PointClusterProbe fires before a peer readiness probe.
+	PointClusterProbe = "cluster.probe"
 )

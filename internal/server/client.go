@@ -238,16 +238,39 @@ func (c *Client) doSensor(ctx context.Context, sensor, method, path string, body
 			return nil
 		}
 		lastErr = err
-		if usedHint {
-			// The hinted owner failed (died, or the sensor moved): fall
-			// back to the primary base, whose gate re-resolves ownership.
-			c.clearOwner(sensor)
+		if sensor != "" {
+			switch {
+			case ownerHint != "":
+				// The failed response itself named an owner (a 503 from a
+				// draining node, say): re-learn rather than forget.
+				c.setOwner(sensor, ownerHint)
+			case usedHint && evictOwner(err):
+				// The hinted owner is unreachable or in server-side
+				// trouble (connection error or 5xx): fall back to the
+				// primary base, whose gate re-resolves ownership. API
+				// errors like 404/409 are answers, not routing failures —
+				// keep the hint for those.
+				c.clearOwner(sensor)
+			}
 		}
 		if !retryable || ctx.Err() != nil {
 			return attemptsErr(err, made)
 		}
 	}
 	return attemptsErr(lastErr, made)
+}
+
+// evictOwner reports whether a failure against a hinted owner should
+// drop the cached hint: transport errors (the node is gone) and 5xx
+// (the node is up but refusing — draining, overloaded, mid-migration).
+// 4xx responses are authoritative answers about the request, not the
+// routing, so the hint stays.
+func evictOwner(err error) bool {
+	var he *HTTPError
+	if !errors.As(err, &he) {
+		return true // transport error: connection refused, reset, timeout
+	}
+	return he.Status >= 500
 }
 
 // attemptsErr annotates the final error with the attempt count so a

@@ -359,3 +359,123 @@ func TestClientErrorExposesHTTPStatus(t *testing.T) {
 		t.Fatalf("Error() = %q", he.Error())
 	}
 }
+
+// TestClientOwnerEviction: the per-sensor owner-URL cache drops a hint
+// only when the hinted node looks gone or broken — transport errors
+// and 5xx. 4xx responses are authoritative answers about the request,
+// not the routing, so the hint must survive them; and an error
+// response that itself names an owner re-learns instead of forgetting.
+// MaxAttempts=1 everywhere: no retries, no sleeps, no timing.
+func TestClientOwnerEviction(t *testing.T) {
+	newPair := func(t *testing.T, ownerStatus int, ownerHeader string) (*Client, *httptest.Server, *atomic.Int32, *atomic.Int32) {
+		t.Helper()
+		var primaryCalls, ownerCalls atomic.Int32
+		primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			primaryCalls.Add(1)
+			json.NewEncoder(w).Encode(ForecastResponse{})
+		}))
+		t.Cleanup(primary.Close)
+		owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ownerCalls.Add(1)
+			if ownerHeader != "" {
+				w.Header().Set(OwnerURLHeader, ownerHeader)
+			}
+			if ownerStatus >= 400 {
+				w.WriteHeader(ownerStatus)
+				json.NewEncoder(w).Encode(errorResponse{Error: "nope"})
+				return
+			}
+			json.NewEncoder(w).Encode(ForecastResponse{})
+		}))
+		t.Cleanup(owner.Close)
+		c, err := NewClient(primary.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetRetryPolicy(RetryPolicy{MaxAttempts: 1})
+		c.setOwner("s", owner.URL)
+		return c, owner, &primaryCalls, &ownerCalls
+	}
+
+	t.Run("4xx keeps the hint", func(t *testing.T) {
+		c, owner, primaryCalls, ownerCalls := newPair(t, http.StatusNotFound, "")
+		if _, err := c.Forecast("s", 1); err == nil {
+			t.Fatal("expected a 404 error")
+		}
+		if got := c.owner("s"); got != owner.URL {
+			t.Fatalf("owner hint = %q after 404, want %q kept", got, owner.URL)
+		}
+		if primaryCalls.Load() != 0 || ownerCalls.Load() != 1 {
+			t.Fatalf("calls primary=%d owner=%d, want 0/1", primaryCalls.Load(), ownerCalls.Load())
+		}
+	})
+
+	t.Run("5xx evicts", func(t *testing.T) {
+		c, _, primaryCalls, _ := newPair(t, http.StatusServiceUnavailable, "")
+		if _, err := c.Forecast("s", 1); err == nil {
+			t.Fatal("expected a 503 error")
+		}
+		if got := c.owner("s"); got != "" {
+			t.Fatalf("owner hint = %q after 503, want evicted", got)
+		}
+		// The next request falls back to the primary base.
+		if _, err := c.Forecast("s", 1); err != nil {
+			t.Fatal(err)
+		}
+		if primaryCalls.Load() != 1 {
+			t.Fatalf("primary saw %d calls after eviction, want 1", primaryCalls.Load())
+		}
+	})
+
+	t.Run("transport error evicts", func(t *testing.T) {
+		c, owner, primaryCalls, _ := newPair(t, http.StatusOK, "")
+		owner.Close() // the hinted node is gone: connection refused
+		if _, err := c.Forecast("s", 1); err == nil {
+			t.Fatal("expected a transport error")
+		}
+		if got := c.owner("s"); got != "" {
+			t.Fatalf("owner hint = %q after transport error, want evicted", got)
+		}
+		if _, err := c.Forecast("s", 1); err != nil {
+			t.Fatal(err)
+		}
+		if primaryCalls.Load() != 1 {
+			t.Fatalf("primary saw %d calls after eviction, want 1", primaryCalls.Load())
+		}
+	})
+
+	t.Run("error with owner hint re-learns", func(t *testing.T) {
+		next := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			json.NewEncoder(w).Encode(ForecastResponse{})
+		}))
+		defer next.Close()
+		// The hinted owner is draining: it answers 503 but names the new
+		// owner. The client must adopt the named owner, not fall back.
+		c, _, primaryCalls, _ := newPair(t, http.StatusServiceUnavailable, next.URL)
+		if _, err := c.Forecast("s", 1); err == nil {
+			t.Fatal("expected a 503 error")
+		}
+		if got := c.owner("s"); got != next.URL {
+			t.Fatalf("owner hint = %q after hinted 503, want %q", got, next.URL)
+		}
+		if _, err := c.Forecast("s", 1); err != nil {
+			t.Fatal(err)
+		}
+		if primaryCalls.Load() != 0 {
+			t.Fatalf("primary saw %d calls, want 0 (hint re-learned)", primaryCalls.Load())
+		}
+	})
+
+	t.Run("success hint updates the cache", func(t *testing.T) {
+		c, owner, _, ownerCalls := newPair(t, http.StatusOK, "")
+		if _, err := c.Forecast("s", 1); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.owner("s"); got != owner.URL {
+			t.Fatalf("owner hint = %q, want %q", got, owner.URL)
+		}
+		if ownerCalls.Load() != 1 {
+			t.Fatalf("owner saw %d calls, want 1", ownerCalls.Load())
+		}
+	})
+}

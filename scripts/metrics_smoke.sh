@@ -2,7 +2,9 @@
 # End-to-end observability smoke test: start smiler-server on an
 # ephemeral port, register a sensor, run one prediction, then assert
 # that /metrics serves every required metric family and that
-# /debug/trace/{sensor} returns per-phase spans. Exits non-zero on any
+# /debug/trace/{sensor} returns per-phase spans. A second phase boots
+# a two-node cluster and asserts the membership gauges (map epoch,
+# member count, rebalance counters) are served. Exits non-zero on any
 # missing family. Run via `make metrics-smoke`.
 set -eu
 
@@ -14,9 +16,13 @@ go build -o "$BIN" ./cmd/smiler-server
 
 "$BIN" -addr "$ADDR" -predictor ar -log-level warn &
 PID=$!
+PIDC1=""
+PIDC2=""
 cleanup() {
     kill "$PID" 2>/dev/null || true
-    wait "$PID" 2>/dev/null || true
+    [ -n "$PIDC1" ] && kill "$PIDC1" 2>/dev/null || true
+    [ -n "$PIDC2" ] && kill "$PIDC2" 2>/dev/null || true
+    wait 2>/dev/null || true
     rm -f "$LOG"
 }
 trap cleanup EXIT INT TERM
@@ -83,10 +89,60 @@ if ! curl -sf "http://$ADDR/debug/events" | grep -q '"type":"startup"'; then
     status=1
 fi
 
-if [ "$status" -eq 0 ]; then
-    echo "metrics-smoke: OK ($(grep -c '^smiler_' "$LOG") smiler_* samples)"
-else
+if [ "$status" -ne 0 ]; then
     echo "--- /metrics dump ---" >&2
+    cat "$LOG" >&2
+    exit $status
+fi
+echo "metrics-smoke: standalone OK ($(grep -c '^smiler_' "$LOG") smiler_* samples)"
+
+# Phase 2: a two-node cluster must additionally serve the membership
+# gauges — map epoch (nonzero), member count, per-peer liveness, and
+# the rebalance counters.
+PC1=18081
+PC2=18082
+CPEERS="c1=http://127.0.0.1:$PC1,c2=http://127.0.0.1:$PC2"
+"$BIN" -addr "127.0.0.1:$PC1" -node-id c1 -cluster-peers "$CPEERS" \
+    -predictor ar -log-level warn &
+PIDC1=$!
+"$BIN" -addr "127.0.0.1:$PC2" -node-id c2 -cluster-peers "$CPEERS" \
+    -predictor ar -log-level warn &
+PIDC2=$!
+for port in "$PC1" "$PC2"; do
+    i=0
+    until curl -sf "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            echo "metrics-smoke: cluster node on :$port did not come up" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+done
+
+curl -sf "http://127.0.0.1:$PC1/metrics" >"$LOG"
+for family in \
+    smiler_cluster_map_epoch \
+    smiler_cluster_members \
+    smiler_cluster_peer_up \
+    smiler_rebalance_moved_sensors \
+    smiler_rebalance_pending_sensors \
+    ; do
+    if ! grep -q "^$family" "$LOG"; then
+        echo "metrics-smoke: MISSING cluster family $family" >&2
+        status=1
+    fi
+done
+# The seed map is epoch 1; the gauge must never read 0 on a live node.
+if grep -q '^smiler_cluster_map_epoch 0$' "$LOG"; then
+    echo "metrics-smoke: smiler_cluster_map_epoch reads 0" >&2
+    status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+    echo "metrics-smoke: OK ($(grep -c '^smiler_' "$LOG") smiler_* samples on c1)"
+else
+    echo "--- cluster /metrics dump ---" >&2
     cat "$LOG" >&2
 fi
 exit $status
