@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-ingest bench-obs bench-json metrics-smoke events-smoke torture cluster-smoke cluster-smoke-procs loader-smoke memory-smoke membership-smoke
+.PHONY: all build vet test race bench bench-ingest bench-obs bench-json metrics-smoke events-smoke torture cluster-smoke cluster-smoke-procs loader-smoke memory-smoke membership-smoke anytime-smoke
 
 all: vet build test
 
@@ -77,6 +77,14 @@ cluster-smoke-procs: build
 # well-formed report (scripts/loader_smoke.sh, docs/LOADER.md).
 loader-smoke: build
 	./scripts/loader_smoke.sh
+
+# Anytime engine end to end: a deadline sweep over a -anytime
+# -learned-lb server — moderate deadline answers exactly with zero
+# AR(1) fallbacks, aggressive deadline answers progressively with zero
+# errors, per-quality counters live on /metrics
+# (scripts/anytime_smoke.sh, docs/INDEX.md).
+anytime-smoke: build
+	./scripts/anytime_smoke.sh
 
 # Dynamic membership end to end: a real 3-process cluster under
 # sustained smilerloader traffic admits a fourth node (-cluster-join),

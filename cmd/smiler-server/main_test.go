@@ -165,7 +165,7 @@ func TestMetricsSmoke(t *testing.T) {
 		t.Fatalf("/metrics = %d", code)
 	}
 	for _, want := range []string{
-		"smiler_predictions_total 1",
+		`smiler_predictions_total{quality="exact"} 1`,
 		"# TYPE smiler_predict_phase_seconds histogram",
 		"smiler_knn_candidates_total",
 		`smiler_ingest_processed_total{shard=`,

@@ -42,6 +42,17 @@ type PipelineConfig struct {
 	// n > 1 caps the pool at n. Columns are independent, so the output
 	// is identical at any setting.
 	PredictWorkers int
+	// Anytime turns the Predict deadline into a quality budget instead
+	// of a hard failure: the index must be configured for progressive
+	// search (index.SetAnytime), the context deadline governs the Search
+	// Step only — an expired deadline stops the cost-ordered
+	// verification rounds and the search returns its best-so-far kNN
+	// sets — and the bounded post-search phases (GP fits on ≤ k
+	// neighbours, the mix) always run to completion. LastQuality reports
+	// whether the last prediction was exact or progressive and how good
+	// the progressive set is estimated to be. With no deadline on the
+	// context, anytime predictions are bit-identical to exact ones.
+	Anytime bool
 	// SharedHyper turns on per-column hyperparameter sharing: the
 	// column's GP hyperparameters are fitted once at the largest k and
 	// every smaller-k cell reuses the leading principal block of the
@@ -83,7 +94,34 @@ type Pipeline struct {
 	pending   []pendingUpdate
 	timing    PhaseTiming
 	obsTiming ObserveTiming
+	quality   QualityInfo
 }
+
+// QualityInfo describes the quality rung of the most recent Predict
+// call on the exact → progressive → fallback ladder. The pipeline only
+// ever produces the first two rungs; the serving layer adds "fallback"
+// when it substitutes an AR(1) prediction for a failed search.
+type QualityInfo struct {
+	// Tag is "exact" (every candidate the filter kept was verified — the
+	// result is the true kNN answer) or "progressive" (the deadline
+	// stopped verification early and the result is the best-so-far set).
+	Tag string
+	// Estimate is the ProS-style probability that the progressive set
+	// already equals the exact answer (1 for exact predictions).
+	Estimate float64
+	// FracVerified is the fraction of filter-surviving candidates whose
+	// exact distance was computed before the deadline.
+	FracVerified float64
+	// LBGap is 1 − minUnverifiedLB/kthDist: how far the most promising
+	// unverified candidate is from provably not mattering (0 for exact).
+	LBGap float64
+	// Rounds is the number of progressive verification rounds the Search
+	// Step ran (0 in exact mode or when seeds covered every survivor).
+	Rounds int
+}
+
+// LastQuality reports the quality of the most recent Predict call.
+func (p *Pipeline) LastQuality() QualityInfo { return p.quality }
 
 // PhaseTiming reports where the last Predict call spent its time.
 // SearchSec vs PredictSec is the two-way split Fig. 12 plots; the
@@ -167,26 +205,30 @@ func (p *Pipeline) PredictTraced(h int, tr *obs.Trace) (Prediction, error) {
 
 // PredictTracedCtx is PredictTraced with a deadline: the context is
 // checked at every phase boundary (before the search, before the cell
-// fits, before the mix), so an expired deadline surfaces as
-// ctx.Err() within one phase rather than after the whole pipeline.
-// Phases themselves run to completion — the index and GP code are
-// synchronous — which bounds the overrun to the longest single phase.
+// fits, before the mix) and inside the search at verify-chunk
+// granularity, so an expired deadline surfaces as ctx.Err() within one
+// in-flight chunk rather than after the whole pipeline. In anytime
+// mode (PipelineConfig.Anytime) the deadline instead budgets the
+// Search Step: the search returns best-so-far results when it expires,
+// and the bounded post-search phases always run to completion.
 func (p *Pipeline) PredictTracedCtx(ctx context.Context, h int, tr *obs.Trace) (Prediction, error) {
 	if h <= 0 {
 		return Prediction{}, fmt.Errorf("core: horizon %d must be positive", h)
 	}
 	p.timing = PhaseTiming{}
+	p.quality = QualityInfo{}
 	if err := ctx.Err(); err != nil {
 		return Prediction{}, err
 	}
 	searchStart := time.Now()
-	results, err := p.ix.Search(p.ens.MaxK(), h)
+	results, err := p.ix.SearchCtx(ctx, p.ens.MaxK(), h)
 	if err != nil {
 		return Prediction{}, fmt.Errorf("core: search step failed: %w", err)
 	}
 	p.timing.SearchSec = time.Since(searchStart).Seconds()
 	p.recordSearch(tr, searchStart)
-	if err := ctx.Err(); err != nil {
+	post := p.postSearchCtx(ctx)
+	if err := post.Err(); err != nil {
 		return Prediction{}, err
 	}
 	predictStart := time.Now()
@@ -196,11 +238,11 @@ func (p *Pipeline) PredictTracedCtx(ctx context.Context, h int, tr *obs.Trace) (
 	}
 
 	n := p.ix.Len()
-	preds, err := p.cellPredictions(ctx, byD, h, n, tr)
+	preds, err := p.cellPredictions(post, byD, h, n, tr)
 	if err != nil {
 		return Prediction{}, err
 	}
-	if err := ctx.Err(); err != nil {
+	if err := post.Err(); err != nil {
 		return Prediction{}, err
 	}
 	mixed, err := p.mixTimed(preds, tr)
@@ -212,14 +254,43 @@ func (p *Pipeline) PredictTracedCtx(ctx context.Context, h int, tr *obs.Trace) (
 	return mixed, nil
 }
 
+// postSearchCtx resolves the context governing the post-search phases:
+// in anytime mode the deadline budgets the search only — the remaining
+// work (GP fits on at most MaxK neighbours, the mix) is bounded and
+// always completes, otherwise a deadline generous enough for a
+// progressive search would still void its result one phase later.
+func (p *Pipeline) postSearchCtx(ctx context.Context) context.Context {
+	if p.cfg.Anytime {
+		return context.Background()
+	}
+	return ctx
+}
+
+// progRoundSpanCap bounds how many per-round verify spans one trace
+// records; deeper rounds collapse into a single tail span.
+const progRoundSpanCap = 12
+
 // recordSearch folds the search phase into the trace and the timing
 // struct: the span covering the whole Search Step plus the index's
 // wall-clock split of lower-bound production vs DTW verification and
-// its kNN effectiveness counters.
+// its kNN effectiveness counters. It also derives the prediction's
+// quality rung from the search stats and, in anytime mode, records the
+// per-round progressive spans and quality counters.
 func (p *Pipeline) recordSearch(tr *obs.Trace, searchStart time.Time) {
 	st := p.ix.Stats()
 	p.timing.LowerBoundSec = st.LowerBoundWallSeconds
 	p.timing.VerifySec = st.VerifyWallSeconds
+	q := QualityInfo{Tag: "exact", Estimate: 1, FracVerified: 1}
+	if p.cfg.Anytime {
+		q.Rounds = st.Rounds
+		if st.Progressive {
+			q.Tag = "progressive"
+			q.Estimate = st.ProbExact
+			q.FracVerified = st.FracVerified
+			q.LBGap = st.LBGap
+		}
+	}
+	p.quality = q
 	if tr == nil {
 		return
 	}
@@ -230,6 +301,28 @@ func (p *Pipeline) recordSearch(tr *obs.Trace, searchStart time.Time) {
 	tr.AddSpan("lower_bound", "", sinceTraceStart(tr, base), lbDur)
 	tr.AddSpan("verify", "", sinceTraceStart(tr, base.Add(lbDur)),
 		time.Duration(st.VerifyWallSeconds*float64(time.Second)))
+	if p.cfg.Anytime {
+		at := base.Add(lbDur)
+		for i, sec := range st.RoundWallSeconds {
+			dur := time.Duration(sec * float64(time.Second))
+			if i == progRoundSpanCap {
+				// Collapse the tail so deep sweeps don't bloat the trace.
+				var rest float64
+				for _, s := range st.RoundWallSeconds[i:] {
+					rest += s
+				}
+				tr.AddSpan("verify_round", fmt.Sprintf("rounds %d..%d", i+1, len(st.RoundWallSeconds)),
+					sinceTraceStart(tr, at), time.Duration(rest*float64(time.Second)))
+				break
+			}
+			tr.AddSpan("verify_round", fmt.Sprintf("round %d", i+1), sinceTraceStart(tr, at), dur)
+			at = at.Add(dur)
+		}
+		tr.SetStat("progressive_rounds", float64(st.Rounds))
+		tr.SetStat("verified_at_deadline", float64(st.VerifiedAtDeadline))
+		tr.SetStat("lb_model_hits", float64(st.LBModelHits))
+		tr.SetStat("quality_estimate", q.Estimate)
+	}
 	tr.SetStat("knn_candidates", float64(st.Candidates))
 	tr.SetStat("knn_pruned", float64(st.Pruned()))
 	tr.SetStat("knn_unfiltered", float64(st.Unfiltered))
@@ -286,29 +379,31 @@ func (p *Pipeline) PredictMultiTracedCtx(ctx context.Context, hs []int, tr *obs.
 		}
 	}
 	p.timing = PhaseTiming{}
+	p.quality = QualityInfo{}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	searchStart := time.Now()
-	resultsByH, err := p.ix.SearchMulti(p.ens.MaxK(), hs)
+	resultsByH, err := p.ix.SearchMultiCtx(ctx, p.ens.MaxK(), hs)
 	if err != nil {
 		return nil, fmt.Errorf("core: search step failed: %w", err)
 	}
 	p.timing.SearchSec = time.Since(searchStart).Seconds()
 	p.recordSearch(tr, searchStart)
+	post := p.postSearchCtx(ctx)
 	predictStart := time.Now()
 
 	n := p.ix.Len()
 	out := make(map[int]Prediction, len(hs))
 	for _, h := range hs {
-		if err := ctx.Err(); err != nil {
+		if err := post.Err(); err != nil {
 			return nil, err
 		}
 		byD := make(map[int]index.ItemResult, len(resultsByH[h]))
 		for _, r := range resultsByH[h] {
 			byD[r.D] = r
 		}
-		preds, err := p.cellPredictions(ctx, byD, h, n, tr)
+		preds, err := p.cellPredictions(post, byD, h, n, tr)
 		if err != nil {
 			return nil, err
 		}

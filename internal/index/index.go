@@ -166,6 +166,9 @@ type Index struct {
 	unbooked int64 // appended-history bytes not yet reflected on the device
 	closed   bool
 
+	// any configures progressive (anytime) search — see progressive.go.
+	any Anytime
+
 	stats SearchStats
 }
 
@@ -196,6 +199,32 @@ type SearchStats struct {
 	// query's chunks in one grid, so the per-item split is carried here
 	// rather than read between launches.
 	PerItem []ItemStats
+
+	// Progressive-search counters (anytime mode; all zero in exact
+	// mode). They explain why a query went progressive: how many
+	// cost-ordered verify rounds ran, how much of the candidate set was
+	// verified when the deadline fired, and whether the learned
+	// lower-bound model ordered the rounds.
+	//
+	// Rounds is the number of cost-ordered verification rounds run.
+	Rounds int
+	// LBModelHits counts candidates whose verification order came from
+	// the learned lower-bound model rather than the raw lower bound.
+	LBModelHits int
+	// VerifiedAtDeadline is the number of candidates verified when the
+	// deadline fired (0 when the search ran to completion).
+	VerifiedAtDeadline int
+	// RoundWallSeconds holds per-round wall-clock durations, ordered.
+	RoundWallSeconds []float64
+	// Progressive is true when the search returned a best-so-far
+	// (non-exhaustive) result because the context deadline fired.
+	Progressive bool
+	// FracVerified, LBGap and ProbExact summarize result quality across
+	// item queries (worst case over items); see anytime.Quality. A
+	// completed search reports 1, 0, 1.
+	FracVerified float64
+	LBGap        float64
+	ProbExact    float64
 }
 
 // ItemStats is the per-item-query slice of the search counters.

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -117,7 +118,7 @@ func TestGroupLevelLowerBoundIsLowerBound(t *testing.T) {
 	}
 	defer ix.Close()
 	const h = 2
-	lbs, err := ix.groupLevelLowerBounds(h)
+	lbs, err := ix.groupLevelLowerBounds(context.Background(), h)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestGroupLevelCoverage(t *testing.T) {
 	}
 	defer ix.Close()
 	const h = 1
-	lbs, err := ix.groupLevelLowerBounds(h)
+	lbs, err := ix.groupLevelLowerBounds(context.Background(), h)
 	if err != nil {
 		t.Fatal(err)
 	}

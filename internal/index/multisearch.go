@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -17,6 +18,13 @@ import (
 // result maps each horizon to its per-item-query kNN sets, each
 // identical to what Search(k, h) would return.
 func (ix *Index) SearchMulti(k int, hs []int) (map[int][]ItemResult, error) {
+	return ix.SearchMultiCtx(context.Background(), k, hs)
+}
+
+// SearchMultiCtx is SearchMulti with a context, with the same deadline
+// semantics as SearchCtx: chunk-granular aborts in exact mode,
+// best-so-far results plus Stats() quality counters in anytime mode.
+func (ix *Index) SearchMultiCtx(ctx context.Context, k int, hs []int) (map[int][]ItemResult, error) {
 	if ix.closed {
 		return nil, errors.New("index: closed")
 	}
@@ -35,7 +43,7 @@ func (ix *Index) SearchMulti(k int, hs []int) (map[int][]ItemResult, error) {
 
 	// Lower bounds once, with the smallest horizon's (largest) mask.
 	hMin := sorted[0]
-	lbs, err := ix.groupLevelLowerBounds(hMin)
+	lbs, err := ix.groupLevelLowerBounds(ctx, hMin)
 	if err != nil {
 		return nil, err
 	}
@@ -66,6 +74,7 @@ func (ix *Index) SearchMulti(k int, hs []int) (map[int][]ItemResult, error) {
 		query := ix.c[n-d:]
 		need := make([]bool, nPos)
 		tauMax := math.Inf(-1)
+		var seeds []seedCand
 		any := false
 		for _, h := range sorted {
 			maxT := n - d - h
@@ -75,10 +84,11 @@ func (ix *Index) SearchMulti(k int, hs []int) (map[int][]ItemResult, error) {
 			if maxT < 0 {
 				continue
 			}
-			tau, err := ix.threshold(d, query, lbs[i][:maxT+1], k)
+			tau, hSeeds, err := ix.threshold(d, query, lbs[i][:maxT+1], k)
 			if err != nil {
 				return nil, err
 			}
+			seeds = append(seeds, hSeeds...)
 			if tau > tauMax {
 				tauMax = tau
 			}
@@ -92,13 +102,14 @@ func (ix *Index) SearchMulti(k int, hs []int) (map[int][]ItemResult, error) {
 		if !any {
 			continue
 		}
-		t := &verifyTask{d: d, query: query, lbs: lbs[i], need: need, cutoff: ix.abandonCutoff(tauMax)}
+		t := &verifyTask{d: d, query: query, lbs: lbs[i], need: need, cutoff: ix.abandonCutoff(tauMax), seeds: seeds}
 		tasks[i] = t
 		launch = append(launch, t)
 	}
-	if err := ix.verifyFused(launch); err != nil {
+	if err := ix.runVerify(ctx, launch, k); err != nil {
 		return nil, err
 	}
+	ix.finishQuality(launch)
 
 	inf := math.Inf(1)
 	for i, d := range ix.p.ELV {

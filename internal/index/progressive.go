@@ -1,0 +1,373 @@
+package index
+
+import (
+	"context"
+	"math"
+	"sort"
+	"time"
+
+	"smiler/internal/anytime"
+	"smiler/internal/dtw"
+	"smiler/internal/gpusim"
+	"smiler/internal/memsys"
+)
+
+// Anytime configures progressive (deadline-aware) search. When Enabled,
+// candidate verification proceeds in cost-ordered rounds — cheapest
+// lower bounds (or learned-model-predicted distances) first — and an
+// expired context deadline stops the rounds instead of aborting the
+// search: the call returns the current best-so-far kNN set per item
+// query plus quality counters in Stats(). With no deadline every round
+// runs, every surviving candidate is verified with the same cutoff the
+// fused exact pass uses, and the results are bit-identical to exact
+// search.
+type Anytime struct {
+	// Enabled switches Search/SearchMulti/SearchRange to progressive
+	// rounds.
+	Enabled bool
+	// Model, when non-nil, orders verification rounds by the learned
+	// lower-bound layer's predicted true distance instead of the raw
+	// lower bound, and is trained incrementally from every verified
+	// (lower bound, distance) pair. It never changes which candidates
+	// are verified or with what cutoff, so results stay bit-identical.
+	Model *anytime.Model
+}
+
+// SetAnytime configures progressive search on the index.
+func (ix *Index) SetAnytime(a Anytime) { ix.any = a }
+
+// AnytimeConfig returns the current progressive-search configuration.
+func (ix *Index) AnytimeConfig() Anytime { return ix.any }
+
+// progMaxRoundChunks caps one round at this many verify chunks per item
+// query. Rounds grow geometrically (one chunk, two, four, ...) up to
+// the cap: early rounds are fine-grained so a tight deadline still
+// completes a few, and the cap bounds deadline overshoot to one round
+// of in-flight chunks.
+const progMaxRoundChunks = 8
+
+// topK tracks the running k smallest verified distances (ascending).
+// It only backs the quality estimate; the returned neighbours come from
+// the same block k-selection the exact path uses.
+type topK struct {
+	k int
+	d []float64
+}
+
+// add inserts a finite distance, reporting whether it entered the set
+// (displaced the current k-th or grew the set below k).
+func (t *topK) add(v float64) bool {
+	if t.k <= 0 || math.IsInf(v, 1) || math.IsNaN(v) {
+		return false
+	}
+	if len(t.d) == t.k && v >= t.d[t.k-1] {
+		return false
+	}
+	i := sort.SearchFloat64s(t.d, v)
+	if len(t.d) < t.k {
+		t.d = append(t.d, 0)
+	}
+	copy(t.d[i+1:], t.d[i:])
+	t.d[i] = v
+	return true
+}
+
+// kth returns the current k-th smallest distance, +Inf until k
+// candidates have been found.
+func (t *topK) kth() float64 {
+	if len(t.d) < t.k {
+		return math.Inf(1)
+	}
+	return t.d[t.k-1]
+}
+
+// progTask is one task's progressive verification state: its surviving
+// candidates in cost order and the verified contiguous prefix.
+type progTask struct {
+	t     *verifyTask
+	order []int // candidate positions, cost-ascending
+	next  int   // order[:next] is verified
+	top   topK
+}
+
+// verifyProgressive is the anytime counterpart of verifyFused: the
+// threshold seeds prefill the output (they are the previous step's kNN
+// set — an already-valid answer), the remaining surviving candidates
+// are sorted by expected cost-to-usefulness (learned-model-predicted
+// distance when available, raw lower bound otherwise) and verified in
+// geometrically growing rounds, one fused launch per round. The context
+// is checked between rounds: when the deadline fires the loop stops and
+// each task keeps its best-so-far distances plus the quality counters
+// the ProS-style estimate needs. Device or DTW errors still abort.
+//
+// With an unexpired context this verifies exactly the candidates the
+// fused pass would, with the same cutoff, so the distance arrays — and
+// therefore the selected neighbours — are bit-identical to exact mode.
+func (ix *Index) verifyProgressive(ctx context.Context, tasks []*verifyTask, k int) error {
+	inf := math.Inf(1)
+	wallStart := time.Now()
+	defer func() { ix.stats.VerifyWallSeconds += time.Since(wallStart).Seconds() }()
+	before := ix.dev.SimSeconds()
+	defer func() { ix.stats.VerifySimSeconds += ix.dev.SimSeconds() - before }()
+	model := ix.any.Model
+	useModel := model.Ready()
+
+	pts := make([]*progTask, 0, len(tasks))
+	for _, t := range tasks {
+		n := len(t.lbs)
+		t.dists = memsys.GetFloats(n)
+		for i := range t.dists {
+			t.dists[i] = inf
+		}
+		t.minUnverLB = inf
+		pt := &progTask{t: t, top: topK{k: k}}
+		if t.rangeMode {
+			pt.top.k = 0
+		}
+		// Seed prefill: exact distances from the threshold phase. Each
+		// seed has dist ≤ τ, so the τ-cutoff verification would compute
+		// the identical value; skipping its round slot changes nothing.
+		for _, s := range t.seeds {
+			if s.t < 0 || s.t >= n || !t.keep(s.t) || !math.IsInf(t.dists[s.t], 1) {
+				continue
+			}
+			t.dists[s.t] = s.dist
+			t.kept++
+			t.verified++
+			pt.top.add(s.dist)
+		}
+		// Remaining survivors in cost order.
+		for pos := 0; pos < n; pos++ {
+			if !t.keep(pos) || !math.IsInf(t.dists[pos], 1) {
+				continue
+			}
+			pt.order = append(pt.order, pos)
+		}
+		t.kept += len(pt.order)
+		keys := make([]float64, len(pt.order))
+		for i, pos := range pt.order {
+			if useModel {
+				keys[i] = model.Predict(t.lbs[pos])
+			} else {
+				keys[i] = t.lbs[pos]
+			}
+		}
+		if useModel {
+			ix.stats.LBModelHits += len(pt.order)
+		}
+		ord := pt.order
+		sort.Sort(&costOrder{ord: ord, key: keys})
+		pts = append(pts, pt)
+	}
+
+	rho := ix.p.Rho
+	type progRef struct {
+		pt     *progTask
+		lo, hi int // range within pt.order
+	}
+	roundSize := verifyChunk
+	deadline := false
+	for !deadline {
+		var refs []progRef
+		for _, pt := range pts {
+			hi := pt.next + roundSize
+			if hi > len(pt.order) {
+				hi = len(pt.order)
+			}
+			for lo := pt.next; lo < hi; lo += verifyChunk {
+				chunkHi := lo + verifyChunk
+				if chunkHi > hi {
+					chunkHi = hi
+				}
+				refs = append(refs, progRef{pt, lo, chunkHi})
+			}
+		}
+		if len(refs) == 0 {
+			break // every task fully verified
+		}
+		ix.stats.Rounds++
+		roundStart := time.Now()
+		err := ix.dev.Launch(len(refs), func(blk *gpusim.Block) error {
+			ref := refs[blk.ID]
+			t := ref.pt.t
+			d := t.d
+			cnt := ref.hi - ref.lo
+			if err := blk.AllocShared(8 * d); err != nil { // query resident
+				return err
+			}
+			if err := blk.AllocShared(8 * dtw.CompressedScratchLen(rho)); err != nil {
+				return err
+			}
+			scratch := dtw.GetCompressedScratch(rho)
+			defer dtw.PutCompressedScratch(scratch)
+			totalCols, maxCols := 0, 0
+			for i := ref.lo; i < ref.hi; i++ {
+				pos := ref.pt.order[i]
+				dist, cols, err := dtw.DistanceCompressedAbandon(t.query, ix.c[pos:pos+d], rho, t.cutoff, scratch)
+				if err != nil {
+					return err
+				}
+				t.dists[pos] = dist
+				totalCols += cols
+				if cols > maxCols {
+					maxCols = cols
+				}
+			}
+			blk.GlobalAccess(totalCols)
+			blk.ParallelCompute(cnt, maxCols*(2*rho+1)*6)
+			return nil
+		})
+		ix.stats.RoundWallSeconds = append(ix.stats.RoundWallSeconds, time.Since(roundStart).Seconds())
+		if err != nil {
+			return err
+		}
+		// Deterministic host-side accounting, in cost order: quality
+		// bookkeeping for the ProS estimate and incremental training of
+		// the learned layer from every freshly verified pair.
+		for _, pt := range pts {
+			t := pt.t
+			hi := pt.next + roundSize
+			if hi > len(pt.order) {
+				hi = len(pt.order)
+			}
+			for i := pt.next; i < hi; i++ {
+				pos := pt.order[i]
+				lb := t.lbs[pos]
+				dist := t.dists[pos]
+				model.Observe(lb, dist)
+				if t.rangeMode {
+					t.atRisk++
+					if dist <= t.tau {
+						t.flips++
+					}
+					continue
+				}
+				kth := pt.top.kth()
+				if lb < kth || math.IsInf(kth, 1) {
+					t.atRisk++
+					if pt.top.add(dist) {
+						t.flips++
+					}
+				}
+			}
+			t.verified += hi - pt.next
+			pt.next = hi
+		}
+		if ctx.Err() != nil {
+			deadline = true
+		}
+		if roundSize < progMaxRoundChunks*verifyChunk {
+			roundSize *= 2
+		}
+	}
+
+	// Per-task completion state for the quality aggregation.
+	for _, pt := range pts {
+		t := pt.t
+		t.unfiltered = t.verified
+		t.complete = pt.next == len(pt.order)
+		if t.rangeMode {
+			t.kthDist = t.tau
+		} else {
+			t.kthDist = pt.top.kth()
+		}
+		for _, pos := range pt.order[pt.next:] {
+			lb := t.lbs[pos]
+			if lb < t.minUnverLB {
+				t.minUnverLB = lb
+			}
+			if lb < t.kthDist {
+				t.remaining++
+			}
+		}
+	}
+	return nil
+}
+
+// costOrder sorts candidate positions by (key, position): the strict
+// total order keeps rounds deterministic under any sort algorithm.
+type costOrder struct {
+	ord []int
+	key []float64
+}
+
+func (c *costOrder) Len() int { return len(c.ord) }
+func (c *costOrder) Less(i, j int) bool {
+	if c.key[i] != c.key[j] {
+		return c.key[i] < c.key[j]
+	}
+	return c.ord[i] < c.ord[j]
+}
+func (c *costOrder) Swap(i, j int) {
+	c.ord[i], c.ord[j] = c.ord[j], c.ord[i]
+	c.key[i], c.key[j] = c.key[j], c.key[i]
+}
+
+// finishQuality aggregates the per-task progressive counters into the
+// search stats: worst case over item queries, so one starved column
+// marks the whole search progressive. A no-op in exact mode.
+func (ix *Index) finishQuality(tasks []*verifyTask) {
+	if !ix.any.Enabled {
+		return
+	}
+	q := aggregateQuality(tasks)
+	ix.stats.Progressive = !q.Exact
+	ix.stats.FracVerified = q.FracVerified
+	ix.stats.LBGap = q.LBGap
+	ix.stats.ProbExact = q.ProbExact
+	if !q.Exact {
+		totVerified := 0
+		for _, t := range tasks {
+			totVerified += t.verified
+		}
+		ix.stats.VerifiedAtDeadline = totVerified
+	}
+}
+
+// aggregateQuality folds per-task progressive counters into one
+// anytime.Quality describing the whole search (worst case over tasks).
+func aggregateQuality(tasks []*verifyTask) anytime.Quality {
+	q := anytime.Quality{Exact: true, FracVerified: 1, ProbExact: 1}
+	totKept, totVerified := 0, 0
+	for _, t := range tasks {
+		totKept += t.kept
+		totVerified += t.verified
+		if t.complete {
+			continue
+		}
+		// Sealed early: every unverified lower bound already exceeds the
+		// k-th best-so-far distance, so the set is provably exact (up to
+		// distance ties) even though verification stopped. Range mode
+		// needs the strict comparison — a candidate at lb == ε can still
+		// sit exactly on the radius.
+		if t.minUnverLB > t.kthDist || (!t.rangeMode && t.minUnverLB >= t.kthDist) {
+			continue
+		}
+		q.Exact = false
+		gap := 1.0
+		if !math.IsInf(t.kthDist, 1) && t.kthDist > 0 {
+			gap = 1 - t.minUnverLB/t.kthDist
+			if gap < 0 {
+				gap = 0
+			}
+			if gap > 1 {
+				gap = 1
+			}
+		}
+		if gap > q.LBGap {
+			q.LBGap = gap
+		}
+		if p := anytime.EstimateProbExact(t.flips, t.atRisk, t.remaining); p < q.ProbExact {
+			q.ProbExact = p
+		}
+	}
+	if totKept > 0 {
+		q.FracVerified = float64(totVerified) / float64(totKept)
+	}
+	if q.Exact {
+		q.FracVerified = 1
+		q.LBGap = 0
+		q.ProbExact = 1
+	}
+	return q
+}

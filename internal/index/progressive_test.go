@@ -1,0 +1,380 @@
+package index
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"smiler/internal/anytime"
+)
+
+// countdownCtx is a context whose Err() starts returning
+// context.DeadlineExceeded after it has been called n times. Deadline
+// checks in the search path are the only Err() callers, so the budget
+// deterministically stages "the deadline fires after the N-th check" —
+// no wall-clock flakiness.
+type countdownCtx struct {
+	context.Context
+	left atomic.Int64
+}
+
+func newCountdown(n int64) *countdownCtx {
+	c := &countdownCtx{Context: context.Background()}
+	c.left.Store(n)
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.left.Add(-1) < 0 {
+		return context.DeadlineExceeded
+	}
+	return c.Context.Err()
+}
+
+// noise returns a white-noise history. Unlike a random walk its
+// group-level lower bounds are loose, so most candidates survive the
+// filter and verification spans several progressive rounds — the
+// workload anytime search exists for.
+func noise(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+func sameNeighbors(a, b []Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].T != b[i].T || a[i].Dist != b[i].Dist {
+			return false
+		}
+	}
+	return true
+}
+
+// With no deadline, anytime search (with a learned model training as it
+// goes) must be bit-identical to exact search across a stream of
+// Search, SearchMulti and SearchRange calls.
+func TestAnytimeNoDeadlineBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	hist := randwalk(rng, 420)
+	p := smallParams()
+	exact, err := New(testDevice(t), hist, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyIx, err := New(testDevice(t), hist, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyIx.SetAnytime(Anytime{Enabled: true, Model: anytime.NewModel()})
+
+	const k, h = 5, 3
+	for step := 0; step < 12; step++ {
+		re, err := exact.Search(k, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := anyIx.Search(k, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range re {
+			if !sameNeighbors(re[i].Neighbors, ra[i].Neighbors) {
+				t.Fatalf("step %d item %d: anytime %v != exact %v", step, i, ra[i].Neighbors, re[i].Neighbors)
+			}
+		}
+		st := anyIx.Stats()
+		if st.Progressive {
+			t.Fatalf("step %d: no deadline but stats marked progressive", step)
+		}
+		if st.ProbExact != 1 || st.FracVerified != 1 || st.LBGap != 0 {
+			t.Fatalf("step %d: exact run quality = %+v", step, st)
+		}
+		if st.Rounds == 0 && st.Candidates > k*len(p.ELV) {
+			t.Fatalf("step %d: anytime search ran zero rounds", step)
+		}
+
+		me, err := exact.SearchMulti(k, []int{h, h + 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ma, err := anyIx.SearchMulti(k, []int{h, h + 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for hh, items := range me {
+			for i := range items {
+				if !sameNeighbors(items[i].Neighbors, ma[hh][i].Neighbors) {
+					t.Fatalf("step %d multi h=%d item %d mismatch", step, hh, i)
+				}
+			}
+		}
+
+		eps := re[0].Neighbors[len(re[0].Neighbors)-1].Dist * 1.5
+		ge, err := exact.SearchRange(eps, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ga, err := anyIx.SearchRange(eps, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ge {
+			if !sameNeighbors(ge[i].Neighbors, ga[i].Neighbors) {
+				t.Fatalf("step %d range item %d mismatch", step, i)
+			}
+		}
+
+		obs := hist[len(hist)-1] + rng.NormFloat64()*0.3
+		if err := exact.Advance(obs); err != nil {
+			t.Fatal(err)
+		}
+		if err := anyIx.Advance(obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if anyIx.AnytimeConfig().Model.N() == 0 {
+		t.Fatal("learned model observed nothing across 12 anytime searches")
+	}
+}
+
+// Property test: under a staged deadline the progressive result for
+// each item query is a valid best-so-far set — every returned neighbour
+// carries its exact DTW distance, per-rank distances dominate the exact
+// kNN set's (prog[i].Dist ≥ exact[i].Dist), any neighbour shared with
+// the exact set has a bit-identical distance, and a run whose stats say
+// "not progressive" (deadline never fired, or search sealed early) is
+// exactly the exact set. Quality numbers must be sane, and a generous
+// deadline must converge to exact.
+func TestProgressiveStagedDeadlines(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	hist := noise(rng, 900)
+	p := smallParams()
+	exact, err := New(testDevice(t), hist, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyIx, err := New(testDevice(t), hist, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyIx.SetAnytime(Anytime{Enabled: true, Model: anytime.NewModel()})
+
+	const k, h = 5, 3
+	re, err := exact.Search(k, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the anytime index too (no deadline) so both sides have the
+	// same prevNN seeds going into the staged runs.
+	if _, err := anyIx.Search(k, h); err != nil {
+		t.Fatal(err)
+	}
+
+	sawProgressive := false
+	for n := int64(0); n <= 24; n++ {
+		ra, err := anyIx.SearchCtx(newCountdown(n), k, h)
+		if err != nil {
+			// The deadline fired during the lower-bound pass: that phase
+			// has no best-so-far set, so erroring out is the contract.
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("budget %d: unexpected error %v", n, err)
+			}
+			continue
+		}
+		st := anyIx.Stats()
+		if st.Progressive {
+			sawProgressive = true
+		}
+		if st.FracVerified < 0 || st.FracVerified > 1 || st.LBGap < 0 || st.LBGap > 1 || st.ProbExact < 0 || st.ProbExact > 1 {
+			t.Fatalf("budget %d: quality out of range %+v", n, st)
+		}
+		for i := range re {
+			ep := re[i].Neighbors
+			pp := ra[i].Neighbors
+			if !st.Progressive {
+				if !sameNeighbors(ep, pp) {
+					t.Fatalf("budget %d item %d: non-progressive result differs from exact", n, i)
+				}
+				continue
+			}
+			exactDist := make(map[int]float64, len(ep))
+			for _, nb := range ep {
+				exactDist[nb.T] = nb.Dist
+			}
+			for r, nb := range pp {
+				if r < len(ep) && nb.Dist < ep[r].Dist {
+					t.Fatalf("budget %d item %d rank %d: progressive dist %v beats exact %v", n, i, r, nb.Dist, ep[r].Dist)
+				}
+				if d, ok := exactDist[nb.T]; ok && d != nb.Dist {
+					t.Fatalf("budget %d item %d T=%d: dist %v != exact %v", n, i, nb.T, nb.Dist, d)
+				}
+				if r > 0 && nb.Dist < pp[r-1].Dist {
+					t.Fatalf("budget %d item %d: progressive set not sorted", n, i)
+				}
+			}
+		}
+	}
+	if !sawProgressive {
+		t.Fatal("no staged budget produced a progressive result")
+	}
+
+	// A huge budget never hits the deadline: bit-identical to exact.
+	ra, err := anyIx.SearchCtx(newCountdown(1<<30), k, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anyIx.Stats().Progressive {
+		t.Fatal("unlimited budget still marked progressive")
+	}
+	for i := range re {
+		if !sameNeighbors(re[i].Neighbors, ra[i].Neighbors) {
+			t.Fatalf("unlimited budget item %d differs from exact", i)
+		}
+	}
+}
+
+// Progressive SearchRange under a staged deadline returns a subset of
+// the exact in-range set with bit-identical distances.
+func TestProgressiveRangeSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	hist := randwalk(rng, 500)
+	p := smallParams()
+	exact, err := New(testDevice(t), hist, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyIx, err := New(testDevice(t), hist, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyIx.SetAnytime(Anytime{Enabled: true})
+
+	const h = 3
+	re, err := exact.Search(5, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := re[0].Neighbors[len(re[0].Neighbors)-1].Dist * 2
+	ge, err := exact.SearchRange(eps, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := int64(0); n <= 16; n++ {
+		ga, err := anyIx.SearchRangeCtx(newCountdown(n), eps, h)
+		if err != nil {
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("budget %d: unexpected error %v", n, err)
+			}
+			continue
+		}
+		for i := range ge {
+			exactDist := make(map[int]float64, len(ge[i].Neighbors))
+			for _, nb := range ge[i].Neighbors {
+				exactDist[nb.T] = nb.Dist
+			}
+			for _, nb := range ga[i].Neighbors {
+				d, ok := exactDist[nb.T]
+				if !ok {
+					t.Fatalf("budget %d item %d: progressive returned T=%d outside exact range set", n, i, nb.T)
+				}
+				if d != nb.Dist {
+					t.Fatalf("budget %d item %d T=%d: dist %v != exact %v", n, i, nb.T, nb.Dist, d)
+				}
+			}
+			if !anyIx.Stats().Progressive && len(ga[i].Neighbors) != len(ge[i].Neighbors) {
+				t.Fatalf("budget %d item %d: non-progressive range result incomplete", n, i)
+			}
+		}
+	}
+}
+
+// Satellite regression: in EXACT mode the deadline check happens at
+// verify-task (chunk) granularity, so an expired deadline aborts the
+// fused launch after a bounded number of chunks instead of running the
+// whole verification phase. The countdown budget lets exactly 4 chunk
+// checks pass; the simulated device time of the aborted search must be
+// well under half of the full search on the same index.
+func TestExactDeadlineChunkGranularity(t *testing.T) {
+	old := runtime.GOMAXPROCS(2) // bound in-flight blocks; workers bind at NewDevice
+	defer runtime.GOMAXPROCS(old)
+
+	rng := rand.New(rand.NewSource(17))
+	p := smallParams()
+	p.DisableEarlyAbandon = true // uniform chunk cost: the sim-time ratio is deterministic
+	hist := noise(rng, 4200)
+	dev := testDevice(t)
+	ix, err := New(dev, hist, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const k, h = 5, 3
+	// Budget: omega checks in the lower-bound kernel, then 4 verify-chunk
+	// checks succeed before the deadline trips the rest of the grid.
+	budget := int64(p.Omega) + 4
+	before := dev.SimSeconds()
+	_, err = ix.SearchCtx(newCountdown(budget), k, h)
+	aborted := dev.SimSeconds() - before
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected deadline error, got %v", err)
+	}
+
+	before = dev.SimSeconds()
+	if _, err := ix.Search(k, h); err != nil {
+		t.Fatal(err)
+	}
+	full := dev.SimSeconds() - before
+	if aborted >= full/2 {
+		t.Fatalf("aborted search cost %.3gs ≥ half of full %.3gs: deadline not chunk-granular", aborted, full)
+	}
+}
+
+// The learned lower-bound layer trains from verified pairs and, once
+// ready, orders rounds (LBModelHits) without changing results.
+func TestLearnedModelOrdersWithoutChangingResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	hist := randwalk(rng, 500)
+	p := smallParams()
+	exact, err := New(testDevice(t), hist, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyIx, err := New(testDevice(t), hist, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := anytime.NewModel()
+	anyIx.SetAnytime(Anytime{Enabled: true, Model: model})
+
+	const k, h = 5, 3
+	if _, err := anyIx.Search(k, h); err != nil { // training pass
+		t.Fatal(err)
+	}
+	if !model.Ready() {
+		t.Skipf("model not trained after one pass (n=%d)", model.N())
+	}
+	re, err := exact.Search(k, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := anyIx.Search(k, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anyIx.Stats().LBModelHits == 0 {
+		t.Fatal("trained model was not consulted (LBModelHits == 0)")
+	}
+	for i := range re {
+		if !sameNeighbors(re[i].Neighbors, ra[i].Neighbors) {
+			t.Fatalf("item %d: model-ordered result differs from exact", i)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -17,6 +18,15 @@ import (
 // bounds — the filter threshold is simply eps itself, no k-th-NN
 // bootstrap needed. Results are sorted ascending by distance.
 func (ix *Index) SearchRange(eps float64, h int) ([]ItemResult, error) {
+	return ix.SearchRangeCtx(context.Background(), eps, h)
+}
+
+// SearchRangeCtx is SearchRange with a context, with the same deadline
+// semantics as SearchCtx. A progressive range result is the subset of
+// in-range segments found before the deadline; Stats() reports the
+// fraction of candidates verified and the probability the subset is
+// already complete.
+func (ix *Index) SearchRangeCtx(ctx context.Context, eps float64, h int) ([]ItemResult, error) {
 	if ix.closed {
 		return nil, errors.New("index: closed")
 	}
@@ -27,16 +37,18 @@ func (ix *Index) SearchRange(eps float64, h int) ([]ItemResult, error) {
 		return nil, fmt.Errorf("index: horizon h=%d must be positive", h)
 	}
 	ix.stats = SearchStats{}
-	lbs, err := ix.groupLevelLowerBounds(h)
+	lbs, err := ix.groupLevelLowerBounds(ctx, h)
 	if err != nil {
 		return nil, err
 	}
+	defer releaseBounds(lbs)
 	// The filter threshold is eps itself, and eps is also an exact
 	// early-abandon cutoff: a candidate abandoned at eps has true
 	// distance > eps and is outside the range by definition.
 	results := make([]ItemResult, len(ix.p.ELV))
 	n := len(ix.c)
 	tasks := make([]*verifyTask, len(ix.p.ELV))
+	defer releaseTaskDists(tasks)
 	var launch []*verifyTask
 	for i, d := range ix.p.ELV {
 		results[i] = ItemResult{D: d}
@@ -44,13 +56,14 @@ func (ix *Index) SearchRange(eps float64, h int) ([]ItemResult, error) {
 			continue
 		}
 		query := ix.c[n-d:]
-		t := &verifyTask{d: d, query: query, lbs: lbs[i], tau: eps, cutoff: ix.abandonCutoff(eps)}
+		t := &verifyTask{d: d, query: query, lbs: lbs[i], tau: eps, cutoff: ix.abandonCutoff(eps), rangeMode: true}
 		tasks[i] = t
 		launch = append(launch, t)
 	}
-	if err := ix.verifyFused(launch); err != nil {
+	if err := ix.runVerify(ctx, launch, 0); err != nil {
 		return nil, err
 	}
+	ix.finishQuality(launch)
 	for i := range ix.p.ELV {
 		t := tasks[i]
 		if t == nil {

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -40,6 +41,17 @@ const verifyChunk = 256
 // whose h-step-ahead label already exists (t ≤ |C| − d − h). The
 // result slice is ordered like ELV.
 func (ix *Index) Search(k, h int) ([]ItemResult, error) {
+	return ix.SearchCtx(context.Background(), k, h)
+}
+
+// SearchCtx is Search with a context. In exact mode an expired deadline
+// surfaces as ctx.Err() at verify-chunk granularity (the fused launch
+// aborts within one in-flight chunk per worker instead of overshooting
+// by the whole verification phase). In anytime mode (SetAnytime) the
+// deadline instead stops the cost-ordered verification rounds and the
+// call returns the current best-so-far kNN sets with quality counters
+// in Stats().
+func (ix *Index) SearchCtx(ctx context.Context, k, h int) ([]ItemResult, error) {
 	if ix.closed {
 		return nil, errors.New("index: closed")
 	}
@@ -51,7 +63,7 @@ func (ix *Index) Search(k, h int) ([]ItemResult, error) {
 	}
 	ix.stats = SearchStats{}
 
-	lbs, err := ix.groupLevelLowerBounds(h)
+	lbs, err := ix.groupLevelLowerBounds(ctx, h)
 	if err != nil {
 		return nil, err
 	}
@@ -71,17 +83,18 @@ func (ix *Index) Search(k, h int) ([]ItemResult, error) {
 			continue
 		}
 		query := ix.c[n-d:]
-		tau, err := ix.threshold(d, query, lbs[i], k)
+		tau, seeds, err := ix.threshold(d, query, lbs[i], k)
 		if err != nil {
 			return nil, err
 		}
-		t := &verifyTask{d: d, query: query, lbs: lbs[i], tau: tau, cutoff: ix.abandonCutoff(tau)}
+		t := &verifyTask{d: d, query: query, lbs: lbs[i], tau: tau, cutoff: ix.abandonCutoff(tau), seeds: seeds}
 		tasks[i] = t
 		launch = append(launch, t)
 	}
-	if err := ix.verifyFused(launch); err != nil {
+	if err := ix.runVerify(ctx, launch, k); err != nil {
 		return nil, err
 	}
+	ix.finishQuality(launch)
 	for i, d := range ix.p.ELV {
 		t := tasks[i]
 		if t == nil {
@@ -133,7 +146,7 @@ func (ix *Index) ComputeLowerBounds(h int) ([][]float64, error) {
 		return nil, fmt.Errorf("index: horizon h=%d must be positive", h)
 	}
 	ix.stats = SearchStats{}
-	return ix.groupLevelLowerBounds(h)
+	return ix.groupLevelLowerBounds(context.Background(), h)
 }
 
 // groupLevelLowerBounds runs the group-level kernel: one block per CSG
@@ -141,7 +154,7 @@ func (ix *Index) ComputeLowerBounds(h int) ([][]float64, error) {
 // produce, for every item query i and candidate position t, the window
 // enhanced lower bound LBw (Theorem 4.3, Algorithm 1). Positions whose
 // label does not exist yet are left at +Inf.
-func (ix *Index) groupLevelLowerBounds(h int) ([][]float64, error) {
+func (ix *Index) groupLevelLowerBounds(ctx context.Context, h int) ([][]float64, error) {
 	wallStart := time.Now()
 	defer func() { ix.stats.LowerBoundWallSeconds += time.Since(wallStart).Seconds() }()
 	n := len(ix.c)
@@ -166,6 +179,11 @@ func (ix *Index) groupLevelLowerBounds(h int) ([][]float64, error) {
 
 	before := ix.dev.SimSeconds()
 	err := ix.dev.Launch(omega, func(blk *gpusim.Block) error {
+		// Per-block deadline check: an expired context aborts the pass
+		// within the blocks already in flight.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		b := blk.ID
 		// Precompute, per item query, the CSG size m_i = ⌊(d_i−b)/ω⌋
 		// and remainder used by the alignment formula (Lemma 4.1).
@@ -213,6 +231,7 @@ func (ix *Index) groupLevelLowerBounds(h int) ([][]float64, error) {
 		return nil
 	})
 	if err != nil {
+		releaseBounds(lbs) // deadline aborts are routine; don't leak the pooled rows
 		return nil, err
 	}
 	ix.stats.LowerBoundSimSeconds += ix.dev.SimSeconds() - before
@@ -230,13 +249,25 @@ func (ix *Index) groupLevelLowerBounds(h int) ([][]float64, error) {
 	return lbs, nil
 }
 
+// seedCand is one threshold seed: a candidate position whose exact DTW
+// distance to the current query was computed while deriving τ. In
+// anytime mode the seeds prefill the verification output — they are the
+// previous step's kNN set, so progressive search starts from an
+// already-valid best-so-far answer before the first round runs.
+type seedCand struct {
+	t    int
+	dist float64
+}
+
 // threshold derives the filter threshold τ for one item query. During
 // continuous prediction it reuses the previous step's kNN positions
 // (their DTW distances to the *current* query upper-bound the new k-th
 // NN distance); on the first query it verifies the k candidates with
 // the smallest lower bounds. Both variants are exact: at least k
 // candidates have true distance ≤ τ, so no true neighbour is filtered.
-func (ix *Index) threshold(d int, query []float64, lbs []float64, k int) (float64, error) {
+// The returned seeds carry those exact distances (each ≤ τ, so the
+// τ-cutoff verification pass would reproduce them bit-identically).
+func (ix *Index) threshold(d int, query []float64, lbs []float64, k int) (float64, []seedCand, error) {
 	var seeds []int
 	if prev, ok := ix.prevNN[d]; ok {
 		for _, t := range prev {
@@ -254,15 +285,16 @@ func (ix *Index) threshold(d int, query []float64, lbs []float64, k int) (float6
 			sel = gpusim.KSelectBlock(blk, lbs, k)
 			return nil
 		}); err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		for _, s := range sel {
 			seeds = append(seeds, s.Index)
 		}
 	}
 	if len(seeds) == 0 {
-		return math.Inf(1), nil
+		return math.Inf(1), nil, nil
 	}
+	out := make([]seedCand, 0, len(seeds))
 	tau := math.Inf(-1)
 	rho := ix.p.Rho
 	err := ix.dev.Launch(1, func(blk *gpusim.Block) error {
@@ -276,6 +308,7 @@ func (ix *Index) threshold(d int, query []float64, lbs []float64, k int) (float6
 			if err != nil {
 				return err
 			}
+			out = append(out, seedCand{t: t, dist: dist})
 			if dist > tau {
 				tau = dist
 			}
@@ -283,9 +316,9 @@ func (ix *Index) threshold(d int, query []float64, lbs []float64, k int) (float6
 		return nil
 	})
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return tau, nil
+	return tau, out, nil
 }
 
 // chargeVerifyBlock charges the cost model for a verification block:
@@ -341,8 +374,25 @@ type verifyTask struct {
 	tau    float64
 	cutoff float64 // early-abandon cutoff (+Inf disables)
 
+	// seeds are the threshold candidates with their exact distances;
+	// progressive verification prefills them (see progressive.go).
+	seeds []seedCand
+	// rangeMode marks an ε-range task: quality accounting compares
+	// against the fixed radius tau instead of a running k-th distance.
+	rangeMode bool
+
 	dists      []float64 // out: exact DTW or +Inf
 	unfiltered int       // out: candidates verified
+
+	// Progressive outputs (anytime mode only; see verifyProgressive).
+	kept       int     // candidates surviving the filter (incl. seeds)
+	verified   int     // candidates with exact distances computed
+	flips      int     // verified at-risk candidates that entered the set
+	atRisk     int     // verified candidates that could have entered
+	remaining  int     // unverified candidates still able to change the set
+	minUnverLB float64 // smallest unverified lower bound (+Inf if none)
+	kthDist    float64 // k-th best-so-far distance (+Inf until k found)
+	complete   bool    // every kept candidate verified
 }
 
 // keep reports whether candidate position t must be verified.
@@ -353,6 +403,17 @@ func (t *verifyTask) keep(pos int) bool {
 	return t.lbs[pos] <= t.tau
 }
 
+// runVerify dispatches the verification phase: the classic one-launch
+// fused pass in exact mode, or cost-ordered progressive rounds when
+// anytime search is enabled (see progressive.go). k is the selection
+// size the quality tracker compares against (0 for range tasks).
+func (ix *Index) runVerify(ctx context.Context, tasks []*verifyTask, k int) error {
+	if ix.any.Enabled {
+		return ix.verifyProgressive(ctx, tasks, k)
+	}
+	return ix.verifyFused(ctx, tasks)
+}
+
 // verifyFused runs the DTW verification of every item query in ONE
 // device launch: each grid block verifies one fixed-size chunk of one
 // task's candidate positions, so the simulated device pays a single
@@ -360,7 +421,10 @@ func (t *verifyTask) keep(pos int) bool {
 // charges the cost model for the columns its candidates actually
 // processed — early-abandoned lanes stream and compute only what they
 // touched, with the SIMD lock-step wave cost set by the longest lane.
-func (ix *Index) verifyFused(tasks []*verifyTask) error {
+// The context is checked at the top of every chunk, so an expired
+// deadline aborts the launch within the chunks already in flight
+// instead of overshooting by the whole verification phase.
+func (ix *Index) verifyFused(ctx context.Context, tasks []*verifyTask) error {
 	inf := math.Inf(1)
 	type chunkRef struct {
 		task, lo int
@@ -385,6 +449,9 @@ func (ix *Index) verifyFused(tasks []*verifyTask) error {
 	before := ix.dev.SimSeconds()
 	counts := make([]int, len(refs))
 	err := ix.dev.Launch(len(refs), func(blk *gpusim.Block) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		ref := refs[blk.ID]
 		t := tasks[ref.task]
 		lo := ref.lo

@@ -85,12 +85,15 @@ func (c *coalescer) forecast(ctx context.Context, id string, h int) (smiler.Fore
 	c.mu.Lock()
 	delete(c.flights, key)
 	fl.f, fl.err = f, err
-	// Cache only clean, full-pipeline successes: if an observation was
-	// applied while we computed, the result describes the
-	// pre-observation state; and a degraded (fallback) answer must not
-	// shadow the real pipeline once it recovers — every degraded
-	// request gets a fresh chance at a full answer.
-	if err == nil && !fl.stale && !f.Degraded {
+	// Cache only clean, full-pipeline, exact successes: if an
+	// observation was applied while we computed, the result describes
+	// the pre-observation state; a degraded (fallback) answer must not
+	// shadow the real pipeline once it recovers; and a progressive
+	// (deadline-truncated) answer is a product of its moment's load —
+	// caching it would pin a lower-quality forecast on followers who
+	// might have gotten an exact one, so every non-exact request gets a
+	// fresh chance.
+	if err == nil && !fl.stale && !f.Degraded && cacheableQuality(f.Quality) {
 		byH := c.cache[id]
 		if byH == nil {
 			byH = make(map[int]smiler.Forecast)
@@ -104,6 +107,11 @@ func (c *coalescer) forecast(ctx context.Context, id string, h int) (smiler.Fore
 	close(fl.done)
 	return f, err
 }
+
+// cacheableQuality reports whether a forecast's quality rung may enter
+// the cache: only exact answers (the empty tag covers systems and test
+// fakes predating the quality ladder).
+func cacheableQuality(q string) bool { return q == "" || q == "exact" }
 
 // ctxPredictor is the optional context-aware prediction capability:
 // *smiler.System implements it, test fakes need not.

@@ -57,6 +57,52 @@ func TestForecastCachedUntilNextObservation(t *testing.T) {
 	}
 }
 
+// TestNonExactForecastNeverCached pins the quality-ladder cache
+// policy: exact (and legacy untagged) forecasts cache, while
+// progressive and fallback answers are recomputed on every request —
+// a deadline-truncated or degraded result must not shadow the exact
+// answer a later caller could get.
+func TestNonExactForecastNeverCached(t *testing.T) {
+	sys := newFakeSystem()
+	p := mustPipeline(t, sys, Config{Shards: 2})
+
+	for _, tc := range []struct {
+		quality   string
+		cacheable bool
+	}{
+		{"progressive", false},
+		{"fallback", false},
+		{"exact", true},
+		{"", true},
+	} {
+		sys.quality.Store(tc.quality)
+		// Fresh cache state per case: invalidate via an observation.
+		if ok, err := p.Observe("s", 1); !ok || err != nil {
+			t.Fatalf("observe: ok=%v err=%v", ok, err)
+		}
+		if err := p.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		before := sys.predictCalls.Load()
+		for i := 0; i < 3; i++ {
+			f, err := p.Forecast("s", 1)
+			if err != nil {
+				t.Fatalf("quality %q: forecast: %v", tc.quality, err)
+			}
+			if f.Quality != tc.quality {
+				t.Fatalf("quality %q: forecast tagged %q", tc.quality, f.Quality)
+			}
+		}
+		calls := sys.predictCalls.Load() - before
+		if tc.cacheable && calls != 1 {
+			t.Fatalf("quality %q: predict ran %d times, want 1 (cached)", tc.quality, calls)
+		}
+		if !tc.cacheable && calls != 3 {
+			t.Fatalf("quality %q: predict ran %d times, want 3 (never cached)", tc.quality, calls)
+		}
+	}
+}
+
 // TestForecastSingleFlight aims a thundering herd of identical
 // requests at one (sensor, horizon): exactly one Predict runs, every
 // caller gets its result.

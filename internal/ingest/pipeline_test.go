@@ -26,6 +26,8 @@ type fakeSystem struct {
 	predictGate  chan struct{} // when non-nil, Predict blocks until it is closed
 	predictCalls atomic.Int64
 	applied      atomic.Int64
+
+	quality atomic.Value // string; when set, stamped on every Forecast
 }
 
 func newFakeSystem() *fakeSystem {
@@ -57,7 +59,8 @@ func (f *fakeSystem) Predict(id string, h int) (smiler.Forecast, error) {
 	if !f.HasSensor(id) {
 		return smiler.Forecast{}, fmt.Errorf("unknown sensor %q", id)
 	}
-	return smiler.Forecast{Mean: float64(f.applied.Load()), Variance: 1, Horizon: h}, nil
+	q, _ := f.quality.Load().(string)
+	return smiler.Forecast{Mean: float64(f.applied.Load()), Variance: 1, Horizon: h, Quality: q}, nil
 }
 
 func (f *fakeSystem) HasSensor(id string) bool {

@@ -105,6 +105,47 @@ func TestParseSLOs(t *testing.T) {
 	}
 }
 
+func TestParseQualityRateSLOs(t *testing.T) {
+	slos, err := ParseSLOs("forecast.exact_rate>=0.95,forecast.progressive_rate<=0.1,fallback_rate<=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slos) != 3 {
+		t.Fatalf("got %d SLOs, want 3", len(slos))
+	}
+	if slos[0].Op != "forecast" || slos[0].Metric != "exact_rate" || slos[0].Cmp != ">=" || slos[0].Bound != 0.95 {
+		t.Fatalf("slos[0] = %+v", slos[0])
+	}
+	if slos[1].Cmp != "" || slos[1].Bound != 0.1 {
+		t.Fatalf("slos[1] = %+v", slos[1])
+	}
+	if slos[2].Op != "" || slos[2].Metric != "fallback_rate" {
+		t.Fatalf("slos[2] = %+v", slos[2])
+	}
+}
+
+func TestEvaluateQualityFloor(t *testing.T) {
+	phase := PhaseSummary{
+		Ops: map[string]OpSummary{
+			"forecast": {Count: 100, ExactRate: 0.9, ProgressiveRate: 0.1},
+		},
+	}
+	slos, err := ParseSLOs("forecast.exact_rate>=0.95,forecast.exact_rate>=0.8,forecast.fallback_rate<=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, violations := evaluate(slos, phase)
+	if violations != 1 {
+		t.Fatalf("violations = %d, want 1 (only the 0.95 floor)", violations)
+	}
+	if results[0].OK || results[0].Actual != 0.9 {
+		t.Fatalf("exact_rate>=0.95 result = %+v, want violated at 0.9", results[0])
+	}
+	if !results[1].OK || !results[2].OK {
+		t.Fatalf("floor at 0.8 and zero-fallback ceiling must pass: %+v %+v", results[1], results[2])
+	}
+}
+
 func TestConfigValidateDefaults(t *testing.T) {
 	c := Config{Targets: []string{"http://x"}, Sensors: 10, Kind: datasets.Road}
 	if err := c.Validate(); err != nil {

@@ -34,7 +34,14 @@ type GCWindow struct {
 	// window (the loader does not attribute ops to targets).
 	ForecastP50Ms float64 `json:"forecast_p50_ms,omitempty"`
 	ForecastP99Ms float64 `json:"forecast_p99_ms,omitempty"`
-	OpsPerS       float64 `json:"ops_per_s"`
+	// Per-window forecast quality-ladder counts (anytime engine): how
+	// many of the window's forecasts came back exact, progressive
+	// (deadline-truncated), or fallback. Read next to the GC columns
+	// they show whether quality dips track pause spikes.
+	ForecastExact       uint64  `json:"forecast_exact,omitempty"`
+	ForecastProgressive uint64  `json:"forecast_progressive,omitempty"`
+	ForecastFallback    uint64  `json:"forecast_fallback,omitempty"`
+	OpsPerS             float64 `json:"ops_per_s"`
 	// ScrapeError notes a failed or incomplete /metrics scrape; the
 	// window is still recorded so gaps are visible, not silent.
 	ScrapeError string `json:"scrape_error,omitempty"`

@@ -249,6 +249,7 @@ func (l *Loader) execute(spec opSpec) {
 	cl := l.client()
 	var err error
 	degraded := false
+	quality := ""
 	switch spec.op {
 	case OpObserve:
 		err = cl.Observe(id, l.src.next(spec.sensor))
@@ -256,6 +257,7 @@ func (l *Loader) execute(spec opSpec) {
 		var f server.ForecastResponse
 		f, err = cl.Forecast(id, spec.h)
 		degraded = f.Degraded
+		quality = f.Quality
 	}
 	lat := time.Since(spec.due)
 	// CAS loop instead of atomic Or: the module floor is Go 1.22.
@@ -267,10 +269,10 @@ func (l *Loader) execute(spec opSpec) {
 		}
 	}
 	if p := l.phase.Load(); p != nil {
-		p.ops[spec.op].record(lat, err, degraded)
+		p.ops[spec.op].record(lat, err, degraded, quality)
 	}
 	if w := l.window.Load(); w != nil {
-		w.ops[spec.op].record(lat, err, degraded)
+		w.ops[spec.op].record(lat, err, degraded, quality)
 	}
 }
 
@@ -508,8 +510,8 @@ func (l *Loader) printProgress(started time.Time, total time.Duration) {
 	if p := l.phase.Load(); p != nil {
 		shed = p.shed.Load()
 	}
-	line += fmt.Sprintf(" | err=%d degraded=%d shed=%d inflight=%d",
-		sum.Total.Errors, sum.Total.Degraded, shed, l.inflight.Load())
+	line += fmt.Sprintf(" | err=%d degraded=%d prog=%d shed=%d inflight=%d",
+		sum.Total.Errors, sum.Total.Degraded, sum.Total.Progressive, shed, l.inflight.Load())
 	fmt.Fprintln(l.cfg.Progress, line)
 	if phaseName == "steady" {
 		l.recordGCWindows(started, now, sum)
@@ -527,11 +529,14 @@ func (l *Loader) recordGCWindows(started, now time.Time, sum PhaseSummary) {
 	fc := sum.Ops[OpForecast.String()]
 	for _, t := range l.cfg.Targets {
 		w := GCWindow{
-			TS:            now.Sub(started).Seconds(),
-			Target:        t,
-			ForecastP50Ms: fc.P50Ms,
-			ForecastP99Ms: fc.P99Ms,
-			OpsPerS:       sum.Total.Throughput,
+			TS:                  now.Sub(started).Seconds(),
+			Target:              t,
+			ForecastP50Ms:       fc.P50Ms,
+			ForecastP99Ms:       fc.P99Ms,
+			ForecastExact:       fc.Exact,
+			ForecastProgressive: fc.Progressive,
+			ForecastFallback:    fc.Fallback,
+			OpsPerS:             sum.Total.Throughput,
 		}
 		gw, err, ok := l.gc.window(t)
 		if !ok {

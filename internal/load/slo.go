@@ -11,16 +11,23 @@ import (
 // steady phase after the run. Latency objectives are per op type
 // ("observe.p99<=50ms", "forecast.p999<=2s"); rate objectives may be
 // per-op or aggregate ("forecast.error_rate<=0.01",
-// "degraded_rate<=0.2"). Supported metrics: p50, p90, p99, p999,
-// mean, error_rate, degraded_rate.
+// "degraded_rate<=0.2"). Rate objectives also accept ">=" for floors,
+// which is how quality-ladder targets are spelled
+// ("forecast.exact_rate>=0.95"). Supported metrics: p50, p90, p99,
+// p999, mean, error_rate, degraded_rate, exact_rate,
+// progressive_rate, fallback_rate.
 type SLO struct {
 	// Op is "observe", "forecast", or "" for the phase aggregate
 	// (rates only — there is no aggregate latency distribution).
 	Op string `json:"op,omitempty"`
 	// Metric is the judged quantity.
 	Metric string `json:"metric"`
-	// Bound is the inclusive upper bound: seconds for latency metrics,
-	// a ratio in [0,1] for rates.
+	// Cmp is the comparison direction: "<=" (the default, empty in
+	// JSON) bounds from above; ">=" demands a floor and is only legal
+	// on rate metrics.
+	Cmp string `json:"cmp,omitempty"`
+	// Bound is the inclusive bound: seconds for latency metrics, a
+	// ratio in [0,1] for rates.
 	Bound float64 `json:"bound"`
 	// Expr preserves the flag spelling for reports.
 	Expr string `json:"expr"`
@@ -33,7 +40,10 @@ func (s SLO) validate() error {
 			return fmt.Errorf("load: SLO %q: latency objectives need an op (observe.%s or forecast.%s)",
 				s.Expr, s.Metric, s.Metric)
 		}
-	case "error_rate", "degraded_rate":
+		if s.Cmp == ">=" {
+			return fmt.Errorf("load: SLO %q: latency objectives are ceilings; \">=\" is for rate floors", s.Expr)
+		}
+	case "error_rate", "degraded_rate", "exact_rate", "progressive_rate", "fallback_rate":
 	default:
 		return fmt.Errorf("load: SLO %q: unknown metric %q", s.Expr, s.Metric)
 	}
@@ -50,7 +60,7 @@ func (s SLO) validate() error {
 
 // ParseSLOs parses a comma-separated objective list, e.g.
 //
-//	"observe.p99<=50ms,forecast.p999<=2s,error_rate<=0.001"
+//	"observe.p99<=50ms,forecast.p999<=2s,error_rate<=0.001,forecast.exact_rate>=0.95"
 //
 // Latency bounds are Go durations; rate bounds are plain ratios.
 func ParseSLOs(s string) ([]SLO, error) {
@@ -63,17 +73,25 @@ func ParseSLOs(s string) ([]SLO, error) {
 		if part == "" {
 			continue
 		}
+		cmp := "<="
 		lhs, rhs, ok := strings.Cut(part, "<=")
 		if !ok {
-			return nil, fmt.Errorf("load: bad SLO %q (want metric<=bound)", part)
+			cmp = ">="
+			lhs, rhs, ok = strings.Cut(part, ">=")
+		}
+		if !ok {
+			return nil, fmt.Errorf("load: bad SLO %q (want metric<=bound or metric>=bound)", part)
 		}
 		lhs, rhs = strings.TrimSpace(lhs), strings.TrimSpace(rhs)
 		slo := SLO{Expr: part, Metric: lhs}
+		if cmp == ">=" {
+			slo.Cmp = cmp
+		}
 		if op, metric, hasOp := strings.Cut(lhs, "."); hasOp {
 			slo.Op, slo.Metric = op, metric
 		}
 		switch slo.Metric {
-		case "error_rate", "degraded_rate":
+		case "error_rate", "degraded_rate", "exact_rate", "progressive_rate", "fallback_rate":
 			b, err := strconv.ParseFloat(rhs, 64)
 			if err != nil {
 				return nil, fmt.Errorf("load: bad SLO bound %q", part)
@@ -99,7 +117,7 @@ type SLOResult struct {
 	SLO
 	// Actual is the measured value (same units as Bound).
 	Actual float64 `json:"actual"`
-	// OK reports Actual <= Bound.
+	// OK reports Actual <= Bound (or >= for floor objectives).
 	OK bool `json:"ok"`
 	// Skipped marks an objective with no matching traffic (e.g. a
 	// forecast SLO under a 1:0 mix); skipped objectives do not violate.
@@ -137,8 +155,18 @@ func evaluate(slos []SLO, phase PhaseSummary) (results []SLOResult, violations i
 			r.Actual = sum.ErrorRate
 		case "degraded_rate":
 			r.Actual = sum.DegradedRate
+		case "exact_rate":
+			r.Actual = sum.ExactRate
+		case "progressive_rate":
+			r.Actual = sum.ProgressiveRate
+		case "fallback_rate":
+			r.Actual = sum.FallbackRate
 		}
-		r.OK = r.Actual <= s.Bound
+		if s.Cmp == ">=" {
+			r.OK = r.Actual >= s.Bound
+		} else {
+			r.OK = r.Actual <= s.Bound
+		}
 		if !r.OK {
 			violations++
 		}

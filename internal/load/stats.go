@@ -51,14 +51,21 @@ type opStats struct {
 	count    atomic.Uint64
 	errors   atomic.Uint64
 	degraded atomic.Uint64
-	hist     *obs.Histogram
+	// Quality-ladder rung counts for successful ops: exact, progressive
+	// (deadline-truncated anytime search), fallback (degraded model).
+	// An op with no quality tag counts as exact — observes and servers
+	// predating the ladder.
+	exact       atomic.Uint64
+	progressive atomic.Uint64
+	fallback    atomic.Uint64
+	hist        *obs.Histogram
 }
 
 func newOpStats() *opStats {
 	return &opStats{hist: obs.NewHistogram(latencyBuckets)}
 }
 
-func (s *opStats) record(d time.Duration, err error, degraded bool) {
+func (s *opStats) record(d time.Duration, err error, degraded bool, quality string) {
 	s.count.Add(1)
 	if err != nil {
 		s.errors.Add(1)
@@ -66,6 +73,17 @@ func (s *opStats) record(d time.Duration, err error, degraded bool) {
 	}
 	if degraded {
 		s.degraded.Add(1)
+		if quality == "" {
+			quality = "fallback" // pre-ladder servers tag degradation only
+		}
+	}
+	switch quality {
+	case "", "exact":
+		s.exact.Add(1)
+	case "progressive":
+		s.progressive.Add(1)
+	default:
+		s.fallback.Add(1)
 	}
 	s.hist.Observe(d.Seconds())
 }
@@ -83,16 +101,33 @@ type OpSummary struct {
 	ErrorRate    float64 `json:"error_rate"`
 	Degraded     uint64  `json:"degraded"`
 	DegradedRate float64 `json:"degraded_rate"`
+	// Quality-ladder rung counts and rates (rates over Count, so errors
+	// count against every rung — "95% exact" means 95% of all issued
+	// ops came back exact).
+	Exact           uint64  `json:"exact"`
+	Progressive     uint64  `json:"progressive,omitempty"`
+	Fallback        uint64  `json:"fallback,omitempty"`
+	ExactRate       float64 `json:"exact_rate"`
+	ProgressiveRate float64 `json:"progressive_rate,omitempty"`
+	FallbackRate    float64 `json:"fallback_rate,omitempty"`
 }
 
 func (s *opStats) summary(elapsed time.Duration) OpSummary {
 	n := s.count.Load()
 	errs := s.errors.Load()
 	deg := s.degraded.Load()
-	out := OpSummary{Count: n, Errors: errs, Degraded: deg}
+	out := OpSummary{
+		Count: n, Errors: errs, Degraded: deg,
+		Exact:       s.exact.Load(),
+		Progressive: s.progressive.Load(),
+		Fallback:    s.fallback.Load(),
+	}
 	if n > 0 {
 		out.ErrorRate = float64(errs) / float64(n)
 		out.DegradedRate = float64(deg) / float64(n)
+		out.ExactRate = float64(out.Exact) / float64(n)
+		out.ProgressiveRate = float64(out.Progressive) / float64(n)
+		out.FallbackRate = float64(out.Fallback) / float64(n)
 	}
 	if elapsed > 0 {
 		out.Throughput = float64(n) / elapsed.Seconds()
@@ -169,11 +204,17 @@ func (p *phaseStats) summary(now time.Time) PhaseSummary {
 		total.Count += s.Count
 		total.Errors += s.Errors
 		total.Degraded += s.Degraded
+		total.Exact += s.Exact
+		total.Progressive += s.Progressive
+		total.Fallback += s.Fallback
 		total.Throughput += s.Throughput
 	}
 	if total.Count > 0 {
 		total.ErrorRate = float64(total.Errors) / float64(total.Count)
 		total.DegradedRate = float64(total.Degraded) / float64(total.Count)
+		total.ExactRate = float64(total.Exact) / float64(total.Count)
+		total.ProgressiveRate = float64(total.Progressive) / float64(total.Count)
+		total.FallbackRate = float64(total.Fallback) / float64(total.Count)
 	}
 	out.Total = total
 	return out

@@ -58,10 +58,17 @@ func TestDegradedForecastOverHTTP(t *testing.T) {
 	if !f.Degraded || f.DegradedReason != "error" {
 		t.Fatalf("response = %+v, want degraded with reason \"error\"", f)
 	}
+	// Degraded answers sit on the bottom rung of the quality ladder.
+	if f.Quality != "fallback" || f.QualityEstimate != 0 {
+		t.Fatalf("degraded response quality = %q/%v, want fallback/0", f.Quality, f.QualityEstimate)
+	}
 
 	fault.Disarm()
 	if f, err = cl.Forecast("s", 1); err != nil || f.Degraded {
 		t.Fatalf("after disarm: f=%+v err=%v, want clean answer", f, err)
+	}
+	if f.Quality != "exact" || f.QualityEstimate != 1 {
+		t.Fatalf("clean response quality = %q/%v, want exact/1", f.Quality, f.QualityEstimate)
 	}
 }
 

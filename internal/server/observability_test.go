@@ -55,7 +55,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	for _, want := range []string{
 		"# TYPE smiler_predictions_total counter",
-		"smiler_predictions_total 1",
+		`smiler_predictions_total{quality="exact"} 1`,
 		"# TYPE smiler_predict_phase_seconds histogram",
 		`smiler_predict_phase_seconds_bucket{phase="search",le="+Inf"} 1`,
 		`smiler_predict_phase_seconds_count{phase="total"} 1`,

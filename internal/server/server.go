@@ -360,6 +360,13 @@ type ForecastResponse struct {
 	Z              float64 `json:"z"`
 	Degraded       bool    `json:"degraded,omitempty"`
 	DegradedReason string  `json:"degraded_reason,omitempty"`
+	// Quality is the forecast's rung on the quality ladder ("exact",
+	// "progressive", "fallback"); empty from systems predating the
+	// ladder.
+	Quality string `json:"quality,omitempty"`
+	// QualityEstimate is the probability the served neighbour sets
+	// equal the exact ones (1 for exact, 0 for fallback).
+	QualityEstimate float64 `json:"quality_estimate,omitempty"`
 }
 
 // MakeForecastResponse assembles the wire shape from a Forecast — the
@@ -376,6 +383,7 @@ func forecastResponse(id string, h int, f smiler.Forecast, z float64) ForecastRe
 		ID: id, Horizon: h, Mean: f.Mean, Variance: f.Variance,
 		StdDev: f.StdDev(), Lo: lo, Hi: hi, Z: z,
 		Degraded: f.Degraded, DegradedReason: f.DegradedReason,
+		Quality: f.Quality, QualityEstimate: f.QualityEstimate,
 	}
 }
 

@@ -28,10 +28,19 @@ type systemObs struct {
 	events  *obs.EventRing
 	runtime *obs.RuntimeSampler
 
-	predictions *obs.Counter
+	// predictions counts completed predictions by quality rung
+	// ("exact", "progressive", "fallback") — the quality-ladder view of
+	// smiler_predictions_total.
+	predictions map[string]*obs.Counter
 	predictErrs *obs.Counter
 	observed    *obs.Counter
 	observeErrs *obs.Counter
+
+	// qualityEst is the distribution of anytime quality estimates
+	// (ProS-style probability that the served set equals the exact one);
+	// observed only when anytime mode is on.
+	qualityEst *obs.Histogram
+	anytime    bool
 
 	predictPhase map[string]*obs.Histogram
 	observePhase map[string]*obs.Histogram
@@ -56,14 +65,16 @@ type systemObs struct {
 // counter (see degradeReason).
 var degradeReasons = []string{"deadline", "panic", "error"}
 
+// qualityTags are the label values of the predictions counter: the
+// rungs of the exact → progressive → fallback quality ladder.
+var qualityTags = []string{"exact", "progressive", "fallback"}
+
 // newSystemObs builds the registry and instruments (enabled mode).
 func newSystemObs() *systemObs {
 	reg := obs.NewRegistry()
 	so := &systemObs{
 		reg:    reg,
 		traces: obs.NewTraceStore(obs.DefaultTraceCapacity),
-		predictions: reg.Counter("smiler_predictions_total",
-			"Completed predictions (all horizons of a multi-horizon call count once)."),
 		predictErrs: reg.Counter("smiler_predict_errors_total",
 			"Predictions that failed."),
 		observed: reg.Counter("smiler_observations_total",
@@ -85,6 +96,15 @@ func newSystemObs() *systemObs {
 		"Cold sensors faulted back in from their spill files.")
 	so.sensorEvictions = reg.Counter("smiler_sensor_evictions_total",
 		"Hot sensors spilled cold by the MaxHotSensors LRU.")
+	so.predictions = make(map[string]*obs.Counter, len(qualityTags))
+	for _, q := range qualityTags {
+		so.predictions[q] = reg.Counter("smiler_predictions_total",
+			"Completed predictions by quality-ladder rung (all horizons of a multi-horizon call count once).",
+			obs.L("quality", q))
+	}
+	so.qualityEst = reg.Histogram("smiler_anytime_quality_estimate",
+		"Quality estimate of anytime predictions: probability the served neighbour sets equal the exact ones.",
+		[]float64{0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1})
 	so.degraded = make(map[string]*obs.Counter, len(degradeReasons))
 	for _, reason := range degradeReasons {
 		so.degraded[reason] = reg.Counter("smiler_degraded_predictions_total",
@@ -165,6 +185,7 @@ func registerMemsys(reg *obs.Registry) {
 // registerSystem adds the gauges that read live system state at
 // scrape time (sensor count, device memory).
 func (so *systemObs) registerSystem(s *System) {
+	so.anytime = s.cfg.Anytime
 	if so.reg == nil {
 		return
 	}
@@ -197,14 +218,25 @@ func (so *systemObs) registerSystem(s *System) {
 	}
 }
 
-// recordPredict folds one prediction's timing and search stats into
-// the registry.
-func (so *systemObs) recordPredict(totalSec float64, timing core.PhaseTiming, st index.SearchStats, err error) {
+// recordPredict folds one prediction's timing, search stats and
+// quality rung into the registry.
+func (so *systemObs) recordPredict(totalSec float64, timing core.PhaseTiming, st index.SearchStats, qual core.QualityInfo, err error) {
 	if err != nil {
 		so.predictErrs.Inc()
 		return
 	}
-	so.predictions.Inc()
+	tag := qual.Tag
+	if tag == "" {
+		tag = "exact"
+	}
+	if so.predictions != nil {
+		if c, ok := so.predictions[tag]; ok {
+			c.Inc()
+		}
+	}
+	if so.anytime {
+		so.qualityEst.Observe(qual.Estimate)
+	}
 	so.predictPhase["total"].Observe(totalSec)
 	so.predictPhase["search"].Observe(timing.SearchSec)
 	so.predictPhase["lower_bound"].Observe(timing.LowerBoundSec)
@@ -237,6 +269,14 @@ func (so *systemObs) recordDegraded(sensor, traceID, reason string, err error) {
 		if c, ok := so.degraded[reason]; ok {
 			c.Inc()
 		}
+	}
+	// A fallback answer is a completed prediction on the ladder's
+	// lowest rung.
+	if so.predictions != nil {
+		so.predictions["fallback"].Inc()
+	}
+	if so.anytime {
+		so.qualityEst.Observe(0)
 	}
 	so.events.Record(obs.Event{
 		Type:     "degraded_prediction",

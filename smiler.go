@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"smiler/internal/anytime"
 	"smiler/internal/baselines"
 	"smiler/internal/core"
 	"smiler/internal/gpusim"
@@ -238,6 +239,33 @@ type Config struct {
 	// persistence or AR(1), they come back as answers tagged
 	// Forecast.Degraded with the failure reason.
 	Fallback FallbackKind
+
+	// Anytime turns the prediction deadline into a quality budget: the
+	// per-sensor index verifies kNN candidates in cost-ordered
+	// progressive rounds, and a deadline expiring mid-search returns the
+	// always-valid best-so-far neighbour sets — the prediction completes
+	// on the retrieved subset and is tagged Forecast.Quality
+	// "progressive" with a quality estimate — instead of failing over to
+	// the crude Fallback baseline. Without a deadline, anytime
+	// predictions are bit-identical to exact ones. The quality ladder is
+	// exact → progressive → fallback: the fallback still catches
+	// deadlines that fire before any best-so-far set exists (during the
+	// lower-bound pass) and non-deadline failures.
+	Anytime bool
+
+	// LearnedLB enables the learned lower-bound layer: a per-sensor
+	// piecewise-linear model over the index's envelope lower bounds,
+	// trained incrementally from every verified (lower bound, DTW
+	// distance) pair, that predicts each candidate's true distance and
+	// orders the progressive verification rounds by it — most promising
+	// candidates first, so the best-so-far set converges sooner under a
+	// deadline. The model only reorders verification; it never changes
+	// which candidates are verified or with what cutoff, so results stay
+	// bit-identical (this is the exactness ablation knob: flip it and
+	// compare). The model state is serialized through the checkpoint
+	// envelope and survives WAL replay, tiering spill, migration and
+	// replication. Only meaningful together with Anytime.
+	LearnedLB bool
 }
 
 // DefaultConfig returns the paper's default parameters: ρ=8, ω=16,
@@ -274,6 +302,17 @@ type Forecast struct {
 	// DegradedReason classifies why ("deadline", "panic", "error");
 	// empty when Degraded is false.
 	DegradedReason string
+	// Quality is the forecast's rung on the quality ladder: "exact"
+	// (the full semi-lazy pipeline ran on the true kNN sets),
+	// "progressive" (anytime mode: the deadline stopped the kNN search
+	// early and the pipeline ran on the best-so-far sets), or
+	// "fallback" (the answer came from the degradation baseline —
+	// Degraded is also set).
+	Quality string
+	// QualityEstimate is the ProS-style probability that the retrieved
+	// neighbour sets equal the exact ones: 1 for exact forecasts, in
+	// (0, 1] for progressive ones, 0 for fallbacks.
+	QualityEstimate float64
 }
 
 // StdDev returns the predictive standard deviation.
@@ -309,6 +348,9 @@ type sensorState struct {
 	pipe *core.Pipeline
 	ix   *index.Index
 	dev  *gpusim.Device
+	// lbModel is the sensor's learned lower-bound model (nil unless
+	// Config.LearnedLB); it rides the checkpoint envelope.
+	lbModel *anytime.Model
 	// gone marks a state spilled cold by the tier while a caller held a
 	// stale pointer: set under mu, it tells the caller to retry through
 	// the fault-in path instead of using the closed index.
@@ -471,6 +513,13 @@ func (s *System) addSensorLocked(id string, history []float64) error {
 	if s.cfg.DisableEnsemble {
 		ekv = []int{s.cfg.FixedK}
 	}
+	var lbModel *anytime.Model
+	if s.cfg.LearnedLB {
+		lbModel = anytime.NewModel()
+	}
+	if s.cfg.Anytime || lbModel != nil {
+		ix.SetAnytime(index.Anytime{Enabled: s.cfg.Anytime, Model: lbModel})
+	}
 	pipe, err := core.NewPipeline(ix, core.PipelineConfig{
 		EKV:            ekv,
 		Index:          params,
@@ -478,6 +527,7 @@ func (s *System) addSensorLocked(id string, history []float64) error {
 		Factory:        s.cfg.predictorFactory(),
 		PredictWorkers: s.cfg.PredictWorkers,
 		SharedHyper:    s.cfg.SharedHyper,
+		Anytime:        s.cfg.Anytime,
 		Ensemble: core.EnsembleConfig{
 			DisableAdaptation: s.cfg.DisableAdaptation,
 			DisableSleep:      s.cfg.DisableSleep,
@@ -487,7 +537,7 @@ func (s *System) addSensorLocked(id string, history []float64) error {
 		ix.Close()
 		return fmt.Errorf("smiler: sensor %q: %w", id, err)
 	}
-	s.sensors[id] = &sensorState{norm: norm, pipe: pipe, ix: ix, dev: dev}
+	s.sensors[id] = &sensorState{norm: norm, pipe: pipe, ix: ix, dev: dev, lbModel: lbModel}
 	return nil
 }
 
@@ -622,6 +672,7 @@ func (s *System) PredictCtx(ctx context.Context, id string, h int) (Forecast, er
 	pred, err := st.pipe.PredictTracedCtx(ctx, h, tr)
 	timing := st.pipe.Timing()
 	searchStats := st.ix.Stats()
+	qual := st.pipe.LastQuality()
 	if err != nil && s.cfg.Fallback != FallbackNone {
 		if fb, fbErr := s.fallbackLocked(st, h); fbErr == nil {
 			st.mu.Unlock()
@@ -635,14 +686,15 @@ func (s *System) PredictCtx(ctx context.Context, id string, h int) (Forecast, er
 		}
 	}
 	st.mu.Unlock()
-	s.obs.recordPredict(time.Since(start).Seconds(), timing, searchStats, err)
+	s.obs.recordPredict(time.Since(start).Seconds(), timing, searchStats, qual, err)
 	tr.Finish(err)
 	s.obs.traces.Add(tr)
 	if err != nil {
 		s.obs.countPanic(err)
 		return Forecast{}, err
 	}
-	f := Forecast{Mean: pred.Mean, Variance: pred.Variance, Horizon: h}
+	f := Forecast{Mean: pred.Mean, Variance: pred.Variance, Horizon: h,
+		Quality: qual.Tag, QualityEstimate: qual.Estimate}
 	if st.norm != nil {
 		f.Mean = st.norm.Invert(pred.Mean)
 		f.Variance = st.norm.InvertVariance(pred.Variance)
@@ -693,6 +745,7 @@ func (s *System) PredictHorizonsCtx(ctx context.Context, id string, hs []int) (m
 	}
 	start := time.Now()
 	preds, err := st.pipe.PredictMultiTracedCtx(ctx, hs, tr)
+	qual := st.pipe.LastQuality()
 	if err != nil && s.cfg.Fallback != FallbackNone {
 		reason := degradeReason(err)
 		out := make(map[int]Forecast, len(hs))
@@ -714,7 +767,7 @@ func (s *System) PredictHorizonsCtx(ctx context.Context, id string, hs []int) (m
 			return out, nil
 		}
 	}
-	s.obs.recordPredict(time.Since(start).Seconds(), st.pipe.Timing(), st.ix.Stats(), err)
+	s.obs.recordPredict(time.Since(start).Seconds(), st.pipe.Timing(), st.ix.Stats(), qual, err)
 	tr.Finish(err)
 	s.obs.traces.Add(tr)
 	if err != nil {
@@ -723,7 +776,8 @@ func (s *System) PredictHorizonsCtx(ctx context.Context, id string, hs []int) (m
 	}
 	out := make(map[int]Forecast, len(preds))
 	for h, pred := range preds {
-		f := Forecast{Mean: pred.Mean, Variance: pred.Variance, Horizon: h}
+		f := Forecast{Mean: pred.Mean, Variance: pred.Variance, Horizon: h,
+			Quality: qual.Tag, QualityEstimate: qual.Estimate}
 		if st.norm != nil {
 			f.Mean = st.norm.Invert(pred.Mean)
 			f.Variance = st.norm.InvertVariance(pred.Variance)
@@ -774,7 +828,7 @@ func (s *System) fallbackLocked(st *sensorState, h int) (Forecast, error) {
 	if err != nil {
 		return Forecast{}, err
 	}
-	f := Forecast{Mean: pred.Mean, Variance: pred.Variance, Horizon: h, Degraded: true}
+	f := Forecast{Mean: pred.Mean, Variance: pred.Variance, Horizon: h, Degraded: true, Quality: "fallback"}
 	if st.norm != nil {
 		f.Mean = st.norm.Invert(pred.Mean)
 		f.Variance = st.norm.InvertVariance(pred.Variance)
